@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for the scheduling machinery itself —
+//! the per-request overhead the staged design adds (classification,
+//! dispatch, queue handoffs) must be negligible next to the latencies
+//! it saves; these benches quantify that claim.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use staged_core::{RequestClass, ReserveController, ServiceTimeTracker};
+use staged_pool::{PoolConfig, SyncQueue, WorkerPool};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    let tracker = ServiceTimeTracker::new(Duration::from_millis(2));
+    for (page, ms) in [("home", 1), ("best_sellers", 40)] {
+        tracker.record(page, Duration::from_millis(ms));
+    }
+    group.bench_function("tracker_record", |b| {
+        b.iter(|| tracker.record(black_box("home"), Duration::from_micros(800)))
+    });
+    group.bench_function("tracker_classify", |b| {
+        b.iter(|| tracker.classify(black_box("best_sellers")))
+    });
+    let controller = ReserveController::new(20);
+    group.bench_function("controller_update", |b| {
+        let mut tspare = 0usize;
+        b.iter(|| {
+            tspare = (tspare + 7) % 64;
+            controller.update(black_box(tspare))
+        })
+    });
+    group.bench_function("dispatch_decision", |b| {
+        b.iter(|| controller.dispatch(black_box(RequestClass::Lengthy), black_box(21)))
+    });
+    group.finish();
+}
+
+fn bench_queues_and_pools(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool");
+    group.bench_function("queue_push_pop", |b| {
+        let q = SyncQueue::unbounded();
+        b.iter(|| {
+            q.push(black_box(1u64)).unwrap();
+            q.pop().unwrap()
+        })
+    });
+    // The cost of one staged handoff: submit to a pool and wait for the
+    // worker to bounce the job back — an upper bound on the per-stage
+    // overhead the five-pool design pays per request.
+    group.bench_function("pool_round_trip", |b| {
+        let reply = Arc::new(SyncQueue::unbounded());
+        let reply2 = Arc::clone(&reply);
+        let pool = WorkerPool::new(PoolConfig::new("bench", 1), |_| (), move |_, n: u64| {
+            reply2.push(n).unwrap();
+        });
+        b.iter(|| {
+            pool.submit(black_box(7)).unwrap();
+            reply.pop().unwrap()
+        });
+        pool.shutdown();
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler, bench_queues_and_pools);
+criterion_main!(benches);

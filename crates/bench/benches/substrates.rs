@@ -1,0 +1,126 @@
+//! Criterion micro-benchmarks for the substrates: HTTP parsing,
+//! template rendering, and the database's point-vs-scan dichotomy (the
+//! cost structure the scheduling method exploits).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use staged_db::{Database, DbValue};
+use staged_http::{Request, RequestLine};
+use staged_templates::{Context, TemplateStore, Value};
+use staged_tpcw::{populate, ScaleConfig};
+
+fn bench_http_parsing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("http");
+    group.bench_function("request_line_parse", |b| {
+        b.iter(|| {
+            RequestLine::parse(black_box("GET /homepage?userid=5&popups=no HTTP/1.1")).unwrap()
+        })
+    });
+    group.bench_function("query_pairs_decode", |b| {
+        let line = RequestLine::parse("GET /search?q=web+servers&page=2&sort=price%20asc HTTP/1.1")
+            .unwrap();
+        b.iter(|| black_box(&line).target.query_pairs())
+    });
+    group.bench_function("full_request_assembly", |b| {
+        b.iter(|| Request::get(black_box("/best_sellers?subject=HISTORY&c_id=42")))
+    });
+    group.finish();
+}
+
+fn bench_templates(c: &mut Criterion) {
+    let store = TemplateStore::new();
+    staged_tpcw::install_templates(&store).unwrap();
+    let mut ctx = Context::new();
+    ctx.insert("title", "Best Sellers");
+    ctx.insert("subject", "HISTORY");
+    let items: Vec<Value> = (0..50)
+        .map(|i| {
+            let mut m = std::collections::BTreeMap::new();
+            m.insert("id".to_string(), Value::Int(i));
+            m.insert("title".to_string(), Value::from("The Secret Winter Empire"));
+            m.insert("author".to_string(), Value::from("Grace Hopper"));
+            m.insert("cost".to_string(), Value::Float(42.5));
+            m.insert("thumbnail".to_string(), Value::from("/img/thumb_1.gif"));
+            Value::Map(m)
+        })
+        .collect();
+    ctx.insert("items", Value::List(items));
+
+    let mut group = c.benchmark_group("templates");
+    group.bench_function("render_best_sellers_50_items", |b| {
+        b.iter(|| store.render("best_sellers.html", black_box(&ctx)).unwrap())
+    });
+    group.bench_function("compile_best_sellers", |b| {
+        b.iter(|| {
+            let s = TemplateStore::new();
+            staged_tpcw::install_templates(&s).unwrap();
+            s
+        })
+    });
+    group.finish();
+}
+
+fn bench_database(c: &mut Criterion) {
+    let db = Database::new();
+    let scale = ScaleConfig::tiny();
+    populate(&db, &scale);
+
+    let mut group = c.benchmark_group("db");
+    group.bench_function("point_lookup_by_pk", |b| {
+        b.iter(|| {
+            db.execute(
+                "SELECT i_title FROM item WHERE i_id = ?",
+                black_box(&[DbValue::Int(42)]),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("index_probe_with_join", |b| {
+        b.iter(|| {
+            db.execute(
+                "SELECT i.i_title, a.a_lname FROM item i JOIN author a ON i.i_a_id = a.a_id \
+                 WHERE i.i_subject = ?",
+                black_box(&[DbValue::from("HISTORY")]),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("like_full_scan", |b| {
+        b.iter(|| {
+            db.execute(
+                "SELECT i_id FROM item WHERE i_title LIKE ?",
+                black_box(&[DbValue::from("%Winter%")]),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("group_by_aggregate", |b| {
+        b.iter(|| {
+            db.execute(
+                "SELECT ol_i_id, SUM(ol_qty) AS total FROM order_line \
+                 GROUP BY ol_i_id ORDER BY total DESC LIMIT 10",
+                &[],
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("insert_and_delete", |b| {
+        let mut n = 1_000_000i64;
+        b.iter(|| {
+            n += 1;
+            db.execute(
+                "INSERT INTO shopping_cart (sc_id, sc_date) VALUES (?, 735000)",
+                &[DbValue::Int(n)],
+            )
+            .unwrap();
+            db.execute(
+                "DELETE FROM shopping_cart WHERE sc_id = ?",
+                &[DbValue::Int(n)],
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_http_parsing, bench_templates, bench_database);
+criterion_main!(benches);

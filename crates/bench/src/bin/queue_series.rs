@@ -1,0 +1,51 @@
+//! Regenerates the paper's **Figure 7** (dynamic-request queue length
+//! over time on the unmodified server) and **Figures 8(a)/8(b)**
+//! (general / lengthy pool queue lengths on the modified server).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p staged-bench --bin queue_series -- \
+//!     --ebs 200 --measure-secs 30 --scale small
+//! ```
+//!
+//! The expected shape: the unmodified server's single queue spikes into
+//! the hundreds as short requests pile up behind lengthy ones; the
+//! modified server's general queue stays near zero while the lengthy
+//! queue absorbs the backlog.
+
+use staged_bench::{print_series, run_model, Experiment, Model};
+
+fn main() {
+    let exp = Experiment::from_args();
+
+    eprintln!("running unmodified server (Figure 7)…");
+    let unmodified = run_model(&exp, Model::Unmodified, &["worker"]);
+    unmodified.server.shutdown();
+    print_series(
+        "Figure 7: dynamic-request queue length, unmodified server",
+        &unmodified.queue_traces["worker"],
+    );
+
+    eprintln!("running modified server (Figure 8)…");
+    let modified = run_model(&exp, Model::Modified, &["general", "lengthy"]);
+    modified.server.shutdown();
+    print_series(
+        "Figure 8(a): general-pool queue length, modified server",
+        &modified.queue_traces["general"],
+    );
+    print_series(
+        "Figure 8(b): lengthy-pool queue length, modified server",
+        &modified.queue_traces["lengthy"],
+    );
+
+    let peak = |pts: &[staged_metrics::SeriesPoint]| {
+        pts.iter().map(|p| p.value).fold(0.0f64, f64::max)
+    };
+    println!(
+        "peaks: unmodified worker queue {:.0}, modified general {:.0}, modified lengthy {:.0}",
+        peak(&unmodified.queue_traces["worker"]),
+        peak(&modified.queue_traces["general"]),
+        peak(&modified.queue_traces["lengthy"]),
+    );
+}

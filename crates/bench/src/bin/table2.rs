@@ -1,0 +1,30 @@
+//! Regenerates the paper's **Table 2**: the dynamics of `t_reserve`
+//! versus `t_spare` over the example 10-second period, with the minimum
+//! configured as 20.
+//!
+//! Run with `cargo run -p staged-bench --bin table2`. The same trace is
+//! asserted exactly in `staged-core`'s scheduler tests; this binary
+//! prints it in the paper's format.
+
+use staged_core::ReserveController;
+
+fn main() {
+    // The paper's measured t_spare trace (Table 2, column 2).
+    let tspare_trace = [35usize, 24, 17, 21, 30, 36, 38, 37, 35, 39];
+    let controller = ReserveController::new(20);
+
+    println!("Table 2: changes to treserve over an example 10-second period");
+    println!("{:>6} {:>8} {:>10} {:>11}", "time", "tspare", "treserve", "Δtreserve");
+    for (second, tspare) in tspare_trace.into_iter().enumerate() {
+        let before = controller.reserve();
+        let delta = controller.update(tspare);
+        println!(
+            "{:>5}s {:>8} {:>10} {:>+11}",
+            second + 1,
+            tspare,
+            before,
+            delta
+        );
+    }
+    println!("\n(paper's Δ column: +0 +0 +6 +5 +1 -2 -4 -5 -1 +0)");
+}

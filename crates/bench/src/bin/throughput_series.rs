@@ -1,0 +1,107 @@
+//! Regenerates the paper's **Figure 9** (overall throughput over time
+//! for both servers) and **Figures 10(a)–(d)** (throughput broken down
+//! by request class: static, all dynamic, quick dynamic, lengthy
+//! dynamic).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p staged-bench --bin throughput_series -- \
+//!     --ebs 200 --measure-secs 30 --scale small
+//! ```
+//!
+//! Each series is completions per stats bucket (the paper uses
+//! interactions per minute; the bucket width here is the scaled
+//! equivalent). The expected shape: the modified server's curves sit
+//! consistently above the unmodified server's for every class.
+
+use staged_bench::{print_series, run_model, Experiment, Model};
+use staged_core::RequestKind;
+use staged_metrics::SeriesPoint;
+
+fn merge(a: &[SeriesPoint], b: &[SeriesPoint]) -> Vec<SeriesPoint> {
+    let mut out = Vec::with_capacity(a.len().max(b.len()));
+    for i in 0..a.len().max(b.len()) {
+        let at = a
+            .get(i)
+            .or_else(|| b.get(i))
+            .map(|p| p.at_secs)
+            .unwrap_or(0.0);
+        let va = a.get(i).map(|p| p.value).unwrap_or(0.0);
+        let vb = b.get(i).map(|p| p.value).unwrap_or(0.0);
+        out.push(SeriesPoint {
+            at_secs: at,
+            value: va + vb,
+        });
+    }
+    out
+}
+
+fn main() {
+    let exp = Experiment::from_args();
+
+    let mut outcomes = Vec::new();
+    for model in [Model::Unmodified, Model::Modified] {
+        eprintln!("running {} server…", model.label());
+        let outcome = run_model(&exp, model, &[]);
+        eprintln!(
+            "  total interactions: {} ({:.0}/min)",
+            outcome.report.total_interactions,
+            outcome.report.interactions_per_minute()
+        );
+        outcomes.push((model, outcome));
+    }
+
+    for (model, outcome) in &outcomes {
+        print_series(
+            &format!("Figure 9: total throughput per bucket, {} server", model.label()),
+            &outcome.server.stats().total_series().counts_per_bucket(),
+        );
+    }
+    for (kind, figure) in [
+        (Some(RequestKind::Static), "Figure 10(a): static requests"),
+        (None, "Figure 10(b): all dynamic requests"),
+        (
+            Some(RequestKind::QuickDynamic),
+            "Figure 10(c): quick dynamic requests",
+        ),
+        (
+            Some(RequestKind::LengthyDynamic),
+            "Figure 10(d): lengthy dynamic requests",
+        ),
+    ] {
+        for (model, outcome) in &outcomes {
+            let stats = outcome.server.stats();
+            let series = match kind {
+                Some(k) => stats.series(k).counts_per_bucket(),
+                None => merge(
+                    &stats.series(RequestKind::QuickDynamic).counts_per_bucket(),
+                    &stats
+                        .series(RequestKind::LengthyDynamic)
+                        .counts_per_bucket(),
+                ),
+            };
+            print_series(&format!("{figure}, {} server", model.label()), &series);
+        }
+    }
+
+    println!("summary (completions during measurement):");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}",
+        "server", "static", "quick-dyn", "long-dyn", "total"
+    );
+    for (model, outcome) in &outcomes {
+        let stats = outcome.server.stats();
+        println!(
+            "{:<12} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+            model.label(),
+            stats.series(RequestKind::Static).total(),
+            stats.series(RequestKind::QuickDynamic).total(),
+            stats.series(RequestKind::LengthyDynamic).total(),
+            stats.total_series().total(),
+        );
+    }
+    for (_, outcome) in outcomes {
+        outcome.server.shutdown();
+    }
+}

@@ -1,0 +1,50 @@
+//! Regenerates the paper's **Table 3** (per-page average web
+//! interaction response times) and **Table 4** (completed web
+//! interactions per page, plus the overall throughput change) by
+//! running the TPC-W browsing mix against the unmodified
+//! (thread-per-request) and modified (five-pool staged) servers.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p staged-bench --bin tpcw_compare -- \
+//!     --ebs 200 --measure-secs 30 --scale small
+//! ```
+//!
+//! Response times are in milliseconds at the workspace's ×1000 time
+//! scaling (the paper reports seconds); the comparison *shape* — which
+//! pages collapse by orders of magnitude, which stay flat, and the
+//! overall throughput gain — is the reproduction target.
+
+use staged_bench::{run_model, Experiment, Model};
+use staged_tpcw::WorkloadReport;
+
+fn main() {
+    let exp = Experiment::from_args();
+    eprintln!(
+        "populating {} items / {} customers / {} orders; {} EBs, {:.0?} ramp + {:.0?} measure per run",
+        exp.scale.items, exp.scale.customers, exp.scale.orders, exp.ebs, exp.ramp, exp.measure
+    );
+
+    eprintln!("running unmodified (thread-per-request) server…");
+    let unmodified = run_model(&exp, Model::Unmodified, &[]);
+    eprintln!(
+        "  {} interactions, {} errors",
+        unmodified.report.total_interactions, unmodified.report.total_errors
+    );
+    unmodified.server.shutdown();
+
+    eprintln!("running modified (five-pool staged) server…");
+    let modified = run_model(&exp, Model::Modified, &[]);
+    eprintln!(
+        "  {} interactions, {} errors",
+        modified.report.total_interactions, modified.report.total_errors
+    );
+    modified.server.shutdown();
+
+    println!("\nTables 3 & 4: per-page response times and completed interactions");
+    println!(
+        "{}",
+        WorkloadReport::comparison_table(&unmodified.report, &modified.report)
+    );
+}

@@ -1,0 +1,252 @@
+//! The conventional thread-per-request server (paper §2.2, Figure 4).
+
+use crate::app::{App, PageOutcome};
+use crate::config::ServerConfig;
+use crate::error::AppError;
+use crate::handle::{GaugeFn, ServerHandle};
+use crate::scheduler::{RequestClass, ServiceTimeTracker};
+use crate::stats::{RequestKind, ServerStats};
+use staged_db::{ConnectionPool, Database, PooledConnection};
+use staged_http::{Connection, HttpError, Request, Response, StatusCode};
+use staged_pool::{PoolConfig, WorkerPool};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The unmodified request-processing model: a single listener thread
+/// feeds accepted connections to one pool of worker threads; each
+/// worker owns a database connection for its lifetime and carries each
+/// request through header parsing, data generation, **and** template
+/// rendering.
+///
+/// This is the paper's comparison baseline. Its pathology under heavy
+/// load is structural: the pool size is coupled to the connection count,
+/// so threads rendering templates or serving static files hold
+/// connections idle, and short requests queue behind lengthy ones in
+/// the single queue (the Figure 7 spikes).
+#[derive(Debug)]
+pub struct BaselineServer;
+
+impl BaselineServer {
+    /// Binds, spawns the worker pool (each worker checking a database
+    /// connection out for its lifetime), and starts the listener.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error binding the listen address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is inconsistent (see
+    /// [`ServerConfig::validate`]).
+    pub fn start(
+        config: ServerConfig,
+        app: App,
+        db: Arc<Database>,
+    ) -> io::Result<ServerHandle> {
+        config.validate();
+        let listener = TcpListener::bind(config.addr)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::new(config.stats_bucket));
+        // The baseline has no scheduler; the tracker exists purely so
+        // completions can be labelled quick/lengthy for the Figure 10
+        // breakdown, using the same signal the staged server schedules
+        // on.
+        let tracker = Arc::new(ServiceTimeTracker::new(config.lengthy_cutoff));
+        let connections = ConnectionPool::new(db, config.db_connections);
+
+        let worker_stats = Arc::clone(&stats);
+        let worker_tracker = Arc::clone(&tracker);
+        let worker_app = app.clone();
+        let limits = config.limits;
+        let read_timeout = config.read_timeout;
+        let pool = WorkerPool::new(
+            PoolConfig::new("baseline-worker", config.baseline_workers),
+            |_| connections.get(),
+            move |db_conn: &mut PooledConnection, stream: TcpStream| {
+                let _ = stream.set_read_timeout(read_timeout);
+                serve_connection(
+                    stream,
+                    limits,
+                    &worker_app,
+                    db_conn,
+                    &worker_tracker,
+                    &worker_stats,
+                );
+            },
+        );
+
+        let queue = pool.queue_handle();
+        let gauge_queue = pool.queue_handle();
+        let gauges: Vec<(String, GaugeFn)> = vec![(
+            "worker".to_string(),
+            Arc::new(move || gauge_queue.len()),
+        )];
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let listener_stop = Arc::clone(&stop);
+        let drop_stats = Arc::clone(&stats);
+        let listener_thread = std::thread::Builder::new()
+            .name("baseline-listener".to_string())
+            .spawn(move || {
+                for incoming in listener.incoming() {
+                    if listener_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match incoming {
+                        Ok(stream) => {
+                            if queue.push(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => drop_stats.dropped_connections.increment(),
+                    }
+                }
+            })
+            .expect("failed to spawn listener thread");
+
+        let shutdown = Box::new(move || {
+            stop.store(true, Ordering::Relaxed);
+            // Poke the blocking accept() so the listener notices.
+            let _ = TcpStream::connect(addr);
+            let _ = listener_thread.join();
+            pool.shutdown();
+        });
+
+        Ok(ServerHandle::new(addr, stats, tracker, gauges, shutdown))
+    }
+}
+
+/// Serves every request on one connection, thread-per-request style:
+/// the whole request lifecycle runs on the calling worker thread.
+fn serve_connection(
+    stream: TcpStream,
+    limits: staged_http::ParseLimits,
+    app: &App,
+    db_conn: &PooledConnection,
+    tracker: &ServiceTimeTracker,
+    stats: &ServerStats,
+) {
+    let mut conn = Connection::with_limits(stream, limits);
+    loop {
+        let request = match conn.read_request() {
+            Ok(r) => r,
+            Err(HttpError::ConnectionClosed { clean: true }) => return,
+            Err(e) => {
+                if e.wants_bad_request() {
+                    let mut resp = Response::error(StatusCode::BAD_REQUEST);
+                    resp.set_close();
+                    let _ = conn.send(&resp);
+                    stats.errors.increment();
+                } else {
+                    stats.dropped_connections.increment();
+                }
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive();
+        let (response, kind) = process_request(app, &request, db_conn, tracker, stats);
+        if conn.send_for_method(request.method(), &response).is_err() {
+            stats.dropped_connections.increment();
+            return;
+        }
+        stats.record_completion(kind);
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Full request processing on the current thread (parse already done):
+/// static lookup, or handler + inline template rendering.
+fn process_request(
+    app: &App,
+    request: &Request,
+    db_conn: &PooledConnection,
+    tracker: &ServiceTimeTracker,
+    stats: &ServerStats,
+) -> (Response, RequestKind) {
+    if request.line.is_static() {
+        let response = app.statics().response_for(request.path());
+        app.charge_static();
+        return (response, RequestKind::Static);
+    }
+    let Some((route, captures)) = app.route(request.path()) else {
+        stats.errors.increment();
+        return (
+            Response::error(StatusCode::NOT_FOUND),
+            RequestKind::QuickDynamic,
+        );
+    };
+    // Classify from history *before* this request, mirroring the staged
+    // server's dispatch-time decision.
+    let class = tracker.classify(&route.name);
+    let kind = match class {
+        RequestClass::Quick => RequestKind::QuickDynamic,
+        RequestClass::Lengthy => RequestKind::LengthyDynamic,
+    };
+    let started = Instant::now();
+    let merged;
+    let request = if captures.is_empty() {
+        request
+    } else {
+        merged = merge_captures(request, &captures);
+        &merged
+    };
+    let outcome = run_handler(route, request, db_conn, stats);
+    // Data-generation time excludes rendering, as in the staged model.
+    tracker.record(&route.name, started.elapsed());
+    let response = match outcome {
+        Ok(PageOutcome::Body(resp)) => resp,
+        Ok(PageOutcome::Template { name, context }) => {
+            match app.templates().render(&name, &context) {
+                Ok(html) => {
+                    app.charge_render(html.len());
+                    Response::html(html)
+                }
+                Err(_) => {
+                    stats.errors.increment();
+                    Response::error(StatusCode::INTERNAL_SERVER_ERROR)
+                }
+            }
+        }
+        Err(_) => {
+            stats.errors.increment();
+            Response::error(StatusCode::INTERNAL_SERVER_ERROR)
+        }
+    };
+    (response, kind)
+}
+
+/// Merges pattern captures into the request's parameter list (captures
+/// are appended, so query parameters of the same name win).
+pub(crate) fn merge_captures(
+    request: &Request,
+    captures: &staged_http::RouteParams,
+) -> Request {
+    let mut merged = request.clone();
+    merged
+        .params
+        .extend(captures.iter().map(|(k, v)| (k.to_string(), v.to_string())));
+    merged
+}
+
+/// Runs a route handler, converting panics into errors so the worker
+/// thread (and its database connection) survives.
+pub(crate) fn run_handler(
+    route: &crate::app::Route,
+    request: &Request,
+    db_conn: &PooledConnection,
+    stats: &ServerStats,
+) -> Result<PageOutcome, AppError> {
+    match panic::catch_unwind(AssertUnwindSafe(|| (route.handler)(request, db_conn))) {
+        Ok(result) => result,
+        Err(_) => {
+            stats.handler_panics.increment();
+            Err(AppError::handler("handler panicked"))
+        }
+    }
+}

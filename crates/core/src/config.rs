@@ -1,0 +1,194 @@
+//! Server configuration.
+
+use staged_http::ParseLimits;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Configuration shared by both servers. Fields irrelevant to a model
+/// are ignored by it (the baseline only reads `baseline_workers` /
+/// `db_connections` / generic fields).
+///
+/// Defaults follow the paper's proportions at laptop scale: the general
+/// dynamic pool has **four times** the lengthy pool's threads (§3.3),
+/// database connections equal the total dynamic thread count, the
+/// quick/lengthy cutoff is the paper's 2 seconds scaled ×1000 to 2 ms,
+/// and the controller ticks at the paper's 1 Hz scaled to 100 ms.
+///
+/// # Examples
+///
+/// ```
+/// use staged_core::ServerConfig;
+///
+/// let cfg = ServerConfig::default();
+/// assert_eq!(cfg.general_workers, 4 * cfg.lengthy_workers);
+/// assert_eq!(cfg.db_connections, cfg.general_workers + cfg.lengthy_workers);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: SocketAddr,
+    /// Header-parsing pool size (staged server).
+    pub header_workers: usize,
+    /// Static-request pool size (staged server).
+    pub static_workers: usize,
+    /// General dynamic pool size (staged server).
+    pub general_workers: usize,
+    /// Lengthy dynamic pool size (staged server).
+    pub lengthy_workers: usize,
+    /// Template-rendering pool size (staged server).
+    pub render_workers: usize,
+    /// Worker pool size for the baseline thread-per-request server.
+    /// Matches the staged server's dynamic thread count by default so
+    /// both models get the same connection budget.
+    pub baseline_workers: usize,
+    /// Database connections in the shared pool.
+    pub db_connections: usize,
+    /// Average data-generation time above which a page is *lengthy*
+    /// (paper: 2 s; scaled default: 2 ms).
+    pub lengthy_cutoff: Duration,
+    /// How often the reserve controller updates `t_reserve` (paper:
+    /// once per second; scaled default: 100 ms).
+    pub controller_tick: Duration,
+    /// The configured minimum of `t_reserve` (paper's example: 20; the
+    /// scaled default reserves a quarter of the general pool).
+    pub min_reserve: usize,
+    /// Upper clamp on `t_reserve`; must stay below the general pool
+    /// size or lengthy requests can be permanently locked out of the
+    /// general pool (see `ReserveController::with_max`). Default: half
+    /// the general pool.
+    pub max_reserve: usize,
+    /// Bucket width for throughput time series (paper reports per
+    /// minute over a 50-minute window; scaled default: 1 s buckets).
+    pub stats_bucket: Duration,
+    /// HTTP parse limits.
+    pub limits: ParseLimits,
+    /// Socket read timeout: how long a worker waits for request bytes
+    /// before dropping the connection (defends the header pool against
+    /// slow-loris clients). `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// The paper's suggested extension (§3.3): also split **template
+    /// rendering** into quick/lengthy pools, tracked per template name.
+    /// Off by default, as in the paper ("applying this technique to …
+    /// template rendering might be worthwhile on a different
+    /// benchmark"). When on, a quarter of `render_workers` (at least
+    /// one) forms the lengthy-render pool.
+    pub split_render: bool,
+    /// Average render time above which a template is *lengthy* (only
+    /// used when `split_render` is on).
+    pub render_cutoff: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let general_workers = 32;
+        let lengthy_workers = 8;
+        ServerConfig {
+            addr: "127.0.0.1:0".parse().expect("valid literal address"),
+            header_workers: 16,
+            static_workers: 32,
+            general_workers,
+            lengthy_workers,
+            render_workers: 16,
+            baseline_workers: general_workers + lengthy_workers,
+            db_connections: general_workers + lengthy_workers,
+            lengthy_cutoff: Duration::from_millis(5),
+            controller_tick: Duration::from_millis(100),
+            min_reserve: 8,
+            max_reserve: general_workers / 2,
+            stats_bucket: Duration::from_secs(1),
+            limits: ParseLimits::default(),
+            read_timeout: Some(Duration::from_secs(10)),
+            split_render: false,
+            render_cutoff: Duration::from_millis(5),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A small configuration for fast unit/integration tests.
+    pub fn small() -> Self {
+        ServerConfig {
+            header_workers: 2,
+            static_workers: 2,
+            general_workers: 4,
+            lengthy_workers: 1,
+            render_workers: 2,
+            baseline_workers: 5,
+            db_connections: 5,
+            min_reserve: 1,
+            max_reserve: 2,
+            controller_tick: Duration::from_millis(20),
+            stats_bucket: Duration::from_millis(100),
+            read_timeout: Some(Duration::from_millis(500)),
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pool is empty or the dynamic pools outnumber the
+    /// database connections (each dynamic worker owns a connection).
+    pub fn validate(&self) {
+        assert!(self.header_workers > 0, "header pool must not be empty");
+        assert!(self.static_workers > 0, "static pool must not be empty");
+        assert!(self.general_workers > 0, "general pool must not be empty");
+        assert!(self.lengthy_workers > 0, "lengthy pool must not be empty");
+        assert!(self.render_workers > 0, "render pool must not be empty");
+        assert!(self.baseline_workers > 0, "baseline pool must not be empty");
+        assert!(
+            self.max_reserve >= self.min_reserve,
+            "max_reserve must be at least min_reserve"
+        );
+        assert!(
+            self.max_reserve < self.general_workers,
+            "max_reserve must leave the general pool reachable by lengthy requests"
+        );
+        assert!(
+            self.db_connections >= self.general_workers + self.lengthy_workers,
+            "each dynamic worker owns a DB connection: need at least {} connections",
+            self.general_workers + self.lengthy_workers
+        );
+        assert!(
+            self.db_connections >= self.baseline_workers,
+            "each baseline worker owns a DB connection: need at least {} connections",
+            self.baseline_workers
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_proportions() {
+        let c = ServerConfig::default();
+        assert_eq!(c.general_workers, 4 * c.lengthy_workers);
+        assert_eq!(c.db_connections, c.general_workers + c.lengthy_workers);
+        assert_eq!(c.baseline_workers, c.db_connections);
+        c.validate();
+    }
+
+    #[test]
+    fn small_config_validates() {
+        ServerConfig::small().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "each dynamic worker owns a DB connection")]
+    fn undersized_connection_pool_rejected() {
+        let mut c = ServerConfig::default();
+        c.db_connections = 1;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "general pool must not be empty")]
+    fn empty_pool_rejected() {
+        let mut c = ServerConfig::default();
+        c.general_workers = 0;
+        c.validate();
+    }
+}

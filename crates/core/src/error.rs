@@ -1,0 +1,67 @@
+//! Application-level errors surfaced as HTTP 500s.
+
+use staged_db::DbError;
+use staged_templates::TemplateError;
+use std::error::Error;
+use std::fmt;
+
+/// An error raised by a page handler (or the machinery around it).
+/// Servers convert these into `500 Internal Server Error` responses;
+/// the worker thread itself always survives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppError {
+    /// A database operation failed.
+    Db(String),
+    /// Template lookup or rendering failed.
+    Template(String),
+    /// Anything else a handler wants to report.
+    Handler(String),
+}
+
+impl AppError {
+    /// Creates a handler error from any message.
+    pub fn handler(msg: impl Into<String>) -> Self {
+        AppError::Handler(msg.into())
+    }
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppError::Db(m) => write!(f, "database error: {m}"),
+            AppError::Template(m) => write!(f, "template error: {m}"),
+            AppError::Handler(m) => write!(f, "handler error: {m}"),
+        }
+    }
+}
+
+impl Error for AppError {}
+
+impl From<DbError> for AppError {
+    fn from(e: DbError) -> Self {
+        AppError::Db(e.to_string())
+    }
+}
+
+impl From<TemplateError> for AppError {
+    fn from(e: TemplateError) -> Self {
+        AppError::Template(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let e: AppError = DbError::NoSuchTable("t".into()).into();
+        assert!(e.to_string().contains("no such table: t"));
+        let e: AppError = TemplateError::NotFound("x".into()).into();
+        assert!(e.to_string().contains("template not found"));
+        assert_eq!(
+            AppError::handler("boom").to_string(),
+            "handler error: boom"
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! The handle returned by both servers.
+
+use crate::scheduler::ServiceTimeTracker;
+use crate::stats::ServerStats;
+use std::fmt;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// A gauge closure reporting a live queue length.
+pub(crate) type GaugeFn = Arc<dyn Fn() -> usize + Send + Sync>;
+
+/// A running server: its address, statistics, live queue gauges, and
+/// shutdown control.
+///
+/// Dropping the handle also shuts the server down (without blocking on
+/// worker joins; call [`ServerHandle::shutdown`] for a fully joined
+/// stop).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stats: Arc<ServerStats>,
+    tracker: Arc<ServiceTimeTracker>,
+    gauges: Vec<(String, GaugeFn)>,
+    shutdown: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("gauges", &self.gauge_names())
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    pub(crate) fn new(
+        addr: SocketAddr,
+        stats: Arc<ServerStats>,
+        tracker: Arc<ServiceTimeTracker>,
+        gauges: Vec<(String, GaugeFn)>,
+        shutdown: Box<dyn FnOnce() + Send>,
+    ) -> Self {
+        ServerHandle {
+            addr,
+            stats,
+            tracker,
+            gauges,
+            shutdown: Some(shutdown),
+        }
+    }
+
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared server statistics.
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.stats
+    }
+
+    /// The live per-page data-generation tracker (the scheduler's
+    /// classification input; on the baseline server it is
+    /// measurement-only).
+    pub fn service_times(&self) -> &Arc<ServiceTimeTracker> {
+        &self.tracker
+    }
+
+    /// Names of the exposed gauges. The baseline server exposes
+    /// `"worker"`; the staged server exposes the queue gauges
+    /// `"header"`, `"static"`, `"general"`, `"lengthy"`, `"render"`
+    /// (plus `"render-lengthy"` when the render split is on) and the
+    /// scheduler gauges `"treserve"` and `"tspare"`.
+    pub fn gauge_names(&self) -> Vec<&str> {
+        self.gauges.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Current value of a named queue gauge.
+    pub fn gauge(&self, name: &str) -> Option<usize> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, f)| f())
+    }
+
+    /// A shareable closure for a named gauge, suitable for
+    /// `staged_pool::QueueSampler::track`.
+    pub fn gauge_fn(&self, name: &str) -> Option<impl Fn() -> usize + Send + Sync + 'static> {
+        let f = self
+            .gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, f)| Arc::clone(f))?;
+        Some(move || f())
+    }
+
+    /// Stops accepting connections, drains all pools, and joins every
+    /// worker thread.
+    pub fn shutdown(mut self) {
+        if let Some(f) = self.shutdown.take() {
+            f();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(f) = self.shutdown.take() {
+            f();
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Multi-thread-pool request scheduling for template-based web servers.
+//!
+//! This crate is the reproduction of the DSN 2009 paper *Efficient
+//! Resource Management on Template-based Web Servers* (Courtwright, Yue,
+//! Wang). It provides **two complete web servers** over the same
+//! application contract, so experiments change only the request
+//! processing model:
+//!
+//! * [`BaselineServer`] — the conventional **thread-per-request** model
+//!   (paper Figure 4): one listener, one worker pool, every worker owns
+//!   a database connection for its lifetime and carries each request
+//!   through parsing, data generation, *and* template rendering.
+//! * [`StagedServer`] — the paper's modified server (Figure 5): one
+//!   listener and **five pools** (header parsing, static requests,
+//!   general dynamic, lengthy dynamic, template rendering). Database
+//!   connections belong only to the two dynamic pools, so they never sit
+//!   idle during template rendering or static service. Dynamic requests
+//!   are classified *quick*/*lengthy* from a per-page running average of
+//!   data-generation time and dispatched per the paper's Table 1 rules,
+//!   governed by the `t_spare`/`t_reserve` feedback controller
+//!   ([`ReserveController`], which reproduces the paper's Table 2
+//!   exactly — see its tests).
+//!
+//! Applications are built with [`App`]: handlers return
+//! [`PageOutcome::Template`] — the paper's one-line
+//! `return ("tmpl.html", data)` modification — or a pre-rendered
+//! [`PageOutcome::Body`] for backward compatibility, which the staged
+//! server detects and serves directly (paper §3.2).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use staged_core::{App, PageOutcome, ServerConfig, StagedServer};
+//! use staged_db::Database;
+//! use staged_templates::{Context, TemplateStore};
+//! use std::sync::Arc;
+//!
+//! let templates = Arc::new(TemplateStore::new());
+//! templates.insert("hello.html", "<h1>Hello {{ name }}</h1>").unwrap();
+//! let app = App::builder()
+//!     .templates(templates)
+//!     .route("/hello", "hello", |req, _db| {
+//!         let mut ctx = Context::new();
+//!         ctx.insert("name", req.param("name").unwrap_or("world"));
+//!         Ok(PageOutcome::template("hello.html", ctx))
+//!     })
+//!     .build();
+//! let db = Arc::new(Database::new());
+//! let server = StagedServer::start(ServerConfig::default(), app, db).unwrap();
+//! println!("listening on {}", server.addr());
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod app;
+mod baseline;
+mod config;
+mod error;
+mod handle;
+mod scheduler;
+mod staged;
+mod stats;
+
+pub use app::{App, AppBuilder, PageOutcome};
+pub use baseline::BaselineServer;
+pub use config::ServerConfig;
+pub use error::AppError;
+pub use handle::ServerHandle;
+pub use scheduler::{DynamicPoolChoice, RequestClass, ReserveController, ServiceTimeTracker};
+pub use staged::StagedServer;
+pub use stats::{RequestKind, ServerStats};

@@ -1,0 +1,401 @@
+//! The paper's scheduling policy: per-page service-time tracking, the
+//! quick/lengthy classifier, the `t_reserve` feedback controller, and
+//! the Table 1 dispatch rules.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// The scheduler's classification of a dynamic page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestClass {
+    /// Average data-generation time at or below the cutoff.
+    Quick,
+    /// Average data-generation time above the cutoff (paper: 2 s).
+    Lengthy,
+}
+
+/// Which dynamic pool a request is dispatched to (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicPoolChoice {
+    /// The general dynamic pool (quick requests, and lengthy ones while
+    /// spare threads are abundant).
+    General,
+    /// The lengthy dynamic pool.
+    Lengthy,
+}
+
+/// Tracks the running average of **data-generation** time per page.
+///
+/// The measurement window is the paper's: "from when the request is
+/// acquired through when its unrendered template is placed in the
+/// template rendering queue" (§3.3) — rendering time is excluded, which
+/// the paper credits for the increased accuracy of its measurements.
+/// Pages with no history default to *quick*.
+///
+/// # Examples
+///
+/// ```
+/// use staged_core::{RequestClass, ServiceTimeTracker};
+/// use std::time::Duration;
+///
+/// let tracker = ServiceTimeTracker::new(Duration::from_millis(2));
+/// assert_eq!(tracker.classify("home"), RequestClass::Quick);
+/// tracker.record("search", Duration::from_millis(20));
+/// assert_eq!(tracker.classify("search"), RequestClass::Lengthy);
+/// ```
+#[derive(Debug)]
+pub struct ServiceTimeTracker {
+    cutoff: Duration,
+    pages: Mutex<HashMap<String, (Duration, u64)>>,
+}
+
+impl ServiceTimeTracker {
+    /// Creates a tracker with the given quick/lengthy cutoff.
+    pub fn new(cutoff: Duration) -> Self {
+        ServiceTimeTracker {
+            cutoff,
+            pages: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Records one data-generation measurement for `page`.
+    pub fn record(&self, page: &str, elapsed: Duration) {
+        let mut pages = self.pages.lock();
+        match pages.get_mut(page) {
+            Some((sum, count)) => {
+                *sum += elapsed;
+                *count += 1;
+            }
+            None => {
+                pages.insert(page.to_string(), (elapsed, 1));
+            }
+        }
+    }
+
+    /// The running average for `page`, if any measurement exists.
+    pub fn average(&self, page: &str) -> Option<Duration> {
+        let pages = self.pages.lock();
+        let (sum, count) = pages.get(page)?;
+        Some(*sum / u32::try_from(*count).unwrap_or(u32::MAX).max(1))
+    }
+
+    /// Classifies a page; unknown pages are optimistically quick (their
+    /// first observation reclassifies them).
+    pub fn classify(&self, page: &str) -> RequestClass {
+        match self.average(page) {
+            Some(avg) if avg > self.cutoff => RequestClass::Lengthy,
+            _ => RequestClass::Quick,
+        }
+    }
+
+    /// The configured cutoff.
+    pub fn cutoff(&self) -> Duration {
+        self.cutoff
+    }
+
+    /// Number of pages with at least one measurement.
+    pub fn tracked_pages(&self) -> usize {
+        self.pages.lock().len()
+    }
+
+    /// A snapshot of every tracked page: `(page, average, samples)`,
+    /// sorted by descending average — the scheduler's live view of the
+    /// workload (the paper's per-page service-time table).
+    pub fn snapshot(&self) -> Vec<(String, Duration, u64)> {
+        let pages = self.pages.lock();
+        let mut out: Vec<(String, Duration, u64)> = pages
+            .iter()
+            .map(|(name, (sum, count))| {
+                let avg = *sum / u32::try_from(*count).unwrap_or(u32::MAX).max(1);
+                (name.clone(), avg, *count)
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// The `t_reserve` feedback controller (paper §3.3).
+///
+/// `t_reserve` is "a dynamically adjusted value that reflects the
+/// targeted number of threads that should be reserved for quick
+/// requests" in the general pool; `t_spare` is the measured number of
+/// idle general-pool threads. Once per tick:
+///
+/// * if `t_spare < t_reserve` (a possible traffic spike):
+///   `t_reserve += (t_reserve − t_spare) + max(0, min − t_spare)`;
+/// * if `t_spare > t_reserve`: `t_reserve −= (t_spare − t_reserve) / 2`,
+///   never dropping below the configured minimum (spikes are assumed
+///   over only slowly).
+///
+/// The unit test `controller_reproduces_paper_table_2` replays the
+/// paper's Table 2 trace and checks every ∆ exactly.
+#[derive(Debug)]
+pub struct ReserveController {
+    reserve: AtomicUsize,
+    min: usize,
+    max: usize,
+}
+
+impl ReserveController {
+    /// Creates a controller with `t_reserve` starting at its minimum
+    /// and no upper bound (the paper's Table 2 setting).
+    pub fn new(min: usize) -> Self {
+        Self::with_max(min, usize::MAX)
+    }
+
+    /// Creates a controller whose `t_reserve` is clamped to
+    /// `[min, max]`.
+    ///
+    /// The cap is essential in a real deployment: `t_reserve` can only
+    /// shrink while `t_spare > t_reserve`, and `t_spare` is bounded by
+    /// the general pool size — so an uncapped `t_reserve` that grows
+    /// past the pool size under a sustained spike can never recover,
+    /// and lengthy requests would be locked out of the general pool
+    /// permanently (the Table 1 overflow rule would never fire again).
+    /// The staged server caps it at half the general pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max < min`.
+    pub fn with_max(min: usize, max: usize) -> Self {
+        assert!(max >= min, "t_reserve cap must be at least the minimum");
+        ReserveController {
+            reserve: AtomicUsize::new(min),
+            min,
+            max,
+        }
+    }
+
+    /// The current `t_reserve`.
+    pub fn reserve(&self) -> usize {
+        self.reserve.load(Ordering::Relaxed)
+    }
+
+    /// The configured minimum.
+    pub fn min(&self) -> usize {
+        self.min
+    }
+
+    /// The configured maximum.
+    pub fn max(&self) -> usize {
+        self.max
+    }
+
+    /// Applies one controller tick given the measured `t_spare`;
+    /// returns the signed change to `t_reserve`.
+    pub fn update(&self, tspare: usize) -> i64 {
+        let old = self.reserve.load(Ordering::Relaxed);
+        let new = if tspare < old {
+            // Suspected traffic spike: grow by the shortfall, plus how
+            // far tspare has dropped beneath the configured minimum —
+            // clamped so the reserve stays recoverable (see
+            // [`ReserveController::with_max`]).
+            (old + (old - tspare) + self.min.saturating_sub(tspare)).min(self.max)
+        } else if tspare > old {
+            // Spike receding: shrink by half the surplus, floored at min.
+            old.saturating_sub((tspare - old) / 2).max(self.min)
+        } else {
+            old
+        };
+        self.reserve.store(new, Ordering::Relaxed);
+        new as i64 - old as i64
+    }
+
+    /// The paper's Table 1 dispatch rules: quick requests always go to
+    /// the general pool; lengthy requests go to the general pool only
+    /// while spare threads exceed the reserve.
+    pub fn dispatch(&self, class: RequestClass, tspare: usize) -> DynamicPoolChoice {
+        match class {
+            RequestClass::Quick => DynamicPoolChoice::General,
+            RequestClass::Lengthy => {
+                if tspare > self.reserve() {
+                    DynamicPoolChoice::General
+                } else {
+                    DynamicPoolChoice::Lengthy
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_running_average() {
+        let t = ServiceTimeTracker::new(Duration::from_millis(2));
+        t.record("p", Duration::from_millis(1));
+        t.record("p", Duration::from_millis(3));
+        assert_eq!(t.average("p"), Some(Duration::from_millis(2)));
+        assert_eq!(t.average("q"), None);
+        assert_eq!(t.tracked_pages(), 1);
+    }
+
+    #[test]
+    fn classification_boundaries() {
+        let t = ServiceTimeTracker::new(Duration::from_millis(2));
+        // Exactly at the cutoff is quick ("take a long time" = above).
+        t.record("at", Duration::from_millis(2));
+        assert_eq!(t.classify("at"), RequestClass::Quick);
+        t.record("above", Duration::from_millis(2) + Duration::from_nanos(1));
+        assert_eq!(t.classify("above"), RequestClass::Lengthy);
+        assert_eq!(t.classify("unknown"), RequestClass::Quick);
+    }
+
+    #[test]
+    fn classification_moves_with_average() {
+        let t = ServiceTimeTracker::new(Duration::from_millis(10));
+        t.record("p", Duration::from_millis(100));
+        assert_eq!(t.classify("p"), RequestClass::Lengthy);
+        // Many fast observations drag the average back under the cutoff.
+        for _ in 0..99 {
+            t.record("p", Duration::from_millis(1));
+        }
+        assert_eq!(t.classify("p"), RequestClass::Quick);
+    }
+
+    /// Replays the paper's Table 2 exactly: minimum 20, tspare trace
+    /// over ten seconds, expected ∆treserve each tick.
+    #[test]
+    fn controller_reproduces_paper_table_2() {
+        let c = ReserveController::new(20);
+        let trace: [(usize, i64, usize); 10] = [
+            // (tspare, expected ∆, expected treserve after)
+            (35, 0, 20),
+            (24, 0, 20),
+            (17, 6, 26),
+            (21, 5, 31),
+            (30, 1, 32),
+            (36, -2, 30),
+            (38, -4, 26),
+            (37, -5, 21),
+            (35, -1, 20),
+            (39, 0, 20),
+        ];
+        for (i, (tspare, delta, after)) in trace.into_iter().enumerate() {
+            let got = c.update(tspare);
+            assert_eq!(got, delta, "tick {}: wrong ∆treserve", i + 1);
+            assert_eq!(c.reserve(), after, "tick {}: wrong treserve", i + 1);
+        }
+    }
+
+    #[test]
+    fn controller_never_drops_below_min() {
+        let c = ReserveController::new(5);
+        for tspare in [100, 1000, 50, 7, 6] {
+            c.update(tspare);
+            assert!(c.reserve() >= 5);
+        }
+        assert_eq!(c.reserve(), 5);
+    }
+
+    #[test]
+    fn controller_equal_spare_is_stable() {
+        let c = ReserveController::new(10);
+        assert_eq!(c.update(10), 0);
+        assert_eq!(c.reserve(), 10);
+    }
+
+    #[test]
+    fn capped_controller_recovers_after_sustained_spike() {
+        // Uncapped, a sustained spike ratchets t_reserve past the pool
+        // size and the overflow valve never reopens; the cap keeps it
+        // recoverable.
+        let c = ReserveController::with_max(8, 16);
+        for _ in 0..50 {
+            c.update(0); // pool fully busy for 50 ticks
+        }
+        assert_eq!(c.reserve(), 16);
+        // Load recedes: a 32-thread pool reports tspare = 32.
+        c.update(32);
+        assert!(c.reserve() < 16, "reserve must shrink once spare recovers");
+        for _ in 0..20 {
+            c.update(32);
+        }
+        assert_eq!(c.reserve(), 8, "reserve returns to its minimum");
+    }
+
+    #[test]
+    #[should_panic(expected = "t_reserve cap must be at least the minimum")]
+    fn inverted_bounds_rejected() {
+        let _ = ReserveController::with_max(10, 5);
+    }
+
+    #[test]
+    fn controller_grows_fast_under_starvation() {
+        let c = ReserveController::new(20);
+        // tspare = 0: treserve += treserve + min
+        let delta = c.update(0);
+        assert_eq!(delta, 40);
+        assert_eq!(c.reserve(), 60);
+    }
+
+    /// The three rows of the paper's Table 1.
+    #[test]
+    fn dispatch_rules_match_table_1() {
+        let c = ReserveController::new(20); // treserve = 20
+        assert_eq!(
+            c.dispatch(RequestClass::Quick, 0),
+            DynamicPoolChoice::General
+        );
+        assert_eq!(
+            c.dispatch(RequestClass::Quick, 100),
+            DynamicPoolChoice::General
+        );
+        // Lengthy with tspare > treserve → general.
+        assert_eq!(
+            c.dispatch(RequestClass::Lengthy, 21),
+            DynamicPoolChoice::General
+        );
+        // Lengthy with tspare <= treserve → lengthy.
+        assert_eq!(
+            c.dispatch(RequestClass::Lengthy, 20),
+            DynamicPoolChoice::Lengthy
+        );
+        assert_eq!(
+            c.dispatch(RequestClass::Lengthy, 3),
+            DynamicPoolChoice::Lengthy
+        );
+    }
+
+    #[test]
+    fn snapshot_sorts_by_average_descending() {
+        let t = ServiceTimeTracker::new(Duration::from_millis(1));
+        t.record("fast", Duration::from_micros(100));
+        t.record("slow", Duration::from_millis(50));
+        t.record("slow", Duration::from_millis(70));
+        t.record("mid", Duration::from_millis(5));
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].0, "slow");
+        assert_eq!(snap[0].1, Duration::from_millis(60));
+        assert_eq!(snap[0].2, 2);
+        assert_eq!(snap[1].0, "mid");
+        assert_eq!(snap[2].0, "fast");
+    }
+
+    #[test]
+    fn tracker_is_thread_safe() {
+        use std::sync::Arc;
+        use std::thread;
+        let t = Arc::new(ServiceTimeTracker::new(Duration::from_millis(1)));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                thread::spawn(move || {
+                    for _ in 0..250 {
+                        t.record("p", Duration::from_micros(500));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.average("p"), Some(Duration::from_micros(500)));
+    }
+}

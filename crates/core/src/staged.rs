@@ -1,0 +1,561 @@
+//! The paper's modified server: one listener, five thread pools
+//! (Figure 5), database connections pinned to dynamic workers only.
+
+use crate::app::{App, PageOutcome};
+use crate::baseline::run_handler;
+use crate::config::ServerConfig;
+use crate::handle::{GaugeFn, ServerHandle};
+use crate::scheduler::{RequestClass, ReserveController, ServiceTimeTracker};
+use crate::stats::{RequestKind, ServerStats};
+use staged_db::{ConnectionPool, Database, PooledConnection};
+use staged_http::{
+    Connection, HeaderMap, HttpError, Method, Request, RequestLine, Response, StatusCode,
+};
+use staged_pool::{PoolConfig, SyncQueue, WorkerPool};
+use staged_templates::Context;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+type Conn = Connection<TcpStream>;
+
+/// A request handed from the header pool to the static pool: the header
+/// workers only parse the first line for static resources ("we let the
+/// threads which actually serve those static requests parse their
+/// headers", §3.2).
+struct StaticJob {
+    conn: Conn,
+    line: RequestLine,
+}
+
+/// A fully parsed dynamic request, dispatched to the general or lengthy
+/// pool.
+struct DynJob {
+    conn: Conn,
+    request: Request,
+    /// The page key (route name) for service-time tracking; `None` for
+    /// unrouted paths (404).
+    page: Option<String>,
+    kind: RequestKind,
+}
+
+/// An unrendered template on its way to the render pool — the payload
+/// of the paper's modified `return ("tmpl.html", data)`.
+struct RenderJob {
+    conn: Conn,
+    keep_alive: bool,
+    method: Method,
+    name: String,
+    context: Context,
+    kind: RequestKind,
+}
+
+struct Shared {
+    app: App,
+    stats: Arc<ServerStats>,
+    tracker: Arc<ServiceTimeTracker>,
+    controller: Arc<ReserveController>,
+    header_q: Arc<SyncQueue<Conn>>,
+    static_q: Arc<SyncQueue<StaticJob>>,
+    general_q: Arc<SyncQueue<DynJob>>,
+    lengthy_q: Arc<SyncQueue<DynJob>>,
+    render_q: Arc<SyncQueue<RenderJob>>,
+    /// Lengthy-render queue; `None` unless `split_render` is on (the
+    /// paper's §3.3 suggested extension).
+    render_lengthy_q: Option<Arc<SyncQueue<RenderJob>>>,
+    /// Per-template render-time tracker for the render split.
+    render_tracker: Arc<ServiceTimeTracker>,
+    general_size: usize,
+    general_stats: Arc<staged_pool::PoolStats>,
+}
+
+impl Shared {
+    /// The live `t_spare`: idle threads in the general dynamic pool.
+    fn tspare(&self) -> usize {
+        let busy = usize::try_from(self.general_stats.busy.value().max(0)).unwrap_or(0);
+        self.general_size.saturating_sub(busy)
+    }
+
+    /// Sends a response (honouring `HEAD`) and either requeues the
+    /// connection for its next request or drops it.
+    fn finish(
+        &self,
+        mut conn: Conn,
+        method: Method,
+        response: &Response,
+        keep_alive: bool,
+        kind: RequestKind,
+    ) {
+        if conn.send_for_method(method, response).is_err() {
+            self.stats.dropped_connections.increment();
+            return;
+        }
+        self.stats.record_completion(kind);
+        if keep_alive {
+            let _ = self.header_q.push(conn);
+        }
+    }
+}
+
+/// The modified multi-thread-pool web server (the paper's contribution).
+///
+/// Request lifecycle:
+///
+/// 1. the **listener** accepts a connection and queues it for header
+///    parsing;
+/// 2. a **header-parsing** worker reads the request line; static
+///    requests go to the static pool immediately, dynamic requests get
+///    their remaining headers, query string, and body parsed *here* —
+///    "we do not want a thread with an open database connection to
+///    waste time doing anything other than generating data" (§3.2) —
+///    then are classified quick/lengthy and dispatched per Table 1;
+/// 3. a **dynamic** worker (each owning a database connection) runs the
+///    page handler and measures data-generation time; an unrendered
+///    template outcome is queued for rendering, a pre-rendered body is
+///    sent directly (backward compatibility);
+/// 4. a **render** worker renders the template, sets `Content-Length`
+///    exactly, and transmits the response.
+///
+/// A 1 Hz-equivalent controller thread updates `t_reserve` from the
+/// general pool's measured `t_spare` ([`ReserveController`]).
+#[derive(Debug)]
+pub struct StagedServer;
+
+impl StagedServer {
+    /// Binds, spawns the five pools and the controller, and starts the
+    /// listener.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error binding the listen address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is inconsistent (see
+    /// [`ServerConfig::validate`]).
+    pub fn start(
+        config: ServerConfig,
+        app: App,
+        db: Arc<Database>,
+    ) -> io::Result<ServerHandle> {
+        config.validate();
+        let listener = TcpListener::bind(config.addr)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::new(config.stats_bucket));
+        let tracker = Arc::new(ServiceTimeTracker::new(config.lengthy_cutoff));
+        let controller = Arc::new(ReserveController::with_max(
+            config.min_reserve,
+            config.max_reserve,
+        ));
+        let connections = ConnectionPool::new(db, config.db_connections);
+
+        let header_q = Arc::new(SyncQueue::<Conn>::unbounded());
+        let static_q = Arc::new(SyncQueue::<StaticJob>::unbounded());
+        let general_q = Arc::new(SyncQueue::<DynJob>::unbounded());
+        let lengthy_q = Arc::new(SyncQueue::<DynJob>::unbounded());
+        let render_q = Arc::new(SyncQueue::<RenderJob>::unbounded());
+        let render_lengthy_q = config
+            .split_render
+            .then(|| Arc::new(SyncQueue::<RenderJob>::unbounded()));
+        let render_tracker = Arc::new(ServiceTimeTracker::new(config.render_cutoff));
+
+        // The general pool is created first so the shared context can
+        // carry its busy-stats handle (the t_spare signal).
+        let general_pool_stats = Arc::new(staged_pool::PoolStats::default());
+        let shared = Arc::new(Shared {
+            app,
+            stats: Arc::clone(&stats),
+            tracker: Arc::clone(&tracker),
+            controller: Arc::clone(&controller),
+            header_q: Arc::clone(&header_q),
+            static_q: Arc::clone(&static_q),
+            general_q: Arc::clone(&general_q),
+            lengthy_q: Arc::clone(&lengthy_q),
+            render_q: Arc::clone(&render_q),
+            render_lengthy_q: render_lengthy_q.clone(),
+            render_tracker: Arc::clone(&render_tracker),
+            general_size: config.general_workers,
+            general_stats: Arc::clone(&general_pool_stats),
+        });
+
+        let s = Arc::clone(&shared);
+        let general_pool = WorkerPool::with_parts(
+            Arc::clone(&general_q),
+            Arc::clone(&general_pool_stats),
+            PoolConfig::new("general-dynamic", config.general_workers),
+            |_| connections.get(),
+            move |db_conn: &mut PooledConnection, job: DynJob| {
+                dynamic_worker(&s, db_conn, job);
+            },
+        );
+
+        let s = Arc::clone(&shared);
+        let lengthy_pool = WorkerPool::with_queue(
+            Arc::clone(&lengthy_q),
+            PoolConfig::new("lengthy-dynamic", config.lengthy_workers),
+            |_| connections.get(),
+            move |db_conn: &mut PooledConnection, job: DynJob| {
+                dynamic_worker(&s, db_conn, job);
+            },
+        );
+
+        let s = Arc::clone(&shared);
+        let static_pool = WorkerPool::with_queue(
+            Arc::clone(&static_q),
+            PoolConfig::new("static", config.static_workers),
+            |_| (),
+            move |_, job: StaticJob| static_worker(&s, job),
+        );
+
+        // With the render split on, a quarter of the render workers (at
+        // least one) form the lengthy-render pool.
+        let lengthy_render_workers = if config.split_render {
+            (config.render_workers / 4).max(1)
+        } else {
+            0
+        };
+        let general_render_workers =
+            (config.render_workers - lengthy_render_workers).max(1);
+        let s = Arc::clone(&shared);
+        let render_pool = WorkerPool::with_queue(
+            Arc::clone(&render_q),
+            PoolConfig::new("render", general_render_workers),
+            |_| (),
+            move |_, job: RenderJob| render_worker(&s, job),
+        );
+        let render_lengthy_pool = render_lengthy_q.as_ref().map(|q| {
+            let s = Arc::clone(&shared);
+            WorkerPool::with_queue(
+                Arc::clone(q),
+                PoolConfig::new("render-lengthy", lengthy_render_workers),
+                |_| (),
+                move |_, job: RenderJob| render_worker(&s, job),
+            )
+        });
+
+        let s = Arc::clone(&shared);
+        let header_pool = WorkerPool::with_queue(
+            Arc::clone(&header_q),
+            PoolConfig::new("header-parsing", config.header_workers),
+            |_| (),
+            move |_, conn: Conn| header_worker(&s, conn),
+        );
+
+        // Controller thread: the paper checks and modifies t_reserve
+        // once per second; `controller_tick` is that period (scaled).
+        let stop = Arc::new(AtomicBool::new(false));
+        let ctl_stop = Arc::clone(&stop);
+        let ctl = Arc::clone(&controller);
+        let ctl_shared = Arc::clone(&shared);
+        let tick = config.controller_tick;
+        let controller_thread = std::thread::Builder::new()
+            .name("reserve-controller".to_string())
+            .spawn(move || {
+                while !ctl_stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    ctl.update(ctl_shared.tspare());
+                }
+            })
+            .expect("failed to spawn controller thread");
+
+        // Listener thread.
+        let listener_stop = Arc::clone(&stop);
+        let listen_q = Arc::clone(&header_q);
+        let listen_stats = Arc::clone(&stats);
+        let limits = config.limits;
+        let read_timeout = config.read_timeout;
+        let listener_thread = std::thread::Builder::new()
+            .name("staged-listener".to_string())
+            .spawn(move || {
+                for incoming in listener.incoming() {
+                    if listener_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match incoming {
+                        Ok(stream) => {
+                            let _ = stream.set_read_timeout(read_timeout);
+                            let conn = Connection::with_limits(stream, limits);
+                            if listen_q.push(conn).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => listen_stats.dropped_connections.increment(),
+                    }
+                }
+            })
+            .expect("failed to spawn listener thread");
+
+        // Queue gauges for the Figure 7/8 traces, plus scheduler
+        // visibility for the examples.
+        let mut gauges: Vec<(String, GaugeFn)> = vec![
+            gauge("header", Arc::clone(&header_q)),
+            gauge("static", Arc::clone(&static_q)),
+            gauge("general", Arc::clone(&general_q)),
+            gauge("lengthy", Arc::clone(&lengthy_q)),
+            gauge("render", Arc::clone(&render_q)),
+            ("treserve".to_string(), {
+                let c = Arc::clone(&controller);
+                Arc::new(move || c.reserve())
+            }),
+            ("tspare".to_string(), {
+                let s = Arc::clone(&shared);
+                Arc::new(move || s.tspare())
+            }),
+        ];
+        if let Some(q) = &render_lengthy_q {
+            gauges.push(gauge("render-lengthy", Arc::clone(q)));
+        }
+
+        let shutdown = Box::new(move || {
+            stop.store(true, Ordering::Relaxed);
+            let _ = TcpStream::connect(addr);
+            let _ = listener_thread.join();
+            let _ = controller_thread.join();
+            // Drain stage by stage, upstream first.
+            header_pool.shutdown();
+            static_pool.shutdown();
+            general_pool.shutdown();
+            lengthy_pool.shutdown();
+            render_pool.shutdown();
+            if let Some(pool) = render_lengthy_pool {
+                pool.shutdown();
+            }
+        });
+
+        Ok(ServerHandle::new(addr, stats, tracker, gauges, shutdown))
+    }
+}
+
+fn gauge<T: Send + 'static>(name: &str, q: Arc<SyncQueue<T>>) -> (String, GaugeFn) {
+    (name.to_string(), Arc::new(move || q.len()))
+}
+
+/// Keep-alive decision from the request line and headers (HTTP/1.0
+/// defaults off, HTTP/1.1 defaults on).
+fn keep_alive_for(line: &RequestLine, headers: &HeaderMap) -> bool {
+    if line.version == "HTTP/1.0" {
+        headers
+            .get("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+    } else {
+        headers.keep_alive()
+    }
+}
+
+/// Stage 2a: the header-parsing worker.
+fn header_worker(shared: &Shared, mut conn: Conn) {
+    let line = match conn.read_request_line() {
+        Ok(l) => l,
+        Err(HttpError::ConnectionClosed { clean: true }) => return,
+        Err(e) => {
+            if e.wants_bad_request() {
+                let mut resp = Response::error(StatusCode::BAD_REQUEST);
+                resp.set_close();
+                let _ = conn.send(&resp);
+                shared.stats.errors.increment();
+            } else {
+                shared.stats.dropped_connections.increment();
+            }
+            return;
+        }
+    };
+
+    if line.is_static() {
+        // Static requests carry their unparsed headers to the static
+        // pool (paper §3.2).
+        let _ = shared.static_q.push(StaticJob { conn, line });
+        return;
+    }
+
+    // Dynamic: finish parsing here so connection-holding threads only
+    // generate data.
+    let headers = match conn.read_remaining_headers() {
+        Ok(h) => h,
+        Err(e) => {
+            fail_parse(shared, conn, e);
+            return;
+        }
+    };
+    let body = match headers.content_length() {
+        Some(len) if len > 0 => match conn.read_body(len) {
+            Ok(b) => b,
+            Err(e) => {
+                fail_parse(shared, conn, e);
+                return;
+            }
+        },
+        _ => Vec::new(),
+    };
+    let request = Request::new(line, headers, body);
+    let page = shared
+        .app
+        .route(request.path())
+        .map(|(r, _)| r.name.clone());
+
+    // Classification and Table 1 dispatch.
+    let class = match &page {
+        Some(name) => shared.tracker.classify(name),
+        None => RequestClass::Quick,
+    };
+    let kind = match class {
+        RequestClass::Quick => RequestKind::QuickDynamic,
+        RequestClass::Lengthy => RequestKind::LengthyDynamic,
+    };
+    let job = DynJob {
+        conn,
+        request,
+        page,
+        kind,
+    };
+    match shared.controller.dispatch(class, shared.tspare()) {
+        crate::scheduler::DynamicPoolChoice::General => {
+            let _ = shared.general_q.push(job);
+        }
+        crate::scheduler::DynamicPoolChoice::Lengthy => {
+            let _ = shared.lengthy_q.push(job);
+        }
+    }
+}
+
+fn fail_parse(shared: &Shared, mut conn: Conn, e: HttpError) {
+    if e.wants_bad_request() {
+        let mut resp = Response::error(StatusCode::BAD_REQUEST);
+        resp.set_close();
+        let _ = conn.send(&resp);
+        shared.stats.errors.increment();
+    } else {
+        shared.stats.dropped_connections.increment();
+    }
+}
+
+/// Stage 2b: the static-request worker (parses its own headers).
+fn static_worker(shared: &Shared, job: StaticJob) {
+    let StaticJob { mut conn, line } = job;
+    let headers = match conn.read_remaining_headers() {
+        Ok(h) => h,
+        Err(e) => {
+            fail_parse(shared, conn, e);
+            return;
+        }
+    };
+    let keep_alive = keep_alive_for(&line, &headers);
+    let response = shared.app.statics().response_for(line.target.path());
+    shared.app.charge_static();
+    if response.status() == StatusCode::NOT_FOUND {
+        shared.stats.errors.increment();
+    }
+    shared.finish(conn, line.method, &response, keep_alive, RequestKind::Static);
+}
+
+/// Stage 3: the dynamic-request worker (owns a database connection).
+fn dynamic_worker(shared: &Shared, db_conn: &PooledConnection, job: DynJob) {
+    let DynJob {
+        conn,
+        request,
+        page,
+        kind,
+    } = job;
+    let keep_alive = request.keep_alive();
+    let method = request.method();
+    let Some(page) = page else {
+        shared.stats.errors.increment();
+        shared.finish(
+            conn,
+            method,
+            &Response::error(StatusCode::NOT_FOUND),
+            keep_alive,
+            kind,
+        );
+        return;
+    };
+    // The paper's measurement window: from request acquisition until
+    // the unrendered template is queued for rendering.
+    let started = Instant::now();
+    let Some((route, captures)) = shared.app.route(request.path()) else {
+        shared.stats.errors.increment();
+        shared.finish(
+            conn,
+            method,
+            &Response::error(StatusCode::NOT_FOUND),
+            keep_alive,
+            kind,
+        );
+        return;
+    };
+    let merged;
+    let request = if captures.is_empty() {
+        &request
+    } else {
+        merged = crate::baseline::merge_captures(&request, &captures);
+        &merged
+    };
+    match run_handler(route, request, db_conn, &shared.stats) {
+        Ok(PageOutcome::Template { name, context }) => {
+            shared.tracker.record(&page, started.elapsed());
+            // The §3.3 extension: templates whose average render time
+            // is lengthy go to the dedicated lengthy-render pool.
+            let target = match &shared.render_lengthy_q {
+                Some(q)
+                    if shared.render_tracker.classify(&name)
+                        == crate::scheduler::RequestClass::Lengthy =>
+                {
+                    q
+                }
+                _ => &shared.render_q,
+            };
+            let _ = target.push(RenderJob {
+                conn,
+                keep_alive,
+                method,
+                name,
+                context,
+                kind,
+            });
+        }
+        Ok(PageOutcome::Body(response)) => {
+            // Backward compatibility: a pre-rendered page is sent from
+            // the dynamic thread (§3.1), still excluding rendering we
+            // cannot separate.
+            shared.tracker.record(&page, started.elapsed());
+            shared.finish(conn, method, &response, keep_alive, kind);
+        }
+        Err(_) => {
+            shared.tracker.record(&page, started.elapsed());
+            shared.stats.errors.increment();
+            shared.finish(
+                conn,
+                method,
+                &Response::error(StatusCode::INTERNAL_SERVER_ERROR),
+                keep_alive,
+                kind,
+            );
+        }
+    }
+}
+
+/// Stage 4: the template-rendering worker.
+fn render_worker(shared: &Shared, job: RenderJob) {
+    let RenderJob {
+        conn,
+        keep_alive,
+        method,
+        name,
+        context,
+        kind,
+    } = job;
+    let render_started = Instant::now();
+    let response = match shared.app.templates().render(&name, &context) {
+        Ok(html) => {
+            shared.app.charge_render(html.len());
+            Response::html(html)
+        }
+        Err(_) => {
+            shared.stats.errors.increment();
+            Response::error(StatusCode::INTERNAL_SERVER_ERROR)
+        }
+    };
+    shared.render_tracker.record(&name, render_started.elapsed());
+    shared.finish(conn, method, &response, keep_alive, kind);
+}

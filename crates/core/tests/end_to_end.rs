@@ -1,0 +1,262 @@
+//! End-to-end tests driving both servers over real TCP.
+
+use staged_core::{
+    App, BaselineServer, PageOutcome, ServerConfig, ServerHandle, StagedServer,
+};
+use staged_db::{Database, DbValue};
+use staged_http::{fetch, Method, Response, StaticFiles, StatusCode};
+use staged_templates::{Context, TemplateStore, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn demo_app() -> App {
+    let templates = Arc::new(TemplateStore::new());
+    templates
+        .insert(
+            "page.html",
+            "<html><head><title>{{ title }}</title></head>\
+             <body><ul>{% for b in books %}<li>{{ b }}</li>{% endfor %}</ul></body></html>",
+        )
+        .unwrap();
+    let mut statics = StaticFiles::in_memory();
+    statics.insert("/img/flowers.gif", b"GIF89a-flowers".to_vec());
+    App::builder()
+        .templates(templates)
+        .static_files(statics)
+        .route("/books", "books", |req, db| {
+            let subject = req.param("subject").unwrap_or("SCIFI").to_string();
+            let result = db.execute(
+                "SELECT title FROM book WHERE subject = ? ORDER BY title",
+                &[DbValue::from(subject.as_str())],
+            )?;
+            let mut ctx = Context::new();
+            ctx.insert("title", subject);
+            ctx.insert(
+                "books",
+                Value::from(
+                    result
+                        .rows
+                        .iter()
+                        .map(|r| Value::from(r[0].to_string()))
+                        .collect::<Vec<_>>(),
+                ),
+            );
+            Ok(PageOutcome::template("page.html", ctx))
+        })
+        .route("/prerendered", "prerendered", |_req, _db| {
+            Ok(PageOutcome::Body(Response::html("<p>old-style page</p>")))
+        })
+        .route("/explode", "explode", |_req, _db| {
+            panic!("handler bug");
+        })
+        .route("/slow", "slow", |_req, db| {
+            // A full scan, lengthy by construction.
+            db.execute("SELECT COUNT(*) FROM book WHERE title LIKE '%a%'", &[])?;
+            std::thread::sleep(Duration::from_millis(5));
+            Ok(PageOutcome::Body(Response::text("slow done")))
+        })
+        .build()
+}
+
+fn demo_db() -> Arc<Database> {
+    let db = Arc::new(Database::new());
+    db.execute(
+        "CREATE TABLE book (id INT PRIMARY KEY, title TEXT, subject TEXT)",
+        &[],
+    )
+    .unwrap();
+    db.execute("CREATE INDEX ON book (subject)", &[]).unwrap();
+    for (id, title, subject) in [
+        (1, "Dune", "SCIFI"),
+        (2, "Excession", "SCIFI"),
+        (3, "Salt", "COOKING"),
+    ] {
+        db.execute(
+            "INSERT INTO book (id, title, subject) VALUES (?, ?, ?)",
+            &[DbValue::Int(id), DbValue::from(title), DbValue::from(subject)],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Completion counters are incremented just after the response bytes are
+/// written, so a client can observe its response marginally before the
+/// counter moves; wait for the counters to settle.
+fn settle(server: &ServerHandle, expected_total: u64) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while server.stats().total_completed() < expected_total
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn each_server(test: impl Fn(&ServerHandle, &str)) {
+    let baseline =
+        BaselineServer::start(ServerConfig::small(), demo_app(), demo_db()).unwrap();
+    test(&baseline, "baseline");
+    baseline.shutdown();
+
+    let staged = StagedServer::start(ServerConfig::small(), demo_app(), demo_db()).unwrap();
+    test(&staged, "staged");
+    staged.shutdown();
+}
+
+#[test]
+fn serves_dynamic_template_pages() {
+    each_server(|server, which| {
+        let resp = fetch(server.addr(), Method::Get, "/books?subject=SCIFI", &[]).unwrap();
+        assert_eq!(resp.status, StatusCode::OK, "{which}");
+        let text = resp.text();
+        assert!(text.contains("<title>SCIFI</title>"), "{which}: {text}");
+        assert!(text.contains("<li>Dune</li>"), "{which}");
+        assert!(text.contains("<li>Excession</li>"), "{which}");
+        assert!(!text.contains("Salt"), "{which}");
+        // Content-Length is exact (the paper's §3.2 point).
+        let len: usize = resp.headers.get("content-length").unwrap().parse().unwrap();
+        assert_eq!(len, resp.body.len(), "{which}");
+    });
+}
+
+#[test]
+fn serves_static_files() {
+    each_server(|server, which| {
+        let resp = fetch(server.addr(), Method::Get, "/img/flowers.gif", &[]).unwrap();
+        assert_eq!(resp.status, StatusCode::OK, "{which}");
+        assert_eq!(resp.headers.get("content-type"), Some("image/gif"), "{which}");
+        assert_eq!(resp.body, b"GIF89a-flowers", "{which}");
+    });
+}
+
+#[test]
+fn backward_compatible_prerendered_pages() {
+    each_server(|server, which| {
+        let resp = fetch(server.addr(), Method::Get, "/prerendered", &[]).unwrap();
+        assert_eq!(resp.status, StatusCode::OK, "{which}");
+        assert_eq!(resp.text(), "<p>old-style page</p>", "{which}");
+    });
+}
+
+#[test]
+fn missing_routes_and_files_404() {
+    each_server(|server, which| {
+        let resp = fetch(server.addr(), Method::Get, "/no-such-page", &[]).unwrap();
+        assert_eq!(resp.status, StatusCode::NOT_FOUND, "{which}");
+        let resp = fetch(server.addr(), Method::Get, "/no-such.png", &[]).unwrap();
+        assert_eq!(resp.status, StatusCode::NOT_FOUND, "{which}");
+    });
+}
+
+#[test]
+fn handler_panics_become_500s_and_server_survives() {
+    each_server(|server, which| {
+        let resp = fetch(server.addr(), Method::Get, "/explode", &[]).unwrap();
+        assert_eq!(resp.status, StatusCode::INTERNAL_SERVER_ERROR, "{which}");
+        // The worker (and its DB connection) survived; a normal request
+        // still works.
+        let resp = fetch(server.addr(), Method::Get, "/books", &[]).unwrap();
+        assert_eq!(resp.status, StatusCode::OK, "{which}");
+        assert_eq!(server.stats().handler_panics.value(), 1, "{which}");
+    });
+}
+
+#[test]
+fn malformed_requests_get_400() {
+    use std::io::{Read, Write};
+    each_server(|server, which| {
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"NONSENSE REQUEST LINE\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        stream.read_to_end(&mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 400"), "{which}: {text}");
+    });
+}
+
+#[test]
+fn completions_recorded_by_class() {
+    each_server(|server, which| {
+        for _ in 0..3 {
+            fetch(server.addr(), Method::Get, "/books", &[]).unwrap();
+        }
+        fetch(server.addr(), Method::Get, "/img/flowers.gif", &[]).unwrap();
+        // Prime the tracker so /slow is classified lengthy, then hit it.
+        fetch(server.addr(), Method::Get, "/slow", &[]).unwrap();
+        fetch(server.addr(), Method::Get, "/slow", &[]).unwrap();
+        settle(server, 6);
+        let stats = server.stats();
+        assert_eq!(
+            stats.completed(staged_core::RequestKind::Static),
+            1,
+            "{which}"
+        );
+        assert!(
+            stats.completed(staged_core::RequestKind::QuickDynamic) >= 3,
+            "{which}"
+        );
+        assert!(
+            stats.completed(staged_core::RequestKind::LengthyDynamic) >= 1,
+            "{which}: second /slow should be classified lengthy"
+        );
+        assert_eq!(stats.total_completed(), 6, "{which}");
+    });
+}
+
+#[test]
+fn concurrent_clients_are_all_served() {
+    each_server(|server, which| {
+        let addr = server.addr();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    for _ in 0..5 {
+                        let path = if i % 2 == 0 { "/books" } else { "/img/flowers.gif" };
+                        let resp = fetch(addr, Method::Get, path, &[]).unwrap();
+                        assert!(resp.status.is_success());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        settle(server, 40);
+        assert_eq!(server.stats().total_completed(), 40, "{which}");
+    });
+}
+
+#[test]
+fn staged_gauges_exposed() {
+    let staged = StagedServer::start(ServerConfig::small(), demo_app(), demo_db()).unwrap();
+    let names = staged.gauge_names();
+    for expected in ["header", "static", "general", "lengthy", "render", "treserve", "tspare"] {
+        assert!(names.contains(&expected), "missing gauge {expected}");
+    }
+    assert_eq!(staged.gauge("treserve"), Some(ServerConfig::small().min_reserve));
+    assert!(staged.gauge("tspare").unwrap() <= ServerConfig::small().general_workers);
+    let f = staged.gauge_fn("general").unwrap();
+    assert_eq!(f(), 0);
+    staged.shutdown();
+}
+
+#[test]
+fn baseline_gauge_exposed() {
+    let baseline =
+        BaselineServer::start(ServerConfig::small(), demo_app(), demo_db()).unwrap();
+    assert_eq!(baseline.gauge_names(), vec!["worker"]);
+    assert_eq!(baseline.gauge("worker"), Some(0));
+    baseline.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_and_idempotent_via_drop() {
+    let server = StagedServer::start(ServerConfig::small(), demo_app(), demo_db()).unwrap();
+    let addr = server.addr();
+    fetch(addr, Method::Get, "/books", &[]).unwrap();
+    drop(server); // drop path also shuts down
+    // The listener is gone: connecting may succeed (OS backlog) but a
+    // request must not be answered.
+    let result = fetch(addr, Method::Get, "/books", &[]);
+    assert!(result.is_err(), "server still answering after shutdown");
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the scheduling policy.
+
+use proptest::prelude::*;
+use staged_core::{DynamicPoolChoice, RequestClass, ReserveController, ServiceTimeTracker};
+use std::time::Duration;
+
+proptest! {
+    /// For every `t_spare` trace, `t_reserve` stays within its bounds.
+    #[test]
+    fn reserve_stays_within_bounds(
+        min in 1usize..20,
+        extra in 0usize..30,
+        trace in proptest::collection::vec(0usize..200, 0..100),
+    ) {
+        let max = min + extra;
+        let c = ReserveController::with_max(min, max);
+        for tspare in trace {
+            c.update(tspare);
+            prop_assert!(c.reserve() >= min, "reserve {} < min {}", c.reserve(), min);
+            prop_assert!(c.reserve() <= max, "reserve {} > max {}", c.reserve(), max);
+        }
+    }
+
+    /// The controller is monotone in the right direction each tick:
+    /// scarcity never lowers the reserve, abundance never raises it.
+    #[test]
+    fn update_direction_is_correct(
+        min in 1usize..20,
+        trace in proptest::collection::vec(0usize..100, 1..60),
+    ) {
+        let c = ReserveController::with_max(min, 1000);
+        for tspare in trace {
+            let before = c.reserve();
+            let delta = c.update(tspare);
+            if tspare < before {
+                prop_assert!(delta >= 0, "scarcity lowered the reserve");
+            } else if tspare > before {
+                prop_assert!(delta <= 0, "abundance raised the reserve");
+            } else {
+                prop_assert_eq!(delta, 0);
+            }
+        }
+    }
+
+    /// Dispatch obeys Table 1 for every state: quick always general;
+    /// lengthy goes general exactly when `t_spare > t_reserve`.
+    #[test]
+    fn dispatch_matches_table_1(
+        min in 1usize..10,
+        warmup in proptest::collection::vec(0usize..50, 0..20),
+        tspare in 0usize..50,
+    ) {
+        let c = ReserveController::with_max(min, 40);
+        for t in warmup {
+            c.update(t);
+        }
+        prop_assert_eq!(
+            c.dispatch(RequestClass::Quick, tspare),
+            DynamicPoolChoice::General
+        );
+        let expected = if tspare > c.reserve() {
+            DynamicPoolChoice::General
+        } else {
+            DynamicPoolChoice::Lengthy
+        };
+        prop_assert_eq!(c.dispatch(RequestClass::Lengthy, tspare), expected);
+    }
+
+    /// The tracker's average is the true arithmetic mean (to µs
+    /// rounding), and classification is consistent with it.
+    #[test]
+    fn tracker_average_is_exact_mean(
+        samples in proptest::collection::vec(0u64..100_000, 1..50),
+        cutoff_us in 1u64..50_000,
+    ) {
+        let cutoff = Duration::from_micros(cutoff_us);
+        let tracker = ServiceTimeTracker::new(cutoff);
+        for &us in &samples {
+            tracker.record("page", Duration::from_micros(us));
+        }
+        let avg = tracker.average("page").unwrap();
+        let want = Duration::from_micros(samples.iter().sum::<u64>()) / samples.len() as u32;
+        prop_assert_eq!(avg, want);
+        let class = tracker.classify("page");
+        if avg > cutoff {
+            prop_assert_eq!(class, RequestClass::Lengthy);
+        } else {
+            prop_assert_eq!(class, RequestClass::Quick);
+        }
+    }
+
+    /// A sustained spike then sustained recovery always returns the
+    /// capped controller to its minimum (no ratchet).
+    #[test]
+    fn no_ratchet_after_recovery(
+        min in 1usize..10,
+        extra in 1usize..20,
+        spike_len in 1usize..30,
+        pool_size in 30usize..100,
+    ) {
+        let c = ReserveController::with_max(min, min + extra);
+        for _ in 0..spike_len {
+            c.update(0);
+        }
+        for _ in 0..200 {
+            c.update(pool_size);
+        }
+        prop_assert_eq!(c.reserve(), min);
+    }
+}

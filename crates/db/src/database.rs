@@ -1,0 +1,703 @@
+//! The database: tables, locks, statement cache, execution entry point.
+
+use crate::cost::CostModel;
+use crate::error::DbError;
+use crate::exec::{self, BoundTable, ExecStats};
+use crate::schema::Schema;
+use crate::sql::ast::Statement;
+use crate::sql::parser;
+use crate::table::TableData;
+use crate::value::DbValue;
+use parking_lot::{Mutex, RwLock};
+use staged_pool::SyncQueue;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// The result of executing a statement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryResult {
+    /// Output column names (SELECT only).
+    pub columns: Vec<String>,
+    /// Result rows (SELECT only).
+    pub rows: Vec<Vec<DbValue>>,
+    /// Rows inserted/updated/deleted (writes only).
+    pub rows_affected: usize,
+    /// Rows visited while executing — the cost-model input, also handy
+    /// for plan assertions in tests.
+    pub rows_scanned: u64,
+}
+
+impl QueryResult {
+    /// The first row, if any.
+    pub fn first(&self) -> Option<&Vec<DbValue>> {
+        self.rows.first()
+    }
+
+    /// The single integer of a one-row, one-column result (e.g.
+    /// `SELECT COUNT(*) …`).
+    pub fn single_int(&self) -> Option<i64> {
+        match self.rows.as_slice() {
+            [row] => match row.as_slice() {
+                [v] => v.as_int(),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Index of a named output column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Value at `(row, column-name)`.
+    pub fn value(&self, row: usize, column: &str) -> Option<&DbValue> {
+        let col = self.column_index(column)?;
+        self.rows.get(row)?.get(col)
+    }
+}
+
+struct TableEntry {
+    lock: RwLock<TableData>,
+}
+
+/// An embedded relational database.
+///
+/// Concurrency model (deliberately MySQL-MyISAM-like, as the paper's
+/// analysis depends on it):
+///
+/// * every statement takes **table-level** locks — shared for SELECT,
+///   exclusive for INSERT/UPDATE/DELETE;
+/// * locks for multi-table statements are acquired in sorted name order,
+///   so concurrent statements cannot deadlock;
+/// * synthetic per-row latency from the [`CostModel`] is charged *while
+///   the locks are held*.
+///
+/// `Database` is `Send + Sync`; share it behind an `Arc` (usually via
+/// [`ConnectionPool`](crate::ConnectionPool)).
+///
+/// # Examples
+///
+/// ```
+/// use staged_db::{Database, DbValue};
+///
+/// let db = Database::new();
+/// db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)", &[]).unwrap();
+/// db.execute("INSERT INTO t (id, v) VALUES (1, 'a')", &[]).unwrap();
+/// let n = db.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
+/// assert_eq!(n.single_int(), Some(1));
+/// ```
+pub struct Database {
+    tables: RwLock<BTreeMap<String, Arc<TableEntry>>>,
+    cost: RwLock<CostModel>,
+    /// Optional bound on concurrently *executing* costed queries — the
+    /// stand-in for the paper's dedicated database host, whose CPU/disk
+    /// capacity both servers share equally. `None` means unbounded.
+    capacity: RwLock<Option<Arc<SyncQueue<()>>>>,
+    stmt_cache: Mutex<HashMap<String, Arc<Statement>>>,
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.table_names())
+            .field("cost", &*self.cost.read())
+            .finish()
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// Creates an empty database with a free cost model.
+    pub fn new() -> Self {
+        Database {
+            tables: RwLock::new(BTreeMap::new()),
+            cost: RwLock::new(CostModel::free()),
+            capacity: RwLock::new(None),
+            stmt_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Bounds the number of costed queries executing concurrently,
+    /// emulating a database host with `slots` cores/disks. Queries whose
+    /// synthetic delay is under 1 ms bypass the bound — a real DB host
+    /// time-slices, so point lookups never wait behind long scans the
+    /// way a FIFO slot queue would force them to. `0` removes the
+    /// bound.
+    pub fn set_capacity(&self, slots: usize) {
+        *self.capacity.write() = if slots == 0 {
+            None
+        } else {
+            let q = SyncQueue::bounded(slots);
+            for _ in 0..slots {
+                q.push(()).expect("fresh queue accepts tokens");
+            }
+            Some(Arc::new(q))
+        };
+    }
+
+    /// Charges the cost model for a finished statement, *after* its
+    /// table locks are released (MySQL's MVCC readers similarly do not
+    /// hold table locks across long scans). Long delays contend for the
+    /// capacity slots installed by [`Database::set_capacity`].
+    fn charge(&self, scanned: u64, written: u64) {
+        let cost = self.cost_model();
+        let delay = cost.delay_for(scanned, written);
+        if delay >= std::time::Duration::from_millis(1) {
+            let capacity = self.capacity.read().clone();
+            if let Some(tokens) = capacity {
+                tokens.pop();
+                cost.charge(scanned, written);
+                let _ = tokens.push(());
+                return;
+            }
+        }
+        cost.charge(scanned, written);
+    }
+
+    /// Installs a cost model (applies to subsequent statements).
+    pub fn set_cost_model(&self, model: CostModel) {
+        *self.cost.write() = model;
+    }
+
+    /// The current cost model.
+    pub fn cost_model(&self) -> CostModel {
+        *self.cost.read()
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// Number of live rows in a table.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`].
+    pub fn table_len(&self, name: &str) -> Result<usize, DbError> {
+        let entry = self.entry(name)?;
+        let len = entry.lock.read().len();
+        Ok(len)
+    }
+
+    /// Parses and executes one SQL statement with positional parameters.
+    ///
+    /// # Errors
+    ///
+    /// Syntax errors, unknown tables/columns, duplicate keys, and
+    /// parameter-count mismatches.
+    pub fn execute(&self, sql: &str, params: &[DbValue]) -> Result<QueryResult, DbError> {
+        let stmt = self.parse_cached(sql)?;
+        self.execute_statement(&stmt, params)
+    }
+
+    fn parse_cached(&self, sql: &str) -> Result<Arc<Statement>, DbError> {
+        if let Some(stmt) = self.stmt_cache.lock().get(sql) {
+            return Ok(Arc::clone(stmt));
+        }
+        let stmt = Arc::new(parser::parse(sql)?);
+        let mut cache = self.stmt_cache.lock();
+        // Bound the cache to protect against unbounded ad-hoc SQL.
+        if cache.len() >= 4096 {
+            cache.clear();
+        }
+        cache.insert(sql.to_string(), Arc::clone(&stmt));
+        Ok(stmt)
+    }
+
+    /// Schema facts and a consistent row copy of one table, for the
+    /// snapshot writer: `(name, type, is_pk, _)` per column, the set of
+    /// secondarily indexed column names, and all live rows.
+    pub(crate) fn table_contents(
+        &self,
+        name: &str,
+    ) -> (
+        Vec<(String, String, bool, ())>,
+        std::collections::HashSet<String>,
+        Vec<Vec<DbValue>>,
+    ) {
+        let Ok(entry) = self.entry(name) else {
+            return (Vec::new(), Default::default(), Vec::new());
+        };
+        let data = entry.lock.read();
+        let schema = data.schema();
+        let pk = schema.primary_key();
+        let columns: Vec<(String, String, bool, ())> = schema
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.clone(), c.dtype.to_string(), pk == Some(i), ()))
+            .collect();
+        let indexed: std::collections::HashSet<String> = schema
+            .columns()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| pk != Some(*i) && data.has_index(*i))
+            .map(|(_, c)| c.name.clone())
+            .collect();
+        let rows: Vec<Vec<DbValue>> = data.iter_live().map(|(_, r)| r.clone()).collect();
+        (columns, indexed, rows)
+    }
+
+    fn entry(&self, name: &str) -> Result<Arc<TableEntry>, DbError> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    fn execute_statement(
+        &self,
+        stmt: &Statement,
+        params: &[DbValue],
+    ) -> Result<QueryResult, DbError> {
+        let mut stats = ExecStats::default();
+        let result = self.run_statement(stmt, params, &mut stats)?;
+        // Synthetic latency is charged after the guards are gone.
+        self.charge(stats.scanned, stats.written);
+        Ok(result)
+    }
+
+    fn run_statement(
+        &self,
+        stmt: &Statement,
+        params: &[DbValue],
+        stats: &mut ExecStats,
+    ) -> Result<QueryResult, DbError> {
+        match stmt {
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+            } => {
+                let schema = Schema::new(columns.clone(), *primary_key)?;
+                let mut tables = self.tables.write();
+                if tables.contains_key(name) {
+                    return Err(DbError::TableExists(name.clone()));
+                }
+                tables.insert(
+                    name.clone(),
+                    Arc::new(TableEntry {
+                        lock: RwLock::new(TableData::new(schema)),
+                    }),
+                );
+                Ok(QueryResult::default())
+            }
+            Statement::CreateIndex { table, column } => {
+                let entry = self.entry(table)?;
+                let mut data = entry.lock.write();
+                let col = data
+                    .schema()
+                    .column_index(column)
+                    .ok_or_else(|| DbError::NoSuchColumn(column.clone()))?;
+                data.create_index(col);
+                Ok(QueryResult::default())
+            }
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => {
+                let entry = self.entry(table)?;
+                let mut data = entry.lock.write();
+                let n = exec::run_insert(&mut data, columns, values, params, stats)?;
+                Ok(QueryResult {
+                    rows_affected: n,
+                    rows_scanned: stats.scanned,
+                    ..QueryResult::default()
+                })
+            }
+            Statement::Update {
+                table,
+                sets,
+                where_,
+            } => {
+                let entry = self.entry(table)?;
+                let mut data = entry.lock.write();
+                let n = exec::run_update(&mut data, table, sets, where_, params, stats)?;
+                Ok(QueryResult {
+                    rows_affected: n,
+                    rows_scanned: stats.scanned,
+                    ..QueryResult::default()
+                })
+            }
+            Statement::Delete { table, where_ } => {
+                let entry = self.entry(table)?;
+                let mut data = entry.lock.write();
+                let n = exec::run_delete(&mut data, table, where_, params, stats)?;
+                Ok(QueryResult {
+                    rows_affected: n,
+                    rows_scanned: stats.scanned,
+                    ..QueryResult::default()
+                })
+            }
+            Statement::Select(sel) => {
+                // Acquire read locks in sorted name order (deadlock
+                // freedom), deduplicating repeated tables.
+                let mut names: Vec<&str> = stmt.table_names();
+                names.sort_unstable();
+                names.dedup();
+                let entries: Vec<(String, Arc<TableEntry>)> = names
+                    .iter()
+                    .map(|n| Ok((n.to_string(), self.entry(n)?)))
+                    .collect::<Result<_, DbError>>()?;
+                let guards: Vec<_> = entries.iter().map(|(_, e)| e.lock.read()).collect();
+                let guard_of = |table: &str| -> Result<&TableData, DbError> {
+                    let idx = entries
+                        .iter()
+                        .position(|(n, _)| n == table)
+                        .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+                    Ok(&guards[idx])
+                };
+                // Bind tables in FROM/JOIN order with running offsets.
+                let mut bound: Vec<BoundTable<'_>> = Vec::new();
+                let mut offset = 0;
+                let from_data = guard_of(&sel.from.table)?;
+                bound.push(BoundTable {
+                    name: sel.from.effective_name().to_string(),
+                    data: from_data,
+                    offset,
+                });
+                offset += from_data.schema().arity();
+                for join in &sel.joins {
+                    let data = guard_of(&join.table.table)?;
+                    bound.push(BoundTable {
+                        name: join.table.effective_name().to_string(),
+                        data,
+                        offset,
+                    });
+                    offset += data.schema().arity();
+                }
+                exec::run_select(sel, params, &bound, stats)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bookstore() -> Database {
+        let db = Database::new();
+        db.execute(
+            "CREATE TABLE author (a_id INT PRIMARY KEY, a_name TEXT)",
+            &[],
+        )
+        .unwrap();
+        db.execute(
+            "CREATE TABLE item (i_id INT PRIMARY KEY, i_title TEXT, i_a_id INT, \
+             i_subject TEXT, i_cost FLOAT, i_stock INT)",
+            &[],
+        )
+        .unwrap();
+        db.execute("CREATE INDEX ON item (i_a_id)", &[]).unwrap();
+        db.execute("CREATE INDEX ON item (i_subject)", &[]).unwrap();
+        for (id, name) in [(1, "Herbert"), (2, "Banks")] {
+            db.execute(
+                "INSERT INTO author (a_id, a_name) VALUES (?, ?)",
+                &[DbValue::Int(id), DbValue::from(name)],
+            )
+            .unwrap();
+        }
+        let items = [
+            (1, "Dune", 1, "SCIFI", 9.99, 100),
+            (2, "Children of Dune", 1, "SCIFI", 7.50, 40),
+            (3, "Excession", 2, "SCIFI", 8.25, 60),
+            (4, "Cooking Basics", 2, "COOKING", 20.00, 10),
+        ];
+        for (id, title, a, subj, cost, stock) in items {
+            db.execute(
+                "INSERT INTO item (i_id, i_title, i_a_id, i_subject, i_cost, i_stock) \
+                 VALUES (?, ?, ?, ?, ?, ?)",
+                &[
+                    DbValue::Int(id),
+                    DbValue::from(title),
+                    DbValue::Int(a),
+                    DbValue::from(subj),
+                    DbValue::Float(cost),
+                    DbValue::Int(stock),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn point_select_uses_pk_index() {
+        let db = bookstore();
+        let r = db
+            .execute("SELECT i_title FROM item WHERE i_id = ?", &[DbValue::Int(3)])
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![DbValue::from("Excession")]]);
+        assert_eq!(r.rows_scanned, 1, "PK lookup should scan exactly one row");
+    }
+
+    #[test]
+    fn secondary_index_probe() {
+        let db = bookstore();
+        let r = db
+            .execute(
+                "SELECT i_title FROM item WHERE i_subject = ? ORDER BY i_title",
+                &[DbValue::from("SCIFI")],
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows_scanned, 3, "index probe should only visit matches");
+        assert_eq!(r.rows[0][0], DbValue::from("Children of Dune"));
+    }
+
+    #[test]
+    fn full_scan_with_like() {
+        let db = bookstore();
+        let r = db
+            .execute(
+                "SELECT i_id FROM item WHERE i_title LIKE ?",
+                &[DbValue::from("%dune%")],
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows_scanned, 4, "LIKE requires a full scan");
+    }
+
+    #[test]
+    fn join_with_index() {
+        let db = bookstore();
+        let r = db
+            .execute(
+                "SELECT i.i_title, a.a_name FROM item i \
+                 JOIN author a ON i.i_a_id = a.a_id \
+                 WHERE i.i_subject = ? ORDER BY i.i_title",
+                &[DbValue::from("SCIFI")],
+            )
+            .unwrap();
+        assert_eq!(r.columns, vec!["i_title", "a_name"]);
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[2], vec![DbValue::from("Excession"), DbValue::from("Banks")]);
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let db = bookstore();
+        let r = db
+            .execute(
+                "SELECT i_subject, COUNT(*) n, SUM(i_stock) stock, AVG(i_cost) avg_cost \
+                 FROM item GROUP BY i_subject ORDER BY n DESC",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(r.columns, vec!["i_subject", "n", "stock", "avg_cost"]);
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], DbValue::from("SCIFI"));
+        assert_eq!(r.rows[0][1], DbValue::Int(3));
+        assert_eq!(r.rows[0][2], DbValue::Int(200));
+        assert_eq!(r.rows[1][1], DbValue::Int(1));
+    }
+
+    #[test]
+    fn global_aggregates_without_group() {
+        let db = bookstore();
+        let r = db
+            .execute("SELECT COUNT(*), MIN(i_cost), MAX(i_cost) FROM item", &[])
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![vec![DbValue::Int(4), DbValue::Float(7.5), DbValue::Float(20.0)]]
+        );
+        // Aggregate over empty set yields one row.
+        let r = db
+            .execute("SELECT COUNT(*) FROM item WHERE i_id = -1", &[])
+            .unwrap();
+        assert_eq!(r.single_int(), Some(0));
+    }
+
+    #[test]
+    fn order_limit_offset() {
+        let db = bookstore();
+        let r = db
+            .execute(
+                "SELECT i_id FROM item ORDER BY i_cost DESC LIMIT 2 OFFSET 1",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![DbValue::Int(1)], vec![DbValue::Int(3)]]);
+        // Parameterized LIMIT.
+        let r = db
+            .execute("SELECT i_id FROM item ORDER BY i_id LIMIT ?", &[DbValue::Int(2)])
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn order_by_non_projected_column() {
+        let db = bookstore();
+        let r = db
+            .execute("SELECT i_title FROM item ORDER BY i_cost", &[])
+            .unwrap();
+        assert_eq!(r.rows[0][0], DbValue::from("Children of Dune"));
+        assert_eq!(r.rows[3][0], DbValue::from("Cooking Basics"));
+    }
+
+    #[test]
+    fn update_with_expression() {
+        let db = bookstore();
+        let r = db
+            .execute(
+                "UPDATE item SET i_stock = i_stock - ? WHERE i_id = ?",
+                &[DbValue::Int(5), DbValue::Int(1)],
+            )
+            .unwrap();
+        assert_eq!(r.rows_affected, 1);
+        let r = db
+            .execute("SELECT i_stock FROM item WHERE i_id = 1", &[])
+            .unwrap();
+        assert_eq!(r.rows[0][0], DbValue::Int(95));
+    }
+
+    #[test]
+    fn delete_rows() {
+        let db = bookstore();
+        let r = db
+            .execute("DELETE FROM item WHERE i_subject = 'COOKING'", &[])
+            .unwrap();
+        assert_eq!(r.rows_affected, 1);
+        assert_eq!(db.table_len("item").unwrap(), 3);
+    }
+
+    #[test]
+    fn select_star_expands_join() {
+        let db = bookstore();
+        let r = db
+            .execute(
+                "SELECT * FROM item i JOIN author a ON i.i_a_id = a.a_id WHERE i.i_id = 1",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(r.columns.len(), 8);
+        assert_eq!(r.rows[0].len(), 8);
+        assert_eq!(*r.value(0, "a_name").unwrap(), DbValue::from("Herbert"));
+    }
+
+    #[test]
+    fn errors_surface() {
+        let db = bookstore();
+        assert!(matches!(
+            db.execute("SELECT * FROM missing", &[]),
+            Err(DbError::NoSuchTable(_))
+        ));
+        assert!(matches!(
+            db.execute("SELECT zap FROM item", &[]),
+            Err(DbError::NoSuchColumn(_))
+        ));
+        assert!(matches!(
+            db.execute("CREATE TABLE item (x INT)", &[]),
+            Err(DbError::TableExists(_))
+        ));
+        assert!(matches!(
+            db.execute("SELECT * FROM item WHERE i_id = ?", &[]),
+            Err(DbError::Invalid(_))
+        ));
+        assert!(matches!(
+            db.execute(
+                "INSERT INTO author (a_id, a_name) VALUES (1, 'dup')",
+                &[]
+            ),
+            Err(DbError::DuplicateKey(_))
+        ));
+    }
+
+    #[test]
+    fn float_coercion_on_insert() {
+        let db = bookstore();
+        db.execute(
+            "INSERT INTO item (i_id, i_title, i_a_id, i_subject, i_cost, i_stock) \
+             VALUES (9, 't', 1, 'S', 5, 1)",
+            &[],
+        )
+        .unwrap();
+        let r = db.execute("SELECT i_cost FROM item WHERE i_id = 9", &[]).unwrap();
+        assert_eq!(r.rows[0][0], DbValue::Float(5.0));
+    }
+
+    #[test]
+    fn is_null_filtering() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)", &[])
+            .unwrap();
+        db.execute("INSERT INTO t (id, v) VALUES (1, NULL)", &[]).unwrap();
+        db.execute("INSERT INTO t (id, v) VALUES (2, 'x')", &[]).unwrap();
+        let r = db.execute("SELECT id FROM t WHERE v IS NULL", &[]).unwrap();
+        assert_eq!(r.rows, vec![vec![DbValue::Int(1)]]);
+        let r = db
+            .execute("SELECT id FROM t WHERE v IS NOT NULL", &[])
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![DbValue::Int(2)]]);
+    }
+
+    #[test]
+    fn self_join_does_not_deadlock() {
+        let db = bookstore();
+        let r = db
+            .execute(
+                "SELECT a.i_title, b.i_title FROM item a JOIN item b ON a.i_a_id = b.i_a_id \
+                 WHERE a.i_id = 1",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 2); // Dune pairs with both Herbert books
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        use std::thread;
+        let db = Arc::new(bookstore());
+        let handles: Vec<_> = (0..4)
+            .map(|k| {
+                let db = Arc::clone(&db);
+                thread::spawn(move || {
+                    for i in 0..50 {
+                        if k == 0 {
+                            db.execute(
+                                "UPDATE item SET i_stock = i_stock + 1 WHERE i_id = 1",
+                                &[],
+                            )
+                            .unwrap();
+                        } else {
+                            db.execute(
+                                "SELECT * FROM item WHERE i_id = ?",
+                                &[DbValue::Int(i % 4 + 1)],
+                            )
+                            .unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let r = db.execute("SELECT i_stock FROM item WHERE i_id = 1", &[]).unwrap();
+        assert_eq!(r.rows[0][0], DbValue::Int(150));
+    }
+
+    #[test]
+    fn query_result_helpers() {
+        let db = bookstore();
+        let r = db
+            .execute("SELECT i_id, i_title FROM item WHERE i_id = 2", &[])
+            .unwrap();
+        assert!(r.first().is_some());
+        assert_eq!(r.column_index("i_title"), Some(1));
+        assert_eq!(*r.value(0, "i_title").unwrap(), DbValue::from("Children of Dune"));
+        assert_eq!(r.single_int(), None);
+    }
+}

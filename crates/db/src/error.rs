@@ -1,0 +1,69 @@
+//! Database errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from parsing or executing SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// The SQL text failed to parse.
+    Syntax(String),
+    /// A referenced table does not exist.
+    NoSuchTable(String),
+    /// A referenced column does not exist or is ambiguous.
+    NoSuchColumn(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// Inserting a duplicate value into a PRIMARY KEY / UNIQUE column.
+    DuplicateKey(String),
+    /// Wrong number or type of values/parameters.
+    Invalid(String),
+}
+
+impl DbError {
+    /// Convenience constructor for syntax errors.
+    pub fn syntax(msg: impl Into<String>) -> Self {
+        DbError::Syntax(msg.into())
+    }
+
+    /// Convenience constructor for semantic errors.
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        DbError::Invalid(msg.into())
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Syntax(m) => write!(f, "sql syntax error: {m}"),
+            DbError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            DbError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            DbError::TableExists(t) => write!(f, "table already exists: {t}"),
+            DbError::DuplicateKey(k) => write!(f, "duplicate key: {k}"),
+            DbError::Invalid(m) => write!(f, "invalid statement: {m}"),
+        }
+    }
+}
+
+impl Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            DbError::syntax("unexpected EOF").to_string(),
+            "sql syntax error: unexpected EOF"
+        );
+        assert_eq!(
+            DbError::NoSuchTable("x".into()).to_string(),
+            "no such table: x"
+        );
+        assert_eq!(
+            DbError::DuplicateKey("id=1".into()).to_string(),
+            "duplicate key: id=1"
+        );
+    }
+}

@@ -1,0 +1,964 @@
+//! Statement execution: expression evaluation, scans, joins,
+//! aggregation, ordering.
+
+use crate::database::QueryResult;
+use crate::error::DbError;
+use crate::sql::ast::*;
+use crate::table::TableData;
+use crate::value::DbValue;
+use std::collections::HashMap;
+
+/// A table bound into a query, with its column offset in the joined row.
+pub(crate) struct BoundTable<'a> {
+    /// Effective name (alias if given).
+    pub name: String,
+    pub data: &'a TableData,
+    pub offset: usize,
+}
+
+/// Rows visited during execution — the input to the cost model.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ExecStats {
+    pub scanned: u64,
+    pub written: u64,
+}
+
+struct EvalCtx<'a> {
+    tables: &'a [BoundTable<'a>],
+    params: &'a [DbValue],
+}
+
+impl EvalCtx<'_> {
+    /// Resolves a column reference to an absolute offset in the joined
+    /// row.
+    fn resolve(&self, col: &ColRef) -> Result<usize, DbError> {
+        match &col.table {
+            Some(t) => {
+                let bound = self
+                    .tables
+                    .iter()
+                    .find(|b| b.name == *t)
+                    .ok_or_else(|| DbError::NoSuchColumn(format!("{t}.{}", col.column)))?;
+                let idx = bound
+                    .data
+                    .schema()
+                    .column_index(&col.column)
+                    .ok_or_else(|| DbError::NoSuchColumn(format!("{t}.{}", col.column)))?;
+                Ok(bound.offset + idx)
+            }
+            None => {
+                let mut found = None;
+                for bound in self.tables {
+                    if let Some(idx) = bound.data.schema().column_index(&col.column) {
+                        if found.is_some() {
+                            return Err(DbError::NoSuchColumn(format!(
+                                "ambiguous column: {}",
+                                col.column
+                            )));
+                        }
+                        found = Some(bound.offset + idx);
+                    }
+                }
+                found.ok_or_else(|| DbError::NoSuchColumn(col.column.clone()))
+            }
+        }
+    }
+
+    fn param(&self, i: usize) -> Result<DbValue, DbError> {
+        self.params
+            .get(i)
+            .cloned()
+            .ok_or_else(|| DbError::invalid(format!("missing parameter #{}", i + 1)))
+    }
+
+    fn eval(&self, expr: &Expr, row: &[DbValue]) -> Result<DbValue, DbError> {
+        match expr {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Param(i) => self.param(*i),
+            Expr::Column(c) => Ok(row[self.resolve(c)?].clone()),
+            Expr::Not(e) => {
+                let v = self.eval(e, row)?;
+                Ok(DbValue::Int(i64::from(!truthy(&v))))
+            }
+            Expr::Neg(e) => match self.eval(e, row)? {
+                DbValue::Int(i) => Ok(DbValue::Int(-i)),
+                DbValue::Float(f) => Ok(DbValue::Float(-f)),
+                DbValue::Null => Ok(DbValue::Null),
+                v => Err(DbError::invalid(format!("cannot negate {v}"))),
+            },
+            Expr::IsNull { expr, negated } => {
+                let v = self.eval(expr, row)?;
+                Ok(DbValue::Int(i64::from(v.is_null() != *negated)))
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = self.eval(expr, row)?;
+                if v.is_null() {
+                    return Ok(DbValue::Int(0));
+                }
+                let mut found = false;
+                for item in list {
+                    if v.sql_eq(&self.eval(item, row)?) {
+                        found = true;
+                        break;
+                    }
+                }
+                Ok(DbValue::Int(i64::from(found != *negated)))
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                use std::cmp::Ordering;
+                let v = self.eval(expr, row)?;
+                let lo = self.eval(low, row)?;
+                let hi = self.eval(high, row)?;
+                let inside = matches!(
+                    v.sql_cmp(&lo),
+                    Some(Ordering::Greater | Ordering::Equal)
+                ) && matches!(v.sql_cmp(&hi), Some(Ordering::Less | Ordering::Equal));
+                Ok(DbValue::Int(i64::from(inside != *negated)))
+            }
+            Expr::Binary { op, left, right } => {
+                // Short-circuit logical operators.
+                match op {
+                    BinOp::And => {
+                        let l = self.eval(left, row)?;
+                        if !truthy(&l) {
+                            return Ok(DbValue::Int(0));
+                        }
+                        let r = self.eval(right, row)?;
+                        return Ok(DbValue::Int(i64::from(truthy(&r))));
+                    }
+                    BinOp::Or => {
+                        let l = self.eval(left, row)?;
+                        if truthy(&l) {
+                            return Ok(DbValue::Int(1));
+                        }
+                        let r = self.eval(right, row)?;
+                        return Ok(DbValue::Int(i64::from(truthy(&r))));
+                    }
+                    _ => {}
+                }
+                let l = self.eval(left, row)?;
+                let r = self.eval(right, row)?;
+                eval_binop(*op, &l, &r)
+            }
+            Expr::Aggregate { .. } => Err(DbError::invalid(
+                "aggregate function used outside of an aggregating SELECT",
+            )),
+        }
+    }
+}
+
+fn truthy(v: &DbValue) -> bool {
+    match v {
+        DbValue::Null => false,
+        DbValue::Int(i) => *i != 0,
+        DbValue::Float(f) => *f != 0.0,
+        DbValue::Text(s) => !s.is_empty(),
+    }
+}
+
+fn eval_binop(op: BinOp, l: &DbValue, r: &DbValue) -> Result<DbValue, DbError> {
+    use std::cmp::Ordering;
+    let bool_val = |b: bool| DbValue::Int(i64::from(b));
+    match op {
+        BinOp::Eq => Ok(bool_val(l.sql_eq(r))),
+        BinOp::Ne => Ok(bool_val(!l.is_null() && !r.is_null() && !l.sql_eq(r))),
+        BinOp::Lt => Ok(bool_val(l.sql_cmp(r) == Some(Ordering::Less))),
+        BinOp::Gt => Ok(bool_val(l.sql_cmp(r) == Some(Ordering::Greater))),
+        BinOp::Le => Ok(bool_val(matches!(
+            l.sql_cmp(r),
+            Some(Ordering::Less | Ordering::Equal)
+        ))),
+        BinOp::Ge => Ok(bool_val(matches!(
+            l.sql_cmp(r),
+            Some(Ordering::Greater | Ordering::Equal)
+        ))),
+        BinOp::Like => match (l, r) {
+            (DbValue::Text(s), DbValue::Text(p)) => Ok(bool_val(like_match(p, s))),
+            _ => Ok(bool_val(false)),
+        },
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+            if l.is_null() || r.is_null() {
+                return Ok(DbValue::Null);
+            }
+            match (l, r) {
+                (DbValue::Int(a), DbValue::Int(b)) => Ok(match op {
+                    BinOp::Add => DbValue::Int(a.wrapping_add(*b)),
+                    BinOp::Sub => DbValue::Int(a.wrapping_sub(*b)),
+                    BinOp::Mul => DbValue::Int(a.wrapping_mul(*b)),
+                    BinOp::Div => {
+                        if *b == 0 {
+                            DbValue::Null
+                        } else {
+                            DbValue::Int(a / b)
+                        }
+                    }
+                    _ => unreachable!(),
+                }),
+                _ => {
+                    let a = l
+                        .as_f64()
+                        .ok_or_else(|| DbError::invalid(format!("non-numeric operand: {l}")))?;
+                    let b = r
+                        .as_f64()
+                        .ok_or_else(|| DbError::invalid(format!("non-numeric operand: {r}")))?;
+                    Ok(match op {
+                        BinOp::Add => DbValue::Float(a + b),
+                        BinOp::Sub => DbValue::Float(a - b),
+                        BinOp::Mul => DbValue::Float(a * b),
+                        BinOp::Div => {
+                            if b == 0.0 {
+                                DbValue::Null
+                            } else {
+                                DbValue::Float(a / b)
+                            }
+                        }
+                        _ => unreachable!(),
+                    })
+                }
+            }
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled by eval"),
+    }
+}
+
+/// Case-insensitive SQL `LIKE` with `%` (any run) and `_` (any char),
+/// matching MySQL's default collation behaviour.
+pub(crate) fn like_match(pattern: &str, text: &str) -> bool {
+    fn rec(p: &[char], t: &[char]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some(('%', rest)) => (0..=t.len()).any(|k| rec(rest, &t[k..])),
+            Some(('_', rest)) => !t.is_empty() && rec(rest, &t[1..]),
+            Some((c, rest)) => {
+                !t.is_empty() && t[0].eq_ignore_ascii_case(c) && rec(rest, &t[1..])
+            }
+        }
+    }
+    let p: Vec<char> = pattern.to_lowercase().chars().collect();
+    let t: Vec<char> = text.to_lowercase().chars().collect();
+    rec(&p, &t)
+}
+
+/// Splits a WHERE tree into top-level AND conjuncts.
+fn conjuncts(expr: &Expr) -> Vec<&Expr> {
+    match expr {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
+            let mut out = conjuncts(left);
+            out.extend(conjuncts(right));
+            out
+        }
+        e => vec![e],
+    }
+}
+
+/// Whether every column in `expr` resolves against `ctx` (used to apply
+/// predicates as early as possible during joins).
+fn is_resolvable(expr: &Expr, ctx: &EvalCtx<'_>) -> bool {
+    match expr {
+        Expr::Column(c) => ctx.resolve(c).is_ok(),
+        Expr::Literal(_) | Expr::Param(_) => true,
+        Expr::Not(e) | Expr::Neg(e) | Expr::IsNull { expr: e, .. } => is_resolvable(e, ctx),
+        Expr::Binary { left, right, .. } => {
+            is_resolvable(left, ctx) && is_resolvable(right, ctx)
+        }
+        Expr::InList { expr, list, .. } => {
+            is_resolvable(expr, ctx) && list.iter().all(|e| is_resolvable(e, ctx))
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => is_resolvable(expr, ctx) && is_resolvable(low, ctx) && is_resolvable(high, ctx),
+        Expr::Aggregate { .. } => false,
+    }
+}
+
+/// Looks for an index-usable conjunct `col = constant` on table
+/// `target`; returns the column index and the key value.
+fn index_probe(
+    conjs: &[&Expr],
+    target: &BoundTable<'_>,
+    params: &[DbValue],
+) -> Result<Option<(usize, DbValue)>, DbError> {
+    for conj in conjs {
+        let Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } = conj
+        else {
+            continue;
+        };
+        for (col_side, const_side) in [(left, right), (right, left)] {
+            let Expr::Column(c) = col_side.as_ref() else {
+                continue;
+            };
+            if let Some(t) = &c.table {
+                if *t != target.name {
+                    continue;
+                }
+            }
+            let Some(idx) = target.data.schema().column_index(&c.column) else {
+                continue;
+            };
+            if !target.data.has_index(idx) {
+                continue;
+            }
+            let key = match const_side.as_ref() {
+                Expr::Literal(v) => v.clone(),
+                Expr::Param(i) => params
+                    .get(*i)
+                    .cloned()
+                    .ok_or_else(|| DbError::invalid(format!("missing parameter #{}", i + 1)))?,
+                _ => continue,
+            };
+            return Ok(Some((idx, key)));
+        }
+    }
+    Ok(None)
+}
+
+/// Executes a SELECT against the bound tables (guards already held).
+pub(crate) fn run_select(
+    sel: &SelectStmt,
+    params: &[DbValue],
+    tables: &[BoundTable<'_>],
+    stats: &mut ExecStats,
+) -> Result<QueryResult, DbError> {
+    let full_ctx = EvalCtx { tables, params };
+    let conjs: Vec<&Expr> = sel.where_.as_ref().map(conjuncts).unwrap_or_default();
+
+    // --- Base table row selection (index probe or full scan). ---
+    let base = &tables[0];
+    let base_ctx = EvalCtx {
+        tables: &tables[..1],
+        params,
+    };
+    let base_ids: Vec<usize> = match index_probe(&conjs, base, params)? {
+        Some((col, key)) => base.data.lookup_eq(col, &key),
+        None => base.data.iter_live().map(|(id, _)| id).collect(),
+    };
+
+    // Early predicates touching only the base table.
+    let early: Vec<&&Expr> = conjs
+        .iter()
+        .filter(|c| is_resolvable(c, &base_ctx))
+        .collect();
+    let mut rows: Vec<Vec<DbValue>> = Vec::new();
+    for id in base_ids {
+        let Some(r) = base.data.row(id) else { continue };
+        stats.scanned += 1;
+        let mut keep = true;
+        for pred in &early {
+            if !truthy(&base_ctx.eval(pred, r)?) {
+                keep = false;
+                break;
+            }
+        }
+        if keep {
+            rows.push(r.clone());
+        }
+    }
+
+    // --- Joins, innermost predicate application as tables bind. ---
+    for (join_idx, join) in sel.joins.iter().enumerate() {
+        let bound_count = join_idx + 1;
+        let new_table = &tables[bound_count];
+        let prev_ctx = EvalCtx {
+            tables: &tables[..bound_count],
+            params,
+        };
+        let now_ctx = EvalCtx {
+            tables: &tables[..bound_count + 1],
+            params,
+        };
+        // Determine which side of ON belongs to the new table.
+        let (outer_ref, inner_ref) = {
+            let right_is_new = new_table
+                .data
+                .schema()
+                .column_index(&join.on_right.column)
+                .is_some()
+                && join
+                    .on_right
+                    .table
+                    .as_deref()
+                    .map(|t| t == new_table.name)
+                    .unwrap_or(prev_ctx.resolve(&join.on_right).is_err());
+            if right_is_new {
+                (&join.on_left, &join.on_right)
+            } else {
+                (&join.on_right, &join.on_left)
+            }
+        };
+        let outer_idx = prev_ctx.resolve(outer_ref)?;
+        let inner_col = new_table
+            .data
+            .schema()
+            .column_index(&inner_ref.column)
+            .ok_or_else(|| DbError::NoSuchColumn(inner_ref.column.clone()))?;
+        let use_index = new_table.data.has_index(inner_col);
+
+        let newly: Vec<&&Expr> = conjs
+            .iter()
+            .filter(|c| is_resolvable(c, &now_ctx) && !is_resolvable(c, &prev_ctx))
+            .collect();
+
+        let mut next_rows = Vec::new();
+        for partial in rows {
+            let key = &partial[outer_idx];
+            let candidates: Vec<usize> = if use_index {
+                new_table.data.lookup_eq(inner_col, key)
+            } else {
+                new_table.data.iter_live().map(|(id, _)| id).collect()
+            };
+            for cid in candidates {
+                let Some(inner_row) = new_table.data.row(cid) else {
+                    continue;
+                };
+                stats.scanned += 1;
+                if !use_index && !inner_row[inner_col].sql_eq(key) {
+                    continue;
+                }
+                let mut combined = partial.clone();
+                combined.extend(inner_row.iter().cloned());
+                let mut keep = true;
+                for pred in &newly {
+                    if !truthy(&now_ctx.eval(pred, &combined)?) {
+                        keep = false;
+                        break;
+                    }
+                }
+                if keep {
+                    next_rows.push(combined);
+                }
+            }
+        }
+        rows = next_rows;
+    }
+
+    // --- Projection / aggregation. ---
+    let has_agg = !sel.group_by.is_empty()
+        || sel.items.iter().any(|i| match i {
+            SelectItem::Expr { expr, .. } => expr.has_aggregate(),
+            SelectItem::Star => false,
+        });
+
+    let (columns, mut out_rows, order_keys) = if has_agg {
+        aggregate_project(sel, &full_ctx, rows, stats)?
+    } else {
+        plain_project(sel, &full_ctx, rows)?
+    };
+
+    // --- ORDER BY. ---
+    if !sel.order_by.is_empty() {
+        let descs: Vec<bool> = sel.order_by.iter().map(|(_, d)| *d).collect();
+        let mut indexed: Vec<(Vec<DbValue>, Vec<DbValue>)> = out_rows
+            .into_iter()
+            .zip(order_keys.into_iter())
+            .collect();
+        indexed.sort_by(|(_, ka), (_, kb)| {
+            for (i, desc) in descs.iter().enumerate() {
+                let ord = ka[i].total_cmp(&kb[i]);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        out_rows = indexed.into_iter().map(|(r, _)| r).collect();
+    }
+
+    // --- LIMIT / OFFSET. ---
+    let eval_count = |e: &Option<Expr>| -> Result<Option<usize>, DbError> {
+        match e {
+            None => Ok(None),
+            Some(e) => {
+                let v = full_ctx.eval(e, &[])?;
+                let n = v
+                    .as_int()
+                    .filter(|n| *n >= 0)
+                    .ok_or_else(|| DbError::invalid("LIMIT/OFFSET must be a non-negative integer"))?;
+                Ok(Some(n as usize))
+            }
+        }
+    };
+    if let Some(off) = eval_count(&sel.offset)? {
+        out_rows.drain(..off.min(out_rows.len()));
+    }
+    if let Some(lim) = eval_count(&sel.limit)? {
+        out_rows.truncate(lim);
+    }
+
+    Ok(QueryResult {
+        columns,
+        rows: out_rows,
+        rows_affected: 0,
+        rows_scanned: stats.scanned,
+    })
+}
+
+/// Output column name for a select item.
+fn item_name(expr: &Expr, alias: &Option<String>) -> String {
+    if let Some(a) = alias {
+        return a.clone();
+    }
+    match expr {
+        Expr::Column(c) => c.column.clone(),
+        Expr::Aggregate { func, .. } => func.name().to_string(),
+        _ => "expr".to_string(),
+    }
+}
+
+type Projected = (Vec<String>, Vec<Vec<DbValue>>, Vec<Vec<DbValue>>);
+
+/// Non-aggregate projection; also computes ORDER BY keys per row (from
+/// the *input* row, so sorting can use non-projected columns).
+fn plain_project(
+    sel: &SelectStmt,
+    ctx: &EvalCtx<'_>,
+    rows: Vec<Vec<DbValue>>,
+) -> Result<Projected, DbError> {
+    let mut columns = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Star => {
+                for bound in ctx.tables {
+                    for col in bound.data.schema().columns() {
+                        columns.push(col.name.clone());
+                    }
+                }
+            }
+            SelectItem::Expr { expr, alias } => columns.push(item_name(expr, alias)),
+        }
+    }
+    let mut out_rows = Vec::with_capacity(rows.len());
+    let mut order_keys = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut out = Vec::with_capacity(columns.len());
+        for item in &sel.items {
+            match item {
+                SelectItem::Star => out.extend(row.iter().cloned()),
+                SelectItem::Expr { expr, .. } => out.push(ctx.eval(expr, &row)?),
+            }
+        }
+        let mut keys = Vec::with_capacity(sel.order_by.len());
+        for (expr, _) in &sel.order_by {
+            // An ORDER BY name may refer to an output alias first.
+            let key = match expr {
+                Expr::Column(c) if c.table.is_none() => {
+                    match columns.iter().position(|n| *n == c.column) {
+                        Some(i) if ctx.resolve(c).is_err() => out[i].clone(),
+                        _ => ctx.eval(expr, &row)?,
+                    }
+                }
+                e => ctx.eval(e, &row)?,
+            };
+            keys.push(key);
+        }
+        out_rows.push(out);
+        order_keys.push(keys);
+    }
+    Ok((columns, out_rows, order_keys))
+}
+
+/// GROUP BY / aggregate projection; ORDER BY may reference output
+/// columns by (alias) name or repeat an aggregate expression.
+fn aggregate_project(
+    sel: &SelectStmt,
+    ctx: &EvalCtx<'_>,
+    rows: Vec<Vec<DbValue>>,
+    stats: &mut ExecStats,
+) -> Result<Projected, DbError> {
+    // Group rows.
+    let group_cols: Vec<usize> = sel
+        .group_by
+        .iter()
+        .map(|c| ctx.resolve(c))
+        .collect::<Result<_, _>>()?;
+    let mut groups: Vec<(Vec<DbValue>, Vec<Vec<DbValue>>)> = Vec::new();
+    let mut index: HashMap<Vec<crate::value::IndexKey>, usize> = HashMap::new();
+    for row in rows {
+        stats.scanned += 1;
+        let key_vals: Vec<DbValue> = group_cols.iter().map(|&i| row[i].clone()).collect();
+        let key: Vec<crate::value::IndexKey> = key_vals.iter().map(|v| v.index_key()).collect();
+        match index.get(&key) {
+            Some(&g) => groups[g].1.push(row),
+            None => {
+                index.insert(key, groups.len());
+                groups.push((key_vals, vec![row]));
+            }
+        }
+    }
+    // A global aggregate over zero rows still yields one group.
+    if groups.is_empty() && sel.group_by.is_empty() {
+        groups.push((Vec::new(), Vec::new()));
+    }
+
+    let mut columns = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Star => {
+                return Err(DbError::invalid("SELECT * is not valid with GROUP BY"))
+            }
+            SelectItem::Expr { expr, alias } => columns.push(item_name(expr, alias)),
+        }
+    }
+
+    let eval_agg = |func: AggFunc,
+                    arg: &Option<Box<Expr>>,
+                    group: &[Vec<DbValue>]|
+     -> Result<DbValue, DbError> {
+        match func {
+            AggFunc::Count => match arg {
+                None => Ok(DbValue::Int(group.len() as i64)),
+                Some(a) => {
+                    let mut n = 0;
+                    for row in group {
+                        if !ctx.eval(a, row)?.is_null() {
+                            n += 1;
+                        }
+                    }
+                    Ok(DbValue::Int(n))
+                }
+            },
+            AggFunc::Sum | AggFunc::Avg => {
+                let a = arg
+                    .as_ref()
+                    .ok_or_else(|| DbError::invalid("SUM/AVG need an argument"))?;
+                let mut sum = 0.0;
+                let mut all_int = true;
+                let mut n = 0u64;
+                for row in group {
+                    let v = ctx.eval(a, row)?;
+                    if v.is_null() {
+                        continue;
+                    }
+                    if !matches!(v, DbValue::Int(_)) {
+                        all_int = false;
+                    }
+                    sum += v
+                        .as_f64()
+                        .ok_or_else(|| DbError::invalid("SUM/AVG over non-numeric value"))?;
+                    n += 1;
+                }
+                if n == 0 {
+                    return Ok(DbValue::Null);
+                }
+                if func == AggFunc::Avg {
+                    Ok(DbValue::Float(sum / n as f64))
+                } else if all_int {
+                    Ok(DbValue::Int(sum as i64))
+                } else {
+                    Ok(DbValue::Float(sum))
+                }
+            }
+            AggFunc::Min | AggFunc::Max => {
+                let a = arg
+                    .as_ref()
+                    .ok_or_else(|| DbError::invalid("MIN/MAX need an argument"))?;
+                let mut best: Option<DbValue> = None;
+                for row in group {
+                    let v = ctx.eval(a, row)?;
+                    if v.is_null() {
+                        continue;
+                    }
+                    best = Some(match best {
+                        None => v,
+                        Some(b) => {
+                            let keep_new = match v.total_cmp(&b) {
+                                std::cmp::Ordering::Less => func == AggFunc::Min,
+                                std::cmp::Ordering::Greater => func == AggFunc::Max,
+                                std::cmp::Ordering::Equal => false,
+                            };
+                            if keep_new {
+                                v
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                Ok(best.unwrap_or(DbValue::Null))
+            }
+        }
+    };
+
+    // Evaluate a select-item expression over one group (aggregates see
+    // the whole group; plain columns see the group's first row).
+    fn eval_over_group(
+        expr: &Expr,
+        ctx: &EvalCtx<'_>,
+        group: &[Vec<DbValue>],
+        eval_agg: &dyn Fn(AggFunc, &Option<Box<Expr>>, &[Vec<DbValue>]) -> Result<DbValue, DbError>,
+    ) -> Result<DbValue, DbError> {
+        match expr {
+            Expr::Aggregate { func, arg } => eval_agg(*func, arg, group),
+            e if !e.has_aggregate() => match group.first() {
+                Some(row) => ctx.eval(e, row),
+                None => Ok(DbValue::Null),
+            },
+            Expr::Binary { op, left, right } => {
+                let l = eval_over_group(left, ctx, group, eval_agg)?;
+                let r = eval_over_group(right, ctx, group, eval_agg)?;
+                eval_binop(*op, &l, &r)
+            }
+            Expr::Neg(e) => match eval_over_group(e, ctx, group, eval_agg)? {
+                DbValue::Int(i) => Ok(DbValue::Int(-i)),
+                DbValue::Float(f) => Ok(DbValue::Float(-f)),
+                v => Ok(v),
+            },
+            e => Err(DbError::invalid(format!(
+                "unsupported aggregate expression: {e:?}"
+            ))),
+        }
+    }
+
+    let mut out_rows = Vec::with_capacity(groups.len());
+    let mut order_keys = Vec::with_capacity(groups.len());
+    for (_, group) in &groups {
+        let mut out = Vec::with_capacity(sel.items.len());
+        for item in &sel.items {
+            let SelectItem::Expr { expr, .. } = item else {
+                unreachable!("Star rejected above");
+            };
+            out.push(eval_over_group(expr, ctx, group, &eval_agg)?);
+        }
+        let mut keys = Vec::with_capacity(sel.order_by.len());
+        for (expr, _) in &sel.order_by {
+            // Alias / output-column reference?
+            let by_name = match expr {
+                Expr::Column(c) if c.table.is_none() => {
+                    columns.iter().position(|n| *n == c.column)
+                }
+                _ => None,
+            };
+            let key = match by_name {
+                Some(i) => out[i].clone(),
+                None => eval_over_group(expr, ctx, group, &eval_agg)?,
+            };
+            keys.push(key);
+        }
+        out_rows.push(out);
+        order_keys.push(keys);
+    }
+    Ok((columns, out_rows, order_keys))
+}
+
+/// Executes INSERT into a write-locked table.
+pub(crate) fn run_insert(
+    table: &mut TableData,
+    columns: &[String],
+    values: &[Expr],
+    params: &[DbValue],
+    stats: &mut ExecStats,
+) -> Result<usize, DbError> {
+    let schema = table.schema().clone();
+    let ctx = EvalCtx {
+        tables: &[],
+        params,
+    };
+    let mut row = vec![DbValue::Null; schema.arity()];
+    for (name, expr) in columns.iter().zip(values) {
+        let idx = schema
+            .column_index(name)
+            .ok_or_else(|| DbError::NoSuchColumn(name.clone()))?;
+        let mut v = ctx.eval(expr, &[])?;
+        // Coerce integer literals into FLOAT columns.
+        if schema.columns()[idx].dtype == crate::schema::DataType::Float {
+            if let DbValue::Int(i) = v {
+                v = DbValue::Float(i as f64);
+            }
+        }
+        row[idx] = v;
+    }
+    table.insert(row)?;
+    stats.written += 1;
+    Ok(1)
+}
+
+/// Executes UPDATE against a write-locked table.
+pub(crate) fn run_update(
+    table: &mut TableData,
+    table_name: &str,
+    sets: &[(String, Expr)],
+    where_: &Option<Expr>,
+    params: &[DbValue],
+    stats: &mut ExecStats,
+) -> Result<usize, DbError> {
+    let set_cols: Vec<usize> = sets
+        .iter()
+        .map(|(name, _)| {
+            table
+                .schema()
+                .column_index(name)
+                .ok_or_else(|| DbError::NoSuchColumn(name.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    let candidates = candidate_ids(table, table_name, where_, params, stats)?;
+    let mut affected = 0;
+    for id in candidates {
+        let Some(row) = table.row(id) else { continue };
+        stats.scanned += 1;
+        let row = row.clone();
+        let bound = [BoundTable {
+            name: table_name.to_string(),
+            data: table,
+            offset: 0,
+        }];
+        let ctx = EvalCtx {
+            tables: &bound,
+            params,
+        };
+        if let Some(w) = where_ {
+            if !truthy(&ctx.eval(w, &row)?) {
+                continue;
+            }
+        }
+        let mut new_row = row.clone();
+        for (&col, (_, expr)) in set_cols.iter().zip(sets) {
+            new_row[col] = ctx.eval(expr, &row)?;
+        }
+        drop(bound);
+        table.update_row(id, new_row)?;
+        affected += 1;
+        stats.written += 1;
+    }
+    Ok(affected)
+}
+
+/// Executes DELETE against a write-locked table.
+pub(crate) fn run_delete(
+    table: &mut TableData,
+    table_name: &str,
+    where_: &Option<Expr>,
+    params: &[DbValue],
+    stats: &mut ExecStats,
+) -> Result<usize, DbError> {
+    let candidates = candidate_ids(table, table_name, where_, params, stats)?;
+    let mut to_delete = Vec::new();
+    for id in candidates {
+        let Some(row) = table.row(id) else { continue };
+        stats.scanned += 1;
+        let bound = [BoundTable {
+            name: table_name.to_string(),
+            data: table,
+            offset: 0,
+        }];
+        let ctx = EvalCtx {
+            tables: &bound,
+            params,
+        };
+        let keep = match where_ {
+            Some(w) => truthy(&ctx.eval(w, row)?),
+            None => true,
+        };
+        if keep {
+            to_delete.push(id);
+        }
+    }
+    for id in &to_delete {
+        table.delete_row(*id);
+        stats.written += 1;
+    }
+    Ok(to_delete.len())
+}
+
+/// Candidate row IDs for UPDATE/DELETE, via index when possible.
+fn candidate_ids(
+    table: &TableData,
+    table_name: &str,
+    where_: &Option<Expr>,
+    params: &[DbValue],
+    _stats: &mut ExecStats,
+) -> Result<Vec<usize>, DbError> {
+    if let Some(w) = where_ {
+        let conjs = conjuncts(w);
+        let bound = BoundTable {
+            name: table_name.to_string(),
+            data: table,
+            offset: 0,
+        };
+        if let Some((col, key)) = index_probe(&conjs, &bound, params)? {
+            return Ok(table.lookup_eq(col, &key));
+        }
+    }
+    Ok(table.iter_live().map(|(id, _)| id).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_matching() {
+        assert!(like_match("%book%", "The Book of Rust"));
+        assert!(like_match("a_c", "abc"));
+        assert!(!like_match("a_c", "abbc"));
+        assert!(like_match("%", ""));
+        assert!(like_match("", ""));
+        assert!(!like_match("", "x"));
+        assert!(like_match("abc", "ABC"));
+        assert!(like_match("%x", "zzzx"));
+        assert!(!like_match("x%", "zx"));
+        assert!(like_match("%a%b%", "xxaxxbxx"));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!truthy(&DbValue::Null));
+        assert!(!truthy(&DbValue::Int(0)));
+        assert!(truthy(&DbValue::Int(2)));
+        assert!(!truthy(&DbValue::Text(String::new())));
+        assert!(truthy(&DbValue::Text("x".into())));
+    }
+
+    #[test]
+    fn binop_arithmetic() {
+        assert_eq!(
+            eval_binop(BinOp::Add, &DbValue::Int(2), &DbValue::Int(3)).unwrap(),
+            DbValue::Int(5)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Mul, &DbValue::Float(1.5), &DbValue::Int(2)).unwrap(),
+            DbValue::Float(3.0)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Div, &DbValue::Int(1), &DbValue::Int(0)).unwrap(),
+            DbValue::Null
+        );
+        assert_eq!(
+            eval_binop(BinOp::Add, &DbValue::Null, &DbValue::Int(1)).unwrap(),
+            DbValue::Null
+        );
+        assert!(eval_binop(BinOp::Add, &DbValue::Text("a".into()), &DbValue::Int(1)).is_err());
+    }
+
+    #[test]
+    fn binop_comparisons_with_null() {
+        assert_eq!(
+            eval_binop(BinOp::Eq, &DbValue::Null, &DbValue::Null).unwrap(),
+            DbValue::Int(0)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Ne, &DbValue::Null, &DbValue::Int(1)).unwrap(),
+            DbValue::Int(0)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Lt, &DbValue::Int(1), &DbValue::Int(2)).unwrap(),
+            DbValue::Int(1)
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! An embedded relational database with a SQL subset.
+//!
+//! The paper's testbed pairs its web server with MySQL 5.0; the
+//! contended resources its scheduling method manages are:
+//!
+//! 1. a **bounded set of database connections** — rebuilt here as
+//!    [`ConnectionPool`], whose checkout discipline is exactly what the
+//!    paper's thread pools compete over;
+//! 2. queries with a **bimodal cost distribution** — indexed point
+//!    lookups stay microsecond-fast while scans/aggregations over big
+//!    tables are orders of magnitude slower, which is what splits pages
+//!    into *quick* and *lengthy*;
+//! 3. **table-level write locks** — the TPC-W admin-confirm page's
+//!    `UPDATE` must wait for readers of a hot table, the lock-contention
+//!    effect the paper analyses (§4.2.1).
+//!
+//! Supported SQL (see `sql::parser` for the grammar):
+//! `CREATE TABLE`, `CREATE INDEX`, `INSERT`, `SELECT` (projections,
+//! aggregates `COUNT/SUM/AVG/MIN/MAX`, `INNER JOIN … ON`, `WHERE` with
+//! `= != < > <= >= LIKE IS [NOT] NULL AND OR NOT` and arithmetic,
+//! `GROUP BY`, `ORDER BY … ASC|DESC`, `LIMIT/OFFSET`), `UPDATE`,
+//! `DELETE`. Parameters are positional `?`.
+//!
+//! # Examples
+//!
+//! ```
+//! use staged_db::{Database, DbValue};
+//!
+//! let db = Database::new();
+//! db.execute("CREATE TABLE book (id INT PRIMARY KEY, title TEXT)", &[]).unwrap();
+//! db.execute("INSERT INTO book (id, title) VALUES (?, ?)",
+//!            &[DbValue::Int(1), DbValue::from("Dune")]).unwrap();
+//! let result = db.execute("SELECT title FROM book WHERE id = ?",
+//!                         &[DbValue::Int(1)]).unwrap();
+//! assert_eq!(result.rows[0][0], DbValue::from("Dune"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod database;
+mod error;
+mod exec;
+mod pool;
+mod schema;
+mod snapshot;
+mod sql;
+mod table;
+mod value;
+
+pub use cost::CostModel;
+pub use database::{Database, QueryResult};
+pub use error::DbError;
+pub use pool::{ConnectionPool, PooledConnection};
+pub use schema::{Column, DataType, Schema};
+pub use value::DbValue;

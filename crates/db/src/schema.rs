@@ -1,0 +1,156 @@
+//! Table schemas.
+
+use crate::error::DbError;
+use std::fmt;
+
+/// A column's declared type. Types are advisory (values are dynamically
+/// typed), but `INSERT` coerces integer literals into `FLOAT` columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Text,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Text => write!(f, "TEXT"),
+        }
+    }
+}
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (lower-cased at parse time).
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Creates a column definition.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// A table schema: ordered columns plus an optional single-column
+/// primary key.
+///
+/// # Examples
+///
+/// ```
+/// use staged_db::{Column, DataType, Schema};
+///
+/// let schema = Schema::new(
+///     vec![Column::new("id", DataType::Int), Column::new("title", DataType::Text)],
+///     Some(0),
+/// ).unwrap();
+/// assert_eq!(schema.column_index("title"), Some(1));
+/// assert_eq!(schema.primary_key(), Some(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+    primary_key: Option<usize>,
+}
+
+impl Schema {
+    /// Builds a schema.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty column lists, duplicate names, and out-of-range
+    /// primary-key indexes.
+    pub fn new(columns: Vec<Column>, primary_key: Option<usize>) -> Result<Self, DbError> {
+        if columns.is_empty() {
+            return Err(DbError::invalid("table needs at least one column"));
+        }
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|o| o.name == c.name) {
+                return Err(DbError::invalid(format!("duplicate column: {}", c.name)));
+            }
+        }
+        if let Some(pk) = primary_key {
+            if pk >= columns.len() {
+                return Err(DbError::invalid("primary key column out of range"));
+            }
+        }
+        Ok(Schema {
+            columns,
+            primary_key,
+        })
+    }
+
+    /// The ordered column definitions.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Index of the column named `name`.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The primary-key column index, if declared.
+    pub fn primary_key(&self) -> Option<usize> {
+        self.primary_key
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_looks_up() {
+        let s = Schema::new(
+            vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Text),
+            ],
+            Some(0),
+        )
+        .unwrap();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.column_index("b"), Some(1));
+        assert_eq!(s.column_index("z"), None);
+        assert_eq!(s.primary_key(), Some(0));
+    }
+
+    #[test]
+    fn rejects_bad_schemas() {
+        assert!(Schema::new(vec![], None).is_err());
+        assert!(Schema::new(
+            vec![
+                Column::new("a", DataType::Int),
+                Column::new("a", DataType::Int)
+            ],
+            None
+        )
+        .is_err());
+        assert!(Schema::new(vec![Column::new("a", DataType::Int)], Some(5)).is_err());
+    }
+
+    #[test]
+    fn datatype_display() {
+        assert_eq!(DataType::Int.to_string(), "INT");
+        assert_eq!(DataType::Float.to_string(), "FLOAT");
+        assert_eq!(DataType::Text.to_string(), "TEXT");
+    }
+}

@@ -1,0 +1,225 @@
+//! SQL tokenizer.
+
+use crate::error::DbError;
+
+/// One SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Tok {
+    /// Identifier or keyword (stored lower-cased; SQL here is
+    /// case-insensitive).
+    Ident(String),
+    /// Numeric literal (integer or float), unparsed text.
+    Number(String),
+    /// String literal with `''` escapes already resolved.
+    Str(String),
+    /// Positional parameter `?`.
+    Param,
+    /// Single-character symbol: `( ) , . *`
+    Symbol(char),
+    /// Operator: `= != <> < > <= >= + - /`
+    Op(&'static str),
+}
+
+/// Tokenizes SQL text. `--` line comments are skipped.
+pub(crate) fn lex(sql: &str) -> Result<Vec<Tok>, DbError> {
+    let bytes = sql.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            // Collect a full UTF-8 code point.
+                            let ch_len = utf8_len(b);
+                            let end = (i + ch_len).min(bytes.len());
+                            s.push_str(&String::from_utf8_lossy(&bytes[i..end]));
+                            i = end;
+                        }
+                        None => return Err(DbError::syntax("unterminated string literal")),
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            '?' => {
+                toks.push(Tok::Param);
+                i += 1;
+            }
+            '(' | ')' | ',' | '.' | '*' => {
+                toks.push(Tok::Symbol(c));
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Op("="));
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                toks.push(Tok::Op("!="));
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        toks.push(Tok::Op("<="));
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        toks.push(Tok::Op("!="));
+                        i += 2;
+                    }
+                    _ => {
+                        toks.push(Tok::Op("<"));
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Op(">="));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Op(">"));
+                    i += 1;
+                }
+            }
+            '+' => {
+                toks.push(Tok::Op("+"));
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Op("-"));
+                i += 1;
+            }
+            '/' => {
+                toks.push(Tok::Op("/"));
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                toks.push(Tok::Number(sql[start..i].to_string()));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push(Tok::Ident(sql[start..i].to_ascii_lowercase()));
+            }
+            other => {
+                return Err(DbError::syntax(format!(
+                    "unexpected character '{other}' in SQL"
+                )))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_select() {
+        let toks = lex("SELECT a, b FROM t WHERE x = ? AND y >= 2.5").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("select".into()),
+                Tok::Ident("a".into()),
+                Tok::Symbol(','),
+                Tok::Ident("b".into()),
+                Tok::Ident("from".into()),
+                Tok::Ident("t".into()),
+                Tok::Ident("where".into()),
+                Tok::Ident("x".into()),
+                Tok::Op("="),
+                Tok::Param,
+                Tok::Ident("and".into()),
+                Tok::Ident("y".into()),
+                Tok::Op(">="),
+                Tok::Number("2.5".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            lex("'it''s'").unwrap(),
+            vec![Tok::Str("it's".into())]
+        );
+        assert_eq!(lex("''").unwrap(), vec![Tok::Str(String::new())]);
+        assert!(lex("'open").is_err());
+    }
+
+    #[test]
+    fn unicode_strings() {
+        assert_eq!(lex("'héllo'").unwrap(), vec![Tok::Str("héllo".into())]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            lex("a != b <> c <= d").unwrap()[1],
+            Tok::Op("!=")
+        );
+        assert_eq!(lex("a <> b").unwrap()[1], Tok::Op("!="));
+        assert_eq!(lex("a <= b").unwrap()[1], Tok::Op("<="));
+        assert_eq!(lex("a < b").unwrap()[1], Tok::Op("<"));
+        assert_eq!(lex("a - 1").unwrap()[1], Tok::Op("-"));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn keywords_lowercased() {
+        assert_eq!(
+            lex("SeLeCt").unwrap(),
+            vec![Tok::Ident("select".into())]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("SELECT @foo").is_err());
+    }
+}

@@ -1,0 +1,5 @@
+//! The SQL front end: lexer, AST, parser.
+
+pub(crate) mod ast;
+pub(crate) mod lexer;
+pub(crate) mod parser;

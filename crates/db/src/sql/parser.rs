@@ -1,0 +1,920 @@
+//! Recursive-descent SQL parser.
+
+use crate::error::DbError;
+use crate::schema::{Column, DataType};
+use crate::sql::ast::*;
+use crate::sql::lexer::{lex, Tok};
+use crate::value::DbValue;
+
+/// Parses one SQL statement.
+pub(crate) fn parse(sql: &str) -> Result<Statement, DbError> {
+    let toks = lex(sql)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        params: 0,
+    };
+    let stmt = p.statement()?;
+    if p.pos != p.toks.len() {
+        return Err(DbError::syntax(format!(
+            "unexpected trailing tokens after statement: {:?}",
+            p.toks[p.pos]
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+    params: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Tok, DbError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| DbError::syntax("unexpected end of statement"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), DbError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(DbError::syntax(format!(
+                "expected '{}', found {:?}",
+                kw.to_uppercase(),
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_symbol(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Tok::Symbol(s)) if *s == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, c: char) -> Result<(), DbError> {
+        if self.eat_symbol(c) {
+            Ok(())
+        } else {
+            Err(DbError::syntax(format!(
+                "expected '{c}', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Op(s)) if *s == op) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DbError> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            t => Err(DbError::syntax(format!("expected identifier, found {t:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, DbError> {
+        if self.eat_keyword("create") {
+            if self.eat_keyword("table") {
+                return self.create_table();
+            }
+            if self.eat_keyword("index") {
+                return self.create_index();
+            }
+            return Err(DbError::syntax("expected TABLE or INDEX after CREATE"));
+        }
+        if self.eat_keyword("insert") {
+            return self.insert();
+        }
+        if self.eat_keyword("select") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.eat_keyword("update") {
+            return self.update();
+        }
+        if self.eat_keyword("delete") {
+            return self.delete();
+        }
+        Err(DbError::syntax(format!(
+            "expected a statement, found {:?}",
+            self.peek()
+        )))
+    }
+
+    fn create_table(&mut self) -> Result<Statement, DbError> {
+        let name = self.ident()?;
+        self.expect_symbol('(')?;
+        let mut columns = Vec::new();
+        let mut primary_key = None;
+        loop {
+            let col_name = self.ident()?;
+            let dtype = match self.ident()?.as_str() {
+                "int" | "integer" | "bigint" => DataType::Int,
+                "float" | "double" | "real" | "numeric" | "decimal" => DataType::Float,
+                "text" | "varchar" | "char" => DataType::Text,
+                other => {
+                    return Err(DbError::syntax(format!("unknown column type: {other}")))
+                }
+            };
+            // Optional (n) size suffix, ignored.
+            if self.eat_symbol('(') {
+                loop {
+                    match self.next()? {
+                        Tok::Symbol(')') => break,
+                        Tok::Number(_) | Tok::Symbol(',') => {}
+                        t => {
+                            return Err(DbError::syntax(format!(
+                                "unexpected token in type size: {t:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+            if self.eat_keyword("primary") {
+                self.expect_keyword("key")?;
+                if primary_key.is_some() {
+                    return Err(DbError::syntax("multiple PRIMARY KEY declarations"));
+                }
+                primary_key = Some(columns.len());
+            }
+            columns.push(Column::new(col_name, dtype));
+            if self.eat_symbol(',') {
+                continue;
+            }
+            self.expect_symbol(')')?;
+            break;
+        }
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            primary_key,
+        })
+    }
+
+    fn create_index(&mut self) -> Result<Statement, DbError> {
+        // CREATE INDEX [name] ON table (column) — the index name is
+        // accepted and ignored; indexes are addressed by table+column.
+        let first = self.ident()?;
+        let table = if first == "on" {
+            self.ident()?
+        } else {
+            self.expect_keyword("on")?;
+            self.ident()?
+        };
+        self.expect_symbol('(')?;
+        let column = self.ident()?;
+        self.expect_symbol(')')?;
+        Ok(Statement::CreateIndex { table, column })
+    }
+
+    fn insert(&mut self) -> Result<Statement, DbError> {
+        self.expect_keyword("into")?;
+        let table = self.ident()?;
+        self.expect_symbol('(')?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.ident()?);
+            if self.eat_symbol(',') {
+                continue;
+            }
+            self.expect_symbol(')')?;
+            break;
+        }
+        self.expect_keyword("values")?;
+        self.expect_symbol('(')?;
+        let mut values = Vec::new();
+        loop {
+            values.push(self.expr()?);
+            if self.eat_symbol(',') {
+                continue;
+            }
+            self.expect_symbol(')')?;
+            break;
+        }
+        if values.len() != columns.len() {
+            return Err(DbError::syntax(format!(
+                "INSERT has {} columns but {} values",
+                columns.len(),
+                values.len()
+            )));
+        }
+        Ok(Statement::Insert {
+            table,
+            columns,
+            values,
+        })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, DbError> {
+        let table = self.ident()?;
+        let alias = match self.peek() {
+            Some(Tok::Ident(s)) if !is_clause_keyword(s) => {
+                let a = s.clone();
+                self.pos += 1;
+                Some(a)
+            }
+            _ => None,
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn col_ref(&mut self) -> Result<ColRef, DbError> {
+        let first = self.ident()?;
+        if self.eat_symbol('.') {
+            let column = self.ident()?;
+            Ok(ColRef {
+                table: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColRef {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, DbError> {
+        let mut items = Vec::new();
+        loop {
+            if self.eat_symbol('*') {
+                items.push(SelectItem::Star);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_keyword("as") {
+                    Some(self.ident()?)
+                } else {
+                    match self.peek() {
+                        Some(Tok::Ident(s)) if !is_clause_keyword(s) => {
+                            let a = s.clone();
+                            self.pos += 1;
+                            Some(a)
+                        }
+                        _ => None,
+                    }
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if self.eat_symbol(',') {
+                continue;
+            }
+            break;
+        }
+        self.expect_keyword("from")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let has_inner = self.eat_keyword("inner");
+            if self.eat_keyword("join") {
+                let table = self.table_ref()?;
+                self.expect_keyword("on")?;
+                let on_left = self.col_ref()?;
+                if !self.eat_op("=") {
+                    return Err(DbError::syntax("JOIN … ON requires an equality"));
+                }
+                let on_right = self.col_ref()?;
+                joins.push(Join {
+                    table,
+                    on_left,
+                    on_right,
+                });
+            } else if has_inner {
+                return Err(DbError::syntax("expected JOIN after INNER"));
+            } else {
+                break;
+            }
+        }
+        let where_ = if self.eat_keyword("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            loop {
+                group_by.push(self.col_ref()?);
+                if !self.eat_symbol(',') {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_keyword("desc") {
+                    true
+                } else {
+                    self.eat_keyword("asc");
+                    false
+                };
+                order_by.push((expr, desc));
+                if !self.eat_symbol(',') {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("limit") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let offset = if self.eat_keyword("offset") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            items,
+            from,
+            joins,
+            where_,
+            group_by,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn update(&mut self) -> Result<Statement, DbError> {
+        let table = self.ident()?;
+        self.expect_keyword("set")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            if !self.eat_op("=") {
+                return Err(DbError::syntax("expected '=' in SET clause"));
+            }
+            sets.push((col, self.expr()?));
+            if !self.eat_symbol(',') {
+                break;
+            }
+        }
+        let where_ = if self.eat_keyword("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            where_,
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement, DbError> {
+        self.expect_keyword("from")?;
+        let table = self.ident()?;
+        let where_ = if self.eat_keyword("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, where_ })
+    }
+
+    // Expression precedence: OR < AND < NOT < comparison < add < mul < unary.
+
+    fn expr(&mut self) -> Result<Expr, DbError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, DbError> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("or") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, DbError> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("and") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, DbError> {
+        if self.eat_keyword("not") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, DbError> {
+        let left = self.additive()?;
+        // [NOT] IN / [NOT] BETWEEN.
+        let negated = if matches!(self.peek(), Some(Tok::Ident(s)) if s == "not") {
+            // Only consume NOT when IN/BETWEEN follows (a bare NOT here
+            // would belong to an enclosing boolean expression).
+            match self.toks.get(self.pos + 1) {
+                Some(Tok::Ident(s)) if s == "in" || s == "between" => {
+                    self.pos += 1;
+                    true
+                }
+                _ => false,
+            }
+        } else {
+            false
+        };
+        if self.eat_keyword("in") {
+            self.expect_symbol('(')?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if self.eat_symbol(',') {
+                    continue;
+                }
+                self.expect_symbol(')')?;
+                break;
+            }
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_keyword("between") {
+            let low = self.additive()?;
+            self.expect_keyword("and")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if negated {
+            return Err(DbError::syntax("expected IN or BETWEEN after NOT"));
+        }
+        let op = if self.eat_op("=") {
+            Some(BinOp::Eq)
+        } else if self.eat_op("!=") {
+            Some(BinOp::Ne)
+        } else if self.eat_op("<=") {
+            Some(BinOp::Le)
+        } else if self.eat_op(">=") {
+            Some(BinOp::Ge)
+        } else if self.eat_op("<") {
+            Some(BinOp::Lt)
+        } else if self.eat_op(">") {
+            Some(BinOp::Gt)
+        } else if self.eat_keyword("like") {
+            Some(BinOp::Like)
+        } else if self.eat_keyword("is") {
+            let negated = self.eat_keyword("not");
+            self.expect_keyword("null")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        } else {
+            None
+        };
+        match op {
+            Some(op) => {
+                let right = self.additive()?;
+                Ok(Expr::Binary {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                })
+            }
+            None => Ok(left),
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, DbError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = if self.eat_op("+") {
+                BinOp::Add
+            } else if self.eat_op("-") {
+                BinOp::Sub
+            } else {
+                break;
+            };
+            let right = self.multiplicative()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, DbError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = if self.eat_symbol('*') {
+                BinOp::Mul
+            } else if self.eat_op("/") {
+                BinOp::Div
+            } else {
+                break;
+            };
+            let right = self.unary()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, DbError> {
+        if self.eat_op("-") {
+            let inner = self.unary()?;
+            return Ok(match inner {
+                Expr::Literal(DbValue::Int(i)) => Expr::Literal(DbValue::Int(-i)),
+                Expr::Literal(DbValue::Float(f)) => Expr::Literal(DbValue::Float(-f)),
+                other => Expr::Neg(Box::new(other)),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, DbError> {
+        match self.next()? {
+            Tok::Number(n) => {
+                if n.contains('.') {
+                    n.parse::<f64>()
+                        .map(|f| Expr::Literal(DbValue::Float(f)))
+                        .map_err(|_| DbError::syntax(format!("bad number: {n}")))
+                } else {
+                    n.parse::<i64>()
+                        .map(|i| Expr::Literal(DbValue::Int(i)))
+                        .map_err(|_| DbError::syntax(format!("bad number: {n}")))
+                }
+            }
+            Tok::Str(s) => Ok(Expr::Literal(DbValue::Text(s))),
+            Tok::Param => {
+                let idx = self.params;
+                self.params += 1;
+                Ok(Expr::Param(idx))
+            }
+            Tok::Symbol('(') => {
+                let e = self.expr()?;
+                self.expect_symbol(')')?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                // NULL literal, aggregate call, or column reference.
+                if name == "null" {
+                    return Ok(Expr::Literal(DbValue::Null));
+                }
+                let agg = match name.as_str() {
+                    "count" => Some(AggFunc::Count),
+                    "sum" => Some(AggFunc::Sum),
+                    "avg" => Some(AggFunc::Avg),
+                    "min" => Some(AggFunc::Min),
+                    "max" => Some(AggFunc::Max),
+                    _ => None,
+                };
+                if let Some(func) = agg {
+                    if self.eat_symbol('(') {
+                        if self.eat_symbol('*') {
+                            if func != AggFunc::Count {
+                                return Err(DbError::syntax(format!(
+                                    "{}(*) is not valid",
+                                    func.name()
+                                )));
+                            }
+                            self.expect_symbol(')')?;
+                            return Ok(Expr::Aggregate { func, arg: None });
+                        }
+                        let arg = self.expr()?;
+                        self.expect_symbol(')')?;
+                        return Ok(Expr::Aggregate {
+                            func,
+                            arg: Some(Box::new(arg)),
+                        });
+                    }
+                }
+                if self.eat_symbol('.') {
+                    let column = self.ident()?;
+                    Ok(Expr::Column(ColRef {
+                        table: Some(name),
+                        column,
+                    }))
+                } else {
+                    Ok(Expr::Column(ColRef {
+                        table: None,
+                        column: name,
+                    }))
+                }
+            }
+            t => Err(DbError::syntax(format!("unexpected token: {t:?}"))),
+        }
+    }
+}
+
+/// Keywords that end an alias position.
+fn is_clause_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "from"
+            | "where"
+            | "join"
+            | "inner"
+            | "on"
+            | "group"
+            | "order"
+            | "limit"
+            | "offset"
+            | "as"
+            | "set"
+            | "values"
+            | "and"
+            | "or"
+            | "not"
+            | "like"
+            | "is"
+            | "asc"
+            | "desc"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_table() {
+        let s = parse("CREATE TABLE item (i_id INT PRIMARY KEY, i_title VARCHAR(60), i_cost FLOAT)")
+            .unwrap();
+        match s {
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+            } => {
+                assert_eq!(name, "item");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[1].name, "i_title");
+                assert_eq!(columns[1].dtype, DataType::Text);
+                assert_eq!(columns[2].dtype, DataType::Float);
+                assert_eq!(primary_key, Some(0));
+            }
+            s => panic!("unexpected {s:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_create_index_with_and_without_name() {
+        assert_eq!(
+            parse("CREATE INDEX ON item (i_subject)").unwrap(),
+            Statement::CreateIndex {
+                table: "item".into(),
+                column: "i_subject".into()
+            }
+        );
+        assert_eq!(
+            parse("CREATE INDEX idx_subj ON item (i_subject)").unwrap(),
+            Statement::CreateIndex {
+                table: "item".into(),
+                column: "i_subject".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_insert_with_params() {
+        let s = parse("INSERT INTO t (a, b) VALUES (?, 'x')").unwrap();
+        match s {
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => {
+                assert_eq!(table, "t");
+                assert_eq!(columns, vec!["a", "b"]);
+                assert_eq!(values[0], Expr::Param(0));
+                assert_eq!(values[1], Expr::Literal(DbValue::Text("x".into())));
+            }
+            s => panic!("unexpected {s:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_arity_checked() {
+        assert!(parse("INSERT INTO t (a, b) VALUES (1)").is_err());
+    }
+
+    #[test]
+    fn parses_select_with_everything() {
+        let s = parse(
+            "SELECT i.i_id, i.i_title AS title, SUM(ol.ol_qty) total \
+             FROM item i JOIN order_line ol ON ol.ol_i_id = i.i_id \
+             WHERE i.i_subject = ? AND ol.ol_o_id > 100 \
+             GROUP BY i.i_id, i.i_title \
+             ORDER BY total DESC, title ASC LIMIT 50 OFFSET 5",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else {
+            panic!("expected select");
+        };
+        assert_eq!(sel.items.len(), 3);
+        assert!(matches!(
+            &sel.items[1],
+            SelectItem::Expr { alias: Some(a), .. } if a == "title"
+        ));
+        assert!(matches!(
+            &sel.items[2],
+            SelectItem::Expr { expr: Expr::Aggregate { func: AggFunc::Sum, .. }, alias: Some(a) } if a == "total"
+        ));
+        assert_eq!(sel.from.effective_name(), "i");
+        assert_eq!(sel.joins.len(), 1);
+        assert_eq!(sel.group_by.len(), 2);
+        assert_eq!(sel.order_by.len(), 2);
+        assert!(sel.order_by[0].1);
+        assert!(!sel.order_by[1].1);
+        assert_eq!(sel.limit, Some(Expr::Literal(DbValue::Int(50))));
+        assert_eq!(sel.offset, Some(Expr::Literal(DbValue::Int(5))));
+    }
+
+    #[test]
+    fn parses_select_star_and_count_star() {
+        let s = parse("SELECT * FROM t").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.items, vec![SelectItem::Star]);
+        let s = parse("SELECT COUNT(*) FROM t").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert!(matches!(
+            &sel.items[0],
+            SelectItem::Expr { expr: Expr::Aggregate { func: AggFunc::Count, arg: None }, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_where_precedence() {
+        let s = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND NOT c = 3").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        match sel.where_.unwrap() {
+            Expr::Binary {
+                op: BinOp::Or,
+                right,
+                ..
+            } => match *right {
+                Expr::Binary { op: BinOp::And, right, .. } => {
+                    assert!(matches!(*right, Expr::Not(_)));
+                }
+                e => panic!("expected AND, got {e:?}"),
+            },
+            e => panic!("expected OR, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_like_and_is_null() {
+        let s = parse("SELECT * FROM t WHERE a LIKE '%x%' AND b IS NOT NULL").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        match sel.where_.unwrap() {
+            Expr::Binary { op: BinOp::And, left, right } => {
+                assert!(matches!(
+                    *left,
+                    Expr::Binary { op: BinOp::Like, .. }
+                ));
+                assert!(matches!(
+                    *right,
+                    Expr::IsNull { negated: true, .. }
+                ));
+            }
+            e => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_arithmetic_with_precedence() {
+        let s = parse("SELECT a + b * 2 FROM t").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else {
+            panic!()
+        };
+        match expr {
+            Expr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. })),
+            e => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let s = parse("SELECT * FROM t WHERE a = -5").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        match sel.where_.unwrap() {
+            Expr::Binary { right, .. } => {
+                assert_eq!(*right, Expr::Literal(DbValue::Int(-5)));
+            }
+            e => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_update_and_delete() {
+        let s = parse("UPDATE item SET i_stock = i_stock - ?, i_cost = 3.5 WHERE i_id = ?")
+            .unwrap();
+        match s {
+            Statement::Update { table, sets, where_ } => {
+                assert_eq!(table, "item");
+                assert_eq!(sets.len(), 2);
+                assert!(where_.is_some());
+            }
+            s => panic!("unexpected {s:?}"),
+        }
+        let s = parse("DELETE FROM cart_line WHERE scl_sc_id = ?").unwrap();
+        assert!(matches!(s, Statement::Delete { .. }));
+    }
+
+    #[test]
+    fn param_indexes_are_positional() {
+        let s = parse("SELECT * FROM t WHERE a = ? AND b = ? AND c = ?").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        let mut found = Vec::new();
+        fn walk(e: &Expr, out: &mut Vec<usize>) {
+            match e {
+                Expr::Param(i) => out.push(*i),
+                Expr::Binary { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+                Expr::Not(e) | Expr::Neg(e) | Expr::IsNull { expr: e, .. } => walk(e, out),
+                _ => {}
+            }
+        }
+        walk(&sel.where_.unwrap(), &mut found);
+        assert_eq!(found, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rejects_trailing_tokens_and_garbage() {
+        assert!(parse("SELECT * FROM t garbage after ) (").is_err());
+        assert!(parse("DROP TABLE t").is_err());
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("SUM(*)").is_err());
+    }
+
+    #[test]
+    fn null_literal() {
+        let s = parse("SELECT * FROM t WHERE a IS NULL AND b = NULL").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert!(sel.where_.is_some());
+    }
+
+    #[test]
+    fn join_requires_equality() {
+        assert!(parse("SELECT * FROM a JOIN b ON a.x > b.y").is_err());
+        assert!(parse("SELECT * FROM a INNER JOIN b ON a.x = b.y").is_ok());
+        assert!(parse("SELECT * FROM a INNER b").is_err());
+    }
+}

@@ -1,0 +1,328 @@
+//! Row storage with B-tree indexes.
+
+use crate::error::DbError;
+use crate::schema::Schema;
+use crate::value::{DbValue, IndexKey};
+use std::collections::{BTreeMap, HashMap};
+
+/// A table's rows and indexes. Lives behind the table's `RwLock` (the
+/// table-level lock the paper's admin-response analysis depends on).
+#[derive(Debug)]
+pub(crate) struct TableData {
+    schema: Schema,
+    rows: Vec<Option<Vec<DbValue>>>,
+    live: usize,
+    /// Secondary (non-unique) indexes by column position.
+    indexes: HashMap<usize, BTreeMap<IndexKey, Vec<usize>>>,
+    /// Unique primary-key index.
+    pk_index: Option<BTreeMap<IndexKey, usize>>,
+}
+
+impl TableData {
+    pub(crate) fn new(schema: Schema) -> Self {
+        let pk_index = schema.primary_key().map(|_| BTreeMap::new());
+        TableData {
+            schema,
+            rows: Vec::new(),
+            live: 0,
+            indexes: HashMap::new(),
+            pk_index,
+        }
+    }
+
+    pub(crate) fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Inserts a row, maintaining all indexes.
+    ///
+    /// # Errors
+    ///
+    /// Arity mismatches and duplicate primary keys.
+    pub(crate) fn insert(&mut self, values: Vec<DbValue>) -> Result<usize, DbError> {
+        if values.len() != self.schema.arity() {
+            return Err(DbError::invalid(format!(
+                "expected {} values, got {}",
+                self.schema.arity(),
+                values.len()
+            )));
+        }
+        let row_id = self.rows.len();
+        if let (Some(pk_col), Some(pk_index)) = (self.schema.primary_key(), &mut self.pk_index) {
+            let key = values[pk_col].index_key();
+            if pk_index.contains_key(&key) {
+                return Err(DbError::DuplicateKey(format!(
+                    "{}={}",
+                    self.schema.columns()[pk_col].name,
+                    values[pk_col]
+                )));
+            }
+            pk_index.insert(key, row_id);
+        }
+        for (&col, index) in &mut self.indexes {
+            index
+                .entry(values[col].index_key())
+                .or_default()
+                .push(row_id);
+        }
+        self.rows.push(Some(values));
+        self.live += 1;
+        Ok(row_id)
+    }
+
+    /// Replaces a live row's values, maintaining indexes.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate primary keys (when the PK value changes onto an
+    /// existing one).
+    pub(crate) fn update_row(
+        &mut self,
+        row_id: usize,
+        new_values: Vec<DbValue>,
+    ) -> Result<(), DbError> {
+        debug_assert_eq!(new_values.len(), self.schema.arity());
+        let old = match self.rows.get(row_id) {
+            Some(Some(v)) => v.clone(),
+            _ => return Err(DbError::invalid("update of missing row")),
+        };
+        if let (Some(pk_col), Some(pk_index)) = (self.schema.primary_key(), &mut self.pk_index) {
+            let old_key = old[pk_col].index_key();
+            let new_key = new_values[pk_col].index_key();
+            if old_key != new_key {
+                if pk_index.contains_key(&new_key) {
+                    return Err(DbError::DuplicateKey(format!(
+                        "{}={}",
+                        self.schema.columns()[pk_col].name,
+                        new_values[pk_col]
+                    )));
+                }
+                pk_index.remove(&old_key);
+                pk_index.insert(new_key, row_id);
+            }
+        }
+        for (&col, index) in &mut self.indexes {
+            let old_key = old[col].index_key();
+            let new_key = new_values[col].index_key();
+            if old_key != new_key {
+                if let Some(ids) = index.get_mut(&old_key) {
+                    ids.retain(|&id| id != row_id);
+                    if ids.is_empty() {
+                        index.remove(&old_key);
+                    }
+                }
+                index.entry(new_key).or_default().push(row_id);
+            }
+        }
+        self.rows[row_id] = Some(new_values);
+        Ok(())
+    }
+
+    /// Deletes a live row, maintaining indexes. No-op for dead rows.
+    pub(crate) fn delete_row(&mut self, row_id: usize) {
+        let old = match self.rows.get_mut(row_id) {
+            Some(slot @ Some(_)) => slot.take().expect("checked Some"),
+            _ => return,
+        };
+        self.live -= 1;
+        if let (Some(pk_col), Some(pk_index)) = (self.schema.primary_key(), &mut self.pk_index) {
+            pk_index.remove(&old[pk_col].index_key());
+        }
+        for (&col, index) in &mut self.indexes {
+            let key = old[col].index_key();
+            if let Some(ids) = index.get_mut(&key) {
+                ids.retain(|&id| id != row_id);
+                if ids.is_empty() {
+                    index.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// A live row's values.
+    pub(crate) fn row(&self, row_id: usize) -> Option<&Vec<DbValue>> {
+        self.rows.get(row_id).and_then(Option::as_ref)
+    }
+
+    /// Iterates live rows as `(row_id, values)`.
+    pub(crate) fn iter_live(&self) -> impl Iterator<Item = (usize, &Vec<DbValue>)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(id, r)| r.as_ref().map(|v| (id, v)))
+    }
+
+    /// Builds a secondary index over `col` (no-op if present).
+    pub(crate) fn create_index(&mut self, col: usize) {
+        if self.indexes.contains_key(&col) || self.schema.primary_key() == Some(col) {
+            return;
+        }
+        let mut index: BTreeMap<IndexKey, Vec<usize>> = BTreeMap::new();
+        for (id, row) in self
+            .rows
+            .iter()
+            .enumerate()
+            .filter_map(|(id, r)| r.as_ref().map(|v| (id, v)))
+        {
+            index.entry(row[col].index_key()).or_default().push(id);
+        }
+        self.indexes.insert(col, index);
+    }
+
+    /// Whether equality lookups on `col` can use an index.
+    pub(crate) fn has_index(&self, col: usize) -> bool {
+        self.schema.primary_key() == Some(col) || self.indexes.contains_key(&col)
+    }
+
+    /// Row IDs with `col = value`, via index. Caller must have checked
+    /// [`TableData::has_index`].
+    pub(crate) fn lookup_eq(&self, col: usize, value: &DbValue) -> Vec<usize> {
+        if value.is_null() {
+            return Vec::new(); // NULL = anything is never true
+        }
+        let key = value.index_key();
+        if self.schema.primary_key() == Some(col) {
+            return self
+                .pk_index
+                .as_ref()
+                .and_then(|ix| ix.get(&key))
+                .map(|&id| vec![id])
+                .unwrap_or_default();
+        }
+        self.indexes
+            .get(&col)
+            .and_then(|ix| ix.get(&key))
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                Column::new("id", DataType::Int),
+                Column::new("name", DataType::Text),
+                Column::new("score", DataType::Int),
+            ],
+            Some(0),
+        )
+        .unwrap()
+    }
+
+    fn row(id: i64, name: &str, score: i64) -> Vec<DbValue> {
+        vec![DbValue::Int(id), DbValue::from(name), DbValue::Int(score)]
+    }
+
+    #[test]
+    fn insert_and_pk_lookup() {
+        let mut t = TableData::new(schema());
+        t.insert(row(1, "a", 10)).unwrap();
+        t.insert(row(2, "b", 20)).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t.has_index(0));
+        assert_eq!(t.lookup_eq(0, &DbValue::Int(2)), vec![1]);
+        assert_eq!(t.lookup_eq(0, &DbValue::Int(9)), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = TableData::new(schema());
+        t.insert(row(1, "a", 10)).unwrap();
+        assert!(matches!(
+            t.insert(row(1, "b", 20)),
+            Err(DbError::DuplicateKey(_))
+        ));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = TableData::new(schema());
+        assert!(t.insert(vec![DbValue::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn secondary_index_lookup_and_maintenance() {
+        let mut t = TableData::new(schema());
+        t.insert(row(1, "x", 5)).unwrap();
+        t.insert(row(2, "x", 6)).unwrap();
+        t.insert(row(3, "y", 7)).unwrap();
+        t.create_index(1);
+        assert!(t.has_index(1));
+        assert_eq!(t.lookup_eq(1, &DbValue::from("x")), vec![0, 1]);
+
+        // Update moves the row between keys.
+        t.update_row(0, row(1, "y", 5)).unwrap();
+        assert_eq!(t.lookup_eq(1, &DbValue::from("x")), vec![1]);
+        assert_eq!(t.lookup_eq(1, &DbValue::from("y")), vec![2, 0]);
+
+        // Delete removes from the index.
+        t.delete_row(2);
+        assert_eq!(t.lookup_eq(1, &DbValue::from("y")), vec![0]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn update_pk_collision_rejected() {
+        let mut t = TableData::new(schema());
+        t.insert(row(1, "a", 1)).unwrap();
+        t.insert(row(2, "b", 2)).unwrap();
+        assert!(t.update_row(0, row(2, "a", 1)).is_err());
+        // Non-colliding PK change works and relocates the index entry.
+        t.update_row(0, row(5, "a", 1)).unwrap();
+        assert_eq!(t.lookup_eq(0, &DbValue::Int(5)), vec![0]);
+        assert_eq!(t.lookup_eq(0, &DbValue::Int(1)), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn iter_live_skips_deleted() {
+        let mut t = TableData::new(schema());
+        t.insert(row(1, "a", 1)).unwrap();
+        t.insert(row(2, "b", 2)).unwrap();
+        t.delete_row(0);
+        let ids: Vec<usize> = t.iter_live().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![1]);
+        assert!(t.row(0).is_none());
+        assert!(t.row(1).is_some());
+    }
+
+    #[test]
+    fn null_equality_lookup_is_empty() {
+        let mut t = TableData::new(schema());
+        t.insert(vec![DbValue::Int(1), DbValue::Null, DbValue::Int(0)])
+            .unwrap();
+        t.create_index(1);
+        assert_eq!(t.lookup_eq(1, &DbValue::Null), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn create_index_backfills_existing_rows() {
+        let mut t = TableData::new(schema());
+        for i in 0..10 {
+            t.insert(row(i, if i % 2 == 0 { "even" } else { "odd" }, i))
+                .unwrap();
+        }
+        t.create_index(1);
+        assert_eq!(t.lookup_eq(1, &DbValue::from("even")).len(), 5);
+    }
+
+    #[test]
+    fn delete_is_idempotent() {
+        let mut t = TableData::new(schema());
+        t.insert(row(1, "a", 1)).unwrap();
+        t.delete_row(0);
+        t.delete_row(0);
+        t.delete_row(99);
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,418 @@
+//! A buffered HTTP/1.1 connection supporting staged parsing.
+
+use crate::error::HttpError;
+use crate::headers::HeaderMap;
+use crate::request::{Request, RequestLine};
+use crate::response::Response;
+use std::io::{self, Read, Write};
+
+/// Limits applied while parsing incoming requests.
+///
+/// # Examples
+///
+/// ```
+/// use staged_http::ParseLimits;
+///
+/// let limits = ParseLimits::default();
+/// assert_eq!(limits.max_line, 8192);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum length of the request line or any header line, in bytes.
+    pub max_line: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+    /// Maximum request body size, in bytes.
+    pub max_body: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_line: 8192,
+            max_headers: 100,
+            max_body: 1 << 20,
+        }
+    }
+}
+
+/// A buffered connection that parses requests **in stages**, so
+/// different thread pools can advance the same request:
+///
+/// 1. [`Connection::read_request_line`] — run by the header-parsing
+///    pool to classify the request;
+/// 2. [`Connection::read_remaining_headers`] (+
+///    [`Connection::read_body`]) — run by the header-parsing pool for
+///    dynamic requests, or by a static-pool worker for static ones
+///    ("we let the threads which actually serve those static requests
+///    parse their headers", paper §3.2);
+/// 3. [`Connection::send`] — run by whichever pool finishes the
+///    response.
+///
+/// Works over any `Read + Write` transport; the servers use
+/// `TcpStream`, the tests use in-memory streams.
+#[derive(Debug)]
+pub struct Connection<S> {
+    stream: S,
+    buf: Vec<u8>,
+    pos: usize,
+    limits: ParseLimits,
+}
+
+impl<S: Read + Write> Connection<S> {
+    /// Wraps a transport with default [`ParseLimits`].
+    pub fn new(stream: S) -> Self {
+        Self::with_limits(stream, ParseLimits::default())
+    }
+
+    /// Wraps a transport with explicit limits.
+    pub fn with_limits(stream: S, limits: ParseLimits) -> Self {
+        Connection {
+            stream,
+            buf: Vec::with_capacity(4096),
+            pos: 0,
+            limits,
+        }
+    }
+
+    /// Reads and parses the request line (stage 1).
+    ///
+    /// # Errors
+    ///
+    /// * [`HttpError::ConnectionClosed`] with `clean: true` if the peer
+    ///   closed the connection on a request boundary (normal keep-alive
+    ///   termination), `clean: false` mid-line;
+    /// * parsing errors from [`RequestLine::parse`];
+    /// * [`HttpError::TooLarge`] if the line exceeds `max_line`.
+    pub fn read_request_line(&mut self) -> Result<RequestLine, HttpError> {
+        let line = self.read_line(true)?;
+        RequestLine::parse(&line)
+    }
+
+    /// Reads header lines up to the blank line (stage 2).
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::Malformed`] for header lines without `:`,
+    /// [`HttpError::TooLarge`] when `max_headers`/`max_line` is
+    /// exceeded, or a connection error.
+    pub fn read_remaining_headers(&mut self) -> Result<HeaderMap, HttpError> {
+        let mut headers = HeaderMap::new();
+        loop {
+            let line = self.read_line(false)?;
+            if line.is_empty() {
+                return Ok(headers);
+            }
+            if headers.len() >= self.limits.max_headers {
+                return Err(HttpError::TooLarge("header count"));
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| HttpError::Malformed(format!("header line without colon: {line}")))?;
+            if name.is_empty() || name.contains(' ') {
+                return Err(HttpError::Malformed(format!("invalid header name: {name}")));
+            }
+            headers.insert(name.trim(), value.trim());
+        }
+    }
+
+    /// Reads a body of exactly `len` bytes (stage 2, POST requests).
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::TooLarge`] if `len` exceeds `max_body`, or
+    /// [`HttpError::ConnectionClosed`] if the peer closes early.
+    pub fn read_body(&mut self, len: usize) -> Result<Vec<u8>, HttpError> {
+        if len > self.limits.max_body {
+            return Err(HttpError::TooLarge("request body"));
+        }
+        let mut body = Vec::with_capacity(len);
+        // Drain buffered bytes first.
+        let buffered = (self.buf.len() - self.pos).min(len);
+        body.extend_from_slice(&self.buf[self.pos..self.pos + buffered]);
+        self.pos += buffered;
+        self.compact();
+        // Then read the remainder directly.
+        while body.len() < len {
+            let mut chunk = [0u8; 4096];
+            let want = (len - body.len()).min(chunk.len());
+            let n = self.stream.read(&mut chunk[..want])?;
+            if n == 0 {
+                return Err(HttpError::ConnectionClosed { clean: false });
+            }
+            body.extend_from_slice(&chunk[..n]);
+        }
+        Ok(body)
+    }
+
+    /// Reads one complete request: line, headers, and body (when
+    /// `Content-Length` is present). Convenience for the baseline
+    /// thread-per-request server and for tests.
+    ///
+    /// # Errors
+    ///
+    /// Any staged-parsing error.
+    pub fn read_request(&mut self) -> Result<Request, HttpError> {
+        let line = self.read_request_line()?;
+        let headers = self.read_remaining_headers()?;
+        let body = match headers.content_length() {
+            Some(len) if len > 0 => self.read_body(len)?,
+            _ => Vec::new(),
+        };
+        Ok(Request::new(line, headers, body))
+    }
+
+    /// Serializes and sends a response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn send(&mut self, response: &Response) -> io::Result<()> {
+        response.write_to(&mut self.stream)
+    }
+
+    /// Sends a response appropriately for the request method: `HEAD`
+    /// gets status and headers (with the true `Content-Length`) but no
+    /// body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn send_for_method(
+        &mut self,
+        method: crate::method::Method,
+        response: &Response,
+    ) -> io::Result<()> {
+        if method.expects_response_body() {
+            response.write_to(&mut self.stream)
+        } else {
+            response.write_head_to(&mut self.stream)
+        }
+    }
+
+    /// Returns the wrapped transport, discarding any buffered input.
+    pub fn into_inner(self) -> S {
+        self.stream
+    }
+
+    /// Mutable access to the transport (e.g. to set socket options).
+    pub fn stream_mut(&mut self) -> &mut S {
+        &mut self.stream
+    }
+
+    /// Reads one CRLF- (or LF-) terminated line, without the terminator.
+    /// `at_boundary` marks reads that begin a new request, where EOF
+    /// before any byte is a *clean* close.
+    fn read_line(&mut self, at_boundary: bool) -> Result<String, HttpError> {
+        let mut scanned = self.pos;
+        loop {
+            if let Some(nl) = self.buf[scanned..].iter().position(|&b| b == b'\n') {
+                let end = scanned + nl;
+                let mut line_end = end;
+                if line_end > self.pos && self.buf[line_end - 1] == b'\r' {
+                    line_end -= 1;
+                }
+                if line_end - self.pos > self.limits.max_line {
+                    return Err(HttpError::TooLarge("request line or header line"));
+                }
+                let line = String::from_utf8_lossy(&self.buf[self.pos..line_end]).into_owned();
+                self.pos = end + 1;
+                self.compact();
+                return Ok(line);
+            }
+            scanned = self.buf.len();
+            if self.buf.len() - self.pos > self.limits.max_line {
+                return Err(HttpError::TooLarge("request line or header line"));
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                let clean = at_boundary && self.pos == self.buf.len();
+                return Err(HttpError::ConnectionClosed { clean });
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Drops consumed bytes once the buffer gets large, keeping pipelined
+    /// request data intact.
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 8192 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::Method;
+    use std::io::Cursor;
+
+    /// An in-memory duplex transport for tests.
+    #[derive(Debug)]
+    struct MockStream {
+        input: Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl MockStream {
+        fn new(input: &str) -> Self {
+            MockStream {
+                input: Cursor::new(input.as_bytes().to_vec()),
+                output: Vec::new(),
+            }
+        }
+    }
+
+    impl Read for MockStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for MockStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.output.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn staged_parse_of_paper_request() {
+        let raw = "GET /homepage?userid=5&popups=no HTTP/1.1\r\n\
+                   User-Agent: Mozilla/1.7\r\n\
+                   Accept: text/html\r\n\
+                   \r\n";
+        let mut conn = Connection::new(MockStream::new(raw));
+        let line = conn.read_request_line().unwrap();
+        assert_eq!(line.method, Method::Get);
+        assert!(!line.is_static());
+        let headers = conn.read_remaining_headers().unwrap();
+        assert_eq!(headers.get("user-agent"), Some("Mozilla/1.7"));
+        assert_eq!(headers.get("accept"), Some("text/html"));
+    }
+
+    #[test]
+    fn full_request_with_body() {
+        let raw = "POST /buy HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let mut conn = Connection::new(MockStream::new(raw));
+        let req = conn.read_request().unwrap();
+        assert_eq!(req.method(), Method::Post);
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_sequentially() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut conn = Connection::new(MockStream::new(raw));
+        assert_eq!(conn.read_request().unwrap().path(), "/a");
+        assert_eq!(conn.read_request().unwrap().path(), "/b");
+        match conn.read_request() {
+            Err(HttpError::ConnectionClosed { clean: true }) => {}
+            other => panic!("expected clean close, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_lf_tolerated() {
+        let raw = "GET / HTTP/1.1\nHost: x\n\n";
+        let mut conn = Connection::new(MockStream::new(raw));
+        let req = conn.read_request().unwrap();
+        assert_eq!(req.headers.get("host"), Some("x"));
+    }
+
+    #[test]
+    fn truncated_request_is_unclean_close() {
+        let mut conn = Connection::new(MockStream::new("GET / HT"));
+        match conn.read_request_line() {
+            Err(HttpError::ConnectionClosed { clean: false }) => {}
+            other => panic!("expected unclean close, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_without_colon_is_malformed() {
+        let raw = "GET / HTTP/1.1\r\nBadHeader\r\n\r\n";
+        let mut conn = Connection::new(MockStream::new(raw));
+        conn.read_request_line().unwrap();
+        assert!(matches!(
+            conn.read_remaining_headers(),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_line_rejected() {
+        let limits = ParseLimits {
+            max_line: 16,
+            ..ParseLimits::default()
+        };
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(100));
+        let mut conn = Connection::with_limits(MockStream::new(&raw), limits);
+        assert!(matches!(
+            conn.read_request_line(),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn too_many_headers_rejected() {
+        let limits = ParseLimits {
+            max_headers: 2,
+            ..ParseLimits::default()
+        };
+        let raw = "GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n";
+        let mut conn = Connection::with_limits(MockStream::new(raw), limits);
+        conn.read_request_line().unwrap();
+        assert!(matches!(
+            conn.read_remaining_headers(),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let limits = ParseLimits {
+            max_body: 4,
+            ..ParseLimits::default()
+        };
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789";
+        let mut conn = Connection::with_limits(MockStream::new(raw), limits);
+        assert!(matches!(conn.read_request(), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn truncated_body_is_unclean_close() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        let mut conn = Connection::new(MockStream::new(raw));
+        assert!(matches!(
+            conn.read_request(),
+            Err(HttpError::ConnectionClosed { clean: false })
+        ));
+    }
+
+    #[test]
+    fn send_writes_serialized_response() {
+        let mut conn = Connection::new(MockStream::new(""));
+        conn.send(&Response::text("ok")).unwrap();
+        let out = String::from_utf8(conn.into_inner().output).unwrap();
+        assert!(out.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(out.ends_with("\r\n\r\nok"));
+    }
+
+    #[test]
+    fn body_spanning_buffer_and_stream() {
+        // Force the body to arrive partly in the header read's buffer.
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 8\r\n\r\nabcdefgh";
+        let mut conn = Connection::new(MockStream::new(raw));
+        let req = conn.read_request().unwrap();
+        assert_eq!(req.body, b"abcdefgh");
+    }
+}

@@ -1,0 +1,107 @@
+//! Error type shared by the HTTP substrate.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced while reading, parsing, or writing HTTP messages.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before a full message arrived.
+    /// `clean` is true when zero bytes of the next request had been read
+    /// (an orderly keep-alive close rather than a truncation).
+    ConnectionClosed {
+        /// Whether the close happened on a message boundary.
+        clean: bool,
+    },
+    /// The request line or a header line was syntactically invalid.
+    Malformed(String),
+    /// A line, header block, or body exceeded the configured limits.
+    TooLarge(&'static str),
+    /// Only HTTP/1.0 and HTTP/1.1 are accepted.
+    UnsupportedVersion(String),
+    /// The request method is not recognized.
+    UnknownMethod(String),
+    /// An underlying transport error.
+    Io(io::Error),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::ConnectionClosed { clean: true } => {
+                write!(f, "connection closed between requests")
+            }
+            HttpError::ConnectionClosed { clean: false } => {
+                write!(f, "connection closed mid-request")
+            }
+            HttpError::Malformed(detail) => write!(f, "malformed request: {detail}"),
+            HttpError::TooLarge(what) => write!(f, "{what} exceeds configured limit"),
+            HttpError::UnsupportedVersion(v) => write!(f, "unsupported HTTP version {v}"),
+            HttpError::UnknownMethod(m) => write!(f, "unknown method {m}"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for HttpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HttpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+impl HttpError {
+    /// Whether the error warrants a `400 Bad Request` response (as
+    /// opposed to silently dropping the connection).
+    pub fn wants_bad_request(&self) -> bool {
+        matches!(
+            self,
+            HttpError::Malformed(_)
+                | HttpError::TooLarge(_)
+                | HttpError::UnsupportedVersion(_)
+                | HttpError::UnknownMethod(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            HttpError::ConnectionClosed { clean: true }.to_string(),
+            "connection closed between requests"
+        );
+        assert!(HttpError::Malformed("no space".into())
+            .to_string()
+            .contains("no space"));
+        assert!(HttpError::UnsupportedVersion("HTTP/2.0".into())
+            .to_string()
+            .contains("HTTP/2.0"));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        let e = HttpError::from(io::Error::new(io::ErrorKind::Other, "x"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn bad_request_classification() {
+        assert!(HttpError::Malformed("m".into()).wants_bad_request());
+        assert!(HttpError::TooLarge("header").wants_bad_request());
+        assert!(!HttpError::ConnectionClosed { clean: true }.wants_bad_request());
+        assert!(!HttpError::Io(io::Error::new(io::ErrorKind::Other, "x")).wants_bad_request());
+    }
+}

@@ -1,0 +1,204 @@
+//! A case-insensitive, insertion-ordered header multimap.
+
+use std::fmt;
+
+/// HTTP headers: case-insensitive names, insertion order preserved,
+/// duplicates allowed (as RFC 7230 permits).
+///
+/// This is the "dictionary (a.k.a. hashtable)" the paper's header-parsing
+/// threads produce before a request reaches a database-holding thread.
+///
+/// # Examples
+///
+/// ```
+/// use staged_http::HeaderMap;
+///
+/// let mut h = HeaderMap::new();
+/// h.insert("User-Agent", "Mozilla/1.7");
+/// h.insert("Accept", "text/html");
+/// assert_eq!(h.get("user-agent"), Some("Mozilla/1.7"));
+/// assert_eq!(h.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeaderMap {
+    entries: Vec<(String, String)>,
+}
+
+impl HeaderMap {
+    /// Creates an empty header map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a header (duplicates allowed).
+    pub fn insert(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// Replaces all values of `name` with a single value.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.entries
+            .retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.entries.push((name.to_string(), value.into()));
+    }
+
+    /// First value of `name`, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values of `name`, in insertion order.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether `name` is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Removes all values of `name`; returns whether any were present.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.entries.len() != before
+    }
+
+    /// Number of header entries (duplicates counted).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map holds no headers.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// `Content-Length` parsed as an integer, if present and valid.
+    pub fn content_length(&self) -> Option<usize> {
+        self.get("content-length")?.trim().parse().ok()
+    }
+
+    /// Whether the connection should be kept alive after this message,
+    /// given the HTTP/1.1 default of persistent connections.
+    pub fn keep_alive(&self) -> bool {
+        match self.get("connection") {
+            Some(v) => !v.eq_ignore_ascii_case("close"),
+            None => true,
+        }
+    }
+}
+
+impl FromIterator<(String, String)> for HeaderMap {
+    fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> Self {
+        HeaderMap {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(String, String)> for HeaderMap {
+    fn extend<T: IntoIterator<Item = (String, String)>>(&mut self, iter: T) {
+        self.entries.extend(iter);
+    }
+}
+
+impl fmt::Display for HeaderMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (n, v) in self.iter() {
+            writeln!(f, "{n}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let mut h = HeaderMap::new();
+        h.insert("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+        assert!(h.contains("Content-type"));
+    }
+
+    #[test]
+    fn duplicates_preserved_in_order() {
+        let mut h = HeaderMap::new();
+        h.insert("Accept", "text/html");
+        h.insert("Accept", "text/plain");
+        let all: Vec<_> = h.get_all("accept").collect();
+        assert_eq!(all, vec!["text/html", "text/plain"]);
+        assert_eq!(h.get("accept"), Some("text/html"));
+    }
+
+    #[test]
+    fn set_replaces_all() {
+        let mut h = HeaderMap::new();
+        h.insert("X", "1");
+        h.insert("x", "2");
+        h.set("X", "3");
+        assert_eq!(h.get_all("x").count(), 1);
+        assert_eq!(h.get("x"), Some("3"));
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let mut h = HeaderMap::new();
+        h.insert("A", "1");
+        assert!(h.remove("a"));
+        assert!(!h.remove("a"));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn content_length_parsing() {
+        let mut h = HeaderMap::new();
+        assert_eq!(h.content_length(), None);
+        h.insert("Content-Length", " 42 ");
+        assert_eq!(h.content_length(), Some(42));
+        h.set("Content-Length", "nan");
+        assert_eq!(h.content_length(), None);
+    }
+
+    #[test]
+    fn keep_alive_defaults_on() {
+        let mut h = HeaderMap::new();
+        assert!(h.keep_alive());
+        h.insert("Connection", "keep-alive");
+        assert!(h.keep_alive());
+        h.set("Connection", "Close");
+        assert!(!h.keep_alive());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut h: HeaderMap = vec![("A".to_string(), "1".to_string())]
+            .into_iter()
+            .collect();
+        h.extend(vec![("B".to_string(), "2".to_string())]);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.get("b"), Some("2"));
+    }
+
+    #[test]
+    fn display_renders_lines() {
+        let mut h = HeaderMap::new();
+        h.insert("A", "1");
+        assert_eq!(h.to_string(), "A: 1\n");
+    }
+}

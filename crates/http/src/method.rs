@@ -1,0 +1,131 @@
+//! HTTP request methods.
+
+use crate::error::HttpError;
+use std::fmt;
+use std::str::FromStr;
+
+/// An HTTP request method.
+///
+/// # Examples
+///
+/// ```
+/// use staged_http::Method;
+///
+/// let m: Method = "POST".parse().unwrap();
+/// assert_eq!(m, Method::Post);
+/// assert_eq!(m.as_str(), "POST");
+/// assert!(!m.is_safe());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `HEAD`
+    Head,
+    /// `POST`
+    Post,
+    /// `PUT`
+    Put,
+    /// `DELETE`
+    Delete,
+    /// `OPTIONS`
+    Options,
+    /// `TRACE`
+    Trace,
+    /// `PATCH`
+    Patch,
+}
+
+impl Method {
+    /// Canonical upper-case token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Options => "OPTIONS",
+            Method::Trace => "TRACE",
+            Method::Patch => "PATCH",
+        }
+    }
+
+    /// Whether the method is "safe" (read-only) per RFC 7231 §4.2.1.
+    pub fn is_safe(&self) -> bool {
+        matches!(self, Method::Get | Method::Head | Method::Options | Method::Trace)
+    }
+
+    /// Whether a response to this method carries a body (`HEAD` does not).
+    pub fn expects_response_body(&self) -> bool {
+        !matches!(self, Method::Head)
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Method {
+    type Err = HttpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "GET" => Ok(Method::Get),
+            "HEAD" => Ok(Method::Head),
+            "POST" => Ok(Method::Post),
+            "PUT" => Ok(Method::Put),
+            "DELETE" => Ok(Method::Delete),
+            "OPTIONS" => Ok(Method::Options),
+            "TRACE" => Ok(Method::Trace),
+            "PATCH" => Ok(Method::Patch),
+            other => Err(HttpError::UnknownMethod(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_methods() {
+        for (s, m) in [
+            ("GET", Method::Get),
+            ("HEAD", Method::Head),
+            ("POST", Method::Post),
+            ("PUT", Method::Put),
+            ("DELETE", Method::Delete),
+            ("OPTIONS", Method::Options),
+            ("TRACE", Method::Trace),
+            ("PATCH", Method::Patch),
+        ] {
+            assert_eq!(s.parse::<Method>().unwrap(), m);
+            assert_eq!(m.as_str(), s);
+            assert_eq!(m.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn rejects_lowercase_and_garbage() {
+        assert!("get".parse::<Method>().is_err());
+        assert!("FETCH".parse::<Method>().is_err());
+        assert!("".parse::<Method>().is_err());
+    }
+
+    #[test]
+    fn safety_classification() {
+        assert!(Method::Get.is_safe());
+        assert!(Method::Head.is_safe());
+        assert!(!Method::Post.is_safe());
+        assert!(!Method::Delete.is_safe());
+    }
+
+    #[test]
+    fn head_has_no_response_body() {
+        assert!(!Method::Head.expects_response_body());
+        assert!(Method::Get.expects_response_body());
+    }
+}

@@ -1,0 +1,75 @@
+//! File-extension → MIME type mapping for the static file service.
+
+/// Returns the MIME type for a path based on its extension, defaulting
+/// to `application/octet-stream`.
+///
+/// # Examples
+///
+/// ```
+/// use staged_http::mime_for_path;
+///
+/// assert_eq!(mime_for_path("/img/flowers.gif"), "image/gif");
+/// assert_eq!(mime_for_path("style.CSS"), "text/css");
+/// assert_eq!(mime_for_path("noext"), "application/octet-stream");
+/// ```
+pub fn mime_for_path(path: &str) -> &'static str {
+    let ext = path
+        .rsplit('/')
+        .next()
+        .and_then(|name| name.rsplit_once('.'))
+        .map(|(_, e)| e)
+        .unwrap_or("");
+    match ext.to_ascii_lowercase().as_str() {
+        "html" | "htm" => "text/html; charset=utf-8",
+        "css" => "text/css",
+        "js" => "application/javascript",
+        "json" => "application/json",
+        "txt" => "text/plain; charset=utf-8",
+        "xml" => "application/xml",
+        "gif" => "image/gif",
+        "jpg" | "jpeg" => "image/jpeg",
+        "png" => "image/png",
+        "svg" => "image/svg+xml",
+        "ico" => "image/x-icon",
+        "webp" => "image/webp",
+        "pdf" => "application/pdf",
+        "zip" => "application/zip",
+        "gz" => "application/gzip",
+        "woff" => "font/woff",
+        "woff2" => "font/woff2",
+        "wasm" => "application/wasm",
+        "mp4" => "video/mp4",
+        "mp3" => "audio/mpeg",
+        _ => "application/octet-stream",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_types() {
+        assert_eq!(mime_for_path("a.html"), "text/html; charset=utf-8");
+        assert_eq!(mime_for_path("a.js"), "application/javascript");
+        assert_eq!(mime_for_path("a.png"), "image/png");
+        assert_eq!(mime_for_path("a.jpeg"), "image/jpeg");
+    }
+
+    #[test]
+    fn case_insensitive_extension() {
+        assert_eq!(mime_for_path("A.GIF"), "image/gif");
+    }
+
+    #[test]
+    fn extension_of_last_segment_only() {
+        assert_eq!(mime_for_path("/v1.2/file.css"), "text/css");
+        assert_eq!(mime_for_path("/v1.2/file"), "application/octet-stream");
+    }
+
+    #[test]
+    fn unknown_is_octet_stream() {
+        assert_eq!(mime_for_path("archive.xyz"), "application/octet-stream");
+        assert_eq!(mime_for_path(""), "application/octet-stream");
+    }
+}

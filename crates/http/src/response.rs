@@ -1,0 +1,249 @@
+//! HTTP responses and their serialization.
+
+use crate::headers::HeaderMap;
+use crate::status::StatusCode;
+use std::fmt;
+use std::io::{self, Write};
+
+/// An HTTP response under construction.
+///
+/// `Content-Length` is computed from the body at serialization time —
+/// the paper highlights that its render pool "measures the size of the
+/// output \[and\] is able to set the Content-Length HTTP response header
+/// appropriately, which cannot be achieved by most existing methods in
+/// dynamic content generation" (§3.2). Serializing only after the body
+/// is complete gives the same guarantee.
+///
+/// # Examples
+///
+/// ```
+/// use staged_http::{Response, StatusCode};
+///
+/// let r = Response::html("<html></html>");
+/// assert_eq!(r.status(), StatusCode::OK);
+/// let bytes = r.to_bytes();
+/// let text = String::from_utf8(bytes).unwrap();
+/// assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+/// assert!(text.contains("Content-Length: 13\r\n"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    status: StatusCode,
+    headers: HeaderMap,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// Creates an empty response with the given status.
+    pub fn new(status: StatusCode) -> Self {
+        Response {
+            status,
+            headers: HeaderMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `200 OK` response with an HTML body.
+    pub fn html(body: impl Into<Vec<u8>>) -> Self {
+        let mut r = Response::new(StatusCode::OK);
+        r.headers.set("Content-Type", "text/html; charset=utf-8");
+        r.body = body.into();
+        r
+    }
+
+    /// A `200 OK` response with a plain-text body.
+    pub fn text(body: impl Into<Vec<u8>>) -> Self {
+        let mut r = Response::new(StatusCode::OK);
+        r.headers.set("Content-Type", "text/plain; charset=utf-8");
+        r.body = body.into();
+        r
+    }
+
+    /// A `200 OK` response with an explicit content type.
+    pub fn with_content_type(content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        let mut r = Response::new(StatusCode::OK);
+        r.headers.set("Content-Type", content_type);
+        r.body = body.into();
+        r
+    }
+
+    /// A minimal error-page response for the given status.
+    pub fn error(status: StatusCode) -> Self {
+        let mut r = Response::new(status);
+        r.headers.set("Content-Type", "text/html; charset=utf-8");
+        r.body = format!(
+            "<html><head><title>{status}</title></head><body><h1>{status}</h1></body></html>"
+        )
+        .into_bytes();
+        r
+    }
+
+    /// A `302 Found` redirect to `location`.
+    pub fn redirect(location: &str) -> Self {
+        let mut r = Response::new(StatusCode::FOUND);
+        r.headers.set("Location", location);
+        r
+    }
+
+    /// The response status.
+    pub fn status(&self) -> StatusCode {
+        self.status
+    }
+
+    /// Mutable access to the headers.
+    pub fn headers_mut(&mut self) -> &mut HeaderMap {
+        &mut self.headers
+    }
+
+    /// The headers.
+    pub fn headers(&self) -> &HeaderMap {
+        &self.headers
+    }
+
+    /// The body bytes.
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// Replaces the body.
+    pub fn set_body(&mut self, body: impl Into<Vec<u8>>) {
+        self.body = body.into();
+    }
+
+    /// Marks the connection to close after this response.
+    pub fn set_close(&mut self) {
+        self.headers.set("Connection", "close");
+    }
+
+    /// Serializes the status line, headers (with computed
+    /// `Content-Length`), and body.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        self.write_to(&mut out)
+            .expect("writing to a Vec cannot fail");
+        out
+    }
+
+    /// Streams the serialized response into `writer`. A `&mut W` also
+    /// works, since `Write` is implemented for mutable references.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from `writer`.
+    pub fn write_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\n",
+            self.status.as_u16(),
+            self.status.reason()
+        )?;
+        for (name, value) in self.headers.iter() {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        if !self.headers.contains("content-length") {
+            write!(writer, "Content-Length: {}\r\n", self.body.len())?;
+        }
+        writer.write_all(b"\r\n")?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+
+    /// Body length in bytes — the value `Content-Length` will carry.
+    pub fn content_length(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Streams the response with the body omitted but `Content-Length`
+    /// still describing it — the correct answer to a `HEAD` request
+    /// (RFC 7231 §4.3.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from `writer`.
+    pub fn write_head_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\n",
+            self.status.as_u16(),
+            self.status.reason()
+        )?;
+        for (name, value) in self.headers.iter() {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        if !self.headers.contains("content-length") {
+            write!(writer, "Content-Length: {}\r\n", self.body.len())?;
+        }
+        writer.write_all(b"\r\n")?;
+        writer.flush()
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} byte body)", self.status, self.body.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(r: &Response) -> String {
+        String::from_utf8(r.to_bytes()).unwrap()
+    }
+
+    #[test]
+    fn html_response_shape() {
+        let r = Response::html("<p>hi</p>");
+        let s = render(&r);
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Type: text/html; charset=utf-8\r\n"));
+        assert!(s.contains("Content-Length: 9\r\n"));
+        assert!(s.ends_with("\r\n\r\n<p>hi</p>"));
+    }
+
+    #[test]
+    fn explicit_content_length_not_duplicated() {
+        let mut r = Response::text("abc");
+        r.headers_mut().set("Content-Length", "3");
+        let s = render(&r);
+        assert_eq!(s.matches("Content-Length").count(), 1);
+    }
+
+    #[test]
+    fn error_page_mentions_status() {
+        let r = Response::error(StatusCode::NOT_FOUND);
+        assert_eq!(r.status(), StatusCode::NOT_FOUND);
+        let s = render(&r);
+        assert!(s.contains("404 Not Found"));
+    }
+
+    #[test]
+    fn redirect_sets_location() {
+        let r = Response::redirect("/login");
+        assert_eq!(r.status(), StatusCode::FOUND);
+        assert_eq!(r.headers().get("location"), Some("/login"));
+    }
+
+    #[test]
+    fn set_close_header() {
+        let mut r = Response::text("x");
+        r.set_close();
+        assert_eq!(r.headers().get("connection"), Some("close"));
+    }
+
+    #[test]
+    fn empty_body_has_zero_length() {
+        let r = Response::new(StatusCode::OK);
+        assert_eq!(r.content_length(), 0);
+        assert!(render(&r).contains("Content-Length: 0\r\n"));
+    }
+
+    #[test]
+    fn write_to_accepts_mut_ref() {
+        let r = Response::text("y");
+        let mut buf = Vec::new();
+        r.write_to(&mut buf).unwrap();
+        assert!(!buf.is_empty());
+    }
+}

@@ -1,0 +1,285 @@
+//! A small path router with parameter captures.
+//!
+//! The bundled TPC-W application routes by exact path (as CherryPy's
+//! default dispatcher effectively did for it), but a general web
+//! substrate needs pattern routing; this router supports literal
+//! segments, `:name` captures, and a trailing `*rest` wildcard.
+
+use crate::error::HttpError;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Seg {
+    Literal(String),
+    Param(String),
+    Wildcard(String),
+}
+
+#[derive(Debug, Clone)]
+struct Pattern {
+    segments: Vec<Seg>,
+    /// Number of literal segments — the specificity score used to break
+    /// ties ("/item/latest" beats "/item/:id" for `/item/latest`).
+    literals: usize,
+}
+
+impl Pattern {
+    fn parse(pattern: &str) -> Result<Self, HttpError> {
+        if !pattern.starts_with('/') {
+            return Err(HttpError::Malformed(format!(
+                "route pattern must start with '/': {pattern}"
+            )));
+        }
+        let raw: Vec<&str> = pattern[1..].split('/').collect();
+        let mut segments = Vec::with_capacity(raw.len());
+        let mut literals = 0;
+        for (i, seg) in raw.iter().enumerate() {
+            if let Some(name) = seg.strip_prefix(':') {
+                if name.is_empty() {
+                    return Err(HttpError::Malformed(format!(
+                        "empty parameter name in pattern: {pattern}"
+                    )));
+                }
+                segments.push(Seg::Param(name.to_string()));
+            } else if let Some(name) = seg.strip_prefix('*') {
+                if i != raw.len() - 1 {
+                    return Err(HttpError::Malformed(format!(
+                        "wildcard must be the last segment: {pattern}"
+                    )));
+                }
+                if name.is_empty() {
+                    return Err(HttpError::Malformed(format!(
+                        "empty wildcard name in pattern: {pattern}"
+                    )));
+                }
+                segments.push(Seg::Wildcard(name.to_string()));
+            } else {
+                literals += 1;
+                segments.push(Seg::Literal(seg.to_string()));
+            }
+        }
+        Ok(Pattern { segments, literals })
+    }
+
+    fn matches<'p>(&self, path: &'p str) -> Option<Vec<(String, String)>> {
+        let parts: Vec<&'p str> = path.trim_start_matches('/').split('/').collect();
+        let mut params = Vec::new();
+        let mut i = 0;
+        for seg in &self.segments {
+            match seg {
+                Seg::Literal(lit) => {
+                    if parts.get(i) != Some(&lit.as_str()) {
+                        return None;
+                    }
+                    i += 1;
+                }
+                Seg::Param(name) => {
+                    let part = parts.get(i)?;
+                    if part.is_empty() {
+                        return None;
+                    }
+                    params.push((name.clone(), (*part).to_string()));
+                    i += 1;
+                }
+                Seg::Wildcard(name) => {
+                    params.push((name.clone(), parts[i..].join("/")));
+                    return Some(params);
+                }
+            }
+        }
+        if i == parts.len() {
+            Some(params)
+        } else {
+            None
+        }
+    }
+}
+
+/// Parameters captured while matching a route.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouteParams {
+    params: Vec<(String, String)>,
+}
+
+impl RouteParams {
+    /// The captured value for `name`.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All captures in pattern order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.params.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Number of captures.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether no parameters were captured.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+}
+
+/// A path router mapping patterns to values of type `T`.
+///
+/// Matching prefers the most *specific* pattern (most literal
+/// segments), breaking ties by insertion order.
+///
+/// # Examples
+///
+/// ```
+/// use staged_http::Router;
+///
+/// let mut router = Router::new();
+/// router.add("/item/:id", "detail").unwrap();
+/// router.add("/item/latest", "latest").unwrap();
+/// router.add("/static/*path", "files").unwrap();
+///
+/// let (value, params) = router.route("/item/42").unwrap();
+/// assert_eq!(*value, "detail");
+/// assert_eq!(params.get("id"), Some("42"));
+///
+/// assert_eq!(*router.route("/item/latest").unwrap().0, "latest");
+/// let (_, params) = router.route("/static/css/site.css").unwrap();
+/// assert_eq!(params.get("path"), Some("css/site.css"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Router<T> {
+    routes: Vec<(Pattern, T)>,
+}
+
+impl<T> Router<T> {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        Router { routes: Vec::new() }
+    }
+
+    /// Registers a pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::Malformed`] for patterns that do not start with
+    /// `/`, have empty capture names, or place a wildcard before the
+    /// end.
+    pub fn add(&mut self, pattern: &str, value: T) -> Result<(), HttpError> {
+        let pattern = Pattern::parse(pattern)?;
+        self.routes.push((pattern, value));
+        Ok(())
+    }
+
+    /// Matches a (already normalized) path, returning the value and
+    /// captures of the most specific matching pattern.
+    pub fn route(&self, path: &str) -> Option<(&T, RouteParams)> {
+        let mut best: Option<(usize, &T, Vec<(String, String)>)> = None;
+        for (pattern, value) in &self.routes {
+            if let Some(params) = pattern.matches(path) {
+                let better = match &best {
+                    Some((score, _, _)) => pattern.literals > *score,
+                    None => true,
+                };
+                if better {
+                    best = Some((pattern.literals, value, params));
+                }
+            }
+        }
+        best.map(|(_, value, params)| (value, RouteParams { params }))
+    }
+
+    /// Number of registered routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the router has no routes.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router() -> Router<&'static str> {
+        let mut r = Router::new();
+        r.add("/", "root").unwrap();
+        r.add("/about", "about").unwrap();
+        r.add("/item/:id", "item").unwrap();
+        r.add("/item/latest", "latest").unwrap();
+        r.add("/item/:id/reviews/:review", "review").unwrap();
+        r.add("/static/*path", "static").unwrap();
+        r
+    }
+
+    #[test]
+    fn literal_routes() {
+        let r = router();
+        assert_eq!(*r.route("/about").unwrap().0, "about");
+        assert_eq!(*r.route("/").unwrap().0, "root");
+        assert!(r.route("/missing").is_none());
+    }
+
+    #[test]
+    fn captures_single_and_multiple() {
+        let r = router();
+        let (v, p) = r.route("/item/42").unwrap();
+        assert_eq!(*v, "item");
+        assert_eq!(p.get("id"), Some("42"));
+        let (v, p) = r.route("/item/7/reviews/3").unwrap();
+        assert_eq!(*v, "review");
+        assert_eq!(p.get("id"), Some("7"));
+        assert_eq!(p.get("review"), Some("3"));
+        assert_eq!(p.len(), 2);
+        let pairs: Vec<_> = p.iter().collect();
+        assert_eq!(pairs, vec![("id", "7"), ("review", "3")]);
+    }
+
+    #[test]
+    fn specificity_beats_insertion_order() {
+        let r = router(); // "/item/:id" was added before "/item/latest"
+        assert_eq!(*r.route("/item/latest").unwrap().0, "latest");
+        assert_eq!(*r.route("/item/other").unwrap().0, "item");
+    }
+
+    #[test]
+    fn wildcard_captures_rest() {
+        let r = router();
+        let (v, p) = r.route("/static/a/b/c.css").unwrap();
+        assert_eq!(*v, "static");
+        assert_eq!(p.get("path"), Some("a/b/c.css"));
+        // Wildcard matches the empty remainder too.
+        let (_, p) = r.route("/static/").unwrap();
+        assert_eq!(p.get("path"), Some(""));
+    }
+
+    #[test]
+    fn arity_must_match_exactly() {
+        let r = router();
+        assert!(r.route("/item").is_none());
+        assert!(r.route("/item/1/extra").is_none());
+        assert!(r.route("/item/1/reviews").is_none());
+    }
+
+    #[test]
+    fn empty_segments_do_not_match_params() {
+        let r = router();
+        assert!(r.route("/item/").is_none());
+    }
+
+    #[test]
+    fn bad_patterns_rejected() {
+        let mut r: Router<u8> = Router::new();
+        assert!(r.add("no-slash", 0).is_err());
+        assert!(r.add("/a/:", 0).is_err());
+        assert!(r.add("/a/*", 0).is_err());
+        assert!(r.add("/a/*rest/more", 0).is_err());
+        assert!(r.is_empty());
+        r.add("/ok", 1).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Static file service: disk-backed or in-memory.
+
+use crate::mime::mime_for_path;
+use crate::response::Response;
+use crate::status::StatusCode;
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A store of static resources, addressed by normalized absolute request
+/// path (`/img/flowers.gif`).
+///
+/// Two backends:
+///
+/// * [`StaticFiles::dir`] serves from a directory on disk (the
+///   production configuration);
+/// * [`StaticFiles::in_memory`] serves from a `HashMap`, which the
+///   benchmarks use so that static-request service time is dominated by
+///   scheduling rather than disk (the paper's testbed served a warm page
+///   cache over a LAN, so this is the faithful analogue).
+///
+/// Request paths must already be normalized (no `..` segments); the
+/// `Connection`/`RequestTarget` layer guarantees that.
+///
+/// # Examples
+///
+/// ```
+/// use staged_http::StaticFiles;
+///
+/// let mut files = StaticFiles::in_memory();
+/// files.insert("/img/flowers.gif", b"GIF89a...".to_vec());
+/// let resp = files.response_for("/img/flowers.gif");
+/// assert!(resp.status().is_success());
+/// assert_eq!(files.response_for("/missing.gif").status().as_u16(), 404);
+/// ```
+#[derive(Debug, Clone)]
+pub enum StaticFiles {
+    /// Serve files from the given document root.
+    Dir(PathBuf),
+    /// Serve from an in-memory map of path → content.
+    Memory(HashMap<String, Arc<Vec<u8>>>),
+}
+
+impl StaticFiles {
+    /// Creates a disk-backed store rooted at `root`.
+    pub fn dir(root: impl Into<PathBuf>) -> Self {
+        StaticFiles::Dir(root.into())
+    }
+
+    /// Creates an empty in-memory store.
+    pub fn in_memory() -> Self {
+        StaticFiles::Memory(HashMap::new())
+    }
+
+    /// Adds (or replaces) an in-memory resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store is disk-backed or `path` does not start with
+    /// `/`.
+    pub fn insert(&mut self, path: &str, content: Vec<u8>) {
+        assert!(path.starts_with('/'), "static path must start with '/'");
+        match self {
+            StaticFiles::Memory(map) => {
+                map.insert(path.to_string(), Arc::new(content));
+            }
+            StaticFiles::Dir(_) => panic!("cannot insert into a disk-backed StaticFiles"),
+        }
+    }
+
+    /// Looks up a resource, returning its MIME type and content.
+    pub fn lookup(&self, path: &str) -> Option<(&'static str, Arc<Vec<u8>>)> {
+        if !path.starts_with('/') || path.contains("..") {
+            return None;
+        }
+        match self {
+            StaticFiles::Memory(map) => {
+                map.get(path).map(|c| (mime_for_path(path), Arc::clone(c)))
+            }
+            StaticFiles::Dir(root) => {
+                let rel = path.trim_start_matches('/');
+                let full = root.join(rel);
+                match fs::read(&full) {
+                    Ok(content) => Some((mime_for_path(path), Arc::new(content))),
+                    Err(_) => None,
+                }
+            }
+        }
+    }
+
+    /// Builds a complete response: `200` with the file content, or a
+    /// `404` error page.
+    pub fn response_for(&self, path: &str) -> Response {
+        match self.lookup(path) {
+            Some((mime, content)) => Response::with_content_type(mime, content.as_ref().clone()),
+            None => Response::error(StatusCode::NOT_FOUND),
+        }
+    }
+
+    /// Number of resources (in-memory stores only; `None` for disk).
+    pub fn len_hint(&self) -> Option<usize> {
+        match self {
+            StaticFiles::Memory(map) => Some(map.len()),
+            StaticFiles::Dir(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_store_round_trip() {
+        let mut files = StaticFiles::in_memory();
+        files.insert("/css/site.css", b"body{}".to_vec());
+        let (mime, content) = files.lookup("/css/site.css").unwrap();
+        assert_eq!(mime, "text/css");
+        assert_eq!(content.as_slice(), b"body{}");
+        assert_eq!(files.len_hint(), Some(1));
+    }
+
+    #[test]
+    fn missing_resource_is_404() {
+        let files = StaticFiles::in_memory();
+        assert!(files.lookup("/nope.png").is_none());
+        assert_eq!(files.response_for("/nope.png").status().as_u16(), 404);
+    }
+
+    #[test]
+    #[should_panic(expected = "static path must start with '/'")]
+    fn relative_insert_rejected() {
+        StaticFiles::in_memory().insert("oops.txt", Vec::new());
+    }
+
+    #[test]
+    fn traversal_lookups_refused() {
+        let mut files = StaticFiles::in_memory();
+        files.insert("/ok.txt", b"x".to_vec());
+        assert!(files.lookup("/../ok.txt").is_none());
+        assert!(files.lookup("ok.txt").is_none());
+    }
+
+    #[test]
+    fn disk_store_serves_real_files() {
+        let dir = std::env::temp_dir().join(format!("staged-http-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("hello.txt"), b"hi there").unwrap();
+        let files = StaticFiles::dir(&dir);
+        let (mime, content) = files.lookup("/hello.txt").unwrap();
+        assert_eq!(mime, "text/plain; charset=utf-8");
+        assert_eq!(content.as_slice(), b"hi there");
+        assert!(files.lookup("/absent.txt").is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn response_carries_mime() {
+        let mut files = StaticFiles::in_memory();
+        files.insert("/a.json", b"{}".to_vec());
+        let r = files.response_for("/a.json");
+        assert_eq!(r.headers().get("content-type"), Some("application/json"));
+        assert_eq!(r.body(), b"{}");
+    }
+}

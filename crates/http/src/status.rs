@@ -1,0 +1,151 @@
+//! HTTP status codes.
+
+use std::fmt;
+
+/// An HTTP response status code.
+///
+/// # Examples
+///
+/// ```
+/// use staged_http::StatusCode;
+///
+/// assert_eq!(StatusCode::OK.as_u16(), 200);
+/// assert_eq!(StatusCode::NOT_FOUND.reason(), "Not Found");
+/// assert!(StatusCode::SERVICE_UNAVAILABLE.is_server_error());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StatusCode(u16);
+
+impl StatusCode {
+    /// `200 OK`
+    pub const OK: StatusCode = StatusCode(200);
+    /// `301 Moved Permanently`
+    pub const MOVED_PERMANENTLY: StatusCode = StatusCode(301);
+    /// `302 Found`
+    pub const FOUND: StatusCode = StatusCode(302);
+    /// `304 Not Modified`
+    pub const NOT_MODIFIED: StatusCode = StatusCode(304);
+    /// `400 Bad Request`
+    pub const BAD_REQUEST: StatusCode = StatusCode(400);
+    /// `403 Forbidden`
+    pub const FORBIDDEN: StatusCode = StatusCode(403);
+    /// `404 Not Found`
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// `405 Method Not Allowed`
+    pub const METHOD_NOT_ALLOWED: StatusCode = StatusCode(405);
+    /// `408 Request Timeout`
+    pub const REQUEST_TIMEOUT: StatusCode = StatusCode(408);
+    /// `413 Payload Too Large`
+    pub const PAYLOAD_TOO_LARGE: StatusCode = StatusCode(413);
+    /// `500 Internal Server Error`
+    pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
+    /// `503 Service Unavailable`
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+    /// `505 HTTP Version Not Supported`
+    pub const HTTP_VERSION_NOT_SUPPORTED: StatusCode = StatusCode(505);
+
+    /// Creates a status code from a raw number.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `100 <= code <= 599`.
+    pub fn new(code: u16) -> Self {
+        assert!((100..=599).contains(&code), "status code out of range");
+        StatusCode(code)
+    }
+
+    /// The numeric code.
+    pub fn as_u16(&self) -> u16 {
+        self.0
+    }
+
+    /// The canonical reason phrase ("OK", "Not Found", …).
+    pub fn reason(&self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            301 => "Moved Permanently",
+            302 => "Found",
+            304 => "Not Modified",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            414 => "URI Too Long",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            502 => "Bad Gateway",
+            503 => "Service Unavailable",
+            505 => "HTTP Version Not Supported",
+            _ => "Unknown",
+        }
+    }
+
+    /// `2xx`
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// `4xx`
+    pub fn is_client_error(&self) -> bool {
+        (400..500).contains(&self.0)
+    }
+
+    /// `5xx`
+    pub fn is_server_error(&self) -> bool {
+        (500..600).contains(&self.0)
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.0, self.reason())
+    }
+}
+
+impl From<StatusCode> for u16 {
+    fn from(s: StatusCode) -> u16 {
+        s.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_have_expected_codes() {
+        assert_eq!(StatusCode::OK.as_u16(), 200);
+        assert_eq!(StatusCode::NOT_FOUND.as_u16(), 404);
+        assert_eq!(StatusCode::SERVICE_UNAVAILABLE.as_u16(), 503);
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(StatusCode::OK.is_success());
+        assert!(StatusCode::BAD_REQUEST.is_client_error());
+        assert!(StatusCode::INTERNAL_SERVER_ERROR.is_server_error());
+        assert!(!StatusCode::OK.is_client_error());
+    }
+
+    #[test]
+    fn display_includes_reason() {
+        assert_eq!(StatusCode::NOT_FOUND.to_string(), "404 Not Found");
+    }
+
+    #[test]
+    fn unknown_code_reason() {
+        assert_eq!(StatusCode::new(599).reason(), "Unknown");
+    }
+
+    #[test]
+    #[should_panic(expected = "status code out of range")]
+    fn out_of_range_rejected() {
+        let _ = StatusCode::new(99);
+    }
+}

@@ -1,0 +1,355 @@
+//! Request targets: path normalization, percent decoding, query strings.
+
+use crate::error::HttpError;
+
+/// Percent-decodes a URI component, additionally turning `+` into a
+/// space (form encoding). Invalid escapes are passed through verbatim,
+/// matching the lenient behaviour of mainstream servers.
+///
+/// # Examples
+///
+/// ```
+/// use staged_http::percent_decode;
+///
+/// assert_eq!(percent_decode("a%20b+c"), "a b c");
+/// assert_eq!(percent_decode("100%"), "100%");
+/// ```
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| {
+                    let hi = (h[0] as char).to_digit(16)?;
+                    let lo = (h[1] as char).to_digit(16)?;
+                    Some((hi * 16 + lo) as u8)
+                }) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encodes a string for use as a URI query component: ASCII
+/// alphanumerics and `-_.~` pass through, spaces become `+`, everything
+/// else becomes `%XX`.
+///
+/// # Examples
+///
+/// ```
+/// use staged_http::percent_encode;
+///
+/// assert_eq!(percent_encode("a b&c"), "a+b%26c");
+/// ```
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// A parsed request target: the decoded, normalized path plus the raw
+/// query string.
+///
+/// `RequestTarget` is what the paper's header-parsing thread inspects to
+/// make its routing decision: [`RequestTarget::is_static_resource`]
+/// implements the paper's rule of thumb that a path with a file
+/// extension ("/img/flowers.gif") is static while an extension-less path
+/// ("/homepage") is dynamic (§3.2).
+///
+/// # Examples
+///
+/// ```
+/// use staged_http::RequestTarget;
+///
+/// let t = RequestTarget::parse("/search?q=web+servers&page=2").unwrap();
+/// assert_eq!(t.path(), "/search");
+/// assert_eq!(t.query_value("q"), Some("web servers".to_string()));
+/// assert!(!t.is_static_resource());
+///
+/// let s = RequestTarget::parse("/img/flowers.gif").unwrap();
+/// assert!(s.is_static_resource());
+/// assert_eq!(s.extension(), Some("gif"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RequestTarget {
+    path: String,
+    raw_query: String,
+}
+
+impl RequestTarget {
+    /// Parses an origin-form request target (`/path?query`).
+    ///
+    /// The path is percent-decoded and dot-segment-normalized; attempts
+    /// to escape the root (`/../..`) are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::Malformed`] if the target does not start with
+    /// `/` or path normalization escapes the root.
+    pub fn parse(target: &str) -> Result<Self, HttpError> {
+        if !target.starts_with('/') {
+            return Err(HttpError::Malformed(format!(
+                "request target must start with '/': {target}"
+            )));
+        }
+        let (raw_path, raw_query) = match target.split_once('?') {
+            Some((p, q)) => (p, q.to_string()),
+            None => (target, String::new()),
+        };
+        let path = normalize_path(&percent_decode_path(raw_path))?;
+        Ok(RequestTarget { path, raw_query })
+    }
+
+    /// The decoded, normalized absolute path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The raw (undecoded) query string, without the leading `?`.
+    pub fn raw_query(&self) -> &str {
+        &self.raw_query
+    }
+
+    /// Decodes the query string into ordered key/value pairs — the
+    /// "dictionary" the paper's header parser builds for dynamic pages.
+    pub fn query_pairs(&self) -> Vec<(String, String)> {
+        parse_query(&self.raw_query)
+    }
+
+    /// First query value for `key`, decoded.
+    pub fn query_value(&self, key: &str) -> Option<String> {
+        self.query_pairs()
+            .into_iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// The file extension of the last path segment, if any.
+    pub fn extension(&self) -> Option<&str> {
+        let last = self.path.rsplit('/').next()?;
+        let (stem, ext) = last.rsplit_once('.')?;
+        if stem.is_empty() || ext.is_empty() {
+            None
+        } else {
+            Some(ext)
+        }
+    }
+
+    /// The paper's static/dynamic discriminator: a resource whose final
+    /// segment carries a file extension is treated as a static file.
+    pub fn is_static_resource(&self) -> bool {
+        self.extension().is_some()
+    }
+}
+
+impl std::fmt::Display for RequestTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.raw_query.is_empty() {
+            write!(f, "{}", self.path)
+        } else {
+            write!(f, "{}?{}", self.path, self.raw_query)
+        }
+    }
+}
+
+/// Decodes percent escapes in a path without `+`-to-space (that rule is
+/// form-encoding-specific and does not apply to paths).
+fn percent_decode_path(s: &str) -> String {
+    // Reuse percent_decode but protect literal '+' characters.
+    if s.contains('+') {
+        s.split('+')
+            .map(percent_decode)
+            .collect::<Vec<_>>()
+            .join("+")
+    } else {
+        percent_decode(s)
+    }
+}
+
+/// Resolves `.` and `..` segments and collapses duplicate slashes.
+fn normalize_path(path: &str) -> Result<String, HttpError> {
+    let mut out: Vec<&str> = Vec::new();
+    for segment in path.split('/') {
+        match segment {
+            "" | "." => {}
+            ".." => {
+                if out.pop().is_none() {
+                    return Err(HttpError::Malformed(
+                        "path escapes document root".to_string(),
+                    ));
+                }
+            }
+            s => out.push(s),
+        }
+    }
+    let mut normalized = String::with_capacity(path.len());
+    normalized.push('/');
+    normalized.push_str(&out.join("/"));
+    // Preserve directory-ness: a trailing slash on a non-root path.
+    if path.len() > 1 && path.ends_with('/') && normalized.len() > 1 {
+        normalized.push('/');
+    }
+    Ok(normalized)
+}
+
+/// Parses `a=1&b=two+words` into decoded pairs. Keys without `=` get an
+/// empty value; empty components are skipped.
+fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_basic() {
+        assert_eq!(percent_decode("hello%20world"), "hello world");
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("%41%42"), "AB");
+    }
+
+    #[test]
+    fn decode_invalid_escapes_pass_through() {
+        assert_eq!(percent_decode("%"), "%");
+        assert_eq!(percent_decode("%2"), "%2");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("50%+off"), "50% off");
+    }
+
+    #[test]
+    fn encode_round_trips() {
+        for s in ["hello world", "a&b=c", "ünïcode", "100% done", ""] {
+            assert_eq!(percent_decode(&percent_encode(s)), s);
+        }
+    }
+
+    #[test]
+    fn target_splits_path_and_query() {
+        let t = RequestTarget::parse("/homepage?userid=5&popups=no").unwrap();
+        assert_eq!(t.path(), "/homepage");
+        assert_eq!(t.raw_query(), "userid=5&popups=no");
+        assert_eq!(
+            t.query_pairs(),
+            vec![
+                ("userid".to_string(), "5".to_string()),
+                ("popups".to_string(), "no".to_string())
+            ]
+        );
+        assert_eq!(t.query_value("userid"), Some("5".to_string()));
+        assert_eq!(t.query_value("missing"), None);
+    }
+
+    #[test]
+    fn static_discriminator_follows_paper_examples() {
+        assert!(RequestTarget::parse("/img/flowers.gif")
+            .unwrap()
+            .is_static_resource());
+        assert!(!RequestTarget::parse("/homepage?userid=5")
+            .unwrap()
+            .is_static_resource());
+        assert!(!RequestTarget::parse("/").unwrap().is_static_resource());
+        // Hidden files are not "extensions".
+        assert!(!RequestTarget::parse("/.hidden").unwrap().is_static_resource());
+        // A dot in a directory does not make the resource static.
+        assert!(!RequestTarget::parse("/v1.2/home").unwrap().is_static_resource());
+    }
+
+    #[test]
+    fn extension_extraction() {
+        assert_eq!(
+            RequestTarget::parse("/a/b/c.html").unwrap().extension(),
+            Some("html")
+        );
+        assert_eq!(RequestTarget::parse("/a.b/c").unwrap().extension(), None);
+        assert_eq!(RequestTarget::parse("/trailingdot.").unwrap().extension(), None);
+    }
+
+    #[test]
+    fn path_normalization() {
+        assert_eq!(RequestTarget::parse("/a/./b//c").unwrap().path(), "/a/b/c");
+        assert_eq!(RequestTarget::parse("/a/b/../c").unwrap().path(), "/a/c");
+        assert_eq!(RequestTarget::parse("/a/..").unwrap().path(), "/");
+    }
+
+    #[test]
+    fn traversal_is_rejected() {
+        assert!(RequestTarget::parse("/../etc/passwd").is_err());
+        assert!(RequestTarget::parse("/a/../../etc").is_err());
+        assert!(RequestTarget::parse("/%2e%2e/secret").is_err());
+    }
+
+    #[test]
+    fn non_rooted_target_rejected() {
+        assert!(RequestTarget::parse("homepage").is_err());
+        assert!(RequestTarget::parse("").is_err());
+        assert!(RequestTarget::parse("http://x/abs").is_err());
+    }
+
+    #[test]
+    fn plus_in_path_is_literal() {
+        assert_eq!(RequestTarget::parse("/a+b").unwrap().path(), "/a+b");
+    }
+
+    #[test]
+    fn query_edge_cases() {
+        let t = RequestTarget::parse("/p?&a&b=&=c&d=1=2").unwrap();
+        assert_eq!(
+            t.query_pairs(),
+            vec![
+                ("a".to_string(), String::new()),
+                ("b".to_string(), String::new()),
+                ("".to_string(), "c".to_string()),
+                ("d".to_string(), "1=2".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let t = RequestTarget::parse("/p?a=1").unwrap();
+        assert_eq!(t.to_string(), "/p?a=1");
+        let t = RequestTarget::parse("/p").unwrap();
+        assert_eq!(t.to_string(), "/p");
+    }
+
+    #[test]
+    fn trailing_slash_preserved() {
+        assert_eq!(RequestTarget::parse("/docs/").unwrap().path(), "/docs/");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the HTTP substrate.
+
+use proptest::prelude::*;
+use staged_http::{percent_decode, percent_encode, HeaderMap, RequestLine, RequestTarget};
+
+proptest! {
+    /// Encoding then decoding any string is the identity.
+    #[test]
+    fn percent_round_trip(s in ".*") {
+        prop_assert_eq!(percent_decode(&percent_encode(&s)), s);
+    }
+
+    /// The decoder never panics and always yields valid UTF-8, no
+    /// matter how malformed the escapes are.
+    #[test]
+    fn percent_decode_total(s in ".*") {
+        let _ = percent_decode(&s);
+    }
+
+    /// Encoded output only ever contains URL-safe characters.
+    #[test]
+    fn percent_encode_output_is_safe(s in ".*") {
+        let encoded = percent_encode(&s);
+        let safe = encoded
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | '~' | '+' | '%'));
+        prop_assert!(safe, "unsafe characters in {:?}", encoded);
+    }
+
+    /// Target parsing never panics, and when it succeeds the
+    /// normalized path is absolute and free of dot segments — the
+    /// traversal-safety invariant the static file store relies on.
+    #[test]
+    fn target_parse_safe(raw in "/[ -~]{0,100}") {
+        if let Ok(t) = RequestTarget::parse(&raw) {
+            prop_assert!(t.path().starts_with('/'));
+            for segment in t.path().split('/') {
+                prop_assert_ne!(segment, "..");
+                prop_assert_ne!(segment, ".");
+            }
+        }
+    }
+
+    /// Query parsing decodes every pair the encoder produced, in order.
+    #[test]
+    fn query_pairs_round_trip(pairs in proptest::collection::vec(("[a-z]{1,8}", "[ -~&=%+]{0,12}"), 0..6)) {
+        let query: Vec<String> = pairs
+            .iter()
+            .map(|(k, v)| format!("{}={}", percent_encode(k), percent_encode(v)))
+            .collect();
+        let raw = format!("/p?{}", query.join("&"));
+        let t = RequestTarget::parse(&raw).unwrap();
+        let decoded = t.query_pairs();
+        prop_assert_eq!(decoded.len(), pairs.len());
+        for ((dk, dv), (k, v)) in decoded.iter().zip(&pairs) {
+            prop_assert_eq!(dk, k);
+            prop_assert_eq!(dv, v);
+        }
+    }
+
+    /// A serialized request line re-parses to an equal value.
+    #[test]
+    fn request_line_round_trip(
+        method in prop::sample::select(vec!["GET", "HEAD", "POST", "DELETE"]),
+        path in "/[a-z0-9/._-]{0,40}",
+        query in "[a-z0-9=&]{0,20}",
+    ) {
+        let raw = if query.is_empty() {
+            format!("{method} {path} HTTP/1.1")
+        } else {
+            format!("{method} {path}?{query} HTTP/1.1")
+        };
+        if let Ok(line) = RequestLine::parse(&raw) {
+            let reparsed = RequestLine::parse(&line.to_string()).unwrap();
+            prop_assert_eq!(line, reparsed);
+        }
+    }
+
+    /// Arbitrary byte soup fed to the request-line parser never panics.
+    #[test]
+    fn request_line_parser_total(s in ".{0,200}") {
+        let _ = RequestLine::parse(&s);
+    }
+
+    /// HeaderMap lookups are case-insensitive for every name casing.
+    #[test]
+    fn header_lookup_casing(name in "[A-Za-z-]{1,16}", value in "[ -~]{0,32}") {
+        let mut h = HeaderMap::new();
+        h.insert(name.clone(), value.clone());
+        prop_assert_eq!(h.get(&name.to_lowercase()), Some(value.as_str()));
+        prop_assert_eq!(h.get(&name.to_uppercase()), Some(value.as_str()));
+        prop_assert!(h.contains(&name));
+        h.remove(&name.to_uppercase());
+        prop_assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! Monotonic counters and signed gauges.
+
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+///
+/// `Counter` is wait-free and can be shared across threads behind an
+/// `Arc`. It counts *events* — completed requests, dispatched jobs,
+/// dropped connections.
+///
+/// # Examples
+///
+/// ```
+/// use staged_metrics::Counter;
+///
+/// let c = Counter::new();
+/// c.add(2);
+/// c.increment();
+/// assert_eq!(c.value(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one to the counter.
+    pub fn increment(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Returns the current count.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero, returning the previous value.
+    pub fn reset(&self) -> u64 {
+        self.value.swap(0, Ordering::Relaxed)
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value())
+    }
+}
+
+impl Clone for Counter {
+    fn clone(&self) -> Self {
+        Counter {
+            value: AtomicU64::new(self.value()),
+        }
+    }
+}
+
+/// A signed instantaneous value, such as the number of busy worker
+/// threads or queued requests.
+///
+/// Unlike [`Counter`], a gauge can go down.
+///
+/// # Examples
+///
+/// ```
+/// use staged_metrics::Gauge;
+///
+/// let busy = Gauge::new();
+/// busy.increment();
+/// busy.increment();
+/// busy.decrement();
+/// assert_eq!(busy.value(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one to the gauge and returns the *new* value.
+    pub fn increment(&self) -> i64 {
+        self.value.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Subtracts one from the gauge and returns the *new* value.
+    pub fn decrement(&self) -> i64 {
+        self.value.fetch_sub(1, Ordering::Relaxed) - 1
+    }
+
+    /// Sets the gauge to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Returns the current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Display for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value())
+    }
+}
+
+impl Clone for Gauge {
+    fn clone(&self) -> Self {
+        let g = Gauge::new();
+        g.set(self.value());
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn counter_starts_at_zero() {
+        assert_eq!(Counter::new().value(), 0);
+    }
+
+    #[test]
+    fn counter_adds() {
+        let c = Counter::new();
+        c.add(5);
+        c.increment();
+        assert_eq!(c.value(), 6);
+    }
+
+    #[test]
+    fn counter_reset_returns_previous() {
+        let c = Counter::new();
+        c.add(7);
+        assert_eq!(c.reset(), 7);
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn counter_is_accurate_across_threads() {
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.increment();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.value(), 8000);
+    }
+
+    #[test]
+    fn gauge_goes_up_and_down() {
+        let g = Gauge::new();
+        assert_eq!(g.increment(), 1);
+        assert_eq!(g.increment(), 2);
+        assert_eq!(g.decrement(), 1);
+        g.set(-3);
+        assert_eq!(g.value(), -3);
+    }
+
+    #[test]
+    fn gauge_balanced_across_threads_returns_to_zero() {
+        let g = Arc::new(Gauge::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                thread::spawn(move || {
+                    for _ in 0..500 {
+                        g.increment();
+                        g.decrement();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.value(), 0);
+    }
+
+    #[test]
+    fn display_impls() {
+        let c = Counter::new();
+        c.add(4);
+        assert_eq!(c.to_string(), "4");
+        let g = Gauge::new();
+        g.set(-2);
+        assert_eq!(g.to_string(), "-2");
+    }
+
+    #[test]
+    fn clone_snapshots_value() {
+        let c = Counter::new();
+        c.add(9);
+        let c2 = c.clone();
+        c.increment();
+        assert_eq!(c2.value(), 9);
+        assert_eq!(c.value(), 10);
+    }
+}

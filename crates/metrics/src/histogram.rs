@@ -1,0 +1,270 @@
+//! A log-bucketed latency histogram.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// Number of histogram buckets. Bucket `i` covers durations whose
+/// microsecond value has `i` significant bits, i.e. `[2^(i-1), 2^i)` µs,
+/// with bucket 0 holding sub-microsecond samples. 48 buckets cover about
+/// nine years, which is comfortably more than any request takes.
+const BUCKETS: usize = 48;
+
+#[derive(Debug)]
+struct Inner {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum_micros: u128,
+    min_micros: u64,
+    max_micros: u64,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum_micros: 0,
+            min_micros: 0,
+            max_micros: 0,
+        }
+    }
+}
+
+/// A concurrent, log-bucketed histogram of [`Duration`] samples.
+///
+/// Designed for recording request latencies: recording is a short
+/// critical section, and quantiles are approximate (bucket-resolution,
+/// within 2× of the true value) which is plenty for the shapes the paper
+/// reports (order-of-magnitude differences between page classes).
+///
+/// # Examples
+///
+/// ```
+/// use staged_metrics::Histogram;
+/// use std::time::Duration;
+///
+/// let h = Histogram::new();
+/// for ms in [1u64, 2, 3, 4, 100] {
+///     h.record(Duration::from_millis(ms));
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.mean() >= Duration::from_millis(20));
+/// ```
+#[derive(Debug, Default)]
+pub struct Histogram {
+    inner: Mutex<Inner>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, sample: Duration) {
+        let micros = u64::try_from(sample.as_micros()).unwrap_or(u64::MAX);
+        let bucket = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        let mut inner = self.inner.lock();
+        inner.counts[bucket] += 1;
+        if inner.count == 0 {
+            inner.min_micros = micros;
+            inner.max_micros = micros;
+        } else {
+            inner.min_micros = inner.min_micros.min(micros);
+            inner.max_micros = inner.max_micros.max(micros);
+        }
+        inner.count += 1;
+        inner.sum_micros += u128::from(micros);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.inner.lock().count
+    }
+
+    /// Arithmetic mean of all samples; zero if empty.
+    pub fn mean(&self) -> Duration {
+        let inner = self.inner.lock();
+        if inner.count == 0 {
+            return Duration::ZERO;
+        }
+        let mean = inner.sum_micros / u128::from(inner.count);
+        Duration::from_micros(u64::try_from(mean).unwrap_or(u64::MAX))
+    }
+
+    /// Smallest recorded sample; zero if empty.
+    pub fn min(&self) -> Duration {
+        let inner = self.inner.lock();
+        if inner.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(inner.min_micros)
+        }
+    }
+
+    /// Largest recorded sample; zero if empty.
+    pub fn max(&self) -> Duration {
+        let inner = self.inner.lock();
+        if inner.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(inner.max_micros)
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`), at bucket resolution.
+    ///
+    /// Returns the upper bound of the bucket containing the `q`-th
+    /// sample, so the true value is within a factor of two below the
+    /// returned duration. Returns zero if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0.0, 1.0]`.
+    pub fn quantile(&self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let inner = self.inner.lock();
+        if inner.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((inner.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in inner.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i >= 63 { u64::MAX } else { 1u64 << i };
+                return Duration::from_micros(upper.min(inner.max_micros));
+            }
+        }
+        Duration::from_micros(inner.max_micros)
+    }
+
+    /// Takes a point-in-time snapshot of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = self.inner.lock();
+        HistogramSnapshot {
+            count: inner.count,
+            mean_micros: if inner.count == 0 {
+                0
+            } else {
+                u64::try_from(inner.sum_micros / u128::from(inner.count)).unwrap_or(u64::MAX)
+            },
+            min_micros: if inner.count == 0 { 0 } else { inner.min_micros },
+            max_micros: if inner.count == 0 { 0 } else { inner.max_micros },
+        }
+    }
+
+    /// Clears all recorded samples.
+    pub fn reset(&self) {
+        *self.inner.lock() = Inner::default();
+    }
+}
+
+/// An owned, serializable snapshot of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct HistogramSnapshot {
+    /// Number of samples recorded at snapshot time.
+    pub count: u64,
+    /// Mean sample in microseconds.
+    pub mean_micros: u64,
+    /// Minimum sample in microseconds.
+    pub min_micros: u64,
+    /// Maximum sample in microseconds.
+    pub max_micros: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean as a [`Duration`].
+    pub fn mean(&self) -> Duration {
+        Duration::from_micros(self.mean_micros)
+    }
+}
+
+impl fmt::Display for HistogramSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={}µs min={}µs max={}µs",
+            self.count, self.mean_micros, self.min_micros, self.max_micros
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.min(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_min_max_are_exact() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(10));
+        h.record(Duration::from_micros(20));
+        h.record(Duration::from_micros(30));
+        assert_eq!(h.mean(), Duration::from_micros(20));
+        assert_eq!(h.min(), Duration::from_micros(10));
+        assert_eq!(h.max(), Duration::from_micros(30));
+    }
+
+    #[test]
+    fn quantile_is_within_bucket_resolution() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(100));
+        let p50 = h.quantile(0.5);
+        assert!(p50 >= Duration::from_micros(100));
+        assert!(p50 <= Duration::from_micros(256), "p50 was {p50:?}");
+        let p100 = h.quantile(1.0);
+        assert_eq!(p100, Duration::from_millis(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn quantile_rejects_out_of_range() {
+        Histogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn snapshot_matches_state() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(5));
+        h.record(Duration::from_micros(15));
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean_micros, 10);
+        assert_eq!(s.min_micros, 5);
+        assert_eq!(s.max_micros, 15);
+        assert_eq!(s.mean(), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = Histogram::new();
+        h.record(Duration::from_secs(1));
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn huge_sample_does_not_overflow() {
+        let h = Histogram::new();
+        h.record(Duration::from_secs(u64::MAX / 2_000_000));
+        assert_eq!(h.count(), 1);
+        assert!(h.max() > Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,86 @@
+//! A small convenience timer.
+
+use std::time::{Duration, Instant};
+
+/// Measures elapsed wall-clock time.
+///
+/// The staged server uses stopwatches to measure the *data generation*
+/// interval of each dynamic request (from queue acquisition until the
+/// unrendered template is enqueued for rendering), which is the paper's
+/// per-page service-time signal.
+///
+/// # Examples
+///
+/// ```
+/// use staged_metrics::Stopwatch;
+///
+/// let sw = Stopwatch::start();
+/// let elapsed = sw.elapsed();
+/// assert!(elapsed >= std::time::Duration::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a new stopwatch.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The instant the stopwatch was started.
+    pub fn started_at(&self) -> Instant {
+        self.started
+    }
+
+    /// Restarts the stopwatch and returns the elapsed time up to now.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let lap = now - self.started;
+        self.started = now;
+        lap
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn elapsed_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn lap_resets() {
+        let mut sw = Stopwatch::start();
+        thread::sleep(Duration::from_millis(5));
+        let first = sw.lap();
+        assert!(first >= Duration::from_millis(4));
+        assert!(sw.elapsed() < first);
+    }
+
+    #[test]
+    fn default_is_started() {
+        let sw = Stopwatch::default();
+        assert!(sw.elapsed() < Duration::from_secs(10));
+    }
+}

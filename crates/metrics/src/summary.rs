@@ -1,0 +1,146 @@
+//! Exact running summaries (count / mean / min / max) of duration samples.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// An exact running summary of duration samples.
+///
+/// Unlike [`Histogram`](crate::Histogram), `Summary` keeps no
+/// distribution — just count, sum, min and max — so the mean is exact.
+/// Table 3 of the paper reports per-page *average* response times, which
+/// is precisely what this type produces.
+///
+/// # Examples
+///
+/// ```
+/// use staged_metrics::Summary;
+/// use std::time::Duration;
+///
+/// let s = Summary::new();
+/// s.record(Duration::from_millis(10));
+/// s.record(Duration::from_millis(30));
+/// assert_eq!(s.snapshot().mean(), Duration::from_millis(20));
+/// ```
+#[derive(Debug, Default)]
+pub struct Summary {
+    inner: Mutex<SummarySnapshot>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, sample: Duration) {
+        let micros = u64::try_from(sample.as_micros()).unwrap_or(u64::MAX);
+        let mut s = self.inner.lock();
+        if s.count == 0 {
+            s.min_micros = micros;
+            s.max_micros = micros;
+        } else {
+            s.min_micros = s.min_micros.min(micros);
+            s.max_micros = s.max_micros.max(micros);
+        }
+        s.count += 1;
+        s.sum_micros += u128::from(micros);
+    }
+
+    /// Returns an owned snapshot of the current state.
+    pub fn snapshot(&self) -> SummarySnapshot {
+        *self.inner.lock()
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.inner.lock().count
+    }
+
+    /// Clears the summary.
+    pub fn reset(&self) {
+        *self.inner.lock() = SummarySnapshot::default();
+    }
+}
+
+/// An owned snapshot of a [`Summary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SummarySnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples in microseconds.
+    pub sum_micros: u128,
+    /// Smallest sample in microseconds (0 when empty).
+    pub min_micros: u64,
+    /// Largest sample in microseconds (0 when empty).
+    pub max_micros: u64,
+}
+
+impl SummarySnapshot {
+    /// Exact mean; zero when empty.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let mean = self.sum_micros / u128::from(self.count);
+        Duration::from_micros(u64::try_from(mean).unwrap_or(u64::MAX))
+    }
+
+    /// Mean expressed in (fractional) seconds, for table output.
+    pub fn mean_secs(&self) -> f64 {
+        self.mean().as_secs_f64()
+    }
+
+    /// Mean expressed in (fractional) milliseconds, for table output.
+    pub fn mean_millis(&self) -> f64 {
+        self.mean().as_secs_f64() * 1e3
+    }
+}
+
+impl fmt::Display for SummarySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={} mean={:.3}ms", self.count, self.mean_millis())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn exact_mean() {
+        let s = Summary::new();
+        for us in [100u64, 200, 600] {
+            s.record(Duration::from_micros(us));
+        }
+        assert_eq!(s.snapshot().mean(), Duration::from_micros(300));
+        assert_eq!(s.snapshot().min_micros, 100);
+        assert_eq!(s.snapshot().max_micros, 600);
+    }
+
+    #[test]
+    fn mean_units() {
+        let s = Summary::new();
+        s.record(Duration::from_millis(1500));
+        let snap = s.snapshot();
+        assert!((snap.mean_secs() - 1.5).abs() < 1e-9);
+        assert!((snap.mean_millis() - 1500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_empties() {
+        let s = Summary::new();
+        s.record(Duration::from_secs(1));
+        s.reset();
+        assert_eq!(s.count(), 0);
+    }
+}

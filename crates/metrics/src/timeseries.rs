@@ -1,0 +1,215 @@
+//! Time-bucketed event series, used for the paper's queue-length and
+//! throughput-over-time figures.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// One point in a [`TimeSeries`] export.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Bucket start, in seconds since the series epoch.
+    pub at_secs: f64,
+    /// Bucket value (a count for throughput series, a mean for sampled
+    /// gauges such as queue length).
+    pub value: f64,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Bucket {
+    sum: f64,
+    samples: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    width: Duration,
+    buckets: Vec<Bucket>,
+}
+
+/// A series of values bucketed by elapsed time since an epoch.
+///
+/// Two usage patterns map onto the paper's figures:
+///
+/// * **Throughput** (Figures 9/10): call [`TimeSeries::increment`] once
+///   per completed interaction and export with
+///   [`TimeSeries::counts_per_bucket`]. Each point is the number of
+///   events in that bucket.
+/// * **Queue length** (Figures 7/8): call [`TimeSeries::observe`] with a
+///   sampled gauge value and export with [`TimeSeries::bucket_means`].
+///
+/// # Examples
+///
+/// ```
+/// use staged_metrics::TimeSeries;
+/// use std::time::Duration;
+///
+/// let ts = TimeSeries::new(Duration::from_millis(10));
+/// ts.increment();
+/// ts.increment();
+/// let points = ts.counts_per_bucket();
+/// assert_eq!(points[0].value, 2.0);
+/// ```
+#[derive(Debug)]
+pub struct TimeSeries {
+    inner: Mutex<Inner>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width whose epoch is *now*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero.
+    pub fn new(bucket_width: Duration) -> Self {
+        assert!(!bucket_width.is_zero(), "bucket width must be non-zero");
+        TimeSeries {
+            inner: Mutex::new(Inner {
+                epoch: Instant::now(),
+                width: bucket_width,
+                buckets: Vec::new(),
+            }),
+        }
+    }
+
+    /// Resets the epoch to *now* and clears all buckets.
+    ///
+    /// Used at the end of a warm-up (ramp-up) period, mirroring the
+    /// paper's exclusion of the first five minutes of each run.
+    pub fn restart(&self) {
+        let mut inner = self.inner.lock();
+        inner.epoch = Instant::now();
+        inner.buckets.clear();
+    }
+
+    /// Records one event (value 1.0) in the current bucket.
+    pub fn increment(&self) {
+        self.observe(1.0);
+    }
+
+    /// Records an observed value in the current bucket.
+    pub fn observe(&self, value: f64) {
+        let mut inner = self.inner.lock();
+        let idx = (inner.epoch.elapsed().as_nanos() / inner.width.as_nanos()) as usize;
+        if inner.buckets.len() <= idx {
+            inner.buckets.resize(idx + 1, Bucket::default());
+        }
+        let b = &mut inner.buckets[idx];
+        b.sum += value;
+        b.samples += 1;
+    }
+
+    /// Exports one point per bucket whose value is the *sum* of events —
+    /// i.e. a throughput series when fed by [`TimeSeries::increment`].
+    pub fn counts_per_bucket(&self) -> Vec<SeriesPoint> {
+        let inner = self.inner.lock();
+        let width = inner.width.as_secs_f64();
+        inner
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| SeriesPoint {
+                at_secs: i as f64 * width,
+                value: b.sum,
+            })
+            .collect()
+    }
+
+    /// Exports one point per bucket whose value is the *mean* of the
+    /// observations in that bucket (0 for empty buckets) — i.e. a sampled
+    /// gauge series such as queue length.
+    pub fn bucket_means(&self) -> Vec<SeriesPoint> {
+        let inner = self.inner.lock();
+        let width = inner.width.as_secs_f64();
+        inner
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| SeriesPoint {
+                at_secs: i as f64 * width,
+                value: if b.samples == 0 {
+                    0.0
+                } else {
+                    b.sum / b.samples as f64
+                },
+            })
+            .collect()
+    }
+
+    /// Total of all recorded values across all buckets.
+    pub fn total(&self) -> f64 {
+        self.inner.lock().buckets.iter().map(|b| b.sum).sum()
+    }
+
+    /// The configured bucket width.
+    pub fn bucket_width(&self) -> Duration {
+        self.inner.lock().width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    #[should_panic(expected = "bucket width must be non-zero")]
+    fn zero_width_rejected() {
+        let _ = TimeSeries::new(Duration::ZERO);
+    }
+
+    #[test]
+    fn events_land_in_first_bucket() {
+        let ts = TimeSeries::new(Duration::from_secs(60));
+        ts.increment();
+        ts.increment();
+        ts.increment();
+        let pts = ts.counts_per_bucket();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].at_secs, 0.0);
+        assert_eq!(pts[0].value, 3.0);
+        assert_eq!(ts.total(), 3.0);
+    }
+
+    #[test]
+    fn events_spread_across_buckets() {
+        let ts = TimeSeries::new(Duration::from_millis(20));
+        ts.increment();
+        thread::sleep(Duration::from_millis(45));
+        ts.increment();
+        let pts = ts.counts_per_bucket();
+        assert!(pts.len() >= 3, "expected >=3 buckets, got {}", pts.len());
+        assert_eq!(pts[0].value, 1.0);
+        assert_eq!(pts.last().unwrap().value, 1.0);
+    }
+
+    #[test]
+    fn bucket_means_average_observations() {
+        let ts = TimeSeries::new(Duration::from_secs(60));
+        ts.observe(10.0);
+        ts.observe(30.0);
+        let pts = ts.bucket_means();
+        assert_eq!(pts[0].value, 20.0);
+    }
+
+    #[test]
+    fn restart_clears_and_rebases() {
+        let ts = TimeSeries::new(Duration::from_secs(1));
+        ts.increment();
+        ts.restart();
+        assert_eq!(ts.total(), 0.0);
+        ts.increment();
+        assert_eq!(ts.counts_per_bucket()[0].value, 1.0);
+    }
+
+    #[test]
+    fn empty_bucket_mean_is_zero() {
+        let ts = TimeSeries::new(Duration::from_millis(10));
+        thread::sleep(Duration::from_millis(25));
+        ts.observe(4.0);
+        let pts = ts.bucket_means();
+        assert_eq!(pts[0].value, 0.0);
+        assert_eq!(pts.last().unwrap().value, 4.0);
+    }
+}

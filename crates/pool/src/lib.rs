@@ -1,0 +1,51 @@
+//! Synchronized queues and instrumented worker thread pools.
+//!
+//! This crate is the substrate beneath both request-processing models in
+//! the paper:
+//!
+//! * the **thread-per-request** baseline is one [`WorkerPool`] fed by a
+//!   single [`SyncQueue`] (CherryPy's architecture, paper §2.2 and
+//!   Figure 4);
+//! * the **modified server** is five pools — header parsing, static,
+//!   general dynamic, lengthy dynamic, template rendering — each with its
+//!   own queue (paper §3.2 and Figure 5).
+//!
+//! The instrumentation is not an afterthought: the scheduling policy
+//! *requires* the spare-thread count of the general pool
+//! ([`WorkerPool::spare_threads`], the paper's `t_spare`) and the
+//! evaluation requires queue-length traces ([`QueueSampler`], Figures
+//! 7/8).
+//!
+//! # Examples
+//!
+//! ```
+//! use staged_pool::{PoolConfig, WorkerPool};
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! let sum = Arc::new(AtomicUsize::new(0));
+//! let sum2 = Arc::clone(&sum);
+//! let pool = WorkerPool::new(
+//!     PoolConfig::new("adders", 4),
+//!     |_worker_index| (),
+//!     move |_state, n: usize| {
+//!         sum2.fetch_add(n, Ordering::Relaxed);
+//!     },
+//! );
+//! for n in 1..=100 {
+//!     pool.submit(n).unwrap();
+//! }
+//! pool.shutdown();
+//! assert_eq!(sum.load(Ordering::Relaxed), 5050);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+mod sampler;
+mod worker;
+
+pub use queue::{PushError, SyncQueue, TryPopError};
+pub use sampler::{QueueSampler, SamplerHandle};
+pub use worker::{PoolConfig, PoolStats, SubmitError, WorkerPool};

@@ -1,0 +1,427 @@
+//! A bounded, instrumented, closable synchronized FIFO queue.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// Error returned by [`SyncQueue::push`] and [`SyncQueue::try_push`]
+/// when the item cannot be enqueued. The rejected item is handed back so
+/// the caller can redirect it (e.g. send an overload response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue has been closed; no further items are accepted.
+    Closed(T),
+    /// The queue is at capacity (only returned by `try_push`).
+    Full(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the item that could not be enqueued.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Closed(t) | PushError::Full(t) => t,
+        }
+    }
+}
+
+impl<T> fmt::Display for PushError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushError::Closed(_) => write!(f, "queue is closed"),
+            PushError::Full(_) => write!(f, "queue is full"),
+        }
+    }
+}
+
+impl<T: fmt::Debug> Error for PushError<T> {}
+
+/// Error returned by [`SyncQueue::try_pop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryPopError {
+    /// The queue is currently empty but still open.
+    Empty,
+    /// The queue is closed and fully drained.
+    Closed,
+}
+
+impl fmt::Display for TryPopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryPopError::Empty => write!(f, "queue is empty"),
+            TryPopError::Closed => write!(f, "queue is closed and drained"),
+        }
+    }
+}
+
+impl Error for TryPopError {}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    peak_len: usize,
+}
+
+/// A bounded synchronized FIFO queue, the building block of every thread
+/// pool in the paper's design ("Each thread pool waits on its own
+/// synchronized queue", §3.2).
+///
+/// Semantics:
+///
+/// * [`SyncQueue::push`] blocks while the queue is at capacity;
+/// * [`SyncQueue::pop`] blocks while the queue is empty, returning
+///   `None` only once the queue is closed **and** drained — so closing is
+///   a graceful drain, not an abort;
+/// * length is observable at any time ([`SyncQueue::len`]), which is how
+///   the Figure 7/8 queue traces are collected.
+///
+/// # Examples
+///
+/// ```
+/// use staged_pool::SyncQueue;
+///
+/// let q = SyncQueue::unbounded();
+/// q.push(1).unwrap();
+/// q.push(2).unwrap();
+/// q.close();
+/// assert_eq!(q.pop(), Some(1));
+/// assert_eq!(q.pop(), Some(2));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct SyncQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> SyncQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be at least 1");
+        SyncQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+                peak_len: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Creates a queue with no practical capacity limit, matching
+    /// CherryPy's unbounded `Queue` the paper builds on.
+    pub fn unbounded() -> Self {
+        Self::bounded(usize::MAX)
+    }
+
+    /// Enqueues an item, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Closed`] (with the item) if the queue has
+    /// been closed.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock();
+        loop {
+            if state.closed {
+                return Err(PushError::Closed(item));
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                state.peak_len = state.peak_len.max(state.items.len());
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            self.not_full.wait(&mut state);
+        }
+    }
+
+    /// Enqueues an item without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError::Full`] if at capacity or
+    /// [`PushError::Closed`] if closed; both hand the item back.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        state.peak_len = state.peak_len.max(state.items.len());
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.
+    ///
+    /// Returns `None` once the queue is closed and fully drained — the
+    /// worker-thread exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut state);
+        }
+    }
+
+    /// Dequeues the oldest item, waiting at most `timeout`.
+    ///
+    /// Returns `Ok(None)` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryPopError::Closed`] once closed and drained.
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<Option<T>, TryPopError> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Ok(Some(item));
+            }
+            if state.closed {
+                return Err(TryPopError::Closed);
+            }
+            if self.not_empty.wait_for(&mut state, timeout).timed_out() {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Dequeues the oldest item without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryPopError::Empty`] if open but empty, [`TryPopError::Closed`]
+    /// if closed and drained.
+    pub fn try_pop(&self) -> Result<T, TryPopError> {
+        let mut state = self.state.lock();
+        if let Some(item) = state.items.pop_front() {
+            self.not_full.notify_one();
+            return Ok(item);
+        }
+        if state.closed {
+            Err(TryPopError::Closed)
+        } else {
+            Err(TryPopError::Empty)
+        }
+    }
+
+    /// Closes the queue: future pushes fail, and pops drain the backlog
+    /// then return `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock();
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`SyncQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The largest length the queue has ever reached.
+    pub fn peak_len(&self) -> usize {
+        self.state.lock().peak_len
+    }
+
+    /// The configured capacity (`usize::MAX` for unbounded queues).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    #[should_panic(expected = "queue capacity must be at least 1")]
+    fn zero_capacity_rejected() {
+        let _ = SyncQueue::<i32>::bounded(0);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = SyncQueue::unbounded();
+        for i in 0..10 {
+            q.push(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn try_push_full() {
+        let q = SyncQueue::bounded(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(PushError::Full(v)) => assert_eq!(v, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_after_close_fails_with_item() {
+        let q = SyncQueue::unbounded();
+        q.close();
+        match q.push(42) {
+            Err(PushError::Closed(v)) => assert_eq!(v, 42),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_drains_then_none() {
+        let q = SyncQueue::unbounded();
+        q.push("a").unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(SyncQueue::unbounded());
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.pop());
+        thread::sleep(Duration::from_millis(20));
+        q.push(7).unwrap();
+        assert_eq!(h.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn push_blocks_until_pop() {
+        let q = Arc::new(SyncQueue::bounded(1));
+        q.push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.push(2));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(1));
+        h.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn pop_timeout_times_out() {
+        let q = SyncQueue::<u8>::unbounded();
+        let got = q.pop_timeout(Duration::from_millis(10)).unwrap();
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn pop_timeout_closed() {
+        let q = SyncQueue::<u8>::unbounded();
+        q.close();
+        assert_eq!(
+            q.pop_timeout(Duration::from_millis(10)),
+            Err(TryPopError::Closed)
+        );
+    }
+
+    #[test]
+    fn try_pop_variants() {
+        let q = SyncQueue::unbounded();
+        assert_eq!(q.try_pop(), Err(TryPopError::Empty));
+        q.push(9).unwrap();
+        assert_eq!(q.try_pop(), Ok(9));
+        q.close();
+        assert_eq!(q.try_pop(), Err(TryPopError::Closed));
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let q = SyncQueue::unbounded();
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        q.pop();
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peak_len(), 3);
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q = Arc::new(SyncQueue::<u8>::unbounded());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.pop())
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn many_producers_many_consumers() {
+        let q = Arc::new(SyncQueue::bounded(8));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..250 {
+                        q.push(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap().len()).sum();
+        assert_eq!(total, 1000);
+    }
+}

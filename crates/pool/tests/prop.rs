@@ -1,0 +1,77 @@
+//! Property-based tests for queues and pools.
+
+use proptest::prelude::*;
+use staged_pool::{PoolConfig, SyncQueue, WorkerPool};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-threaded FIFO: any interleaving of pushes and pops
+    /// observes queue order, and lengths always match the model.
+    #[test]
+    fn fifo_model(ops in proptest::collection::vec(prop_oneof![
+        (0i64..1000).prop_map(Some),
+        Just(None),
+    ], 0..80)) {
+        let q = SyncQueue::unbounded();
+        let mut model = std::collections::VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    q.push(v).unwrap();
+                    model.push_back(v);
+                }
+                None => {
+                    let got = q.try_pop().ok();
+                    prop_assert_eq!(got, model.pop_front());
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.is_empty(), model.is_empty());
+        }
+        prop_assert!(q.peak_len() <= 80);
+    }
+
+    /// A bounded queue never holds more than its capacity, whatever the
+    /// op sequence (using non-blocking push).
+    #[test]
+    fn capacity_respected(capacity in 1usize..8, ops in proptest::collection::vec(any::<bool>(), 0..60)) {
+        let q = SyncQueue::bounded(capacity);
+        for push in ops {
+            if push {
+                let _ = q.try_push(0u8);
+            } else {
+                let _ = q.try_pop();
+            }
+            prop_assert!(q.len() <= capacity);
+            prop_assert!(q.peak_len() <= capacity);
+        }
+    }
+
+    /// Every job submitted to a pool is processed exactly once, for any
+    /// worker count and job count.
+    #[test]
+    fn pool_processes_each_job_once(workers in 1usize..6, jobs in 0usize..120) {
+        let sum = Arc::new(AtomicU64::new(0));
+        let count = Arc::new(AtomicU64::new(0));
+        let (s2, c2) = (Arc::clone(&sum), Arc::clone(&count));
+        let pool = WorkerPool::new(
+            PoolConfig::new("prop", workers),
+            |_| (),
+            move |_, n: u64| {
+                s2.fetch_add(n, Ordering::Relaxed);
+                c2.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        let mut expected = 0u64;
+        for n in 0..jobs as u64 {
+            pool.submit(n).unwrap();
+            expected += n;
+        }
+        pool.shutdown();
+        prop_assert_eq!(sum.load(Ordering::Relaxed), expected);
+        prop_assert_eq!(count.load(Ordering::Relaxed), jobs as u64);
+    }
+}

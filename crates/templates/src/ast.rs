@@ -1,0 +1,436 @@
+//! The compiled template AST and expression parsing.
+
+use crate::error::TemplateError;
+use crate::value::Value;
+
+/// A node of a compiled template.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Node {
+    /// Literal output.
+    Text(String),
+    /// `{{ expr }}`
+    Var(FilterExpr),
+    /// `{% if %}…{% elif %}…{% else %}…{% endif %}`
+    If {
+        arms: Vec<(Cond, Vec<Node>)>,
+        else_body: Vec<Node>,
+    },
+    /// `{% for x in xs %}…{% empty %}…{% endfor %}`
+    For {
+        var: String,
+        iterable: FilterExpr,
+        body: Vec<Node>,
+        empty: Vec<Node>,
+    },
+    /// `{% include "name" %}`
+    Include { name: String },
+    /// `{% with name = expr %}…{% endwith %}`
+    With {
+        var: String,
+        value: FilterExpr,
+        body: Vec<Node>,
+    },
+}
+
+/// An operand: a literal or a dotted variable path.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Operand {
+    Literal(Value),
+    Path(Vec<String>),
+}
+
+/// One filter application: `|name` or `|name:arg`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Filter {
+    pub name: String,
+    pub arg: Option<Operand>,
+}
+
+/// An operand plus its filter chain: `user.name|lower|truncatechars:20`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct FilterExpr {
+    pub base: Operand,
+    pub filters: Vec<Filter>,
+}
+
+/// Comparison operators usable in `{% if %}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    In,
+}
+
+/// A boolean condition tree for `{% if %}`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Cond {
+    Or(Box<Cond>, Box<Cond>),
+    And(Box<Cond>, Box<Cond>),
+    Not(Box<Cond>),
+    Compare(FilterExpr, CmpOp, FilterExpr),
+    Truthy(FilterExpr),
+}
+
+/// Splits a tag body on whitespace, keeping quoted strings (and the
+/// filter expressions containing them) intact — Django's `smart_split`.
+pub(crate) fn smart_split(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut quote: Option<char> = None;
+    for c in s.chars() {
+        match quote {
+            Some(q) => {
+                current.push(c);
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => {
+                if c == '\'' || c == '"' {
+                    quote = Some(c);
+                    current.push(c);
+                } else if c.is_whitespace() {
+                    if !current.is_empty() {
+                        parts.push(std::mem::take(&mut current));
+                    }
+                } else {
+                    current.push(c);
+                }
+            }
+        }
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Parses a single token (no unquoted whitespace) as an operand.
+fn parse_operand(word: &str, line: usize) -> Result<Operand, TemplateError> {
+    if word.is_empty() {
+        return Err(TemplateError::parse(line, "empty expression"));
+    }
+    let first = word.chars().next().expect("non-empty");
+    if first == '\'' || first == '"' {
+        if word.len() >= 2 && word.ends_with(first) {
+            return Ok(Operand::Literal(Value::Str(
+                word[1..word.len() - 1].to_string(),
+            )));
+        }
+        return Err(TemplateError::parse(
+            line,
+            format!("unterminated string literal: {word}"),
+        ));
+    }
+    if let Ok(i) = word.parse::<i64>() {
+        return Ok(Operand::Literal(Value::Int(i)));
+    }
+    if let Ok(f) = word.parse::<f64>() {
+        return Ok(Operand::Literal(Value::Float(f)));
+    }
+    match word {
+        "True" => return Ok(Operand::Literal(Value::Bool(true))),
+        "False" => return Ok(Operand::Literal(Value::Bool(false))),
+        "None" => return Ok(Operand::Literal(Value::Null)),
+        _ => {}
+    }
+    let segments: Vec<String> = word.split('.').map(str::to_string).collect();
+    if segments.iter().any(|s| s.is_empty()) {
+        return Err(TemplateError::parse(
+            line,
+            format!("invalid variable path: {word}"),
+        ));
+    }
+    for seg in &segments {
+        let valid = seg
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_');
+        if !valid {
+            return Err(TemplateError::parse(
+                line,
+                format!("invalid character in variable path: {word}"),
+            ));
+        }
+    }
+    Ok(Operand::Path(segments))
+}
+
+/// Splits a filter expression on `|` outside quotes.
+fn split_pipes(word: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut quote: Option<char> = None;
+    for c in word.chars() {
+        match quote {
+            Some(q) => {
+                current.push(c);
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => {
+                if c == '\'' || c == '"' {
+                    quote = Some(c);
+                    current.push(c);
+                } else if c == '|' {
+                    parts.push(std::mem::take(&mut current));
+                } else {
+                    current.push(c);
+                }
+            }
+        }
+    }
+    parts.push(current);
+    parts
+}
+
+/// Splits `name:arg` on the first `:` outside quotes.
+fn split_filter_arg(part: &str) -> (String, Option<String>) {
+    let mut quote: Option<char> = None;
+    for (i, c) in part.char_indices() {
+        match quote {
+            Some(q) => {
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => {
+                if c == '\'' || c == '"' {
+                    quote = Some(c);
+                } else if c == ':' {
+                    return (part[..i].to_string(), Some(part[i + 1..].to_string()));
+                }
+            }
+        }
+    }
+    (part.to_string(), None)
+}
+
+impl FilterExpr {
+    /// Parses `operand|filter:arg|filter…` from one smart-split token.
+    pub(crate) fn parse(word: &str, line: usize) -> Result<Self, TemplateError> {
+        let mut parts = split_pipes(word).into_iter();
+        let base_str = parts
+            .next()
+            .ok_or_else(|| TemplateError::parse(line, "empty expression"))?;
+        let base = parse_operand(base_str.trim(), line)?;
+        let mut filters = Vec::new();
+        for part in parts {
+            let part = part.trim();
+            let (name, arg) = split_filter_arg(part);
+            if name.is_empty()
+                || !name.chars().all(|c| c.is_alphanumeric() || c == '_')
+            {
+                return Err(TemplateError::parse(
+                    line,
+                    format!("invalid filter name: {part}"),
+                ));
+            }
+            let arg = match arg {
+                Some(a) => Some(parse_operand(a.trim(), line)?),
+                None => None,
+            };
+            filters.push(Filter { name, arg });
+        }
+        Ok(FilterExpr { base, filters })
+    }
+}
+
+impl Cond {
+    /// Parses an `{% if %}` condition from smart-split tokens, with
+    /// Django precedence: `or` < `and` < `not` < comparison.
+    pub(crate) fn parse(words: &[String], line: usize) -> Result<Self, TemplateError> {
+        let mut pos = 0;
+        let cond = parse_or(words, &mut pos, line)?;
+        if pos != words.len() {
+            return Err(TemplateError::parse(
+                line,
+                format!("unexpected token in condition: {}", words[pos]),
+            ));
+        }
+        Ok(cond)
+    }
+}
+
+fn parse_or(words: &[String], pos: &mut usize, line: usize) -> Result<Cond, TemplateError> {
+    let mut left = parse_and(words, pos, line)?;
+    while *pos < words.len() && words[*pos] == "or" {
+        *pos += 1;
+        let right = parse_and(words, pos, line)?;
+        left = Cond::Or(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_and(words: &[String], pos: &mut usize, line: usize) -> Result<Cond, TemplateError> {
+    let mut left = parse_not(words, pos, line)?;
+    while *pos < words.len() && words[*pos] == "and" {
+        *pos += 1;
+        let right = parse_not(words, pos, line)?;
+        left = Cond::And(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_not(words: &[String], pos: &mut usize, line: usize) -> Result<Cond, TemplateError> {
+    if *pos < words.len() && words[*pos] == "not" {
+        *pos += 1;
+        let inner = parse_not(words, pos, line)?;
+        return Ok(Cond::Not(Box::new(inner)));
+    }
+    parse_comparison(words, pos, line)
+}
+
+fn parse_comparison(
+    words: &[String],
+    pos: &mut usize,
+    line: usize,
+) -> Result<Cond, TemplateError> {
+    if *pos >= words.len() {
+        return Err(TemplateError::parse(line, "expected expression in condition"));
+    }
+    let left = FilterExpr::parse(&words[*pos], line)?;
+    *pos += 1;
+    let op = match words.get(*pos).map(String::as_str) {
+        Some("==") => Some(CmpOp::Eq),
+        Some("!=") => Some(CmpOp::Ne),
+        Some("<") => Some(CmpOp::Lt),
+        Some(">") => Some(CmpOp::Gt),
+        Some("<=") => Some(CmpOp::Le),
+        Some(">=") => Some(CmpOp::Ge),
+        Some("in") => Some(CmpOp::In),
+        _ => None,
+    };
+    if let Some(op) = op {
+        *pos += 1;
+        if *pos >= words.len() {
+            return Err(TemplateError::parse(
+                line,
+                "comparison missing right-hand side",
+            ));
+        }
+        let right = FilterExpr::parse(&words[*pos], line)?;
+        *pos += 1;
+        return Ok(Cond::Compare(left, op, right));
+    }
+    Ok(Cond::Truthy(left))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smart_split_respects_quotes() {
+        assert_eq!(
+            smart_split(r#"for x in items|join:", " rest"#),
+            vec!["for", "x", "in", r#"items|join:", ""#, "rest"]
+        );
+        assert_eq!(smart_split("  a   b "), vec!["a", "b"]);
+        assert_eq!(smart_split(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn parses_paths_and_literals() {
+        match FilterExpr::parse("user.name", 1).unwrap().base {
+            Operand::Path(p) => assert_eq!(p, vec!["user", "name"]),
+            o => panic!("unexpected {o:?}"),
+        }
+        match FilterExpr::parse("'hi there'", 1).unwrap().base {
+            Operand::Literal(Value::Str(s)) => assert_eq!(s, "hi there"),
+            o => panic!("unexpected {o:?}"),
+        }
+        match FilterExpr::parse("-42", 1).unwrap().base {
+            Operand::Literal(Value::Int(i)) => assert_eq!(i, -42),
+            o => panic!("unexpected {o:?}"),
+        }
+        match FilterExpr::parse("2.5", 1).unwrap().base {
+            Operand::Literal(Value::Float(f)) => assert!((f - 2.5).abs() < 1e-9),
+            o => panic!("unexpected {o:?}"),
+        }
+        match FilterExpr::parse("True", 1).unwrap().base {
+            Operand::Literal(Value::Bool(true)) => {}
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_filter_chain_with_args() {
+        let e = FilterExpr::parse(r#"items|join:", "|upper"#, 1).unwrap();
+        assert_eq!(e.filters.len(), 2);
+        assert_eq!(e.filters[0].name, "join");
+        assert_eq!(
+            e.filters[0].arg,
+            Some(Operand::Literal(Value::Str(", ".into())))
+        );
+        assert_eq!(e.filters[1].name, "upper");
+        assert_eq!(e.filters[1].arg, None);
+    }
+
+    #[test]
+    fn filter_arg_may_be_variable() {
+        let e = FilterExpr::parse("count|add:offset", 1).unwrap();
+        assert_eq!(
+            e.filters[0].arg,
+            Some(Operand::Path(vec!["offset".to_string()]))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_expressions() {
+        assert!(FilterExpr::parse("", 1).is_err());
+        assert!(FilterExpr::parse("a..b", 1).is_err());
+        assert!(FilterExpr::parse("'unterminated", 1).is_err());
+        assert!(FilterExpr::parse("a|bad name", 1).is_err());
+        assert!(FilterExpr::parse("a-b", 1).is_err());
+    }
+
+    #[test]
+    fn condition_precedence() {
+        // "a or b and not c" parses as Or(a, And(b, Not(c)))
+        let words: Vec<String> = ["a", "or", "b", "and", "not", "c"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match Cond::parse(&words, 1).unwrap() {
+            Cond::Or(_, right) => match *right {
+                Cond::And(_, r2) => assert!(matches!(*r2, Cond::Not(_))),
+                c => panic!("expected And, got {c:?}"),
+            },
+            c => panic!("expected Or, got {c:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_operators() {
+        for (tok, op) in [
+            ("==", CmpOp::Eq),
+            ("!=", CmpOp::Ne),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("in", CmpOp::In),
+        ] {
+            let words: Vec<String> =
+                ["x", tok, "y"].iter().map(|s| s.to_string()).collect();
+            match Cond::parse(&words, 1).unwrap() {
+                Cond::Compare(_, got, _) => assert_eq!(got, op),
+                c => panic!("expected Compare, got {c:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn condition_errors() {
+        let words: Vec<String> = ["x", "=="].iter().map(|s| s.to_string()).collect();
+        assert!(Cond::parse(&words, 1).is_err());
+        let words: Vec<String> = ["x", "y"].iter().map(|s| s.to_string()).collect();
+        assert!(Cond::parse(&words, 1).is_err());
+        assert!(Cond::parse(&[], 1).is_err());
+    }
+}

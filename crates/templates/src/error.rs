@@ -1,0 +1,70 @@
+//! Template engine errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from compiling or rendering a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateError {
+    /// The template source failed to parse.
+    Parse {
+        /// 1-based line number of the offending construct.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Rendering failed (bad filter argument, include depth, …).
+    Render(String),
+    /// A named template was not found in the store.
+    NotFound(String),
+}
+
+impl TemplateError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        TemplateError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for render errors.
+    pub fn render(message: impl Into<String>) -> Self {
+        TemplateError::Render(message.into())
+    }
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::Parse { line, message } => {
+                write!(f, "template parse error at line {line}: {message}")
+            }
+            TemplateError::Render(m) => write!(f, "template render error: {m}"),
+            TemplateError::NotFound(name) => write!(f, "template not found: {name}"),
+        }
+    }
+}
+
+impl Error for TemplateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            TemplateError::parse(3, "unexpected endfor").to_string(),
+            "template parse error at line 3: unexpected endfor"
+        );
+        assert_eq!(
+            TemplateError::render("bad arg").to_string(),
+            "template render error: bad arg"
+        );
+        assert_eq!(
+            TemplateError::NotFound("x.html".into()).to_string(),
+            "template not found: x.html"
+        );
+    }
+}

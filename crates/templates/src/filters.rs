@@ -1,0 +1,620 @@
+//! The built-in filter library.
+
+use crate::error::TemplateError;
+use crate::value::Value;
+
+/// Escapes `& < > " '` for safe HTML interpolation.
+///
+/// # Examples
+///
+/// ```
+/// use staged_templates::escape_html;
+///
+/// assert_eq!(escape_html("<b>&\"'"), "&lt;b&gt;&amp;&quot;&#x27;");
+/// ```
+pub fn escape_html(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#x27;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The result of applying a filter: the new value plus safety markers
+/// that interact with auto-escaping.
+pub(crate) struct Filtered {
+    pub value: Value,
+    /// `Some(true)`: output is safe (skip auto-escape);
+    /// `Some(false)`: output must be escaped even if marked safe;
+    /// `None`: no change to safety.
+    pub safe_override: Option<bool>,
+}
+
+impl Filtered {
+    fn plain(value: Value) -> Self {
+        Filtered {
+            value,
+            safe_override: None,
+        }
+    }
+}
+
+fn arg_required(name: &str, arg: Option<&Value>) -> Result<Value, TemplateError> {
+    arg.cloned()
+        .ok_or_else(|| TemplateError::render(format!("filter '{name}' requires an argument")))
+}
+
+fn arg_int(name: &str, arg: Option<&Value>) -> Result<i64, TemplateError> {
+    let v = arg_required(name, arg)?;
+    v.as_f64()
+        .map(|f| f as i64)
+        .ok_or_else(|| TemplateError::render(format!("filter '{name}' needs a numeric argument")))
+}
+
+/// Applies the named filter. Unknown filters are render errors, matching
+/// Django's `TemplateSyntaxError` behaviour.
+pub(crate) fn apply(
+    name: &str,
+    input: Value,
+    arg: Option<&Value>,
+) -> Result<Filtered, TemplateError> {
+    let s = |v: &Value| v.to_display_string();
+    match name {
+        "upper" => Ok(Filtered::plain(Value::Str(s(&input).to_uppercase()))),
+        "lower" => Ok(Filtered::plain(Value::Str(s(&input).to_lowercase()))),
+        "capfirst" => {
+            let text = s(&input);
+            let mut chars = text.chars();
+            let out = match chars.next() {
+                Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+                None => String::new(),
+            };
+            Ok(Filtered::plain(Value::Str(out)))
+        }
+        "title" => {
+            let text = s(&input);
+            let out = text
+                .split(' ')
+                .map(|w| {
+                    let mut cs = w.chars();
+                    match cs.next() {
+                        Some(c) => {
+                            c.to_uppercase().collect::<String>()
+                                + &cs.as_str().to_lowercase()
+                        }
+                        None => String::new(),
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+            Ok(Filtered::plain(Value::Str(out)))
+        }
+        "length" => Ok(Filtered::plain(Value::Int(
+            input.len().unwrap_or(0) as i64
+        ))),
+        "wordcount" => Ok(Filtered::plain(Value::Int(
+            s(&input).split_whitespace().count() as i64,
+        ))),
+        "default" => {
+            let arg = arg_required(name, arg)?;
+            Ok(Filtered::plain(if input.is_truthy() { input } else { arg }))
+        }
+        "default_if_none" => {
+            let arg = arg_required(name, arg)?;
+            Ok(Filtered::plain(match input {
+                Value::Null => arg,
+                v => v,
+            }))
+        }
+        "join" => {
+            let sep = s(&arg_required(name, arg)?);
+            match input {
+                Value::List(items) => {
+                    let joined = items
+                        .iter()
+                        .map(Value::to_display_string)
+                        .collect::<Vec<_>>()
+                        .join(&sep);
+                    Ok(Filtered::plain(Value::Str(joined)))
+                }
+                v => Ok(Filtered::plain(v)),
+            }
+        }
+        "first" => Ok(Filtered::plain(match &input {
+            Value::List(l) => l.first().cloned().unwrap_or(Value::Null),
+            Value::Str(st) => st
+                .chars()
+                .next()
+                .map(|c| Value::Str(c.to_string()))
+                .unwrap_or(Value::Null),
+            _ => Value::Null,
+        })),
+        "last" => Ok(Filtered::plain(match &input {
+            Value::List(l) => l.last().cloned().unwrap_or(Value::Null),
+            Value::Str(st) => st
+                .chars()
+                .last()
+                .map(|c| Value::Str(c.to_string()))
+                .unwrap_or(Value::Null),
+            _ => Value::Null,
+        })),
+        "add" => {
+            let arg = arg_required(name, arg)?;
+            match (input.as_f64(), arg.as_f64()) {
+                (Some(a), Some(b)) => {
+                    let sum = a + b;
+                    if sum.fract() == 0.0 && matches!(input, Value::Int(_) | Value::Str(_)) {
+                        Ok(Filtered::plain(Value::Int(sum as i64)))
+                    } else {
+                        Ok(Filtered::plain(Value::Float(sum)))
+                    }
+                }
+                _ => Ok(Filtered::plain(Value::Str(s(&input) + &s(&arg)))),
+            }
+        }
+        "cut" => {
+            let needle = s(&arg_required(name, arg)?);
+            Ok(Filtered::plain(Value::Str(s(&input).replace(&needle, ""))))
+        }
+        "truncatewords" => {
+            let n = arg_int(name, arg)?.max(0) as usize;
+            let text = s(&input);
+            let words: Vec<&str> = text.split_whitespace().collect();
+            if words.len() <= n {
+                Ok(Filtered::plain(Value::Str(text)))
+            } else {
+                Ok(Filtered::plain(Value::Str(
+                    words[..n].join(" ") + " …",
+                )))
+            }
+        }
+        "truncatechars" => {
+            let n = arg_int(name, arg)?.max(0) as usize;
+            let text = s(&input);
+            if text.chars().count() <= n {
+                Ok(Filtered::plain(Value::Str(text)))
+            } else {
+                let cut: String = text.chars().take(n.saturating_sub(1)).collect();
+                Ok(Filtered::plain(Value::Str(cut + "…")))
+            }
+        }
+        "floatformat" => {
+            let digits = match arg {
+                Some(v) => v.as_f64().map(|f| f as i32).ok_or_else(|| {
+                    TemplateError::render("floatformat argument must be numeric")
+                })?,
+                None => -1,
+            };
+            let x = input
+                .as_f64()
+                .ok_or_else(|| TemplateError::render("floatformat input must be numeric"))?;
+            // Normalize negative zero so empty sums render as "0.00",
+            // not "-0.00" (Django does the same).
+            let x = if x == 0.0 { 0.0 } else { x };
+            let out = if digits < 0 {
+                // Default: one decimal place, dropped if the value is whole.
+                if x.fract() == 0.0 {
+                    format!("{}", x as i64)
+                } else {
+                    format!("{:.*}", (-digits) as usize, x)
+                }
+            } else {
+                format!("{:.*}", digits as usize, x)
+            };
+            Ok(Filtered::plain(Value::Str(out)))
+        }
+        "pluralize" => {
+            let n = input.as_f64().or_else(|| input.len().map(|l| l as f64));
+            let suffixes = arg.map(s).unwrap_or_else(|| "s".to_string());
+            let (singular, plural) = match suffixes.split_once(',') {
+                Some((a, b)) => (a.to_string(), b.to_string()),
+                None => (String::new(), suffixes),
+            };
+            let is_one = n.map(|x| (x - 1.0).abs() < f64::EPSILON).unwrap_or(false);
+            Ok(Filtered::plain(Value::Str(if is_one {
+                singular
+            } else {
+                plural
+            })))
+        }
+        "yesno" => {
+            let choices = arg.map(s).unwrap_or_else(|| "yes,no,maybe".to_string());
+            let parts: Vec<&str> = choices.split(',').collect();
+            let out = match (&input, parts.as_slice()) {
+                (Value::Null, [_, _, maybe, ..]) => maybe.to_string(),
+                (v, [yes, no, ..]) => {
+                    if v.is_truthy() {
+                        yes.to_string()
+                    } else {
+                        no.to_string()
+                    }
+                }
+                _ => return Err(TemplateError::render("yesno needs at least 'yes,no'")),
+            };
+            Ok(Filtered::plain(Value::Str(out)))
+        }
+        "urlencode" => {
+            let text = s(&input);
+            let mut out = String::with_capacity(text.len());
+            for b in text.bytes() {
+                match b {
+                    b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~'
+                    | b'/' => out.push(b as char),
+                    _ => out.push_str(&format!("%{b:02X}")),
+                }
+            }
+            Ok(Filtered::plain(Value::Str(out)))
+        }
+        "slugify" => {
+            let text = s(&input).to_lowercase();
+            let mut out = String::with_capacity(text.len());
+            let mut last_dash = true;
+            for c in text.chars() {
+                if c.is_alphanumeric() {
+                    out.push(c);
+                    last_dash = false;
+                } else if !last_dash {
+                    out.push('-');
+                    last_dash = true;
+                }
+            }
+            while out.ends_with('-') {
+                out.pop();
+            }
+            Ok(Filtered::plain(Value::Str(out)))
+        }
+        "divisibleby" => {
+            let d = arg_int(name, arg)?;
+            if d == 0 {
+                return Err(TemplateError::render("divisibleby zero"));
+            }
+            let n = input
+                .as_f64()
+                .ok_or_else(|| TemplateError::render("divisibleby input must be numeric"))?
+                as i64;
+            Ok(Filtered::plain(Value::Bool(n % d == 0)))
+        }
+        "slice" => {
+            let spec = s(&arg_required(name, arg)?);
+            let (from, to) = parse_slice_spec(&spec)?;
+            match input {
+                Value::List(l) => {
+                    let len = l.len();
+                    let (a, b) = resolve_slice(from, to, len);
+                    Ok(Filtered::plain(Value::List(l[a..b].to_vec())))
+                }
+                v => {
+                    let text = s(&v);
+                    let chars: Vec<char> = text.chars().collect();
+                    let (a, b) = resolve_slice(from, to, chars.len());
+                    Ok(Filtered::plain(Value::Str(chars[a..b].iter().collect())))
+                }
+            }
+        }
+        "center" | "ljust" | "rjust" => {
+            let width = arg_int(name, arg)?.max(0) as usize;
+            let text = s(&input);
+            let len = text.chars().count();
+            let out = if len >= width {
+                text
+            } else {
+                let pad = width - len;
+                match name {
+                    "ljust" => text + &" ".repeat(pad),
+                    "rjust" => " ".repeat(pad) + &text,
+                    _ => {
+                        let left = pad / 2;
+                        " ".repeat(left) + &text + &" ".repeat(pad - left)
+                    }
+                }
+            };
+            Ok(Filtered::plain(Value::Str(out)))
+        }
+        "escape" => Ok(Filtered {
+            value: Value::Str(escape_html(&s(&input))),
+            safe_override: Some(true),
+        }),
+        "safe" => Ok(Filtered {
+            value: input,
+            safe_override: Some(true),
+        }),
+        other => Err(TemplateError::render(format!("unknown filter: {other}"))),
+    }
+}
+
+/// Parses "n", ":n", "n:", or "n:m" into optional bounds.
+fn parse_slice_spec(spec: &str) -> Result<(Option<i64>, Option<i64>), TemplateError> {
+    let parse_part = |p: &str| -> Result<Option<i64>, TemplateError> {
+        if p.is_empty() {
+            Ok(None)
+        } else {
+            p.parse::<i64>()
+                .map(Some)
+                .map_err(|_| TemplateError::render(format!("bad slice spec: {spec}")))
+        }
+    };
+    match spec.split_once(':') {
+        Some((a, b)) => Ok((parse_part(a)?, parse_part(b)?)),
+        None => Ok((None, parse_part(spec)?)),
+    }
+}
+
+/// Resolves optional/negative slice bounds against a length.
+fn resolve_slice(from: Option<i64>, to: Option<i64>, len: usize) -> (usize, usize) {
+    let clamp = |i: i64| -> usize {
+        if i < 0 {
+            len.saturating_sub(i.unsigned_abs() as usize)
+        } else {
+            (i as usize).min(len)
+        }
+    };
+    let a = from.map(clamp).unwrap_or(0);
+    let b = to.map(clamp).unwrap_or(len);
+    (a, b.max(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(name: &str, input: Value, arg: Option<Value>) -> Value {
+        apply(name, input, arg.as_ref()).unwrap().value
+    }
+
+    #[test]
+    fn case_filters() {
+        assert_eq!(run("upper", "abc".into(), None), Value::from("ABC"));
+        assert_eq!(run("lower", "ABC".into(), None), Value::from("abc"));
+        assert_eq!(run("capfirst", "hello".into(), None), Value::from("Hello"));
+        assert_eq!(
+            run("title", "the GREAT escape".into(), None),
+            Value::from("The Great Escape")
+        );
+    }
+
+    #[test]
+    fn length_and_wordcount() {
+        assert_eq!(
+            run("length", Value::from(vec![Value::Null, Value::Null]), None),
+            Value::Int(2)
+        );
+        assert_eq!(run("length", "abcd".into(), None), Value::Int(4));
+        assert_eq!(run("length", Value::Int(7), None), Value::Int(0));
+        assert_eq!(run("wordcount", "a b  c".into(), None), Value::Int(3));
+    }
+
+    #[test]
+    fn default_filters() {
+        assert_eq!(
+            run("default", Value::Null, Some("x".into())),
+            Value::from("x")
+        );
+        assert_eq!(
+            run("default", "".into(), Some("x".into())),
+            Value::from("x")
+        );
+        assert_eq!(
+            run("default", "y".into(), Some("x".into())),
+            Value::from("y")
+        );
+        assert_eq!(
+            run("default_if_none", Value::Int(0), Some("x".into())),
+            Value::Int(0)
+        );
+        assert_eq!(
+            run("default_if_none", Value::Null, Some("x".into())),
+            Value::from("x")
+        );
+    }
+
+    #[test]
+    fn join_first_last() {
+        let list = Value::from(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(
+            run("join", list.clone(), Some(", ".into())),
+            Value::from("1, 2, 3")
+        );
+        assert_eq!(run("first", list.clone(), None), Value::Int(1));
+        assert_eq!(run("last", list, None), Value::Int(3));
+        assert_eq!(run("first", Value::from("abc"), None), Value::from("a"));
+        assert_eq!(run("first", Value::List(vec![]), None), Value::Null);
+    }
+
+    #[test]
+    fn add_filter() {
+        assert_eq!(run("add", Value::Int(2), Some(Value::Int(3))), Value::Int(5));
+        assert_eq!(
+            run("add", "2".into(), Some(Value::Int(3))),
+            Value::Int(5)
+        );
+        assert_eq!(
+            run("add", "a".into(), Some("b".into())),
+            Value::from("ab")
+        );
+        assert_eq!(
+            run("add", Value::Float(1.5), Some(Value::Int(1))),
+            Value::Float(2.5)
+        );
+    }
+
+    #[test]
+    fn truncation() {
+        assert_eq!(
+            run(
+                "truncatewords",
+                "one two three four".into(),
+                Some(Value::Int(2))
+            ),
+            Value::from("one two …")
+        );
+        assert_eq!(
+            run("truncatewords", "one two".into(), Some(Value::Int(5))),
+            Value::from("one two")
+        );
+        assert_eq!(
+            run("truncatechars", "abcdef".into(), Some(Value::Int(4))),
+            Value::from("abc…")
+        );
+    }
+
+    #[test]
+    fn floatformat_behaviour() {
+        assert_eq!(
+            run("floatformat", Value::Float(3.14159), Some(Value::Int(2))),
+            Value::from("3.14")
+        );
+        assert_eq!(
+            run("floatformat", Value::Float(3.0), None),
+            Value::from("3")
+        );
+        assert_eq!(
+            run("floatformat", Value::Float(3.25), None),
+            Value::from("3.2")
+        );
+        assert_eq!(
+            run("floatformat", Value::Int(2), Some(Value::Int(3))),
+            Value::from("2.000")
+        );
+    }
+
+    #[test]
+    fn floatformat_normalizes_negative_zero() {
+        assert_eq!(
+            run("floatformat", Value::Float(-0.0), Some(Value::Int(2))),
+            Value::from("0.00")
+        );
+        assert_eq!(run("floatformat", Value::Float(-0.0), None), Value::from("0"));
+    }
+
+    #[test]
+    fn pluralize_rules() {
+        assert_eq!(run("pluralize", Value::Int(1), None), Value::from(""));
+        assert_eq!(run("pluralize", Value::Int(2), None), Value::from("s"));
+        assert_eq!(
+            run("pluralize", Value::Int(2), Some("es".into())),
+            Value::from("es")
+        );
+        assert_eq!(
+            run("pluralize", Value::Int(1), Some("y,ies".into())),
+            Value::from("y")
+        );
+        assert_eq!(
+            run("pluralize", Value::Int(3), Some("y,ies".into())),
+            Value::from("ies")
+        );
+    }
+
+    #[test]
+    fn yesno_rules() {
+        assert_eq!(run("yesno", Value::Bool(true), None), Value::from("yes"));
+        assert_eq!(run("yesno", Value::Bool(false), None), Value::from("no"));
+        assert_eq!(run("yesno", Value::Null, None), Value::from("maybe"));
+        assert_eq!(
+            run("yesno", Value::Null, Some("a,b".into())),
+            Value::from("b")
+        );
+    }
+
+    #[test]
+    fn urlencode_and_slugify() {
+        assert_eq!(
+            run("urlencode", "a b/c&d".into(), None),
+            Value::from("a%20b/c%26d")
+        );
+        assert_eq!(
+            run("slugify", "Hello,  World! ".into(), None),
+            Value::from("hello-world")
+        );
+    }
+
+    #[test]
+    fn divisibleby_rules() {
+        assert_eq!(
+            run("divisibleby", Value::Int(9), Some(Value::Int(3))),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            run("divisibleby", Value::Int(10), Some(Value::Int(3))),
+            Value::Bool(false)
+        );
+        assert!(apply("divisibleby", Value::Int(1), Some(&Value::Int(0))).is_err());
+    }
+
+    #[test]
+    fn slice_filter() {
+        let list = Value::from(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(
+            run("slice", list.clone(), Some(":2".into())),
+            Value::from(vec![Value::Int(1), Value::Int(2)])
+        );
+        assert_eq!(
+            run("slice", list.clone(), Some("1:".into())),
+            Value::from(vec![Value::Int(2), Value::Int(3)])
+        );
+        assert_eq!(
+            run("slice", list.clone(), Some(":-1".into())),
+            Value::from(vec![Value::Int(1), Value::Int(2)])
+        );
+        assert_eq!(run("slice", "abcdef".into(), Some(":3".into())), Value::from("abc"));
+        assert_eq!(
+            run("slice", list, Some(":100".into())),
+            Value::from(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+    }
+
+    #[test]
+    fn padding_filters() {
+        assert_eq!(
+            run("ljust", "ab".into(), Some(Value::Int(4))),
+            Value::from("ab  ")
+        );
+        assert_eq!(
+            run("rjust", "ab".into(), Some(Value::Int(4))),
+            Value::from("  ab")
+        );
+        assert_eq!(
+            run("center", "ab".into(), Some(Value::Int(6))),
+            Value::from("  ab  ")
+        );
+        assert_eq!(
+            run("center", "abcdef".into(), Some(Value::Int(2))),
+            Value::from("abcdef")
+        );
+    }
+
+    #[test]
+    fn escape_and_safe_mark_safety() {
+        let f = apply("escape", Value::from("<b>"), None).unwrap();
+        assert_eq!(f.value, Value::from("&lt;b&gt;"));
+        assert_eq!(f.safe_override, Some(true));
+        let f = apply("safe", Value::from("<b>"), None).unwrap();
+        assert_eq!(f.value, Value::from("<b>"));
+        assert_eq!(f.safe_override, Some(true));
+    }
+
+    #[test]
+    fn cut_filter() {
+        assert_eq!(
+            run("cut", "a b c".into(), Some(" ".into())),
+            Value::from("abc")
+        );
+    }
+
+    #[test]
+    fn unknown_filter_errors() {
+        assert!(apply("nope", Value::Null, None).is_err());
+    }
+
+    #[test]
+    fn missing_required_arg_errors() {
+        assert!(apply("join", Value::List(vec![]), None).is_err());
+        assert!(apply("add", Value::Int(1), None).is_err());
+    }
+}

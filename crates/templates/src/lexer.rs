@@ -1,0 +1,179 @@
+//! Tokenizes template source into text, variable, and tag tokens.
+
+use crate::error::TemplateError;
+
+/// One lexical token of a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Token {
+    /// Literal output text.
+    Text(String),
+    /// The inside of a `{{ … }}` variable tag, trimmed.
+    Var { expr: String, line: usize },
+    /// The inside of a `{% … %}` block tag, trimmed.
+    Tag { content: String, line: usize },
+}
+
+/// Splits template source into tokens. `{# … #}` comments produce no
+/// token. Unterminated constructs are parse errors.
+pub(crate) fn lex(source: &str) -> Result<Vec<Token>, TemplateError> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    let mut text_start = 0;
+
+    let flush_text = |tokens: &mut Vec<Token>, from: usize, to: usize| {
+        if to > from {
+            tokens.push(Token::Text(source[from..to].to_string()));
+        }
+    };
+
+    while i < bytes.len() {
+        if bytes[i] == b'{' && i + 1 < bytes.len() {
+            let (close, kind) = match bytes[i + 1] {
+                b'{' => ("}}", 0u8),
+                b'%' => ("%}", 1),
+                b'#' => ("#}", 2),
+                _ => {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                    continue;
+                }
+            };
+            flush_text(&mut tokens, text_start, i);
+            let open_line = line;
+            let body_start = i + 2;
+            match source[body_start..].find(close) {
+                Some(rel) => {
+                    let body = &source[body_start..body_start + rel];
+                    line += body.matches('\n').count();
+                    match kind {
+                        0 => tokens.push(Token::Var {
+                            expr: body.trim().to_string(),
+                            line: open_line,
+                        }),
+                        1 => tokens.push(Token::Tag {
+                            content: body.trim().to_string(),
+                            line: open_line,
+                        }),
+                        _ => {}
+                    }
+                    i = body_start + rel + 2;
+                    text_start = i;
+                }
+                None => {
+                    let what = match kind {
+                        0 => "{{",
+                        1 => "{%",
+                        _ => "{#",
+                    };
+                    return Err(TemplateError::parse(
+                        open_line,
+                        format!("unterminated {what} tag"),
+                    ));
+                }
+            }
+        } else {
+            if bytes[i] == b'\n' {
+                line += 1;
+            }
+            i += 1;
+        }
+    }
+    flush_text(&mut tokens, text_start, bytes.len());
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_is_one_token() {
+        assert_eq!(
+            lex("hello world").unwrap(),
+            vec![Token::Text("hello world".into())]
+        );
+    }
+
+    #[test]
+    fn variables_and_tags() {
+        let tokens = lex("a{{ x }}b{% if y %}c{% endif %}").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Text("a".into()),
+                Token::Var {
+                    expr: "x".into(),
+                    line: 1
+                },
+                Token::Text("b".into()),
+                Token::Tag {
+                    content: "if y".into(),
+                    line: 1
+                },
+                Token::Text("c".into()),
+                Token::Tag {
+                    content: "endif".into(),
+                    line: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_dropped() {
+        assert_eq!(
+            lex("a{# note #}b").unwrap(),
+            vec![Token::Text("a".into()), Token::Text("b".into())]
+        );
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let tokens = lex("line1\nline2\n{{ x }}").unwrap();
+        match &tokens[1] {
+            Token::Var { line, .. } => assert_eq!(*line, 3),
+            t => panic!("unexpected token {t:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_tags_error() {
+        assert!(matches!(
+            lex("{{ x"),
+            Err(TemplateError::Parse { line: 1, .. })
+        ));
+        assert!(lex("{% if").is_err());
+        assert!(lex("{# note").is_err());
+    }
+
+    #[test]
+    fn lone_brace_is_text() {
+        assert_eq!(lex("a { b }").unwrap(), vec![Token::Text("a { b }".into())]);
+        assert_eq!(lex("100%}").unwrap(), vec![Token::Text("100%}".into())]);
+    }
+
+    #[test]
+    fn brace_at_end_is_text() {
+        assert_eq!(lex("abc{").unwrap(), vec![Token::Text("abc{".into())]);
+    }
+
+    #[test]
+    fn multiline_tag_body() {
+        let tokens = lex("{% if\n  x %}y{% endif %}").unwrap();
+        match &tokens[0] {
+            Token::Tag { content, line } => {
+                assert_eq!(content, "if\n  x");
+                assert_eq!(*line, 1);
+            }
+            t => panic!("unexpected {t:?}"),
+        }
+        match &tokens[2] {
+            Token::Tag { line, .. } => assert_eq!(*line, 2),
+            t => panic!("unexpected {t:?}"),
+        }
+    }
+}

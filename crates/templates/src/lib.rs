@@ -1,0 +1,53 @@
+//! A Django-style template engine.
+//!
+//! The paper's whole premise is the separation of *content code* from
+//! *presentation code* via templates (its Figures 2/3 show a Django data
+//! function and template). This crate rebuilds the template-language
+//! subset those examples rely on, plus the surrounding machinery a web
+//! server needs:
+//!
+//! * `{{ variable.path }}` substitution with dotted lookup into maps and
+//!   lists, HTML **auto-escaping** by default;
+//! * `{% if %} / {% elif %} / {% else %} / {% endif %}`;
+//! * `{% for x in xs %} … {% empty %} … {% endfor %}` with the
+//!   `forloop.counter` family;
+//! * `{% include "name" %}`;
+//! * `{# comments #}` and `{% comment %}…{% endcomment %}`;
+//! * a pipe-filter chain (`{{ title|truncatewords:8|upper }}`) with the
+//!   common Django filters;
+//! * a concurrent [`TemplateStore`] that compiles once and renders many
+//!   times — the paper's render pool holds exactly such a store.
+//!
+//! # Examples
+//!
+//! ```
+//! use staged_templates::{Context, Template, Value};
+//!
+//! let t = Template::compile(
+//!     "<h2>{{ heading }}</h2><ul>{% for item in listitems %}\
+//!      <li>{{ item }}</li>{% endfor %}</ul>",
+//! ).unwrap();
+//! let mut ctx = Context::new();
+//! ctx.insert("heading", "Welcome");
+//! ctx.insert("listitems", Value::from(vec!["a".into(), "b".into()]));
+//! let html = t.render(&ctx).unwrap();
+//! assert_eq!(html, "<h2>Welcome</h2><ul><li>a</li><li>b</li></ul>");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod error;
+mod filters;
+mod lexer;
+mod parser;
+mod render;
+mod store;
+mod value;
+
+pub use error::TemplateError;
+pub use filters::escape_html;
+pub use render::Template;
+pub use store::TemplateStore;
+pub use value::{Context, Value};

@@ -1,0 +1,540 @@
+//! Template compilation and rendering.
+
+use crate::ast::{CmpOp, Cond, FilterExpr, Node, Operand};
+use crate::error::TemplateError;
+use crate::filters;
+use crate::parser::parse;
+use crate::store::TemplateStore;
+use crate::value::{Context, Value};
+use std::collections::BTreeMap;
+
+/// Maximum `{% include %}` nesting depth.
+const MAX_INCLUDE_DEPTH: usize = 16;
+
+/// A compiled template, safe to share across threads and render
+/// concurrently.
+///
+/// Compilation happens once ([`Template::compile`]); rendering walks the
+/// AST against a [`Context`]. Output auto-escapes HTML unless a value
+/// passes through the `safe` filter, mirroring Django.
+///
+/// # Examples
+///
+/// ```
+/// use staged_templates::{Context, Template};
+///
+/// let t = Template::compile("Hello {{ name|capfirst }}!").unwrap();
+/// let mut ctx = Context::new();
+/// ctx.insert("name", "ada");
+/// assert_eq!(t.render(&ctx).unwrap(), "Hello Ada!");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Template {
+    nodes: Vec<Node>,
+}
+
+impl Template {
+    /// Compiles template source.
+    ///
+    /// # Errors
+    ///
+    /// [`TemplateError::Parse`] with a line number on syntax errors.
+    pub fn compile(source: &str) -> Result<Self, TemplateError> {
+        Ok(Template {
+            nodes: parse(source)?,
+        })
+    }
+
+    /// Renders with the given context. `{% include %}` tags fail without
+    /// a store — use [`TemplateStore::render`] for templates that
+    /// include others.
+    ///
+    /// # Errors
+    ///
+    /// [`TemplateError::Render`] on filter errors or includes without a
+    /// store.
+    pub fn render(&self, ctx: &Context) -> Result<String, TemplateError> {
+        self.render_with(ctx, None)
+    }
+
+    /// Renders with access to a store for `{% include %}` resolution.
+    ///
+    /// # Errors
+    ///
+    /// [`TemplateError::Render`] on filter errors,
+    /// [`TemplateError::NotFound`] for missing includes.
+    pub fn render_with(
+        &self,
+        ctx: &Context,
+        store: Option<&TemplateStore>,
+    ) -> Result<String, TemplateError> {
+        let mut out = String::with_capacity(256);
+        let mut state = RenderState {
+            ctx,
+            store,
+            loops: Vec::new(),
+            scopes: Vec::new(),
+            include_depth: 0,
+        };
+        render_nodes(&self.nodes, &mut state, &mut out)?;
+        Ok(out)
+    }
+
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+}
+
+struct RenderState<'a> {
+    ctx: &'a Context,
+    store: Option<&'a TemplateStore>,
+    /// Innermost-last stack of `forloop` metadata maps.
+    loops: Vec<Value>,
+    /// Innermost-last stack of loop variable bindings.
+    scopes: Vec<(String, Value)>,
+    include_depth: usize,
+}
+
+impl RenderState<'_> {
+    fn resolve(&self, path: &[String]) -> Value {
+        let first = &path[0];
+        let mut current: Value = if first == "forloop" {
+            match self.loops.last() {
+                Some(m) => m.clone(),
+                None => Value::Null,
+            }
+        } else if let Some((_, v)) = self.scopes.iter().rev().find(|(n, _)| n == first) {
+            v.clone()
+        } else {
+            self.ctx.get(first).cloned().unwrap_or(Value::Null)
+        };
+        for segment in &path[1..] {
+            current = match segment.parse::<usize>() {
+                Ok(i) => current.index(i).cloned().unwrap_or(Value::Null),
+                Err(_) => current.get(segment).cloned().unwrap_or(Value::Null),
+            };
+        }
+        current
+    }
+
+    /// Evaluates a filter expression, returning the value and whether it
+    /// has been marked safe for HTML output.
+    fn eval(&self, expr: &FilterExpr) -> Result<(Value, bool), TemplateError> {
+        let mut value = match &expr.base {
+            Operand::Literal(v) => v.clone(),
+            Operand::Path(p) => self.resolve(p),
+        };
+        let mut safe = false;
+        for filter in &expr.filters {
+            let arg = match &filter.arg {
+                Some(Operand::Literal(v)) => Some(v.clone()),
+                Some(Operand::Path(p)) => Some(self.resolve(p)),
+                None => None,
+            };
+            let filtered = filters::apply(&filter.name, value, arg.as_ref())?;
+            value = filtered.value;
+            if let Some(s) = filtered.safe_override {
+                safe = s;
+            }
+        }
+        Ok((value, safe))
+    }
+
+    fn eval_cond(&self, cond: &Cond) -> Result<bool, TemplateError> {
+        match cond {
+            Cond::Or(a, b) => Ok(self.eval_cond(a)? || self.eval_cond(b)?),
+            Cond::And(a, b) => Ok(self.eval_cond(a)? && self.eval_cond(b)?),
+            Cond::Not(c) => Ok(!self.eval_cond(c)?),
+            Cond::Truthy(e) => Ok(self.eval(e)?.0.is_truthy()),
+            Cond::Compare(l, op, r) => {
+                let (lv, _) = self.eval(l)?;
+                let (rv, _) = self.eval(r)?;
+                Ok(compare(&lv, *op, &rv))
+            }
+        }
+    }
+}
+
+fn values_equal(a: &Value, b: &Value) -> bool {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) if !matches!((a, b), (Value::Str(_), Value::Str(_))) => x == y,
+        _ => a == b,
+    }
+}
+
+fn compare(a: &Value, op: CmpOp, b: &Value) -> bool {
+    match op {
+        CmpOp::Eq => values_equal(a, b),
+        CmpOp::Ne => !values_equal(a, b),
+        CmpOp::Lt | CmpOp::Gt | CmpOp::Le | CmpOp::Ge => {
+            let ord = match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) if !matches!((a, b), (Value::Str(_), Value::Str(_))) => {
+                    x.partial_cmp(&y)
+                }
+                _ => Some(a.to_display_string().cmp(&b.to_display_string())),
+            };
+            match (ord, op) {
+                (Some(o), CmpOp::Lt) => o.is_lt(),
+                (Some(o), CmpOp::Gt) => o.is_gt(),
+                (Some(o), CmpOp::Le) => o.is_le(),
+                (Some(o), CmpOp::Ge) => o.is_ge(),
+                _ => false,
+            }
+        }
+        CmpOp::In => match b {
+            Value::List(items) => items.iter().any(|i| values_equal(a, i)),
+            Value::Str(s) => s.contains(&a.to_display_string()),
+            Value::Map(m) => m.contains_key(&a.to_display_string()),
+            _ => false,
+        },
+    }
+}
+
+fn forloop_map(index: usize, len: usize, parent: Option<&Value>) -> Value {
+    let mut m = BTreeMap::new();
+    m.insert("counter".to_string(), Value::Int(index as i64 + 1));
+    m.insert("counter0".to_string(), Value::Int(index as i64));
+    m.insert(
+        "revcounter".to_string(),
+        Value::Int((len - index) as i64),
+    );
+    m.insert(
+        "revcounter0".to_string(),
+        Value::Int((len - index - 1) as i64),
+    );
+    m.insert("first".to_string(), Value::Bool(index == 0));
+    m.insert("last".to_string(), Value::Bool(index + 1 == len));
+    m.insert("length".to_string(), Value::Int(len as i64));
+    if let Some(p) = parent {
+        m.insert("parentloop".to_string(), p.clone());
+    }
+    Value::Map(m)
+}
+
+fn render_nodes(
+    nodes: &[Node],
+    state: &mut RenderState<'_>,
+    out: &mut String,
+) -> Result<(), TemplateError> {
+    for node in nodes {
+        match node {
+            Node::Text(t) => out.push_str(t),
+            Node::Var(expr) => {
+                let (value, safe) = state.eval(expr)?;
+                let text = value.to_display_string();
+                if safe {
+                    out.push_str(&text);
+                } else {
+                    out.push_str(&filters::escape_html(&text));
+                }
+            }
+            Node::If { arms, else_body } => {
+                let mut taken = false;
+                for (cond, body) in arms {
+                    if state.eval_cond(cond)? {
+                        render_nodes(body, state, out)?;
+                        taken = true;
+                        break;
+                    }
+                }
+                if !taken {
+                    render_nodes(else_body, state, out)?;
+                }
+            }
+            Node::For {
+                var,
+                iterable,
+                body,
+                empty,
+            } => {
+                let (value, _) = state.eval(iterable)?;
+                let items: Vec<Value> = match value {
+                    Value::List(l) => l,
+                    Value::Str(s) => s.chars().map(|c| Value::Str(c.to_string())).collect(),
+                    Value::Map(m) => m.into_keys().map(Value::Str).collect(),
+                    Value::Null => Vec::new(),
+                    other => vec![other],
+                };
+                if items.is_empty() {
+                    render_nodes(empty, state, out)?;
+                } else {
+                    let len = items.len();
+                    let parent = state.loops.last().cloned();
+                    for (i, item) in items.into_iter().enumerate() {
+                        state.loops.push(forloop_map(i, len, parent.as_ref()));
+                        state.scopes.push((var.clone(), item));
+                        let result = render_nodes(body, state, out);
+                        state.scopes.pop();
+                        state.loops.pop();
+                        result?;
+                    }
+                }
+            }
+            Node::With { var, value, body } => {
+                let (v, _) = state.eval(value)?;
+                state.scopes.push((var.clone(), v));
+                let result = render_nodes(body, state, out);
+                state.scopes.pop();
+                result?;
+            }
+            Node::Include { name } => {
+                let store = state.store.ok_or_else(|| {
+                    TemplateError::render(format!(
+                        "include of '{name}' requires rendering through a TemplateStore"
+                    ))
+                })?;
+                if state.include_depth >= MAX_INCLUDE_DEPTH {
+                    return Err(TemplateError::render(format!(
+                        "include depth exceeds {MAX_INCLUDE_DEPTH} (template '{name}')"
+                    )));
+                }
+                let template = store.get(name)?;
+                state.include_depth += 1;
+                let result = render_nodes(template.nodes(), state, out);
+                state.include_depth -= 1;
+                result?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(source: &str, ctx: &Context) -> String {
+        Template::compile(source).unwrap().render(ctx).unwrap()
+    }
+
+    #[test]
+    fn renders_paper_figure_3_template() {
+        // The presentation template from the paper's Figure 3.
+        let source = "<html>\n<head> <title> {{ title }} </title> </head>\n<body>\n\
+                      <h2 align=\"center\"> {{ heading }} </h2>\n<ul>\n\
+                      {% for item in listitems %}\n<li> {{ item }} </li>\n{% endfor %}\n\
+                      </ul>\n</body>\n</html>";
+        let mut ctx = Context::new();
+        ctx.insert("title", "My Page");
+        ctx.insert("heading", "Welcome");
+        ctx.insert(
+            "listitems",
+            Value::from(vec!["one".into(), "two".into(), "three".into()]),
+        );
+        let html = render(source, &ctx);
+        assert!(html.contains("<title> My Page </title>"));
+        assert!(html.contains("<h2 align=\"center\"> Welcome </h2>"));
+        assert_eq!(html.matches("<li>").count(), 3);
+        assert!(html.contains("<li> two </li>"));
+    }
+
+    #[test]
+    fn missing_variables_render_empty() {
+        assert_eq!(render("[{{ nothing }}]", &Context::new()), "[]");
+    }
+
+    #[test]
+    fn auto_escaping_on_by_default() {
+        let mut ctx = Context::new();
+        ctx.insert("evil", "<script>alert(1)</script>");
+        assert_eq!(
+            render("{{ evil }}", &ctx),
+            "&lt;script&gt;alert(1)&lt;/script&gt;"
+        );
+        assert_eq!(render("{{ evil|safe }}", &ctx), "<script>alert(1)</script>");
+    }
+
+    #[test]
+    fn escape_applies_once_even_with_safe_text() {
+        let mut ctx = Context::new();
+        ctx.insert("v", "a&b");
+        assert_eq!(render("{{ v|escape }}", &ctx), "a&amp;b");
+    }
+
+    #[test]
+    fn dotted_lookup_into_maps_and_lists() {
+        let mut book = BTreeMap::new();
+        book.insert("title".to_string(), Value::from("Dune"));
+        let mut ctx = Context::new();
+        ctx.insert("books", Value::from(vec![Value::from(book)]));
+        assert_eq!(render("{{ books.0.title }}", &ctx), "Dune");
+        assert_eq!(render("{{ books.5.title }}", &ctx), "");
+    }
+
+    #[test]
+    fn if_elif_else_branches() {
+        let src = "{% if n > 10 %}big{% elif n > 5 %}mid{% else %}small{% endif %}";
+        let mut ctx = Context::new();
+        ctx.insert("n", 20);
+        assert_eq!(render(src, &ctx), "big");
+        ctx.insert("n", 7);
+        assert_eq!(render(src, &ctx), "mid");
+        ctx.insert("n", 1);
+        assert_eq!(render(src, &ctx), "small");
+    }
+
+    #[test]
+    fn boolean_operators_and_comparisons() {
+        let mut ctx = Context::new();
+        ctx.insert("a", true);
+        ctx.insert("b", false);
+        ctx.insert("name", "ada");
+        assert_eq!(render("{% if a and not b %}y{% endif %}", &ctx), "y");
+        assert_eq!(render("{% if b or a %}y{% endif %}", &ctx), "y");
+        assert_eq!(render("{% if name == 'ada' %}y{% endif %}", &ctx), "y");
+        assert_eq!(render("{% if name != 'bob' %}y{% endif %}", &ctx), "y");
+        assert_eq!(render("{% if 'd' in name %}y{% endif %}", &ctx), "y");
+    }
+
+    #[test]
+    fn in_operator_on_lists() {
+        let mut ctx = Context::new();
+        ctx.insert("xs", Value::from(vec![Value::Int(1), Value::Int(2)]));
+        assert_eq!(render("{% if 2 in xs %}y{% else %}n{% endif %}", &ctx), "y");
+        assert_eq!(render("{% if 9 in xs %}y{% else %}n{% endif %}", &ctx), "n");
+    }
+
+    #[test]
+    fn numeric_comparison_coerces_strings() {
+        let mut ctx = Context::new();
+        ctx.insert("n", "15");
+        assert_eq!(render("{% if n > 9 %}y{% endif %}", &ctx), "y");
+    }
+
+    #[test]
+    fn string_comparison_is_lexicographic() {
+        let mut ctx = Context::new();
+        ctx.insert("a", "apple");
+        ctx.insert("b", "banana");
+        assert_eq!(render("{% if a < b %}y{% endif %}", &ctx), "y");
+    }
+
+    #[test]
+    fn forloop_counters() {
+        let mut ctx = Context::new();
+        ctx.insert(
+            "xs",
+            Value::from(vec!["a".into(), "b".into(), "c".into()]),
+        );
+        assert_eq!(
+            render("{% for x in xs %}{{ forloop.counter }}{{ x }} {% endfor %}", &ctx),
+            "1a 2b 3c "
+        );
+        assert_eq!(
+            render(
+                "{% for x in xs %}{% if forloop.first %}[{% endif %}{{ x }}\
+                 {% if forloop.last %}]{% endif %}{% endfor %}",
+                &ctx
+            ),
+            "[abc]"
+        );
+        assert_eq!(
+            render("{% for x in xs %}{{ forloop.revcounter0 }}{% endfor %}", &ctx),
+            "210"
+        );
+    }
+
+    #[test]
+    fn nested_loops_and_parentloop() {
+        let mut ctx = Context::new();
+        let inner = Value::from(vec!["x".into(), "y".into()]);
+        ctx.insert("rows", Value::from(vec![inner.clone(), inner]));
+        assert_eq!(
+            render(
+                "{% for row in rows %}{% for c in row %}\
+                 {{ forloop.parentloop.counter }}.{{ forloop.counter }} \
+                 {% endfor %}{% endfor %}",
+                &ctx
+            ),
+            "1.1 1.2 2.1 2.2 "
+        );
+    }
+
+    #[test]
+    fn for_empty_branch() {
+        let mut ctx = Context::new();
+        ctx.insert("xs", Value::List(vec![]));
+        assert_eq!(
+            render("{% for x in xs %}{{ x }}{% empty %}none{% endfor %}", &ctx),
+            "none"
+        );
+    }
+
+    #[test]
+    fn loop_variable_shadows_context() {
+        let mut ctx = Context::new();
+        ctx.insert("x", "outer");
+        ctx.insert("xs", Value::from(vec!["inner".into()]));
+        assert_eq!(
+            render("{% for x in xs %}{{ x }}{% endfor %}|{{ x }}", &ctx),
+            "inner|outer"
+        );
+    }
+
+    #[test]
+    fn iterating_a_string_yields_chars() {
+        let mut ctx = Context::new();
+        ctx.insert("s", "ab");
+        assert_eq!(render("{% for c in s %}({{ c }}){% endfor %}", &ctx), "(a)(b)");
+    }
+
+    #[test]
+    fn with_binds_a_scoped_value() {
+        let mut ctx = Context::new();
+        ctx.insert("price", 10);
+        assert_eq!(
+            render("{% with t = price|add:5 %}{{ t }}+{{ t }}{% endwith %}|{{ t }}", &ctx),
+            "15+15|"
+        );
+        // Compact Django syntax.
+        assert_eq!(render("{% with x=3 %}{{ x }}{% endwith %}", &ctx), "3");
+        // Shadowing ends at endwith.
+        ctx.insert("x", "outer");
+        assert_eq!(
+            render("{% with x='inner' %}{{ x }}{% endwith %}{{ x }}", &ctx),
+            "innerouter"
+        );
+    }
+
+    #[test]
+    fn with_errors() {
+        assert!(Template::compile("{% with %}{% endwith %}").is_err());
+        assert!(Template::compile("{% with x = 1 %}").is_err());
+        assert!(Template::compile("{% with a.b = 1 %}{% endwith %}").is_err());
+    }
+
+    #[test]
+    fn include_without_store_errors() {
+        let t = Template::compile(r#"{% include "x.html" %}"#).unwrap();
+        assert!(matches!(
+            t.render(&Context::new()),
+            Err(TemplateError::Render(_))
+        ));
+    }
+
+    #[test]
+    fn filters_chain_in_output() {
+        let mut ctx = Context::new();
+        ctx.insert(
+            "items",
+            Value::from(vec!["b".into(), "a".into()]),
+        );
+        assert_eq!(render(r#"{{ items|join:"-"|upper }}"#, &ctx), "B-A");
+    }
+
+    #[test]
+    fn filter_arg_resolves_variables() {
+        let mut ctx = Context::new();
+        ctx.insert("n", 4);
+        ctx.insert("inc", 3);
+        assert_eq!(render("{{ n|add:inc }}", &ctx), "7");
+    }
+
+    #[test]
+    fn unknown_filter_is_render_error() {
+        let t = Template::compile("{{ x|zap }}").unwrap();
+        assert!(t.render(&Context::new()).is_err());
+    }
+
+    use std::collections::BTreeMap;
+}

@@ -1,0 +1,242 @@
+//! A concurrent compiled-template store.
+
+use crate::error::TemplateError;
+use crate::render::Template;
+use crate::value::Context;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// A named collection of compiled templates, shared by all rendering
+/// threads.
+///
+/// The paper's render pool holds exactly this: templates are compiled
+/// once (Django's `get_template` cache) and rendered concurrently by
+/// many workers. `{% include %}` tags resolve against the same store.
+///
+/// # Examples
+///
+/// ```
+/// use staged_templates::{Context, TemplateStore};
+///
+/// let store = TemplateStore::new();
+/// store.insert("hello.html", "Hi {{ who }}").unwrap();
+/// let mut ctx = Context::new();
+/// ctx.insert("who", "world");
+/// assert_eq!(store.render("hello.html", &ctx).unwrap(), "Hi world");
+/// ```
+#[derive(Debug, Default)]
+pub struct TemplateStore {
+    templates: RwLock<HashMap<String, Arc<Template>>>,
+}
+
+impl TemplateStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compiles and registers a template under `name`, replacing any
+    /// previous registration.
+    ///
+    /// # Errors
+    ///
+    /// [`TemplateError::Parse`] if the source fails to compile.
+    pub fn insert(&self, name: impl Into<String>, source: &str) -> Result<(), TemplateError> {
+        let template = Arc::new(Template::compile(source)?);
+        self.templates.write().insert(name.into(), template);
+        Ok(())
+    }
+
+    /// Fetches a compiled template.
+    ///
+    /// # Errors
+    ///
+    /// [`TemplateError::NotFound`] for unregistered names.
+    pub fn get(&self, name: &str) -> Result<Arc<Template>, TemplateError> {
+        self.templates
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| TemplateError::NotFound(name.to_string()))
+    }
+
+    /// Renders a named template; `{% include %}` tags resolve against
+    /// this store.
+    ///
+    /// # Errors
+    ///
+    /// [`TemplateError::NotFound`] or any render error.
+    pub fn render(&self, name: &str, ctx: &Context) -> Result<String, TemplateError> {
+        let template = self.get(name)?;
+        template.render_with(ctx, Some(self))
+    }
+
+    /// Loads every `*.html` file under `dir` (recursively), registering
+    /// each under its path relative to `dir` (with `/` separators).
+    /// Returns the number of templates loaded.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the directory, or a compile error for any file
+    /// (wrapped in the returned [`TemplateError::Render`] message).
+    pub fn load_dir(&self, dir: &Path) -> Result<usize, TemplateError> {
+        fn visit(
+            store: &TemplateStore,
+            root: &Path,
+            dir: &Path,
+            count: &mut usize,
+        ) -> Result<(), TemplateError> {
+            let entries = fs::read_dir(dir).map_err(io_err)?;
+            for entry in entries {
+                let entry = entry.map_err(io_err)?;
+                let path = entry.path();
+                if path.is_dir() {
+                    visit(store, root, &path, count)?;
+                } else if path.extension().is_some_and(|e| e == "html") {
+                    let source = fs::read_to_string(&path).map_err(io_err)?;
+                    let rel = path
+                        .strip_prefix(root)
+                        .expect("child path is under root")
+                        .to_string_lossy()
+                        .replace('\\', "/");
+                    store
+                        .insert(rel.clone(), &source)
+                        .map_err(|e| TemplateError::render(format!("{rel}: {e}")))?;
+                    *count += 1;
+                }
+            }
+            Ok(())
+        }
+        fn io_err(e: io::Error) -> TemplateError {
+            TemplateError::render(format!("i/o error loading templates: {e}"))
+        }
+        let mut count = 0;
+        visit(self, dir, dir, &mut count)?;
+        Ok(count)
+    }
+
+    /// Registered template names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.templates.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered templates.
+    pub fn len(&self) -> usize {
+        self.templates.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.templates.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn insert_get_render() {
+        let store = TemplateStore::new();
+        store.insert("t", "{{ x }}").unwrap();
+        let mut ctx = Context::new();
+        ctx.insert("x", 5);
+        assert_eq!(store.render("t", &ctx).unwrap(), "5");
+        assert!(store.get("t").is_ok());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn missing_template_not_found() {
+        let store = TemplateStore::new();
+        assert!(matches!(
+            store.render("zap", &Context::new()),
+            Err(TemplateError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn bad_source_fails_at_insert() {
+        let store = TemplateStore::new();
+        assert!(store.insert("bad", "{% if %}").is_err());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn includes_resolve_through_store() {
+        let store = TemplateStore::new();
+        store.insert("header.html", "<h1>{{ title }}</h1>").unwrap();
+        store
+            .insert("page.html", r#"{% include "header.html" %}<p>body</p>"#)
+            .unwrap();
+        let mut ctx = Context::new();
+        ctx.insert("title", "T");
+        assert_eq!(
+            store.render("page.html", &ctx).unwrap(),
+            "<h1>T</h1><p>body</p>"
+        );
+    }
+
+    #[test]
+    fn missing_include_is_not_found() {
+        let store = TemplateStore::new();
+        store
+            .insert("page.html", r#"{% include "gone.html" %}"#)
+            .unwrap();
+        assert!(matches!(
+            store.render("page.html", &Context::new()),
+            Err(TemplateError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn recursive_include_hits_depth_limit() {
+        let store = TemplateStore::new();
+        store
+            .insert("loop.html", r#"x{% include "loop.html" %}"#)
+            .unwrap();
+        assert!(matches!(
+            store.render("loop.html", &Context::new()),
+            Err(TemplateError::Render(_))
+        ));
+    }
+
+    #[test]
+    fn nested_include_context_flows_through() {
+        let store = TemplateStore::new();
+        store.insert("inner", "{% for x in xs %}{{ x }}{% endfor %}").unwrap();
+        store.insert("outer", r#"[{% include "inner" %}]"#).unwrap();
+        let mut ctx = Context::new();
+        ctx.insert("xs", Value::from(vec![Value::Int(1), Value::Int(2)]));
+        assert_eq!(store.render("outer", &ctx).unwrap(), "[12]");
+    }
+
+    #[test]
+    fn load_dir_registers_relative_names() {
+        let dir = std::env::temp_dir().join(format!("staged-tmpl-{}", std::process::id()));
+        fs::create_dir_all(dir.join("sub")).unwrap();
+        fs::write(dir.join("a.html"), "A{{ x }}").unwrap();
+        fs::write(dir.join("sub/b.html"), "B").unwrap();
+        fs::write(dir.join("ignored.txt"), "no").unwrap();
+        let store = TemplateStore::new();
+        let n = store.load_dir(&dir).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(store.names(), vec!["a.html", "sub/b.html"]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn names_sorted() {
+        let store = TemplateStore::new();
+        store.insert("b", "x").unwrap();
+        store.insert("a", "y").unwrap();
+        assert_eq!(store.names(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,369 @@
+//! Template data: [`Value`] and [`Context`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A value renderable by a template: the dynamic data a handler
+/// produces (the `data` dictionary of the paper's Figure 2).
+///
+/// # Examples
+///
+/// ```
+/// use staged_templates::Value;
+///
+/// let v = Value::from(vec![Value::from(1), Value::from("two")]);
+/// assert_eq!(v.index(1).unwrap().to_display_string(), "two");
+/// assert!(v.is_truthy());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / null.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered list.
+    List(Vec<Value>),
+    /// A string-keyed map.
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Django-style truthiness: `Null`, `false`, `0`, `0.0`, `""`, empty
+    /// list and empty map are falsy.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::List(l) => !l.is_empty(),
+            Value::Map(m) => !m.is_empty(),
+        }
+    }
+
+    /// Looks up a map key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Looks up a list element.
+    pub fn index(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::List(l) => l.get(i),
+            _ => None,
+        }
+    }
+
+    /// Number of elements (list), entries (map), or characters (string).
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            Value::List(l) => Some(l.len()),
+            Value::Map(m) => Some(m.len()),
+            Value::Str(s) => Some(s.chars().count()),
+            _ => None,
+        }
+    }
+
+    /// Whether the collection/string is empty; `None` for scalars.
+    pub fn is_empty(&self) -> Option<bool> {
+        self.len().map(|n| n == 0)
+    }
+
+    /// Renders the value as display text (what `{{ x }}` emits, before
+    /// escaping). `Null` renders as an empty string, like Django's
+    /// missing-variable behaviour.
+    pub fn to_display_string(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    format!("{f:.1}")
+                } else {
+                    f.to_string()
+                }
+            }
+            Value::Str(s) => s.clone(),
+            Value::List(l) => {
+                let items: Vec<String> = l.iter().map(Value::to_display_string).collect();
+                format!("[{}]", items.join(", "))
+            }
+            Value::Map(m) => {
+                let items: Vec<String> = m
+                    .iter()
+                    .map(|(k, v)| format!("{k}: {}", v.to_display_string()))
+                    .collect();
+                format!("{{{}}}", items.join(", "))
+            }
+        }
+    }
+
+    /// Numeric view (ints and parseable strings included), used by
+    /// arithmetic filters.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Str(s) => s.trim().parse().ok(),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_display_string())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u64> for Value {
+    fn from(i: u64) -> Self {
+        Value::Int(i64::try_from(i).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i64::try_from(i).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(l: Vec<Value>) -> Self {
+        Value::List(l)
+    }
+}
+
+impl From<BTreeMap<String, Value>> for Value {
+    fn from(m: BTreeMap<String, Value>) -> Self {
+        Value::Map(m)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Self {
+        match o {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl FromIterator<Value> for Value {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Value::List(iter.into_iter().collect())
+    }
+}
+
+impl FromIterator<(String, Value)> for Value {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        Value::Map(iter.into_iter().collect())
+    }
+}
+
+/// The rendering context: the top-level name → value bindings a handler
+/// passes to a template (Django's `Context(data)`).
+///
+/// # Examples
+///
+/// ```
+/// use staged_templates::{Context, Value};
+///
+/// let mut ctx = Context::new();
+/// ctx.insert("title", "My Page");
+/// ctx.insert("count", 3);
+/// assert_eq!(ctx.get("count"), Some(&Value::Int(3)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Context {
+    vars: BTreeMap<String, Value>,
+}
+
+impl Context {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds a name; replaces any existing binding.
+    pub fn insert(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        self.vars.insert(name.into(), value.into());
+    }
+
+    /// Looks up a top-level binding.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether the context has no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Iterates bindings in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.vars.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Context {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        Context {
+            vars: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(String, Value)> for Context {
+    fn extend<I: IntoIterator<Item = (String, Value)>>(&mut self, iter: I) {
+        self.vars.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_matches_django() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(!Value::Float(0.0).is_truthy());
+        assert!(!Value::Str(String::new()).is_truthy());
+        assert!(!Value::List(vec![]).is_truthy());
+        assert!(Value::Int(-1).is_truthy());
+        assert!(Value::Str("x".into()).is_truthy());
+        assert!(Value::from(vec![Value::Null]).is_truthy());
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(Value::Null.to_display_string(), "");
+        assert_eq!(Value::Int(42).to_display_string(), "42");
+        assert_eq!(Value::Float(2.5).to_display_string(), "2.5");
+        assert_eq!(Value::Float(3.0).to_display_string(), "3.0");
+        assert_eq!(Value::from("hi").to_display_string(), "hi");
+        assert_eq!(
+            Value::from(vec![Value::Int(1), Value::Int(2)]).to_display_string(),
+            "[1, 2]"
+        );
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), Value::Int(1));
+        let map = Value::from(m);
+        assert_eq!(map.get("k"), Some(&Value::Int(1)));
+        assert_eq!(map.get("z"), None);
+        assert_eq!(map.index(0), None);
+
+        let list = Value::from(vec![Value::Int(9)]);
+        assert_eq!(list.index(0), Some(&Value::Int(9)));
+        assert_eq!(list.get("k"), None);
+    }
+
+    #[test]
+    fn len_by_kind() {
+        assert_eq!(Value::from("abc").len(), Some(3));
+        assert_eq!(Value::from(vec![Value::Null]).len(), Some(1));
+        assert_eq!(Value::Int(5).len(), None);
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::from(" 2.5 ").as_f64(), Some(2.5));
+        assert_eq!(Value::from("x").as_f64(), None);
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn option_conversion() {
+        assert_eq!(Value::from(Some(3i64)), Value::Int(3));
+        assert_eq!(Value::from(Option::<i64>::None), Value::Null);
+    }
+
+    #[test]
+    fn u64_saturates() {
+        assert_eq!(Value::from(u64::MAX), Value::Int(i64::MAX));
+    }
+
+    #[test]
+    fn context_bindings() {
+        let mut ctx = Context::new();
+        assert!(ctx.is_empty());
+        ctx.insert("a", 1);
+        ctx.insert("a", 2);
+        assert_eq!(ctx.len(), 1);
+        assert_eq!(ctx.get("a"), Some(&Value::Int(2)));
+        let collected: Context = ctx.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+        assert_eq!(collected, ctx);
+    }
+}

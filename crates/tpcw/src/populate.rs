@@ -1,0 +1,305 @@
+//! Deterministic database and static-content population.
+
+use crate::scale::ScaleConfig;
+use crate::schema::{create_schema, SUBJECTS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use staged_db::{Database, DbValue};
+use staged_http::StaticFiles;
+
+/// Counts of what [`populate`] created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PopulationSummary {
+    /// Books inserted.
+    pub items: usize,
+    /// Customers inserted.
+    pub customers: usize,
+    /// Orders inserted.
+    pub orders: usize,
+    /// Order lines inserted.
+    pub order_lines: usize,
+    /// Largest order id (buy-confirm continues from here).
+    pub max_order_id: i64,
+}
+
+const FIRST_NAMES: &[&str] = &[
+    "Ada", "Grace", "Alan", "Edsger", "Barbara", "Donald", "Leslie", "Tony", "Fran", "John",
+    "Radia", "Vint", "Tim", "Margaret", "Niklaus", "Dennis",
+];
+const LAST_NAMES: &[&str] = &[
+    "Lovelace", "Hopper", "Turing", "Dijkstra", "Liskov", "Knuth", "Lamport", "Hoare",
+    "Allen", "Backus", "Perlman", "Cerf", "Lee", "Hamilton", "Wirth", "Ritchie",
+];
+const TITLE_WORDS: &[&str] = &[
+    "Secret", "Garden", "Winter", "Empire", "Shadow", "River", "Broken", "Crown", "Silent",
+    "Storm", "Golden", "Journey", "Lost", "City", "Ancient", "Light", "Iron", "Dream",
+    "Crimson", "Forest", "Distant", "Star", "Hidden", "Voyage", "Endless", "Night",
+];
+
+fn title_for(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(2..=4);
+    let mut words = Vec::with_capacity(n);
+    for _ in 0..n {
+        words.push(TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())]);
+    }
+    words.join(" ")
+}
+
+/// Populates the schema **and** creates it first; returns the summary.
+/// Everything is derived from `scale.seed`, so two runs with the same
+/// configuration produce identical databases.
+///
+/// # Panics
+///
+/// Panics on any database error (population runs before serving starts;
+/// a failure is a programming error) or if `scale` is inconsistent.
+pub fn populate(db: &Database, scale: &ScaleConfig) -> PopulationSummary {
+    scale.validate();
+    create_schema(db).expect("schema creation on a fresh database");
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+
+    // Countries.
+    for (i, name) in ["United States", "Canada", "United Kingdom", "Germany", "Japan"]
+        .iter()
+        .enumerate()
+    {
+        db.execute(
+            "INSERT INTO country (co_id, co_name) VALUES (?, ?)",
+            &[DbValue::from(i + 1), DbValue::from(*name)],
+        )
+        .expect("insert country");
+    }
+
+    // Authors.
+    for a_id in 1..=scale.authors {
+        let fname = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+        let lname = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+        db.execute(
+            "INSERT INTO author (a_id, a_fname, a_lname) VALUES (?, ?, ?)",
+            &[
+                DbValue::from(a_id),
+                DbValue::from(fname),
+                DbValue::from(lname),
+            ],
+        )
+        .expect("insert author");
+    }
+
+    // Items.
+    for i_id in 1..=scale.items {
+        let a_id = rng.gen_range(1..=scale.authors);
+        let subject = SUBJECTS[rng.gen_range(0..SUBJECTS.len())];
+        let srp: f64 = rng.gen_range(5.0..120.0);
+        let cost = srp * rng.gen_range(0.5..1.0);
+        let related = |rng: &mut StdRng| rng.gen_range(1..=scale.items) as i64;
+        db.execute(
+            "INSERT INTO item (i_id, i_title, i_a_id, i_subject, i_pub_date, i_cost, i_srp, \
+             i_thumbnail, i_related1, i_related2, i_related3, i_related4, i_related5) \
+             VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            &[
+                DbValue::from(i_id),
+                DbValue::from(title_for(&mut rng)),
+                DbValue::from(a_id),
+                DbValue::from(subject),
+                DbValue::from(rng.gen_range(1_970 * 366..2_009 * 366) as i64),
+                DbValue::Float((cost * 100.0).round() / 100.0),
+                DbValue::Float((srp * 100.0).round() / 100.0),
+                DbValue::from(format!("/img/thumb_{}.gif", i_id % scale.images)),
+                DbValue::Int(related(&mut rng)),
+                DbValue::Int(related(&mut rng)),
+                DbValue::Int(related(&mut rng)),
+                DbValue::Int(related(&mut rng)),
+                DbValue::Int(related(&mut rng)),
+            ],
+        )
+        .expect("insert item");
+        db.execute(
+            "INSERT INTO stock (st_i_id, st_qty) VALUES (?, ?)",
+            &[
+                DbValue::from(i_id),
+                DbValue::from(rng.gen_range(10..1_000) as i64),
+            ],
+        )
+        .expect("insert stock");
+    }
+
+    // Customers and their addresses.
+    for c_id in 1..=scale.customers {
+        db.execute(
+            "INSERT INTO address (addr_id, addr_street, addr_city, addr_zip, addr_co_id) \
+             VALUES (?, ?, ?, ?, ?)",
+            &[
+                DbValue::from(c_id),
+                DbValue::from(format!("{} Main St", rng.gen_range(1..9999))),
+                DbValue::from("Williamsburg"),
+                DbValue::from(format!("{:05}", rng.gen_range(10000..99999))),
+                DbValue::from(rng.gen_range(1..=5) as i64),
+            ],
+        )
+        .expect("insert address");
+        let fname = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+        let lname = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+        db.execute(
+            "INSERT INTO customer (c_id, c_uname, c_fname, c_lname, c_addr_id, c_phone, \
+             c_email, c_since, c_discount) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            &[
+                DbValue::from(c_id),
+                DbValue::from(format!("user{c_id}")),
+                DbValue::from(fname),
+                DbValue::from(lname),
+                DbValue::from(c_id),
+                DbValue::from(format!("555-{:04}", c_id % 10_000)),
+                DbValue::from(format!("user{c_id}@example.com")),
+                DbValue::from(rng.gen_range(700_000..735_000) as i64),
+                DbValue::Float(f64::from(rng.gen_range(0..30)) / 100.0),
+            ],
+        )
+        .expect("insert customer");
+    }
+
+    // Orders, order lines, and credit-card transactions.
+    let mut ol_id: usize = 0;
+    for o_id in 1..=scale.orders {
+        let c_id = rng.gen_range(1..=scale.customers);
+        let total: f64 = rng.gen_range(10.0..500.0);
+        db.execute(
+            "INSERT INTO orders (o_id, o_c_id, o_date, o_total, o_status) \
+             VALUES (?, ?, ?, ?, ?)",
+            &[
+                DbValue::from(o_id),
+                DbValue::from(c_id),
+                DbValue::from(730_000 + o_id as i64),
+                DbValue::Float((total * 100.0).round() / 100.0),
+                DbValue::from(["PENDING", "PROCESSING", "SHIPPED"][rng.gen_range(0..3)]),
+            ],
+        )
+        .expect("insert order");
+        let lines = rng.gen_range(1..=scale.lines_per_order * 2 - 1);
+        for _ in 0..lines {
+            ol_id += 1;
+            db.execute(
+                "INSERT INTO order_line (ol_id, ol_o_id, ol_i_id, ol_qty, ol_discount) \
+                 VALUES (?, ?, ?, ?, ?)",
+                &[
+                    DbValue::from(ol_id),
+                    DbValue::from(o_id),
+                    DbValue::from(rng.gen_range(1..=scale.items) as i64),
+                    DbValue::from(rng.gen_range(1..=5) as i64),
+                    DbValue::Float(0.0),
+                ],
+            )
+            .expect("insert order line");
+        }
+        db.execute(
+            "INSERT INTO cc_xacts (cx_o_id, cx_type, cx_amount, cx_date) \
+             VALUES (?, ?, ?, ?)",
+            &[
+                DbValue::from(o_id),
+                DbValue::from(["VISA", "MASTERCARD", "AMEX"][rng.gen_range(0..3)]),
+                DbValue::Float((total * 100.0).round() / 100.0),
+                DbValue::from(730_000 + o_id as i64),
+            ],
+        )
+        .expect("insert cc transaction");
+    }
+
+    PopulationSummary {
+        items: scale.items,
+        customers: scale.customers,
+        orders: scale.orders,
+        order_lines: ol_id,
+        max_order_id: scale.orders as i64,
+    }
+}
+
+/// Generates the in-memory static image store the bookstore pages
+/// reference (`/img/thumb_<n>.gif`), deterministic in `scale.seed`.
+pub(crate) fn build_statics(scale: &ScaleConfig) -> StaticFiles {
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x5747_1c);
+    let mut statics = StaticFiles::in_memory();
+    for n in 0..scale.images {
+        let mut bytes = Vec::with_capacity(scale.image_bytes);
+        bytes.extend_from_slice(b"GIF89a");
+        while bytes.len() < scale.image_bytes {
+            bytes.push(rng.gen());
+        }
+        statics.insert(&format!("/img/thumb_{n}.gif"), bytes);
+    }
+    statics.insert("/css/site.css", b"body { font-family: serif; }".to_vec());
+    statics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populates_expected_counts() {
+        let db = Database::new();
+        let scale = ScaleConfig::tiny();
+        let summary = populate(&db, &scale);
+        assert_eq!(db.table_len("item").unwrap(), scale.items);
+        assert_eq!(db.table_len("stock").unwrap(), scale.items);
+        assert_eq!(db.table_len("customer").unwrap(), scale.customers);
+        assert_eq!(db.table_len("address").unwrap(), scale.customers);
+        assert_eq!(db.table_len("orders").unwrap(), scale.orders);
+        assert_eq!(db.table_len("cc_xacts").unwrap(), scale.orders);
+        assert_eq!(db.table_len("order_line").unwrap(), summary.order_lines);
+        assert!(summary.order_lines >= scale.orders);
+        assert_eq!(summary.max_order_id, scale.orders as i64);
+    }
+
+    #[test]
+    fn population_is_deterministic() {
+        let scale = ScaleConfig::tiny();
+        let db1 = Database::new();
+        populate(&db1, &scale);
+        let db2 = Database::new();
+        populate(&db2, &scale);
+        for sql in [
+            "SELECT i_title, i_subject FROM item WHERE i_id = 42",
+            "SELECT c_fname, c_lname FROM customer WHERE c_id = 7",
+            "SELECT ol_i_id FROM order_line WHERE ol_o_id = 13 ORDER BY ol_id",
+        ] {
+            assert_eq!(
+                db1.execute(sql, &[]).unwrap(),
+                db2.execute(sql, &[]).unwrap(),
+                "{sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn item_references_are_valid() {
+        let db = Database::new();
+        let scale = ScaleConfig::tiny();
+        populate(&db, &scale);
+        // Every item's author exists (join loses no rows).
+        let joined = db
+            .execute(
+                "SELECT COUNT(*) FROM item i JOIN author a ON i.i_a_id = a.a_id",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(joined.single_int(), Some(scale.items as i64));
+        // Related items are within range.
+        let bad = db
+            .execute(
+                "SELECT COUNT(*) FROM item WHERE i_related1 < 1 OR i_related1 > ?",
+                &[DbValue::from(scale.items)],
+            )
+            .unwrap();
+        assert_eq!(bad.single_int(), Some(0));
+    }
+
+    #[test]
+    fn statics_contain_referenced_thumbnails() {
+        let scale = ScaleConfig::tiny();
+        let statics = build_statics(&scale);
+        assert_eq!(statics.len_hint(), Some(scale.images + 1)); // + site.css
+        let (mime, content) = statics.lookup("/img/thumb_0.gif").unwrap();
+        assert_eq!(mime, "image/gif");
+        assert_eq!(content.len(), scale.image_bytes);
+        assert!(statics.lookup("/css/site.css").is_some());
+    }
+}

@@ -1,0 +1,183 @@
+//! Workload results: per-page response times and completion counts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// One page's client-side measurements (one row of the paper's Tables
+/// 3 and 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PageReport {
+    /// Route key (e.g. `best_sellers`).
+    pub route: String,
+    /// Paper-style display name (e.g. `TPC-W best sellers`).
+    pub name: String,
+    /// Completed web interactions (Table 4).
+    pub count: u64,
+    /// Mean web-interaction response time in milliseconds (Table 3,
+    /// where the paper reports seconds at its unscaled time base).
+    pub mean_ms: f64,
+    /// Approximate 95th-percentile response time in milliseconds
+    /// (bucket resolution; tail behaviour the mean hides).
+    pub p95_ms: f64,
+    /// Failed interactions (connection errors or non-2xx responses).
+    pub errors: u64,
+}
+
+/// The full result of one workload run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadReport {
+    /// Per-page rows, sorted by display name (the paper's table order).
+    pub pages: Vec<PageReport>,
+    /// Measurement interval in seconds.
+    pub duration_secs: f64,
+    /// Emulated browsers.
+    pub ebs: usize,
+    /// Total completed web interactions across all pages.
+    pub total_interactions: u64,
+    /// Total failed interactions.
+    pub total_errors: u64,
+}
+
+impl WorkloadReport {
+    /// Interactions per minute (the paper's throughput unit).
+    pub fn interactions_per_minute(&self) -> f64 {
+        if self.duration_secs == 0.0 {
+            return 0.0;
+        }
+        self.total_interactions as f64 * 60.0 / self.duration_secs
+    }
+
+    /// The report row for a route, if present.
+    pub fn page(&self, route: &str) -> Option<&PageReport> {
+        self.pages.iter().find(|p| p.route == route)
+    }
+
+    /// Mean response time for a route.
+    pub fn mean_ms(&self, route: &str) -> Option<f64> {
+        self.page(route).map(|p| p.mean_ms)
+    }
+
+    /// Renders the paper's Table 3 + Table 4 for an unmodified /
+    /// modified pair of runs.
+    pub fn comparison_table(unmodified: &Self, modified: &Self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<36} {:>12} {:>12}   {:>10} {:>10}\n",
+            "web page name", "unmod (ms)", "mod (ms)", "unmod (n)", "mod (n)"
+        ));
+        out.push_str(&"-".repeat(88));
+        out.push('\n');
+        for u in &unmodified.pages {
+            let m = modified.page(&u.route);
+            out.push_str(&format!(
+                "{:<36} {:>12.2} {:>12.2}   {:>10} {:>10}\n",
+                u.name,
+                u.mean_ms,
+                m.map(|p| p.mean_ms).unwrap_or(f64::NAN),
+                u.count,
+                m.map(|p| p.count).unwrap_or(0),
+            ));
+        }
+        out.push_str(&"-".repeat(88));
+        out.push('\n');
+        let gain = if unmodified.total_interactions > 0 {
+            (modified.total_interactions as f64 / unmodified.total_interactions as f64
+                - 1.0)
+                * 100.0
+        } else {
+            f64::NAN
+        };
+        out.push_str(&format!(
+            "{:<36} {:>12} {:>12}   {:>10} {:>10}\n",
+            "TOTAL (web interactions)",
+            "",
+            "",
+            unmodified.total_interactions,
+            modified.total_interactions,
+        ));
+        out.push_str(&format!("overall throughput change: {gain:+.1}%\n"));
+        out
+    }
+}
+
+impl fmt::Display for WorkloadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<36} {:>10} {:>12} {:>10} {:>8}",
+            "web page name", "count", "mean (ms)", "p95 (ms)", "errors"
+        )?;
+        for p in &self.pages {
+            writeln!(
+                f,
+                "{:<36} {:>10} {:>12.2} {:>10.1} {:>8}",
+                p.name, p.count, p.mean_ms, p.p95_ms, p.errors
+            )?;
+        }
+        writeln!(
+            f,
+            "total: {} interactions in {:.1}s ({:.0}/min), {} errors",
+            self.total_interactions,
+            self.duration_secs,
+            self.interactions_per_minute(),
+            self.total_errors
+        )
+    }
+}
+
+/// Converts a mean duration to the milliseconds field.
+pub(crate) fn to_ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(count: u64, ms: f64) -> WorkloadReport {
+        WorkloadReport {
+            pages: vec![PageReport {
+                route: "home".into(),
+                name: "TPC-W home interaction".into(),
+                count,
+                mean_ms: ms,
+                p95_ms: ms * 2.0,
+                errors: 0,
+            }],
+            duration_secs: 30.0,
+            ebs: 10,
+            total_interactions: count,
+            total_errors: 0,
+        }
+    }
+
+    #[test]
+    fn throughput_math() {
+        let r = report(600, 5.0);
+        assert!((r.interactions_per_minute() - 1200.0).abs() < 1e-9);
+        assert_eq!(r.mean_ms("home"), Some(5.0));
+        assert_eq!(r.mean_ms("zap"), None);
+    }
+
+    #[test]
+    fn comparison_table_shows_gain() {
+        let unmod = report(1000, 50.0);
+        let modded = report(1313, 2.0);
+        let table = WorkloadReport::comparison_table(&unmod, &modded);
+        assert!(table.contains("TPC-W home interaction"));
+        assert!(table.contains("+31.3%"));
+    }
+
+    #[test]
+    fn display_renders() {
+        let text = report(10, 1.5).to_string();
+        assert!(text.contains("home interaction"));
+        assert!(text.contains("10"));
+    }
+
+    #[test]
+    fn to_ms_converts() {
+        assert!((to_ms(Duration::from_millis(1500)) - 1500.0).abs() < 1e-9);
+    }
+}

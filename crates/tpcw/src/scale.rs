@@ -1,0 +1,168 @@
+//! Benchmark scaling parameters.
+
+use std::time::Duration;
+
+/// Sizes and time scaling for the TPC-W database and workload.
+///
+/// The paper's configuration is one million items, 2.88 million
+/// customers, and 2.59 million orders against a dedicated database
+/// host, with 0.7–7 s think times and hour-long runs. [`ScaleConfig`]
+/// scales all of that down while preserving the ratios TPC-W fixes
+/// (2.88 customers and 2.59 orders per item) and the behaviour the
+/// scheduling method depends on: indexed lookups stay orders of
+/// magnitude cheaper than the scan/aggregate pages.
+///
+/// # Examples
+///
+/// ```
+/// use staged_tpcw::ScaleConfig;
+///
+/// let s = ScaleConfig::default();
+/// assert_eq!(s.items, 10_000);
+/// assert_eq!(s.customers, 28_800);
+/// assert_eq!(s.orders, 25_900);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleConfig {
+    /// Number of books (paper: 1 000 000; default ×100 down).
+    pub items: usize,
+    /// Number of customers (paper: 2 880 000).
+    pub customers: usize,
+    /// Number of historical orders (paper: 2 590 000).
+    pub orders: usize,
+    /// Authors (TPC-W: items ÷ 4).
+    pub authors: usize,
+    /// Mean order lines per order (TPC-W: ~3).
+    pub lines_per_order: usize,
+    /// Static images to generate (item thumbnails etc.).
+    pub images: usize,
+    /// Bytes per generated image.
+    pub image_bytes: usize,
+    /// Think time range for emulated browsers (paper: 0.7–7 s; the
+    /// default is scaled ×10 for experiment runs, `tiny()` uses ×1000
+    /// for fast tests).
+    pub think_min: Duration,
+    /// Upper bound of the think range.
+    pub think_max: Duration,
+    /// Static sub-requests an emulated browser issues per page view
+    /// (embedded images; the paper's Figure 10a shows static requests
+    /// dominating raw counts ~10:1).
+    pub images_per_page: usize,
+    /// Emulated per-kilobyte template rendering cost (the paper's
+    /// CPython/Django engine; see `AppBuilder::render_weight_per_kb`).
+    pub render_weight_per_kb: Duration,
+    /// Emulated per-response static service overhead.
+    pub static_weight: Duration,
+    /// RNG seed for deterministic population and workloads.
+    pub seed: u64,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            items: 10_000,
+            customers: 28_800,
+            orders: 25_900,
+            authors: 2_500,
+            lines_per_order: 3,
+            images: 1_000,
+            image_bytes: 2_048,
+            // ×10 time scale: the paper's 0.7–7 s think times.
+            think_min: Duration::from_millis(70),
+            think_max: Duration::from_millis(700),
+            images_per_page: 10,
+            render_weight_per_kb: Duration::from_millis(3),
+            static_weight: Duration::from_millis(1),
+            seed: 0x7bc0_57a9,
+        }
+    }
+}
+
+impl ScaleConfig {
+    /// A minimal configuration for unit and integration tests
+    /// (hundreds of rows, sub-second population).
+    pub fn tiny() -> Self {
+        ScaleConfig {
+            items: 100,
+            customers: 288,
+            orders: 259,
+            authors: 25,
+            lines_per_order: 3,
+            images: 20,
+            image_bytes: 256,
+            images_per_page: 3,
+            render_weight_per_kb: Duration::ZERO,
+            static_weight: Duration::ZERO,
+            // ×1000 time scale so tests finish in milliseconds.
+            think_min: Duration::from_micros(700),
+            think_max: Duration::from_millis(7),
+            ..ScaleConfig::default()
+        }
+    }
+
+    /// A mid-size configuration for quick local experiments.
+    pub fn small() -> Self {
+        ScaleConfig {
+            items: 1_000,
+            customers: 2_880,
+            orders: 2_590,
+            authors: 250,
+            images: 200,
+            ..ScaleConfig::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any population count is zero or `think_min > think_max`.
+    pub fn validate(&self) {
+        assert!(self.items > 0, "need at least one item");
+        assert!(self.customers > 0, "need at least one customer");
+        assert!(self.orders > 0, "need at least one order");
+        assert!(self.authors > 0, "need at least one author");
+        assert!(self.images > 0, "need at least one image");
+        assert!(
+            self.think_min <= self.think_max,
+            "think_min must not exceed think_max"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_preserves_tpcw_ratios() {
+        let s = ScaleConfig::default();
+        // TPC-W fixes 2.88 customers and 2.59 orders per item.
+        assert!((s.customers as f64 / s.items as f64 - 2.88).abs() < 1e-9);
+        assert!((s.orders as f64 / s.items as f64 - 2.59).abs() < 1e-9);
+        s.validate();
+    }
+
+    #[test]
+    fn presets_validate() {
+        ScaleConfig::tiny().validate();
+        ScaleConfig::small().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one item")]
+    fn zero_items_rejected() {
+        let mut s = ScaleConfig::tiny();
+        s.items = 0;
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "think_min must not exceed think_max")]
+    fn inverted_think_range_rejected() {
+        let mut s = ScaleConfig::tiny();
+        s.think_min = Duration::from_secs(1);
+        s.think_max = Duration::from_millis(1);
+        s.validate();
+    }
+}

@@ -1,0 +1,125 @@
+//! The TPC-W bookstore schema.
+
+use staged_db::{Database, DbError};
+
+/// The `CREATE TABLE` / `CREATE INDEX` statements for the TPC-W
+/// bookstore, in creation order.
+pub(crate) const SCHEMA_SQL: &[&str] = &[
+    "CREATE TABLE country (co_id INT PRIMARY KEY, co_name TEXT)",
+    "CREATE TABLE address (addr_id INT PRIMARY KEY, addr_street TEXT, addr_city TEXT, \
+     addr_zip TEXT, addr_co_id INT)",
+    "CREATE TABLE customer (c_id INT PRIMARY KEY, c_uname TEXT, c_fname TEXT, c_lname TEXT, \
+     c_addr_id INT, c_phone TEXT, c_email TEXT, c_since INT, c_discount FLOAT)",
+    "CREATE INDEX ON customer (c_uname)",
+    "CREATE TABLE author (a_id INT PRIMARY KEY, a_fname TEXT, a_lname TEXT)",
+    "CREATE INDEX ON author (a_lname)",
+    "CREATE TABLE item (i_id INT PRIMARY KEY, i_title TEXT, i_a_id INT, i_subject TEXT, \
+     i_pub_date INT, i_cost FLOAT, i_srp FLOAT, i_thumbnail TEXT, \
+     i_related1 INT, i_related2 INT, i_related3 INT, i_related4 INT, i_related5 INT)",
+    // Stock lives in its own table so the only writer of the hot `item`
+    // table is the admin-confirm page — the paper's lock-contention
+    // scenario (its MySQL used row-level locking for the stock
+    // decrement; a separate table is the table-lock-engine equivalent).
+    "CREATE TABLE stock (st_i_id INT PRIMARY KEY, st_qty INT)",
+    // No index on i_subject: like the paper's MySQL (where subject
+    // listings filesort tens of thousands of rows), New Products and
+    // subject searches must scan `item` — they are three of the four
+    // pages the paper reports as inherently slow (§4.2.1).
+    "CREATE INDEX ON item (i_a_id)",
+    "CREATE TABLE orders (o_id INT PRIMARY KEY, o_c_id INT, o_date INT, o_total FLOAT, \
+     o_status TEXT)",
+    "CREATE INDEX ON orders (o_c_id)",
+    "CREATE TABLE order_line (ol_id INT PRIMARY KEY, ol_o_id INT, ol_i_id INT, ol_qty INT, \
+     ol_discount FLOAT)",
+    "CREATE INDEX ON order_line (ol_o_id)",
+    "CREATE INDEX ON order_line (ol_i_id)",
+    "CREATE TABLE cc_xacts (cx_o_id INT PRIMARY KEY, cx_type TEXT, cx_amount FLOAT, \
+     cx_date INT)",
+    "CREATE TABLE shopping_cart (sc_id INT PRIMARY KEY, sc_date INT)",
+    "CREATE TABLE shopping_cart_line (scl_id INT PRIMARY KEY, scl_sc_id INT, scl_i_id INT, \
+     scl_qty INT)",
+    "CREATE INDEX ON shopping_cart_line (scl_sc_id)",
+];
+
+/// The 23 TPC-W book subjects.
+pub(crate) const SUBJECTS: &[&str] = &[
+    "ARTS",
+    "BIOGRAPHIES",
+    "BUSINESS",
+    "CHILDREN",
+    "COMPUTERS",
+    "COOKING",
+    "HEALTH",
+    "HISTORY",
+    "HOME",
+    "HUMOR",
+    "LITERATURE",
+    "MYSTERY",
+    "NON-FICTION",
+    "PARENTING",
+    "POLITICS",
+    "REFERENCE",
+    "RELIGION",
+    "ROMANCE",
+    "SELF-HELP",
+    "SCIENCE-NATURE",
+    "SCIENCE-FICTION",
+    "SPORTS",
+    "TRAVEL",
+];
+
+/// Creates the empty TPC-W schema (tables and indexes).
+///
+/// # Errors
+///
+/// [`DbError::TableExists`] if run twice on the same database, or any
+/// other execution error.
+pub fn create_schema(db: &Database) -> Result<(), DbError> {
+    for sql in SCHEMA_SQL {
+        db.execute(sql, &[])?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_all_tables() {
+        let db = Database::new();
+        create_schema(&db).unwrap();
+        let names = db.table_names();
+        for expected in [
+            "address",
+            "author",
+            "cc_xacts",
+            "country",
+            "customer",
+            "item",
+            "order_line",
+            "orders",
+            "shopping_cart",
+            "shopping_cart_line",
+            "stock",
+        ] {
+            assert!(names.contains(&expected.to_string()), "missing {expected}");
+        }
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn double_creation_fails_cleanly() {
+        let db = Database::new();
+        create_schema(&db).unwrap();
+        assert!(matches!(
+            create_schema(&db),
+            Err(DbError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn twenty_three_subjects() {
+        assert_eq!(SUBJECTS.len(), 23);
+    }
+}

@@ -1,0 +1,178 @@
+//! Edge cases for the 14 TPC-W handlers: missing/invalid parameters,
+//! unknown IDs, empty carts, and customers without history.
+
+use staged_core::{ServerConfig, StagedServer};
+use staged_db::Database;
+use staged_http::{fetch, Method, StatusCode};
+use staged_tpcw::{build_app, populate, ScaleConfig};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+fn server() -> (staged_core::ServerHandle, SocketAddr) {
+    let db = Arc::new(Database::new());
+    let scale = ScaleConfig::tiny();
+    populate(&db, &scale);
+    let app = build_app(&db, &scale);
+    let server = StagedServer::start(ServerConfig::small(), app, db).unwrap();
+    let addr = server.addr();
+    (server, addr)
+}
+
+#[test]
+fn pages_tolerate_missing_parameters() {
+    let (server, addr) = server();
+    // Every page with no query string at all: must not 500 (handlers
+    // use defaults), except pages whose referenced entity defaults
+    // still exist (item 1, customer fallback).
+    for target in [
+        "/home",
+        "/new_products",
+        "/best_sellers",
+        "/product_detail",
+        "/search_request",
+        "/execute_search",
+        "/shopping_cart",
+        "/customer_registration",
+        "/buy_request",
+        "/buy_confirm",
+        "/order_inquiry",
+        "/order_display",
+        "/admin_request",
+        "/admin_confirm",
+    ] {
+        let resp = fetch(addr, Method::Get, target, &[]).unwrap();
+        assert_eq!(resp.status, StatusCode::OK, "{target}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn anonymous_home_has_no_greeting() {
+    let (server, addr) = server();
+    let text = fetch(addr, Method::Get, "/home?c_id=0", &[]).unwrap().text();
+    assert!(text.contains("Welcome to the TPC-W Bookstore"));
+    assert!(!text.contains("Welcome back"));
+    server.shutdown();
+}
+
+#[test]
+fn unknown_item_is_a_500_not_a_hang() {
+    let (server, addr) = server();
+    let resp = fetch(addr, Method::Get, "/product_detail?i_id=999999", &[]).unwrap();
+    assert_eq!(resp.status, StatusCode::INTERNAL_SERVER_ERROR);
+    // The server (and its DB connection) is still healthy.
+    let resp = fetch(addr, Method::Get, "/product_detail?i_id=1", &[]).unwrap();
+    assert_eq!(resp.status, StatusCode::OK);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_subject_lists_empty() {
+    let (server, addr) = server();
+    let text = fetch(addr, Method::Get, "/new_products?subject=NOPE", &[])
+        .unwrap()
+        .text();
+    assert!(text.contains("No items in this subject."));
+    let text = fetch(addr, Method::Get, "/best_sellers?subject=NOPE", &[])
+        .unwrap()
+        .text();
+    assert!(text.contains("No recent sales in this subject."));
+    server.shutdown();
+}
+
+#[test]
+fn search_with_no_matches_and_odd_characters() {
+    let (server, addr) = server();
+    for target in [
+        "/execute_search?type=title&search=zzzzzzz",
+        "/execute_search?type=author&search=%25%5F", // literal % and _
+        "/execute_search?type=subject&search=",
+        "/execute_search", // no params at all
+    ] {
+        let resp = fetch(addr, Method::Get, target, &[]).unwrap();
+        assert_eq!(resp.status, StatusCode::OK, "{target}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn buy_confirm_with_empty_cart_places_empty_order() {
+    let (server, addr) = server();
+    let text = fetch(addr, Method::Get, "/buy_confirm?c_id=1&sc_id=0", &[])
+        .unwrap()
+        .text();
+    assert!(text.contains("Thank you for your order!"));
+    assert!(text.contains("0 line items"), "BODY: {text}");
+    assert!(text.contains("$0.00"), "BODY: {text}");
+    server.shutdown();
+}
+
+#[test]
+fn order_display_for_customer_without_orders() {
+    let (server, addr) = server();
+    // A freshly registered customer has no orders.
+    let resp = fetch(addr, Method::Get, "/buy_request?c_id=0&sc_id=0&fname=New&lname=Person", &[])
+        .unwrap();
+    assert_eq!(resp.status, StatusCode::OK);
+    // Registration allocated an id beyond the populated range.
+    let scale = ScaleConfig::tiny();
+    let fresh = scale.customers as u64 + 1;
+    let text = fetch(
+        addr,
+        Method::Get,
+        &format!("/order_display?c_id={fresh}"),
+        &[],
+    )
+    .unwrap()
+    .text();
+    assert!(text.contains("No orders found"));
+    server.shutdown();
+}
+
+#[test]
+fn admin_confirm_updates_are_visible() {
+    let (server, addr) = server();
+    fetch(addr, Method::Get, "/admin_confirm?i_id=5&cost=55.55", &[]).unwrap();
+    let text = fetch(addr, Method::Get, "/product_detail?i_id=5", &[])
+        .unwrap()
+        .text();
+    assert!(text.contains("$55.55"), "cost update must be visible: {text}");
+    server.shutdown();
+}
+
+#[test]
+fn cart_quantity_parameters_are_clamped_to_defaults() {
+    let (server, addr) = server();
+    // Non-numeric qty falls back to 1.
+    let text = fetch(
+        addr,
+        Method::Get,
+        "/shopping_cart?c_id=1&sc_id=0&i_id=3&qty=banana",
+        &[],
+    )
+    .unwrap()
+    .text();
+    assert!(text.contains("<td>1</td>"), "{text}");
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_cart_creation_never_collides() {
+    let (server, addr) = server();
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let target = format!("/shopping_cart?c_id={}&sc_id=0&i_id=2&qty=1", i + 1);
+                let body = fetch(addr, Method::Get, &target, &[]).unwrap().text();
+                let pos = body.find("name=\"sc_id\" value=\"").unwrap();
+                let rest = &body[pos + 20..];
+                rest[..rest.find('"').unwrap()].parse::<u64>().unwrap()
+            })
+        })
+        .collect();
+    let mut ids: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 8, "cart ids must be unique");
+    server.shutdown();
+}

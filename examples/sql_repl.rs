@@ -1,0 +1,88 @@
+//! An interactive SQL shell over the embedded database, preloaded with
+//! the TPC-W bookstore at tiny scale. Useful for poking at the SQL
+//! subset the engine supports.
+//!
+//! Run with `cargo run --release --example sql_repl`, then type SQL:
+//!
+//! ```text
+//! sql> SELECT i_title, i_cost FROM item WHERE i_id = 5
+//! sql> SELECT i_subject, COUNT(*) n FROM item GROUP BY i_subject ORDER BY n DESC LIMIT 5
+//! sql> .tables
+//! sql> .quit
+//! ```
+
+use staged_web::db::Database;
+use staged_web::tpcw::{populate, ScaleConfig};
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let db = Database::new();
+    let scale = ScaleConfig::tiny();
+    eprintln!(
+        "populating TPC-W at tiny scale ({} items, {} customers, {} orders)…",
+        scale.items, scale.customers, scale.orders
+    );
+    populate(&db, &scale);
+    eprintln!("ready. type SQL, or .tables / .help / .quit");
+
+    let stdin = io::stdin();
+    loop {
+        print!("sql> ");
+        io::stdout().flush().expect("stdout flush");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            ".quit" | ".exit" => break,
+            ".tables" => {
+                for t in db.table_names() {
+                    let rows = db.table_len(&t).unwrap_or(0);
+                    println!("{t:<22} {rows:>8} rows");
+                }
+                continue;
+            }
+            ".help" => {
+                println!(
+                    "statements: CREATE TABLE/INDEX, INSERT, SELECT (JOIN, WHERE, \
+                     GROUP BY, aggregates, ORDER BY, LIMIT/OFFSET), UPDATE, DELETE\n\
+                     dot commands: .tables .help .quit"
+                );
+                continue;
+            }
+            _ => {}
+        }
+        match db.execute(line, &[]) {
+            Ok(result) => {
+                if result.columns.is_empty() {
+                    println!("ok ({} row(s) affected, {} scanned)",
+                        result.rows_affected, result.rows_scanned);
+                } else {
+                    println!("{}", result.columns.join(" | "));
+                    println!("{}", "-".repeat(result.columns.len() * 12));
+                    for row in result.rows.iter().take(50) {
+                        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                        println!("{}", cells.join(" | "));
+                    }
+                    if result.rows.len() > 50 {
+                        println!("… {} more rows", result.rows.len() - 50);
+                    }
+                    println!(
+                        "({} row(s), {} scanned)",
+                        result.rows.len(),
+                        result.rows_scanned
+                    );
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,45 @@
+//! # staged-web
+//!
+//! A full reproduction of *Efficient Resource Management on
+//! Template-based Web Servers* (Courtwright, Yue, Wang — DSN 2009) as a
+//! Rust workspace. This umbrella crate re-exports every component:
+//!
+//! * [`core`] — the paper's contribution: the five-pool
+//!   [`core::StagedServer`] and the thread-per-request
+//!   [`core::BaselineServer`] over a shared [`core::App`] contract;
+//! * [`pool`] — instrumented synchronized queues and worker pools;
+//! * [`http`] — the HTTP/1.1 substrate with staged request parsing;
+//! * [`templates`] — a Django-style template engine;
+//! * [`db`] — an embedded SQL database with table locks and a bounded
+//!   connection pool;
+//! * [`tpcw`] — the TPC-W bookstore benchmark and its browsing-mix
+//!   workload generator;
+//! * [`metrics`] — counters, histograms, and time series.
+//!
+//! # Examples
+//!
+//! ```
+//! use staged_web::db::Database;
+//! use staged_web::tpcw::{build_app, populate, ScaleConfig};
+//! use std::sync::Arc;
+//!
+//! let db = Arc::new(Database::new());
+//! populate(&db, &ScaleConfig::tiny());
+//! let app = build_app(&db, &ScaleConfig::tiny());
+//! assert_eq!(app.route_paths().len(), 14);
+//! ```
+//!
+//! See `examples/quickstart.rs` for a running server and
+//! `crates/bench` for the binaries that regenerate each of the paper's
+//! tables and figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use staged_core as core;
+pub use staged_db as db;
+pub use staged_http as http;
+pub use staged_metrics as metrics;
+pub use staged_pool as pool;
+pub use staged_templates as templates;
+pub use staged_tpcw as tpcw;

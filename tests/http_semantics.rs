@@ -1,0 +1,169 @@
+//! HTTP protocol semantics across both servers: HEAD, keep-alive
+//! pipelining, and POST bodies.
+
+use staged_web::core::{App, BaselineServer, PageOutcome, ServerConfig, StagedServer};
+use staged_web::db::Database;
+use staged_web::http::{read_response, Response, StaticFiles, StatusCode};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn demo_app() -> App {
+    let mut statics = StaticFiles::in_memory();
+    statics.insert("/logo.png", vec![7u8; 321]);
+    App::builder()
+        .static_files(statics)
+        .route("/echo", "echo", |req, _db| {
+            let body = format!(
+                "method={} q={} body={}",
+                req.method(),
+                req.param("q").unwrap_or("-"),
+                String::from_utf8_lossy(&req.body),
+            );
+            Ok(PageOutcome::Body(Response::text(body)))
+        })
+        .build()
+}
+
+fn each_server(test: impl Fn(std::net::SocketAddr, &str)) {
+    let baseline =
+        BaselineServer::start(ServerConfig::small(), demo_app(), Arc::new(Database::new()))
+            .unwrap();
+    test(baseline.addr(), "baseline");
+    baseline.shutdown();
+    let staged =
+        StagedServer::start(ServerConfig::small(), demo_app(), Arc::new(Database::new()))
+            .unwrap();
+    test(staged.addr(), "staged");
+    staged.shutdown();
+}
+
+#[test]
+fn head_returns_headers_but_no_body() {
+    each_server(|addr, which| {
+        for target in ["/echo?q=1", "/logo.png"] {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(
+                    format!("HEAD {target} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes(),
+                )
+                .unwrap();
+            // Read to EOF manually: a HEAD response is headers only, so
+            // the generic client (which would wait for Content-Length
+            // bytes) does not apply.
+            let mut raw = Vec::new();
+            std::io::Read::read_to_end(&mut stream, &mut raw).unwrap();
+            let text = String::from_utf8_lossy(&raw);
+            assert!(
+                text.starts_with("HTTP/1.1 200 OK\r\n"),
+                "{which} {target}: {text}"
+            );
+            let header_end = text.find("\r\n\r\n").expect("header terminator") + 4;
+            assert!(
+                text.to_lowercase().contains("content-length: "),
+                "{which} {target}: HEAD keeps Content-Length"
+            );
+            assert!(
+                !text.to_lowercase().contains("content-length: 0"),
+                "{which} {target}: Content-Length must describe the body"
+            );
+            assert_eq!(
+                raw.len(),
+                header_end,
+                "{which} {target}: HEAD must not carry a body"
+            );
+        }
+    });
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    each_server(|addr, which| {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Three requests, keep-alive, then close on the last.
+        for i in 0..3 {
+            let connection = if i == 2 { "close" } else { "keep-alive" };
+            stream
+                .write_all(
+                    format!(
+                        "GET /echo?q={i} HTTP/1.1\r\nConnection: {connection}\r\n\r\n"
+                    )
+                    .as_bytes(),
+                )
+                .unwrap();
+            let resp = read_response(&mut stream).unwrap();
+            assert_eq!(resp.status, StatusCode::OK, "{which} request {i}");
+            assert!(
+                resp.text().contains(&format!("q={i}")),
+                "{which}: wrong response for request {i}: {}",
+                resp.text()
+            );
+        }
+    });
+}
+
+#[test]
+fn keep_alive_mixes_static_and_dynamic() {
+    each_server(|addr, which| {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /logo.png HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let first = read_response(&mut stream).unwrap();
+        assert_eq!(first.body.len(), 321, "{which}");
+        stream
+            .write_all(b"GET /echo?q=after HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let second = read_response(&mut stream).unwrap();
+        assert!(second.text().contains("q=after"), "{which}");
+    });
+}
+
+#[test]
+fn post_bodies_reach_handlers() {
+    each_server(|addr, which| {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let payload = "name=ada&job=countess";
+        stream
+            .write_all(
+                format!(
+                    "POST /echo HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                    payload.len(),
+                    payload
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let resp = read_response(&mut stream).unwrap();
+        assert_eq!(resp.status, StatusCode::OK, "{which}");
+        let text = resp.text();
+        assert!(text.contains("method=POST"), "{which}: {text}");
+        assert!(text.contains(payload), "{which}: {text}");
+    });
+}
+
+#[test]
+fn http_10_without_keep_alive_closes() {
+    each_server(|addr, which| {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /echo?q=ten HTTP/1.0\r\n\r\n")
+            .unwrap();
+        let resp = read_response(&mut stream).unwrap();
+        assert!(resp.text().contains("q=ten"), "{which}");
+        // The server closed the connection: the next read hits EOF.
+        let mut probe = [0u8; 1];
+        let n = std::io::Read::read(&mut stream, &mut probe).unwrap_or(0);
+        assert_eq!(n, 0, "{which}: HTTP/1.0 connection should be closed");
+    });
+}
+
+#[test]
+fn method_is_case_sensitive_per_rfc() {
+    each_server(|addr, which| {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"get /echo HTTP/1.1\r\n\r\n").unwrap();
+        let resp = read_response(&mut stream).unwrap();
+        assert_eq!(resp.status, StatusCode::BAD_REQUEST, "{which}");
+    });
+}
