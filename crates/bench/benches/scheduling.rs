@@ -50,9 +50,13 @@ fn bench_queues_and_pools(c: &mut Criterion) {
     group.bench_function("pool_round_trip", |b| {
         let reply = Arc::new(SyncQueue::unbounded());
         let reply2 = Arc::clone(&reply);
-        let pool = WorkerPool::new(PoolConfig::new("bench", 1), |_| (), move |_, n: u64| {
-            reply2.push(n).unwrap();
-        });
+        let pool = WorkerPool::new(
+            PoolConfig::new("bench", 1),
+            |_| (),
+            move |_, n: u64| {
+                reply2.push(n).unwrap();
+            },
+        );
         b.iter(|| {
             pool.submit(black_box(7)).unwrap();
             reply.pop().unwrap()

@@ -68,7 +68,10 @@ fn main() {
     let unmodified = run_model(&base, Model::Unmodified, &[]);
     let unmod_total = unmodified.report.total_interactions;
     let unmod_quick = unmodified.report.mean_ms("home").unwrap_or(f64::NAN);
-    let unmod_lengthy = unmodified.report.mean_ms("best_sellers").unwrap_or(f64::NAN);
+    let unmod_lengthy = unmodified
+        .report
+        .mean_ms("best_sellers")
+        .unwrap_or(f64::NAN);
     unmodified.server.shutdown();
 
     println!(

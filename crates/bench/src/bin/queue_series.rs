@@ -39,9 +39,8 @@ fn main() {
         &modified.queue_traces["lengthy"],
     );
 
-    let peak = |pts: &[staged_metrics::SeriesPoint]| {
-        pts.iter().map(|p| p.value).fold(0.0f64, f64::max)
-    };
+    let peak =
+        |pts: &[staged_metrics::SeriesPoint]| pts.iter().map(|p| p.value).fold(0.0f64, f64::max);
     println!(
         "peaks: unmodified worker queue {:.0}, modified general {:.0}, modified lengthy {:.0}",
         peak(&unmodified.queue_traces["worker"]),

@@ -14,7 +14,10 @@ fn main() {
     let controller = ReserveController::new(20);
 
     println!("Table 2: changes to treserve over an example 10-second period");
-    println!("{:>6} {:>8} {:>10} {:>11}", "time", "tspare", "treserve", "Δtreserve");
+    println!(
+        "{:>6} {:>8} {:>10} {:>11}",
+        "time", "tspare", "treserve", "Δtreserve"
+    );
     for (second, tspare) in tspare_trace.into_iter().enumerate() {
         let before = controller.reserve();
         let delta = controller.update(tspare);

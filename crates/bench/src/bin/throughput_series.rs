@@ -54,7 +54,10 @@ fn main() {
 
     for (model, outcome) in &outcomes {
         print_series(
-            &format!("Figure 9: total throughput per bucket, {} server", model.label()),
+            &format!(
+                "Figure 9: total throughput per bucket, {} server",
+                model.label()
+            ),
             &outcome.server.stats().total_series().counts_per_bucket(),
         );
     }

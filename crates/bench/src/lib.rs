@@ -24,7 +24,8 @@ use std::collections::HashMap;
 /// Populated-database snapshots keyed by scale identity, so an
 /// experiment that builds several fresh deployments (both servers,
 /// ablation variants) pays the deterministic population cost once.
-static SNAPSHOTS: Mutex<Option<HashMap<(usize, u64), Arc<Vec<u8>>>>> = Mutex::new(None);
+type SnapshotCache = HashMap<(usize, u64), Arc<Vec<u8>>>;
+static SNAPSHOTS: Mutex<Option<SnapshotCache>> = Mutex::new(None);
 
 /// Which request-processing model to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,8 +124,7 @@ impl Experiment {
             match args[i].as_str() {
                 "--ebs" => exp.ebs = value(i).parse().expect("--ebs takes a number"),
                 "--measure-secs" => {
-                    exp.measure =
-                        Duration::from_secs_f64(value(i).parse().expect("--measure-secs"))
+                    exp.measure = Duration::from_secs_f64(value(i).parse().expect("--measure-secs"))
                 }
                 "--ramp-secs" => {
                     exp.ramp = Duration::from_secs_f64(value(i).parse().expect("--ramp-secs"))
@@ -168,9 +168,9 @@ impl Experiment {
             .get(&key)
             .cloned();
         let db = match cached {
-            Some(snapshot) => Arc::new(
-                Database::restore(snapshot.as_slice()).expect("own snapshot restores"),
-            ),
+            Some(snapshot) => {
+                Arc::new(Database::restore(snapshot.as_slice()).expect("own snapshot restores"))
+            }
             None => {
                 let db = Arc::new(Database::new());
                 populate(&db, &self.scale);

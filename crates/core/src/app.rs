@@ -197,10 +197,7 @@ impl AppBuilder {
     /// 14 TPC-W pages).
     pub fn route<F>(mut self, path: impl Into<String>, name: impl Into<String>, handler: F) -> Self
     where
-        F: Fn(&Request, &PooledConnection) -> Result<PageOutcome, AppError>
-            + Send
-            + Sync
-            + 'static,
+        F: Fn(&Request, &PooledConnection) -> Result<PageOutcome, AppError> + Send + Sync + 'static,
     {
         self.routes.insert(
             path.into(),
@@ -221,17 +218,9 @@ impl AppBuilder {
     ///
     /// Panics if the pattern is malformed (a programming error caught
     /// at startup).
-    pub fn route_pattern<F>(
-        mut self,
-        pattern: &str,
-        name: impl Into<String>,
-        handler: F,
-    ) -> Self
+    pub fn route_pattern<F>(mut self, pattern: &str, name: impl Into<String>, handler: F) -> Self
     where
-        F: Fn(&Request, &PooledConnection) -> Result<PageOutcome, AppError>
-            + Send
-            + Sync
-            + 'static,
+        F: Fn(&Request, &PooledConnection) -> Result<PageOutcome, AppError> + Send + Sync + 'static,
     {
         self.patterns
             .add(
@@ -340,7 +329,9 @@ mod tests {
     #[test]
     fn debug_lists_routes() {
         let app = App::builder()
-            .route("/x", "x", |_r, _c| Ok(PageOutcome::Body(Response::text(""))))
+            .route("/x", "x", |_r, _c| {
+                Ok(PageOutcome::Body(Response::text("")))
+            })
             .build();
         assert!(format!("{app:?}").contains("/x"));
     }

@@ -4,17 +4,30 @@ use crate::app::{App, PageOutcome};
 use crate::config::ServerConfig;
 use crate::error::AppError;
 use crate::handle::{GaugeFn, ServerHandle};
+use crate::overload::{overload_response, ChaosAction, DbSlot};
 use crate::scheduler::{RequestClass, ServiceTimeTracker};
-use crate::stats::{RequestKind, ServerStats};
+use crate::stats::{RequestKind, ServerStats, ShedPoint};
 use staged_db::{ConnectionPool, Database, PooledConnection};
-use staged_http::{Connection, HttpError, Request, Response, StatusCode};
-use staged_pool::{PoolConfig, WorkerPool};
+use staged_http::{Connection, HttpError, ParseLimits, Request, Response, StatusCode};
+use staged_pool::{PoolConfig, PushError, WorkerPool};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Everything a baseline worker needs to serve a connection.
+struct WorkerCtx {
+    app: App,
+    tracker: Arc<ServiceTimeTracker>,
+    stats: Arc<ServerStats>,
+    limits: ParseLimits,
+    /// Per-request time budget (`None` disables deadline checking).
+    budget: Option<Duration>,
+    /// `Retry-After` advertised on shed responses.
+    retry_after: Duration,
+}
 
 /// The unmodified request-processing model: a single listener thread
 /// feeds accepted connections to one pool of worker threads; each
@@ -27,6 +40,11 @@ use std::time::Instant;
 /// so threads rendering templates or serving static files hold
 /// connections idle, and short requests queue behind lengthy ones in
 /// the single queue (the Figure 7 spikes).
+///
+/// Overload semantics match the staged server's: the worker queue is
+/// bounded, the listener sheds with `503` + `Retry-After` instead of
+/// blocking the accept loop, and connections whose queue wait exceeds
+/// `request_deadline` are answered `503` at dequeue.
 #[derive(Debug)]
 pub struct BaselineServer;
 
@@ -42,11 +60,7 @@ impl BaselineServer {
     ///
     /// Panics if `config` is inconsistent (see
     /// [`ServerConfig::validate`]).
-    pub fn start(
-        config: ServerConfig,
-        app: App,
-        db: Arc<Database>,
-    ) -> io::Result<ServerHandle> {
+    pub fn start(config: ServerConfig, app: App, db: Arc<Database>) -> io::Result<ServerHandle> {
         config.validate();
         let listener = TcpListener::bind(config.addr)?;
         let addr = listener.local_addr()?;
@@ -57,52 +71,105 @@ impl BaselineServer {
         // on.
         let tracker = Arc::new(ServiceTimeTracker::new(config.lengthy_cutoff));
         let connections = ConnectionPool::new(db, config.db_connections);
+        connections.set_fault_plan(config.fault_plan);
 
-        let worker_stats = Arc::clone(&stats);
-        let worker_tracker = Arc::clone(&tracker);
-        let worker_app = app.clone();
-        let limits = config.limits;
-        let read_timeout = config.read_timeout;
+        let ctx = Arc::new(WorkerCtx {
+            app,
+            tracker: Arc::clone(&tracker),
+            stats: Arc::clone(&stats),
+            limits: config.limits,
+            budget: config.request_deadline,
+            retry_after: config.retry_after,
+        });
+
+        let worker_ctx = Arc::clone(&ctx);
+        let db_acquire_timeout = config.db_acquire_timeout;
+        let db_acquire_retries = config.db_acquire_retries;
         let pool = WorkerPool::new(
-            PoolConfig::new("baseline-worker", config.baseline_workers),
-            |_| connections.get(),
-            move |db_conn: &mut PooledConnection, stream: TcpStream| {
-                let _ = stream.set_read_timeout(read_timeout);
-                serve_connection(
-                    stream,
-                    limits,
-                    &worker_app,
-                    db_conn,
-                    &worker_tracker,
-                    &worker_stats,
-                );
+            PoolConfig::new("baseline-worker", config.baseline_workers)
+                .queue_capacity(config.baseline_queue_bound()),
+            |_| DbSlot::new(&connections, db_acquire_timeout, db_acquire_retries),
+            move |slot: &mut DbSlot, (stream, arrived): (TcpStream, Instant)| {
+                // Queue-wait check: a connection that waited longer
+                // than the whole request budget is shed, not served.
+                if worker_ctx.budget.is_some_and(|b| arrived.elapsed() > b) {
+                    worker_ctx.stats.deadline_expired.increment();
+                    let mut conn = Connection::with_limits(stream, worker_ctx.limits);
+                    if conn
+                        .send(&overload_response(worker_ctx.retry_after))
+                        .is_ok()
+                    {
+                        // The request was never read; drain it so the
+                        // close doesn't RST the 503 away.
+                        crate::overload::drain_before_close(conn.stream_mut());
+                    }
+                    return;
+                }
+                serve_connection(stream, slot, &worker_ctx);
             },
         );
 
         let queue = pool.queue_handle();
+        let pool_stats = pool.stats_handle();
         let gauge_queue = pool.queue_handle();
-        let gauges: Vec<(String, GaugeFn)> = vec![(
-            "worker".to_string(),
-            Arc::new(move || gauge_queue.len()),
-        )];
+        let gauges: Vec<(String, GaugeFn)> =
+            vec![("worker".to_string(), Arc::new(move || gauge_queue.len()))];
+        let pools = vec![("baseline-worker".to_string(), pool.stats_handle())];
 
         let stop = Arc::new(AtomicBool::new(false));
         let listener_stop = Arc::clone(&stop);
-        let drop_stats = Arc::clone(&stats);
+        let listen_ctx = Arc::clone(&ctx);
+        let read_timeout = config.read_timeout;
+        let write_timeout = config.write_timeout;
+        let chaos = config.chaos;
         let listener_thread = std::thread::Builder::new()
             .name("baseline-listener".to_string())
             .spawn(move || {
+                let mut conn_seq: u64 = 0;
                 for incoming in listener.incoming() {
                     if listener_stop.load(Ordering::Relaxed) {
                         break;
                     }
                     match incoming {
                         Ok(stream) => {
-                            if queue.push(stream).is_err() {
-                                break;
+                            let seq = conn_seq;
+                            conn_seq += 1;
+                            match chaos.map_or(ChaosAction::Pass, |c| c.decide(seq)) {
+                                ChaosAction::Pass => {}
+                                ChaosAction::Kill => {
+                                    listen_ctx.stats.chaos_killed.increment();
+                                    drop(stream);
+                                    continue;
+                                }
+                                ChaosAction::Stall => {
+                                    listen_ctx.stats.chaos_stalled.increment();
+                                    std::thread::sleep(chaos.expect("stall implies chaos").stall);
+                                }
+                            }
+                            let _ = stream.set_read_timeout(read_timeout);
+                            let _ = stream.set_write_timeout(write_timeout);
+                            // Non-blocking enqueue: a full queue sheds
+                            // the connection instead of stalling accept.
+                            match queue.try_push((stream, Instant::now())) {
+                                Ok(()) => {}
+                                Err(PushError::Full((stream, _))) => {
+                                    pool_stats.rejected.increment();
+                                    listen_ctx.stats.record_shed(ShedPoint::Listener);
+                                    let mut conn =
+                                        Connection::with_limits(stream, listen_ctx.limits);
+                                    if conn
+                                        .send(&overload_response(listen_ctx.retry_after))
+                                        .is_err()
+                                    {
+                                        listen_ctx.stats.dropped_connections.increment();
+                                    } else {
+                                        crate::overload::drain_before_close(conn.stream_mut());
+                                    }
+                                }
+                                Err(PushError::Closed(_)) => break,
                             }
                         }
-                        Err(_) => drop_stats.dropped_connections.increment(),
+                        Err(_) => listen_ctx.stats.dropped_connections.increment(),
                     }
                 }
             })
@@ -116,21 +183,16 @@ impl BaselineServer {
             pool.shutdown();
         });
 
-        Ok(ServerHandle::new(addr, stats, tracker, gauges, shutdown))
+        Ok(ServerHandle::new(
+            addr, stats, tracker, gauges, pools, shutdown,
+        ))
     }
 }
 
 /// Serves every request on one connection, thread-per-request style:
 /// the whole request lifecycle runs on the calling worker thread.
-fn serve_connection(
-    stream: TcpStream,
-    limits: staged_http::ParseLimits,
-    app: &App,
-    db_conn: &PooledConnection,
-    tracker: &ServiceTimeTracker,
-    stats: &ServerStats,
-) {
-    let mut conn = Connection::with_limits(stream, limits);
+fn serve_connection(stream: TcpStream, slot: &mut DbSlot, ctx: &WorkerCtx) {
+    let mut conn = Connection::with_limits(stream, ctx.limits);
     loop {
         let request = match conn.read_request() {
             Ok(r) => r,
@@ -140,21 +202,27 @@ fn serve_connection(
                     let mut resp = Response::error(StatusCode::BAD_REQUEST);
                     resp.set_close();
                     let _ = conn.send(&resp);
-                    stats.errors.increment();
+                    ctx.stats.errors.increment();
                 } else {
-                    stats.dropped_connections.increment();
+                    ctx.stats.dropped_connections.increment();
                 }
                 return;
             }
         };
         let keep_alive = request.keep_alive();
-        let (response, kind) = process_request(app, &request, db_conn, tracker, stats);
+        let (response, kind) = process_request(ctx, &request, slot);
         if conn.send_for_method(request.method(), &response).is_err() {
-            stats.dropped_connections.increment();
+            ctx.stats.dropped_connections.increment();
             return;
         }
-        stats.record_completion(kind);
-        if !keep_alive {
+        ctx.stats.record_completion(kind);
+        // Responses the server marked `Connection: close` (503s) end
+        // the connection even if the client asked for keep-alive.
+        let server_closed = response
+            .headers()
+            .get("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        if !keep_alive || server_closed {
             return;
         }
     }
@@ -163,19 +231,17 @@ fn serve_connection(
 /// Full request processing on the current thread (parse already done):
 /// static lookup, or handler + inline template rendering.
 fn process_request(
-    app: &App,
+    ctx: &WorkerCtx,
     request: &Request,
-    db_conn: &PooledConnection,
-    tracker: &ServiceTimeTracker,
-    stats: &ServerStats,
+    slot: &mut DbSlot,
 ) -> (Response, RequestKind) {
     if request.line.is_static() {
-        let response = app.statics().response_for(request.path());
-        app.charge_static();
+        let response = ctx.app.statics().response_for(request.path());
+        ctx.app.charge_static();
         return (response, RequestKind::Static);
     }
-    let Some((route, captures)) = app.route(request.path()) else {
-        stats.errors.increment();
+    let Some((route, captures)) = ctx.app.route(request.path()) else {
+        ctx.stats.errors.increment();
         return (
             Response::error(StatusCode::NOT_FOUND),
             RequestKind::QuickDynamic,
@@ -183,7 +249,7 @@ fn process_request(
     };
     // Classify from history *before* this request, mirroring the staged
     // server's dispatch-time decision.
-    let class = tracker.classify(&route.name);
+    let class = ctx.tracker.classify(&route.name);
     let kind = match class {
         RequestClass::Quick => RequestKind::QuickDynamic,
         RequestClass::Lengthy => RequestKind::LengthyDynamic,
@@ -196,25 +262,31 @@ fn process_request(
         merged = merge_captures(request, &captures);
         &merged
     };
-    let outcome = run_handler(route, request, db_conn, stats);
+    let outcome = run_handler_with_slot(route, request, slot, &ctx.stats);
     // Data-generation time excludes rendering, as in the staged model.
-    tracker.record(&route.name, started.elapsed());
+    ctx.tracker.record(&route.name, started.elapsed());
     let response = match outcome {
         Ok(PageOutcome::Body(resp)) => resp,
         Ok(PageOutcome::Template { name, context }) => {
-            match app.templates().render(&name, &context) {
+            match ctx.app.templates().render(&name, &context) {
                 Ok(html) => {
-                    app.charge_render(html.len());
+                    ctx.app.charge_render(html.len());
                     Response::html(html)
                 }
                 Err(_) => {
-                    stats.errors.increment();
+                    ctx.stats.errors.increment();
                     Response::error(StatusCode::INTERNAL_SERVER_ERROR)
                 }
             }
         }
+        Err(e) if e.is_unavailable() => {
+            // Transient resource failure (dead connection, starved
+            // pool): 503, retryable — not the 500 a handler bug gets.
+            ctx.stats.errors.increment();
+            overload_response(ctx.retry_after)
+        }
         Err(_) => {
-            stats.errors.increment();
+            ctx.stats.errors.increment();
             Response::error(StatusCode::INTERNAL_SERVER_ERROR)
         }
     };
@@ -223,10 +295,7 @@ fn process_request(
 
 /// Merges pattern captures into the request's parameter list (captures
 /// are appended, so query parameters of the same name win).
-pub(crate) fn merge_captures(
-    request: &Request,
-    captures: &staged_http::RouteParams,
-) -> Request {
+pub(crate) fn merge_captures(request: &Request, captures: &staged_http::RouteParams) -> Request {
     let mut merged = request.clone();
     merged
         .params
@@ -249,4 +318,32 @@ pub(crate) fn run_handler(
             Err(AppError::handler("handler panicked"))
         }
     }
+}
+
+/// Runs a route handler through the worker's [`DbSlot`]: a request that
+/// fails because the slot's connection died is retried **once** on a
+/// freshly checked-out connection; pool starvation (and a second loss)
+/// surfaces as [`AppError::Unavailable`] for a `503`.
+pub(crate) fn run_handler_with_slot(
+    route: &crate::app::Route,
+    request: &Request,
+    slot: &mut DbSlot,
+    stats: &ServerStats,
+) -> Result<PageOutcome, AppError> {
+    for attempt in 0..2 {
+        let Some(db_conn) = slot.conn() else {
+            stats.pool_starved.increment();
+            return Err(AppError::Unavailable("database pool starved".into()));
+        };
+        let result = run_handler(route, request, db_conn, stats);
+        match &result {
+            Err(e) if e.is_unavailable() && attempt == 0 => {
+                // The connection died mid-request; discard it and retry
+                // on a fresh one.
+                slot.invalidate();
+            }
+            _ => return result,
+        }
+    }
+    unreachable!("the second attempt always returns");
 }

@@ -1,5 +1,7 @@
 //! Server configuration.
 
+use crate::overload::ListenerChaos;
+use staged_db::FaultPlan;
 use staged_http::ParseLimits;
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -76,6 +78,49 @@ pub struct ServerConfig {
     /// Average render time above which a template is *lengthy* (only
     /// used when `split_render` is on).
     pub render_cutoff: Duration,
+    /// Multiplier sizing each stage's bounded queue from its pool width
+    /// (`cap = workers × queue_factor`) when no explicit cap is set.
+    /// Generous by default so the paper-reproduction runs never shed;
+    /// shrink it (or set explicit per-stage caps) to exercise overload
+    /// control.
+    pub queue_factor: usize,
+    /// Explicit bound for the header queue (accepted connections
+    /// waiting to be parsed); overrides `queue_factor`.
+    pub header_queue_cap: Option<usize>,
+    /// Explicit bound for the static-request queue.
+    pub static_queue_cap: Option<usize>,
+    /// Explicit bound for the general dynamic queue.
+    pub general_queue_cap: Option<usize>,
+    /// Explicit bound for the lengthy dynamic queue.
+    pub lengthy_queue_cap: Option<usize>,
+    /// Explicit bound for the render queue(s).
+    pub render_queue_cap: Option<usize>,
+    /// Explicit bound for the baseline server's single worker queue.
+    pub baseline_queue_cap: Option<usize>,
+    /// End-to-end time budget per request, measured from the moment the
+    /// request line arrives. Stages check the remaining budget when they
+    /// dequeue work and answer `503` instead of serving requests whose
+    /// deadline already passed (no point rendering a page the client
+    /// gave up on). `None` (the default) disables deadline checking.
+    pub request_deadline: Option<Duration>,
+    /// `Retry-After` value advertised on shed (`503`) responses.
+    pub retry_after: Duration,
+    /// Socket write timeout: how long a worker blocks transmitting a
+    /// response before the connection is dropped (defends workers
+    /// against clients that stop reading). `None` waits forever.
+    pub write_timeout: Option<Duration>,
+    /// How long a dynamic worker waits to check a replacement database
+    /// connection out after its own dies mid-request.
+    pub db_acquire_timeout: Duration,
+    /// Re-checkout attempts (with backoff) before a request whose
+    /// connection died is answered `503`.
+    pub db_acquire_retries: u32,
+    /// Deterministic listener-level chaos (randomly kill or stall
+    /// accepted sockets). `None` (the default) disables it.
+    pub chaos: Option<ListenerChaos>,
+    /// Deterministic database fault plan, installed into the connection
+    /// pool at startup. `None` (the default) injects nothing.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +145,20 @@ impl Default for ServerConfig {
             read_timeout: Some(Duration::from_secs(10)),
             split_render: false,
             render_cutoff: Duration::from_millis(5),
+            queue_factor: 64,
+            header_queue_cap: None,
+            static_queue_cap: None,
+            general_queue_cap: None,
+            lengthy_queue_cap: None,
+            render_queue_cap: None,
+            baseline_queue_cap: None,
+            request_deadline: None,
+            retry_after: Duration::from_secs(1),
+            write_timeout: Some(Duration::from_secs(10)),
+            db_acquire_timeout: Duration::from_millis(500),
+            db_acquire_retries: 2,
+            chaos: None,
+            fault_plan: None,
         }
     }
 }
@@ -120,8 +179,70 @@ impl ServerConfig {
             controller_tick: Duration::from_millis(20),
             stats_bucket: Duration::from_millis(100),
             read_timeout: Some(Duration::from_millis(500)),
+            write_timeout: Some(Duration::from_millis(500)),
+            db_acquire_timeout: Duration::from_millis(50),
             ..ServerConfig::default()
         }
+    }
+
+    /// Effective bound of the header (accepted-connection) queue.
+    pub fn header_queue_bound(&self) -> usize {
+        Self::bound(
+            self.header_queue_cap,
+            self.header_workers,
+            self.queue_factor,
+        )
+    }
+
+    /// Effective bound of the static-request queue.
+    pub fn static_queue_bound(&self) -> usize {
+        Self::bound(
+            self.static_queue_cap,
+            self.static_workers,
+            self.queue_factor,
+        )
+    }
+
+    /// Effective bound of the general dynamic queue.
+    pub fn general_queue_bound(&self) -> usize {
+        Self::bound(
+            self.general_queue_cap,
+            self.general_workers,
+            self.queue_factor,
+        )
+    }
+
+    /// Effective bound of the lengthy dynamic queue.
+    pub fn lengthy_queue_bound(&self) -> usize {
+        Self::bound(
+            self.lengthy_queue_cap,
+            self.lengthy_workers,
+            self.queue_factor,
+        )
+    }
+
+    /// Effective bound of the render queue(s).
+    pub fn render_queue_bound(&self) -> usize {
+        Self::bound(
+            self.render_queue_cap,
+            self.render_workers,
+            self.queue_factor,
+        )
+    }
+
+    /// Effective bound of the baseline server's worker queue.
+    pub fn baseline_queue_bound(&self) -> usize {
+        Self::bound(
+            self.baseline_queue_cap,
+            self.baseline_workers,
+            self.queue_factor,
+        )
+    }
+
+    fn bound(explicit: Option<usize>, workers: usize, factor: usize) -> usize {
+        explicit
+            .unwrap_or_else(|| workers.saturating_mul(factor))
+            .max(1)
     }
 
     /// Validates internal consistency.
@@ -155,6 +276,10 @@ impl ServerConfig {
             "each baseline worker owns a DB connection: need at least {} connections",
             self.baseline_workers
         );
+        assert!(self.queue_factor >= 1, "queue_factor must be at least 1");
+        if let Some(chaos) = &self.chaos {
+            chaos.validate();
+        }
     }
 }
 
@@ -179,16 +304,53 @@ mod tests {
     #[test]
     #[should_panic(expected = "each dynamic worker owns a DB connection")]
     fn undersized_connection_pool_rejected() {
-        let mut c = ServerConfig::default();
-        c.db_connections = 1;
+        let c = ServerConfig {
+            db_connections: 1,
+            ..ServerConfig::default()
+        };
         c.validate();
     }
 
     #[test]
     #[should_panic(expected = "general pool must not be empty")]
     fn empty_pool_rejected() {
-        let mut c = ServerConfig::default();
-        c.general_workers = 0;
+        let c = ServerConfig {
+            general_workers: 0,
+            ..ServerConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn queue_bounds_follow_pool_widths() {
+        let c = ServerConfig::default();
+        assert_eq!(c.header_queue_bound(), c.header_workers * c.queue_factor);
+        assert_eq!(c.general_queue_bound(), c.general_workers * c.queue_factor);
+        assert_eq!(
+            c.baseline_queue_bound(),
+            c.baseline_workers * c.queue_factor
+        );
+    }
+
+    #[test]
+    fn explicit_queue_caps_override_factor() {
+        let c = ServerConfig {
+            header_queue_cap: Some(3),
+            // clamped: a bound of zero would shed everything
+            static_queue_cap: Some(0),
+            ..ServerConfig::default()
+        };
+        assert_eq!(c.header_queue_bound(), 3);
+        assert_eq!(c.static_queue_bound(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue_factor")]
+    fn zero_queue_factor_rejected() {
+        let c = ServerConfig {
+            queue_factor: 0,
+            ..ServerConfig::default()
+        };
         c.validate();
     }
 }

@@ -16,12 +16,23 @@ pub enum AppError {
     Template(String),
     /// Anything else a handler wants to report.
     Handler(String),
+    /// A transient resource failure (the worker's database connection
+    /// died, the pool is starved). Servers answer `503 Service
+    /// Unavailable` — the request may succeed on retry — instead of the
+    /// `500` the other variants get.
+    Unavailable(String),
 }
 
 impl AppError {
     /// Creates a handler error from any message.
     pub fn handler(msg: impl Into<String>) -> Self {
         AppError::Handler(msg.into())
+    }
+
+    /// `true` for transient failures that should surface as `503`
+    /// rather than `500`.
+    pub fn is_unavailable(&self) -> bool {
+        matches!(self, AppError::Unavailable(_))
     }
 }
 
@@ -31,6 +42,7 @@ impl fmt::Display for AppError {
             AppError::Db(m) => write!(f, "database error: {m}"),
             AppError::Template(m) => write!(f, "template error: {m}"),
             AppError::Handler(m) => write!(f, "handler error: {m}"),
+            AppError::Unavailable(m) => write!(f, "service unavailable: {m}"),
         }
     }
 }
@@ -39,7 +51,11 @@ impl Error for AppError {}
 
 impl From<DbError> for AppError {
     fn from(e: DbError) -> Self {
-        AppError::Db(e.to_string())
+        if e.is_connection_lost() {
+            AppError::Unavailable(e.to_string())
+        } else {
+            AppError::Db(e.to_string())
+        }
     }
 }
 
@@ -59,9 +75,14 @@ mod tests {
         assert!(e.to_string().contains("no such table: t"));
         let e: AppError = TemplateError::NotFound("x".into()).into();
         assert!(e.to_string().contains("template not found"));
-        assert_eq!(
-            AppError::handler("boom").to_string(),
-            "handler error: boom"
-        );
+        assert_eq!(AppError::handler("boom").to_string(), "handler error: boom");
+    }
+
+    #[test]
+    fn connection_loss_maps_to_unavailable() {
+        let e: AppError = DbError::ConnectionLost.into();
+        assert!(e.is_unavailable(), "lost connections are retryable: {e}");
+        let e: AppError = DbError::NoSuchTable("t".into()).into();
+        assert!(!e.is_unavailable(), "query errors stay 500s");
     }
 }

@@ -9,6 +9,22 @@ use std::sync::Arc;
 /// A gauge closure reporting a live queue length.
 pub(crate) type GaugeFn = Arc<dyn Fn() -> usize + Send + Sync>;
 
+/// A point-in-time view of one worker pool's health, for overload and
+/// fault-injection reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    /// Pool name (matches the pool's thread-name prefix).
+    pub name: String,
+    /// Jobs fully processed.
+    pub completed: u64,
+    /// Handler panics survived (the worker kept serving).
+    pub panicked: u64,
+    /// Jobs refused at submission because the bounded queue was full.
+    pub rejected: u64,
+    /// Workers currently processing a job.
+    pub busy: usize,
+}
+
 /// A running server: its address, statistics, live queue gauges, and
 /// shutdown control.
 ///
@@ -20,6 +36,7 @@ pub struct ServerHandle {
     stats: Arc<ServerStats>,
     tracker: Arc<ServiceTimeTracker>,
     gauges: Vec<(String, GaugeFn)>,
+    pools: Vec<(String, Arc<staged_pool::PoolStats>)>,
     shutdown: Option<Box<dyn FnOnce() + Send>>,
 }
 
@@ -38,6 +55,7 @@ impl ServerHandle {
         stats: Arc<ServerStats>,
         tracker: Arc<ServiceTimeTracker>,
         gauges: Vec<(String, GaugeFn)>,
+        pools: Vec<(String, Arc<staged_pool::PoolStats>)>,
         shutdown: Box<dyn FnOnce() + Send>,
     ) -> Self {
         ServerHandle {
@@ -45,6 +63,7 @@ impl ServerHandle {
             stats,
             tracker,
             gauges,
+            pools,
             shutdown: Some(shutdown),
         }
     }
@@ -92,6 +111,23 @@ impl ServerHandle {
             .find(|(n, _)| n == name)
             .map(|(_, f)| Arc::clone(f))?;
         Some(move || f())
+    }
+
+    /// Point-in-time health of every worker pool: completions, panics
+    /// survived, and capacity rejections (sheds). The baseline server
+    /// reports one pool; the staged server reports all five (six with
+    /// the render split).
+    pub fn pool_snapshots(&self) -> Vec<PoolSnapshot> {
+        self.pools
+            .iter()
+            .map(|(name, stats)| PoolSnapshot {
+                name: name.clone(),
+                completed: stats.completed.value(),
+                panicked: stats.panicked.value(),
+                rejected: stats.rejected.value(),
+                busy: usize::try_from(stats.busy.value().max(0)).unwrap_or(0),
+            })
+            .collect()
     }
 
     /// Stops accepting connections, drains all pools, and joins every

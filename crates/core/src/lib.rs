@@ -59,6 +59,7 @@ mod baseline;
 mod config;
 mod error;
 mod handle;
+mod overload;
 mod scheduler;
 mod staged;
 mod stats;
@@ -67,7 +68,8 @@ pub use app::{App, AppBuilder, PageOutcome};
 pub use baseline::BaselineServer;
 pub use config::ServerConfig;
 pub use error::AppError;
-pub use handle::ServerHandle;
+pub use handle::{PoolSnapshot, ServerHandle};
+pub use overload::{ChaosAction, ListenerChaos};
 pub use scheduler::{DynamicPoolChoice, RequestClass, ReserveController, ServiceTimeTracker};
 pub use staged::StagedServer;
-pub use stats::{RequestKind, ServerStats};
+pub use stats::{RequestKind, ServerStats, ShedPoint};

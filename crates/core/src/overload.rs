@@ -1,0 +1,270 @@
+//! Overload-control and fault-injection machinery shared by both
+//! servers: the shed (`503`) response, deterministic listener chaos,
+//! and the worker-owned database slot that survives connection death.
+
+use staged_db::{splitmix64, ConnectionPool, PooledConnection};
+use staged_http::{Response, StatusCode};
+use std::time::Duration;
+
+/// What the listener does with one accepted socket under chaos testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Hand the socket to the header stage as usual.
+    Pass,
+    /// Drop the socket immediately (simulates a client vanishing or a
+    /// network partition right after accept).
+    Kill,
+    /// Sleep in the accept loop before enqueuing (simulates an accept
+    /// hiccup: interrupt storms, a stalled accept thread).
+    Stall,
+}
+
+/// Deterministic listener-level chaos: a seeded fraction of accepted
+/// sockets is killed or stalled. The decision is a pure function of
+/// `(seed, connection sequence number)`, so a run is exactly
+/// reproducible from its seed — the same property
+/// [`staged_db::FaultPlan`] gives query faults.
+///
+/// # Examples
+///
+/// ```
+/// use staged_core::{ChaosAction, ListenerChaos};
+///
+/// let chaos = ListenerChaos::seeded(7).kill_rate(0.5);
+/// let first = chaos.decide(0);
+/// assert_eq!(first, chaos.decide(0)); // deterministic
+/// assert!(matches!(first, ChaosAction::Pass | ChaosAction::Kill));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ListenerChaos {
+    /// Seed for the per-connection decision hash.
+    pub seed: u64,
+    /// Probability an accepted socket is dropped on the floor.
+    pub kill_rate: f64,
+    /// Probability the listener stalls before enqueuing a socket.
+    pub stall_rate: f64,
+    /// How long a stall lasts.
+    pub stall: Duration,
+}
+
+impl ListenerChaos {
+    /// Creates a plan that does nothing yet (both rates zero).
+    pub fn seeded(seed: u64) -> Self {
+        ListenerChaos {
+            seed,
+            kill_rate: 0.0,
+            stall_rate: 0.0,
+            stall: Duration::from_millis(1),
+        }
+    }
+
+    /// Sets the kill probability (`[0, 1]`).
+    pub fn kill_rate(mut self, rate: f64) -> Self {
+        self.kill_rate = rate;
+        self
+    }
+
+    /// Sets the stall probability (`[0, 1]`).
+    pub fn stall_rate(mut self, rate: f64) -> Self {
+        self.stall_rate = rate;
+        self
+    }
+
+    /// Sets the stall duration.
+    pub fn stall(mut self, stall: Duration) -> Self {
+        self.stall = stall;
+        self
+    }
+
+    pub(crate) fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.kill_rate),
+            "chaos kill_rate must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.stall_rate),
+            "chaos stall_rate must be in [0, 1]"
+        );
+        assert!(
+            self.kill_rate + self.stall_rate <= 1.0,
+            "chaos kill_rate + stall_rate must not exceed 1"
+        );
+    }
+
+    /// The fate of the `conn_seq`-th accepted socket.
+    pub fn decide(&self, conn_seq: u64) -> ChaosAction {
+        let draw = splitmix64(self.seed ^ conn_seq.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let unit = (draw >> 11) as f64 / (1u64 << 53) as f64;
+        if unit < self.kill_rate {
+            ChaosAction::Kill
+        } else if unit < self.kill_rate + self.stall_rate {
+            ChaosAction::Stall
+        } else {
+            ChaosAction::Pass
+        }
+    }
+}
+
+/// The well-formed shed response: `503 Service Unavailable` with a
+/// `Retry-After` hint and `Connection: close` (a shed connection is
+/// never requeued — its next request would likely be shed too).
+pub(crate) fn overload_response(retry_after: Duration) -> Response {
+    let mut resp = Response::error(StatusCode::SERVICE_UNAVAILABLE);
+    resp.headers_mut()
+        .set("Retry-After", retry_after.as_secs().max(1).to_string());
+    resp.set_close();
+    resp
+}
+
+/// Discards whatever request bytes are still unread before a shed
+/// connection is closed. Closing a socket with unread input makes the
+/// kernel answer with `RST`, which can destroy the very `503` sitting
+/// in the client's receive path; a short lingering drain lets the
+/// client take the response and close first.
+pub(crate) fn drain_before_close(stream: &mut std::net::TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut scratch = [0u8; 1024];
+    while matches!(std::io::Read::read(stream, &mut scratch), Ok(n) if n > 0) {}
+}
+
+/// A dynamic worker's database connection slot. The paper's contract —
+/// each dynamic worker *owns* a connection for its lifetime — meets
+/// fault injection here: when the owned connection dies (
+/// [`PooledConnection::is_dead`]), the slot discards it and checks a
+/// replacement out with a bounded, backed-off wait instead of blocking
+/// the worker forever on an exhausted pool.
+pub(crate) struct DbSlot {
+    pool: ConnectionPool,
+    conn: Option<PooledConnection>,
+    acquire_timeout: Duration,
+    retries: u32,
+}
+
+impl DbSlot {
+    /// Checks the worker's initial connection out, blocking like the
+    /// original design did — at startup the pool is sized to cover
+    /// every dynamic worker, so this returns immediately.
+    pub(crate) fn new(pool: &ConnectionPool, acquire_timeout: Duration, retries: u32) -> Self {
+        DbSlot {
+            conn: Some(pool.get()),
+            pool: pool.clone(),
+            acquire_timeout,
+            retries,
+        }
+    }
+
+    /// The live connection, replacing a dead one if needed. Returns
+    /// `None` when the pool stays starved through every retry — the
+    /// request should be answered `503`, not block the stage.
+    pub(crate) fn conn(&mut self) -> Option<&PooledConnection> {
+        if self.conn.as_ref().is_some_and(|c| c.is_dead()) {
+            self.conn = None;
+        }
+        if self.conn.is_none() {
+            for attempt in 0..=self.retries {
+                if attempt > 0 {
+                    std::thread::sleep(Duration::from_millis(2u64 << attempt.min(6)));
+                }
+                if let Some(fresh) = self.pool.get_timeout(self.acquire_timeout) {
+                    self.conn = Some(fresh);
+                    break;
+                }
+            }
+        }
+        self.conn.as_ref()
+    }
+
+    /// Discards the held connection so the next [`DbSlot::conn`] call
+    /// checks a fresh one out.
+    pub(crate) fn invalidate(&mut self) {
+        self.conn = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staged_db::Database;
+    use std::sync::Arc;
+
+    #[test]
+    fn chaos_is_deterministic_and_rate_accurate() {
+        let chaos = ListenerChaos::seeded(42).kill_rate(0.3).stall_rate(0.2);
+        chaos.validate();
+        let n = 20_000u64;
+        let (mut kills, mut stalls) = (0u64, 0u64);
+        for seq in 0..n {
+            let action = chaos.decide(seq);
+            assert_eq!(action, chaos.decide(seq));
+            match action {
+                ChaosAction::Kill => kills += 1,
+                ChaosAction::Stall => stalls += 1,
+                ChaosAction::Pass => {}
+            }
+        }
+        let kill_frac = kills as f64 / n as f64;
+        let stall_frac = stalls as f64 / n as f64;
+        assert!((kill_frac - 0.3).abs() < 0.02, "kill fraction {kill_frac}");
+        assert!(
+            (stall_frac - 0.2).abs() < 0.02,
+            "stall fraction {stall_frac}"
+        );
+    }
+
+    #[test]
+    fn zero_rates_always_pass() {
+        let chaos = ListenerChaos::seeded(1);
+        for seq in 0..1_000 {
+            assert_eq!(chaos.decide(seq), ChaosAction::Pass);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "kill_rate")]
+    fn out_of_range_rate_rejected() {
+        ListenerChaos::seeded(0).kill_rate(1.5).validate();
+    }
+
+    #[test]
+    fn shed_response_is_wellformed() {
+        let resp = overload_response(Duration::from_secs(2));
+        assert_eq!(resp.status(), StatusCode::SERVICE_UNAVAILABLE);
+        assert_eq!(resp.headers().get("retry-after"), Some("2"));
+        assert_eq!(resp.headers().get("connection"), Some("close"));
+        let bytes = resp.to_bytes();
+        assert!(bytes.starts_with(b"HTTP/1.1 503 "));
+    }
+
+    #[test]
+    fn shed_retry_after_is_at_least_one_second() {
+        let resp = overload_response(Duration::from_millis(10));
+        assert_eq!(resp.headers().get("retry-after"), Some("1"));
+    }
+
+    #[test]
+    fn db_slot_replaces_dead_connection() {
+        let pool = ConnectionPool::new(Arc::new(Database::new()), 2);
+        let mut slot = DbSlot::new(&pool, Duration::from_millis(50), 1);
+        assert!(!slot.conn().expect("initial checkout").is_dead());
+        slot.invalidate();
+        assert!(
+            !slot.conn().expect("re-checkout").is_dead(),
+            "the slot recovers a live connection"
+        );
+    }
+
+    #[test]
+    fn db_slot_reports_starvation() {
+        let pool = ConnectionPool::new(Arc::new(Database::new()), 1);
+        let held = pool.get(); // exhaust the pool
+        let mut slot = DbSlot {
+            pool: pool.clone(),
+            conn: None,
+            acquire_timeout: Duration::from_millis(10),
+            retries: 1,
+        };
+        assert!(slot.conn().is_none(), "starved pool must not block forever");
+        drop(held);
+        assert!(slot.conn().is_some(), "recovers once the pool frees up");
+    }
+}

@@ -1,25 +1,40 @@
 //! The paper's modified server: one listener, five thread pools
 //! (Figure 5), database connections pinned to dynamic workers only.
+//!
+//! Every inter-stage queue is **bounded** and every handoff is a
+//! non-blocking `try_push`: when a downstream stage saturates, the
+//! upstream stage sheds the request with a well-formed `503` +
+//! `Retry-After` instead of queuing unboundedly (or, worse, blocking
+//! the accept loop). Static requests keep flowing while the dynamic
+//! stages saturate — graceful degradation rather than meltdown.
 
 use crate::app::{App, PageOutcome};
-use crate::baseline::run_handler;
+use crate::baseline::run_handler_with_slot;
 use crate::config::ServerConfig;
 use crate::handle::{GaugeFn, ServerHandle};
+use crate::overload::{overload_response, ChaosAction, DbSlot};
 use crate::scheduler::{RequestClass, ReserveController, ServiceTimeTracker};
-use crate::stats::{RequestKind, ServerStats};
-use staged_db::{ConnectionPool, Database, PooledConnection};
+use crate::stats::{RequestKind, ServerStats, ShedPoint};
+use staged_db::{ConnectionPool, Database};
 use staged_http::{
     Connection, HeaderMap, HttpError, Method, Request, RequestLine, Response, StatusCode,
 };
-use staged_pool::{PoolConfig, SyncQueue, WorkerPool};
+use staged_pool::{PoolConfig, PoolStats, PushError, SyncQueue, WorkerPool};
 use staged_templates::Context;
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 type Conn = Connection<TcpStream>;
+
+/// An accepted (or requeued keep-alive) connection waiting for a header
+/// worker, stamped so queue wait counts against the request deadline.
+struct TimedConn {
+    conn: Conn,
+    arrived: Instant,
+}
 
 /// A request handed from the header pool to the static pool: the header
 /// workers only parse the first line for static resources ("we let the
@@ -28,6 +43,8 @@ type Conn = Connection<TcpStream>;
 struct StaticJob {
     conn: Conn,
     line: RequestLine,
+    /// Absolute deadline, set when `request_deadline` is configured.
+    deadline: Option<Instant>,
 }
 
 /// A fully parsed dynamic request, dispatched to the general or lengthy
@@ -39,6 +56,7 @@ struct DynJob {
     /// unrouted paths (404).
     page: Option<String>,
     kind: RequestKind,
+    deadline: Option<Instant>,
 }
 
 /// An unrendered template on its way to the render pool — the payload
@@ -50,6 +68,7 @@ struct RenderJob {
     name: String,
     context: Context,
     kind: RequestKind,
+    deadline: Option<Instant>,
 }
 
 struct Shared {
@@ -57,7 +76,7 @@ struct Shared {
     stats: Arc<ServerStats>,
     tracker: Arc<ServiceTimeTracker>,
     controller: Arc<ReserveController>,
-    header_q: Arc<SyncQueue<Conn>>,
+    header_q: Arc<SyncQueue<TimedConn>>,
     static_q: Arc<SyncQueue<StaticJob>>,
     general_q: Arc<SyncQueue<DynJob>>,
     lengthy_q: Arc<SyncQueue<DynJob>>,
@@ -68,14 +87,34 @@ struct Shared {
     /// Per-template render-time tracker for the render split.
     render_tracker: Arc<ServiceTimeTracker>,
     general_size: usize,
-    general_stats: Arc<staged_pool::PoolStats>,
+    /// Pool-stats handles, held so stage handoffs (raw queue pushes,
+    /// not `WorkerPool::try_submit`) can still charge capacity
+    /// rejections to the receiving pool.
+    header_stats: Arc<PoolStats>,
+    static_stats: Arc<PoolStats>,
+    general_stats: Arc<PoolStats>,
+    lengthy_stats: Arc<PoolStats>,
+    render_stats: Arc<PoolStats>,
+    render_lengthy_stats: Option<Arc<PoolStats>>,
+    /// Per-request time budget (`None` disables deadline checking).
+    budget: Option<Duration>,
+    /// `Retry-After` advertised on shed responses.
+    retry_after: Duration,
 }
 
 impl Shared {
     /// The live `t_spare`: idle threads in the general dynamic pool.
+    ///
+    /// Jobs already queued but not yet popped count as committed — the
+    /// busy gauge alone lags dispatch, so a burst of lengthy requests
+    /// arriving at an idle server would all read a stale spare count
+    /// and spill onto the general pool together, starving the quick
+    /// traffic the reserve exists to protect.
     fn tspare(&self) -> usize {
         let busy = usize::try_from(self.general_stats.busy.value().max(0)).unwrap_or(0);
-        self.general_size.saturating_sub(busy)
+        self.general_size
+            .saturating_sub(busy)
+            .saturating_sub(self.general_q.len())
     }
 
     /// Sends a response (honouring `HEAD`) and either requeues the
@@ -94,8 +133,55 @@ impl Shared {
         }
         self.stats.record_completion(kind);
         if keep_alive {
-            let _ = self.header_q.push(conn);
+            let timed = TimedConn {
+                conn,
+                arrived: Instant::now(),
+            };
+            if let Err(PushError::Full(_)) = self.header_q.try_push(timed) {
+                // The parse stage is saturated; dropping an idle
+                // keep-alive connection is cheaper than any request it
+                // might send later.
+                self.header_stats.rejected.increment();
+                self.stats.record_shed(ShedPoint::KeepAlive);
+            }
         }
+    }
+
+    /// Sheds a request with the well-formed `503` and closes the
+    /// connection. Sheds are not completions: goodput counts only
+    /// requests actually served.
+    fn shed(&self, mut conn: Conn, method: Method, point: ShedPoint) {
+        self.stats.record_shed(point);
+        if conn
+            .send_for_method(method, &overload_response(self.retry_after))
+            .is_err()
+        {
+            self.stats.dropped_connections.increment();
+        } else {
+            // The request may be partly (or wholly) unread; drain it so
+            // closing doesn't RST the 503 away.
+            crate::overload::drain_before_close(conn.stream_mut());
+        }
+    }
+
+    /// Answers a request whose deadline already passed with a `503` and
+    /// closes the connection (the client has almost certainly given up;
+    /// serving it would waste a saturated stage's time).
+    fn expire(&self, mut conn: Conn, method: Method) {
+        self.stats.deadline_expired.increment();
+        if conn
+            .send_for_method(method, &overload_response(self.retry_after))
+            .is_err()
+        {
+            self.stats.dropped_connections.increment();
+        } else {
+            crate::overload::drain_before_close(conn.stream_mut());
+        }
+    }
+
+    /// `true` when a stamped deadline has passed.
+    fn expired(deadline: Option<Instant>) -> bool {
+        deadline.is_some_and(|d| Instant::now() > d)
     }
 }
 
@@ -104,7 +190,7 @@ impl Shared {
 /// Request lifecycle:
 ///
 /// 1. the **listener** accepts a connection and queues it for header
-///    parsing;
+///    parsing (shedding with `503` when the header queue is full);
 /// 2. a **header-parsing** worker reads the request line; static
 ///    requests go to the static pool immediately, dynamic requests get
 ///    their remaining headers, query string, and body parsed *here* —
@@ -135,11 +221,7 @@ impl StagedServer {
     ///
     /// Panics if `config` is inconsistent (see
     /// [`ServerConfig::validate`]).
-    pub fn start(
-        config: ServerConfig,
-        app: App,
-        db: Arc<Database>,
-    ) -> io::Result<ServerHandle> {
+    pub fn start(config: ServerConfig, app: App, db: Arc<Database>) -> io::Result<ServerHandle> {
         config.validate();
         let listener = TcpListener::bind(config.addr)?;
         let addr = listener.local_addr()?;
@@ -150,20 +232,27 @@ impl StagedServer {
             config.max_reserve,
         ));
         let connections = ConnectionPool::new(db, config.db_connections);
+        connections.set_fault_plan(config.fault_plan);
 
-        let header_q = Arc::new(SyncQueue::<Conn>::unbounded());
-        let static_q = Arc::new(SyncQueue::<StaticJob>::unbounded());
-        let general_q = Arc::new(SyncQueue::<DynJob>::unbounded());
-        let lengthy_q = Arc::new(SyncQueue::<DynJob>::unbounded());
-        let render_q = Arc::new(SyncQueue::<RenderJob>::unbounded());
+        let header_q = Arc::new(SyncQueue::<TimedConn>::bounded(config.header_queue_bound()));
+        let static_q = Arc::new(SyncQueue::<StaticJob>::bounded(config.static_queue_bound()));
+        let general_q = Arc::new(SyncQueue::<DynJob>::bounded(config.general_queue_bound()));
+        let lengthy_q = Arc::new(SyncQueue::<DynJob>::bounded(config.lengthy_queue_bound()));
+        let render_q = Arc::new(SyncQueue::<RenderJob>::bounded(config.render_queue_bound()));
         let render_lengthy_q = config
             .split_render
-            .then(|| Arc::new(SyncQueue::<RenderJob>::unbounded()));
+            .then(|| Arc::new(SyncQueue::<RenderJob>::bounded(config.render_queue_bound())));
         let render_tracker = Arc::new(ServiceTimeTracker::new(config.render_cutoff));
 
-        // The general pool is created first so the shared context can
-        // carry its busy-stats handle (the t_spare signal).
-        let general_pool_stats = Arc::new(staged_pool::PoolStats::default());
+        // Every pool's stats block is created up front so the shared
+        // context can charge handoff rejections to the right pool (and
+        // carry the general pool's busy gauge, the t_spare signal).
+        let header_pool_stats = Arc::new(PoolStats::default());
+        let static_pool_stats = Arc::new(PoolStats::default());
+        let general_pool_stats = Arc::new(PoolStats::default());
+        let lengthy_pool_stats = Arc::new(PoolStats::default());
+        let render_pool_stats = Arc::new(PoolStats::default());
+        let render_lengthy_pool_stats = config.split_render.then(|| Arc::new(PoolStats::default()));
         let shared = Arc::new(Shared {
             app,
             stats: Arc::clone(&stats),
@@ -177,33 +266,44 @@ impl StagedServer {
             render_lengthy_q: render_lengthy_q.clone(),
             render_tracker: Arc::clone(&render_tracker),
             general_size: config.general_workers,
+            header_stats: Arc::clone(&header_pool_stats),
+            static_stats: Arc::clone(&static_pool_stats),
             general_stats: Arc::clone(&general_pool_stats),
+            lengthy_stats: Arc::clone(&lengthy_pool_stats),
+            render_stats: Arc::clone(&render_pool_stats),
+            render_lengthy_stats: render_lengthy_pool_stats.clone(),
+            budget: config.request_deadline,
+            retry_after: config.retry_after,
         });
 
+        let db_acquire_timeout = config.db_acquire_timeout;
+        let db_acquire_retries = config.db_acquire_retries;
         let s = Arc::clone(&shared);
         let general_pool = WorkerPool::with_parts(
             Arc::clone(&general_q),
             Arc::clone(&general_pool_stats),
             PoolConfig::new("general-dynamic", config.general_workers),
-            |_| connections.get(),
-            move |db_conn: &mut PooledConnection, job: DynJob| {
-                dynamic_worker(&s, db_conn, job);
+            |_| DbSlot::new(&connections, db_acquire_timeout, db_acquire_retries),
+            move |slot: &mut DbSlot, job: DynJob| {
+                dynamic_worker(&s, slot, job);
             },
         );
 
         let s = Arc::clone(&shared);
-        let lengthy_pool = WorkerPool::with_queue(
+        let lengthy_pool = WorkerPool::with_parts(
             Arc::clone(&lengthy_q),
+            Arc::clone(&lengthy_pool_stats),
             PoolConfig::new("lengthy-dynamic", config.lengthy_workers),
-            |_| connections.get(),
-            move |db_conn: &mut PooledConnection, job: DynJob| {
-                dynamic_worker(&s, db_conn, job);
+            |_| DbSlot::new(&connections, db_acquire_timeout, db_acquire_retries),
+            move |slot: &mut DbSlot, job: DynJob| {
+                dynamic_worker(&s, slot, job);
             },
         );
 
         let s = Arc::clone(&shared);
-        let static_pool = WorkerPool::with_queue(
+        let static_pool = WorkerPool::with_parts(
             Arc::clone(&static_q),
+            Arc::clone(&static_pool_stats),
             PoolConfig::new("static", config.static_workers),
             |_| (),
             move |_, job: StaticJob| static_worker(&s, job),
@@ -216,19 +316,22 @@ impl StagedServer {
         } else {
             0
         };
-        let general_render_workers =
-            (config.render_workers - lengthy_render_workers).max(1);
+        let general_render_workers = (config.render_workers - lengthy_render_workers).max(1);
         let s = Arc::clone(&shared);
-        let render_pool = WorkerPool::with_queue(
+        let render_pool = WorkerPool::with_parts(
             Arc::clone(&render_q),
+            Arc::clone(&render_pool_stats),
             PoolConfig::new("render", general_render_workers),
             |_| (),
             move |_, job: RenderJob| render_worker(&s, job),
         );
         let render_lengthy_pool = render_lengthy_q.as_ref().map(|q| {
             let s = Arc::clone(&shared);
-            WorkerPool::with_queue(
+            WorkerPool::with_parts(
                 Arc::clone(q),
+                render_lengthy_pool_stats
+                    .clone()
+                    .expect("render split stats exist with the queue"),
                 PoolConfig::new("render-lengthy", lengthy_render_workers),
                 |_| (),
                 move |_, job: RenderJob| render_worker(&s, job),
@@ -236,11 +339,12 @@ impl StagedServer {
         });
 
         let s = Arc::clone(&shared);
-        let header_pool = WorkerPool::with_queue(
+        let header_pool = WorkerPool::with_parts(
             Arc::clone(&header_q),
+            Arc::clone(&header_pool_stats),
             PoolConfig::new("header-parsing", config.header_workers),
             |_| (),
-            move |_, conn: Conn| header_worker(&s, conn),
+            move |_, timed: TimedConn| header_worker(&s, timed),
         );
 
         // Controller thread: the paper checks and modifies t_reserve
@@ -260,28 +364,62 @@ impl StagedServer {
             })
             .expect("failed to spawn controller thread");
 
-        // Listener thread.
+        // Listener thread. The enqueue is a non-blocking `try_push`:
+        // when the header queue is full the listener sheds the
+        // connection with a `503` instead of stalling the accept loop
+        // (which would just move the backlog into the kernel).
         let listener_stop = Arc::clone(&stop);
-        let listen_q = Arc::clone(&header_q);
-        let listen_stats = Arc::clone(&stats);
+        let listen_shared = Arc::clone(&shared);
+        let listen_header_stats = Arc::clone(&header_pool_stats);
         let limits = config.limits;
         let read_timeout = config.read_timeout;
+        let write_timeout = config.write_timeout;
+        let chaos = config.chaos;
         let listener_thread = std::thread::Builder::new()
             .name("staged-listener".to_string())
             .spawn(move || {
+                let mut conn_seq: u64 = 0;
                 for incoming in listener.incoming() {
                     if listener_stop.load(Ordering::Relaxed) {
                         break;
                     }
                     match incoming {
                         Ok(stream) => {
+                            let seq = conn_seq;
+                            conn_seq += 1;
+                            match chaos.map_or(ChaosAction::Pass, |c| c.decide(seq)) {
+                                ChaosAction::Pass => {}
+                                ChaosAction::Kill => {
+                                    listen_shared.stats.chaos_killed.increment();
+                                    drop(stream);
+                                    continue;
+                                }
+                                ChaosAction::Stall => {
+                                    listen_shared.stats.chaos_stalled.increment();
+                                    std::thread::sleep(chaos.expect("stall implies chaos").stall);
+                                }
+                            }
                             let _ = stream.set_read_timeout(read_timeout);
+                            let _ = stream.set_write_timeout(write_timeout);
                             let conn = Connection::with_limits(stream, limits);
-                            if listen_q.push(conn).is_err() {
-                                break;
+                            let timed = TimedConn {
+                                conn,
+                                arrived: Instant::now(),
+                            };
+                            match listen_shared.header_q.try_push(timed) {
+                                Ok(()) => {}
+                                Err(PushError::Full(timed)) => {
+                                    listen_header_stats.rejected.increment();
+                                    listen_shared.shed(
+                                        timed.conn,
+                                        Method::Get,
+                                        ShedPoint::Listener,
+                                    );
+                                }
+                                Err(PushError::Closed(_)) => break,
                             }
                         }
-                        Err(_) => listen_stats.dropped_connections.increment(),
+                        Err(_) => listen_shared.stats.dropped_connections.increment(),
                     }
                 }
             })
@@ -308,6 +446,17 @@ impl StagedServer {
             gauges.push(gauge("render-lengthy", Arc::clone(q)));
         }
 
+        let mut pools: Vec<(String, Arc<PoolStats>)> = vec![
+            ("header-parsing".to_string(), header_pool_stats),
+            ("static".to_string(), static_pool_stats),
+            ("general-dynamic".to_string(), general_pool_stats),
+            ("lengthy-dynamic".to_string(), lengthy_pool_stats),
+            ("render".to_string(), render_pool_stats),
+        ];
+        if let Some(stats) = &render_lengthy_pool_stats {
+            pools.push(("render-lengthy".to_string(), Arc::clone(stats)));
+        }
+
         let shutdown = Box::new(move || {
             stop.store(true, Ordering::Relaxed);
             let _ = TcpStream::connect(addr);
@@ -324,7 +473,9 @@ impl StagedServer {
             }
         });
 
-        Ok(ServerHandle::new(addr, stats, tracker, gauges, shutdown))
+        Ok(ServerHandle::new(
+            addr, stats, tracker, gauges, pools, shutdown,
+        ))
     }
 }
 
@@ -345,7 +496,14 @@ fn keep_alive_for(line: &RequestLine, headers: &HeaderMap) -> bool {
 }
 
 /// Stage 2a: the header-parsing worker.
-fn header_worker(shared: &Shared, mut conn: Conn) {
+fn header_worker(shared: &Shared, timed: TimedConn) {
+    let TimedConn { mut conn, arrived } = timed;
+    // Queue-wait check: a connection that waited longer than the whole
+    // request budget is answered 503 before any parsing.
+    if shared.budget.is_some_and(|b| arrived.elapsed() > b) {
+        shared.expire(conn, Method::Get);
+        return;
+    }
     let line = match conn.read_request_line() {
         Ok(l) => l,
         Err(HttpError::ConnectionClosed { clean: true }) => return,
@@ -361,11 +519,23 @@ fn header_worker(shared: &Shared, mut conn: Conn) {
             return;
         }
     };
+    // The per-request clock starts *after* the request line arrives, so
+    // keep-alive think time (a connection idling between requests) does
+    // not count against the budget.
+    let deadline = shared.budget.map(|b| Instant::now() + b);
 
     if line.is_static() {
         // Static requests carry their unparsed headers to the static
         // pool (paper §3.2).
-        let _ = shared.static_q.push(StaticJob { conn, line });
+        let method = line.method;
+        if let Err(PushError::Full(job)) = shared.static_q.try_push(StaticJob {
+            conn,
+            line,
+            deadline,
+        }) {
+            shared.static_stats.rejected.increment();
+            shared.shed(job.conn, method, ShedPoint::StaticStage);
+        }
         return;
     }
 
@@ -403,19 +573,25 @@ fn header_worker(shared: &Shared, mut conn: Conn) {
         RequestClass::Quick => RequestKind::QuickDynamic,
         RequestClass::Lengthy => RequestKind::LengthyDynamic,
     };
+    let method = request.method();
     let job = DynJob {
         conn,
         request,
         page,
         kind,
+        deadline,
     };
-    match shared.controller.dispatch(class, shared.tspare()) {
+    let (queue, stats, point) = match shared.controller.dispatch(class, shared.tspare()) {
         crate::scheduler::DynamicPoolChoice::General => {
-            let _ = shared.general_q.push(job);
+            (&shared.general_q, &shared.general_stats, ShedPoint::General)
         }
         crate::scheduler::DynamicPoolChoice::Lengthy => {
-            let _ = shared.lengthy_q.push(job);
+            (&shared.lengthy_q, &shared.lengthy_stats, ShedPoint::Lengthy)
         }
+    };
+    if let Err(PushError::Full(job)) = queue.try_push(job) {
+        stats.rejected.increment();
+        shared.shed(job.conn, method, point);
     }
 }
 
@@ -432,7 +608,15 @@ fn fail_parse(shared: &Shared, mut conn: Conn, e: HttpError) {
 
 /// Stage 2b: the static-request worker (parses its own headers).
 fn static_worker(shared: &Shared, job: StaticJob) {
-    let StaticJob { mut conn, line } = job;
+    let StaticJob {
+        mut conn,
+        line,
+        deadline,
+    } = job;
+    if Shared::expired(deadline) {
+        shared.expire(conn, line.method);
+        return;
+    }
     let headers = match conn.read_remaining_headers() {
         Ok(h) => h,
         Err(e) => {
@@ -446,19 +630,32 @@ fn static_worker(shared: &Shared, job: StaticJob) {
     if response.status() == StatusCode::NOT_FOUND {
         shared.stats.errors.increment();
     }
-    shared.finish(conn, line.method, &response, keep_alive, RequestKind::Static);
+    shared.finish(
+        conn,
+        line.method,
+        &response,
+        keep_alive,
+        RequestKind::Static,
+    );
 }
 
-/// Stage 3: the dynamic-request worker (owns a database connection).
-fn dynamic_worker(shared: &Shared, db_conn: &PooledConnection, job: DynJob) {
+/// Stage 3: the dynamic-request worker (owns a database connection
+/// slot — the connection itself can die under fault injection and be
+/// replaced; see [`DbSlot`]).
+fn dynamic_worker(shared: &Shared, slot: &mut DbSlot, job: DynJob) {
     let DynJob {
         conn,
         request,
         page,
         kind,
+        deadline,
     } = job;
     let keep_alive = request.keep_alive();
     let method = request.method();
+    if Shared::expired(deadline) {
+        shared.expire(conn, method);
+        return;
+    }
     let Some(page) = page else {
         shared.stats.errors.increment();
         shared.finish(
@@ -491,28 +688,36 @@ fn dynamic_worker(shared: &Shared, db_conn: &PooledConnection, job: DynJob) {
         merged = crate::baseline::merge_captures(&request, &captures);
         &merged
     };
-    match run_handler(route, request, db_conn, &shared.stats) {
+    match run_handler_with_slot(route, request, slot, &shared.stats) {
         Ok(PageOutcome::Template { name, context }) => {
             shared.tracker.record(&page, started.elapsed());
             // The §3.3 extension: templates whose average render time
             // is lengthy go to the dedicated lengthy-render pool.
-            let target = match &shared.render_lengthy_q {
-                Some(q)
-                    if shared.render_tracker.classify(&name)
-                        == crate::scheduler::RequestClass::Lengthy =>
-                {
-                    q
-                }
-                _ => &shared.render_q,
+            let lengthy_render = shared.render_lengthy_q.is_some()
+                && shared.render_tracker.classify(&name) == crate::scheduler::RequestClass::Lengthy;
+            let (target, target_stats) = if lengthy_render {
+                (
+                    shared.render_lengthy_q.as_ref().expect("checked above"),
+                    shared
+                        .render_lengthy_stats
+                        .as_ref()
+                        .expect("stats exist with the queue"),
+                )
+            } else {
+                (&shared.render_q, &shared.render_stats)
             };
-            let _ = target.push(RenderJob {
+            if let Err(PushError::Full(job)) = target.try_push(RenderJob {
                 conn,
                 keep_alive,
                 method,
                 name,
                 context,
                 kind,
-            });
+                deadline,
+            }) {
+                target_stats.rejected.increment();
+                shared.shed(job.conn, method, ShedPoint::Render);
+            }
         }
         Ok(PageOutcome::Body(response)) => {
             // Backward compatibility: a pre-rendered page is sent from
@@ -520,6 +725,19 @@ fn dynamic_worker(shared: &Shared, db_conn: &PooledConnection, job: DynJob) {
             // cannot separate.
             shared.tracker.record(&page, started.elapsed());
             shared.finish(conn, method, &response, keep_alive, kind);
+        }
+        Err(e) if e.is_unavailable() => {
+            // Transient resource failure (dead connection, starved
+            // pool): 503, retryable — not the 500 a handler bug gets.
+            shared.tracker.record(&page, started.elapsed());
+            shared.stats.errors.increment();
+            shared.finish(
+                conn,
+                method,
+                &overload_response(shared.retry_after),
+                false,
+                kind,
+            );
         }
         Err(_) => {
             shared.tracker.record(&page, started.elapsed());
@@ -544,7 +762,12 @@ fn render_worker(shared: &Shared, job: RenderJob) {
         name,
         context,
         kind,
+        deadline,
     } = job;
+    if Shared::expired(deadline) {
+        shared.expire(conn, method);
+        return;
+    }
     let render_started = Instant::now();
     let response = match shared.app.templates().render(&name, &context) {
         Ok(html) => {
@@ -556,6 +779,8 @@ fn render_worker(shared: &Shared, job: RenderJob) {
             Response::error(StatusCode::INTERNAL_SERVER_ERROR)
         }
     };
-    shared.render_tracker.record(&name, render_started.elapsed());
+    shared
+        .render_tracker
+        .record(&name, render_started.elapsed());
     shared.finish(conn, method, &response, keep_alive, kind);
 }

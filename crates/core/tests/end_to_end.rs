@@ -1,8 +1,6 @@
 //! End-to-end tests driving both servers over real TCP.
 
-use staged_core::{
-    App, BaselineServer, PageOutcome, ServerConfig, ServerHandle, StagedServer,
-};
+use staged_core::{App, BaselineServer, PageOutcome, ServerConfig, ServerHandle, StagedServer};
 use staged_db::{Database, DbValue};
 use staged_http::{fetch, Method, Response, StaticFiles, StatusCode};
 use staged_templates::{Context, TemplateStore, Value};
@@ -73,7 +71,11 @@ fn demo_db() -> Arc<Database> {
     ] {
         db.execute(
             "INSERT INTO book (id, title, subject) VALUES (?, ?, ?)",
-            &[DbValue::Int(id), DbValue::from(title), DbValue::from(subject)],
+            &[
+                DbValue::Int(id),
+                DbValue::from(title),
+                DbValue::from(subject),
+            ],
         )
         .unwrap();
     }
@@ -85,16 +87,14 @@ fn demo_db() -> Arc<Database> {
 /// counter moves; wait for the counters to settle.
 fn settle(server: &ServerHandle, expected_total: u64) {
     let deadline = std::time::Instant::now() + Duration::from_secs(2);
-    while server.stats().total_completed() < expected_total
-        && std::time::Instant::now() < deadline
+    while server.stats().total_completed() < expected_total && std::time::Instant::now() < deadline
     {
         std::thread::sleep(Duration::from_millis(2));
     }
 }
 
 fn each_server(test: impl Fn(&ServerHandle, &str)) {
-    let baseline =
-        BaselineServer::start(ServerConfig::small(), demo_app(), demo_db()).unwrap();
+    let baseline = BaselineServer::start(ServerConfig::small(), demo_app(), demo_db()).unwrap();
     test(&baseline, "baseline");
     baseline.shutdown();
 
@@ -124,7 +124,11 @@ fn serves_static_files() {
     each_server(|server, which| {
         let resp = fetch(server.addr(), Method::Get, "/img/flowers.gif", &[]).unwrap();
         assert_eq!(resp.status, StatusCode::OK, "{which}");
-        assert_eq!(resp.headers.get("content-type"), Some("image/gif"), "{which}");
+        assert_eq!(
+            resp.headers.get("content-type"),
+            Some("image/gif"),
+            "{which}"
+        );
         assert_eq!(resp.body, b"GIF89a-flowers", "{which}");
     });
 }
@@ -211,7 +215,11 @@ fn concurrent_clients_are_all_served() {
             .map(|i| {
                 std::thread::spawn(move || {
                     for _ in 0..5 {
-                        let path = if i % 2 == 0 { "/books" } else { "/img/flowers.gif" };
+                        let path = if i % 2 == 0 {
+                            "/books"
+                        } else {
+                            "/img/flowers.gif"
+                        };
                         let resp = fetch(addr, Method::Get, path, &[]).unwrap();
                         assert!(resp.status.is_success());
                     }
@@ -230,10 +238,15 @@ fn concurrent_clients_are_all_served() {
 fn staged_gauges_exposed() {
     let staged = StagedServer::start(ServerConfig::small(), demo_app(), demo_db()).unwrap();
     let names = staged.gauge_names();
-    for expected in ["header", "static", "general", "lengthy", "render", "treserve", "tspare"] {
+    for expected in [
+        "header", "static", "general", "lengthy", "render", "treserve", "tspare",
+    ] {
         assert!(names.contains(&expected), "missing gauge {expected}");
     }
-    assert_eq!(staged.gauge("treserve"), Some(ServerConfig::small().min_reserve));
+    assert_eq!(
+        staged.gauge("treserve"),
+        Some(ServerConfig::small().min_reserve)
+    );
     assert!(staged.gauge("tspare").unwrap() <= ServerConfig::small().general_workers);
     let f = staged.gauge_fn("general").unwrap();
     assert_eq!(f(), 0);
@@ -242,8 +255,7 @@ fn staged_gauges_exposed() {
 
 #[test]
 fn baseline_gauge_exposed() {
-    let baseline =
-        BaselineServer::start(ServerConfig::small(), demo_app(), demo_db()).unwrap();
+    let baseline = BaselineServer::start(ServerConfig::small(), demo_app(), demo_db()).unwrap();
     assert_eq!(baseline.gauge_names(), vec!["worker"]);
     assert_eq!(baseline.gauge("worker"), Some(0));
     baseline.shutdown();
@@ -255,8 +267,8 @@ fn shutdown_is_clean_and_idempotent_via_drop() {
     let addr = server.addr();
     fetch(addr, Method::Get, "/books", &[]).unwrap();
     drop(server); // drop path also shuts down
-    // The listener is gone: connecting may succeed (OS backlog) but a
-    // request must not be answered.
+                  // The listener is gone: connecting may succeed (OS backlog) but a
+                  // request must not be answered.
     let result = fetch(addr, Method::Get, "/books", &[]);
     assert!(result.is_err(), "server still answering after shutdown");
 }

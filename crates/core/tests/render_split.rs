@@ -28,10 +28,7 @@ fn app_with_two_templates() -> App {
         })
         .route("/huge", "huge", |_r, _db| {
             let mut ctx = Context::new();
-            ctx.insert(
-                "xs",
-                Value::List((0..2_000).map(Value::Int).collect()),
-            );
+            ctx.insert("xs", Value::List((0..2_000).map(Value::Int).collect()));
             Ok(PageOutcome::template("huge.html", ctx))
         })
         .build()
@@ -48,9 +45,12 @@ fn config(split: bool) -> ServerConfig {
 
 #[test]
 fn split_render_exposes_lengthy_gauge_and_serves_both_classes() {
-    let server =
-        StagedServer::start(config(true), app_with_two_templates(), Arc::new(Database::new()))
-            .unwrap();
+    let server = StagedServer::start(
+        config(true),
+        app_with_two_templates(),
+        Arc::new(Database::new()),
+    )
+    .unwrap();
     assert!(server.gauge_names().contains(&"render-lengthy"));
     let addr = server.addr();
 
@@ -78,9 +78,12 @@ fn split_render_exposes_lengthy_gauge_and_serves_both_classes() {
 
 #[test]
 fn split_render_protects_quick_renders_from_slow_ones() {
-    let server =
-        StagedServer::start(config(true), app_with_two_templates(), Arc::new(Database::new()))
-            .unwrap();
+    let server = StagedServer::start(
+        config(true),
+        app_with_two_templates(),
+        Arc::new(Database::new()),
+    )
+    .unwrap();
     let addr = server.addr();
     // Classify /huge as render-lengthy.
     fetch(addr, Method::Get, "/huge", &[]).unwrap();

@@ -14,6 +14,14 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
+/// Snapshot-writer view of one table: `(name, type, is_pk, _)` per
+/// column, the secondarily indexed column names, and all live rows.
+pub(crate) type TableContents = (
+    Vec<(String, String, bool, ())>,
+    std::collections::HashSet<String>,
+    Vec<Vec<DbValue>>,
+);
+
 /// The result of executing a statement.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct QueryResult {
@@ -215,14 +223,7 @@ impl Database {
     /// Schema facts and a consistent row copy of one table, for the
     /// snapshot writer: `(name, type, is_pk, _)` per column, the set of
     /// secondarily indexed column names, and all live rows.
-    pub(crate) fn table_contents(
-        &self,
-        name: &str,
-    ) -> (
-        Vec<(String, String, bool, ())>,
-        std::collections::HashSet<String>,
-        Vec<Vec<DbValue>>,
-    ) {
+    pub(crate) fn table_contents(&self, name: &str) -> TableContents {
         let Ok(entry) = self.entry(name) else {
             return (Vec::new(), Default::default(), Vec::new());
         };
@@ -436,7 +437,10 @@ mod tests {
     fn point_select_uses_pk_index() {
         let db = bookstore();
         let r = db
-            .execute("SELECT i_title FROM item WHERE i_id = ?", &[DbValue::Int(3)])
+            .execute(
+                "SELECT i_title FROM item WHERE i_id = ?",
+                &[DbValue::Int(3)],
+            )
             .unwrap();
         assert_eq!(r.rows, vec![vec![DbValue::from("Excession")]]);
         assert_eq!(r.rows_scanned, 1, "PK lookup should scan exactly one row");
@@ -482,7 +486,10 @@ mod tests {
             .unwrap();
         assert_eq!(r.columns, vec!["i_title", "a_name"]);
         assert_eq!(r.rows.len(), 3);
-        assert_eq!(r.rows[2], vec![DbValue::from("Excession"), DbValue::from("Banks")]);
+        assert_eq!(
+            r.rows[2],
+            vec![DbValue::from("Excession"), DbValue::from("Banks")]
+        );
     }
 
     #[test]
@@ -511,7 +518,11 @@ mod tests {
             .unwrap();
         assert_eq!(
             r.rows,
-            vec![vec![DbValue::Int(4), DbValue::Float(7.5), DbValue::Float(20.0)]]
+            vec![vec![
+                DbValue::Int(4),
+                DbValue::Float(7.5),
+                DbValue::Float(20.0)
+            ]]
         );
         // Aggregate over empty set yields one row.
         let r = db
@@ -532,7 +543,10 @@ mod tests {
         assert_eq!(r.rows, vec![vec![DbValue::Int(1)], vec![DbValue::Int(3)]]);
         // Parameterized LIMIT.
         let r = db
-            .execute("SELECT i_id FROM item ORDER BY i_id LIMIT ?", &[DbValue::Int(2)])
+            .execute(
+                "SELECT i_id FROM item ORDER BY i_id LIMIT ?",
+                &[DbValue::Int(2)],
+            )
             .unwrap();
         assert_eq!(r.rows.len(), 2);
     }
@@ -607,10 +621,7 @@ mod tests {
             Err(DbError::Invalid(_))
         ));
         assert!(matches!(
-            db.execute(
-                "INSERT INTO author (a_id, a_name) VALUES (1, 'dup')",
-                &[]
-            ),
+            db.execute("INSERT INTO author (a_id, a_name) VALUES (1, 'dup')", &[]),
             Err(DbError::DuplicateKey(_))
         ));
     }
@@ -624,7 +635,9 @@ mod tests {
             &[],
         )
         .unwrap();
-        let r = db.execute("SELECT i_cost FROM item WHERE i_id = 9", &[]).unwrap();
+        let r = db
+            .execute("SELECT i_cost FROM item WHERE i_id = 9", &[])
+            .unwrap();
         assert_eq!(r.rows[0][0], DbValue::Float(5.0));
     }
 
@@ -633,8 +646,10 @@ mod tests {
         let db = Database::new();
         db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)", &[])
             .unwrap();
-        db.execute("INSERT INTO t (id, v) VALUES (1, NULL)", &[]).unwrap();
-        db.execute("INSERT INTO t (id, v) VALUES (2, 'x')", &[]).unwrap();
+        db.execute("INSERT INTO t (id, v) VALUES (1, NULL)", &[])
+            .unwrap();
+        db.execute("INSERT INTO t (id, v) VALUES (2, 'x')", &[])
+            .unwrap();
         let r = db.execute("SELECT id FROM t WHERE v IS NULL", &[]).unwrap();
         assert_eq!(r.rows, vec![vec![DbValue::Int(1)]]);
         let r = db
@@ -666,11 +681,8 @@ mod tests {
                 thread::spawn(move || {
                     for i in 0..50 {
                         if k == 0 {
-                            db.execute(
-                                "UPDATE item SET i_stock = i_stock + 1 WHERE i_id = 1",
-                                &[],
-                            )
-                            .unwrap();
+                            db.execute("UPDATE item SET i_stock = i_stock + 1 WHERE i_id = 1", &[])
+                                .unwrap();
                         } else {
                             db.execute(
                                 "SELECT * FROM item WHERE i_id = ?",
@@ -685,7 +697,9 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let r = db.execute("SELECT i_stock FROM item WHERE i_id = 1", &[]).unwrap();
+        let r = db
+            .execute("SELECT i_stock FROM item WHERE i_id = 1", &[])
+            .unwrap();
         assert_eq!(r.rows[0][0], DbValue::Int(150));
     }
 
@@ -697,7 +711,10 @@ mod tests {
             .unwrap();
         assert!(r.first().is_some());
         assert_eq!(r.column_index("i_title"), Some(1));
-        assert_eq!(*r.value(0, "i_title").unwrap(), DbValue::from("Children of Dune"));
+        assert_eq!(
+            *r.value(0, "i_title").unwrap(),
+            DbValue::from("Children of Dune")
+        );
         assert_eq!(r.single_int(), None);
     }
 }

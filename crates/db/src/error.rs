@@ -18,6 +18,12 @@ pub enum DbError {
     DuplicateKey(String),
     /// Wrong number or type of values/parameters.
     Invalid(String),
+    /// A fault-injection plan failed this query (see
+    /// [`FaultPlan`](crate::FaultPlan)).
+    Injected(String),
+    /// The connection died (injected by a fault plan); the holder must
+    /// check a fresh connection out of the pool.
+    ConnectionLost,
 }
 
 impl DbError {
@@ -30,6 +36,13 @@ impl DbError {
     pub fn invalid(msg: impl Into<String>) -> Self {
         DbError::Invalid(msg.into())
     }
+
+    /// Whether this error means the connection itself is dead, so
+    /// retrying on the *same* connection is pointless — the caller
+    /// should return it to the pool and check out a fresh one.
+    pub fn is_connection_lost(&self) -> bool {
+        matches!(self, DbError::ConnectionLost)
+    }
 }
 
 impl fmt::Display for DbError {
@@ -41,6 +54,8 @@ impl fmt::Display for DbError {
             DbError::TableExists(t) => write!(f, "table already exists: {t}"),
             DbError::DuplicateKey(k) => write!(f, "duplicate key: {k}"),
             DbError::Invalid(m) => write!(f, "invalid statement: {m}"),
+            DbError::Injected(m) => write!(f, "injected fault: {m}"),
+            DbError::ConnectionLost => write!(f, "database connection lost"),
         }
     }
 }

@@ -118,10 +118,8 @@ impl EvalCtx<'_> {
                 let v = self.eval(expr, row)?;
                 let lo = self.eval(low, row)?;
                 let hi = self.eval(high, row)?;
-                let inside = matches!(
-                    v.sql_cmp(&lo),
-                    Some(Ordering::Greater | Ordering::Equal)
-                ) && matches!(v.sql_cmp(&hi), Some(Ordering::Less | Ordering::Equal));
+                let inside = matches!(v.sql_cmp(&lo), Some(Ordering::Greater | Ordering::Equal))
+                    && matches!(v.sql_cmp(&hi), Some(Ordering::Less | Ordering::Equal));
                 Ok(DbValue::Int(i64::from(inside != *negated)))
             }
             Expr::Binary { op, left, right } => {
@@ -238,9 +236,7 @@ pub(crate) fn like_match(pattern: &str, text: &str) -> bool {
             None => t.is_empty(),
             Some(('%', rest)) => (0..=t.len()).any(|k| rec(rest, &t[k..])),
             Some(('_', rest)) => !t.is_empty() && rec(rest, &t[1..]),
-            Some((c, rest)) => {
-                !t.is_empty() && t[0].eq_ignore_ascii_case(c) && rec(rest, &t[1..])
-            }
+            Some((c, rest)) => !t.is_empty() && t[0].eq_ignore_ascii_case(c) && rec(rest, &t[1..]),
         }
     }
     let p: Vec<char> = pattern.to_lowercase().chars().collect();
@@ -271,9 +267,7 @@ fn is_resolvable(expr: &Expr, ctx: &EvalCtx<'_>) -> bool {
         Expr::Column(c) => ctx.resolve(c).is_ok(),
         Expr::Literal(_) | Expr::Param(_) => true,
         Expr::Not(e) | Expr::Neg(e) | Expr::IsNull { expr: e, .. } => is_resolvable(e, ctx),
-        Expr::Binary { left, right, .. } => {
-            is_resolvable(left, ctx) && is_resolvable(right, ctx)
-        }
+        Expr::Binary { left, right, .. } => is_resolvable(left, ctx) && is_resolvable(right, ctx),
         Expr::InList { expr, list, .. } => {
             is_resolvable(expr, ctx) && list.iter().all(|e| is_resolvable(e, ctx))
         }
@@ -464,10 +458,8 @@ pub(crate) fn run_select(
     // --- ORDER BY. ---
     if !sel.order_by.is_empty() {
         let descs: Vec<bool> = sel.order_by.iter().map(|(_, d)| *d).collect();
-        let mut indexed: Vec<(Vec<DbValue>, Vec<DbValue>)> = out_rows
-            .into_iter()
-            .zip(order_keys.into_iter())
-            .collect();
+        let mut indexed: Vec<(Vec<DbValue>, Vec<DbValue>)> =
+            out_rows.into_iter().zip(order_keys).collect();
         indexed.sort_by(|(_, ka), (_, kb)| {
             for (i, desc) in descs.iter().enumerate() {
                 let ord = ka[i].total_cmp(&kb[i]);
@@ -487,10 +479,9 @@ pub(crate) fn run_select(
             None => Ok(None),
             Some(e) => {
                 let v = full_ctx.eval(e, &[])?;
-                let n = v
-                    .as_int()
-                    .filter(|n| *n >= 0)
-                    .ok_or_else(|| DbError::invalid("LIMIT/OFFSET must be a non-negative integer"))?;
+                let n = v.as_int().filter(|n| *n >= 0).ok_or_else(|| {
+                    DbError::invalid("LIMIT/OFFSET must be a non-negative integer")
+                })?;
                 Ok(Some(n as usize))
             }
         }
@@ -696,13 +687,17 @@ fn aggregate_project(
         }
     };
 
+    /// An aggregate evaluator: `(func, arg, group rows) -> value`.
+    type AggEval<'a> =
+        dyn Fn(AggFunc, &Option<Box<Expr>>, &[Vec<DbValue>]) -> Result<DbValue, DbError> + 'a;
+
     // Evaluate a select-item expression over one group (aggregates see
     // the whole group; plain columns see the group's first row).
     fn eval_over_group(
         expr: &Expr,
         ctx: &EvalCtx<'_>,
         group: &[Vec<DbValue>],
-        eval_agg: &dyn Fn(AggFunc, &Option<Box<Expr>>, &[Vec<DbValue>]) -> Result<DbValue, DbError>,
+        eval_agg: &AggEval<'_>,
     ) -> Result<DbValue, DbError> {
         match expr {
             Expr::Aggregate { func, arg } => eval_agg(*func, arg, group),
@@ -740,9 +735,7 @@ fn aggregate_project(
         for (expr, _) in &sel.order_by {
             // Alias / output-column reference?
             let by_name = match expr {
-                Expr::Column(c) if c.table.is_none() => {
-                    columns.iter().position(|n| *n == c.column)
-                }
+                Expr::Column(c) if c.table.is_none() => columns.iter().position(|n| *n == c.column),
                 _ => None,
             };
             let key = match by_name {

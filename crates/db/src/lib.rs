@@ -42,6 +42,7 @@ mod cost;
 mod database;
 mod error;
 mod exec;
+mod fault;
 mod pool;
 mod schema;
 mod snapshot;
@@ -52,6 +53,7 @@ mod value;
 pub use cost::CostModel;
 pub use database::{Database, QueryResult};
 pub use error::DbError;
+pub use fault::{splitmix64, FaultPlan};
 pub use pool::{ConnectionPool, PooledConnection};
 pub use schema::{Column, DataType, Schema};
 pub use value::DbValue;

@@ -2,17 +2,27 @@
 
 use crate::database::{Database, QueryResult};
 use crate::error::DbError;
+use crate::fault::FaultPlan;
 use crate::value::DbValue;
+use parking_lot::RwLock;
 use staged_pool::SyncQueue;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 struct PoolInner {
     db: Arc<Database>,
     tokens: SyncQueue<()>,
     size: usize,
     in_use: AtomicUsize,
+    /// Monotonic checkout counter; gives each checked-out connection a
+    /// distinct identity for deterministic fault decisions.
+    checkouts: AtomicU64,
+    /// Active fault-injection plan, if any.
+    fault: RwLock<Option<FaultPlan>>,
+    /// Checkouts that timed out ([`ConnectionPool::get_timeout`]).
+    acquire_timeouts: AtomicU64,
 }
 
 /// A bounded pool of database connections — the paper's "precious
@@ -75,7 +85,20 @@ impl ConnectionPool {
                 tokens,
                 size,
                 in_use: AtomicUsize::new(0),
+                checkouts: AtomicU64::new(0),
+                fault: RwLock::new(None),
+                acquire_timeouts: AtomicU64::new(0),
             }),
+        }
+    }
+
+    fn checked_out(&self) -> PooledConnection {
+        self.inner.in_use.fetch_add(1, Ordering::Relaxed);
+        PooledConnection {
+            id: self.inner.checkouts.fetch_add(1, Ordering::Relaxed),
+            queries: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
+            inner: Arc::clone(&self.inner),
         }
     }
 
@@ -85,19 +108,45 @@ impl ConnectionPool {
             .tokens
             .pop()
             .expect("connection pool token queue is never closed");
-        self.inner.in_use.fetch_add(1, Ordering::Relaxed);
-        PooledConnection {
-            inner: Arc::clone(&self.inner),
+        self.checked_out()
+    }
+
+    /// Checks a connection out, waiting at most `timeout` for one to
+    /// free up — the bounded-acquisition path that turns pool starvation
+    /// into a shed (e.g. a `503`) instead of an indefinite hang.
+    /// Returns `None` on timeout (counted in
+    /// [`ConnectionPool::acquire_timeouts`]).
+    pub fn get_timeout(&self, timeout: Duration) -> Option<PooledConnection> {
+        match self.inner.tokens.pop_timeout(timeout) {
+            Ok(Some(())) => Some(self.checked_out()),
+            _ => {
+                self.inner.acquire_timeouts.fetch_add(1, Ordering::Relaxed);
+                None
+            }
         }
     }
 
     /// Checks a connection out if one is immediately free.
     pub fn try_get(&self) -> Option<PooledConnection> {
         self.inner.tokens.try_pop().ok()?;
-        self.inner.in_use.fetch_add(1, Ordering::Relaxed);
-        Some(PooledConnection {
-            inner: Arc::clone(&self.inner),
-        })
+        Some(self.checked_out())
+    }
+
+    /// Installs (or with `None`, removes) a fault-injection plan; it
+    /// applies to queries on *all* connections, including ones already
+    /// checked out.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.inner.fault.write() = plan.filter(FaultPlan::injects_something);
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        *self.inner.fault.read()
+    }
+
+    /// How many [`ConnectionPool::get_timeout`] calls have timed out.
+    pub fn acquire_timeouts(&self) -> u64 {
+        self.inner.acquire_timeouts.load(Ordering::Relaxed)
     }
 
     /// Total connections.
@@ -126,6 +175,13 @@ impl ConnectionPool {
 /// drop.
 pub struct PooledConnection {
     inner: Arc<PoolInner>,
+    /// Checkout identity (feeds deterministic fault decisions).
+    id: u64,
+    /// Queries executed on this checkout.
+    queries: AtomicU64,
+    /// Set once a fault plan kills this connection; every later query
+    /// fails with [`DbError::ConnectionLost`] until re-checkout.
+    dead: AtomicBool,
 }
 
 impl PooledConnection {
@@ -133,9 +189,35 @@ impl PooledConnection {
     ///
     /// # Errors
     ///
-    /// Any [`DbError`] from parsing or execution.
+    /// Any [`DbError`] from parsing or execution, plus
+    /// [`DbError::Injected`] / [`DbError::ConnectionLost`] when a
+    /// [`FaultPlan`] is installed on the pool.
     pub fn execute(&self, sql: &str, params: &[DbValue]) -> Result<QueryResult, DbError> {
+        if self.dead.load(Ordering::Relaxed) {
+            return Err(DbError::ConnectionLost);
+        }
+        if let Some(plan) = *self.inner.fault.read() {
+            let seq = self.queries.fetch_add(1, Ordering::Relaxed);
+            if plan.kills_at(seq) {
+                self.dead.store(true, Ordering::Relaxed);
+                return Err(DbError::ConnectionLost);
+            }
+            if !plan.extra_latency.is_zero() {
+                std::thread::sleep(plan.extra_latency);
+            }
+            if plan.errors_at(self.id, seq) {
+                return Err(DbError::Injected(format!(
+                    "query #{seq} on connection #{} failed by plan",
+                    self.id
+                )));
+            }
+        }
         self.inner.db.execute(sql, params)
+    }
+
+    /// Whether a fault plan has killed this connection.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
     }
 
     /// The underlying database.
@@ -165,7 +247,8 @@ mod tests {
 
     fn pool(size: usize) -> ConnectionPool {
         let db = Arc::new(Database::new());
-        db.execute("CREATE TABLE t (id INT PRIMARY KEY)", &[]).unwrap();
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY)", &[])
+            .unwrap();
         ConnectionPool::new(db, size)
     }
 
@@ -205,9 +288,79 @@ mod tests {
         drop(held);
         waiter.join().unwrap();
         assert_eq!(
-            p.database().execute("SELECT COUNT(*) FROM t", &[]).unwrap().single_int(),
+            p.database()
+                .execute("SELECT COUNT(*) FROM t", &[])
+                .unwrap()
+                .single_int(),
             Some(1)
         );
+    }
+
+    #[test]
+    fn get_timeout_times_out_when_starved() {
+        let p = pool(1);
+        let held = p.get();
+        let started = std::time::Instant::now();
+        assert!(p.get_timeout(Duration::from_millis(20)).is_none());
+        assert!(started.elapsed() >= Duration::from_millis(20));
+        assert_eq!(p.acquire_timeouts(), 1);
+        drop(held);
+        let conn = p.get_timeout(Duration::from_millis(20));
+        assert!(conn.is_some(), "freed connection should be acquirable");
+        assert_eq!(p.acquire_timeouts(), 1);
+    }
+
+    #[test]
+    fn fault_plan_injects_errors_at_configured_rate() {
+        let p = pool(1);
+        p.set_fault_plan(Some(crate::FaultPlan::seeded(11).error_rate(0.2)));
+        let conn = p.get();
+        let mut failures = 0;
+        for _ in 0..2000 {
+            match conn.execute("SELECT COUNT(*) FROM t", &[]) {
+                Ok(_) => {}
+                Err(DbError::Injected(_)) => failures += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        let rate = f64::from(failures) / 2000.0;
+        assert!((rate - 0.2).abs() < 0.05, "measured rate {rate}");
+    }
+
+    #[test]
+    fn connection_death_forces_recheckout() {
+        let p = pool(1);
+        p.set_fault_plan(Some(crate::FaultPlan::seeded(0).death_period(3)));
+        let conn = p.get();
+        assert!(conn.execute("SELECT COUNT(*) FROM t", &[]).is_ok());
+        assert!(conn.execute("SELECT COUNT(*) FROM t", &[]).is_ok());
+        // Third query (seq 3 counting the checkout probe... seq starts
+        // at 0): seq 0, 1, 2 fine; seq 3 kills.
+        assert!(conn.execute("SELECT COUNT(*) FROM t", &[]).is_ok());
+        let err = conn.execute("SELECT COUNT(*) FROM t", &[]).unwrap_err();
+        assert!(err.is_connection_lost(), "got {err:?}");
+        assert!(conn.is_dead());
+        // Dead stays dead until re-checkout.
+        assert!(conn
+            .execute("SELECT COUNT(*) FROM t", &[])
+            .unwrap_err()
+            .is_connection_lost());
+        drop(conn);
+        let fresh = p.get();
+        assert!(!fresh.is_dead());
+        assert!(fresh.execute("SELECT COUNT(*) FROM t", &[]).is_ok());
+    }
+
+    #[test]
+    fn no_fault_plan_is_zero_overhead_path() {
+        let p = pool(1);
+        p.set_fault_plan(Some(crate::FaultPlan::none()));
+        assert!(p.fault_plan().is_none(), "no-op plan should not install");
+        let conn = p.get();
+        for _ in 0..100 {
+            conn.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
+        }
+        assert!(!conn.is_dead());
     }
 
     #[test]
@@ -229,7 +382,10 @@ mod tests {
         }
         assert_eq!(p.available(), 4);
         assert_eq!(
-            p.database().execute("SELECT COUNT(*) FROM t", &[]).unwrap().single_int(),
+            p.database()
+                .execute("SELECT COUNT(*) FROM t", &[])
+                .unwrap()
+                .single_int(),
             Some(16)
         );
     }

@@ -186,7 +186,11 @@ impl Database {
             rows.len()
         )?;
         for (col, dtype, _, _) in &schema {
-            let idx = if indexed.contains(col) { " indexed" } else { "" };
+            let idx = if indexed.contains(col) {
+                " indexed"
+            } else {
+                ""
+            };
             writeln!(w, "col {col} {dtype}{idx}")?;
         }
         for row in rows {
@@ -278,7 +282,11 @@ impl PendingTable {
             .iter()
             .enumerate()
             .map(|(i, (name, dtype, _))| {
-                let pk = if self.pk == Some(i) { " PRIMARY KEY" } else { "" };
+                let pk = if self.pk == Some(i) {
+                    " PRIMARY KEY"
+                } else {
+                    ""
+                };
                 format!("{name} {dtype}{pk}")
             })
             .collect();
@@ -346,7 +354,9 @@ mod tests {
         db.dump(&mut buf).unwrap();
         let restored = Database::restore(buf.as_slice()).unwrap();
         let a = db.execute("SELECT * FROM t ORDER BY id", &[]).unwrap();
-        let b = restored.execute("SELECT * FROM t ORDER BY id", &[]).unwrap();
+        let b = restored
+            .execute("SELECT * FROM t ORDER BY id", &[])
+            .unwrap();
         assert_eq!(a, b);
         // Floats survive bit-exactly.
         assert_eq!(b.rows[1][2], DbValue::Float(0.1 + 0.2));
@@ -357,13 +367,24 @@ mod tests {
         assert_eq!(probe.rows_scanned, 1, "index must be restored");
         // Primary key constraint restored.
         assert!(restored
-            .execute("INSERT INTO t (id, name, price, note) VALUES (1, 'd', 0.0, 'x')", &[])
+            .execute(
+                "INSERT INTO t (id, name, price, note) VALUES (1, 'd', 0.0, 'x')",
+                &[]
+            )
             .is_err());
     }
 
     #[test]
     fn escaping_round_trips() {
-        for s in ["", "plain", "tab\t", "nl\n", "cr\r", "back\\slash", "\\t not a tab"] {
+        for s in [
+            "",
+            "plain",
+            "tab\t",
+            "nl\n",
+            "cr\r",
+            "back\\slash",
+            "\\t not a tab",
+        ] {
             assert_eq!(unescape(&escape(s)).unwrap(), s);
         }
     }
@@ -394,8 +415,7 @@ mod tests {
         assert!(Database::restore(&b"not a snapshot\n"[..]).is_err());
         assert!(Database::restore(&b"stageddb 1\nrow i1\n"[..]).is_err());
         assert!(
-            Database::restore(&b"stageddb 1\ntable t 1 - 0\ncol a INT\nrow i1\ti2\n"[..])
-                .is_err(),
+            Database::restore(&b"stageddb 1\ntable t 1 - 0\ncol a INT\nrow i1\ti2\n"[..]).is_err(),
             "row arity mismatch must be rejected"
         );
         assert!(Database::restore(&b"stageddb 1\nzap x\n"[..]).is_err());

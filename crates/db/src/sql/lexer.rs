@@ -75,22 +75,20 @@ pub(crate) fn lex(sql: &str) -> Result<Vec<Tok>, DbError> {
                 toks.push(Tok::Op("!="));
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(b'=') => {
-                        toks.push(Tok::Op("<="));
-                        i += 2;
-                    }
-                    Some(b'>') => {
-                        toks.push(Tok::Op("!="));
-                        i += 2;
-                    }
-                    _ => {
-                        toks.push(Tok::Op("<"));
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    toks.push(Tok::Op("<="));
+                    i += 2;
                 }
-            }
+                Some(b'>') => {
+                    toks.push(Tok::Op("!="));
+                    i += 2;
+                }
+                _ => {
+                    toks.push(Tok::Op("<"));
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     toks.push(Tok::Op(">="));
@@ -114,9 +112,7 @@ pub(crate) fn lex(sql: &str) -> Result<Vec<Tok>, DbError> {
             }
             c if c.is_ascii_digit() => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
-                {
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
                     i += 1;
                 }
                 toks.push(Tok::Number(sql[start..i].to_string()));
@@ -179,10 +175,7 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(
-            lex("'it''s'").unwrap(),
-            vec![Tok::Str("it's".into())]
-        );
+        assert_eq!(lex("'it''s'").unwrap(), vec![Tok::Str("it's".into())]);
         assert_eq!(lex("''").unwrap(), vec![Tok::Str(String::new())]);
         assert!(lex("'open").is_err());
     }
@@ -194,10 +187,7 @@ mod tests {
 
     #[test]
     fn operators() {
-        assert_eq!(
-            lex("a != b <> c <= d").unwrap()[1],
-            Tok::Op("!=")
-        );
+        assert_eq!(lex("a != b <> c <= d").unwrap()[1], Tok::Op("!="));
         assert_eq!(lex("a <> b").unwrap()[1], Tok::Op("!="));
         assert_eq!(lex("a <= b").unwrap()[1], Tok::Op("<="));
         assert_eq!(lex("a < b").unwrap()[1], Tok::Op("<"));
@@ -212,10 +202,7 @@ mod tests {
 
     #[test]
     fn keywords_lowercased() {
-        assert_eq!(
-            lex("SeLeCt").unwrap(),
-            vec![Tok::Ident("select".into())]
-        );
+        assert_eq!(lex("SeLeCt").unwrap(), vec![Tok::Ident("select".into())]);
     }
 
     #[test]

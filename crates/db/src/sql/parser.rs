@@ -141,9 +141,7 @@ impl Parser {
                 "int" | "integer" | "bigint" => DataType::Int,
                 "float" | "double" | "real" | "numeric" | "decimal" => DataType::Float,
                 "text" | "varchar" | "char" => DataType::Text,
-                other => {
-                    return Err(DbError::syntax(format!("unknown column type: {other}")))
-                }
+                other => return Err(DbError::syntax(format!("unknown column type: {other}"))),
             };
             // Optional (n) size suffix, ignored.
             if self.eat_symbol('(') {
@@ -687,8 +685,9 @@ mod tests {
 
     #[test]
     fn parses_create_table() {
-        let s = parse("CREATE TABLE item (i_id INT PRIMARY KEY, i_title VARCHAR(60), i_cost FLOAT)")
-            .unwrap();
+        let s =
+            parse("CREATE TABLE item (i_id INT PRIMARY KEY, i_title VARCHAR(60), i_cost FLOAT)")
+                .unwrap();
         match s {
             Statement::CreateTable {
                 name,
@@ -788,7 +787,13 @@ mod tests {
         let Statement::Select(sel) = s else { panic!() };
         assert!(matches!(
             &sel.items[0],
-            SelectItem::Expr { expr: Expr::Aggregate { func: AggFunc::Count, arg: None }, .. }
+            SelectItem::Expr {
+                expr: Expr::Aggregate {
+                    func: AggFunc::Count,
+                    arg: None
+                },
+                ..
+            }
         ));
     }
 
@@ -802,7 +807,11 @@ mod tests {
                 right,
                 ..
             } => match *right {
-                Expr::Binary { op: BinOp::And, right, .. } => {
+                Expr::Binary {
+                    op: BinOp::And,
+                    right,
+                    ..
+                } => {
                     assert!(matches!(*right, Expr::Not(_)));
                 }
                 e => panic!("expected AND, got {e:?}"),
@@ -816,15 +825,19 @@ mod tests {
         let s = parse("SELECT * FROM t WHERE a LIKE '%x%' AND b IS NOT NULL").unwrap();
         let Statement::Select(sel) = s else { panic!() };
         match sel.where_.unwrap() {
-            Expr::Binary { op: BinOp::And, left, right } => {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
                 assert!(matches!(
                     *left,
-                    Expr::Binary { op: BinOp::Like, .. }
+                    Expr::Binary {
+                        op: BinOp::Like,
+                        ..
+                    }
                 ));
-                assert!(matches!(
-                    *right,
-                    Expr::IsNull { negated: true, .. }
-                ));
+                assert!(matches!(*right, Expr::IsNull { negated: true, .. }));
             }
             e => panic!("unexpected {e:?}"),
         }
@@ -861,10 +874,14 @@ mod tests {
 
     #[test]
     fn parses_update_and_delete() {
-        let s = parse("UPDATE item SET i_stock = i_stock - ?, i_cost = 3.5 WHERE i_id = ?")
-            .unwrap();
+        let s =
+            parse("UPDATE item SET i_stock = i_stock - ?, i_cost = 3.5 WHERE i_id = ?").unwrap();
         match s {
-            Statement::Update { table, sets, where_ } => {
+            Statement::Update {
+                table,
+                sets,
+                where_,
+            } => {
                 assert_eq!(table, "item");
                 assert_eq!(sets.len(), 2);
                 assert!(where_.is_some());

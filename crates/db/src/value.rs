@@ -20,9 +20,10 @@ use std::fmt;
 /// assert!(DbValue::Int(2).sql_eq(&DbValue::Float(2.0)));
 /// assert!(!DbValue::Null.sql_eq(&DbValue::Null));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub enum DbValue {
     /// SQL `NULL`.
+    #[default]
     Null,
     /// A 64-bit signed integer.
     Int(i64),
@@ -147,12 +148,6 @@ impl fmt::Display for DbValue {
             DbValue::Float(x) => write!(f, "{x}"),
             DbValue::Text(s) => write!(f, "{s}"),
         }
-    }
-}
-
-impl Default for DbValue {
-    fn default() -> Self {
-        DbValue::Null
     }
 }
 

@@ -40,11 +40,14 @@ proptest! {
                         "INSERT INTO t (id, k, v) VALUES (?, ?, ?)",
                         &[DbValue::Int(id), DbValue::Int(k), DbValue::Int(v)],
                     );
-                    if model.contains_key(&id) {
-                        prop_assert!(r.is_err(), "duplicate PK must be rejected");
-                    } else {
-                        prop_assert!(r.is_ok());
-                        model.insert(id, (k, v));
+                    match model.entry(id) {
+                        std::collections::btree_map::Entry::Occupied(_) => {
+                            prop_assert!(r.is_err(), "duplicate PK must be rejected");
+                        }
+                        std::collections::btree_map::Entry::Vacant(slot) => {
+                            prop_assert!(r.is_ok());
+                            slot.insert((k, v));
+                        }
                     }
                 }
                 Op::Update { id, k } => {

@@ -38,7 +38,10 @@ fn sample() -> Database {
 fn projection_arithmetic() {
     let db = sample();
     let r = db
-        .execute("SELECT id, price * 2 AS doubled, qty + 1 FROM w WHERE id = 2", &[])
+        .execute(
+            "SELECT id, price * 2 AS doubled, qty + 1 FROM w WHERE id = 2",
+            &[],
+        )
         .unwrap();
     assert_eq!(r.columns, vec!["id", "doubled", "expr"]);
     assert_eq!(r.rows[0][1], DbValue::Float(1.0));
@@ -120,7 +123,9 @@ fn update_multiple_columns_with_where_range() {
         )
         .unwrap();
     assert_eq!(r.rows_affected, 2);
-    let r = db.execute("SELECT SUM(qty) FROM w WHERE id <= 2", &[]).unwrap();
+    let r = db
+        .execute("SELECT SUM(qty) FROM w WHERE id <= 2", &[])
+        .unwrap();
     assert_eq!(r.rows[0][0], DbValue::Int(0));
 }
 
@@ -129,7 +134,9 @@ fn update_without_where_touches_everything() {
     let db = sample();
     let r = db.execute("UPDATE w SET qty = 7", &[]).unwrap();
     assert_eq!(r.rows_affected, 4);
-    let r = db.execute("SELECT COUNT(*) FROM w WHERE qty = 7", &[]).unwrap();
+    let r = db
+        .execute("SELECT COUNT(*) FROM w WHERE qty = 7", &[])
+        .unwrap();
     assert_eq!(r.single_int(), Some(4));
 }
 
@@ -152,7 +159,10 @@ fn delete_without_where_empties_table() {
 fn aggregates_skip_nulls() {
     let db = sample();
     let r = db
-        .execute("SELECT COUNT(qty), SUM(qty), MIN(qty), AVG(qty) FROM w", &[])
+        .execute(
+            "SELECT COUNT(qty), SUM(qty), MIN(qty), AVG(qty) FROM w",
+            &[],
+        )
         .unwrap();
     let row = &r.rows[0];
     assert_eq!(row[0], DbValue::Int(3)); // cherry's NULL qty not counted
@@ -165,7 +175,10 @@ fn aggregates_skip_nulls() {
 fn aggregate_over_empty_group_is_null() {
     let db = sample();
     let r = db
-        .execute("SELECT SUM(qty), MIN(price), MAX(name) FROM w WHERE id > 99", &[])
+        .execute(
+            "SELECT SUM(qty), MIN(price), MAX(name) FROM w WHERE id > 99",
+            &[],
+        )
         .unwrap();
     assert_eq!(r.rows[0], vec![DbValue::Null, DbValue::Null, DbValue::Null]);
 }
@@ -194,12 +207,24 @@ fn group_by_with_having_like_filter_via_where() {
 #[test]
 fn three_way_join_chains() {
     let db = Database::new();
-    db.execute("CREATE TABLE a (a_id INT PRIMARY KEY, a_v TEXT)", &[]).unwrap();
-    db.execute("CREATE TABLE b (b_id INT PRIMARY KEY, b_a INT, b_v TEXT)", &[]).unwrap();
-    db.execute("CREATE TABLE c (c_id INT PRIMARY KEY, c_b INT, c_v TEXT)", &[]).unwrap();
-    db.execute("INSERT INTO a (a_id, a_v) VALUES (1, 'A')", &[]).unwrap();
-    db.execute("INSERT INTO b (b_id, b_a, b_v) VALUES (10, 1, 'B')", &[]).unwrap();
-    db.execute("INSERT INTO c (c_id, c_b, c_v) VALUES (100, 10, 'C')", &[]).unwrap();
+    db.execute("CREATE TABLE a (a_id INT PRIMARY KEY, a_v TEXT)", &[])
+        .unwrap();
+    db.execute(
+        "CREATE TABLE b (b_id INT PRIMARY KEY, b_a INT, b_v TEXT)",
+        &[],
+    )
+    .unwrap();
+    db.execute(
+        "CREATE TABLE c (c_id INT PRIMARY KEY, c_b INT, c_v TEXT)",
+        &[],
+    )
+    .unwrap();
+    db.execute("INSERT INTO a (a_id, a_v) VALUES (1, 'A')", &[])
+        .unwrap();
+    db.execute("INSERT INTO b (b_id, b_a, b_v) VALUES (10, 1, 'B')", &[])
+        .unwrap();
+    db.execute("INSERT INTO c (c_id, c_b, c_v) VALUES (100, 10, 'C')", &[])
+        .unwrap();
     let r = db
         .execute(
             "SELECT a.a_v, b.b_v, c.c_v FROM a \
@@ -209,15 +234,21 @@ fn three_way_join_chains() {
         .unwrap();
     assert_eq!(
         r.rows,
-        vec![vec![DbValue::from("A"), DbValue::from("B"), DbValue::from("C")]]
+        vec![vec![
+            DbValue::from("A"),
+            DbValue::from("B"),
+            DbValue::from("C")
+        ]]
     );
 }
 
 #[test]
 fn join_preserves_multiplicity() {
     let db = Database::new();
-    db.execute("CREATE TABLE o (o_id INT PRIMARY KEY)", &[]).unwrap();
-    db.execute("CREATE TABLE l (l_id INT PRIMARY KEY, l_o INT)", &[]).unwrap();
+    db.execute("CREATE TABLE o (o_id INT PRIMARY KEY)", &[])
+        .unwrap();
+    db.execute("CREATE TABLE l (l_id INT PRIMARY KEY, l_o INT)", &[])
+        .unwrap();
     db.execute("CREATE INDEX ON l (l_o)", &[]).unwrap();
     db.execute("INSERT INTO o (o_id) VALUES (1)", &[]).unwrap();
     for i in 0..3 {
@@ -236,10 +267,14 @@ fn join_preserves_multiplicity() {
 #[test]
 fn ambiguous_column_is_an_error() {
     let db = Database::new();
-    db.execute("CREATE TABLE x (id INT PRIMARY KEY, v INT)", &[]).unwrap();
-    db.execute("CREATE TABLE y (id INT PRIMARY KEY, v INT)", &[]).unwrap();
-    db.execute("INSERT INTO x (id, v) VALUES (1, 1)", &[]).unwrap();
-    db.execute("INSERT INTO y (id, v) VALUES (1, 1)", &[]).unwrap();
+    db.execute("CREATE TABLE x (id INT PRIMARY KEY, v INT)", &[])
+        .unwrap();
+    db.execute("CREATE TABLE y (id INT PRIMARY KEY, v INT)", &[])
+        .unwrap();
+    db.execute("INSERT INTO x (id, v) VALUES (1, 1)", &[])
+        .unwrap();
+    db.execute("INSERT INTO y (id, v) VALUES (1, 1)", &[])
+        .unwrap();
     let err = db
         .execute("SELECT v FROM x JOIN y ON x.id = y.id", &[])
         .unwrap_err();
@@ -254,7 +289,9 @@ fn alias_scopes_resolve() {
         .unwrap();
     assert_eq!(r.rows[0][0], DbValue::from("apple"));
     // The original name is not visible once aliased.
-    assert!(db.execute("SELECT w.name FROM w t WHERE t.id = 1", &[]).is_err());
+    assert!(db
+        .execute("SELECT w.name FROM w t WHERE t.id = 1", &[])
+        .is_err());
 }
 
 #[test]
@@ -274,9 +311,7 @@ fn is_null_in_update_and_delete() {
         .execute("UPDATE w SET qty = 0 WHERE qty IS NULL", &[])
         .unwrap();
     assert_eq!(r.rows_affected, 1);
-    let r = db
-        .execute("DELETE FROM w WHERE qty IS NULL", &[])
-        .unwrap();
+    let r = db.execute("DELETE FROM w WHERE qty IS NULL", &[]).unwrap();
     assert_eq!(r.rows_affected, 0);
 }
 
@@ -315,7 +350,8 @@ fn comments_and_case_insensitivity() {
 #[test]
 fn rows_scanned_reflects_plan() {
     let db = Database::new();
-    db.execute("CREATE TABLE t (id INT PRIMARY KEY, k INT)", &[]).unwrap();
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, k INT)", &[])
+        .unwrap();
     db.execute("CREATE INDEX ON t (k)", &[]).unwrap();
     for i in 0..100 {
         db.execute(

@@ -68,9 +68,7 @@ pub fn fetch_with_timeout(
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_nodelay(true)?;
-    let mut request = format!(
-        "{method} {target} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n"
-    );
+    let mut request = format!("{method} {target} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n");
     if !body.is_empty() {
         request.push_str(&format!("Content-Length: {}\r\n", body.len()));
     }
@@ -100,7 +98,9 @@ pub fn read_response<S: Read>(stream: &mut S) -> Result<ClientResponse, HttpErro
             None => {
                 let n = stream.read(&mut chunk)?;
                 if n == 0 {
-                    return Err(HttpError::ConnectionClosed { clean: raw.is_empty() });
+                    return Err(HttpError::ConnectionClosed {
+                        clean: raw.is_empty(),
+                    });
                 }
                 raw.extend_from_slice(&chunk[..n]);
             }

@@ -106,9 +106,9 @@ impl<S: Read + Write> Connection<S> {
             if headers.len() >= self.limits.max_headers {
                 return Err(HttpError::TooLarge("header count"));
             }
-            let (name, value) = line
-                .split_once(':')
-                .ok_or_else(|| HttpError::Malformed(format!("header line without colon: {line}")))?;
+            let (name, value) = line.split_once(':').ok_or_else(|| {
+                HttpError::Malformed(format!("header line without colon: {line}"))
+            })?;
             if name.is_empty() || name.contains(' ') {
                 return Err(HttpError::Malformed(format!("invalid header name: {name}")));
             }

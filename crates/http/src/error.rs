@@ -93,7 +93,7 @@ mod tests {
 
     #[test]
     fn io_error_has_source() {
-        let e = HttpError::from(io::Error::new(io::ErrorKind::Other, "x"));
+        let e = HttpError::from(io::Error::other("x"));
         assert!(e.source().is_some());
     }
 
@@ -102,6 +102,6 @@ mod tests {
         assert!(HttpError::Malformed("m".into()).wants_bad_request());
         assert!(HttpError::TooLarge("header").wants_bad_request());
         assert!(!HttpError::ConnectionClosed { clean: true }.wants_bad_request());
-        assert!(!HttpError::Io(io::Error::new(io::ErrorKind::Other, "x")).wants_bad_request());
+        assert!(!HttpError::Io(io::Error::other("x")).wants_bad_request());
     }
 }

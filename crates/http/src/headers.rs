@@ -37,8 +37,7 @@ impl HeaderMap {
 
     /// Replaces all values of `name` with a single value.
     pub fn set(&mut self, name: &str, value: impl Into<String>) {
-        self.entries
-            .retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
         self.entries.push((name.to_string(), value.into()));
     }
 

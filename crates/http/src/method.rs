@@ -53,7 +53,10 @@ impl Method {
 
     /// Whether the method is "safe" (read-only) per RFC 7231 §4.2.1.
     pub fn is_safe(&self) -> bool {
-        matches!(self, Method::Get | Method::Head | Method::Options | Method::Trace)
+        matches!(
+            self,
+            Method::Get | Method::Head | Method::Options | Method::Trace
+        )
     }
 
     /// Whether a response to this method carries a body (`HEAD` does not).

@@ -115,8 +115,8 @@ impl Request {
     ///
     /// Panics if `target` is not a valid request target.
     pub fn get(target: &str) -> Self {
-        let line = RequestLine::parse(&format!("GET {target} HTTP/1.1"))
-            .expect("invalid request target");
+        let line =
+            RequestLine::parse(&format!("GET {target} HTTP/1.1")).expect("invalid request target");
         Request::new(line, HeaderMap::new(), Vec::new())
     }
 

@@ -175,7 +175,9 @@ impl<T> Router<T> {
     /// Matches a (already normalized) path, returning the value and
     /// captures of the most specific matching pattern.
     pub fn route(&self, path: &str) -> Option<(&T, RouteParams)> {
-        let mut best: Option<(usize, &T, Vec<(String, String)>)> = None;
+        // Best match so far: `(literal-segment score, value, captures)`.
+        type Best<'a, T> = Option<(usize, &'a T, Vec<(String, String)>)>;
+        let mut best: Best<'_, T> = None;
         for (pattern, value) in &self.routes {
             if let Some(params) = pattern.matches(path) {
                 let better = match &best {

@@ -75,9 +75,7 @@ impl StaticFiles {
             return None;
         }
         match self {
-            StaticFiles::Memory(map) => {
-                map.get(path).map(|c| (mime_for_path(path), Arc::clone(c)))
-            }
+            StaticFiles::Memory(map) => map.get(path).map(|c| (mime_for_path(path), Arc::clone(c))),
             StaticFiles::Dir(root) => {
                 let rel = path.trim_start_matches('/');
                 let full = root.join(rel);

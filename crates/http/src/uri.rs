@@ -285,9 +285,13 @@ mod tests {
             .is_static_resource());
         assert!(!RequestTarget::parse("/").unwrap().is_static_resource());
         // Hidden files are not "extensions".
-        assert!(!RequestTarget::parse("/.hidden").unwrap().is_static_resource());
+        assert!(!RequestTarget::parse("/.hidden")
+            .unwrap()
+            .is_static_resource());
         // A dot in a directory does not make the resource static.
-        assert!(!RequestTarget::parse("/v1.2/home").unwrap().is_static_resource());
+        assert!(!RequestTarget::parse("/v1.2/home")
+            .unwrap()
+            .is_static_resource());
     }
 
     #[test]
@@ -297,7 +301,10 @@ mod tests {
             Some("html")
         );
         assert_eq!(RequestTarget::parse("/a.b/c").unwrap().extension(), None);
-        assert_eq!(RequestTarget::parse("/trailingdot.").unwrap().extension(), None);
+        assert_eq!(
+            RequestTarget::parse("/trailingdot.").unwrap().extension(),
+            None
+        );
     }
 
     #[test]

@@ -152,8 +152,16 @@ impl Histogram {
             } else {
                 u64::try_from(inner.sum_micros / u128::from(inner.count)).unwrap_or(u64::MAX)
             },
-            min_micros: if inner.count == 0 { 0 } else { inner.min_micros },
-            max_micros: if inner.count == 0 { 0 } else { inner.max_micros },
+            min_micros: if inner.count == 0 {
+                0
+            } else {
+                inner.min_micros
+            },
+            max_micros: if inner.count == 0 {
+                0
+            } else {
+                inner.max_micros
+            },
         }
     }
 

@@ -158,8 +158,14 @@ mod tests {
         let handle = sampler.start();
         thread::sleep(Duration::from_millis(15));
         handle.stop();
-        assert!(a.bucket_means().iter().any(|p| (p.value - 1.0).abs() < 1e-9));
-        assert!(b.bucket_means().iter().any(|p| (p.value - 9.0).abs() < 1e-9));
+        assert!(a
+            .bucket_means()
+            .iter()
+            .any(|p| (p.value - 1.0).abs() < 1e-9));
+        assert!(b
+            .bucket_means()
+            .iter()
+            .any(|p| (p.value - 9.0).abs() < 1e-9));
     }
 
     #[test]

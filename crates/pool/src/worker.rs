@@ -73,6 +73,10 @@ pub struct PoolStats {
     pub panicked: Counter,
     /// Workers currently executing a job.
     pub busy: Gauge,
+    /// Jobs refused because the queue was at capacity (shed load, see
+    /// [`WorkerPool::try_submit`]). Overload must be observable, not
+    /// silent.
+    pub rejected: Counter,
 }
 
 /// A fixed-size pool of worker threads consuming typed jobs from a
@@ -148,7 +152,13 @@ impl<J: Send + 'static> WorkerPool<J> {
         F: FnMut(usize) -> S,
         H: Fn(&mut S, J) + Send + Sync + 'static,
     {
-        Self::with_parts(queue, Arc::new(PoolStats::default()), config, make_state, handler)
+        Self::with_parts(
+            queue,
+            Arc::new(PoolStats::default()),
+            config,
+            make_state,
+            handler,
+        )
     }
 
     /// Spawns the pool around an externally created queue **and** stats
@@ -202,12 +212,28 @@ impl<J: Send + 'static> WorkerPool<J> {
 
     /// Enqueues a job, blocking if the queue is bounded and full.
     ///
+    /// **Never call this from an accept/listener path.** A blocking
+    /// submit on a full queue stalls the accept loop, so new
+    /// connections back up in the kernel instead of being shed with an
+    /// overload response — the meltdown mode bounded queues exist to
+    /// prevent. Listener threads must use [`WorkerPool::try_submit`]
+    /// and shed on error. Debug builds assert the calling thread is not
+    /// named like a listener.
+    ///
     /// # Errors
     ///
     /// Returns [`SubmitError`] (with the job) if the pool has been shut
     /// down.
     pub fn submit(&self, job: J) -> Result<(), SubmitError<J>> {
-        self.queue.push(job).map_err(|e| SubmitError(e.into_inner()))
+        debug_assert!(
+            !thread::current()
+                .name()
+                .is_some_and(|n| n.contains("listener")),
+            "blocking submit called from a listener thread; use try_submit and shed"
+        );
+        self.queue
+            .push(job)
+            .map_err(|e| SubmitError(e.into_inner()))
     }
 
     /// Enqueues a job without blocking.
@@ -216,11 +242,17 @@ impl<J: Send + 'static> WorkerPool<J> {
     ///
     /// Returns [`SubmitError`] if the queue is full or the pool is shut
     /// down — callers that must not block (the listener thread) use this
-    /// and shed load on error.
+    /// and shed load on error. A capacity rejection is counted in
+    /// [`PoolStats::rejected`]; a shutdown rejection is not (that is
+    /// drain, not overload).
     pub fn try_submit(&self, job: J) -> Result<(), SubmitError<J>> {
         match self.queue.try_push(job) {
             Ok(()) => Ok(()),
-            Err(PushError::Full(j)) | Err(PushError::Closed(j)) => Err(SubmitError(j)),
+            Err(PushError::Full(j)) => {
+                self.stats.rejected.increment();
+                Err(SubmitError(j))
+            }
+            Err(PushError::Closed(j)) => Err(SubmitError(j)),
         }
     }
 
@@ -321,9 +353,13 @@ mod tests {
     fn processes_all_jobs() {
         let sum = Arc::new(AtomicUsize::new(0));
         let sum2 = Arc::clone(&sum);
-        let pool = WorkerPool::new(PoolConfig::new("t", 4), |_| (), move |_, n: usize| {
-            sum2.fetch_add(n, Ordering::Relaxed);
-        });
+        let pool = WorkerPool::new(
+            PoolConfig::new("t", 4),
+            |_| (),
+            move |_, n: usize| {
+                sum2.fetch_add(n, Ordering::Relaxed);
+            },
+        );
         for n in 0..1000 {
             pool.submit(n).unwrap();
         }
@@ -353,11 +389,15 @@ mod tests {
 
     #[test]
     fn panicking_handler_does_not_kill_worker() {
-        let pool = WorkerPool::new(PoolConfig::new("flaky", 1), |_| (), |_, fail: bool| {
-            if fail {
-                panic!("boom");
-            }
-        });
+        let pool = WorkerPool::new(
+            PoolConfig::new("flaky", 1),
+            |_| (),
+            |_, fail: bool| {
+                if fail {
+                    panic!("boom");
+                }
+            },
+        );
         pool.submit(true).unwrap();
         pool.submit(false).unwrap();
         pool.submit(false).unwrap();
@@ -374,9 +414,13 @@ mod tests {
     fn spare_threads_reflects_busy_workers() {
         let gate = Arc::new(SyncQueue::<()>::unbounded());
         let gate2 = Arc::clone(&gate);
-        let pool = WorkerPool::new(PoolConfig::new("block", 4), |_| (), move |_, _: ()| {
-            gate2.pop();
-        });
+        let pool = WorkerPool::new(
+            PoolConfig::new("block", 4),
+            |_| (),
+            move |_, _: ()| {
+                gate2.pop();
+            },
+        );
         assert_eq!(pool.spare_threads(), 4);
         pool.submit(()).unwrap();
         pool.submit(()).unwrap();
@@ -396,18 +440,12 @@ mod tests {
 
     #[test]
     fn submit_after_shutdown_is_rejected() {
-        let pool: WorkerPool<u8> =
-            WorkerPool::new(PoolConfig::new("gone", 1), |_| (), |_, _| {});
-        let queue_probe = {
-            // Shut the pool down, then verify submits fail via a fresh handle.
-            pool.shutdown();
-        };
-        let _ = queue_probe;
+        let pool: WorkerPool<u8> = WorkerPool::new(PoolConfig::new("gone", 1), |_| (), |_, _| {});
+        pool.shutdown();
         // A new pool dropped (not shut down) also rejects submits once dropped:
         let stats;
         {
-            let pool: WorkerPool<u8> =
-                WorkerPool::new(PoolConfig::new("d", 1), |_| (), |_, _| {});
+            let pool: WorkerPool<u8> = WorkerPool::new(PoolConfig::new("d", 1), |_| (), |_, _| {});
             stats = Arc::clone(&pool.stats);
             pool.submit(1).unwrap();
             while stats.completed.value() < 1 {
@@ -437,6 +475,58 @@ mod tests {
         gate.push(()).unwrap();
         gate.push(()).unwrap();
         pool.shutdown();
+    }
+
+    #[test]
+    fn rejected_counter_tracks_capacity_sheds_only() {
+        let gate = Arc::new(SyncQueue::<()>::unbounded());
+        let gate2 = Arc::clone(&gate);
+        let pool = WorkerPool::new(
+            PoolConfig::new("shed-count", 1).queue_capacity(1),
+            |_| (),
+            move |_, _: ()| {
+                gate2.pop();
+            },
+        );
+        pool.submit(()).unwrap();
+        while pool.busy_threads() < 1 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        pool.try_submit(()).unwrap(); // fills the queue
+        assert!(pool.try_submit(()).is_err());
+        assert!(pool.try_submit(()).is_err());
+        assert_eq!(pool.stats().rejected.value(), 2);
+        gate.push(()).unwrap();
+        gate.push(()).unwrap();
+        let stats = pool.stats_handle();
+        pool.shutdown();
+        // A post-shutdown rejection is drain, not overload.
+        assert_eq!(stats.rejected.value(), 2);
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "debug_assert only fires in debug builds"
+    )]
+    // NB: the test name must not contain "listener" — the harness names
+    // the test thread after the test, which would trip the guard itself.
+    fn blocking_submit_from_accept_thread_asserts() {
+        let pool: WorkerPool<u8> =
+            WorkerPool::new(PoolConfig::new("guarded", 1), |_| (), |_, _| {});
+        let pool = Arc::new(pool);
+        let p = Arc::clone(&pool);
+        let result = thread::Builder::new()
+            .name("test-listener".to_string())
+            .spawn(move || p.submit(1))
+            .unwrap()
+            .join();
+        assert!(
+            result.is_err(),
+            "submit from a *listener thread must trip the debug assertion"
+        );
+        // Non-listener threads are unaffected.
+        pool.submit(2).unwrap();
     }
 
     #[test]

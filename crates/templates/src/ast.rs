@@ -146,9 +146,7 @@ fn parse_operand(word: &str, line: usize) -> Result<Operand, TemplateError> {
         ));
     }
     for seg in &segments {
-        let valid = seg
-            .chars()
-            .all(|c| c.is_alphanumeric() || c == '_');
+        let valid = seg.chars().all(|c| c.is_alphanumeric() || c == '_');
         if !valid {
             return Err(TemplateError::parse(
                 line,
@@ -222,9 +220,7 @@ impl FilterExpr {
         for part in parts {
             let part = part.trim();
             let (name, arg) = split_filter_arg(part);
-            if name.is_empty()
-                || !name.chars().all(|c| c.is_alphanumeric() || c == '_')
-            {
+            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
                 return Err(TemplateError::parse(
                     line,
                     format!("invalid filter name: {part}"),
@@ -285,13 +281,12 @@ fn parse_not(words: &[String], pos: &mut usize, line: usize) -> Result<Cond, Tem
     parse_comparison(words, pos, line)
 }
 
-fn parse_comparison(
-    words: &[String],
-    pos: &mut usize,
-    line: usize,
-) -> Result<Cond, TemplateError> {
+fn parse_comparison(words: &[String], pos: &mut usize, line: usize) -> Result<Cond, TemplateError> {
     if *pos >= words.len() {
-        return Err(TemplateError::parse(line, "expected expression in condition"));
+        return Err(TemplateError::parse(
+            line,
+            "expected expression in condition",
+        ));
     }
     let left = FilterExpr::parse(&words[*pos], line)?;
     *pos += 1;
@@ -416,8 +411,7 @@ mod tests {
             (">=", CmpOp::Ge),
             ("in", CmpOp::In),
         ] {
-            let words: Vec<String> =
-                ["x", tok, "y"].iter().map(|s| s.to_string()).collect();
+            let words: Vec<String> = ["x", tok, "y"].iter().map(|s| s.to_string()).collect();
             match Cond::parse(&words, 1).unwrap() {
                 Cond::Compare(_, got, _) => assert_eq!(got, op),
                 c => panic!("expected Compare, got {c:?}"),

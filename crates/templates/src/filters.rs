@@ -86,8 +86,7 @@ pub(crate) fn apply(
                     let mut cs = w.chars();
                     match cs.next() {
                         Some(c) => {
-                            c.to_uppercase().collect::<String>()
-                                + &cs.as_str().to_lowercase()
+                            c.to_uppercase().collect::<String>() + &cs.as_str().to_lowercase()
                         }
                         None => String::new(),
                     }
@@ -96,9 +95,7 @@ pub(crate) fn apply(
                 .join(" ");
             Ok(Filtered::plain(Value::Str(out)))
         }
-        "length" => Ok(Filtered::plain(Value::Int(
-            input.len().unwrap_or(0) as i64
-        ))),
+        "length" => Ok(Filtered::plain(Value::Int(input.len().unwrap_or(0) as i64))),
         "wordcount" => Ok(Filtered::plain(Value::Int(
             s(&input).split_whitespace().count() as i64,
         ))),
@@ -170,9 +167,7 @@ pub(crate) fn apply(
             if words.len() <= n {
                 Ok(Filtered::plain(Value::Str(text)))
             } else {
-                Ok(Filtered::plain(Value::Str(
-                    words[..n].join(" ") + " …",
-                )))
+                Ok(Filtered::plain(Value::Str(words[..n].join(" ") + " …")))
             }
         }
         "truncatechars" => {
@@ -187,9 +182,10 @@ pub(crate) fn apply(
         }
         "floatformat" => {
             let digits = match arg {
-                Some(v) => v.as_f64().map(|f| f as i32).ok_or_else(|| {
-                    TemplateError::render("floatformat argument must be numeric")
-                })?,
+                Some(v) => v
+                    .as_f64()
+                    .map(|f| f as i32)
+                    .ok_or_else(|| TemplateError::render("floatformat argument must be numeric"))?,
                 None => -1,
             };
             let x = input
@@ -245,8 +241,9 @@ pub(crate) fn apply(
             let mut out = String::with_capacity(text.len());
             for b in text.bytes() {
                 match b {
-                    b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~'
-                    | b'/' => out.push(b as char),
+                    b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' | b'/' => {
+                        out.push(b as char)
+                    }
                     _ => out.push_str(&format!("%{b:02X}")),
                 }
             }
@@ -429,15 +426,12 @@ mod tests {
 
     #[test]
     fn add_filter() {
-        assert_eq!(run("add", Value::Int(2), Some(Value::Int(3))), Value::Int(5));
         assert_eq!(
-            run("add", "2".into(), Some(Value::Int(3))),
+            run("add", Value::Int(2), Some(Value::Int(3))),
             Value::Int(5)
         );
-        assert_eq!(
-            run("add", "a".into(), Some("b".into())),
-            Value::from("ab")
-        );
+        assert_eq!(run("add", "2".into(), Some(Value::Int(3))), Value::Int(5));
+        assert_eq!(run("add", "a".into(), Some("b".into())), Value::from("ab"));
         assert_eq!(
             run("add", Value::Float(1.5), Some(Value::Int(1))),
             Value::Float(2.5)
@@ -467,7 +461,11 @@ mod tests {
     #[test]
     fn floatformat_behaviour() {
         assert_eq!(
-            run("floatformat", Value::Float(3.14159), Some(Value::Int(2))),
+            run(
+                "floatformat",
+                Value::Float(std::f64::consts::PI),
+                Some(Value::Int(2))
+            ),
             Value::from("3.14")
         );
         assert_eq!(
@@ -490,7 +488,10 @@ mod tests {
             run("floatformat", Value::Float(-0.0), Some(Value::Int(2))),
             Value::from("0.00")
         );
-        assert_eq!(run("floatformat", Value::Float(-0.0), None), Value::from("0"));
+        assert_eq!(
+            run("floatformat", Value::Float(-0.0), None),
+            Value::from("0")
+        );
     }
 
     #[test]
@@ -562,7 +563,10 @@ mod tests {
             run("slice", list.clone(), Some(":-1".into())),
             Value::from(vec![Value::Int(1), Value::Int(2)])
         );
-        assert_eq!(run("slice", "abcdef".into(), Some(":3".into())), Value::from("abc"));
+        assert_eq!(
+            run("slice", "abcdef".into(), Some(":3".into())),
+            Value::from("abc")
+        );
         assert_eq!(
             run("slice", list, Some(":100".into())),
             Value::from(vec![Value::Int(1), Value::Int(2), Value::Int(3)])

@@ -261,8 +261,7 @@ mod tests {
 
     #[test]
     fn parses_nested_blocks() {
-        let nodes =
-            parse("{% for x in xs %}{% if x %}{{ x }}{% endif %}{% endfor %}").unwrap();
+        let nodes = parse("{% for x in xs %}{% if x %}{{ x }}{% endif %}{% endfor %}").unwrap();
         match &nodes[0] {
             Node::For { body, .. } => assert!(matches!(&body[0], Node::If { .. })),
             n => panic!("expected For, got {n:?}"),

@@ -194,10 +194,7 @@ fn forloop_map(index: usize, len: usize, parent: Option<&Value>) -> Value {
     let mut m = BTreeMap::new();
     m.insert("counter".to_string(), Value::Int(index as i64 + 1));
     m.insert("counter0".to_string(), Value::Int(index as i64));
-    m.insert(
-        "revcounter".to_string(),
-        Value::Int((len - index) as i64),
-    );
+    m.insert("revcounter".to_string(), Value::Int((len - index) as i64));
     m.insert(
         "revcounter0".to_string(),
         Value::Int((len - index - 1) as i64),
@@ -412,12 +409,12 @@ mod tests {
     #[test]
     fn forloop_counters() {
         let mut ctx = Context::new();
-        ctx.insert(
-            "xs",
-            Value::from(vec!["a".into(), "b".into(), "c".into()]),
-        );
+        ctx.insert("xs", Value::from(vec!["a".into(), "b".into(), "c".into()]));
         assert_eq!(
-            render("{% for x in xs %}{{ forloop.counter }}{{ x }} {% endfor %}", &ctx),
+            render(
+                "{% for x in xs %}{{ forloop.counter }}{{ x }} {% endfor %}",
+                &ctx
+            ),
             "1a 2b 3c "
         );
         assert_eq!(
@@ -429,7 +426,10 @@ mod tests {
             "[abc]"
         );
         assert_eq!(
-            render("{% for x in xs %}{{ forloop.revcounter0 }}{% endfor %}", &ctx),
+            render(
+                "{% for x in xs %}{{ forloop.revcounter0 }}{% endfor %}",
+                &ctx
+            ),
             "210"
         );
     }
@@ -475,7 +475,10 @@ mod tests {
     fn iterating_a_string_yields_chars() {
         let mut ctx = Context::new();
         ctx.insert("s", "ab");
-        assert_eq!(render("{% for c in s %}({{ c }}){% endfor %}", &ctx), "(a)(b)");
+        assert_eq!(
+            render("{% for c in s %}({{ c }}){% endfor %}", &ctx),
+            "(a)(b)"
+        );
     }
 
     #[test]
@@ -483,7 +486,10 @@ mod tests {
         let mut ctx = Context::new();
         ctx.insert("price", 10);
         assert_eq!(
-            render("{% with t = price|add:5 %}{{ t }}+{{ t }}{% endwith %}|{{ t }}", &ctx),
+            render(
+                "{% with t = price|add:5 %}{{ t }}+{{ t }}{% endwith %}|{{ t }}",
+                &ctx
+            ),
             "15+15|"
         );
         // Compact Django syntax.
@@ -515,10 +521,7 @@ mod tests {
     #[test]
     fn filters_chain_in_output() {
         let mut ctx = Context::new();
-        ctx.insert(
-            "items",
-            Value::from(vec!["b".into(), "a".into()]),
-        );
+        ctx.insert("items", Value::from(vec!["b".into(), "a".into()]));
         assert_eq!(render(r#"{{ items|join:"-"|upper }}"#, &ctx), "B-A");
     }
 

@@ -211,7 +211,9 @@ mod tests {
     #[test]
     fn nested_include_context_flows_through() {
         let store = TemplateStore::new();
-        store.insert("inner", "{% for x in xs %}{{ x }}{% endfor %}").unwrap();
+        store
+            .insert("inner", "{% for x in xs %}{{ x }}{% endfor %}")
+            .unwrap();
         store.insert("outer", r#"[{% include "inner" %}]"#).unwrap();
         let mut ctx = Context::new();
         ctx.insert("xs", Value::from(vec![Value::Int(1), Value::Int(2)]));

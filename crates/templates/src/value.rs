@@ -15,9 +15,10 @@ use std::fmt;
 /// assert_eq!(v.index(1).unwrap().to_display_string(), "two");
 /// assert!(v.is_truthy());
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub enum Value {
     /// Absent / null.
+    #[default]
     Null,
     /// A boolean.
     Bool(bool),
@@ -119,12 +120,6 @@ impl Value {
             Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
             _ => None,
         }
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
     }
 }
 
@@ -363,7 +358,10 @@ mod tests {
         ctx.insert("a", 2);
         assert_eq!(ctx.len(), 1);
         assert_eq!(ctx.get("a"), Some(&Value::Int(2)));
-        let collected: Context = ctx.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+        let collected: Context = ctx
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
         assert_eq!(collected, ctx);
     }
 }

@@ -32,9 +32,7 @@ pub fn build_app(db: &Database, scale: &ScaleConfig) -> App {
         next_order_id: AtomicI64::new(max("SELECT MAX(o_id) FROM orders") + 1),
         next_order_line_id: AtomicI64::new(max("SELECT MAX(ol_id) FROM order_line") + 1),
         next_cart_id: AtomicI64::new(max("SELECT MAX(sc_id) FROM shopping_cart") + 1),
-        next_cart_line_id: AtomicI64::new(
-            max("SELECT MAX(scl_id) FROM shopping_cart_line") + 1,
-        ),
+        next_cart_line_id: AtomicI64::new(max("SELECT MAX(scl_id) FROM shopping_cart_line") + 1),
         next_customer_id: AtomicI64::new(max("SELECT MAX(c_id) FROM customer") + 1),
     });
 
@@ -54,8 +52,18 @@ pub fn build_app(db: &Database, scale: &ScaleConfig) -> App {
         .render_weight_per_kb(scale.render_weight_per_kb)
         .static_weight(scale.static_weight);
     let builder = page!(builder, "/home", "home", pages::home);
-    let builder = page!(builder, "/new_products", "new_products", pages::new_products);
-    let builder = page!(builder, "/best_sellers", "best_sellers", pages::best_sellers);
+    let builder = page!(
+        builder,
+        "/new_products",
+        "new_products",
+        pages::new_products
+    );
+    let builder = page!(
+        builder,
+        "/best_sellers",
+        "best_sellers",
+        pages::best_sellers
+    );
     let builder = page!(
         builder,
         "/product_detail",

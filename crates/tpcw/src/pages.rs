@@ -125,11 +125,7 @@ pub(crate) fn home(state: &TpcwState, req: &Request, db: &PooledConnection) -> P
 /// `GET /new_products?subject=` — subject listing ordered by
 /// publication date: an index probe over ~items/23 rows plus a sort
 /// (lengthy at scale).
-pub(crate) fn new_products(
-    _state: &TpcwState,
-    req: &Request,
-    db: &PooledConnection,
-) -> PageResult {
+pub(crate) fn new_products(_state: &TpcwState, req: &Request, db: &PooledConnection) -> PageResult {
     let subject = req.param("subject").unwrap_or("ARTS").to_string();
     let r = db.execute(
         "SELECT i.i_id, i.i_title, i.i_cost, i.i_thumbnail, a.a_fname, a.a_lname \
@@ -145,11 +141,7 @@ pub(crate) fn new_products(
 
 /// `GET /best_sellers?subject=` — aggregates the recent-order window of
 /// `order_line`: a large scan plus GROUP BY (the heaviest read, lengthy).
-pub(crate) fn best_sellers(
-    state: &TpcwState,
-    req: &Request,
-    db: &PooledConnection,
-) -> PageResult {
+pub(crate) fn best_sellers(state: &TpcwState, req: &Request, db: &PooledConnection) -> PageResult {
     let subject = req.param("subject").unwrap_or("ARTS").to_string();
     // TPC-W's "3333 most recent orders" window: MAX over orders is a
     // full scan, like the benchmark's subquery.
@@ -290,11 +282,7 @@ fn cart_lines(db: &PooledConnection, sc_id: i64) -> Result<(Value, f64), AppErro
 /// `GET /shopping_cart?c_id=&sc_id=&i_id=&qty=` — creates the cart on
 /// first visit, adds/updates a line, then lists the cart (indexed
 /// lookups plus small writes; quick).
-pub(crate) fn shopping_cart(
-    state: &TpcwState,
-    req: &Request,
-    db: &PooledConnection,
-) -> PageResult {
+pub(crate) fn shopping_cart(state: &TpcwState, req: &Request, db: &PooledConnection) -> PageResult {
     let mut sc_id = req.param_u64("sc_id").unwrap_or(0) as i64;
     if sc_id == 0 {
         sc_id = TpcwState::take(&state.next_cart_id);
@@ -373,11 +361,7 @@ pub(crate) fn customer_registration(
 /// `GET /buy_request?c_id=&sc_id=` — order confirmation page: customer,
 /// address, and cart summary (indexed lookups; quick). Registers a new
 /// customer when `c_id` is 0.
-pub(crate) fn buy_request(
-    state: &TpcwState,
-    req: &Request,
-    db: &PooledConnection,
-) -> PageResult {
+pub(crate) fn buy_request(state: &TpcwState, req: &Request, db: &PooledConnection) -> PageResult {
     let mut c_id = req.param_u64("c_id").unwrap_or(0) as i64;
     if c_id == 0 {
         c_id = TpcwState::take(&state.next_customer_id);
@@ -439,11 +423,7 @@ pub(crate) fn buy_request(
 /// `GET /buy_confirm?c_id=&sc_id=` — places the order: inserts `orders`
 /// / `order_line` / `cc_xacts` rows, decrements item stock, and empties
 /// the cart (several small writes; quick).
-pub(crate) fn buy_confirm(
-    state: &TpcwState,
-    req: &Request,
-    db: &PooledConnection,
-) -> PageResult {
+pub(crate) fn buy_confirm(state: &TpcwState, req: &Request, db: &PooledConnection) -> PageResult {
     let c_id = req.param_u64("c_id").unwrap_or(1) as i64;
     let sc_id = req.param_u64("sc_id").unwrap_or(0) as i64;
     let cart = db.execute(
@@ -461,7 +441,11 @@ pub(crate) fn buy_confirm(
     db.execute(
         "INSERT INTO orders (o_id, o_c_id, o_date, o_total, o_status) \
          VALUES (?, ?, 735000, ?, 'PENDING')",
-        &[DbValue::Int(o_id), DbValue::Int(c_id), DbValue::Float(total)],
+        &[
+            DbValue::Int(o_id),
+            DbValue::Int(c_id),
+            DbValue::Float(total),
+        ],
     )?;
     for row in &cart.rows {
         let i_id = row[0].as_int().expect("item id is an integer");
@@ -573,12 +557,7 @@ pub(crate) fn order_display(
                 lines
                     .rows
                     .iter()
-                    .map(|r| {
-                        map(vec![
-                            ("title", value_of(&r[0])),
-                            ("qty", value_of(&r[1])),
-                        ])
-                    })
+                    .map(|r| map(vec![("title", value_of(&r[0])), ("qty", value_of(&r[1]))]))
                     .collect(),
             ),
         );
@@ -619,20 +598,13 @@ pub(crate) fn admin_request(
 /// its write lock — the page whose response time the paper shows
 /// *growing* under the modified server because everyone else got
 /// faster (§4.2.1).
-pub(crate) fn admin_confirm(
-    state: &TpcwState,
-    req: &Request,
-    db: &PooledConnection,
-) -> PageResult {
+pub(crate) fn admin_confirm(state: &TpcwState, req: &Request, db: &PooledConnection) -> PageResult {
     let i_id = req.param_u64("i_id").unwrap_or(1) as i64;
     let cost: f64 = req
         .param("cost")
         .and_then(|c| c.parse().ok())
         .unwrap_or(9.99);
-    let image = req
-        .param("image")
-        .unwrap_or("/img/thumb_1.gif")
-        .to_string();
+    let image = req.param("image").unwrap_or("/img/thumb_1.gif").to_string();
     // Recent-order window (full scan of orders, like the TPC-W
     // subquery).
     let max_o = db
@@ -652,11 +624,7 @@ pub(crate) fn admin_confirm(
             DbValue::Int(window_start),
         ],
     )?;
-    let mut rel: Vec<i64> = related
-        .rows
-        .iter()
-        .filter_map(|r| r[0].as_int())
-        .collect();
+    let mut rel: Vec<i64> = related.rows.iter().filter_map(|r| r[0].as_int()).collect();
     while rel.len() < 5 {
         rel.push((i_id + rel.len() as i64) % state.items + 1);
     }

@@ -27,13 +27,13 @@ const FIRST_NAMES: &[&str] = &[
     "Radia", "Vint", "Tim", "Margaret", "Niklaus", "Dennis",
 ];
 const LAST_NAMES: &[&str] = &[
-    "Lovelace", "Hopper", "Turing", "Dijkstra", "Liskov", "Knuth", "Lamport", "Hoare",
-    "Allen", "Backus", "Perlman", "Cerf", "Lee", "Hamilton", "Wirth", "Ritchie",
+    "Lovelace", "Hopper", "Turing", "Dijkstra", "Liskov", "Knuth", "Lamport", "Hoare", "Allen",
+    "Backus", "Perlman", "Cerf", "Lee", "Hamilton", "Wirth", "Ritchie",
 ];
 const TITLE_WORDS: &[&str] = &[
     "Secret", "Garden", "Winter", "Empire", "Shadow", "River", "Broken", "Crown", "Silent",
-    "Storm", "Golden", "Journey", "Lost", "City", "Ancient", "Light", "Iron", "Dream",
-    "Crimson", "Forest", "Distant", "Star", "Hidden", "Voyage", "Endless", "Night",
+    "Storm", "Golden", "Journey", "Lost", "City", "Ancient", "Light", "Iron", "Dream", "Crimson",
+    "Forest", "Distant", "Star", "Hidden", "Voyage", "Endless", "Night",
 ];
 
 fn title_for(rng: &mut StdRng) -> String {
@@ -59,9 +59,15 @@ pub fn populate(db: &Database, scale: &ScaleConfig) -> PopulationSummary {
     let mut rng = StdRng::seed_from_u64(scale.seed);
 
     // Countries.
-    for (i, name) in ["United States", "Canada", "United Kingdom", "Germany", "Japan"]
-        .iter()
-        .enumerate()
+    for (i, name) in [
+        "United States",
+        "Canada",
+        "United Kingdom",
+        "Germany",
+        "Japan",
+    ]
+    .iter()
+    .enumerate()
     {
         db.execute(
             "INSERT INTO country (co_id, co_name) VALUES (?, ?)",
@@ -215,7 +221,7 @@ pub fn populate(db: &Database, scale: &ScaleConfig) -> PopulationSummary {
 /// Generates the in-memory static image store the bookstore pages
 /// reference (`/img/thumb_<n>.gif`), deterministic in `scale.seed`.
 pub(crate) fn build_statics(scale: &ScaleConfig) -> StaticFiles {
-    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x5747_1c);
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x0057_471c);
     let mut statics = StaticFiles::in_memory();
     for n in 0..scale.images {
         let mut bytes = Vec::with_capacity(scale.image_bytes);

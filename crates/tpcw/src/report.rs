@@ -37,6 +37,14 @@ pub struct WorkloadReport {
     pub total_interactions: u64,
     /// Total failed interactions.
     pub total_errors: u64,
+    /// Interactions the server shed with `503` (also in
+    /// `total_errors`).
+    pub total_sheds: u64,
+    /// Mean response time across all successful interactions, ms.
+    pub overall_mean_ms: f64,
+    /// Approximate 99th-percentile response time across all successful
+    /// interactions, ms (the overload benchmarks' tail metric).
+    pub overall_p99_ms: f64,
 }
 
 impl WorkloadReport {
@@ -46,6 +54,24 @@ impl WorkloadReport {
             return 0.0;
         }
         self.total_interactions as f64 * 60.0 / self.duration_secs
+    }
+
+    /// Goodput: successfully served interactions per second (shed and
+    /// failed interactions excluded).
+    pub fn goodput_per_second(&self) -> f64 {
+        if self.duration_secs == 0.0 {
+            return 0.0;
+        }
+        self.total_interactions as f64 / self.duration_secs
+    }
+
+    /// Fraction of attempted interactions the server shed with `503`.
+    pub fn shed_rate(&self) -> f64 {
+        let attempted = self.total_interactions + self.total_errors;
+        if attempted == 0 {
+            return 0.0;
+        }
+        self.total_sheds as f64 / attempted as f64
     }
 
     /// The report row for a route, if present.
@@ -82,8 +108,7 @@ impl WorkloadReport {
         out.push_str(&"-".repeat(88));
         out.push('\n');
         let gain = if unmodified.total_interactions > 0 {
-            (modified.total_interactions as f64 / unmodified.total_interactions as f64
-                - 1.0)
+            (modified.total_interactions as f64 / unmodified.total_interactions as f64 - 1.0)
                 * 100.0
         } else {
             f64::NAN
@@ -117,11 +142,17 @@ impl fmt::Display for WorkloadReport {
         }
         writeln!(
             f,
-            "total: {} interactions in {:.1}s ({:.0}/min), {} errors",
+            "total: {} interactions in {:.1}s ({:.0}/min), {} errors ({} shed)",
             self.total_interactions,
             self.duration_secs,
             self.interactions_per_minute(),
-            self.total_errors
+            self.total_errors,
+            self.total_sheds
+        )?;
+        writeln!(
+            f,
+            "overall: mean {:.2} ms, p99 {:.1} ms",
+            self.overall_mean_ms, self.overall_p99_ms
         )
     }
 }
@@ -149,6 +180,9 @@ mod tests {
             ebs: 10,
             total_interactions: count,
             total_errors: 0,
+            total_sheds: 0,
+            overall_mean_ms: ms,
+            overall_p99_ms: ms * 3.0,
         }
     }
 
@@ -179,5 +213,16 @@ mod tests {
     #[test]
     fn to_ms_converts() {
         assert!((to_ms(Duration::from_millis(1500)) - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn goodput_and_shed_rate() {
+        let mut r = report(600, 5.0);
+        assert!((r.goodput_per_second() - 20.0).abs() < 1e-9);
+        assert_eq!(r.shed_rate(), 0.0);
+        r.total_errors = 150;
+        r.total_sheds = 150;
+        assert!((r.shed_rate() - 0.2).abs() < 1e-9);
+        assert!(r.to_string().contains("(150 shed)"));
     }
 }

@@ -112,10 +112,7 @@ mod tests {
     fn double_creation_fails_cleanly() {
         let db = Database::new();
         create_schema(&db).unwrap();
-        assert!(matches!(
-            create_schema(&db),
-            Err(DbError::TableExists(_))
-        ));
+        assert!(matches!(create_schema(&db), Err(DbError::TableExists(_))));
     }
 
     #[test]

@@ -83,16 +83,32 @@ impl Default for WorkloadConfig {
     }
 }
 
-#[derive(Default)]
 struct Collector {
     pages: Mutex<HashMap<&'static str, (Summary, Histogram)>>,
+    /// Latency across every successful interaction, regardless of page
+    /// (the overload benchmarks report overall p99).
+    overall: (Summary, Histogram),
     counts: Mutex<HashMap<&'static str, u64>>,
     errors: Mutex<HashMap<&'static str, u64>>,
     total_errors: AtomicU64,
+    /// Interactions the server answered `503` (shed under overload);
+    /// also counted in `total_errors`.
+    total_sheds: AtomicU64,
 }
 
 impl Collector {
-    fn record(&self, route: &'static str, elapsed: Duration, ok: bool) {
+    fn new() -> Self {
+        Collector {
+            pages: Mutex::new(HashMap::new()),
+            overall: (Summary::new(), Histogram::new()),
+            counts: Mutex::new(HashMap::new()),
+            errors: Mutex::new(HashMap::new()),
+            total_errors: AtomicU64::new(0),
+            total_sheds: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, route: &'static str, elapsed: Duration, ok: bool, shed: bool) {
         if ok {
             let mut pages = self.pages.lock();
             let (summary, histogram) = pages
@@ -100,10 +116,15 @@ impl Collector {
                 .or_insert_with(|| (Summary::new(), Histogram::new()));
             summary.record(elapsed);
             histogram.record(elapsed);
+            self.overall.0.record(elapsed);
+            self.overall.1.record(elapsed);
             *self.counts.lock().entry(route).or_insert(0) += 1;
         } else {
             *self.errors.lock().entry(route).or_insert(0) += 1;
             self.total_errors.fetch_add(1, Ordering::Relaxed);
+            if shed {
+                self.total_sheds.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -153,12 +174,11 @@ impl Browser {
                 let kind = ["title", "author", "subject"][self.rng.gen_range(0..3)];
                 let query = match kind {
                     "subject" => SUBJECTS[self.rng.gen_range(0..SUBJECTS.len())].to_string(),
-                    "author" => ["Hop", "Tur", "Lov", "Knu", "Dij"]
-                        [self.rng.gen_range(0..5)]
-                    .to_string(),
-                    _ => ["Winter", "Secret", "Star", "River", "Golden"]
-                        [self.rng.gen_range(0..5)]
-                    .to_string(),
+                    "author" => {
+                        ["Hop", "Tur", "Lov", "Knu", "Dij"][self.rng.gen_range(0..5)].to_string()
+                    }
+                    _ => ["Winter", "Secret", "Star", "River", "Golden"][self.rng.gen_range(0..5)]
+                        .to_string(),
                 };
                 format!(
                     "/execute_search?type={kind}&search={}&c_id={c}",
@@ -225,7 +245,7 @@ pub fn run_workload(
     config: &WorkloadConfig,
     on_measurement_start: impl FnOnce(),
 ) -> WorkloadReport {
-    let collector = Arc::new(Collector::default());
+    let collector = Arc::new(Collector::new());
     let recording = Arc::new(AtomicBool::new(false));
     let stop = Arc::new(AtomicBool::new(false));
 
@@ -265,9 +285,12 @@ pub fn run_workload(
                         &[],
                         browser.timeout,
                     );
-                    let ok = match &result {
-                        Ok(resp) => resp.status.is_success(),
-                        Err(_) => false,
+                    let (ok, shed) = match &result {
+                        Ok(resp) => (
+                            resp.status.is_success(),
+                            resp.status == staged_http::StatusCode::SERVICE_UNAVAILABLE,
+                        ),
+                        Err(_) => (false, false),
                     };
                     if let Ok(resp) = &result {
                         if route == "shopping_cart" {
@@ -295,7 +318,7 @@ pub fn run_workload(
                     }
                     let elapsed = started.elapsed();
                     if recording.load(Ordering::Relaxed) {
-                        collector.record(route, elapsed, ok);
+                        collector.record(route, elapsed, ok, shed);
                     }
                     browser.think();
                 }
@@ -347,6 +370,9 @@ pub fn run_workload(
         ebs: config.ebs,
         total_interactions: total,
         total_errors: collector.total_errors.load(Ordering::Relaxed),
+        total_sheds: collector.total_sheds.load(Ordering::Relaxed),
+        overall_mean_ms: to_ms(collector.overall.0.snapshot().mean()),
+        overall_p99_ms: to_ms(collector.overall.1.quantile(0.99)),
     }
 }
 

@@ -22,12 +22,24 @@ fn every_page_renders_on_the_staged_server() {
     let addr = server.addr();
     let pages = [
         ("/home?c_id=1", "Welcome back"),
-        ("/new_products?subject=HISTORY&c_id=1", "New releases in History"),
-        ("/best_sellers?subject=HISTORY&c_id=1", "Best sellers in History"),
+        (
+            "/new_products?subject=HISTORY&c_id=1",
+            "New releases in History",
+        ),
+        (
+            "/best_sellers?subject=HISTORY&c_id=1",
+            "Best sellers in History",
+        ),
         ("/product_detail?i_id=5&c_id=1", "Our price"),
         ("/search_request?c_id=1", "Search the store"),
-        ("/execute_search?type=title&search=Winter&c_id=1", "Results for title"),
-        ("/shopping_cart?c_id=1&sc_id=0&i_id=5&qty=2", "Your shopping cart"),
+        (
+            "/execute_search?type=title&search=Winter&c_id=1",
+            "Results for title",
+        ),
+        (
+            "/shopping_cart?c_id=1&sc_id=0&i_id=5&qty=2",
+            "Your shopping cart",
+        ),
         ("/customer_registration?c_id=1&sc_id=0", "Welcome back"),
         ("/buy_request?c_id=1&sc_id=0", "Confirm your order"),
         ("/buy_confirm?c_id=1&sc_id=0", "Thank you for your order"),
@@ -40,7 +52,10 @@ fn every_page_renders_on_the_staged_server() {
         let resp = fetch(addr, Method::Get, target, &[]).unwrap();
         assert_eq!(resp.status, StatusCode::OK, "{target}");
         let text = resp.text();
-        assert!(text.contains(marker), "{target}: missing {marker:?} in {text}");
+        assert!(
+            text.contains(marker),
+            "{target}: missing {marker:?} in {text}"
+        );
         assert!(text.contains("</html>"), "{target}: truncated page");
     }
     server.shutdown();
@@ -54,10 +69,17 @@ fn shopping_flow_carries_cart_state() {
     let addr = server.addr();
 
     // Add an item; learn the cart id from the page.
-    let resp = fetch(addr, Method::Get, "/shopping_cart?c_id=1&sc_id=0&i_id=7&qty=2", &[])
-        .unwrap();
+    let resp = fetch(
+        addr,
+        Method::Get,
+        "/shopping_cart?c_id=1&sc_id=0&i_id=7&qty=2",
+        &[],
+    )
+    .unwrap();
     let body = resp.text();
-    let pos = body.find("name=\"sc_id\" value=\"").expect("cart id in page");
+    let pos = body
+        .find("name=\"sc_id\" value=\"")
+        .expect("cart id in page");
     let rest = &body[pos + 20..];
     let sc_id: u64 = rest[..rest.find('"').unwrap()].parse().unwrap();
     assert!(sc_id > 0);
@@ -110,7 +132,8 @@ fn workload_runs_against_both_servers() {
             report.total_interactions
         );
         assert_eq!(
-            report.total_errors, 0,
+            report.total_errors,
+            0,
             "staged={staged}: errors {:?}",
             report
                 .pages

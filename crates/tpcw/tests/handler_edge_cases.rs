@@ -49,7 +49,9 @@ fn pages_tolerate_missing_parameters() {
 #[test]
 fn anonymous_home_has_no_greeting() {
     let (server, addr) = server();
-    let text = fetch(addr, Method::Get, "/home?c_id=0", &[]).unwrap().text();
+    let text = fetch(addr, Method::Get, "/home?c_id=0", &[])
+        .unwrap()
+        .text();
     assert!(text.contains("Welcome to the TPC-W Bookstore"));
     assert!(!text.contains("Welcome back"));
     server.shutdown();
@@ -111,8 +113,13 @@ fn buy_confirm_with_empty_cart_places_empty_order() {
 fn order_display_for_customer_without_orders() {
     let (server, addr) = server();
     // A freshly registered customer has no orders.
-    let resp = fetch(addr, Method::Get, "/buy_request?c_id=0&sc_id=0&fname=New&lname=Person", &[])
-        .unwrap();
+    let resp = fetch(
+        addr,
+        Method::Get,
+        "/buy_request?c_id=0&sc_id=0&fname=New&lname=Person",
+        &[],
+    )
+    .unwrap();
     assert_eq!(resp.status, StatusCode::OK);
     // Registration allocated an id beyond the populated range.
     let scale = ScaleConfig::tiny();
@@ -136,7 +143,10 @@ fn admin_confirm_updates_are_visible() {
     let text = fetch(addr, Method::Get, "/product_detail?i_id=5", &[])
         .unwrap()
         .text();
-    assert!(text.contains("$55.55"), "cost update must be visible: {text}");
+    assert!(
+        text.contains("$55.55"),
+        "cost update must be visible: {text}"
+    );
     server.shutdown();
 }
 

@@ -7,7 +7,9 @@
 
 use staged_web::core::{BaselineServer, ServerConfig, StagedServer};
 use staged_web::db::{CostModel, Database};
-use staged_web::tpcw::{build_app, populate, run_workload, ScaleConfig, WorkloadConfig, WorkloadReport};
+use staged_web::tpcw::{
+    build_app, populate, run_workload, ScaleConfig, WorkloadConfig, WorkloadReport,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -44,7 +46,11 @@ fn main() {
 
     let mut reports = Vec::new();
     for staged in [false, true] {
-        let label = if staged { "modified (staged)" } else { "unmodified (thread-per-request)" };
+        let label = if staged {
+            "modified (staged)"
+        } else {
+            "unmodified (thread-per-request)"
+        };
         eprintln!("running {label} …");
         let db = Arc::new(Database::new());
         populate(&db, &scale);

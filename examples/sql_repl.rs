@@ -62,8 +62,10 @@ fn main() {
         match db.execute(line, &[]) {
             Ok(result) => {
                 if result.columns.is_empty() {
-                    println!("ok ({} row(s) affected, {} scanned)",
-                        result.rows_affected, result.rows_scanned);
+                    println!(
+                        "ok ({} row(s) affected, {} scanned)",
+                        result.rows_affected, result.rows_scanned
+                    );
                 } else {
                     println!("{}", result.columns.join(" | "));
                     println!("{}", "-".repeat(result.columns.len() * 12));

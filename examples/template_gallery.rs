@@ -8,7 +8,10 @@ use std::collections::BTreeMap;
 
 fn show(title: &str, source: &str, ctx: &Context) {
     let t = Template::compile(source).expect("example templates compile");
-    println!("--- {title}\n  source: {source}\n  output: {}\n", t.render(ctx).unwrap());
+    println!(
+        "--- {title}\n  source: {source}\n  output: {}\n",
+        t.render(ctx).unwrap()
+    );
 }
 
 fn main() {
@@ -36,7 +39,11 @@ fn main() {
         "{{ evil }} … but {{ evil|safe }} opts out",
         &ctx,
     );
-    show("number formatting", "price: ${{ price|floatformat:2 }}", &ctx);
+    show(
+        "number formatting",
+        "price: ${{ price|floatformat:2 }}",
+        &ctx,
+    );
     show(
         "pluralize",
         "{{ stock }} cop{{ stock|pluralize:\"y,ies\" }} in stock",
@@ -52,7 +59,11 @@ fn main() {
         "{% for b in books %}{{ forloop.counter }}. {{ b }}{% if not forloop.last %}; {% endif %}{% endfor %}",
         &ctx,
     );
-    show("dotted lookups", "{{ author.first }} {{ author.last }}", &ctx);
+    show(
+        "dotted lookups",
+        "{{ author.first }} {{ author.last }}",
+        &ctx,
+    );
     show(
         "slices and joins",
         "top two: {{ books|slice:\":2\"|join:\" + \" }}",
@@ -70,7 +81,10 @@ fn main() {
         .insert("header.html", "<header>{{ name|title }}</header>")
         .unwrap();
     store
-        .insert("page.html", r#"{% include "header.html" %}<main>body</main>"#)
+        .insert(
+            "page.html",
+            r#"{% include "header.html" %}<main>body</main>"#,
+        )
         .unwrap();
     println!(
         "--- includes via TemplateStore\n  output: {}",

@@ -32,8 +32,7 @@ fn each_server(test: impl Fn(std::net::SocketAddr, &str)) {
     test(baseline.addr(), "baseline");
     baseline.shutdown();
     let staged =
-        StagedServer::start(ServerConfig::small(), demo_app(), Arc::new(Database::new()))
-            .unwrap();
+        StagedServer::start(ServerConfig::small(), demo_app(), Arc::new(Database::new())).unwrap();
     test(staged.addr(), "staged");
     staged.shutdown();
 }
@@ -85,10 +84,8 @@ fn keep_alive_serves_sequential_requests_on_one_connection() {
             let connection = if i == 2 { "close" } else { "keep-alive" };
             stream
                 .write_all(
-                    format!(
-                        "GET /echo?q={i} HTTP/1.1\r\nConnection: {connection}\r\n\r\n"
-                    )
-                    .as_bytes(),
+                    format!("GET /echo?q={i} HTTP/1.1\r\nConnection: {connection}\r\n\r\n")
+                        .as_bytes(),
                 )
                 .unwrap();
             let resp = read_response(&mut stream).unwrap();
@@ -106,9 +103,7 @@ fn keep_alive_serves_sequential_requests_on_one_connection() {
 fn keep_alive_mixes_static_and_dynamic() {
     each_server(|addr, which| {
         let mut stream = TcpStream::connect(addr).unwrap();
-        stream
-            .write_all(b"GET /logo.png HTTP/1.1\r\n\r\n")
-            .unwrap();
+        stream.write_all(b"GET /logo.png HTTP/1.1\r\n\r\n").unwrap();
         let first = read_response(&mut stream).unwrap();
         assert_eq!(first.body.len(), 321, "{which}");
         stream

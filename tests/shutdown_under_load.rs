@@ -40,13 +40,8 @@ fn shutdown_drains_in_flight_requests_without_deadlock() {
                 while !stop.load(Ordering::Relaxed) {
                     // Errors are expected once shutdown begins; the only
                     // failure mode under test is a hang.
-                    let _ = fetch_with_timeout(
-                        addr,
-                        Method::Get,
-                        "/work",
-                        &[],
-                        Duration::from_secs(5),
-                    );
+                    let _ =
+                        fetch_with_timeout(addr, Method::Get, "/work", &[], Duration::from_secs(5));
                 }
             })
         })

@@ -46,10 +46,15 @@ fn stalled_connections_are_dropped_and_workers_freed() {
 #[test]
 fn headers_arriving_in_dribbles_still_parse_within_timeout() {
     let server =
-        StagedServer::start(ServerConfig::small(), tiny_app(), Arc::new(Database::new()))
-            .unwrap();
+        StagedServer::start(ServerConfig::small(), tiny_app(), Arc::new(Database::new())).unwrap();
     let mut stream = TcpStream::connect(server.addr()).unwrap();
-    for chunk in ["GET /pi", "ng HT", "TP/1.1\r\n", "Connection: close\r\n", "\r\n"] {
+    for chunk in [
+        "GET /pi",
+        "ng HT",
+        "TP/1.1\r\n",
+        "Connection: close\r\n",
+        "\r\n",
+    ] {
         stream.write_all(chunk.as_bytes()).unwrap();
         std::thread::sleep(Duration::from_millis(30));
     }

@@ -1,0 +1,151 @@
+//! Offline stand-in for the `criterion` surface the workspace's
+//! benches use: `Criterion::benchmark_group`, `bench_function`,
+//! `Bencher::iter`, `black_box`, `criterion_group!`/`criterion_main!`.
+//!
+//! It is a plain timing harness — warm up, run a fixed wall-clock
+//! window, print mean ns/iter — with none of criterion's statistics.
+//! Numbers are indicative, not rigorous; the real crate can be swapped
+//! back in with a one-line Cargo change when registry access exists.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Entry point handed to `criterion_group!` target functions.
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs short: this stub exists so benches compile and give
+        // ballpark numbers, not publication-grade statistics.
+        Criterion {
+            measurement: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            _name: name.to_string(),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    _name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times `f` and prints mean ns/iter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            measurement: self.criterion.measurement,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some((iters, elapsed)) => {
+                let ns = elapsed.as_nanos() as f64 / iters as f64;
+                println!("  {id:<40} {ns:>12.1} ns/iter ({iters} iters)");
+            }
+            None => println!("  {id:<40} (no measurement)"),
+        }
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs the measured closure.
+pub struct Bencher {
+    measurement: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly for the measurement window and
+    /// records mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: fills caches and gives a per-iter estimate.
+        let warmup = Instant::now();
+        let mut warm_iters = 0u64;
+        while warmup.elapsed() < self.measurement / 10 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measurement {
+            black_box(routine());
+            iters += 1;
+            // Re-check the clock only every few iterations for very
+            // fast routines? Not needed: Instant::now is ~20ns, fine
+            // for a ballpark harness.
+        }
+        let _ = warm_iters;
+        self.report = Some((iters, start.elapsed()));
+    }
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn bencher_runs_routine_and_reports() {
+        let calls = AtomicU64::new(0);
+        let mut criterion = Criterion {
+            measurement: Duration::from_millis(5),
+        };
+        let mut group = criterion.benchmark_group("test");
+        group.bench_function("count_calls", |b| {
+            b.iter(|| calls.fetch_add(1, Ordering::Relaxed))
+        });
+        group.finish();
+        assert!(calls.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+    }
+}

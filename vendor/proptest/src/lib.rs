@@ -1,0 +1,667 @@
+//! Offline stand-in for the `proptest` API surface this workspace
+//! uses, vendored because the build image has no crates.io access.
+//!
+//! Supported: the `proptest!` test macro with `#![proptest_config]`,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`,
+//! strategies for integer ranges, tuples, `Just`, `any::<T>()`,
+//! `prop_oneof!`, `.prop_map`, `collection::vec`, `sample::select`,
+//! and a regex-subset string strategy (char classes, `.`, `{m,n}`,
+//! `*`, `+`, `?`).
+//!
+//! Unsupported (by design, to stay dependency-free): shrinking,
+//! failure persistence, and full regex syntax. Inputs are drawn from a
+//! generator seeded by the test's module path, so runs are
+//! deterministic per test.
+
+#![forbid(unsafe_code)]
+// The boxed-closure plumbing mirrors the real crate's signatures.
+#![allow(clippy::type_complexity)]
+
+pub mod test_runner {
+    //! Case execution: config, RNG, and the error type the assertion
+    //! macros produce.
+
+    use std::fmt;
+
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure carrying `msg`.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic generator state (SplitMix64 over a counter).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut x = self.state;
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^ (x >> 31)
+        }
+
+        /// Uniform draw in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// An RNG seeded from the test's fully-qualified name, so each
+    /// property sees a distinct but reproducible input sequence.
+    pub fn rng_for(test_name: &str) -> TestRng {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: seed }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Post-processes generated values with `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Uniform choice between boxed alternative strategies — the
+    /// engine behind `prop_oneof!`.
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Fn(&mut TestRng) -> V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union from pre-boxed arms (see [`Union::case`]).
+        pub fn new(arms: Vec<Box<dyn Fn(&mut TestRng) -> V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+
+        /// Boxes one strategy as a union arm.
+        pub fn case<S: Strategy<Value = V> + 'static>(s: S) -> Box<dyn Fn(&mut TestRng) -> V> {
+            Box::new(move |rng| s.generate(rng))
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let arm = rng.below(self.arms.len());
+            (self.arms[arm])(rng)
+        }
+    }
+
+    /// Types with a canonical strategy, for [`any`].
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy producing unconstrained values of `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`: `any::<bool>()` etc.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    // ---- regex-subset string strategies -------------------------------
+
+    /// One pattern element: a character set with a repetition count.
+    struct Elem {
+        set: CharSet,
+        min: usize,
+        max: usize,
+    }
+
+    enum CharSet {
+        /// `.` — any char except newline.
+        Any,
+        OneOf(Vec<char>),
+        NoneOf(Vec<char>),
+    }
+
+    /// `&str` patterns are regex-subset string strategies, like
+    /// proptest's. Supported: literals, `.`, `[...]` classes (ranges,
+    /// negation), and `{m,n}` / `{m}` / `*` / `+` / `?` quantifiers.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let elems = parse_pattern(self);
+            let mut out = String::new();
+            for elem in &elems {
+                let n = elem.min + rng.below(elem.max - elem.min + 1);
+                for _ in 0..n {
+                    out.push(elem.set.pick(rng));
+                }
+            }
+            out
+        }
+    }
+
+    impl CharSet {
+        fn pick(&self, rng: &mut TestRng) -> char {
+            // A sprinkle of non-ASCII keeps `.`-style patterns honest
+            // about multi-byte handling.
+            const EXOTIC: [char; 6] = ['\t', 'é', 'ß', 'λ', '火', '🦀'];
+            match self {
+                CharSet::Any => {
+                    if rng.below(16) == 0 {
+                        EXOTIC[rng.below(EXOTIC.len())]
+                    } else {
+                        char::from(0x20 + rng.below(0x5f) as u8)
+                    }
+                }
+                CharSet::OneOf(chars) => chars[rng.below(chars.len())],
+                CharSet::NoneOf(excluded) => loop {
+                    let c = char::from(0x20 + rng.below(0x5f) as u8);
+                    if !excluded.contains(&c) {
+                        return c;
+                    }
+                },
+            }
+        }
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<Elem> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut elems = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set = match chars[i] {
+                '.' => {
+                    i += 1;
+                    CharSet::Any
+                }
+                '[' => {
+                    i += 1;
+                    let negated = chars.get(i) == Some(&'^');
+                    if negated {
+                        i += 1;
+                    }
+                    let mut members = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if chars.get(i + 1) == Some(&'-')
+                            && i + 2 < chars.len()
+                            && chars[i + 2] != ']'
+                        {
+                            let hi = chars[i + 2];
+                            assert!(lo <= hi, "bad class range in {pattern:?}");
+                            for c in lo..=hi {
+                                members.push(c);
+                            }
+                            i += 3;
+                        } else {
+                            members.push(lo);
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                    i += 1; // consume ']'
+                    if negated {
+                        CharSet::NoneOf(members)
+                    } else {
+                        CharSet::OneOf(members)
+                    }
+                }
+                '\\' => {
+                    // Escaped literal.
+                    i += 1;
+                    let c = *chars.get(i).expect("dangling escape");
+                    i += 1;
+                    CharSet::OneOf(vec![c])
+                }
+                c => {
+                    i += 1;
+                    CharSet::OneOf(vec![c])
+                }
+            };
+            let (min, max) = match chars.get(i) {
+                Some('*') => {
+                    i += 1;
+                    (0, 16)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 16)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('{') => {
+                    i += 1;
+                    let mut lo = String::new();
+                    while chars[i].is_ascii_digit() {
+                        lo.push(chars[i]);
+                        i += 1;
+                    }
+                    let lo: usize = lo.parse().expect("bad repetition");
+                    let hi = if chars[i] == ',' {
+                        i += 1;
+                        let mut hi = String::new();
+                        while chars[i].is_ascii_digit() {
+                            hi.push(chars[i]);
+                            i += 1;
+                        }
+                        hi.parse().expect("bad repetition")
+                    } else {
+                        lo
+                    };
+                    assert_eq!(chars[i], '}', "unterminated repetition in {pattern:?}");
+                    i += 1;
+                    (lo, hi)
+                }
+                _ => (1, 1),
+            };
+            elems.push(Elem { set, min, max });
+        }
+        elems
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Generates `Vec`s of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end - self.size.start;
+            let n = self.size.start + rng.below(span);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniformly picks one of the given values.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    /// See [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len())].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test file needs in scope.
+
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies; each runs `Config::cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (@cfg ($config:expr)) => {};
+    (@cfg ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::rng_for(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || { $body Ok(()) })();
+                if let Err(e) = result {
+                    panic!(
+                        "property {} failed at case {}/{}: {}",
+                        stringify!($name), case + 1, config.cases, e,
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), l, r,
+        );
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+        );
+    }};
+}
+
+/// Skips the rest of the case unless `cond` holds (counts as a pass —
+/// this stub does not re-draw rejected cases).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniform choice among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Union::case($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn string_pattern_subset() {
+        let mut rng = rng_for("string_pattern_subset");
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+
+            let t = "/[ -~]{0,10}".generate(&mut rng);
+            assert!(t.starts_with('/'));
+            assert!(t.chars().count() <= 11);
+            assert!(t.chars().skip(1).all(|c| (' '..='~').contains(&c)));
+
+            let n = "[^{}%#]*".generate(&mut rng);
+            assert!(!n.contains(['{', '}', '%', '#']), "{n:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_tuples_and_oneof_generate_in_bounds() {
+        let mut rng = rng_for("ranges_tuples");
+        let strat = prop_oneof![(0i64..10).prop_map(Some), Just(None)];
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                Some(v) => {
+                    assert!((0..10).contains(&v));
+                    some += 1;
+                }
+                None => none += 1,
+            }
+            let (a, b) = (1usize..4, "[0-9]{2}").generate(&mut rng);
+            assert!((1..4).contains(&a));
+            assert_eq!(b.len(), 2);
+        }
+        assert!(some > 20 && none > 20, "both arms hit: {some}/{none}");
+    }
+
+    #[test]
+    fn collection_vec_respects_size() {
+        let mut rng = rng_for("collection_vec");
+        for _ in 0..100 {
+            let v = crate::collection::vec(0i64..5, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself: args bind, asserts work, cases run.
+        #[test]
+        fn macro_smoke(x in 0u64..100, flag in any::<bool>()) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(flag, flag);
+            prop_assert_ne!(x, 100);
+            prop_assume!(x != 0);
+            prop_assert!(x > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics_with_context() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(dead_code)]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

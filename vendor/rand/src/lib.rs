@@ -1,0 +1,225 @@
+//! A stand-in for the `rand` API surface this workspace uses
+//! (`StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen_range`/`gen`),
+//! vendored because the build image has no crates.io access.
+//!
+//! The generator is a SplitMix64 counter — statistically fine for
+//! workload synthesis and test-data population, **not** cryptographic.
+//! Sequences differ from upstream `rand`'s `StdRng`, so seeds
+//! reproduce runs against this crate, not against upstream.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seedable random number generator (the workspace only constructs
+/// it via [`SeedableRng::seed_from_u64`]).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// The workspace's deterministic RNG: SplitMix64 over a counter.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng { state: seed }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Types a generator can produce directly via [`Rng::gen`].
+pub trait FromRandom {
+    /// Derives a value from one raw 64-bit draw.
+    fn from_random(raw: u64) -> Self;
+}
+
+macro_rules! impl_from_random_int {
+    ($($t:ty),*) => {$(
+        impl FromRandom for $t {
+            fn from_random(raw: u64) -> Self {
+                raw as $t
+            }
+        }
+    )*};
+}
+impl_from_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl FromRandom for bool {
+    fn from_random(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+impl FromRandom for f64 {
+    fn from_random(raw: u64) -> Self {
+        (raw >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Types with a uniform sampler — the element type of
+/// [`Rng::gen_range`] ranges.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi)` (`inclusive = false`) or
+    /// `[lo, hi]` (`inclusive = true`).
+    fn sample_between<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: Rng + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                assert!(span > 0, "cannot sample empty range");
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        assert!(lo < hi, "cannot sample empty range");
+        let unit = f64::from_random(rng.next_u64());
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from. Blanket impls over
+/// [`SampleUniform`] (matching upstream rand's shape) keep type
+/// inference working when the result type is pinned by the use site,
+/// e.g. `slice[rng.gen_range(0..n)]`.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+/// The draw interface: `gen_range` over int/float ranges plus raw
+/// `gen` for [`FromRandom`] types.
+pub trait Rng {
+    /// Produces the next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a uniform value from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Draws a value of type `T` from one raw draw.
+    fn gen<T: FromRandom>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_random(self.next_u64())
+    }
+
+    /// Draws `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        f64::from_random(self.next_u64()) < p
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        splitmix64(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let w = rng.gen_range(1usize..=3);
+            assert!((1..=3).contains(&w));
+            let f = rng.gen_range(0.5f64..1.0);
+            assert!((0.5..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_span() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_produces_all_u8_eventually() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 256];
+        for _ in 0..40_000 {
+            seen[rng.gen::<u8>() as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() > 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(5i64..5);
+    }
+}
