@@ -21,12 +21,14 @@
 use staged_bench::{run_model, Experiment, Model};
 use staged_core::ShedPoint;
 use staged_db::FaultPlan;
+use std::fmt::Write as _;
 use std::time::Duration;
 
 struct Args {
     exp: Experiment,
     base_ebs: usize,
     levels: Vec<usize>,
+    json: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -37,6 +39,7 @@ fn parse_args() -> Args {
     exp.measure = Duration::from_secs(10);
     let mut base_ebs = 120;
     let mut levels = vec![1, 2, 3];
+    let mut json = None;
     let mut error_rate = 0.0;
     let mut latency_ticks = 0u64;
     let mut death_period = 0u64;
@@ -75,11 +78,13 @@ fn parse_args() -> Args {
             "--latency-ticks" => latency_ticks = value(i).parse().expect("--latency-ticks"),
             "--death-period" => death_period = value(i).parse().expect("--death-period"),
             "--fault-seed" => fault_seed = value(i).parse().expect("--fault-seed"),
+            "--json" => json = Some(value(i).to_string()),
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --base-ebs N --levels 1,2,3 --measure-secs S --ramp-secs S \
                      --queue-factor N --deadline-ms MS \
-                     --error-rate P --latency-ticks N --death-period N --fault-seed N"
+                     --error-rate P --latency-ticks N --death-period N --fault-seed N \
+                     --json PATH"
                 );
                 std::process::exit(0);
             }
@@ -103,6 +108,7 @@ fn parse_args() -> Args {
         exp,
         base_ebs,
         levels,
+        json,
     }
 }
 
@@ -135,6 +141,8 @@ fn main() {
     );
     println!("{}", "-".repeat(95));
 
+    let mut json_rows = String::from("[");
+    let mut first_row = true;
     for &level in &args.levels {
         for model in [Model::Unmodified, Model::Modified] {
             let mut exp = args.exp.clone();
@@ -171,7 +179,29 @@ fn main() {
                     stats.deadline_expired.value()
                 );
             }
+            if !first_row {
+                json_rows.push(',');
+            }
+            first_row = false;
+            let _ = write!(
+                json_rows,
+                "{{\"load\":{level},\"model\":\"{}\",\"ebs\":{},\"goodput_per_s\":{:.2},\"shed_rate\":{:.4},\"p99_ms\":{:.2},\"mean_ms\":{:.3},\"sheds\":{},\"deadline_expired\":{},\"panics\":{panics}}}",
+                model.label(),
+                exp.ebs,
+                report.goodput_per_second(),
+                report.shed_rate(),
+                report.overall_p99_ms,
+                report.overall_mean_ms,
+                stats.total_sheds(),
+                stats.deadline_expired.value(),
+            );
             outcome.server.shutdown();
         }
+    }
+    json_rows.push(']');
+
+    if let Some(path) = args.json {
+        std::fs::write(&path, json_rows).expect("write --json output");
+        eprintln!("wrote {path}");
     }
 }

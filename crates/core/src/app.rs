@@ -61,6 +61,11 @@ pub(crate) struct Route {
     /// page").
     pub name: String,
     pub handler: Handler,
+    /// Whether successful renders of this page may be retained in (and
+    /// served from) the staged server's stale cache when fresh
+    /// generation is unavailable. Off by default: only read-only pages
+    /// should opt in (serving a stale order-confirmation would lie).
+    pub cacheable: bool,
 }
 
 /// A web application: dynamic routes, templates, and static files.
@@ -204,8 +209,27 @@ impl AppBuilder {
             Route {
                 name: name.into(),
                 handler: Arc::new(handler),
+                cacheable: false,
             },
         );
+        self
+    }
+
+    /// Marks an already-registered exact route as **stale-cacheable**:
+    /// the staged server may retain its successful renders and serve
+    /// them (with `Warning: 110` / `Age` headers) while the database is
+    /// unavailable. Only mark read-only pages — a stale copy of a page
+    /// that confirms a mutation would misreport what happened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no exact route is registered at `path` (a programming
+    /// error caught at startup).
+    pub fn stale_cacheable(mut self, path: &str) -> Self {
+        self.routes
+            .get_mut(path)
+            .unwrap_or_else(|| panic!("stale_cacheable: no exact route at {path:?}"))
+            .cacheable = true;
         self
     }
 
@@ -228,6 +252,7 @@ impl AppBuilder {
                 Route {
                     name: name.into(),
                     handler: Arc::new(handler),
+                    cacheable: false,
                 },
             )
             .unwrap_or_else(|e| panic!("invalid route pattern {pattern:?}: {e}"));
@@ -324,6 +349,27 @@ mod tests {
             PageOutcome::Body(r) => assert_eq!(r.status(), StatusCode::NOT_FOUND),
             o => panic!("unexpected {o:?}"),
         }
+    }
+
+    #[test]
+    fn stale_cacheable_flags_exact_routes() {
+        let app = App::builder()
+            .route("/ro", "ro", |_r, _c| {
+                Ok(PageOutcome::template("t.html", Context::new()))
+            })
+            .route("/rw", "rw", |_r, _c| {
+                Ok(PageOutcome::template("t.html", Context::new()))
+            })
+            .stale_cacheable("/ro")
+            .build();
+        assert!(app.route("/ro").unwrap().0.cacheable);
+        assert!(!app.route("/rw").unwrap().0.cacheable);
+    }
+
+    #[test]
+    #[should_panic(expected = "no exact route")]
+    fn stale_cacheable_requires_registered_route() {
+        let _ = App::builder().stale_cacheable("/missing");
     }
 
     #[test]

@@ -3,13 +3,14 @@
 use crate::app::{App, PageOutcome};
 use crate::config::ServerConfig;
 use crate::error::AppError;
-use crate::handle::{GaugeFn, ServerHandle};
-use crate::overload::{overload_response, ChaosAction, DbSlot};
+use crate::handle::{FaultFn, GaugeFn, ServerHandle};
+use crate::health::{self, HealthView, Readiness};
+use crate::overload::{overload_response, ChaosAction, DbSlot, RetryEstimator};
 use crate::scheduler::{RequestClass, ServiceTimeTracker};
 use crate::stats::{RequestKind, ServerStats, ShedPoint};
-use staged_db::{ConnectionPool, Database, PooledConnection};
+use staged_db::{CircuitBreaker, ConnectionPool, Database, PooledConnection};
 use staged_http::{Connection, HttpError, ParseLimits, Request, Response, StatusCode};
-use staged_pool::{PoolConfig, PushError, WorkerPool};
+use staged_pool::{PoolConfig, PoolStats, PushError, SyncQueue, WorkerPool};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::panic::{self, AssertUnwindSafe};
@@ -25,8 +26,41 @@ struct WorkerCtx {
     limits: ParseLimits,
     /// Per-request time budget (`None` disables deadline checking).
     budget: Option<Duration>,
-    /// `Retry-After` advertised on shed responses.
-    retry_after: Duration,
+    /// Adaptive `Retry-After` advice for shed responses.
+    retry: RetryEstimator,
+    /// The worker queue, held for health reporting and retry advice.
+    queue: Arc<SyncQueue<(TcpStream, Instant)>>,
+    /// The worker pool's stats, held for health reporting.
+    pool_stats: Arc<PoolStats>,
+    /// Lifecycle phase, served by `/readyz`.
+    readiness: Arc<Readiness>,
+    /// The database circuit breaker, surfaced in the health payloads.
+    breaker: Option<Arc<CircuitBreaker>>,
+    /// Set when shutdown begins: keep-alive connections are closed
+    /// after their in-flight response instead of being read again.
+    draining: Arc<AtomicBool>,
+}
+
+impl WorkerCtx {
+    /// Builds the health payload from the live server structure. The
+    /// baseline has one queue, one pool, and no reserve scheduler.
+    fn health_response(&self, path: &str) -> Response {
+        let queues = [("worker", self.queue.len())];
+        let pools: [(&'static str, &PoolStats); 1] = [("baseline-worker", &self.pool_stats)];
+        let view = HealthView {
+            phase: self.readiness.phase(),
+            breaker: self.breaker.as_deref(),
+            queues: &queues,
+            scheduler: None,
+            stats: &self.stats,
+            pools: &pools,
+        };
+        if path == "/readyz" {
+            view.readyz(self.retry.advise())
+        } else {
+            view.healthz()
+        }
+    }
 }
 
 /// The unmodified request-processing model: a single listener thread
@@ -72,6 +106,29 @@ impl BaselineServer {
         let tracker = Arc::new(ServiceTimeTracker::new(config.lengthy_cutoff));
         let connections = ConnectionPool::new(db, config.db_connections);
         connections.set_fault_plan(config.fault_plan);
+        connections.set_breaker(config.breaker);
+        let breaker = connections.breaker();
+        let fault_pool = connections.clone();
+        let set_fault: FaultFn = Arc::new(move |plan| fault_pool.set_fault_plan(plan));
+        let readiness = Arc::new(Readiness::new());
+        let draining = Arc::new(AtomicBool::new(false));
+
+        // Queue and stats exist before the pool so the worker context
+        // can report them on `/healthz` and feed the retry estimator.
+        let queue = Arc::new(SyncQueue::<(TcpStream, Instant)>::bounded(
+            config.baseline_queue_bound(),
+        ));
+        let pool_stats = Arc::new(PoolStats::default());
+
+        let retry = {
+            let q = Arc::clone(&queue);
+            let st = Arc::clone(&stats);
+            RetryEstimator::new(
+                config.retry_after,
+                Box::new(move || q.len()),
+                Box::new(move || st.total_completed()),
+            )
+        };
 
         let ctx = Arc::new(WorkerCtx {
             app,
@@ -79,15 +136,21 @@ impl BaselineServer {
             stats: Arc::clone(&stats),
             limits: config.limits,
             budget: config.request_deadline,
-            retry_after: config.retry_after,
+            retry,
+            queue: Arc::clone(&queue),
+            pool_stats: Arc::clone(&pool_stats),
+            readiness: Arc::clone(&readiness),
+            breaker: breaker.clone(),
+            draining: Arc::clone(&draining),
         });
 
         let worker_ctx = Arc::clone(&ctx);
         let db_acquire_timeout = config.db_acquire_timeout;
         let db_acquire_retries = config.db_acquire_retries;
-        let pool = WorkerPool::new(
-            PoolConfig::new("baseline-worker", config.baseline_workers)
-                .queue_capacity(config.baseline_queue_bound()),
+        let pool = WorkerPool::with_parts(
+            Arc::clone(&queue),
+            Arc::clone(&pool_stats),
+            PoolConfig::new("baseline-worker", config.baseline_workers),
             |_| DbSlot::new(&connections, db_acquire_timeout, db_acquire_retries),
             move |slot: &mut DbSlot, (stream, arrived): (TcpStream, Instant)| {
                 // Queue-wait check: a connection that waited longer
@@ -96,7 +159,7 @@ impl BaselineServer {
                     worker_ctx.stats.deadline_expired.increment();
                     let mut conn = Connection::with_limits(stream, worker_ctx.limits);
                     if conn
-                        .send(&overload_response(worker_ctx.retry_after))
+                        .send(&overload_response(worker_ctx.retry.advise()))
                         .is_ok()
                     {
                         // The request was never read; drain it so the
@@ -109,12 +172,10 @@ impl BaselineServer {
             },
         );
 
-        let queue = pool.queue_handle();
-        let pool_stats = pool.stats_handle();
-        let gauge_queue = pool.queue_handle();
+        let gauge_queue = Arc::clone(&queue);
         let gauges: Vec<(String, GaugeFn)> =
             vec![("worker".to_string(), Arc::new(move || gauge_queue.len()))];
-        let pools = vec![("baseline-worker".to_string(), pool.stats_handle())];
+        let pools = vec![("baseline-worker".to_string(), Arc::clone(&pool_stats))];
 
         let stop = Arc::new(AtomicBool::new(false));
         let listener_stop = Arc::clone(&stop);
@@ -158,7 +219,7 @@ impl BaselineServer {
                                     let mut conn =
                                         Connection::with_limits(stream, listen_ctx.limits);
                                     if conn
-                                        .send(&overload_response(listen_ctx.retry_after))
+                                        .send(&overload_response(listen_ctx.retry.advise()))
                                         .is_err()
                                     {
                                         listen_ctx.stats.dropped_connections.increment();
@@ -175,16 +236,36 @@ impl BaselineServer {
             })
             .expect("failed to spawn listener thread");
 
+        // The listener is live: accepted connections will be served.
+        readiness.set_ready();
+
+        let drain_ctx = Arc::clone(&ctx);
+        let drain_deadline = config.drain_deadline;
         let shutdown = Box::new(move || {
+            // Drain-aware shutdown: advertise not-ready, close
+            // keep-alive connections after their in-flight response,
+            // stop accepting — then let every already-accepted request
+            // finish before closing the pool.
+            drain_ctx.readiness.set_draining();
+            drain_ctx.draining.store(true, Ordering::Relaxed);
             stop.store(true, Ordering::Relaxed);
             // Poke the blocking accept() so the listener notices.
             let _ = TcpStream::connect(addr);
             let _ = listener_thread.join();
+            // `pool.shutdown()` drains the queue's backlog, but only
+            // this bounded wait covers the window between a worker
+            // popping a connection and finishing its response.
+            let deadline = Instant::now() + drain_deadline;
+            while (!drain_ctx.queue.is_empty() || drain_ctx.pool_stats.busy.value() > 0)
+                && Instant::now() <= deadline
+            {
+                std::thread::sleep(Duration::from_millis(2));
+            }
             pool.shutdown();
         });
 
         Ok(ServerHandle::new(
-            addr, stats, tracker, gauges, pools, shutdown,
+            addr, stats, tracker, gauges, pools, readiness, set_fault, breaker, shutdown,
         ))
     }
 }
@@ -210,6 +291,24 @@ fn serve_connection(stream: TcpStream, slot: &mut DbSlot, ctx: &WorkerCtx) {
             }
         };
         let keep_alive = request.keep_alive();
+        // Health endpoints are answered ahead of routing, without a
+        // database round trip, and without counting as completions —
+        // monitoring traffic must not skew the goodput series.
+        if health::is_health_path(request.path()) {
+            let response = ctx.health_response(request.path());
+            if conn.send_for_method(request.method(), &response).is_err() {
+                ctx.stats.dropped_connections.increment();
+                return;
+            }
+            let server_closed = response
+                .headers()
+                .get("connection")
+                .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+            if !keep_alive || server_closed || ctx.draining.load(Ordering::Relaxed) {
+                return;
+            }
+            continue;
+        }
         let (response, kind) = process_request(ctx, &request, slot);
         if conn.send_for_method(request.method(), &response).is_err() {
             ctx.stats.dropped_connections.increment();
@@ -217,12 +316,14 @@ fn serve_connection(stream: TcpStream, slot: &mut DbSlot, ctx: &WorkerCtx) {
         }
         ctx.stats.record_completion(kind);
         // Responses the server marked `Connection: close` (503s) end
-        // the connection even if the client asked for keep-alive.
+        // the connection even if the client asked for keep-alive — as
+        // does a draining server, so shutdown isn't held open by idle
+        // keep-alive connections.
         let server_closed = response
             .headers()
             .get("connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("close"));
-        if !keep_alive || server_closed {
+        if !keep_alive || server_closed || ctx.draining.load(Ordering::Relaxed) {
             return;
         }
     }
@@ -280,10 +381,13 @@ fn process_request(
             }
         }
         Err(e) if e.is_unavailable() => {
-            // Transient resource failure (dead connection, starved
-            // pool): 503, retryable — not the 500 a handler bug gets.
+            // Transient resource failure (open breaker, dead
+            // connection, starved pool): 503, retryable — not the 500 a
+            // handler bug gets. No stale fallback here: the baseline
+            // deliberately has no render cache, preserving the paper's
+            // model comparison.
             ctx.stats.errors.increment();
-            overload_response(ctx.retry_after)
+            overload_response(ctx.retry.advise())
         }
         Err(_) => {
             ctx.stats.errors.increment();

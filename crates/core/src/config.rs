@@ -1,7 +1,7 @@
 //! Server configuration.
 
 use crate::overload::ListenerChaos;
-use staged_db::FaultPlan;
+use staged_db::{BreakerConfig, FaultPlan};
 use staged_http::ParseLimits;
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -121,6 +121,24 @@ pub struct ServerConfig {
     /// Deterministic database fault plan, installed into the connection
     /// pool at startup. `None` (the default) injects nothing.
     pub fault_plan: Option<FaultPlan>,
+    /// Circuit breaker wrapped around database checkout and query
+    /// execution (see [`staged_db::CircuitBreaker`]). When the breaker
+    /// opens, dynamic handlers fail fast instead of burning their
+    /// deadline in acquisition backoff, and the staged server degrades
+    /// to the stale-render cache. `None` (the default) disables it.
+    pub breaker: Option<BreakerConfig>,
+    /// How long a successful render stays servable from the staged
+    /// server's stale cache once fresh generation becomes unavailable.
+    pub stale_ttl: Duration,
+    /// Entry bound of the stale-render cache; `0` disables stale
+    /// serving entirely. Only routes marked
+    /// [`AppBuilder::stale_cacheable`](crate::AppBuilder::stale_cacheable)
+    /// are cached.
+    pub stale_capacity: usize,
+    /// Graceful-shutdown budget: how long [`ServerHandle::shutdown`]
+    /// (see [`crate::ServerHandle`]) waits for queued and in-flight
+    /// requests to finish before force-joining the pools.
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -159,6 +177,10 @@ impl Default for ServerConfig {
             db_acquire_retries: 2,
             chaos: None,
             fault_plan: None,
+            breaker: None,
+            stale_ttl: Duration::from_secs(30),
+            stale_capacity: 256,
+            drain_deadline: Duration::from_secs(5),
         }
     }
 }
@@ -279,6 +301,9 @@ impl ServerConfig {
         assert!(self.queue_factor >= 1, "queue_factor must be at least 1");
         if let Some(chaos) = &self.chaos {
             chaos.validate();
+        }
+        if let Some(breaker) = &self.breaker {
+            breaker.validate();
         }
     }
 }

@@ -51,7 +51,7 @@ impl Error for AppError {}
 
 impl From<DbError> for AppError {
     fn from(e: DbError) -> Self {
-        if e.is_connection_lost() {
+        if e.is_connection_lost() || e.is_circuit_open() {
             AppError::Unavailable(e.to_string())
         } else {
             AppError::Db(e.to_string())
@@ -84,5 +84,11 @@ mod tests {
         assert!(e.is_unavailable(), "lost connections are retryable: {e}");
         let e: AppError = DbError::NoSuchTable("t".into()).into();
         assert!(!e.is_unavailable(), "query errors stay 500s");
+    }
+
+    #[test]
+    fn open_breaker_maps_to_unavailable() {
+        let e: AppError = DbError::CircuitOpen.into();
+        assert!(e.is_unavailable(), "breaker rejections are retryable: {e}");
     }
 }

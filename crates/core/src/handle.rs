@@ -1,13 +1,18 @@
 //! The handle returned by both servers.
 
+use crate::health::Readiness;
 use crate::scheduler::ServiceTimeTracker;
 use crate::stats::ServerStats;
+use staged_db::{CircuitBreaker, FaultPlan};
 use std::fmt;
 use std::net::SocketAddr;
 use std::sync::Arc;
 
 /// A gauge closure reporting a live queue length.
 pub(crate) type GaugeFn = Arc<dyn Fn() -> usize + Send + Sync>;
+
+/// A closure that swaps the server's database fault plan at runtime.
+pub(crate) type FaultFn = Arc<dyn Fn(Option<FaultPlan>) + Send + Sync>;
 
 /// A point-in-time view of one worker pool's health, for overload and
 /// fault-injection reporting.
@@ -37,6 +42,9 @@ pub struct ServerHandle {
     tracker: Arc<ServiceTimeTracker>,
     gauges: Vec<(String, GaugeFn)>,
     pools: Vec<(String, Arc<staged_pool::PoolStats>)>,
+    readiness: Arc<Readiness>,
+    set_fault: FaultFn,
+    breaker: Option<Arc<CircuitBreaker>>,
     shutdown: Option<Box<dyn FnOnce() + Send>>,
 }
 
@@ -50,12 +58,18 @@ impl fmt::Debug for ServerHandle {
 }
 
 impl ServerHandle {
+    // A private constructor with one caller per server; a builder would
+    // be ceremony without benefit.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         addr: SocketAddr,
         stats: Arc<ServerStats>,
         tracker: Arc<ServiceTimeTracker>,
         gauges: Vec<(String, GaugeFn)>,
         pools: Vec<(String, Arc<staged_pool::PoolStats>)>,
+        readiness: Arc<Readiness>,
+        set_fault: FaultFn,
+        breaker: Option<Arc<CircuitBreaker>>,
         shutdown: Box<dyn FnOnce() + Send>,
     ) -> Self {
         ServerHandle {
@@ -64,8 +78,33 @@ impl ServerHandle {
             tracker,
             gauges,
             pools,
+            readiness,
+            set_fault,
+            breaker,
             shutdown: Some(shutdown),
         }
+    }
+
+    /// The server's lifecycle phase, as `/readyz` reports it. Flips to
+    /// [`crate::Phase::Draining`] the moment [`ServerHandle::shutdown`]
+    /// begins.
+    pub fn readiness(&self) -> &Arc<Readiness> {
+        &self.readiness
+    }
+
+    /// Replaces the database fault plan on the **running** server —
+    /// `None` heals the database. This is how chaos tests and the
+    /// brownout benchmark switch between healthy, brownout, and outage
+    /// phases without restarting (a restart would also reset the
+    /// circuit breaker, hiding exactly the recovery being measured).
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        (self.set_fault)(plan);
+    }
+
+    /// The database circuit breaker, when one was configured
+    /// ([`crate::ServerConfig::breaker`]).
+    pub fn breaker(&self) -> Option<&Arc<CircuitBreaker>> {
+        self.breaker.as_ref()
     }
 
     /// The bound listen address.

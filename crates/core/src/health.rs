@@ -1,0 +1,294 @@
+//! Health and readiness reporting (`/healthz`, `/readyz`).
+//!
+//! Both servers answer these two paths ahead of routing and without
+//! touching a database connection, so they stay truthful during the
+//! exact outages they exist to report. `/healthz` is liveness plus a
+//! JSON diagnostic payload (breaker state, queue depths, scheduler
+//! gauges, shed/panic counters); `/readyz` carries the same payload but
+//! flips to `503` while the server is starting or draining, which is
+//! what a load balancer keys on.
+//!
+//! The JSON is assembled by hand: this repo deliberately has no JSON
+//! dependency (see DESIGN.md §7), and every value here is a number or
+//! a fixed label, so escaping is a non-issue.
+
+use crate::stats::{ServerStats, ShedPoint};
+use staged_db::CircuitBreaker;
+use staged_http::{Response, StatusCode};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::Duration;
+
+/// Server lifecycle phase, as `/readyz` reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Pools are spawning; not yet accepting work.
+    Starting,
+    /// Serving normally.
+    Ready,
+    /// Shutdown began; in-flight requests are finishing.
+    Draining,
+}
+
+impl Phase {
+    /// Label used in the health payloads.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::Starting => "starting",
+            Phase::Ready => "ready",
+            Phase::Draining => "draining",
+        }
+    }
+}
+
+/// Shared readiness state: flipped to [`Phase::Ready`] once the server
+/// is accepting, and to [`Phase::Draining`] the moment shutdown begins.
+/// Obtainable from a running server via
+/// [`ServerHandle::readiness`](crate::ServerHandle::readiness).
+#[derive(Debug)]
+pub struct Readiness {
+    phase: AtomicU8,
+}
+
+impl Readiness {
+    pub(crate) fn new() -> Self {
+        Readiness {
+            phase: AtomicU8::new(0),
+        }
+    }
+
+    /// The current lifecycle phase.
+    pub fn phase(&self) -> Phase {
+        match self.phase.load(Ordering::Relaxed) {
+            0 => Phase::Starting,
+            1 => Phase::Ready,
+            _ => Phase::Draining,
+        }
+    }
+
+    /// Whether `/readyz` currently answers `200`.
+    pub fn is_ready(&self) -> bool {
+        self.phase() == Phase::Ready
+    }
+
+    pub(crate) fn set_ready(&self) {
+        self.phase.store(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_draining(&self) {
+        self.phase.store(2, Ordering::Relaxed);
+    }
+}
+
+/// Everything one health payload is rendered from. Each server
+/// assembles this from its own stage structure.
+pub(crate) struct HealthView<'a> {
+    pub phase: Phase,
+    pub breaker: Option<&'a CircuitBreaker>,
+    /// `(queue name, depth)` pairs, in pipeline order.
+    pub queues: &'a [(&'static str, usize)],
+    /// `(t_spare, t_reserve)`; `None` on the baseline server, which has
+    /// no reserve scheduler.
+    pub scheduler: Option<(usize, usize)>,
+    pub stats: &'a ServerStats,
+    /// `(pool name, stats)` pairs, in pipeline order.
+    pub pools: &'a [(&'static str, &'a staged_pool::PoolStats)],
+}
+
+impl HealthView<'_> {
+    fn body(&self) -> String {
+        let mut s = String::with_capacity(512);
+        let _ = write!(
+            s,
+            "{{\"status\":\"ok\",\"phase\":\"{}\",\"ready\":{}",
+            self.phase.label(),
+            self.phase == Phase::Ready
+        );
+        match self.breaker {
+            Some(b) => {
+                let _ = write!(
+                    s,
+                    ",\"breaker\":{{\"state\":\"{}\",\"opened\":{},\"half_opened\":{},\"closed\":{},\"fast_failures\":{}}}",
+                    b.state().label(),
+                    b.opened_total(),
+                    b.half_open_total(),
+                    b.closed_total(),
+                    b.fast_failures()
+                );
+            }
+            None => s.push_str(",\"breaker\":null"),
+        }
+        s.push_str(",\"queues\":{");
+        for (i, (name, depth)) in self.queues.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{name}\":{depth}");
+        }
+        s.push('}');
+        if let Some((t_spare, t_reserve)) = self.scheduler {
+            let _ = write!(
+                s,
+                ",\"scheduler\":{{\"t_spare\":{t_spare},\"t_reserve\":{t_reserve}}}"
+            );
+        }
+        let st = self.stats;
+        let _ = write!(
+            s,
+            ",\"counters\":{{\"completed\":{},\"errors\":{},\"degraded\":{},\"stale_misses\":{},\"deadline_expired\":{},\"pool_starved\":{},\"handler_panics\":{},\"dropped_connections\":{}}}",
+            st.total_completed(),
+            st.errors.value(),
+            st.degraded.value(),
+            st.stale_misses.value(),
+            st.deadline_expired.value(),
+            st.pool_starved.value(),
+            st.handler_panics.value(),
+            st.dropped_connections.value()
+        );
+        s.push_str(",\"sheds\":{");
+        for (i, point) in ShedPoint::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":{}", point.label(), st.shed(*point));
+        }
+        s.push('}');
+        s.push_str(",\"pools\":[");
+        for (i, (name, pool)) in self.pools.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"completed\":{},\"panicked\":{},\"rejected\":{},\"busy\":{}}}",
+                name,
+                pool.completed.value(),
+                pool.panicked.value(),
+                pool.rejected.value(),
+                pool.busy.value().max(0)
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// The `/healthz` response: `200` whenever the process can answer
+    /// at all (liveness), carrying the full diagnostic payload.
+    pub(crate) fn healthz(&self) -> Response {
+        Response::with_content_type("application/json", self.body())
+    }
+
+    /// The `/readyz` response: the same payload, but `503` (with a
+    /// `Retry-After` hint) outside the [`Phase::Ready`] window.
+    pub(crate) fn readyz(&self, retry_after: Duration) -> Response {
+        let mut resp = self.healthz();
+        if self.phase != Phase::Ready {
+            resp.set_status(StatusCode::SERVICE_UNAVAILABLE);
+            resp.headers_mut()
+                .set("Retry-After", retry_after.as_secs().max(1).to_string());
+            resp.set_close();
+        }
+        resp
+    }
+}
+
+/// Whether a request path is one of the health endpoints (matched
+/// before routing, query string already split off by the parser).
+pub(crate) fn is_health_path(path: &str) -> bool {
+    path == "/healthz" || path == "/readyz"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staged_pool::PoolStats;
+    use std::time::Duration;
+
+    fn view<'a>(
+        phase: Phase,
+        stats: &'a ServerStats,
+        pools: &'a [(&'static str, &'a PoolStats)],
+        queues: &'a [(&'static str, usize)],
+    ) -> HealthView<'a> {
+        HealthView {
+            phase,
+            breaker: None,
+            queues,
+            scheduler: Some((3, 1)),
+            stats,
+            pools,
+        }
+    }
+
+    #[test]
+    fn healthz_payload_is_wellformed() {
+        let stats = ServerStats::new(Duration::from_secs(1));
+        stats.degraded.increment();
+        let pool = PoolStats::default();
+        let pools = [("general-dynamic", &pool)];
+        let queues = [("header", 2usize), ("render", 0usize)];
+        let v = view(Phase::Ready, &stats, &pools, &queues);
+        let resp = v.healthz();
+        assert_eq!(resp.status(), StatusCode::OK);
+        assert_eq!(resp.headers().get("content-type"), Some("application/json"));
+        let body = String::from_utf8(resp.body().to_vec()).unwrap();
+        assert!(body.contains("\"phase\":\"ready\""), "{body}");
+        assert!(body.contains("\"ready\":true"), "{body}");
+        assert!(body.contains("\"breaker\":null"), "{body}");
+        assert!(body.contains("\"header\":2"), "{body}");
+        assert!(body.contains("\"t_spare\":3"), "{body}");
+        assert!(body.contains("\"degraded\":1"), "{body}");
+        assert!(body.contains("\"name\":\"general-dynamic\""), "{body}");
+    }
+
+    #[test]
+    fn readyz_rejects_outside_ready_phase() {
+        let stats = ServerStats::new(Duration::from_secs(1));
+        let v = view(Phase::Draining, &stats, &[], &[]);
+        let resp = v.readyz(Duration::from_secs(2));
+        assert_eq!(resp.status(), StatusCode::SERVICE_UNAVAILABLE);
+        assert_eq!(resp.headers().get("retry-after"), Some("2"));
+        let body = String::from_utf8(resp.body().to_vec()).unwrap();
+        assert!(body.contains("\"phase\":\"draining\""), "{body}");
+
+        let v = view(Phase::Ready, &stats, &[], &[]);
+        assert_eq!(v.readyz(Duration::from_secs(2)).status(), StatusCode::OK);
+    }
+
+    #[test]
+    fn breaker_state_appears_in_payload() {
+        let stats = ServerStats::new(Duration::from_secs(1));
+        let breaker = CircuitBreaker::new(staged_db::BreakerConfig::default());
+        let v = HealthView {
+            phase: Phase::Ready,
+            breaker: Some(&breaker),
+            queues: &[],
+            scheduler: None,
+            stats: &stats,
+            pools: &[],
+        };
+        let body = String::from_utf8(v.healthz().body().to_vec()).unwrap();
+        assert!(body.contains("\"state\":\"closed\""), "{body}");
+        assert!(!body.contains("scheduler"), "{body}");
+    }
+
+    #[test]
+    fn readiness_lifecycle() {
+        let r = Readiness::new();
+        assert_eq!(r.phase(), Phase::Starting);
+        assert!(!r.is_ready());
+        r.set_ready();
+        assert!(r.is_ready());
+        r.set_draining();
+        assert_eq!(r.phase(), Phase::Draining);
+        assert!(!r.is_ready());
+    }
+
+    #[test]
+    fn health_paths_matched_exactly() {
+        assert!(is_health_path("/healthz"));
+        assert!(is_health_path("/readyz"));
+        assert!(!is_health_path("/health"));
+        assert!(!is_health_path("/healthz/x"));
+    }
+}

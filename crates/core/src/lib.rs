@@ -59,9 +59,11 @@ mod baseline;
 mod config;
 mod error;
 mod handle;
+mod health;
 mod overload;
 mod scheduler;
 mod staged;
+mod stale;
 mod stats;
 
 pub use app::{App, AppBuilder, PageOutcome};
@@ -69,7 +71,12 @@ pub use baseline::BaselineServer;
 pub use config::ServerConfig;
 pub use error::AppError;
 pub use handle::{PoolSnapshot, ServerHandle};
+pub use health::{Phase, Readiness};
 pub use overload::{ChaosAction, ListenerChaos};
 pub use scheduler::{DynamicPoolChoice, RequestClass, ReserveController, ServiceTimeTracker};
 pub use staged::StagedServer;
 pub use stats::{RequestKind, ServerStats, ShedPoint};
+
+// Re-exported so server configuration (`ServerConfig::breaker`) and
+// health reporting can be used without a direct `staged_db` dependency.
+pub use staged_db::{BreakerConfig, BreakerState, CircuitBreaker};

@@ -2,9 +2,11 @@
 //! servers: the shed (`503`) response, deterministic listener chaos,
 //! and the worker-owned database slot that survives connection death.
 
+use parking_lot::Mutex;
 use staged_db::{splitmix64, ConnectionPool, PooledConnection};
 use staged_http::{Response, StatusCode};
-use std::time::Duration;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 /// What the listener does with one accepted socket under chaos testing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,15 +118,99 @@ pub(crate) fn overload_response(retry_after: Duration) -> Response {
     resp
 }
 
+/// Most bytes [`drain_before_close`] will swallow before giving up on
+/// a lingering client.
+pub(crate) const DRAIN_MAX_BYTES: usize = 64 * 1024;
+
+/// Longest [`drain_before_close`] will spend draining, wall-clock.
+pub(crate) const DRAIN_MAX_WAIT: Duration = Duration::from_millis(200);
+
 /// Discards whatever request bytes are still unread before a shed
 /// connection is closed. Closing a socket with unread input makes the
 /// kernel answer with `RST`, which can destroy the very `503` sitting
 /// in the client's receive path; a short lingering drain lets the
 /// client take the response and close first.
+///
+/// The drain is bounded twice over — [`DRAIN_MAX_BYTES`] total and
+/// [`DRAIN_MAX_WAIT`] wall-clock — so a client trickling an enormous
+/// body cannot pin a worker that is trying to shed load.
 pub(crate) fn drain_before_close(stream: &mut std::net::TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let started = Instant::now();
+    let mut remaining = DRAIN_MAX_BYTES;
     let mut scratch = [0u8; 1024];
-    while matches!(std::io::Read::read(stream, &mut scratch), Ok(n) if n > 0) {}
+    while remaining > 0 && started.elapsed() < DRAIN_MAX_WAIT {
+        match std::io::Read::read(stream, &mut scratch) {
+            Ok(n) if n > 0 => remaining = remaining.saturating_sub(n),
+            _ => break,
+        }
+    }
+}
+
+/// Upper clamp on the adaptive `Retry-After` estimate.
+pub(crate) const MAX_RETRY_AFTER: Duration = Duration::from_secs(30);
+
+/// How much completion history [`RetryEstimator::advise`] keeps.
+const RETRY_SAMPLE_WINDOW: Duration = Duration::from_secs(5);
+
+/// Derives the `Retry-After` advertised on shed responses from the
+/// measured drain rate — *queue depth ÷ recent completion rate* — so a
+/// briefly saturated server invites clients back quickly while a deep
+/// backlog pushes them further out, instead of advertising one fixed
+/// constant regardless of conditions.
+///
+/// Completion-rate samples are taken on each call (sheds are exactly
+/// when the estimate is needed), over a sliding ~5 s window. With no
+/// measurable drain yet — cold start, or a stalled server — the
+/// configured floor is advertised. Estimates clamp to
+/// `[floor, MAX_RETRY_AFTER]`.
+pub(crate) struct RetryEstimator {
+    floor: Duration,
+    depth: Box<dyn Fn() -> usize + Send + Sync>,
+    completed: Box<dyn Fn() -> u64 + Send + Sync>,
+    samples: Mutex<VecDeque<(Instant, u64)>>,
+}
+
+impl RetryEstimator {
+    pub(crate) fn new(
+        floor: Duration,
+        depth: Box<dyn Fn() -> usize + Send + Sync>,
+        completed: Box<dyn Fn() -> u64 + Send + Sync>,
+    ) -> Self {
+        RetryEstimator {
+            floor,
+            depth,
+            completed,
+            samples: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The current `Retry-After` advice.
+    pub(crate) fn advise(&self) -> Duration {
+        let now = Instant::now();
+        let total = (self.completed)();
+        let mut samples = self.samples.lock();
+        samples.push_back((now, total));
+        while samples.len() > 1 {
+            let (t, _) = samples[0];
+            if now.duration_since(t) > RETRY_SAMPLE_WINDOW || samples.len() > 64 {
+                samples.pop_front();
+            } else {
+                break;
+            }
+        }
+        let (first_t, first_total) = samples[0];
+        let elapsed = now.duration_since(first_t);
+        drop(samples);
+        if elapsed < Duration::from_millis(50) || total <= first_total {
+            // No measurable drain: fall back to the configured floor.
+            return self.floor;
+        }
+        let rate = (total - first_total) as f64 / elapsed.as_secs_f64();
+        let depth = (self.depth)() as f64;
+        let estimate = Duration::from_secs_f64((depth / rate).max(0.0));
+        estimate.clamp(self.floor, MAX_RETRY_AFTER)
+    }
 }
 
 /// A dynamic worker's database connection slot. The paper's contract —
@@ -239,6 +325,80 @@ mod tests {
     fn shed_retry_after_is_at_least_one_second() {
         let resp = overload_response(Duration::from_millis(10));
         assert_eq!(resp.headers().get("retry-after"), Some("1"));
+    }
+
+    #[test]
+    fn retry_estimator_falls_back_to_floor_when_cold() {
+        let est = RetryEstimator::new(Duration::from_secs(1), Box::new(|| 100), Box::new(|| 0));
+        assert_eq!(est.advise(), Duration::from_secs(1));
+        assert_eq!(est.advise(), Duration::from_secs(1), "no completions yet");
+    }
+
+    #[test]
+    fn retry_estimator_scales_with_backlog_and_drain_rate() {
+        use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+        let completed = Arc::new(AtomicU64::new(0));
+        let depth = Arc::new(AtomicUsize::new(5_000));
+        let est = RetryEstimator::new(
+            Duration::from_secs(1),
+            Box::new({
+                let d = Arc::clone(&depth);
+                move || d.load(Ordering::Relaxed)
+            }),
+            Box::new({
+                let c = Arc::clone(&completed);
+                move || c.load(Ordering::Relaxed)
+            }),
+        );
+        est.advise(); // first sample
+        std::thread::sleep(Duration::from_millis(80));
+        completed.store(40, Ordering::Relaxed); // ~500/s drain rate
+        let advice = est.advise();
+        assert!(
+            advice > Duration::from_secs(2),
+            "deep backlog must push clients out: {advice:?}"
+        );
+        assert!(advice <= MAX_RETRY_AFTER);
+
+        // A much larger backlog clamps at the maximum.
+        depth.store(usize::MAX / 2, Ordering::Relaxed);
+        completed.store(80, Ordering::Relaxed);
+        assert_eq!(est.advise(), MAX_RETRY_AFTER);
+
+        // A shallow backlog drains fast: advice returns to the floor.
+        depth.store(1, Ordering::Relaxed);
+        completed.store(120, Ordering::Relaxed);
+        assert_eq!(est.advise(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn drain_before_close_is_bounded_against_trickling_clients() {
+        use std::io::Write;
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut client = std::net::TcpStream::connect(addr).unwrap();
+            let chunk = [0u8; 4096];
+            // Trickle far more than the byte cap, for longer than the
+            // wall-clock cap.
+            for _ in 0..400 {
+                if client.write_all(&chunk).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let started = Instant::now();
+        drain_before_close(&mut stream);
+        let elapsed = started.elapsed();
+        drop(stream);
+        assert!(
+            elapsed < DRAIN_MAX_WAIT + Duration::from_millis(300),
+            "drain pinned the worker for {elapsed:?}"
+        );
+        writer.join().unwrap();
     }
 
     #[test]

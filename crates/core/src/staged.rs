@@ -11,11 +11,13 @@
 use crate::app::{App, PageOutcome};
 use crate::baseline::run_handler_with_slot;
 use crate::config::ServerConfig;
-use crate::handle::{GaugeFn, ServerHandle};
-use crate::overload::{overload_response, ChaosAction, DbSlot};
+use crate::handle::{FaultFn, GaugeFn, ServerHandle};
+use crate::health::{self, HealthView, Readiness};
+use crate::overload::{overload_response, ChaosAction, DbSlot, RetryEstimator};
 use crate::scheduler::{RequestClass, ReserveController, ServiceTimeTracker};
+use crate::stale::{self, StaleCache};
 use crate::stats::{RequestKind, ServerStats, ShedPoint};
-use staged_db::{ConnectionPool, Database};
+use staged_db::{CircuitBreaker, ConnectionPool, Database};
 use staged_http::{
     Connection, HeaderMap, HttpError, Method, Request, RequestLine, Response, StatusCode,
 };
@@ -57,6 +59,9 @@ struct DynJob {
     page: Option<String>,
     kind: RequestKind,
     deadline: Option<Instant>,
+    /// The stale-cache key for `GET`s of cache-marked routes; `None`
+    /// means this request must never be served a stale copy.
+    stale_key: Option<String>,
 }
 
 /// An unrendered template on its way to the render pool — the payload
@@ -69,6 +74,10 @@ struct RenderJob {
     context: Context,
     kind: RequestKind,
     deadline: Option<Instant>,
+    /// Carried through so the render stage can both retain a fresh
+    /// render and fall back to a stale one when the deadline expired in
+    /// its queue.
+    stale_key: Option<String>,
 }
 
 struct Shared {
@@ -98,8 +107,19 @@ struct Shared {
     render_lengthy_stats: Option<Arc<PoolStats>>,
     /// Per-request time budget (`None` disables deadline checking).
     budget: Option<Duration>,
-    /// `Retry-After` advertised on shed responses.
-    retry_after: Duration,
+    /// Adaptive `Retry-After` advice for shed responses.
+    retry: RetryEstimator,
+    /// Stale copies of successful renders — the degradation ladder's
+    /// middle rung (fresh → stale → shed).
+    stale: StaleCache,
+    /// Lifecycle phase, served by `/readyz`.
+    readiness: Arc<Readiness>,
+    /// The database circuit breaker (shared with the connection pool),
+    /// surfaced in the health payloads.
+    breaker: Option<Arc<CircuitBreaker>>,
+    /// Set when shutdown begins: keep-alive connections are no longer
+    /// requeued, so in-flight requests finish and the stages run dry.
+    draining: AtomicBool,
 }
 
 impl Shared {
@@ -132,18 +152,79 @@ impl Shared {
             return;
         }
         self.stats.record_completion(kind);
-        if keep_alive {
-            let timed = TimedConn {
-                conn,
-                arrived: Instant::now(),
-            };
-            if let Err(PushError::Full(_)) = self.header_q.try_push(timed) {
-                // The parse stage is saturated; dropping an idle
-                // keep-alive connection is cheaper than any request it
-                // might send later.
-                self.header_stats.rejected.increment();
-                self.stats.record_shed(ShedPoint::KeepAlive);
-            }
+        self.requeue(conn, keep_alive);
+    }
+
+    /// Requeues a keep-alive connection for its next request — unless
+    /// the server is draining, in which case the connection is dropped
+    /// after its (already sent) response so the stages can run dry.
+    fn requeue(&self, conn: Conn, keep_alive: bool) {
+        if !keep_alive || self.draining.load(Ordering::Relaxed) {
+            return;
+        }
+        let timed = TimedConn {
+            conn,
+            arrived: Instant::now(),
+        };
+        if let Err(PushError::Full(_)) = self.header_q.try_push(timed) {
+            // The parse stage is saturated; dropping an idle
+            // keep-alive connection is cheaper than any request it
+            // might send later.
+            self.header_stats.rejected.increment();
+            self.stats.record_shed(ShedPoint::KeepAlive);
+        }
+    }
+
+    /// Serves `/healthz` or `/readyz` from the header stage. Health
+    /// probes are not completions: monitoring traffic must not skew the
+    /// goodput series the experiments plot.
+    fn serve_health(&self, mut conn: Conn, method: Method, path: &str, keep_alive: bool) {
+        let response = self.health_response(path);
+        if conn.send_for_method(method, &response).is_err() {
+            self.stats.dropped_connections.increment();
+            return;
+        }
+        let closed = response
+            .headers()
+            .get("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        self.requeue(conn, keep_alive && !closed);
+    }
+
+    /// Builds the health payload from the live stage structure.
+    fn health_response(&self, path: &str) -> Response {
+        let mut queues: Vec<(&'static str, usize)> = vec![
+            ("header", self.header_q.len()),
+            ("static", self.static_q.len()),
+            ("general", self.general_q.len()),
+            ("lengthy", self.lengthy_q.len()),
+            ("render", self.render_q.len()),
+        ];
+        if let Some(q) = &self.render_lengthy_q {
+            queues.push(("render-lengthy", q.len()));
+        }
+        let mut pools: Vec<(&'static str, &PoolStats)> = vec![
+            ("header-parsing", &self.header_stats),
+            ("static", &self.static_stats),
+            ("general-dynamic", &self.general_stats),
+            ("lengthy-dynamic", &self.lengthy_stats),
+            ("render", &self.render_stats),
+        ];
+        if let Some(s) = &self.render_lengthy_stats {
+            pools.push(("render-lengthy", s));
+        }
+        let view = HealthView {
+            phase: self.readiness.phase(),
+            breaker: self.breaker.as_deref(),
+            queues: &queues,
+            scheduler: Some((self.tspare(), self.controller.reserve())),
+            stats: &self.stats,
+            pools: &pools,
+        };
+        if path == "/readyz" {
+            view.readyz(self.retry.advise())
+        } else {
+            view.healthz()
         }
     }
 
@@ -153,7 +234,7 @@ impl Shared {
     fn shed(&self, mut conn: Conn, method: Method, point: ShedPoint) {
         self.stats.record_shed(point);
         if conn
-            .send_for_method(method, &overload_response(self.retry_after))
+            .send_for_method(method, &overload_response(self.retry.advise()))
             .is_err()
         {
             self.stats.dropped_connections.increment();
@@ -170,7 +251,7 @@ impl Shared {
     fn expire(&self, mut conn: Conn, method: Method) {
         self.stats.deadline_expired.increment();
         if conn
-            .send_for_method(method, &overload_response(self.retry_after))
+            .send_for_method(method, &overload_response(self.retry.advise()))
             .is_err()
         {
             self.stats.dropped_connections.increment();
@@ -233,6 +314,11 @@ impl StagedServer {
         ));
         let connections = ConnectionPool::new(db, config.db_connections);
         connections.set_fault_plan(config.fault_plan);
+        connections.set_breaker(config.breaker);
+        let breaker = connections.breaker();
+        let fault_pool = connections.clone();
+        let set_fault: FaultFn = Arc::new(move |plan| fault_pool.set_fault_plan(plan));
+        let readiness = Arc::new(Readiness::new());
 
         let header_q = Arc::new(SyncQueue::<TimedConn>::bounded(config.header_queue_bound()));
         let static_q = Arc::new(SyncQueue::<StaticJob>::bounded(config.static_queue_bound()));
@@ -253,6 +339,31 @@ impl StagedServer {
         let lengthy_pool_stats = Arc::new(PoolStats::default());
         let render_pool_stats = Arc::new(PoolStats::default());
         let render_lengthy_pool_stats = config.split_render.then(|| Arc::new(PoolStats::default()));
+
+        // Adaptive Retry-After: backlog across every stage divided by
+        // the measured completion rate.
+        let retry = {
+            let hq = Arc::clone(&header_q);
+            let sq = Arc::clone(&static_q);
+            let gq = Arc::clone(&general_q);
+            let lq = Arc::clone(&lengthy_q);
+            let rq = Arc::clone(&render_q);
+            let rlq = render_lengthy_q.clone();
+            let st = Arc::clone(&stats);
+            RetryEstimator::new(
+                config.retry_after,
+                Box::new(move || {
+                    hq.len()
+                        + sq.len()
+                        + gq.len()
+                        + lq.len()
+                        + rq.len()
+                        + rlq.as_ref().map_or(0, |q| q.len())
+                }),
+                Box::new(move || st.total_completed()),
+            )
+        };
+
         let shared = Arc::new(Shared {
             app,
             stats: Arc::clone(&stats),
@@ -273,7 +384,11 @@ impl StagedServer {
             render_stats: Arc::clone(&render_pool_stats),
             render_lengthy_stats: render_lengthy_pool_stats.clone(),
             budget: config.request_deadline,
-            retry_after: config.retry_after,
+            retry,
+            stale: StaleCache::new(config.stale_ttl, config.stale_capacity),
+            readiness: Arc::clone(&readiness),
+            breaker: breaker.clone(),
+            draining: AtomicBool::new(false),
         });
 
         let db_acquire_timeout = config.db_acquire_timeout;
@@ -457,11 +572,51 @@ impl StagedServer {
             pools.push(("render-lengthy".to_string(), Arc::clone(stats)));
         }
 
+        // The listener is live: accepted connections will be served.
+        readiness.set_ready();
+
+        let drain_shared = Arc::clone(&shared);
+        let drain_deadline = config.drain_deadline;
         let shutdown = Box::new(move || {
+            // Drain-aware shutdown: advertise not-ready, stop requeuing
+            // keep-alive connections, stop accepting — then let every
+            // already-accepted request finish before closing any stage.
+            drain_shared.readiness.set_draining();
+            drain_shared.draining.store(true, Ordering::Relaxed);
             stop.store(true, Ordering::Relaxed);
             let _ = TcpStream::connect(addr);
             let _ = listener_thread.join();
             let _ = controller_thread.join();
+            // Wait (bounded by `drain_deadline`) until every stage is
+            // idle: no queued jobs and no busy workers. Closing the
+            // queues upstream-first below also drains their backlogs,
+            // but only this wait covers jobs *between* stages (popped
+            // from one queue, not yet pushed to the next).
+            let deadline = Instant::now() + drain_deadline;
+            loop {
+                let queued = drain_shared.header_q.len()
+                    + drain_shared.static_q.len()
+                    + drain_shared.general_q.len()
+                    + drain_shared.lengthy_q.len()
+                    + drain_shared.render_q.len()
+                    + drain_shared
+                        .render_lengthy_q
+                        .as_ref()
+                        .map_or(0, |q| q.len());
+                let busy = drain_shared.header_stats.busy.value().max(0)
+                    + drain_shared.static_stats.busy.value().max(0)
+                    + drain_shared.general_stats.busy.value().max(0)
+                    + drain_shared.lengthy_stats.busy.value().max(0)
+                    + drain_shared.render_stats.busy.value().max(0)
+                    + drain_shared
+                        .render_lengthy_stats
+                        .as_ref()
+                        .map_or(0, |s| s.busy.value().max(0));
+                if (queued == 0 && busy == 0) || Instant::now() > deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
             // Drain stage by stage, upstream first.
             header_pool.shutdown();
             static_pool.shutdown();
@@ -474,7 +629,7 @@ impl StagedServer {
         });
 
         Ok(ServerHandle::new(
-            addr, stats, tracker, gauges, pools, shutdown,
+            addr, stats, tracker, gauges, pools, readiness, set_fault, breaker, shutdown,
         ))
     }
 }
@@ -524,6 +679,23 @@ fn header_worker(shared: &Shared, timed: TimedConn) {
     // not count against the budget.
     let deadline = shared.budget.map(|b| Instant::now() + b);
 
+    // Health endpoints are answered here, ahead of routing and without
+    // touching a database connection, so they stay truthful during the
+    // very outages they report.
+    if health::is_health_path(line.target.path()) {
+        let headers = match conn.read_remaining_headers() {
+            Ok(h) => h,
+            Err(e) => {
+                fail_parse(shared, conn, e);
+                return;
+            }
+        };
+        let keep_alive = keep_alive_for(&line, &headers);
+        let path = line.target.path().to_string();
+        shared.serve_health(conn, line.method, &path, keep_alive);
+        return;
+    }
+
     if line.is_static() {
         // Static requests carry their unparsed headers to the static
         // pool (paper §3.2).
@@ -559,10 +731,13 @@ fn header_worker(shared: &Shared, timed: TimedConn) {
         _ => Vec::new(),
     };
     let request = Request::new(line, headers, body);
-    let page = shared
-        .app
-        .route(request.path())
-        .map(|(r, _)| r.name.clone());
+    let (page, cacheable) = match shared.app.route(request.path()) {
+        Some((r, _)) => (Some(r.name.clone()), r.cacheable),
+        None => (None, false),
+    };
+    // Only GETs of cache-marked routes may ever be served stale.
+    let stale_key = (cacheable && request.method() == Method::Get)
+        .then(|| stale::cache_key(page.as_deref().unwrap_or_default(), &request.params));
 
     // Classification and Table 1 dispatch.
     let class = match &page {
@@ -580,6 +755,7 @@ fn header_worker(shared: &Shared, timed: TimedConn) {
         page,
         kind,
         deadline,
+        stale_key,
     };
     let (queue, stats, point) = match shared.controller.dispatch(class, shared.tspare()) {
         crate::scheduler::DynamicPoolChoice::General => {
@@ -649,6 +825,7 @@ fn dynamic_worker(shared: &Shared, slot: &mut DbSlot, job: DynJob) {
         page,
         kind,
         deadline,
+        stale_key,
     } = job;
     let keep_alive = request.keep_alive();
     let method = request.method();
@@ -714,6 +891,7 @@ fn dynamic_worker(shared: &Shared, slot: &mut DbSlot, job: DynJob) {
                 context,
                 kind,
                 deadline,
+                stale_key,
             }) {
                 target_stats.rejected.increment();
                 shared.shed(job.conn, method, ShedPoint::Render);
@@ -724,17 +902,38 @@ fn dynamic_worker(shared: &Shared, slot: &mut DbSlot, job: DynJob) {
             // the dynamic thread (§3.1), still excluding rendering we
             // cannot separate.
             shared.tracker.record(&page, started.elapsed());
+            // Cache-marked pre-rendered pages join the stale ladder
+            // too — but only plain HTML 200s, because a stale hit is
+            // rehydrated as `Response::html`.
+            if let Some(key) = &stale_key {
+                if response.status() == StatusCode::OK
+                    && response.headers().get("content-type") == Some("text/html; charset=utf-8")
+                {
+                    if let Ok(html) = std::str::from_utf8(response.body()) {
+                        shared.stale.put(key, html);
+                    }
+                }
+            }
             shared.finish(conn, method, &response, keep_alive, kind);
         }
         Err(e) if e.is_unavailable() => {
-            // Transient resource failure (dead connection, starved
-            // pool): 503, retryable — not the 500 a handler bug gets.
+            // Transient resource failure (open breaker, dead
+            // connection, starved pool). The degradation ladder:
+            // serve a stale copy if one exists, 503 only without one.
             shared.tracker.record(&page, started.elapsed());
+            if let Some(hit) = stale_key.as_deref().and_then(|k| shared.stale.get(k)) {
+                shared.stats.degraded.increment();
+                shared.finish(conn, method, &hit.response(), keep_alive, kind);
+                return;
+            }
+            if stale_key.is_some() {
+                shared.stats.stale_misses.increment();
+            }
             shared.stats.errors.increment();
             shared.finish(
                 conn,
                 method,
-                &overload_response(shared.retry_after),
+                &overload_response(shared.retry.advise()),
                 false,
                 kind,
             );
@@ -763,15 +962,31 @@ fn render_worker(shared: &Shared, job: RenderJob) {
         context,
         kind,
         deadline,
+        stale_key,
     } = job;
     if Shared::expired(deadline) {
-        shared.expire(conn, method);
+        // Deadline spent in the render queue: a stale copy (sent with
+        // `Connection: close` — the client has been waiting the whole
+        // budget already) still beats rendering a page nobody may be
+        // listening for, and beats a 503 for one that was cacheable.
+        if let Some(hit) = stale_key.as_deref().and_then(|k| shared.stale.get(k)) {
+            shared.stats.deadline_expired.increment();
+            shared.stats.degraded.increment();
+            let mut response = hit.response();
+            response.set_close();
+            shared.finish(conn, method, &response, false, kind);
+        } else {
+            shared.expire(conn, method);
+        }
         return;
     }
     let render_started = Instant::now();
     let response = match shared.app.templates().render(&name, &context) {
         Ok(html) => {
             shared.app.charge_render(html.len());
+            if let Some(key) = &stale_key {
+                shared.stale.put(key, &html);
+            }
             Response::html(html)
         }
         Err(_) => {

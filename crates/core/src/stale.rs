@@ -1,0 +1,203 @@
+//! The stale-render cache: the middle rung of the degradation ladder.
+//!
+//! Successful renders of cache-marked pages ([`crate::AppBuilder::
+//! stale_cacheable`]) are retained with a TTL. When fresh generation is
+//! unavailable — the database circuit breaker is open, the worker's
+//! connection pool is starved, or the request's deadline expired while
+//! it sat in a queue — the staged server serves the stale copy with
+//! `Warning: 110` / `Age` headers instead of failing outright, and
+//! falls to `503` + `Retry-After` only when no stale copy exists
+//! (fresh → stale → shed). The baseline server deliberately has no
+//! such cache, preserving the paper's model comparison.
+
+use parking_lot::Mutex;
+use staged_http::Response;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The RFC 7234 warning attached to every stale response.
+pub(crate) const STALE_WARNING: &str = "110 - \"Response is Stale\"";
+
+struct Entry {
+    html: Arc<str>,
+    stored: Instant,
+}
+
+/// A successful lookup: the cached body plus how old it is.
+pub(crate) struct StaleHit {
+    pub html: Arc<str>,
+    pub age: Duration,
+}
+
+impl StaleHit {
+    /// Builds the degraded `200` carrying the staleness headers.
+    pub(crate) fn response(&self) -> Response {
+        let mut resp = Response::html(self.html.as_bytes().to_vec());
+        resp.headers_mut().set("Warning", STALE_WARNING);
+        resp.headers_mut()
+            .set("Age", self.age.as_secs().to_string());
+        resp
+    }
+}
+
+/// A TTL'd `(page, key) → rendered body` cache with a bounded entry
+/// count (oldest-out eviction).
+pub(crate) struct StaleCache {
+    entries: Mutex<HashMap<String, Entry>>,
+    ttl: Duration,
+    capacity: usize,
+}
+
+impl StaleCache {
+    /// A cache holding at most `capacity` entries, each usable for
+    /// `ttl` after insertion. `capacity == 0` disables the cache.
+    pub(crate) fn new(ttl: Duration, capacity: usize) -> Self {
+        StaleCache {
+            entries: Mutex::new(HashMap::new()),
+            ttl,
+            capacity,
+        }
+    }
+
+    /// Retains one successful render. Refreshes the entry's age if the
+    /// key is already present.
+    pub(crate) fn put(&self, key: &str, html: &str) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock();
+        if !entries.contains_key(key) && entries.len() >= self.capacity {
+            // Evict expired entries first, then the oldest survivor.
+            let ttl = self.ttl;
+            entries.retain(|_, e| e.stored.elapsed() <= ttl);
+            if entries.len() >= self.capacity {
+                if let Some(oldest) = entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.stored)
+                    .map(|(k, _)| k.clone())
+                {
+                    entries.remove(&oldest);
+                }
+            }
+        }
+        entries.insert(
+            key.to_string(),
+            Entry {
+                html: Arc::from(html),
+                stored: Instant::now(),
+            },
+        );
+    }
+
+    /// Looks a stale copy up; expired entries are dropped on access.
+    pub(crate) fn get(&self, key: &str) -> Option<StaleHit> {
+        let mut entries = self.entries.lock();
+        let entry = entries.get(key)?;
+        let age = entry.stored.elapsed();
+        if age > self.ttl {
+            entries.remove(key);
+            return None;
+        }
+        Some(StaleHit {
+            html: Arc::clone(&entry.html),
+            age,
+        })
+    }
+
+    /// Live entry count (expired-but-unevicted entries included).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+}
+
+/// The cache key for one request: the page name plus its sorted query
+/// parameters, so `/product_detail?i_id=7` and `?i_id=8` cache
+/// separately while parameter order doesn't split entries.
+pub(crate) fn cache_key(page: &str, params: &[(String, String)]) -> String {
+    let mut sorted: Vec<&(String, String)> = params.iter().collect();
+    sorted.sort_unstable();
+    let mut key = String::with_capacity(page.len() + 16 * sorted.len());
+    key.push_str(page);
+    for (k, v) in sorted {
+        key.push('&');
+        key.push_str(k);
+        key.push('=');
+        key.push_str(v);
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_within_ttl_reports_age() {
+        let c = StaleCache::new(Duration::from_secs(60), 8);
+        c.put("home", "<h1>hi</h1>");
+        let hit = c.get("home").expect("fresh entry");
+        assert_eq!(&*hit.html, "<h1>hi</h1>");
+        assert!(hit.age < Duration::from_secs(1));
+        let resp = hit.response();
+        assert_eq!(resp.headers().get("warning"), Some(STALE_WARNING));
+        assert_eq!(resp.headers().get("age"), Some("0"));
+    }
+
+    #[test]
+    fn expired_entries_are_dropped() {
+        let c = StaleCache::new(Duration::from_millis(10), 8);
+        c.put("home", "x");
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(c.get("home").is_none());
+        assert_eq!(c.len(), 0, "expired entry removed on access");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let c = StaleCache::new(Duration::from_secs(60), 2);
+        c.put("a", "1");
+        std::thread::sleep(Duration::from_millis(2));
+        c.put("b", "2");
+        std::thread::sleep(Duration::from_millis(2));
+        c.put("c", "3");
+        assert_eq!(c.len(), 2);
+        assert!(c.get("a").is_none(), "oldest entry evicted");
+        assert!(c.get("b").is_some());
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = StaleCache::new(Duration::from_secs(60), 0);
+        c.put("a", "1");
+        assert!(c.get("a").is_none());
+    }
+
+    #[test]
+    fn refresh_updates_in_place_without_eviction() {
+        let c = StaleCache::new(Duration::from_secs(60), 2);
+        c.put("a", "1");
+        c.put("b", "2");
+        c.put("a", "1-new");
+        assert_eq!(c.len(), 2);
+        assert_eq!(&*c.get("a").unwrap().html, "1-new");
+        assert!(c.get("b").is_some());
+    }
+
+    #[test]
+    fn cache_key_is_order_insensitive() {
+        let a = [
+            ("x".to_string(), "1".to_string()),
+            ("y".to_string(), "2".to_string()),
+        ];
+        let b = [
+            ("y".to_string(), "2".to_string()),
+            ("x".to_string(), "1".to_string()),
+        ];
+        assert_eq!(cache_key("page", &a), cache_key("page", &b));
+        assert_ne!(cache_key("page", &a), cache_key("page", &[]));
+        assert_eq!(cache_key("page", &[]), "page");
+    }
+}

@@ -24,6 +24,10 @@ pub enum DbError {
     /// The connection died (injected by a fault plan); the holder must
     /// check a fresh connection out of the pool.
     ConnectionLost,
+    /// The pool's circuit breaker is open: the backend has been failing
+    /// past its threshold and the query was rejected without being
+    /// attempted (see [`CircuitBreaker`](crate::CircuitBreaker)).
+    CircuitOpen,
 }
 
 impl DbError {
@@ -43,6 +47,13 @@ impl DbError {
     pub fn is_connection_lost(&self) -> bool {
         matches!(self, DbError::ConnectionLost)
     }
+
+    /// Whether the query was rejected by an open circuit breaker — a
+    /// transient condition: the caller should degrade (stale copy,
+    /// `503`) rather than treat it as a query bug.
+    pub fn is_circuit_open(&self) -> bool {
+        matches!(self, DbError::CircuitOpen)
+    }
 }
 
 impl fmt::Display for DbError {
@@ -56,6 +67,7 @@ impl fmt::Display for DbError {
             DbError::Invalid(m) => write!(f, "invalid statement: {m}"),
             DbError::Injected(m) => write!(f, "injected fault: {m}"),
             DbError::ConnectionLost => write!(f, "database connection lost"),
+            DbError::CircuitOpen => write!(f, "database circuit breaker open"),
         }
     }
 }

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod breaker;
 mod cost;
 mod database;
 mod error;
@@ -50,6 +51,7 @@ mod sql;
 mod table;
 mod value;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cost::CostModel;
 pub use database::{Database, QueryResult};
 pub use error::DbError;

@@ -1,5 +1,6 @@
 //! The bounded database connection pool.
 
+use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::database::{Database, QueryResult};
 use crate::error::DbError;
 use crate::fault::FaultPlan;
@@ -21,6 +22,9 @@ struct PoolInner {
     checkouts: AtomicU64,
     /// Active fault-injection plan, if any.
     fault: RwLock<Option<FaultPlan>>,
+    /// Circuit breaker wrapped around checkout and query execution, if
+    /// installed.
+    breaker: RwLock<Option<Arc<CircuitBreaker>>>,
     /// Checkouts that timed out ([`ConnectionPool::get_timeout`]).
     acquire_timeouts: AtomicU64,
 }
@@ -87,6 +91,7 @@ impl ConnectionPool {
                 in_use: AtomicUsize::new(0),
                 checkouts: AtomicU64::new(0),
                 fault: RwLock::new(None),
+                breaker: RwLock::new(None),
                 acquire_timeouts: AtomicU64::new(0),
             }),
         }
@@ -117,6 +122,14 @@ impl ConnectionPool {
     /// Returns `None` on timeout (counted in
     /// [`ConnectionPool::acquire_timeouts`]).
     pub fn get_timeout(&self, timeout: Duration) -> Option<PooledConnection> {
+        // An open breaker means the backend is failing past threshold:
+        // don't burn `timeout` waiting for a token the request cannot
+        // use anyway.
+        if let Some(b) = &*self.inner.breaker.read() {
+            if b.checkout_blocked() {
+                return None;
+            }
+        }
         match self.inner.tokens.pop_timeout(timeout) {
             Ok(Some(())) => Some(self.checked_out()),
             _ => {
@@ -142,6 +155,18 @@ impl ConnectionPool {
     /// The active fault plan, if any.
     pub fn fault_plan(&self) -> Option<FaultPlan> {
         *self.inner.fault.read()
+    }
+
+    /// Installs (or with `None`, removes) a circuit breaker wrapped
+    /// around checkout and query execution on *all* connections,
+    /// including ones already checked out.
+    pub fn set_breaker(&self, config: Option<BreakerConfig>) {
+        *self.inner.breaker.write() = config.map(|c| Arc::new(CircuitBreaker::new(c)));
+    }
+
+    /// The installed circuit breaker, if any (for health reporting).
+    pub fn breaker(&self) -> Option<Arc<CircuitBreaker>> {
+        self.inner.breaker.read().clone()
     }
 
     /// How many [`ConnectionPool::get_timeout`] calls have timed out.
@@ -191,8 +216,30 @@ impl PooledConnection {
     ///
     /// Any [`DbError`] from parsing or execution, plus
     /// [`DbError::Injected`] / [`DbError::ConnectionLost`] when a
-    /// [`FaultPlan`] is installed on the pool.
+    /// [`FaultPlan`] is installed on the pool, plus
+    /// [`DbError::CircuitOpen`] when an installed [`CircuitBreaker`] is
+    /// rejecting queries.
     pub fn execute(&self, sql: &str, params: &[DbValue]) -> Result<QueryResult, DbError> {
+        let breaker = self.inner.breaker.read().clone();
+        if let Some(b) = &breaker {
+            if !b.try_acquire() {
+                return Err(DbError::CircuitOpen);
+            }
+        }
+        let result = self.execute_inner(sql, params);
+        if let Some(b) = &breaker {
+            // Only infrastructure failures feed the breaker; a query
+            // bug (syntax, missing table) says nothing about backend
+            // health.
+            b.record(!matches!(
+                &result,
+                Err(DbError::Injected(_) | DbError::ConnectionLost)
+            ));
+        }
+        result
+    }
+
+    fn execute_inner(&self, sql: &str, params: &[DbValue]) -> Result<QueryResult, DbError> {
         if self.dead.load(Ordering::Relaxed) {
             return Err(DbError::ConnectionLost);
         }
@@ -361,6 +408,72 @@ mod tests {
             conn.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
         }
         assert!(!conn.is_dead());
+    }
+
+    #[test]
+    fn breaker_trips_on_injected_outage_and_recovers() {
+        let p = pool(2);
+        p.set_breaker(Some(crate::BreakerConfig {
+            window: 8,
+            failure_threshold: 0.5,
+            min_samples: 2,
+            cooldown: Duration::from_millis(20),
+            half_open_probes: 1,
+        }));
+        let b = p.breaker().expect("breaker installed");
+        let conn = p.get();
+        // Healthy queries keep it closed.
+        for _ in 0..10 {
+            conn.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
+        }
+        assert_eq!(b.state(), crate::BreakerState::Closed);
+        // Full outage: every query fails, the breaker trips, and
+        // further queries fail fast with CircuitOpen.
+        p.set_fault_plan(Some(crate::FaultPlan::seeded(3).error_rate(1.0)));
+        let mut saw_injected = 0;
+        loop {
+            match conn.execute("SELECT COUNT(*) FROM t", &[]) {
+                Err(DbError::Injected(_)) => saw_injected += 1,
+                Err(DbError::CircuitOpen) => break,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+            assert!(saw_injected < 100, "breaker never tripped");
+        }
+        assert_eq!(b.state(), crate::BreakerState::Open);
+        assert!(b.opened_total() >= 1);
+        // While open and cooling down, checkout fails fast too.
+        assert!(p.get_timeout(Duration::from_secs(5)).is_none());
+        // Recovery: clear the fault, wait out the cooldown, and the
+        // half-open probe closes the breaker.
+        p.set_fault_plan(None);
+        thread::sleep(Duration::from_millis(25));
+        conn.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(b.state(), crate::BreakerState::Closed);
+        assert_eq!(b.closed_total(), 1);
+    }
+
+    #[test]
+    fn breaker_ignores_query_bugs() {
+        let p = pool(1);
+        p.set_breaker(Some(crate::BreakerConfig {
+            window: 4,
+            failure_threshold: 0.5,
+            min_samples: 2,
+            cooldown: Duration::from_millis(20),
+            half_open_probes: 1,
+        }));
+        let conn = p.get();
+        for _ in 0..10 {
+            assert!(matches!(
+                conn.execute("SELECT * FROM missing", &[]),
+                Err(DbError::NoSuchTable(_))
+            ));
+        }
+        assert_eq!(
+            p.breaker().unwrap().state(),
+            crate::BreakerState::Closed,
+            "application errors are not backend failures"
+        );
     }
 
     #[test]

@@ -90,6 +90,12 @@ impl Response {
         self.status
     }
 
+    /// Replaces the status (e.g. a readiness payload flipping between
+    /// `200` and `503` with an identical body).
+    pub fn set_status(&mut self, status: StatusCode) {
+        self.status = status;
+    }
+
     /// Mutable access to the headers.
     pub fn headers_mut(&mut self) -> &mut HeaderMap {
         &mut self.headers

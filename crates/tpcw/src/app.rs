@@ -120,7 +120,21 @@ pub fn build_app(db: &Database, scale: &ScaleConfig) -> App {
         "admin_response",
         pages::admin_confirm
     );
-    builder.build()
+    // Read-only browsing pages may be served from the staged server's
+    // stale-render cache during a database outage. Mutating pages
+    // (cart, checkout, registration, admin confirm) must never be — a
+    // stale "order confirmed" would be a lie.
+    builder
+        .stale_cacheable("/home")
+        .stale_cacheable("/new_products")
+        .stale_cacheable("/best_sellers")
+        .stale_cacheable("/product_detail")
+        .stale_cacheable("/search_request")
+        .stale_cacheable("/execute_search")
+        .stale_cacheable("/order_inquiry")
+        .stale_cacheable("/order_display")
+        .stale_cacheable("/admin_request")
+        .build()
 }
 
 #[cfg(test)]

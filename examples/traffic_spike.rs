@@ -14,7 +14,7 @@
 //!
 //! Run with `cargo run --release --example traffic_spike`.
 
-use staged_web::core::{App, PageOutcome, ServerConfig, StagedServer};
+use staged_web::core::{App, BreakerConfig, PageOutcome, ServerConfig, StagedServer};
 use staged_web::db::{CostModel, Database, DbValue};
 use staged_web::http::{fetch, Method, Response};
 use std::sync::Arc;
@@ -56,6 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // requests — the spike below offers far more, and the excess is
         // shed with 503 instead of queuing without bound.
         lengthy_queue_cap: Some(6),
+        // Guard the database with a circuit breaker so its health is
+        // reported below (and in /healthz) alongside the pool stats.
+        breaker: Some(BreakerConfig::default()),
         ..ServerConfig::default()
     };
     let server = StagedServer::start(config, app, db)?;
@@ -135,6 +138,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "shed {sheds} lengthy requests with 503 + Retry-After \
          (bounded queue, cap 6) while quick traffic kept being served"
     );
+
+    // Worker health: a panicked worker is replaced, but the count must
+    // stay visible — a spike that kills threads is a bug, not noise.
+    println!("\npool health after the spike:");
+    for pool in server.pool_snapshots() {
+        println!(
+            "  {:<16} completed={:<6} rejected={:<5} panicked={}",
+            pool.name, pool.completed, pool.rejected, pool.panicked
+        );
+    }
+    if let Some(breaker) = server.breaker() {
+        println!(
+            "db breaker: state={} opened={} half-open={} fast-failures={}",
+            breaker.state().label(),
+            breaker.opened_total(),
+            breaker.half_open_total(),
+            breaker.fast_failures(),
+        );
+    }
+    let health = fetch(addr, Method::Get, "/healthz", &[])?;
+    println!("\n/healthz: {}", String::from_utf8_lossy(&health.body));
     server.shutdown();
     Ok(())
 }

@@ -2,10 +2,10 @@
 //! complete without deadlock, and in-flight work must not crash the
 //! process.
 
-use staged_web::core::{App, PageOutcome, ServerConfig, StagedServer};
+use staged_web::core::{App, BaselineServer, PageOutcome, Phase, ServerConfig, StagedServer};
 use staged_web::db::{CostModel, Database, DbValue};
-use staged_web::http::{fetch_with_timeout, Method, Response};
-use std::sync::atomic::{AtomicBool, Ordering};
+use staged_web::http::{fetch_with_timeout, Method, Response, StatusCode};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -69,4 +69,98 @@ fn shutdown_drains_in_flight_requests_without_deadlock() {
     // The port is no longer being served.
     let after = fetch_with_timeout(addr, Method::Get, "/work", &[], Duration::from_secs(1));
     assert!(after.is_err(), "server still answering after shutdown");
+}
+
+/// Drain-aware shutdown must lose **zero accepted requests**: every
+/// request parked in a worker or sitting in a stage queue when shutdown
+/// begins still receives its complete `200` — readiness flips to
+/// draining first, so a load balancer stops routing new work.
+#[test]
+fn shutdown_loses_no_accepted_requests() {
+    for which in ["baseline", "staged"] {
+        let db = Arc::new(Database::new());
+        let started = Arc::new(AtomicUsize::new(0));
+        let release = Arc::new(AtomicBool::new(false));
+        let s = Arc::clone(&started);
+        let r = Arc::clone(&release);
+        let app = App::builder()
+            .route("/gate", "gate", move |_req, _db| {
+                s.fetch_add(1, Ordering::SeqCst);
+                let wait = Instant::now();
+                while !r.load(Ordering::SeqCst) {
+                    assert!(
+                        wait.elapsed() < Duration::from_secs(10),
+                        "gate never released"
+                    );
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok(PageOutcome::Body(Response::text("drained")))
+            })
+            .build();
+        let config = ServerConfig::small();
+        let workers = if which == "baseline" {
+            config.baseline_workers
+        } else {
+            config.general_workers
+        };
+        let server = if which == "baseline" {
+            BaselineServer::start(config, app, db).unwrap()
+        } else {
+            StagedServer::start(config, app, db).unwrap()
+        };
+        let addr = server.addr();
+        assert_eq!(server.readiness().phase(), Phase::Ready, "{which}");
+
+        // Park every dynamic worker, one at a time so none are shed.
+        let mut clients: Vec<_> = (0..workers)
+            .map(|i| {
+                let h = std::thread::spawn(move || {
+                    fetch_with_timeout(addr, Method::Get, "/gate", &[], Duration::from_secs(20))
+                });
+                let deadline = Instant::now() + Duration::from_secs(5);
+                while started.load(Ordering::SeqCst) <= i {
+                    assert!(Instant::now() < deadline, "{which}: worker never parked");
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                h
+            })
+            .collect();
+        // Two more sit in the queue, accepted but not yet dispatched.
+        for _ in 0..2 {
+            clients.push(std::thread::spawn(move || {
+                fetch_with_timeout(addr, Method::Get, "/gate", &[], Duration::from_secs(20))
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(150));
+
+        let readiness = Arc::clone(server.readiness());
+        let shutdown_started = Instant::now();
+        let shutdown_thread = std::thread::spawn(move || server.shutdown());
+        // Readiness flips before the drain completes, while requests
+        // are still parked.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while readiness.phase() != Phase::Draining {
+            assert!(
+                Instant::now() < deadline,
+                "{which}: readiness never flipped to draining"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        release.store(true, Ordering::SeqCst);
+
+        // Every accepted request — parked or queued — completes.
+        for (i, h) in clients.into_iter().enumerate() {
+            let resp = h
+                .join()
+                .unwrap()
+                .unwrap_or_else(|e| panic!("{which}: accepted request {i} lost in drain: {e}"));
+            assert_eq!(resp.status, StatusCode::OK, "{which}: request {i}");
+            assert_eq!(resp.body, b"drained", "{which}: request {i} truncated");
+        }
+        shutdown_thread.join().unwrap();
+        assert!(
+            shutdown_started.elapsed() < Duration::from_secs(8),
+            "{which}: drain exceeded its deadline"
+        );
+    }
 }
