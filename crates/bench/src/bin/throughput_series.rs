@@ -1,23 +1,149 @@
-//! Regenerates the paper's **Figure 9** (overall throughput over time
-//! for both servers) and **Figures 10(a)–(d)** (throughput broken down
-//! by request class: static, all dynamic, quick dynamic, lengthy
-//! dynamic).
+//! Throughput benchmark for both server models: requests/sec, p50/p99
+//! latency, and (with the `count-alloc` feature) allocations per
+//! request, plus the paper's **Figure 9** / **Figures 10(a)–(d)**
+//! per-class throughput curves behind `--series`.
 //!
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p staged-bench --bin throughput_series -- \
-//!     --ebs 200 --measure-secs 30 --scale small
+//! cargo run --release -p staged-bench --features count-alloc \
+//!     --bin throughput_series -- \
+//!     --ebs 64 --scan-ns 0 --measure-secs 10 --json out.json
 //! ```
 //!
-//! Each series is completions per stats bucket (the paper uses
-//! interactions per minute; the bucket width here is the scaled
-//! equivalent). The expected shape: the modified server's curves sit
-//! consistently above the unmodified server's for every class.
+//! `--check-baseline PATH` compares the modified server's
+//! allocations/request against a previously written `--json` artifact
+//! and exits non-zero on a >20 % regression — the CI bench-smoke gate.
 
-use staged_bench::{print_series, run_model, Experiment, Model};
+use staged_bench::{print_series, run_model_with, Experiment, Model};
 use staged_core::RequestKind;
 use staged_metrics::SeriesPoint;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counting global allocator: every `alloc`/`realloc`/`alloc_zeroed`
+/// bumps one relaxed atomic. Behind a feature because the counter taxes
+/// every allocation in the process, including the workload generator.
+#[cfg(feature = "count-alloc")]
+mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    struct Counting;
+
+    // SAFETY: delegates directly to `System`; the counter has no effect
+    // on the returned pointers or layouts.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc_zeroed(layout) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: Counting = Counting;
+
+    pub fn enabled() -> bool {
+        true
+    }
+
+    pub fn total() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(not(feature = "count-alloc"))]
+mod alloc_count {
+    pub fn enabled() -> bool {
+        false
+    }
+
+    pub fn total() -> u64 {
+        0
+    }
+}
+
+struct Args {
+    exp: Experiment,
+    series: bool,
+    json: Option<String>,
+    check_baseline: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut exp = Experiment::default();
+    let mut series = false;
+    let mut json = None;
+    let mut check_baseline = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("flag {} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--ebs" => exp.ebs = value(i).parse().expect("--ebs"),
+            "--measure-secs" => {
+                exp.measure =
+                    std::time::Duration::from_secs_f64(value(i).parse().expect("--measure-secs"));
+            }
+            "--ramp-secs" => {
+                exp.ramp =
+                    std::time::Duration::from_secs_f64(value(i).parse().expect("--ramp-secs"));
+            }
+            "--scale" => {
+                exp.scale = match value(i) {
+                    "tiny" => staged_tpcw::ScaleConfig::tiny(),
+                    "small" => staged_tpcw::ScaleConfig::small(),
+                    "default" | "full" => staged_tpcw::ScaleConfig::default(),
+                    other => panic!("unknown scale: {other}"),
+                };
+            }
+            "--scan-ns" => exp.cost.scan_ns_per_row = value(i).parse().expect("--scan-ns"),
+            "--db-cap" => exp.db_capacity = value(i).parse().expect("--db-cap"),
+            "--series" => {
+                series = true;
+                i += 1;
+                continue;
+            }
+            "--json" => json = Some(value(i).to_string()),
+            "--check-baseline" => check_baseline = Some(value(i).to_string()),
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --ebs N --measure-secs S --ramp-secs S \
+                     --scale tiny|small|default --scan-ns N --db-cap N \
+                     --series --json PATH --check-baseline PATH"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag: {other} (try --help)"),
+        }
+        i += 2;
+    }
+
+    Args {
+        exp,
+        series,
+        json,
+        check_baseline,
+    }
+}
 
 fn merge(a: &[SeriesPoint], b: &[SeriesPoint]) -> Vec<SeriesPoint> {
     let mut out = Vec::with_capacity(a.len().max(b.len()));
@@ -37,74 +163,199 @@ fn merge(a: &[SeriesPoint], b: &[SeriesPoint]) -> Vec<SeriesPoint> {
     out
 }
 
+struct ModelRow {
+    model: Model,
+    requests_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+    total_requests: u64,
+    allocs_per_request: f64,
+}
+
+/// Pulls one numeric field out of a `--json` artifact previously
+/// written by this binary, for the named model. Hand-rolled on purpose:
+/// the artifact format is ours, and the workspace carries no JSON
+/// parser dependency.
+fn baseline_field(json: &str, model: &str, field: &str) -> Option<f64> {
+    let model_key = format!("\"model\":\"{model}\"");
+    let obj_start = json.find(&model_key)?;
+    let obj = &json[obj_start..];
+    let obj_end = obj.find('}').unwrap_or(obj.len());
+    let obj = &obj[..obj_end];
+    let field_key = format!("\"{field}\":");
+    let val_start = obj.find(&field_key)? + field_key.len();
+    let rest = &obj[val_start..];
+    let val_end = rest
+        .find(|c: char| c == ',' || c == '}')
+        .unwrap_or(rest.len());
+    rest[..val_end].trim().parse().ok()
+}
+
 fn main() {
-    let exp = Experiment::from_args();
+    let args = parse_args();
+    eprintln!(
+        "throughput run: {} EBs, {:?} measure, scan {} ns/row, alloc counting {}",
+        args.exp.ebs,
+        args.exp.measure,
+        args.exp.cost.scan_ns_per_row,
+        if alloc_count::enabled() { "on" } else { "off" },
+    );
 
     let mut outcomes = Vec::new();
+    let mut rows = Vec::new();
     for model in [Model::Unmodified, Model::Modified] {
         eprintln!("running {} server…", model.label());
-        let outcome = run_model(&exp, model, &[]);
-        eprintln!(
-            "  total interactions: {} ({:.0}/min)",
-            outcome.report.total_interactions,
-            outcome.report.interactions_per_minute()
-        );
+        let measure_start_allocs = Arc::new(AtomicU64::new(0));
+        let snap = Arc::clone(&measure_start_allocs);
+        let outcome = run_model_with(&args.exp, model, &[], move || {
+            snap.store(alloc_count::total(), Ordering::Relaxed);
+        });
+        // The counter read lands after the workload threads join, so
+        // the window includes each browser's final in-flight request —
+        // a fixed tail that is identical for both models.
+        let allocs =
+            alloc_count::total().saturating_sub(measure_start_allocs.load(Ordering::Relaxed));
+        let report = &outcome.report;
+        let total = report.total_interactions;
+        rows.push(ModelRow {
+            model,
+            requests_per_s: report.goodput_per_second(),
+            p50_ms: report.overall_p50_ms,
+            p99_ms: report.overall_p99_ms,
+            mean_ms: report.overall_mean_ms,
+            total_requests: total,
+            allocs_per_request: if total > 0 && alloc_count::enabled() {
+                allocs as f64 / total as f64
+            } else {
+                0.0
+            },
+        });
         outcomes.push((model, outcome));
     }
 
-    for (model, outcome) in &outcomes {
-        print_series(
-            &format!(
-                "Figure 9: total throughput per bucket, {} server",
-                model.label()
-            ),
-            &outcome.server.stats().total_series().counts_per_bucket(),
-        );
-    }
-    for (kind, figure) in [
-        (Some(RequestKind::Static), "Figure 10(a): static requests"),
-        (None, "Figure 10(b): all dynamic requests"),
-        (
-            Some(RequestKind::QuickDynamic),
-            "Figure 10(c): quick dynamic requests",
-        ),
-        (
-            Some(RequestKind::LengthyDynamic),
-            "Figure 10(d): lengthy dynamic requests",
-        ),
-    ] {
+    if args.series {
         for (model, outcome) in &outcomes {
-            let stats = outcome.server.stats();
-            let series = match kind {
-                Some(k) => stats.series(k).counts_per_bucket(),
-                None => merge(
-                    &stats.series(RequestKind::QuickDynamic).counts_per_bucket(),
-                    &stats
-                        .series(RequestKind::LengthyDynamic)
-                        .counts_per_bucket(),
+            print_series(
+                &format!(
+                    "Figure 9: total throughput per bucket, {} server",
+                    model.label()
                 ),
-            };
-            print_series(&format!("{figure}, {} server", model.label()), &series);
+                &outcome.server.stats().total_series().counts_per_bucket(),
+            );
+        }
+        for (kind, figure) in [
+            (Some(RequestKind::Static), "Figure 10(a): static requests"),
+            (None, "Figure 10(b): all dynamic requests"),
+            (
+                Some(RequestKind::QuickDynamic),
+                "Figure 10(c): quick dynamic requests",
+            ),
+            (
+                Some(RequestKind::LengthyDynamic),
+                "Figure 10(d): lengthy dynamic requests",
+            ),
+        ] {
+            for (model, outcome) in &outcomes {
+                let stats = outcome.server.stats();
+                let series = match kind {
+                    Some(k) => stats.series(k).counts_per_bucket(),
+                    None => merge(
+                        &stats.series(RequestKind::QuickDynamic).counts_per_bucket(),
+                        &stats
+                            .series(RequestKind::LengthyDynamic)
+                            .counts_per_bucket(),
+                    ),
+                };
+                print_series(&format!("{figure}, {} server", model.label()), &series);
+            }
         }
     }
 
-    println!("summary (completions during measurement):");
     println!(
-        "{:<12} {:>10} {:>10} {:>10} {:>10}",
-        "server", "static", "quick-dyn", "long-dyn", "total"
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>14}",
+        "server", "req/s", "p50 (ms)", "p99 (ms)", "mean (ms)", "requests", "allocs/req"
     );
-    for (model, outcome) in &outcomes {
-        let stats = outcome.server.stats();
+    println!("{}", "-".repeat(82));
+    for row in &rows {
         println!(
-            "{:<12} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
-            model.label(),
-            stats.series(RequestKind::Static).total(),
-            stats.series(RequestKind::QuickDynamic).total(),
-            stats.series(RequestKind::LengthyDynamic).total(),
-            stats.total_series().total(),
+            "{:<12} {:>10.1} {:>10.1} {:>10.1} {:>10.2} {:>10} {:>14.1}",
+            row.model.label(),
+            row.requests_per_s,
+            row.p50_ms,
+            row.p99_ms,
+            row.mean_ms,
+            row.total_requests,
+            row.allocs_per_request,
         );
     }
+    if let (Some(u), Some(m)) = (
+        rows.iter().find(|r| r.model == Model::Unmodified),
+        rows.iter().find(|r| r.model == Model::Modified),
+    ) {
+        if u.requests_per_s > 0.0 {
+            println!(
+                "modified vs unmodified: {:+.1}% requests/sec",
+                (m.requests_per_s / u.requests_per_s - 1.0) * 100.0
+            );
+        }
+    }
+
+    let mut json_rows = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            json_rows.push(',');
+        }
+        let _ = write!(
+            json_rows,
+            "{{\"model\":\"{}\",\"ebs\":{},\"requests_per_s\":{:.2},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"mean_ms\":{:.3},\"total_requests\":{},\"allocs_per_request\":{:.2},\"alloc_counting\":{}}}",
+            row.model.label(),
+            args.exp.ebs,
+            row.requests_per_s,
+            row.p50_ms,
+            row.p99_ms,
+            row.mean_ms,
+            row.total_requests,
+            row.allocs_per_request,
+            alloc_count::enabled(),
+        );
+    }
+    json_rows.push(']');
+
+    if let Some(path) = &args.json {
+        std::fs::write(path, &json_rows).expect("write --json output");
+        eprintln!("wrote {path}");
+    }
+
     for (_, outcome) in outcomes {
         outcome.server.shutdown();
+    }
+
+    if let Some(path) = &args.check_baseline {
+        let baseline = std::fs::read_to_string(path).expect("read --check-baseline file");
+        let base_counting = baseline.contains("\"alloc_counting\":true");
+        let base_allocs = baseline_field(&baseline, "modified", "allocs_per_request")
+            .expect("baseline has allocs_per_request for the modified server");
+        let current = rows
+            .iter()
+            .find(|r| r.model == Model::Modified)
+            .map(|r| r.allocs_per_request)
+            .unwrap_or(0.0);
+        if !alloc_count::enabled() || !base_counting {
+            eprintln!(
+                "check-baseline: allocation counting disabled on one side; \
+                 rebuild with --features count-alloc for an enforced check"
+            );
+            return;
+        }
+        let limit = base_allocs * 1.20;
+        eprintln!(
+            "check-baseline: {current:.1} allocs/request vs baseline {base_allocs:.1} (limit {limit:.1})"
+        );
+        if current > limit {
+            eprintln!("check-baseline: FAIL — >20% allocations-per-request regression");
+            std::process::exit(1);
+        }
+        eprintln!("check-baseline: OK");
     }
 }

@@ -228,6 +228,19 @@ pub struct RunOutcome {
 /// Queue gauges named in `trace_queues` are sampled at the server's
 /// stats bucket width.
 pub fn run_model(exp: &Experiment, model: Model, trace_queues: &[&str]) -> RunOutcome {
+    run_model_with(exp, model, trace_queues, || {})
+}
+
+/// [`run_model`] with an extra hook invoked at the exact start of the
+/// measurement interval (after ramp-up), on top of the built-in series
+/// restart. The throughput benchmark uses it to snapshot the global
+/// allocation counter so ramp-up allocations are excluded.
+pub fn run_model_with(
+    exp: &Experiment,
+    model: Model,
+    trace_queues: &[&str],
+    on_measure_start: impl Fn() + Send + 'static,
+) -> RunOutcome {
     let db = exp.build_database();
     let server = exp.start_server(model, db);
     let mut sampler = QueueSampler::new(exp.server.stats_bucket);
@@ -242,6 +255,7 @@ pub fn run_model(exp: &Experiment, model: Model, trace_queues: &[&str]) -> RunOu
     let stats = Arc::clone(server.stats());
     let report = run_workload(server.addr(), &exp.workload(), move || {
         stats.restart_series();
+        on_measure_start();
     });
     sampler_handle.stop();
     let queue_traces = series

@@ -55,11 +55,13 @@ impl PageOutcome {
 pub type Handler =
     Arc<dyn Fn(&Request, &PooledConnection) -> Result<PageOutcome, AppError> + Send + Sync>;
 
-pub(crate) struct Route {
+/// A registered dynamic route: its page name and handler.
+pub struct Route {
     /// Stable page key used for per-page service-time tracking (the
     /// paper tracks "the average time spent in generating data for each
     /// page").
     pub name: String,
+    /// The page handler ([`PageOutcome`]-producing function).
     pub handler: Handler,
     /// Whether successful renders of this page may be retained in (and
     /// served from) the staged server's stale cache when fresh
@@ -132,8 +134,9 @@ impl App {
 
     /// Resolves a path: exact routes first, then patterns (most
     /// specific wins). Pattern captures are returned so the server can
-    /// merge them into the request's parameters.
-    pub(crate) fn route(&self, path: &str) -> Option<(&Route, RouteParams)> {
+    /// merge them into the request's parameters. Public so tests and
+    /// tools can invoke a page handler directly, outside a server.
+    pub fn route(&self, path: &str) -> Option<(&Route, RouteParams)> {
         if let Some(route) = self.inner.routes.get(path) {
             return Some((route, RouteParams::default()));
         }

@@ -337,7 +337,10 @@ fn process_request(
     slot: &mut DbSlot,
 ) -> (Response, RequestKind) {
     if request.line.is_static() {
-        let response = ctx.app.statics().response_for(request.path());
+        let response = ctx
+            .app
+            .statics()
+            .response_for_request(request.path(), &request.headers);
         ctx.app.charge_static();
         return (response, RequestKind::Static);
     }
@@ -369,10 +372,13 @@ fn process_request(
     let response = match outcome {
         Ok(PageOutcome::Body(resp)) => resp,
         Ok(PageOutcome::Template { name, context }) => {
-            match ctx.app.templates().render(&name, &context) {
-                Ok(html) => {
-                    ctx.app.charge_render(html.len());
-                    Response::html(html)
+            // Same pooled-buffer render path as the staged server's
+            // render workers, so the model comparison stays fair.
+            let mut buf = staged_http::BufferPool::global().get();
+            match ctx.app.templates().render_into(&name, &context, &mut buf) {
+                Ok(()) => {
+                    ctx.app.charge_render(buf.len());
+                    Response::html(buf.freeze())
                 }
                 Err(_) => {
                     ctx.stats.errors.increment();

@@ -66,7 +66,7 @@ mod staged;
 mod stale;
 mod stats;
 
-pub use app::{App, AppBuilder, PageOutcome};
+pub use app::{App, AppBuilder, Handler, PageOutcome, Route};
 pub use baseline::BaselineServer;
 pub use config::ServerConfig;
 pub use error::AppError;

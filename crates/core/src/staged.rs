@@ -801,7 +801,10 @@ fn static_worker(shared: &Shared, job: StaticJob) {
         }
     };
     let keep_alive = keep_alive_for(&line, &headers);
-    let response = shared.app.statics().response_for(line.target.path());
+    let response = shared
+        .app
+        .statics()
+        .response_for_request(line.target.path(), &headers);
     shared.app.charge_static();
     if response.status() == StatusCode::NOT_FOUND {
         shared.stats.errors.increment();
@@ -909,9 +912,7 @@ fn dynamic_worker(shared: &Shared, slot: &mut DbSlot, job: DynJob) {
                 if response.status() == StatusCode::OK
                     && response.headers().get("content-type") == Some("text/html; charset=utf-8")
                 {
-                    if let Ok(html) = std::str::from_utf8(response.body()) {
-                        shared.stale.put(key, html);
-                    }
+                    shared.stale.put(key, response.body_shared());
                 }
             }
             shared.finish(conn, method, &response, keep_alive, kind);
@@ -981,13 +982,22 @@ fn render_worker(shared: &Shared, job: RenderJob) {
         return;
     }
     let render_started = Instant::now();
-    let response = match shared.app.templates().render(&name, &context) {
-        Ok(html) => {
-            shared.app.charge_render(html.len());
+    // The zero-copy hot path: render into a pooled buffer, freeze it
+    // into a shared body, and hand that same allocation to the stale
+    // cache and the connection writer.
+    let mut buf = staged_http::BufferPool::global().get();
+    let response = match shared
+        .app
+        .templates()
+        .render_into(&name, &context, &mut buf)
+    {
+        Ok(()) => {
+            shared.app.charge_render(buf.len());
+            let body = buf.freeze();
             if let Some(key) = &stale_key {
-                shared.stale.put(key, &html);
+                shared.stale.put(key, body.clone());
             }
-            Response::html(html)
+            Response::html(body)
         }
         Err(_) => {
             shared.stats.errors.increment();

@@ -11,29 +11,29 @@
 //! such cache, preserving the paper's model comparison.
 
 use parking_lot::Mutex;
-use staged_http::Response;
+use staged_http::{Body, Response};
 use std::collections::HashMap;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The RFC 7234 warning attached to every stale response.
 pub(crate) const STALE_WARNING: &str = "110 - \"Response is Stale\"";
 
 struct Entry {
-    html: Arc<str>,
+    body: Body,
     stored: Instant,
 }
 
 /// A successful lookup: the cached body plus how old it is.
 pub(crate) struct StaleHit {
-    pub html: Arc<str>,
+    pub body: Body,
     pub age: Duration,
 }
 
 impl StaleHit {
-    /// Builds the degraded `200` carrying the staleness headers.
+    /// Builds the degraded `200` carrying the staleness headers. The
+    /// cached page is shared into the response, not copied.
     pub(crate) fn response(&self) -> Response {
-        let mut resp = Response::html(self.html.as_bytes().to_vec());
+        let mut resp = Response::html(self.body.clone());
         resp.headers_mut().set("Warning", STALE_WARNING);
         resp.headers_mut()
             .set("Age", self.age.as_secs().to_string());
@@ -60,9 +60,10 @@ impl StaleCache {
         }
     }
 
-    /// Retains one successful render. Refreshes the entry's age if the
-    /// key is already present.
-    pub(crate) fn put(&self, key: &str, html: &str) {
+    /// Retains one successful render — a reference-count bump on the
+    /// shared body, never a copy. Refreshes the entry's age if the key
+    /// is already present.
+    pub(crate) fn put(&self, key: &str, body: impl Into<Body>) {
         if self.capacity == 0 {
             return;
         }
@@ -84,7 +85,7 @@ impl StaleCache {
         entries.insert(
             key.to_string(),
             Entry {
-                html: Arc::from(html),
+                body: body.into(),
                 stored: Instant::now(),
             },
         );
@@ -100,7 +101,7 @@ impl StaleCache {
             return None;
         }
         Some(StaleHit {
-            html: Arc::clone(&entry.html),
+            body: entry.body.clone(),
             age,
         })
     }
@@ -138,7 +139,7 @@ mod tests {
         let c = StaleCache::new(Duration::from_secs(60), 8);
         c.put("home", "<h1>hi</h1>");
         let hit = c.get("home").expect("fresh entry");
-        assert_eq!(&*hit.html, "<h1>hi</h1>");
+        assert_eq!(&hit.body[..], b"<h1>hi</h1>");
         assert!(hit.age < Duration::from_secs(1));
         let resp = hit.response();
         assert_eq!(resp.headers().get("warning"), Some(STALE_WARNING));
@@ -182,8 +183,23 @@ mod tests {
         c.put("b", "2");
         c.put("a", "1-new");
         assert_eq!(c.len(), 2);
-        assert_eq!(&*c.get("a").unwrap().html, "1-new");
+        assert_eq!(&c.get("a").unwrap().body[..], b"1-new");
         assert!(c.get("b").is_some());
+    }
+
+    #[test]
+    fn hits_share_the_stored_allocation() {
+        let c = StaleCache::new(Duration::from_secs(60), 8);
+        let body = Body::from("<h1>page</h1>");
+        c.put("home", body.clone());
+        let hit = c.get("home").unwrap();
+        assert_eq!(hit.body.as_ptr(), body.as_ptr(), "get must not copy");
+        let resp = hit.response();
+        assert_eq!(
+            resp.body().as_ptr(),
+            body.as_ptr(),
+            "response must not copy"
+        );
     }
 
     #[test]

@@ -133,6 +133,67 @@ fn serves_static_files() {
     });
 }
 
+/// Sends one raw request with extra headers and parses the response —
+/// `fetch` has no custom-header support, conditional GETs need it.
+fn fetch_with_headers(
+    addr: std::net::SocketAddr,
+    target: &str,
+    headers: &[(&str, &str)],
+) -> staged_http::ClientResponse {
+    use std::io::Write;
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut req = format!("GET {target} HTTP/1.1\r\nConnection: close\r\n");
+    for (name, value) in headers {
+        req.push_str(&format!("{name}: {value}\r\n"));
+    }
+    req.push_str("\r\n");
+    stream.write_all(req.as_bytes()).unwrap();
+    staged_http::read_response(&mut stream).unwrap()
+}
+
+#[test]
+fn conditional_static_requests_get_304() {
+    each_server(|server, which| {
+        let first = fetch(server.addr(), Method::Get, "/img/flowers.gif", &[]).unwrap();
+        assert_eq!(first.status, StatusCode::OK, "{which}");
+        let etag = first.headers.get("etag").expect("static 200 carries ETag");
+        let last_modified = first
+            .headers
+            .get("last-modified")
+            .expect("static 200 carries Last-Modified");
+
+        // Revalidation by ETag: 304, no body, validators echoed.
+        let revalidated = fetch_with_headers(
+            server.addr(),
+            "/img/flowers.gif",
+            &[("If-None-Match", etag)],
+        );
+        assert_eq!(revalidated.status, StatusCode::NOT_MODIFIED, "{which}");
+        assert!(
+            revalidated.body.is_empty(),
+            "{which}: 304 must have no body"
+        );
+        assert_eq!(revalidated.headers.get("etag"), Some(etag), "{which}");
+
+        // Revalidation by date.
+        let by_date = fetch_with_headers(
+            server.addr(),
+            "/img/flowers.gif",
+            &[("If-Modified-Since", last_modified)],
+        );
+        assert_eq!(by_date.status, StatusCode::NOT_MODIFIED, "{which}");
+
+        // A mismatched validator still gets the full entity.
+        let changed = fetch_with_headers(
+            server.addr(),
+            "/img/flowers.gif",
+            &[("If-None-Match", "\"different\"")],
+        );
+        assert_eq!(changed.status, StatusCode::OK, "{which}");
+        assert_eq!(changed.body, b"GIF89a-flowers", "{which}");
+    });
+}
+
 #[test]
 fn backward_compatible_prerendered_pages() {
     each_server(|server, which| {

@@ -4,7 +4,7 @@ use crate::error::HttpError;
 use crate::headers::HeaderMap;
 use crate::request::{Request, RequestLine};
 use crate::response::Response;
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 
 /// Limits applied while parsing incoming requests.
 ///
@@ -57,6 +57,10 @@ pub struct Connection<S> {
     buf: Vec<u8>,
     pos: usize,
     limits: ParseLimits,
+    /// Reusable scratch buffer for serialized response heads, so a
+    /// keep-alive connection serializes every response into the same
+    /// allocation.
+    head_buf: Vec<u8>,
 }
 
 impl<S: Read + Write> Connection<S> {
@@ -72,6 +76,7 @@ impl<S: Read + Write> Connection<S> {
             buf: Vec::with_capacity(4096),
             pos: 0,
             limits,
+            head_buf: Vec::new(),
         }
     }
 
@@ -164,11 +169,19 @@ impl<S: Read + Write> Connection<S> {
 
     /// Serializes and sends a response.
     ///
+    /// The head is serialized into a per-connection scratch buffer and
+    /// the body is written from its shared slice via one vectored
+    /// write, so sending never copies the body and a keep-alive
+    /// connection reuses the same head allocation for every response.
+    ///
     /// # Errors
     ///
     /// Propagates transport errors.
     pub fn send(&mut self, response: &Response) -> io::Result<()> {
-        response.write_to(&mut self.stream)
+        self.head_buf.clear();
+        response.write_head_into(&mut self.head_buf);
+        write_all_vectored(&mut self.stream, &self.head_buf, response.body())?;
+        self.stream.flush()
     }
 
     /// Sends a response appropriately for the request method: `HEAD`
@@ -184,9 +197,12 @@ impl<S: Read + Write> Connection<S> {
         response: &Response,
     ) -> io::Result<()> {
         if method.expects_response_body() {
-            response.write_to(&mut self.stream)
+            self.send(response)
         } else {
-            response.write_head_to(&mut self.stream)
+            self.head_buf.clear();
+            response.write_head_into(&mut self.head_buf);
+            self.stream.write_all(&self.head_buf)?;
+            self.stream.flush()
         }
     }
 
@@ -245,6 +261,36 @@ impl<S: Read + Write> Connection<S> {
             self.pos = 0;
         }
     }
+}
+
+/// Writes `head` then `body` completely, using vectored writes while
+/// both slices have bytes left so head and body usually leave in one
+/// syscall without ever being joined in memory.
+fn write_all_vectored<W: Write>(writer: &mut W, head: &[u8], body: &[u8]) -> io::Result<()> {
+    let mut head_off = 0;
+    let mut body_off = 0;
+    while head_off < head.len() {
+        let slices = [IoSlice::new(&head[head_off..]), IoSlice::new(body)];
+        let n = if body.is_empty() {
+            writer.write(&head[head_off..])?
+        } else {
+            writer.write_vectored(&slices)?
+        };
+        if n == 0 {
+            return Err(io::ErrorKind::WriteZero.into());
+        }
+        let from_head = n.min(head.len() - head_off);
+        head_off += from_head;
+        body_off += n - from_head;
+    }
+    while body_off < body.len() {
+        let n = writer.write(&body[body_off..])?;
+        if n == 0 {
+            return Err(io::ErrorKind::WriteZero.into());
+        }
+        body_off += n;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -405,6 +451,67 @@ mod tests {
         let out = String::from_utf8(conn.into_inner().output).unwrap();
         assert!(out.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(out.ends_with("\r\n\r\nok"));
+    }
+
+    /// A writer that accepts at most `cap` bytes per call, to exercise
+    /// the partial-write advance logic in `write_all_vectored`.
+    struct Trickle {
+        out: Vec<u8>,
+        cap: usize,
+    }
+
+    impl Write for Trickle {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.cap);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+            let mut left = self.cap;
+            let mut written = 0;
+            for b in bufs {
+                let n = b.len().min(left);
+                self.out.extend_from_slice(&b[..n]);
+                written += n;
+                left -= n;
+                if left == 0 {
+                    break;
+                }
+            }
+            Ok(written)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_send_survives_partial_writes() {
+        let response = Response::html("0123456789".repeat(10));
+        let expected = response.to_bytes();
+        for cap in [1, 3, 7, 64, 4096] {
+            let mut w = Trickle {
+                out: Vec::new(),
+                cap,
+            };
+            let mut head = Vec::new();
+            response.write_head_into(&mut head);
+            write_all_vectored(&mut w, &head, response.body()).unwrap();
+            assert_eq!(w.out, expected, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn vectored_send_empty_body() {
+        let response = Response::redirect("/next");
+        let mut w = Trickle {
+            out: Vec::new(),
+            cap: 5,
+        };
+        let mut head = Vec::new();
+        response.write_head_into(&mut head);
+        write_all_vectored(&mut w, &head, response.body()).unwrap();
+        assert_eq!(w.out, response.to_bytes());
     }
 
     #[test]

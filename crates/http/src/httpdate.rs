@@ -1,0 +1,174 @@
+//! IMF-fixdate (RFC 9110 §5.6.7) formatting and parsing for
+//! `Last-Modified` / `If-Modified-Since`, without a date-time
+//! dependency.
+
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+const DAYS: [&str; 7] = ["Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"];
+const MONTHS: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+/// Formats a time as an IMF-fixdate, e.g. `Sun, 06 Nov 1994 08:49:37
+/// GMT`. Times before the Unix epoch clamp to the epoch.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::{Duration, UNIX_EPOCH};
+/// use staged_http::format_http_date;
+///
+/// let t = UNIX_EPOCH + Duration::from_secs(784_111_777);
+/// assert_eq!(format_http_date(t), "Sun, 06 Nov 1994 08:49:37 GMT");
+/// ```
+pub fn format_http_date(t: SystemTime) -> String {
+    let secs = t
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or(Duration::ZERO)
+        .as_secs();
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (year, month, day) = civil_from_days(days);
+    let weekday = ((days + 4).rem_euclid(7)) as usize; // 1970-01-01 was a Thursday
+    format!(
+        "{}, {:02} {} {:04} {:02}:{:02}:{:02} GMT",
+        DAYS[weekday],
+        day,
+        MONTHS[(month - 1) as usize],
+        year,
+        rem / 3600,
+        (rem % 3600) / 60,
+        rem % 60,
+    )
+}
+
+/// Parses an IMF-fixdate back to a time. Returns `None` for anything
+/// malformed or for the obsolete RFC 850 / asctime forms.
+///
+/// # Examples
+///
+/// ```
+/// use staged_http::{format_http_date, parse_http_date};
+/// use std::time::{Duration, UNIX_EPOCH};
+///
+/// let t = UNIX_EPOCH + Duration::from_secs(1_000_000_000);
+/// assert_eq!(parse_http_date(&format_http_date(t)), Some(t));
+/// assert_eq!(parse_http_date("not a date"), None);
+/// ```
+pub fn parse_http_date(s: &str) -> Option<SystemTime> {
+    // "Sun, 06 Nov 1994 08:49:37 GMT"
+    let rest = s.get(5..)?; // skip "Ddd, "
+    if !s
+        .get(..5)
+        .is_some_and(|p| DAYS.iter().any(|d| p.starts_with(d)) && p.ends_with(", "))
+    {
+        return None;
+    }
+    let mut parts = rest.split(' ');
+    let day: u64 = parts.next()?.parse().ok()?;
+    let month = parts.next()?;
+    let month = MONTHS.iter().position(|m| *m == month)? as u32 + 1;
+    let year: i64 = parts.next()?.parse().ok()?;
+    let mut hms = parts.next()?.split(':');
+    let h: u64 = hms.next()?.parse().ok()?;
+    let m: u64 = hms.next()?.parse().ok()?;
+    let sec: u64 = hms.next()?.parse().ok()?;
+    if parts.next()? != "GMT" || parts.next().is_some() {
+        return None;
+    }
+    if day == 0 || day > 31 || h > 23 || m > 59 || sec > 60 || year < 1970 {
+        return None;
+    }
+    let days = days_from_civil(year, month, day as u32);
+    if days < 0 {
+        return None;
+    }
+    Some(UNIX_EPOCH + Duration::from_secs(days as u64 * 86_400 + h * 3600 + m * 60 + sec))
+}
+
+/// Days-since-epoch → (year, month, day), via the standard civil
+/// calendar algorithm (era = 400-year cycle of 146 097 days).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// (year, month, day) → days since the Unix epoch; inverse of
+/// [`civil_from_days`].
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = if m > 2 { m - 3 } else { m + 9 } as i64;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(secs: u64) -> SystemTime {
+        UNIX_EPOCH + Duration::from_secs(secs)
+    }
+
+    #[test]
+    fn known_dates_format_correctly() {
+        assert_eq!(format_http_date(at(0)), "Thu, 01 Jan 1970 00:00:00 GMT");
+        assert_eq!(
+            format_http_date(at(784_111_777)),
+            "Sun, 06 Nov 1994 08:49:37 GMT"
+        );
+        // Leap day.
+        assert_eq!(
+            format_http_date(at(951_826_154)),
+            "Tue, 29 Feb 2000 12:09:14 GMT"
+        );
+    }
+
+    #[test]
+    fn round_trip_across_decades() {
+        // Sweep odd offsets so times fall on arbitrary h:m:s.
+        for secs in (0..4_000_000_000u64).step_by(86_400 * 97 + 12_345) {
+            let t = at(secs);
+            let s = format_http_date(t);
+            assert_eq!(parse_http_date(&s), Some(t), "{s}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "Sun, 06 Nov 1994 08:49:37",       // missing GMT
+            "Sun, 06 Nov 1994 08:49 GMT",      // missing seconds
+            "Xxx, 06 Nov 1994 08:49:37 GMT",   // bad weekday
+            "Sun, 06 Foo 1994 08:49:37 GMT",   // bad month
+            "Sunday, 06-Nov-94 08:49:37 GMT",  // RFC 850 form
+            "Sun Nov  6 08:49:37 1994",        // asctime form
+            "Sun, 32 Nov 1994 08:49:37 GMT",   // day out of range
+            "Sun, 06 Nov 1994 24:49:37 GMT",   // hour out of range
+            "Sun, 06 Nov 1969 08:49:37 GMT",   // pre-epoch
+            "Sun, 06 Nov 1994 08:49:37 GMT x", // trailing junk
+        ] {
+            assert_eq!(parse_http_date(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn civil_conversion_is_bijective() {
+        for days in (-1000..200_000).step_by(13) {
+            let (y, m, d) = civil_from_days(days);
+            assert_eq!(days_from_civil(y, m, d), days);
+        }
+    }
+}

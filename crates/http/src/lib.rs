@@ -36,10 +36,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod body;
 mod client;
 mod connection;
 mod error;
 mod headers;
+mod httpdate;
 mod method;
 mod mime;
 mod request;
@@ -49,10 +51,12 @@ mod statics;
 mod status;
 mod uri;
 
+pub use body::{Body, BufferPool, PooledBuf};
 pub use client::{fetch, fetch_with_timeout, read_response, ClientResponse};
 pub use connection::{Connection, ParseLimits};
 pub use error::HttpError;
 pub use headers::HeaderMap;
+pub use httpdate::{format_http_date, parse_http_date};
 pub use method::Method;
 pub use mime::mime_for_path;
 pub use request::{Request, RequestLine};

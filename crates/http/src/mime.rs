@@ -13,35 +13,43 @@
 /// assert_eq!(mime_for_path("noext"), "application/octet-stream");
 /// ```
 pub fn mime_for_path(path: &str) -> &'static str {
+    /// Extension → MIME type, matched case-insensitively in place (no
+    /// lowercased copy of the extension — this runs per static request).
+    const TABLE: &[(&str, &str)] = &[
+        ("html", "text/html; charset=utf-8"),
+        ("htm", "text/html; charset=utf-8"),
+        ("css", "text/css"),
+        ("js", "application/javascript"),
+        ("json", "application/json"),
+        ("txt", "text/plain; charset=utf-8"),
+        ("xml", "application/xml"),
+        ("gif", "image/gif"),
+        ("jpg", "image/jpeg"),
+        ("jpeg", "image/jpeg"),
+        ("png", "image/png"),
+        ("svg", "image/svg+xml"),
+        ("ico", "image/x-icon"),
+        ("webp", "image/webp"),
+        ("pdf", "application/pdf"),
+        ("zip", "application/zip"),
+        ("gz", "application/gzip"),
+        ("woff", "font/woff"),
+        ("woff2", "font/woff2"),
+        ("wasm", "application/wasm"),
+        ("mp4", "video/mp4"),
+        ("mp3", "audio/mpeg"),
+    ];
     let ext = path
         .rsplit('/')
         .next()
         .and_then(|name| name.rsplit_once('.'))
         .map(|(_, e)| e)
         .unwrap_or("");
-    match ext.to_ascii_lowercase().as_str() {
-        "html" | "htm" => "text/html; charset=utf-8",
-        "css" => "text/css",
-        "js" => "application/javascript",
-        "json" => "application/json",
-        "txt" => "text/plain; charset=utf-8",
-        "xml" => "application/xml",
-        "gif" => "image/gif",
-        "jpg" | "jpeg" => "image/jpeg",
-        "png" => "image/png",
-        "svg" => "image/svg+xml",
-        "ico" => "image/x-icon",
-        "webp" => "image/webp",
-        "pdf" => "application/pdf",
-        "zip" => "application/zip",
-        "gz" => "application/gzip",
-        "woff" => "font/woff",
-        "woff2" => "font/woff2",
-        "wasm" => "application/wasm",
-        "mp4" => "video/mp4",
-        "mp3" => "audio/mpeg",
-        _ => "application/octet-stream",
-    }
+    TABLE
+        .iter()
+        .find(|(e, _)| ext.eq_ignore_ascii_case(e))
+        .map(|(_, mime)| *mime)
+        .unwrap_or("application/octet-stream")
 }
 
 #[cfg(test)]

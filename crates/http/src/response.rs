@@ -1,5 +1,6 @@
 //! HTTP responses and their serialization.
 
+use crate::body::Body;
 use crate::headers::HeaderMap;
 use crate::status::StatusCode;
 use std::fmt;
@@ -13,6 +14,10 @@ use std::io::{self, Write};
 /// appropriately, which cannot be achieved by most existing methods in
 /// dynamic content generation" (§3.2). Serializing only after the body
 /// is complete gives the same guarantee.
+///
+/// The body is a [`Body`] — an `Arc`-shared slice — so building a
+/// response from an already-shared page (a cached render, a static
+/// file) costs a reference-count bump, not a copy.
 ///
 /// # Examples
 ///
@@ -30,7 +35,7 @@ use std::io::{self, Write};
 pub struct Response {
     status: StatusCode,
     headers: HeaderMap,
-    body: Vec<u8>,
+    body: Body,
 }
 
 impl Response {
@@ -39,12 +44,12 @@ impl Response {
         Response {
             status,
             headers: HeaderMap::new(),
-            body: Vec::new(),
+            body: Body::empty(),
         }
     }
 
     /// A `200 OK` response with an HTML body.
-    pub fn html(body: impl Into<Vec<u8>>) -> Self {
+    pub fn html(body: impl Into<Body>) -> Self {
         let mut r = Response::new(StatusCode::OK);
         r.headers.set("Content-Type", "text/html; charset=utf-8");
         r.body = body.into();
@@ -52,7 +57,7 @@ impl Response {
     }
 
     /// A `200 OK` response with a plain-text body.
-    pub fn text(body: impl Into<Vec<u8>>) -> Self {
+    pub fn text(body: impl Into<Body>) -> Self {
         let mut r = Response::new(StatusCode::OK);
         r.headers.set("Content-Type", "text/plain; charset=utf-8");
         r.body = body.into();
@@ -60,7 +65,7 @@ impl Response {
     }
 
     /// A `200 OK` response with an explicit content type.
-    pub fn with_content_type(content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+    pub fn with_content_type(content_type: &str, body: impl Into<Body>) -> Self {
         let mut r = Response::new(StatusCode::OK);
         r.headers.set("Content-Type", content_type);
         r.body = body.into();
@@ -74,7 +79,7 @@ impl Response {
         r.body = format!(
             "<html><head><title>{status}</title></head><body><h1>{status}</h1></body></html>"
         )
-        .into_bytes();
+        .into();
         r
     }
 
@@ -111,8 +116,14 @@ impl Response {
         &self.body
     }
 
+    /// A shared handle to the body — a reference-count bump, not a
+    /// copy. Lets a cache keep the page while the writer sends it.
+    pub fn body_shared(&self) -> Body {
+        self.body.clone()
+    }
+
     /// Replaces the body.
-    pub fn set_body(&mut self, body: impl Into<Vec<u8>>) {
+    pub fn set_body(&mut self, body: impl Into<Body>) {
         self.body = body.into();
     }
 
@@ -121,12 +132,49 @@ impl Response {
         self.headers.set("Connection", "close");
     }
 
+    /// Exact size in bytes of the serialized head (status line, headers,
+    /// computed `Content-Length`, terminating blank line).
+    pub fn head_len(&self) -> usize {
+        // "HTTP/1.1 {code} {reason}\r\n"
+        let mut n = 9 + dec_len(self.status.as_u16() as usize) + 1 + self.status.reason().len() + 2;
+        for (name, value) in self.headers.iter() {
+            n += name.len() + 2 + value.len() + 2;
+        }
+        if !self.headers.contains("content-length") {
+            n += "Content-Length: ".len() + dec_len(self.body.len()) + 2;
+        }
+        n + 2
+    }
+
+    /// Appends the serialized head to `out`, reserving exactly the bytes
+    /// it needs ([`Response::head_len`]) up front.
+    pub fn write_head_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.head_len());
+        // `write!` to a Vec cannot fail and, with the reserve above,
+        // cannot reallocate.
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\n",
+            self.status.as_u16(),
+            self.status.reason()
+        )
+        .expect("writing to a Vec cannot fail");
+        for (name, value) in self.headers.iter() {
+            write!(out, "{name}: {value}\r\n").expect("writing to a Vec cannot fail");
+        }
+        if !self.headers.contains("content-length") {
+            write!(out, "Content-Length: {}\r\n", self.body.len())
+                .expect("writing to a Vec cannot fail");
+        }
+        out.extend_from_slice(b"\r\n");
+    }
+
     /// Serializes the status line, headers (with computed
-    /// `Content-Length`), and body.
+    /// `Content-Length`), and body into one exactly-sized buffer.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.body.len() + 128);
-        self.write_to(&mut out)
-            .expect("writing to a Vec cannot fail");
+        let mut out = Vec::with_capacity(self.head_len() + self.body.len());
+        self.write_head_into(&mut out);
+        out.extend_from_slice(&self.body);
         out
     }
 
@@ -137,19 +185,9 @@ impl Response {
     ///
     /// Propagates any I/O error from `writer`.
     pub fn write_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
-        write!(
-            writer,
-            "HTTP/1.1 {} {}\r\n",
-            self.status.as_u16(),
-            self.status.reason()
-        )?;
-        for (name, value) in self.headers.iter() {
-            write!(writer, "{name}: {value}\r\n")?;
-        }
-        if !self.headers.contains("content-length") {
-            write!(writer, "Content-Length: {}\r\n", self.body.len())?;
-        }
-        writer.write_all(b"\r\n")?;
+        let mut head = Vec::new();
+        self.write_head_into(&mut head);
+        writer.write_all(&head)?;
         writer.write_all(&self.body)?;
         writer.flush()
     }
@@ -167,21 +205,21 @@ impl Response {
     ///
     /// Propagates any I/O error from `writer`.
     pub fn write_head_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
-        write!(
-            writer,
-            "HTTP/1.1 {} {}\r\n",
-            self.status.as_u16(),
-            self.status.reason()
-        )?;
-        for (name, value) in self.headers.iter() {
-            write!(writer, "{name}: {value}\r\n")?;
-        }
-        if !self.headers.contains("content-length") {
-            write!(writer, "Content-Length: {}\r\n", self.body.len())?;
-        }
-        writer.write_all(b"\r\n")?;
+        let mut head = Vec::new();
+        self.write_head_into(&mut head);
+        writer.write_all(&head)?;
         writer.flush()
     }
+}
+
+/// Number of decimal digits in `n` (1 for 0).
+fn dec_len(mut n: usize) -> usize {
+    let mut digits = 1;
+    while n >= 10 {
+        n /= 10;
+        digits += 1;
+    }
+    digits
 }
 
 impl fmt::Display for Response {
@@ -251,5 +289,47 @@ mod tests {
         let mut buf = Vec::new();
         r.write_to(&mut buf).unwrap();
         assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn head_len_is_exact() {
+        let mut r = Response::html("<p>exact</p>");
+        r.headers_mut().set("X-Custom", "value");
+        let mut head = Vec::new();
+        r.write_head_into(&mut head);
+        assert_eq!(head.len(), r.head_len());
+        // to_bytes allocates exactly once at the right size.
+        let bytes = r.to_bytes();
+        assert_eq!(bytes.capacity(), r.head_len() + r.content_length());
+        assert_eq!(bytes.len(), bytes.capacity());
+    }
+
+    #[test]
+    fn head_len_exact_with_explicit_content_length() {
+        let mut r = Response::text("abc");
+        r.headers_mut().set("Content-Length", "3");
+        let mut head = Vec::new();
+        r.write_head_into(&mut head);
+        assert_eq!(head.len(), r.head_len());
+    }
+
+    #[test]
+    fn body_sharing_is_refcounted() {
+        let body: Body = "shared page".into();
+        let r = Response::html(body.clone());
+        let handle = r.body_shared();
+        assert_eq!(&handle[..], b"shared page");
+        // Original + response's copy + handle = 3 live handles.
+        assert_eq!(body.handle_count(), 3);
+    }
+
+    #[test]
+    fn dec_len_digit_counts() {
+        assert_eq!(dec_len(0), 1);
+        assert_eq!(dec_len(9), 1);
+        assert_eq!(dec_len(10), 2);
+        assert_eq!(dec_len(999), 3);
+        assert_eq!(dec_len(1000), 4);
+        assert_eq!(dec_len(usize::MAX), usize::MAX.to_string().len());
     }
 }

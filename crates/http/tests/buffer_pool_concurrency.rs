@@ -1,0 +1,96 @@
+//! The buffer pool under a render-pool-shaped concurrent workload:
+//! many threads checking buffers out, rendering into them, freezing
+//! them into shared bodies, and holding those bodies for a while (as
+//! the stale cache does). Buffers must never bleed bytes across
+//! requests and the pool must neither leak nor grow without bound.
+
+use staged_http::{Body, BufferPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+const WORKERS: usize = 8;
+const ITERATIONS: usize = 200;
+const MAX_POOLED: usize = 4;
+
+#[test]
+fn concurrent_workers_reuse_buffers_without_bleed() {
+    let pool = Arc::new(BufferPool::new(MAX_POOLED, 1 << 20));
+    // A stand-in for the stale cache: bodies parked by one worker,
+    // dropped by another, keeping allocations alive across requests.
+    let parked: Arc<Mutex<Vec<Body>>> = Arc::new(Mutex::new(Vec::new()));
+    let dirty = Arc::new(AtomicUsize::new(0));
+
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            let pool = Arc::clone(&pool);
+            let parked = Arc::clone(&parked);
+            let dirty = Arc::clone(&dirty);
+            thread::spawn(move || {
+                for i in 0..ITERATIONS {
+                    let mut buf = pool.get();
+                    // A recycled buffer must come back empty — any
+                    // residual bytes would leak one response into
+                    // another request's page.
+                    if !buf.is_empty() {
+                        dirty.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Render a worker-and-iteration-unique page.
+                    let marker = (w * ITERATIONS + i) as u32;
+                    for k in 0..64u32 {
+                        buf.extend_from_slice(&(marker ^ k).to_le_bytes());
+                    }
+                    let body = buf.freeze();
+                    // Verify the page read back intact through the
+                    // shared handle.
+                    for (k, chunk) in body.chunks(4).enumerate() {
+                        assert_eq!(chunk, (marker ^ k as u32).to_le_bytes());
+                    }
+                    // Every third body is parked (cache retention); the
+                    // rest drop immediately (writer finished).
+                    if i % 3 == 0 {
+                        let mut parked = parked.lock().unwrap();
+                        parked.push(body);
+                        // Cap retention like the stale cache does.
+                        if parked.len() > 16 {
+                            parked.remove(0);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        dirty.load(Ordering::Relaxed),
+        0,
+        "recycled buffers must be cleared"
+    );
+    drop(parked.lock().unwrap().drain(..).collect::<Vec<_>>());
+    assert!(
+        pool.pooled() <= MAX_POOLED,
+        "pool kept {} buffers, cap is {MAX_POOLED}",
+        pool.pooled()
+    );
+    let total = pool.hits() + pool.misses();
+    assert_eq!(total, (WORKERS * ITERATIONS) as u64);
+    assert!(
+        pool.hits() > 0,
+        "a sustained workload must recycle at least once"
+    );
+}
+
+#[test]
+fn pooled_bodies_outlive_the_pool_handle() {
+    // A Body frozen from a pooled buffer stays valid after every
+    // BufferPool clone is gone (the shared pool state is refcounted).
+    let body = {
+        let pool = BufferPool::new(2, 1 << 20);
+        let mut buf = pool.get();
+        buf.extend_from_slice(b"survivor");
+        buf.freeze()
+    };
+    assert_eq!(&body[..], b"survivor");
+}

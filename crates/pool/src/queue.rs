@@ -60,8 +60,29 @@ impl Error for TryPopError {}
 #[derive(Debug)]
 struct State<T> {
     items: VecDeque<T>,
+    /// Direct-handoff slot: a pushed item parked here bypasses the
+    /// deque when an idle popper is already waiting. Only occupied
+    /// while `items` is empty, so it always holds the oldest item and
+    /// every pop path drains it first — FIFO order is preserved.
+    handoff: Option<T>,
+    /// Poppers currently blocked in `wait`. Registered under the lock
+    /// before the wait and deregistered after, so `idle == 0` proves no
+    /// popper needs a wake-up and the push path can skip the condvar.
+    idle: usize,
+    /// Pushes that took the direct-handoff fast path (observability).
+    handoffs: u64,
     closed: bool,
     peak_len: usize,
+}
+
+impl<T> State<T> {
+    fn queued(&self) -> usize {
+        self.items.len() + usize::from(self.handoff.is_some())
+    }
+
+    fn take_next(&mut self) -> Option<T> {
+        self.handoff.take().or_else(|| self.items.pop_front())
+    }
 }
 
 /// A bounded synchronized FIFO queue, the building block of every thread
@@ -109,6 +130,9 @@ impl<T> SyncQueue<T> {
         SyncQueue {
             state: Mutex::new(State {
                 items: VecDeque::new(),
+                handoff: None,
+                idle: 0,
+                handoffs: 0,
                 closed: false,
                 peak_len: 0,
             }),
@@ -116,6 +140,26 @@ impl<T> SyncQueue<T> {
             not_full: Condvar::new(),
             capacity,
         }
+    }
+
+    /// Enqueues under the lock, picking the fast path: if a popper is
+    /// already parked and nothing is queued ahead, the item goes into
+    /// the handoff slot and exactly one popper is woken; if poppers are
+    /// parked behind a backlog it goes to the deque with a wake-up; and
+    /// when every worker is busy (`idle == 0`) the condvar is skipped
+    /// entirely — the next `pop` will find the item without waiting.
+    fn enqueue(&self, state: &mut State<T>, item: T) {
+        if state.idle > 0 && state.handoff.is_none() && state.items.is_empty() {
+            state.handoff = Some(item);
+            state.handoffs += 1;
+            self.not_empty.notify_one();
+        } else {
+            state.items.push_back(item);
+            if state.idle > 0 {
+                self.not_empty.notify_one();
+            }
+        }
+        state.peak_len = state.peak_len.max(state.queued());
     }
 
     /// Creates a queue with no practical capacity limit, matching
@@ -136,10 +180,8 @@ impl<T> SyncQueue<T> {
             if state.closed {
                 return Err(PushError::Closed(item));
             }
-            if state.items.len() < self.capacity {
-                state.items.push_back(item);
-                state.peak_len = state.peak_len.max(state.items.len());
-                self.not_empty.notify_one();
+            if state.queued() < self.capacity {
+                self.enqueue(&mut state, item);
                 return Ok(());
             }
             self.not_full.wait(&mut state);
@@ -157,12 +199,10 @@ impl<T> SyncQueue<T> {
         if state.closed {
             return Err(PushError::Closed(item));
         }
-        if state.items.len() >= self.capacity {
+        if state.queued() >= self.capacity {
             return Err(PushError::Full(item));
         }
-        state.items.push_back(item);
-        state.peak_len = state.peak_len.max(state.items.len());
-        self.not_empty.notify_one();
+        self.enqueue(&mut state, item);
         Ok(())
     }
 
@@ -173,14 +213,16 @@ impl<T> SyncQueue<T> {
     pub fn pop(&self) -> Option<T> {
         let mut state = self.state.lock();
         loop {
-            if let Some(item) = state.items.pop_front() {
+            if let Some(item) = state.take_next() {
                 self.not_full.notify_one();
                 return Some(item);
             }
             if state.closed {
                 return None;
             }
+            state.idle += 1;
             self.not_empty.wait(&mut state);
+            state.idle -= 1;
         }
     }
 
@@ -194,14 +236,24 @@ impl<T> SyncQueue<T> {
     pub fn pop_timeout(&self, timeout: Duration) -> Result<Option<T>, TryPopError> {
         let mut state = self.state.lock();
         loop {
-            if let Some(item) = state.items.pop_front() {
+            if let Some(item) = state.take_next() {
                 self.not_full.notify_one();
                 return Ok(Some(item));
             }
             if state.closed {
                 return Err(TryPopError::Closed);
             }
-            if self.not_empty.wait_for(&mut state, timeout).timed_out() {
+            state.idle += 1;
+            let timed_out = self.not_empty.wait_for(&mut state, timeout).timed_out();
+            state.idle -= 1;
+            if timed_out {
+                // A push may have parked an item in the handoff slot for
+                // this popper in the window between the timeout firing
+                // and the lock being reacquired; don't strand it.
+                if let Some(item) = state.take_next() {
+                    self.not_full.notify_one();
+                    return Ok(Some(item));
+                }
                 return Ok(None);
             }
         }
@@ -215,7 +267,7 @@ impl<T> SyncQueue<T> {
     /// if closed and drained.
     pub fn try_pop(&self) -> Result<T, TryPopError> {
         let mut state = self.state.lock();
-        if let Some(item) = state.items.pop_front() {
+        if let Some(item) = state.take_next() {
             self.not_full.notify_one();
             return Ok(item);
         }
@@ -240,9 +292,21 @@ impl<T> SyncQueue<T> {
         self.state.lock().closed
     }
 
-    /// Current number of queued items.
+    /// Current number of queued items (including one parked in the
+    /// direct-handoff slot awaiting its woken popper).
     pub fn len(&self) -> usize {
-        self.state.lock().items.len()
+        self.state.lock().queued()
+    }
+
+    /// How many pushes bypassed the deque by handing the item straight
+    /// to an already-idle popper.
+    pub fn direct_handoffs(&self) -> u64 {
+        self.state.lock().handoffs
+    }
+
+    /// Poppers currently parked waiting for work.
+    pub fn idle_poppers(&self) -> usize {
+        self.state.lock().idle
     }
 
     /// Whether the queue is currently empty.
@@ -390,6 +454,83 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), None);
         }
+    }
+
+    #[test]
+    fn direct_handoff_to_idle_popper() {
+        let q = Arc::new(SyncQueue::unbounded());
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.pop());
+        // Wait for the popper to actually park before pushing.
+        for _ in 0..200 {
+            if q.idle_poppers() == 1 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(q.idle_poppers(), 1, "popper never parked");
+        q.push(11).unwrap();
+        assert_eq!(h.join().unwrap(), Some(11));
+        assert_eq!(q.direct_handoffs(), 1);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn no_handoff_when_no_popper_waits() {
+        let q = SyncQueue::unbounded();
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.direct_handoffs(), 0);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn handoff_counts_toward_capacity() {
+        let q = Arc::new(SyncQueue::bounded(1));
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.pop_timeout(Duration::from_secs(5)));
+        for _ in 0..200 {
+            if q.idle_poppers() == 1 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        q.push(1).unwrap();
+        // Whether or not the popper has claimed the handoff yet, the
+        // queue never exceeds its capacity of one.
+        let overflow = q.try_push(2);
+        let drained = h.join().unwrap().unwrap();
+        assert_eq!(drained, Some(1));
+        match overflow {
+            Ok(()) => assert_eq!(q.pop(), Some(2)),
+            Err(PushError::Full(v)) => assert_eq!(v, 2),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fifo_preserved_across_handoff_and_backlog() {
+        let q = Arc::new(SyncQueue::unbounded());
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = q2.pop() {
+                got.push(v);
+            }
+            got
+        });
+        for i in 0..100 {
+            q.push(i).unwrap();
+            if i % 3 == 0 {
+                // Give the consumer a chance to park so some pushes
+                // take the handoff path and some hit the backlog.
+                thread::sleep(Duration::from_micros(200));
+            }
+        }
+        q.close();
+        let got = h.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
     }
 
     #[test]

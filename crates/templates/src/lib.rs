@@ -42,6 +42,7 @@ mod error;
 mod filters;
 mod lexer;
 mod parser;
+mod program;
 mod render;
 mod store;
 mod value;

@@ -1,0 +1,955 @@
+//! The compiled instruction-stream renderer (the request hot path).
+//!
+//! [`Program::compile`] flattens the parsed AST into a `Vec<Op>` with
+//! pre-resolved jump targets, pre-parsed variable paths (map keys vs.
+//! list indices are classified once, at compile time) and interned
+//! loop-variable names. [`execute`] renders a program into a
+//! caller-supplied `Vec<u8>` without cloning context values: resolution
+//! returns borrows into the [`Context`] wherever possible and only
+//! clones when a value was produced by a filter chain (which already
+//! owns it). The tree-walking renderer in `render.rs` is kept as the
+//! semantic reference; golden tests assert byte-identical output.
+
+use crate::ast::{CmpOp, Cond, FilterExpr, Node, Operand};
+use crate::error::TemplateError;
+use crate::filters;
+use crate::render::{compare, MAX_INCLUDE_DEPTH};
+use crate::store::TemplateStore;
+use crate::value::{Context, Value};
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::sync::Arc;
+
+/// A pre-parsed path segment: numeric segments index lists, the rest
+/// look up map keys — decided once at compile time instead of a
+/// `str::parse` per segment per render.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Seg {
+    Key(Box<str>),
+    Index(usize),
+}
+
+/// A path root, classified at compile time.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Root {
+    /// `forloop[.…]` — resolved against the runtime loop stack with
+    /// counters computed on demand (no per-iteration metadata map).
+    Forloop,
+    /// A name, looked up in loop/with bindings then the context.
+    Name(Arc<str>),
+}
+
+/// A compiled dotted path.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CPath {
+    root: Root,
+    segs: Box<[Seg]>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum COperand {
+    Literal(Value),
+    Path(CPath),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CFilter {
+    name: Box<str>,
+    arg: Option<COperand>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CExpr {
+    base: COperand,
+    filters: Box<[CFilter]>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum CCond {
+    Or(Box<CCond>, Box<CCond>),
+    And(Box<CCond>, Box<CCond>),
+    Not(Box<CCond>),
+    Compare(CExpr, CmpOp, CExpr),
+    Truthy(CExpr),
+}
+
+/// One instruction of the flat stream. Jump targets are absolute
+/// indices into the owning program's op vector.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Op {
+    /// Emit literal text.
+    Text(Box<str>),
+    /// Evaluate and emit an expression (auto-escaped unless safe).
+    Var(CExpr),
+    /// Jump to `target` when the condition is false.
+    BranchIfNot { cond: CCond, target: usize },
+    /// Unconditional jump.
+    Jump(usize),
+    /// Evaluate the iterable; jump to `empty_target` when it has no
+    /// items, otherwise push a loop frame and fall through into the
+    /// body.
+    ForStart {
+        var: Arc<str>,
+        iterable: CExpr,
+        empty_target: usize,
+        end_target: usize,
+    },
+    /// Advance the innermost loop: jump to `back` while items remain,
+    /// otherwise pop the frame and jump to `end`.
+    ForIter { back: usize, end: usize },
+    /// Push a `{% with %}` binding and fall through.
+    WithStart { var: Arc<str>, value: CExpr },
+    /// Pop the innermost `{% with %}` binding.
+    WithEnd,
+    /// Execute another template's program in the current state.
+    Include { name: Box<str> },
+}
+
+/// A compiled template body: the flat instruction stream.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct Program {
+    ops: Vec<Op>,
+}
+
+impl Program {
+    pub(crate) fn compile(nodes: &[Node]) -> Self {
+        let mut ops = Vec::new();
+        compile_nodes(nodes, &mut ops);
+        Program { ops }
+    }
+
+    pub(crate) fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+}
+
+fn compile_path(path: &[String]) -> CPath {
+    let (root, rest) = match path.split_first() {
+        Some((first, rest)) if first == "forloop" => (Root::Forloop, rest),
+        Some((first, rest)) => (Root::Name(Arc::from(first.as_str())), rest),
+        None => (Root::Name(Arc::from("")), &[][..]),
+    };
+    let segs = rest
+        .iter()
+        .map(|s| match s.parse::<usize>() {
+            Ok(i) => Seg::Index(i),
+            Err(_) => Seg::Key(s.as_str().into()),
+        })
+        .collect();
+    CPath { root, segs }
+}
+
+fn compile_operand(op: &Operand) -> COperand {
+    match op {
+        Operand::Literal(v) => COperand::Literal(v.clone()),
+        Operand::Path(p) => COperand::Path(compile_path(p)),
+    }
+}
+
+fn compile_expr(expr: &FilterExpr) -> CExpr {
+    CExpr {
+        base: compile_operand(&expr.base),
+        filters: expr
+            .filters
+            .iter()
+            .map(|f| CFilter {
+                name: f.name.as_str().into(),
+                arg: f.arg.as_ref().map(compile_operand),
+            })
+            .collect(),
+    }
+}
+
+fn compile_cond(cond: &Cond) -> CCond {
+    match cond {
+        Cond::Or(a, b) => CCond::Or(Box::new(compile_cond(a)), Box::new(compile_cond(b))),
+        Cond::And(a, b) => CCond::And(Box::new(compile_cond(a)), Box::new(compile_cond(b))),
+        Cond::Not(c) => CCond::Not(Box::new(compile_cond(c))),
+        Cond::Compare(l, op, r) => CCond::Compare(compile_expr(l), *op, compile_expr(r)),
+        Cond::Truthy(e) => CCond::Truthy(compile_expr(e)),
+    }
+}
+
+fn compile_nodes(nodes: &[Node], ops: &mut Vec<Op>) {
+    for node in nodes {
+        match node {
+            Node::Text(t) => ops.push(Op::Text(t.as_str().into())),
+            Node::Var(expr) => ops.push(Op::Var(compile_expr(expr))),
+            Node::If { arms, else_body } => {
+                let mut end_jumps = Vec::new();
+                for (cond, body) in arms {
+                    let branch_at = ops.len();
+                    ops.push(Op::BranchIfNot {
+                        cond: compile_cond(cond),
+                        target: 0,
+                    });
+                    compile_nodes(body, ops);
+                    end_jumps.push(ops.len());
+                    ops.push(Op::Jump(0));
+                    let next_arm = ops.len();
+                    if let Op::BranchIfNot { target, .. } = &mut ops[branch_at] {
+                        *target = next_arm;
+                    }
+                }
+                compile_nodes(else_body, ops);
+                let end = ops.len();
+                for at in end_jumps {
+                    if let Op::Jump(target) = &mut ops[at] {
+                        *target = end;
+                    }
+                }
+            }
+            Node::For {
+                var,
+                iterable,
+                body,
+                empty,
+            } => {
+                let start_at = ops.len();
+                ops.push(Op::ForStart {
+                    var: Arc::from(var.as_str()),
+                    iterable: compile_expr(iterable),
+                    empty_target: 0,
+                    end_target: 0,
+                });
+                let body_start = ops.len();
+                compile_nodes(body, ops);
+                let iter_at = ops.len();
+                ops.push(Op::ForIter {
+                    back: body_start,
+                    end: 0,
+                });
+                let empty_start = ops.len();
+                compile_nodes(empty, ops);
+                let end = ops.len();
+                if let Op::ForStart {
+                    empty_target,
+                    end_target,
+                    ..
+                } = &mut ops[start_at]
+                {
+                    *empty_target = empty_start;
+                    *end_target = end;
+                }
+                if let Op::ForIter { end: e, .. } = &mut ops[iter_at] {
+                    *e = end;
+                }
+            }
+            Node::With { var, value, body } => {
+                ops.push(Op::WithStart {
+                    var: Arc::from(var.as_str()),
+                    value: compile_expr(value),
+                });
+                compile_nodes(body, ops);
+                ops.push(Op::WithEnd);
+            }
+            Node::Include { name } => ops.push(Op::Include {
+                name: name.as_str().into(),
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------
+
+/// Where a loop's items come from. Borrowed variants keep the context's
+/// allocation; owned variants hold filter-produced data that the frame
+/// now owns. String sources iterate as borrowed one-character slices —
+/// no per-character `String`s.
+#[derive(Debug)]
+enum FrameSrc<'a> {
+    BorrowedList(&'a [Value]),
+    OwnedList(Vec<Value>),
+    BorrowedStr(&'a str),
+    OwnedStr(String),
+    BorrowedKeys(Vec<&'a str>),
+    OwnedKeys(Vec<String>),
+    SingleBorrowed(&'a Value),
+    SingleOwned(Value),
+}
+
+#[derive(Debug)]
+struct Frame<'a> {
+    src: FrameSrc<'a>,
+    /// Iteration number (0-based).
+    index: usize,
+    /// Total iterations (character count for strings).
+    len: usize,
+    /// Byte offset of the current character (string sources).
+    byte_pos: usize,
+    /// Byte length of the current character (string sources).
+    char_len: usize,
+}
+
+impl<'a> Frame<'a> {
+    fn new(src: FrameSrc<'a>) -> Option<Self> {
+        let (len, char_len) = match &src {
+            FrameSrc::BorrowedList(l) => (l.len(), 0),
+            FrameSrc::OwnedList(l) => (l.len(), 0),
+            FrameSrc::BorrowedStr(s) => (
+                s.chars().count(),
+                s.chars().next().map_or(0, char::len_utf8),
+            ),
+            FrameSrc::OwnedStr(s) => (
+                s.chars().count(),
+                s.chars().next().map_or(0, char::len_utf8),
+            ),
+            FrameSrc::BorrowedKeys(k) => (k.len(), 0),
+            FrameSrc::OwnedKeys(k) => (k.len(), 0),
+            FrameSrc::SingleBorrowed(_) | FrameSrc::SingleOwned(_) => (1, 0),
+        };
+        if len == 0 {
+            return None;
+        }
+        Some(Frame {
+            src,
+            index: 0,
+            len,
+            byte_pos: 0,
+            char_len,
+        })
+    }
+
+    fn advance(&mut self) {
+        self.index += 1;
+        match &self.src {
+            FrameSrc::BorrowedStr(s) => {
+                self.byte_pos += self.char_len;
+                self.char_len = s[self.byte_pos..].chars().next().map_or(0, char::len_utf8);
+            }
+            FrameSrc::OwnedStr(s) => {
+                self.byte_pos += self.char_len;
+                self.char_len = s[self.byte_pos..].chars().next().map_or(0, char::len_utf8);
+            }
+            _ => {}
+        }
+    }
+
+    fn current<'r>(&'r self) -> Res<'a, 'r> {
+        match &self.src {
+            FrameSrc::BorrowedList(l) => Res::Ctx(&l[self.index]),
+            FrameSrc::OwnedList(l) => Res::Rt(&l[self.index]),
+            FrameSrc::BorrowedStr(s) => {
+                Res::CtxStr(&s[self.byte_pos..self.byte_pos + self.char_len])
+            }
+            FrameSrc::OwnedStr(s) => Res::RtStr(&s[self.byte_pos..self.byte_pos + self.char_len]),
+            FrameSrc::BorrowedKeys(k) => Res::CtxStr(k[self.index]),
+            FrameSrc::OwnedKeys(k) => Res::RtStr(&k[self.index]),
+            FrameSrc::SingleBorrowed(v) => Res::Ctx(v),
+            FrameSrc::SingleOwned(v) => Res::Rt(v),
+        }
+    }
+}
+
+/// A name binding: loop variables point at their frame (the current
+/// item is read through it), `{% with %}` values are stored directly.
+#[derive(Debug)]
+enum Binding<'a> {
+    Loop(usize),
+    Ctx(&'a Value),
+    CtxStr(&'a str),
+    Owned(Value),
+}
+
+/// Render-time state shared across includes, mirroring the
+/// tree-walker's `RenderState`.
+struct Rt<'a> {
+    ctx: &'a Context,
+    store: Option<&'a TemplateStore>,
+    frames: Vec<Frame<'a>>,
+    bindings: Vec<(Arc<str>, Binding<'a>)>,
+    include_depth: usize,
+}
+
+/// A resolved value. `Ctx*` variants borrow from the context and stay
+/// valid across frame pushes; `Rt*` variants borrow from render-time
+/// state (frames, bindings, program literals) and must be consumed (or
+/// cloned) before the state is mutated.
+#[derive(Debug)]
+enum Res<'a, 'r> {
+    Ctx(&'a Value),
+    Rt(&'r Value),
+    CtxStr(&'a str),
+    RtStr(&'r str),
+    Owned(Value),
+    Null,
+}
+
+impl Res<'_, '_> {
+    fn is_truthy(&self) -> bool {
+        match self {
+            Res::Ctx(v) | Res::Rt(v) => v.is_truthy(),
+            Res::CtxStr(s) | Res::RtStr(s) => !s.is_empty(),
+            Res::Owned(v) => v.is_truthy(),
+            Res::Null => false,
+        }
+    }
+
+    /// Borrow as a full [`Value`] for the comparison/filter-argument
+    /// paths, materializing only string slices (rare: one-character
+    /// loop items or map keys used in a comparison).
+    fn as_value(&self) -> Cow<'_, Value> {
+        match self {
+            Res::Ctx(v) | Res::Rt(v) => Cow::Borrowed(*v),
+            Res::Owned(v) => Cow::Borrowed(v),
+            Res::CtxStr(s) | Res::RtStr(s) => Cow::Owned(Value::Str((*s).to_string())),
+            Res::Null => Cow::Owned(Value::Null),
+        }
+    }
+
+    /// Take ownership (filter input): clones exactly where the
+    /// tree-walker's resolve already cloned.
+    fn into_value(self) -> Value {
+        match self {
+            Res::Ctx(v) | Res::Rt(v) => v.clone(),
+            Res::Owned(v) => v,
+            Res::CtxStr(s) | Res::RtStr(s) => Value::Str(s.to_string()),
+            Res::Null => Value::Null,
+        }
+    }
+}
+
+/// Walks pre-parsed segments from a cursor. Owned cursors move their
+/// sub-values out (`remove`/`swap_remove`) instead of cloning.
+fn walk_segs<'a, 'r>(mut cur: Res<'a, 'r>, segs: &[Seg]) -> Res<'a, 'r> {
+    for seg in segs {
+        cur = match cur {
+            Res::Ctx(v) => match seg {
+                Seg::Key(k) => v.get(k).map(Res::Ctx).unwrap_or(Res::Null),
+                Seg::Index(i) => v.index(*i).map(Res::Ctx).unwrap_or(Res::Null),
+            },
+            Res::Rt(v) => match seg {
+                Seg::Key(k) => v.get(k).map(Res::Rt).unwrap_or(Res::Null),
+                Seg::Index(i) => v.index(*i).map(Res::Rt).unwrap_or(Res::Null),
+            },
+            Res::Owned(v) => match (v, seg) {
+                (Value::Map(mut m), Seg::Key(k)) => {
+                    m.remove(&**k).map(Res::Owned).unwrap_or(Res::Null)
+                }
+                (Value::List(mut l), Seg::Index(i)) if *i < l.len() => {
+                    Res::Owned(l.swap_remove(*i))
+                }
+                _ => Res::Null,
+            },
+            Res::CtxStr(_) | Res::RtStr(_) | Res::Null => Res::Null,
+        };
+    }
+    cur
+}
+
+/// Materializes the `forloop` metadata map (cold path: only a bare
+/// `{{ forloop }}` or an unknown attribute needs it), identical to the
+/// tree-walker's per-iteration map.
+fn forloop_value(frames: &[Frame<'_>], idx: usize) -> Value {
+    let f = &frames[idx];
+    let mut m = BTreeMap::new();
+    m.insert("counter".to_string(), Value::Int(f.index as i64 + 1));
+    m.insert("counter0".to_string(), Value::Int(f.index as i64));
+    m.insert(
+        "revcounter".to_string(),
+        Value::Int((f.len - f.index) as i64),
+    );
+    m.insert(
+        "revcounter0".to_string(),
+        Value::Int((f.len - f.index - 1) as i64),
+    );
+    m.insert("first".to_string(), Value::Bool(f.index == 0));
+    m.insert("last".to_string(), Value::Bool(f.index + 1 == f.len));
+    m.insert("length".to_string(), Value::Int(f.len as i64));
+    if idx > 0 {
+        m.insert("parentloop".to_string(), forloop_value(frames, idx - 1));
+    }
+    Value::Map(m)
+}
+
+fn resolve_forloop<'a, 'r>(rt: &'r Rt<'a>, segs: &[Seg]) -> Res<'a, 'r> {
+    if rt.frames.is_empty() {
+        return Res::Null;
+    }
+    let mut idx = rt.frames.len() - 1;
+    let mut i = 0;
+    while i < segs.len() {
+        match &segs[i] {
+            Seg::Key(k) if &**k == "parentloop" => {
+                if idx == 0 {
+                    return Res::Null;
+                }
+                idx -= 1;
+                i += 1;
+            }
+            Seg::Key(k) => {
+                let f = &rt.frames[idx];
+                let val = match &**k {
+                    "counter" => Value::Int(f.index as i64 + 1),
+                    "counter0" => Value::Int(f.index as i64),
+                    "revcounter" => Value::Int((f.len - f.index) as i64),
+                    "revcounter0" => Value::Int((f.len - f.index - 1) as i64),
+                    "first" => Value::Bool(f.index == 0),
+                    "last" => Value::Bool(f.index + 1 == f.len),
+                    "length" => Value::Int(f.len as i64),
+                    _ => return Res::Null,
+                };
+                return walk_segs(Res::Owned(val), &segs[i + 1..]);
+            }
+            Seg::Index(_) => return Res::Null,
+        }
+    }
+    Res::Owned(forloop_value(&rt.frames, idx))
+}
+
+fn resolve<'a, 'r>(rt: &'r Rt<'a>, path: &'r CPath) -> Res<'a, 'r> {
+    let cur = match &path.root {
+        Root::Forloop => return resolve_forloop(rt, &path.segs),
+        Root::Name(name) => {
+            let bound = rt.bindings.iter().rev().find(|(n, _)| n == name);
+            match bound {
+                Some((_, Binding::Loop(i))) => rt.frames[*i].current(),
+                Some((_, Binding::Ctx(v))) => Res::Ctx(v),
+                Some((_, Binding::CtxStr(s))) => Res::CtxStr(s),
+                Some((_, Binding::Owned(v))) => Res::Rt(v),
+                None => rt.ctx.get(name).map(Res::Ctx).unwrap_or(Res::Null),
+            }
+        }
+    };
+    walk_segs(cur, &path.segs)
+}
+
+fn eval<'a, 'r>(rt: &'r Rt<'a>, expr: &'r CExpr) -> Result<(Res<'a, 'r>, bool), TemplateError> {
+    let base = match &expr.base {
+        COperand::Literal(v) => Res::Rt(v),
+        COperand::Path(p) => resolve(rt, p),
+    };
+    if expr.filters.is_empty() {
+        return Ok((base, false));
+    }
+    let mut value = base.into_value();
+    let mut safe = false;
+    for filter in expr.filters.iter() {
+        let arg: Option<Cow<'_, Value>> = match &filter.arg {
+            Some(COperand::Literal(v)) => Some(Cow::Borrowed(v)),
+            Some(COperand::Path(p)) => {
+                let res = resolve(rt, p);
+                Some(Cow::Owned(res.into_value()))
+            }
+            None => None,
+        };
+        let filtered = filters::apply(&filter.name, value, arg.as_deref())?;
+        value = filtered.value;
+        if let Some(s) = filtered.safe_override {
+            safe = s;
+        }
+    }
+    Ok((Res::Owned(value), safe))
+}
+
+fn eval_cond<'a, 'r>(rt: &'r Rt<'a>, cond: &'r CCond) -> Result<bool, TemplateError> {
+    match cond {
+        CCond::Or(a, b) => Ok(eval_cond(rt, a)? || eval_cond(rt, b)?),
+        CCond::And(a, b) => Ok(eval_cond(rt, a)? && eval_cond(rt, b)?),
+        CCond::Not(c) => Ok(!eval_cond(rt, c)?),
+        CCond::Truthy(e) => Ok(eval(rt, e)?.0.is_truthy()),
+        CCond::Compare(l, op, r) => {
+            let (lv, _) = eval(rt, l)?;
+            let (rv, _) = eval(rt, r)?;
+            Ok(compare(lv.as_value().as_ref(), *op, rv.as_value().as_ref()))
+        }
+    }
+}
+
+/// Builds a loop frame source from an evaluated iterable, preserving
+/// context borrows and taking ownership of filter-produced values.
+/// Returns `None` for empty/`Null` iterables (the `{% empty %}` path).
+fn frame_src<'a>(res: Res<'a, '_>) -> Option<FrameSrc<'a>> {
+    match res {
+        Res::Ctx(v) => match v {
+            Value::List(l) => Some(FrameSrc::BorrowedList(l)),
+            Value::Str(s) => Some(FrameSrc::BorrowedStr(s)),
+            Value::Map(m) => Some(FrameSrc::BorrowedKeys(
+                m.keys().map(String::as_str).collect(),
+            )),
+            Value::Null => None,
+            other => Some(FrameSrc::SingleBorrowed(other)),
+        },
+        Res::Rt(v) => match v {
+            Value::List(l) => Some(FrameSrc::OwnedList(l.clone())),
+            Value::Str(s) => Some(FrameSrc::OwnedStr(s.clone())),
+            Value::Map(m) => Some(FrameSrc::OwnedKeys(m.keys().cloned().collect())),
+            Value::Null => None,
+            other => Some(FrameSrc::SingleOwned(other.clone())),
+        },
+        Res::Owned(v) => match v {
+            Value::List(l) => Some(FrameSrc::OwnedList(l)),
+            Value::Str(s) => Some(FrameSrc::OwnedStr(s)),
+            Value::Map(m) => Some(FrameSrc::OwnedKeys(m.into_keys().collect())),
+            Value::Null => None,
+            other => Some(FrameSrc::SingleOwned(other)),
+        },
+        Res::CtxStr(s) => Some(FrameSrc::BorrowedStr(s)),
+        Res::RtStr(s) => Some(FrameSrc::OwnedStr(s.to_string())),
+        Res::Null => None,
+    }
+}
+
+/// Streams `&`/`<`/`>`/`"`/`'` escapes without building an intermediate
+/// `String`; unescaped spans are copied in bulk.
+fn write_escaped(s: &str, out: &mut Vec<u8>) {
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let rep: &[u8] = match b {
+            b'&' => b"&amp;",
+            b'<' => b"&lt;",
+            b'>' => b"&gt;",
+            b'"' => b"&quot;",
+            b'\'' => b"&#x27;",
+            _ => continue,
+        };
+        out.extend_from_slice(&bytes[start..i]);
+        out.extend_from_slice(rep);
+        start = i + 1;
+    }
+    out.extend_from_slice(&bytes[start..]);
+}
+
+fn write_str(s: &str, escape: bool, out: &mut Vec<u8>) {
+    if escape {
+        write_escaped(s, out);
+    } else {
+        out.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Streams a value's display form (byte-identical to
+/// `escape_html(value.to_display_string())` when `escape` is set)
+/// straight into the output buffer. Numbers go through `io::Write`
+/// formatting — no intermediate `String`.
+fn write_display(v: &Value, escape: bool, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => {}
+        Value::Bool(b) => out.extend_from_slice(if *b { b"true" } else { b"false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(f) => {
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                let _ = write!(out, "{f:.1}");
+            } else {
+                let _ = write!(out, "{f}");
+            }
+        }
+        Value::Str(s) => write_str(s, escape, out),
+        Value::List(l) => {
+            out.push(b'[');
+            for (i, item) in l.iter().enumerate() {
+                if i > 0 {
+                    out.extend_from_slice(b", ");
+                }
+                write_display(item, escape, out);
+            }
+            out.push(b']');
+        }
+        Value::Map(m) => {
+            out.push(b'{');
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.extend_from_slice(b", ");
+                }
+                write_str(k, escape, out);
+                out.extend_from_slice(b": ");
+                write_display(val, escape, out);
+            }
+            out.push(b'}');
+        }
+    }
+}
+
+fn write_res(res: &Res<'_, '_>, safe: bool, out: &mut Vec<u8>) {
+    match res {
+        Res::Ctx(v) | Res::Rt(v) => write_display(v, !safe, out),
+        Res::Owned(v) => write_display(v, !safe, out),
+        Res::CtxStr(s) | Res::RtStr(s) => write_str(s, !safe, out),
+        Res::Null => {}
+    }
+}
+
+/// Runs a compiled program, appending output to `out`.
+pub(crate) fn render_program(
+    program: &Program,
+    ctx: &Context,
+    store: Option<&TemplateStore>,
+    out: &mut Vec<u8>,
+) -> Result<(), TemplateError> {
+    let mut rt = Rt {
+        ctx,
+        store,
+        frames: Vec::new(),
+        bindings: Vec::new(),
+        include_depth: 0,
+    };
+    execute(program.ops(), &mut rt, out)
+}
+
+fn execute(ops: &[Op], rt: &mut Rt<'_>, out: &mut Vec<u8>) -> Result<(), TemplateError> {
+    let mut pc = 0;
+    while let Some(op) = ops.get(pc) {
+        match op {
+            Op::Text(t) => {
+                out.extend_from_slice(t.as_bytes());
+                pc += 1;
+            }
+            Op::Var(expr) => {
+                let (res, safe) = eval(rt, expr)?;
+                write_res(&res, safe, out);
+                pc += 1;
+            }
+            Op::BranchIfNot { cond, target } => {
+                if eval_cond(rt, cond)? {
+                    pc += 1;
+                } else {
+                    pc = *target;
+                }
+            }
+            Op::Jump(target) => pc = *target,
+            Op::ForStart {
+                var,
+                iterable,
+                empty_target,
+                ..
+            } => {
+                let frame = {
+                    let (res, _) = eval(rt, iterable)?;
+                    frame_src(res).and_then(Frame::new)
+                };
+                match frame {
+                    Some(frame) => {
+                        rt.frames.push(frame);
+                        let idx = rt.frames.len() - 1;
+                        rt.bindings.push((Arc::clone(var), Binding::Loop(idx)));
+                        pc += 1;
+                    }
+                    None => pc = *empty_target,
+                }
+            }
+            Op::ForIter { back, end } => {
+                let frame = rt.frames.last_mut().expect("ForIter without frame");
+                if frame.index + 1 < frame.len {
+                    frame.advance();
+                    pc = *back;
+                } else {
+                    rt.frames.pop();
+                    rt.bindings.pop();
+                    pc = *end;
+                }
+            }
+            Op::WithStart { var, value } => {
+                let binding = {
+                    let (res, _) = eval(rt, value)?;
+                    match res {
+                        Res::Ctx(v) => Binding::Ctx(v),
+                        Res::CtxStr(s) => Binding::CtxStr(s),
+                        Res::Rt(v) => Binding::Owned(v.clone()),
+                        Res::RtStr(s) => Binding::Owned(Value::Str(s.to_string())),
+                        Res::Owned(v) => Binding::Owned(v),
+                        Res::Null => Binding::Owned(Value::Null),
+                    }
+                };
+                rt.bindings.push((Arc::clone(var), binding));
+                pc += 1;
+            }
+            Op::WithEnd => {
+                rt.bindings.pop();
+                pc += 1;
+            }
+            Op::Include { name } => {
+                let store = rt.store.ok_or_else(|| {
+                    TemplateError::render(format!(
+                        "include of '{name}' requires rendering through a TemplateStore"
+                    ))
+                })?;
+                if rt.include_depth >= MAX_INCLUDE_DEPTH {
+                    return Err(TemplateError::render(format!(
+                        "include depth exceeds {MAX_INCLUDE_DEPTH} (template '{name}')"
+                    )));
+                }
+                let template = store.get(name)?;
+                rt.include_depth += 1;
+                let result = execute(template.program().ops(), rt, out);
+                rt.include_depth -= 1;
+                result?;
+                pc += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::store::TemplateStore;
+    use crate::value::{Context, Value};
+    use std::collections::BTreeMap;
+
+    /// Renders through both engines and asserts byte-identical output.
+    fn assert_same(store: &TemplateStore, name: &str, ctx: &Context) -> String {
+        let template = store.get(name).unwrap();
+        let tree = template.render_tree(ctx, Some(store)).unwrap();
+        let compiled = store.render(name, ctx).unwrap();
+        assert_eq!(compiled, tree, "engines diverge on template '{name}'");
+        compiled
+    }
+
+    fn ctx_with_everything() -> Context {
+        let mut book = BTreeMap::new();
+        book.insert("title".to_string(), Value::from("Dune & <Co>"));
+        book.insert("price".to_string(), Value::Float(7.5));
+        let mut ctx = Context::new();
+        ctx.insert("title", "A \"quoted\" <title>");
+        ctx.insert("n", 7);
+        ctx.insert("zero", 0);
+        ctx.insert("pi", 3.0);
+        ctx.insert("flag", true);
+        ctx.insert("s", "héllo");
+        ctx.insert("empty_list", Value::List(vec![]));
+        ctx.insert(
+            "xs",
+            Value::from(vec!["a&b".into(), "c".into(), "d".into()]),
+        );
+        ctx.insert("books", Value::from(vec![Value::from(book.clone())]));
+        ctx.insert("book", Value::from(book));
+        ctx.insert(
+            "rows",
+            Value::from(vec![
+                Value::from(vec!["x".into(), "y".into()]),
+                Value::from(vec!["z".into()]),
+            ]),
+        );
+        ctx
+    }
+
+    #[test]
+    fn compiled_matches_tree_on_core_constructs() {
+        let store = TemplateStore::new();
+        let sources = [
+            ("plain", "hello {{ title }} world"),
+            ("missing", "[{{ nothing }}|{{ nothing.deep.er }}]"),
+            ("escape", "{{ title }}|{{ title|safe }}|{{ title|escape }}"),
+            (
+                "dotted",
+                "{{ books.0.title }}:{{ books.5.title }}:{{ book.price }}",
+            ),
+            (
+                "branches",
+                "{% if n > 10 %}big{% elif n > 5 %}mid{% else %}small{% endif %}\
+                 {% if flag and not zero %}Y{% endif %}\
+                 {% if 'a&b' in xs %}IN{% endif %}",
+            ),
+            (
+                "loops",
+                "{% for x in xs %}{{ forloop.counter }}={{ x }};{% endfor %}\
+                 {% for x in empty_list %}no{% empty %}EMPTY{% endfor %}\
+                 {% for c in s %}({{ c }}){% endfor %}\
+                 {% for k in book %}{{ k }},{% endfor %}\
+                 {% for one in n %}[{{ one }}]{% endfor %}",
+            ),
+            (
+                "nested",
+                "{% for row in rows %}{% for c in row %}\
+                 {{ forloop.parentloop.counter }}.{{ forloop.counter }}/{{ forloop.revcounter0 }} \
+                 {% endfor %}{% endfor %}",
+            ),
+            (
+                "counters",
+                "{% for x in xs %}{% if forloop.first %}[{% endif %}{{ x }}\
+                 {% if forloop.last %}]{% endif %}{% endfor %}\
+                 {% for x in xs %}{{ forloop.length }}{% endfor %}",
+            ),
+            (
+                "bare_forloop",
+                "{% for x in xs %}{{ forloop }}|{% endfor %}",
+            ),
+            (
+                "with",
+                "{% with t = n|add:5 %}{{ t }}+{{ t }}{% endwith %}|{{ t }}\
+                 {% with x='shadow' %}{{ x }}{% endwith %}",
+            ),
+            (
+                "filters",
+                "{{ xs|join:\", \" }}|{{ title|upper|lower }}|{{ pi|floatformat:2 }}\
+                 |{{ nothing|default:'dft' }}|{{ s|length }}",
+            ),
+            ("shadow", "{% for n in xs %}{{ n }}{% endfor %}{{ n }}"),
+            (
+                "display_types",
+                "{{ xs }}|{{ book }}|{{ flag }}|{{ pi }}|{{ zero }}",
+            ),
+        ];
+        for (name, src) in sources {
+            store.insert(name, src).unwrap();
+        }
+        store
+            .insert(
+                "includer",
+                "A{% include \"plain\" %}B{% include \"loops\" %}C",
+            )
+            .unwrap();
+        let ctx = ctx_with_everything();
+        for (name, _) in sources {
+            assert_same(&store, name, &ctx);
+        }
+        assert_same(&store, "includer", &ctx);
+    }
+
+    #[test]
+    fn loop_vars_visible_inside_includes() {
+        let store = TemplateStore::new();
+        store
+            .insert("inner", "{{ x }}:{{ forloop.counter }};")
+            .unwrap();
+        store
+            .insert(
+                "outer",
+                "{% for x in xs %}{% include \"inner\" %}{% endfor %}",
+            )
+            .unwrap();
+        let mut ctx = Context::new();
+        ctx.insert("xs", Value::from(vec!["p".into(), "q".into()]));
+        let html = assert_same(&store, "outer", &ctx);
+        assert_eq!(html, "p:1;q:2;");
+    }
+
+    #[test]
+    fn string_iteration_multibyte_chars() {
+        let store = TemplateStore::new();
+        store
+            .insert("t", "{% for c in s %}<{{ c }}>{% endfor %}")
+            .unwrap();
+        let mut ctx = Context::new();
+        ctx.insert("s", "aé日");
+        let html = assert_same(&store, "t", &ctx);
+        assert_eq!(html, "<a><é><日>");
+    }
+
+    #[test]
+    fn forloop_outside_loop_is_null() {
+        let store = TemplateStore::new();
+        store
+            .insert("t", "[{{ forloop }}{{ forloop.counter }}]")
+            .unwrap();
+        let html = assert_same(&store, "t", &Context::new());
+        assert_eq!(html, "[]");
+    }
+
+    #[test]
+    fn render_into_appends_to_buffer() {
+        let store = TemplateStore::new();
+        store.insert("t", "{{ x }}").unwrap();
+        let mut ctx = Context::new();
+        ctx.insert("x", "tail");
+        let mut buf = b"head:".to_vec();
+        store.render_into("t", &ctx, &mut buf).unwrap();
+        assert_eq!(buf, b"head:tail");
+    }
+}

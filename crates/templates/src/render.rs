@@ -4,12 +4,13 @@ use crate::ast::{CmpOp, Cond, FilterExpr, Node, Operand};
 use crate::error::TemplateError;
 use crate::filters;
 use crate::parser::parse;
+use crate::program::{render_program, Program};
 use crate::store::TemplateStore;
 use crate::value::{Context, Value};
 use std::collections::BTreeMap;
 
 /// Maximum `{% include %}` nesting depth.
-const MAX_INCLUDE_DEPTH: usize = 16;
+pub(crate) const MAX_INCLUDE_DEPTH: usize = 16;
 
 /// A compiled template, safe to share across threads and render
 /// concurrently.
@@ -31,18 +32,21 @@ const MAX_INCLUDE_DEPTH: usize = 16;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Template {
     nodes: Vec<Node>,
+    program: Program,
 }
 
 impl Template {
-    /// Compiles template source.
+    /// Compiles template source: the AST is kept as the reference
+    /// renderer and additionally flattened into the instruction-stream
+    /// program that the hot path executes.
     ///
     /// # Errors
     ///
     /// [`TemplateError::Parse`] with a line number on syntax errors.
     pub fn compile(source: &str) -> Result<Self, TemplateError> {
-        Ok(Template {
-            nodes: parse(source)?,
-        })
+        let nodes = parse(source)?;
+        let program = Program::compile(&nodes);
+        Ok(Template { nodes, program })
     }
 
     /// Renders with the given context. `{% include %}` tags fail without
@@ -68,6 +72,41 @@ impl Template {
         ctx: &Context,
         store: Option<&TemplateStore>,
     ) -> Result<String, TemplateError> {
+        let mut out = Vec::with_capacity(256);
+        self.render_into(ctx, store, &mut out)?;
+        Ok(String::from_utf8(out).expect("template output is UTF-8"))
+    }
+
+    /// Renders into a caller-supplied buffer (typically taken from a
+    /// buffer pool), appending to its current contents. This is the
+    /// zero-copy hot path: compiled-program execution with no
+    /// intermediate `String`s.
+    ///
+    /// # Errors
+    ///
+    /// [`TemplateError::Render`] on filter errors,
+    /// [`TemplateError::NotFound`] for missing includes.
+    pub fn render_into(
+        &self,
+        ctx: &Context,
+        store: Option<&TemplateStore>,
+        out: &mut Vec<u8>,
+    ) -> Result<(), TemplateError> {
+        render_program(&self.program, ctx, store, out)
+    }
+
+    /// Renders by walking the AST — the original renderer, kept as the
+    /// semantic reference for the compiled program. Golden tests assert
+    /// both produce byte-identical output.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Template::render_with`].
+    pub fn render_tree(
+        &self,
+        ctx: &Context,
+        store: Option<&TemplateStore>,
+    ) -> Result<String, TemplateError> {
         let mut out = String::with_capacity(256);
         let mut state = RenderState {
             ctx,
@@ -82,6 +121,10 @@ impl Template {
 
     pub(crate) fn nodes(&self) -> &[Node] {
         &self.nodes
+    }
+
+    pub(crate) fn program(&self) -> &Program {
+        &self.program
     }
 }
 
@@ -162,7 +205,7 @@ fn values_equal(a: &Value, b: &Value) -> bool {
     }
 }
 
-fn compare(a: &Value, op: CmpOp, b: &Value) -> bool {
+pub(crate) fn compare(a: &Value, op: CmpOp, b: &Value) -> bool {
     match op {
         CmpOp::Eq => values_equal(a, b),
         CmpOp::Ne => !values_equal(a, b),

@@ -75,6 +75,23 @@ impl TemplateStore {
         template.render_with(ctx, Some(self))
     }
 
+    /// Renders a named template into a caller-supplied buffer
+    /// (appending), avoiding the intermediate `String` of
+    /// [`TemplateStore::render`] — the render pool's hot path.
+    ///
+    /// # Errors
+    ///
+    /// [`TemplateError::NotFound`] or any render error.
+    pub fn render_into(
+        &self,
+        name: &str,
+        ctx: &Context,
+        out: &mut Vec<u8>,
+    ) -> Result<(), TemplateError> {
+        let template = self.get(name)?;
+        template.render_into(ctx, Some(self), out)
+    }
+
     /// Loads every `*.html` file under `dir` (recursively), registering
     /// each under its path relative to `dir` (with `/` separators).
     /// Returns the number of templates loaded.

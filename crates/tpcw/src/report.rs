@@ -42,6 +42,9 @@ pub struct WorkloadReport {
     pub total_sheds: u64,
     /// Mean response time across all successful interactions, ms.
     pub overall_mean_ms: f64,
+    /// Approximate median response time across all successful
+    /// interactions, ms (bucket resolution).
+    pub overall_p50_ms: f64,
     /// Approximate 99th-percentile response time across all successful
     /// interactions, ms (the overload benchmarks' tail metric).
     pub overall_p99_ms: f64,
@@ -151,8 +154,8 @@ impl fmt::Display for WorkloadReport {
         )?;
         writeln!(
             f,
-            "overall: mean {:.2} ms, p99 {:.1} ms",
-            self.overall_mean_ms, self.overall_p99_ms
+            "overall: mean {:.2} ms, p50 {:.1} ms, p99 {:.1} ms",
+            self.overall_mean_ms, self.overall_p50_ms, self.overall_p99_ms
         )
     }
 }
@@ -182,6 +185,7 @@ mod tests {
             total_errors: 0,
             total_sheds: 0,
             overall_mean_ms: ms,
+            overall_p50_ms: ms,
             overall_p99_ms: ms * 3.0,
         }
     }

@@ -372,6 +372,7 @@ pub fn run_workload(
         total_errors: collector.total_errors.load(Ordering::Relaxed),
         total_sheds: collector.total_sheds.load(Ordering::Relaxed),
         overall_mean_ms: to_ms(collector.overall.0.snapshot().mean()),
+        overall_p50_ms: to_ms(collector.overall.1.quantile(0.50)),
         overall_p99_ms: to_ms(collector.overall.1.quantile(0.99)),
     }
 }

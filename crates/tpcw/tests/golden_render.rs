@@ -1,0 +1,97 @@
+//! Golden equivalence: the compiled-program renderer must produce
+//! byte-identical output to the reference tree-walking renderer on the
+//! full TPC-W template set, driven by the *real* page handlers against
+//! a populated database — genuine contexts, not synthetic ones.
+
+use staged_core::PageOutcome;
+use staged_db::{ConnectionPool, Database};
+use staged_http::{HeaderMap, RequestLine};
+use staged_tpcw::{build_app, populate, ScaleConfig};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// One representative GET per handler, parameterized enough to take
+/// the data-bearing branches (items found, orders present, search
+/// hits) rather than the `{% empty %}` fallbacks.
+const TARGETS: &[&str] = &[
+    "/home?c_id=3",
+    "/new_products?subject=HISTORY&c_id=3",
+    "/best_sellers?subject=ARTS&c_id=3",
+    "/product_detail?i_id=5&c_id=3",
+    "/search_request?c_id=3",
+    "/execute_search?type=title&search=Book&c_id=3",
+    "/shopping_cart?i_id=4&qty=2&c_id=3",
+    "/customer_registration?c_id=3",
+    "/buy_request?c_id=3",
+    "/buy_confirm?c_id=3&sc_id=1",
+    "/order_inquiry?c_id=3",
+    "/order_display?c_id=3",
+    "/admin_request?i_id=2",
+    "/admin_confirm?i_id=2&cost=9.5",
+    // Branch variants: anonymous visitor, empty result sets.
+    "/home?c_id=0",
+    "/new_products?subject=NOSUCH",
+    "/execute_search?type=title&search=zzzznothing",
+    "/order_display?c_id=9999",
+];
+
+#[test]
+fn compiled_renderer_matches_tree_walker_on_real_pages() {
+    let db = Arc::new(Database::new());
+    let scale = ScaleConfig::tiny();
+    populate(&db, &scale);
+    let app = build_app(&db, &scale);
+    let pool = ConnectionPool::new(Arc::clone(&db), 2);
+    let conn = pool.get();
+    let store = app.templates();
+
+    let mut rendered_templates = HashSet::new();
+    for target in TARGETS {
+        let line = RequestLine::parse(&format!("GET {target} HTTP/1.1")).unwrap();
+        let path = line.target.path().to_string();
+        let request = staged_http::Request::new(line, HeaderMap::new(), Vec::new());
+        let (route, _) = app.route(&path).unwrap_or_else(|| panic!("{target}"));
+        let outcome = (route.handler)(&request, &conn)
+            .unwrap_or_else(|e| panic!("{target}: handler failed: {e:?}"));
+        let PageOutcome::Template { name, context } = outcome else {
+            panic!("{target}: expected an unrendered template outcome");
+        };
+        let compiled = store
+            .render(&name, &context)
+            .unwrap_or_else(|e| panic!("{name}: compiled render failed: {e}"));
+        let tree = store
+            .get(&name)
+            .unwrap()
+            .render_tree(&context, Some(store))
+            .unwrap_or_else(|e| panic!("{name}: tree render failed: {e}"));
+        assert_eq!(
+            compiled, tree,
+            "{target}: compiled and tree renders differ for {name}"
+        );
+        assert!(
+            !compiled.is_empty(),
+            "{target}: {name} rendered nothing — context likely empty"
+        );
+        rendered_templates.insert(name);
+    }
+
+    // Every page template in the store must have been exercised (the
+    // three partials render via `{% include %}` inside each page).
+    let partials: HashSet<&str> = ["header.html", "footer.html", "item_row.html"]
+        .into_iter()
+        .collect();
+    for name in store.names() {
+        if partials.contains(name.as_str()) {
+            continue;
+        }
+        assert!(
+            rendered_templates.contains(&name),
+            "template {name} was never exercised by the target list"
+        );
+    }
+    assert_eq!(
+        rendered_templates.len(),
+        store.names().len() - partials.len(),
+        "page template count drifted; extend TARGETS"
+    );
+}
