@@ -38,10 +38,12 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut exp = Experiment::default();
-    exp.ebs = 120;
-    exp.ramp = Duration::from_secs(2);
-    exp.measure = Duration::from_secs(8);
+    let mut exp = Experiment {
+        ebs: 120,
+        ramp: Duration::from_secs(2),
+        measure: Duration::from_secs(8),
+        ..Experiment::default()
+    };
     // The ladder needs a breaker; a sub-second cooldown lets recovery
     // complete within the measured phase.
     exp.server.breaker = Some(BreakerConfig {

@@ -39,17 +39,25 @@ mod alloc_count {
     unsafe impl GlobalAlloc for Counting {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: the caller's layout contract passes to `System`
+            // unchanged.
             unsafe { System.alloc(layout) }
         }
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            // SAFETY: `ptr` came from this allocator (which delegates
+            // to `System`) with the same layout.
             unsafe { System.dealloc(ptr, layout) }
         }
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: `ptr`/`layout` describe a live `System` block and
+            // the caller guarantees `new_size` is valid.
             unsafe { System.realloc(ptr, layout, new_size) }
         }
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: the caller's layout contract passes to `System`
+            // unchanged.
             unsafe { System.alloc_zeroed(layout) }
         }
     }
@@ -186,9 +194,7 @@ fn baseline_field(json: &str, model: &str, field: &str) -> Option<f64> {
     let field_key = format!("\"{field}\":");
     let val_start = obj.find(&field_key)? + field_key.len();
     let rest = &obj[val_start..];
-    let val_end = rest
-        .find(|c: char| c == ',' || c == '}')
-        .unwrap_or(rest.len());
+    let val_end = rest.find([',', '}']).unwrap_or(rest.len());
     rest[..val_end].trim().parse().ok()
 }
 

@@ -18,14 +18,17 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use staged_sync::{OrderedMutex, Rank};
 use std::collections::HashMap;
 
 /// Populated-database snapshots keyed by scale identity, so an
 /// experiment that builds several fresh deployments (both servers,
 /// ablation variants) pays the deterministic population cost once.
+/// Rank 50 (DESIGN.md §10): outermost of everything — population runs
+/// whole database statements under this guard.
 type SnapshotCache = HashMap<(usize, u64), Arc<Vec<u8>>>;
-static SNAPSHOTS: Mutex<Option<SnapshotCache>> = Mutex::new(None);
+static SNAPSHOTS: OrderedMutex<Option<SnapshotCache>> =
+    OrderedMutex::new(Rank::new(50), "bench.snapshots", None);
 
 /// Which request-processing model to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -2,11 +2,14 @@
 //! servers: the shed (`503`) response, deterministic listener chaos,
 //! and the worker-owned database slot that survives connection death.
 
-use parking_lot::Mutex;
 use staged_db::{splitmix64, ConnectionPool, PooledConnection};
 use staged_http::{Response, StatusCode};
+use staged_sync::{OrderedMutex, Rank};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
+
+/// Rank of the retry estimator's sample window (DESIGN.md §10).
+const SAMPLES_RANK: Rank = Rank::new(110);
 
 /// What the listener does with one accepted socket under chaos testing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,7 +171,7 @@ pub(crate) struct RetryEstimator {
     floor: Duration,
     depth: Box<dyn Fn() -> usize + Send + Sync>,
     completed: Box<dyn Fn() -> u64 + Send + Sync>,
-    samples: Mutex<VecDeque<(Instant, u64)>>,
+    samples: OrderedMutex<VecDeque<(Instant, u64)>>,
 }
 
 impl RetryEstimator {
@@ -181,7 +184,7 @@ impl RetryEstimator {
             floor,
             depth,
             completed,
-            samples: Mutex::new(VecDeque::new()),
+            samples: OrderedMutex::new(SAMPLES_RANK, "core.overload.samples", VecDeque::new()),
         }
     }
 

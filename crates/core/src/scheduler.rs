@@ -2,10 +2,15 @@
 //! quick/lengthy classifier, the `t_reserve` feedback controller, and
 //! the Table 1 dispatch rules.
 
-use parking_lot::Mutex;
+use staged_sync::{OrderedMutex, Rank};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
+
+/// Rank of the per-page service-time table (DESIGN.md §10): the
+/// outermost core lock — the scheduler consults it before touching any
+/// queue or cache.
+const PAGES_RANK: Rank = Rank::new(100);
 
 /// The scheduler's classification of a dynamic page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -48,7 +53,7 @@ pub enum DynamicPoolChoice {
 #[derive(Debug)]
 pub struct ServiceTimeTracker {
     cutoff: Duration,
-    pages: Mutex<HashMap<String, (Duration, u64)>>,
+    pages: OrderedMutex<HashMap<String, (Duration, u64)>>,
 }
 
 impl ServiceTimeTracker {
@@ -56,7 +61,7 @@ impl ServiceTimeTracker {
     pub fn new(cutoff: Duration) -> Self {
         ServiceTimeTracker {
             cutoff,
-            pages: Mutex::new(HashMap::new()),
+            pages: OrderedMutex::new(PAGES_RANK, "core.scheduler.pages", HashMap::new()),
         }
     }
 

@@ -10,10 +10,13 @@
 //! (fresh → stale → shed). The baseline server deliberately has no
 //! such cache, preserving the paper's model comparison.
 
-use parking_lot::Mutex;
 use staged_http::{Body, Response};
+use staged_sync::{OrderedMutex, Rank};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
+
+/// Rank of the stale-render cache map (DESIGN.md §10).
+const ENTRIES_RANK: Rank = Rank::new(120);
 
 /// The RFC 7234 warning attached to every stale response.
 pub(crate) const STALE_WARNING: &str = "110 - \"Response is Stale\"";
@@ -44,7 +47,7 @@ impl StaleHit {
 /// A TTL'd `(page, key) → rendered body` cache with a bounded entry
 /// count (oldest-out eviction).
 pub(crate) struct StaleCache {
-    entries: Mutex<HashMap<String, Entry>>,
+    entries: OrderedMutex<HashMap<String, Entry>>,
     ttl: Duration,
     capacity: usize,
 }
@@ -54,7 +57,7 @@ impl StaleCache {
     /// `ttl` after insertion. `capacity == 0` disables the cache.
     pub(crate) fn new(ttl: Duration, capacity: usize) -> Self {
         StaleCache {
-            entries: Mutex::new(HashMap::new()),
+            entries: OrderedMutex::new(ENTRIES_RANK, "core.stale.entries", HashMap::new()),
             ttl,
             capacity,
         }

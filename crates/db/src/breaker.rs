@@ -12,11 +12,16 @@
 //! they all succeed it closes again, and a single probe failure reopens
 //! it for another cooldown.
 
-use parking_lot::Mutex;
+use staged_sync::{OrderedMutex, Rank};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Rank of the breaker's state machine (DESIGN.md §10): above the
+/// pool's breaker-handle lock, below the table locks — a pool thread
+/// holding its breaker handle may still record an outcome here.
+const STATE_RANK: Rank = Rank::new(220);
 
 /// Tuning for a [`CircuitBreaker`].
 ///
@@ -149,7 +154,7 @@ enum Inner {
 /// ```
 pub struct CircuitBreaker {
     config: BreakerConfig,
-    inner: Mutex<Inner>,
+    inner: OrderedMutex<Inner>,
     opened: AtomicU64,
     half_opened: AtomicU64,
     closed: AtomicU64,
@@ -175,10 +180,14 @@ impl CircuitBreaker {
         config.validate();
         CircuitBreaker {
             config,
-            inner: Mutex::new(Inner::Closed {
-                outcomes: VecDeque::with_capacity(config.window),
-                failures: 0,
-            }),
+            inner: OrderedMutex::new(
+                STATE_RANK,
+                "db.breaker.state",
+                Inner::Closed {
+                    outcomes: VecDeque::with_capacity(config.window),
+                    failures: 0,
+                },
+            ),
             opened: AtomicU64::new(0),
             half_opened: AtomicU64::new(0),
             closed: AtomicU64::new(0),

@@ -8,11 +8,25 @@ use crate::sql::ast::Statement;
 use crate::sql::parser;
 use crate::table::TableData;
 use crate::value::DbValue;
-use parking_lot::{Mutex, RwLock};
 use staged_pool::SyncQueue;
+use staged_sync::{OrderedMutex, OrderedRwLock, Rank};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
+
+/// Lock ranks for the database internals (DESIGN.md §10). The catalog
+/// comes first, then the side tables, then the statement cache, and the
+/// per-table data locks last — a statement may hold the catalog lock
+/// while creating a table entry, and holds table locks innermost of
+/// all.
+const TABLES_RANK: Rank = Rank::new(230);
+const CAPACITY_RANK: Rank = Rank::new(240);
+const COST_RANK: Rank = Rank::new(250);
+const STMT_CACHE_RANK: Rank = Rank::new(260);
+/// Multi-table SELECTs take several table locks at this rank; the
+/// sorted-name acquisition order (see [`Database`]) is the canonical
+/// tie-break, so same-rank nesting is allowed.
+const TABLE_DATA_RANK: Rank = Rank::new(270).allow_same_rank();
 
 /// Snapshot-writer view of one table: `(name, type, is_pk, _)` per
 /// column, the secondarily indexed column names, and all live rows.
@@ -67,7 +81,15 @@ impl QueryResult {
 }
 
 struct TableEntry {
-    lock: RwLock<TableData>,
+    lock: OrderedRwLock<TableData>,
+}
+
+impl TableEntry {
+    fn new(data: TableData) -> Self {
+        TableEntry {
+            lock: OrderedRwLock::new(TABLE_DATA_RANK, "db.table.data", data),
+        }
+    }
 }
 
 /// An embedded relational database.
@@ -97,13 +119,13 @@ struct TableEntry {
 /// assert_eq!(n.single_int(), Some(1));
 /// ```
 pub struct Database {
-    tables: RwLock<BTreeMap<String, Arc<TableEntry>>>,
-    cost: RwLock<CostModel>,
+    tables: OrderedRwLock<BTreeMap<String, Arc<TableEntry>>>,
+    cost: OrderedRwLock<CostModel>,
     /// Optional bound on concurrently *executing* costed queries — the
     /// stand-in for the paper's dedicated database host, whose CPU/disk
     /// capacity both servers share equally. `None` means unbounded.
-    capacity: RwLock<Option<Arc<SyncQueue<()>>>>,
-    stmt_cache: Mutex<HashMap<String, Arc<Statement>>>,
+    capacity: OrderedRwLock<Option<Arc<SyncQueue<()>>>>,
+    stmt_cache: OrderedMutex<HashMap<String, Arc<Statement>>>,
 }
 
 impl fmt::Debug for Database {
@@ -125,10 +147,10 @@ impl Database {
     /// Creates an empty database with a free cost model.
     pub fn new() -> Self {
         Database {
-            tables: RwLock::new(BTreeMap::new()),
-            cost: RwLock::new(CostModel::free()),
-            capacity: RwLock::new(None),
-            stmt_cache: Mutex::new(HashMap::new()),
+            tables: OrderedRwLock::new(TABLES_RANK, "db.tables", BTreeMap::new()),
+            cost: OrderedRwLock::new(COST_RANK, "db.cost", CostModel::free()),
+            capacity: OrderedRwLock::new(CAPACITY_RANK, "db.capacity", None),
+            stmt_cache: OrderedMutex::new(STMT_CACHE_RANK, "db.stmt_cache", HashMap::new()),
         }
     }
 
@@ -286,9 +308,7 @@ impl Database {
                 }
                 tables.insert(
                     name.clone(),
-                    Arc::new(TableEntry {
-                        lock: RwLock::new(TableData::new(schema)),
-                    }),
+                    Arc::new(TableEntry::new(TableData::new(schema))),
                 );
                 Ok(QueryResult::default())
             }

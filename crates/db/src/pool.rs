@@ -5,12 +5,20 @@ use crate::database::{Database, QueryResult};
 use crate::error::DbError;
 use crate::fault::FaultPlan;
 use crate::value::DbValue;
-use parking_lot::RwLock;
 use staged_pool::SyncQueue;
+use staged_sync::{OrderedRwLock, Rank};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Rank of the fault-plan handle (DESIGN.md §10): the outermost db
+/// lock — held only to copy the plan out.
+const FAULT_RANK: Rank = Rank::new(200);
+
+/// Rank of the breaker handle: above the fault plan, below the breaker
+/// state machine it points at (`db.breaker.state`, rank 220).
+const BREAKER_RANK: Rank = Rank::new(210);
 
 struct PoolInner {
     db: Arc<Database>,
@@ -21,10 +29,10 @@ struct PoolInner {
     /// distinct identity for deterministic fault decisions.
     checkouts: AtomicU64,
     /// Active fault-injection plan, if any.
-    fault: RwLock<Option<FaultPlan>>,
+    fault: OrderedRwLock<Option<FaultPlan>>,
     /// Circuit breaker wrapped around checkout and query execution, if
     /// installed.
-    breaker: RwLock<Option<Arc<CircuitBreaker>>>,
+    breaker: OrderedRwLock<Option<Arc<CircuitBreaker>>>,
     /// Checkouts that timed out ([`ConnectionPool::get_timeout`]).
     acquire_timeouts: AtomicU64,
 }
@@ -90,8 +98,8 @@ impl ConnectionPool {
                 size,
                 in_use: AtomicUsize::new(0),
                 checkouts: AtomicU64::new(0),
-                fault: RwLock::new(None),
-                breaker: RwLock::new(None),
+                fault: OrderedRwLock::new(FAULT_RANK, "db.pool.fault", None),
+                breaker: OrderedRwLock::new(BREAKER_RANK, "db.pool.breaker", None),
                 acquire_timeouts: AtomicU64::new(0),
             }),
         }

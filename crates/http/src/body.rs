@@ -15,13 +15,19 @@
 //! drops, the underlying buffer returns to its pool for the next
 //! request.
 
+use staged_sync::{OrderedMutex, Rank};
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 /// Default capacity handed out for a fresh (pool-miss) buffer.
 const DEFAULT_BUF_CAPACITY: usize = 8 * 1024;
+
+/// Rank of the buffer-pool free list (DESIGN.md §10): below the queue
+/// state lock, above every subsystem that may render into a pooled
+/// buffer while holding its own locks.
+const POOL_RANK: Rank = Rank::new(310);
 
 /// A pool of reusable byte buffers for response bodies.
 ///
@@ -49,7 +55,7 @@ pub struct BufferPool {
 
 #[derive(Debug)]
 struct PoolShared {
-    bufs: Mutex<Vec<Vec<u8>>>,
+    bufs: OrderedMutex<Vec<Vec<u8>>>,
     /// Buffers kept when idle; extras are freed on return.
     max_pooled: usize,
     /// Buffers that grew beyond this are freed rather than pooled, so a
@@ -60,16 +66,19 @@ struct PoolShared {
 }
 
 impl PoolShared {
+    // lint: hot_path — runs on every body drop; only moves the buffer
+    // back onto the free list.
     fn put(&self, mut buf: Vec<u8>) {
         if buf.capacity() == 0 || buf.capacity() > self.max_capacity {
             return;
         }
         buf.clear();
-        let mut bufs = self.bufs.lock().expect("buffer pool lock");
+        let mut bufs = self.bufs.lock();
         if bufs.len() < self.max_pooled {
             bufs.push(buf);
         }
     }
+    // lint: end_hot_path
 }
 
 impl BufferPool {
@@ -78,7 +87,7 @@ impl BufferPool {
     pub fn new(max_pooled: usize, max_capacity: usize) -> Self {
         BufferPool {
             shared: Arc::new(PoolShared {
-                bufs: Mutex::new(Vec::new()),
+                bufs: OrderedMutex::new(POOL_RANK, "http.body.buffer_pool", Vec::new()),
                 max_pooled,
                 max_capacity,
                 hits: AtomicU64::new(0),
@@ -95,8 +104,10 @@ impl BufferPool {
     }
 
     /// Takes a cleared buffer from the pool, or allocates one.
+    // lint: hot_path — one checkout per rendered page; the pool-miss
+    // branch is the only allocation.
     pub fn get(&self) -> PooledBuf {
-        let recycled = self.shared.bufs.lock().expect("buffer pool lock").pop();
+        let recycled = self.shared.bufs.lock().pop();
         let buf = match recycled {
             Some(buf) => {
                 self.shared.hits.fetch_add(1, Ordering::Relaxed);
@@ -112,10 +123,11 @@ impl BufferPool {
             pool: Some(Arc::clone(&self.shared)),
         }
     }
+    // lint: end_hot_path
 
     /// Number of idle buffers currently pooled.
     pub fn pooled(&self) -> usize {
-        self.shared.bufs.lock().expect("buffer pool lock").len()
+        self.shared.bufs.lock().len()
     }
 
     /// `get` calls served by a recycled buffer.
@@ -144,6 +156,8 @@ impl PooledBuf {
     /// Freezes the buffer into an immutable, cheaply cloneable [`Body`].
     /// The bytes move — nothing is copied — and the allocation returns
     /// to the pool when the last `Body` handle drops.
+    // lint: hot_path — the page bytes must move, never copy; the one
+    // `Arc::new` is the body's shared handle.
     pub fn freeze(mut self) -> Body {
         Body {
             inner: Arc::new(BodyInner {
@@ -152,6 +166,7 @@ impl PooledBuf {
             }),
         }
     }
+    // lint: end_hot_path
 }
 
 impl Deref for PooledBuf {

@@ -177,12 +177,16 @@ impl<S: Read + Write> Connection<S> {
     /// # Errors
     ///
     /// Propagates transport errors.
+    // lint: hot_path — one head serialization + one vectored write per
+    // response; the head reuses this connection's scratch buffer.
     pub fn send(&mut self, response: &Response) -> io::Result<()> {
+        staged_sync::assert_no_locks_held("Connection::send");
         self.head_buf.clear();
         response.write_head_into(&mut self.head_buf);
         write_all_vectored(&mut self.stream, &self.head_buf, response.body())?;
         self.stream.flush()
     }
+    // lint: end_hot_path
 
     /// Sends a response appropriately for the request method: `HEAD`
     /// gets status and headers (with the true `Content-Length`) but no
@@ -199,6 +203,7 @@ impl<S: Read + Write> Connection<S> {
         if method.expects_response_body() {
             self.send(response)
         } else {
+            staged_sync::assert_no_locks_held("Connection::send_for_method");
             self.head_buf.clear();
             response.write_head_into(&mut self.head_buf);
             self.stream.write_all(&self.head_buf)?;
@@ -266,6 +271,7 @@ impl<S: Read + Write> Connection<S> {
 /// Writes `head` then `body` completely, using vectored writes while
 /// both slices have bytes left so head and body usually leave in one
 /// syscall without ever being joined in memory.
+// lint: hot_path — the zero-copy send loop: slices only, no buffers.
 fn write_all_vectored<W: Write>(writer: &mut W, head: &[u8], body: &[u8]) -> io::Result<()> {
     let mut head_off = 0;
     let mut body_off = 0;
@@ -292,6 +298,7 @@ fn write_all_vectored<W: Write>(writer: &mut W, head: &[u8], body: &[u8]) -> io:
     }
     Ok(())
 }
+// lint: end_hot_path
 
 #[cfg(test)]
 mod tests {

@@ -134,6 +134,7 @@ impl Response {
 
     /// Exact size in bytes of the serialized head (status line, headers,
     /// computed `Content-Length`, terminating blank line).
+    // lint: hot_path — sizing pass runs per response; pure arithmetic.
     pub fn head_len(&self) -> usize {
         // "HTTP/1.1 {code} {reason}\r\n"
         let mut n = 9 + dec_len(self.status.as_u16() as usize) + 1 + self.status.reason().len() + 2;
@@ -168,6 +169,7 @@ impl Response {
         }
         out.extend_from_slice(b"\r\n");
     }
+    // lint: end_hot_path
 
     /// Serializes the status line, headers (with computed
     /// `Content-Length`), and body into one exactly-sized buffer.

@@ -7,11 +7,15 @@ use crate::httpdate::{format_http_date, parse_http_date};
 use crate::mime::mime_for_path;
 use crate::response::Response;
 use crate::status::StatusCode;
+use staged_sync::{OrderedRwLock, Rank};
 use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 use std::time::SystemTime;
+
+/// Rank of the disk-backed static cache (DESIGN.md §10).
+const CACHE_RANK: Rank = Rank::new(300);
 
 /// A store of static resources, addressed by normalized absolute request
 /// path (`/img/flowers.gif`).
@@ -58,7 +62,7 @@ enum Repr {
     /// the cache).
     Dir {
         root: PathBuf,
-        cache: Arc<RwLock<HashMap<String, DirEntry>>>,
+        cache: Arc<OrderedRwLock<HashMap<String, DirEntry>>>,
     },
     /// Entirely in memory; entries are immutable once inserted.
     Memory(HashMap<String, Arc<StaticEntry>>),
@@ -108,7 +112,11 @@ impl StaticFiles {
         StaticFiles {
             repr: Repr::Dir {
                 root: root.into(),
-                cache: Arc::new(RwLock::new(HashMap::new())),
+                cache: Arc::new(OrderedRwLock::new(
+                    CACHE_RANK,
+                    "http.statics.cache",
+                    HashMap::new(),
+                )),
             },
         }
     }
@@ -149,14 +157,14 @@ impl StaticFiles {
             Repr::Dir { root, cache } => {
                 let full = root.join(path.trim_start_matches('/'));
                 let mtime = fs::metadata(&full).ok()?.modified().ok()?;
-                if let Some(hit) = cache.read().expect("statics cache lock").get(path) {
+                if let Some(hit) = cache.read().get(path) {
                     if hit.mtime == mtime {
                         return Some(Arc::clone(&hit.entry));
                     }
                 }
                 let content = fs::read(&full).ok()?;
                 let entry = Arc::new(StaticEntry::new(mime_for_path(path), content, mtime));
-                cache.write().expect("statics cache lock").insert(
+                cache.write().insert(
                     path.to_string(),
                     DirEntry {
                         mtime,
@@ -169,9 +177,13 @@ impl StaticFiles {
     }
 
     /// Looks up a resource, returning its MIME type and shared content.
+    // lint: hot_path — every static request resolves through here.
     pub fn lookup(&self, path: &str) -> Option<(&'static str, Body)> {
+        // lint: allow(hot_path_alloc) — Body::clone is an Arc refcount
+        // bump, never a copy of the file bytes.
         self.entry_for(path).map(|e| (e.mime, e.body.clone()))
     }
+    // lint: end_hot_path
 
     /// Builds a complete response: `200` with the file content (plus
     /// `ETag` and `Last-Modified` validators), or a `404` error page.
@@ -212,7 +224,7 @@ impl StaticFiles {
     pub fn cached_files(&self) -> Option<usize> {
         match &self.repr {
             Repr::Memory(_) => None,
-            Repr::Dir { cache, .. } => Some(cache.read().expect("statics cache lock").len()),
+            Repr::Dir { cache, .. } => Some(cache.read().len()),
         }
     }
 }

@@ -1,9 +1,14 @@
 //! A log-bucketed latency histogram.
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use staged_sync::{OrderedMutex, Rank};
 use std::fmt;
 use std::time::Duration;
+
+/// Rank of a histogram's bucket array (DESIGN.md §10): metrics locks
+/// are innermost — any subsystem may record while holding its own
+/// locks.
+const HISTOGRAM_RANK: Rank = Rank::new(420);
 
 /// Number of histogram buckets. Bucket `i` covers durations whose
 /// microsecond value has `i` significant bits, i.e. `[2^(i-1), 2^i)` µs,
@@ -52,9 +57,17 @@ impl Default for Inner {
 /// assert_eq!(h.count(), 5);
 /// assert!(h.mean() >= Duration::from_millis(20));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Histogram {
-    inner: Mutex<Inner>,
+    inner: OrderedMutex<Inner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            inner: OrderedMutex::new(HISTOGRAM_RANK, "metrics.histogram", Inner::default()),
+        }
+    }
 }
 
 impl Histogram {

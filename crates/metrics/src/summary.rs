@@ -1,9 +1,13 @@
 //! Exact running summaries (count / mean / min / max) of duration samples.
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use staged_sync::{OrderedMutex, Rank};
 use std::fmt;
 use std::time::Duration;
+
+/// Rank of a summary's state (DESIGN.md §10): metrics locks are
+/// innermost — any subsystem may record while holding its own locks.
+const SUMMARY_RANK: Rank = Rank::new(410);
 
 /// An exact running summary of duration samples.
 ///
@@ -23,9 +27,17 @@ use std::time::Duration;
 /// s.record(Duration::from_millis(30));
 /// assert_eq!(s.snapshot().mean(), Duration::from_millis(20));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Summary {
-    inner: Mutex<SummarySnapshot>,
+    inner: OrderedMutex<SummarySnapshot>,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary {
+            inner: OrderedMutex::new(SUMMARY_RANK, "metrics.summary", SummarySnapshot::default()),
+        }
+    }
 }
 
 impl Summary {

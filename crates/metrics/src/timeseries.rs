@@ -1,9 +1,13 @@
 //! Time-bucketed event series, used for the paper's queue-length and
 //! throughput-over-time figures.
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use staged_sync::{OrderedMutex, Rank};
 use std::time::{Duration, Instant};
+
+/// Rank of a series' bucket store (DESIGN.md §10): metrics locks are
+/// innermost — any subsystem may record while holding its own locks.
+const SERIES_RANK: Rank = Rank::new(400);
 
 /// One point in a [`TimeSeries`] export.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -53,7 +57,7 @@ struct Inner {
 /// ```
 #[derive(Debug)]
 pub struct TimeSeries {
-    inner: Mutex<Inner>,
+    inner: OrderedMutex<Inner>,
 }
 
 impl TimeSeries {
@@ -65,11 +69,15 @@ impl TimeSeries {
     pub fn new(bucket_width: Duration) -> Self {
         assert!(!bucket_width.is_zero(), "bucket width must be non-zero");
         TimeSeries {
-            inner: Mutex::new(Inner {
-                epoch: Instant::now(),
-                width: bucket_width,
-                buckets: Vec::new(),
-            }),
+            inner: OrderedMutex::new(
+                SERIES_RANK,
+                "metrics.timeseries",
+                Inner {
+                    epoch: Instant::now(),
+                    width: bucket_width,
+                    buckets: Vec::new(),
+                },
+            ),
         }
     }
 

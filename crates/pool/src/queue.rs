@@ -1,6 +1,6 @@
 //! A bounded, instrumented, closable synchronized FIFO queue.
 
-use parking_lot::{Condvar, Mutex};
+use staged_sync::{assert_no_locks_held, Condvar, OrderedMutex, Rank};
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
@@ -75,6 +75,12 @@ struct State<T> {
     peak_len: usize,
 }
 
+/// Rank of every queue's internal state lock (DESIGN.md §10). Queue
+/// state is the innermost lock in the workspace: it is only ever taken
+/// by the queue's own methods, and the blocking entry points assert
+/// that no other ordered lock is held at all.
+const STATE_RANK: Rank = Rank::new(500);
+
 impl<T> State<T> {
     fn queued(&self) -> usize {
         self.items.len() + usize::from(self.handoff.is_some())
@@ -113,7 +119,7 @@ impl<T> State<T> {
 /// ```
 #[derive(Debug)]
 pub struct SyncQueue<T> {
-    state: Mutex<State<T>>,
+    state: OrderedMutex<State<T>>,
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
@@ -128,14 +134,18 @@ impl<T> SyncQueue<T> {
     pub fn bounded(capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be at least 1");
         SyncQueue {
-            state: Mutex::new(State {
-                items: VecDeque::new(),
-                handoff: None,
-                idle: 0,
-                handoffs: 0,
-                closed: false,
-                peak_len: 0,
-            }),
+            state: OrderedMutex::new(
+                STATE_RANK,
+                "pool.sync_queue.state",
+                State {
+                    items: VecDeque::new(),
+                    handoff: None,
+                    idle: 0,
+                    handoffs: 0,
+                    closed: false,
+                    peak_len: 0,
+                },
+            ),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
@@ -148,6 +158,8 @@ impl<T> SyncQueue<T> {
     /// parked behind a backlog it goes to the deque with a wake-up; and
     /// when every worker is busy (`idle == 0`) the condvar is skipped
     /// entirely — the next `pop` will find the item without waiting.
+    // lint: hot_path — one enqueue per request per stage; no per-item
+    // allocation beyond the deque's amortized growth.
     fn enqueue(&self, state: &mut State<T>, item: T) {
         if state.idle > 0 && state.handoff.is_none() && state.items.is_empty() {
             state.handoff = Some(item);
@@ -161,6 +173,7 @@ impl<T> SyncQueue<T> {
         }
         state.peak_len = state.peak_len.max(state.queued());
     }
+    // lint: end_hot_path
 
     /// Creates a queue with no practical capacity limit, matching
     /// CherryPy's unbounded `Queue` the paper builds on.
@@ -175,6 +188,7 @@ impl<T> SyncQueue<T> {
     /// Returns [`PushError::Closed`] (with the item) if the queue has
     /// been closed.
     pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        assert_no_locks_held("SyncQueue::push");
         let mut state = self.state.lock();
         loop {
             if state.closed {
@@ -211,6 +225,7 @@ impl<T> SyncQueue<T> {
     /// Returns `None` once the queue is closed and fully drained — the
     /// worker-thread exit signal.
     pub fn pop(&self) -> Option<T> {
+        assert_no_locks_held("SyncQueue::pop");
         let mut state = self.state.lock();
         loop {
             if let Some(item) = state.take_next() {
@@ -234,6 +249,7 @@ impl<T> SyncQueue<T> {
     ///
     /// Returns [`TryPopError::Closed`] once closed and drained.
     pub fn pop_timeout(&self, timeout: Duration) -> Result<Option<T>, TryPopError> {
+        assert_no_locks_held("SyncQueue::pop_timeout");
         let mut state = self.state.lock();
         loop {
             if let Some(item) = state.take_next() {

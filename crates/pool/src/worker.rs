@@ -130,6 +130,8 @@ impl<J: Send + 'static> WorkerPool<J> {
         H: Fn(&mut S, J) + Send + Sync + 'static,
     {
         let queue = Arc::new(if config.queue == usize::MAX {
+            // lint: allow(unbounded_queue) — usize::MAX is the caller's
+            // explicit opt-out; every server config states a real bound.
             SyncQueue::unbounded()
         } else {
             SyncQueue::bounded(config.queue)
@@ -369,20 +371,20 @@ mod tests {
 
     #[test]
     fn worker_state_is_private_and_indexed() {
-        let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
         let seen2 = Arc::clone(&seen);
         let pool = WorkerPool::new(
             PoolConfig::new("stateful", 3),
             |i| i,
             move |state, _job: ()| {
-                seen2.lock().push(*state);
+                staged_sync::lock_recover(&seen2).push(*state);
             },
         );
         for _ in 0..30 {
             pool.submit(()).unwrap();
         }
         pool.shutdown();
-        let seen = seen.lock();
+        let seen = staged_sync::lock_recover(&seen);
         assert_eq!(seen.len(), 30);
         assert!(seen.iter().all(|&i| i < 3));
     }

@@ -1,0 +1,64 @@
+//! Proves the blocking-region half of the detector: an ordered lock
+//! held across a `SyncQueue` wait panics with the held acquisition
+//! stack instead of becoming a latent queue deadlock.
+#![cfg(debug_assertions)]
+
+use staged_pool::SyncQueue;
+use staged_sync::{OrderedMutex, Rank};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+fn detector_panic(f: impl FnOnce()) -> String {
+    let err = catch_unwind(AssertUnwindSafe(f)).expect_err("detector should have panicked");
+    err.downcast_ref::<String>()
+        .expect("detector panics carry a formatted message")
+        .clone()
+}
+
+#[test]
+fn lock_held_across_pop_panics_with_stack() {
+    let q: SyncQueue<u32> = SyncQueue::bounded(4);
+    q.push(7).unwrap();
+    let m = OrderedMutex::new(Rank::new(5), "test.held_across_pop", ());
+    let msg = detector_panic(|| {
+        let _g = m.lock();
+        let _ = q.pop(); // would block while holding test.held_across_pop
+    });
+    assert!(msg.contains("blocking-region violation"), "message: {msg}");
+    assert!(msg.contains("SyncQueue::pop"), "message: {msg}");
+    assert!(msg.contains("\"test.held_across_pop\""), "message: {msg}");
+    assert!(msg.contains("tests/lock_hold.rs"), "message: {msg}");
+    // The queue itself is untouched: the panic fired before the wait.
+    assert_eq!(q.len(), 1);
+}
+
+#[test]
+fn lock_held_across_push_panics() {
+    let q: SyncQueue<u32> = SyncQueue::bounded(4);
+    let m = OrderedMutex::new(Rank::new(5), "test.held_across_push", ());
+    let msg = detector_panic(|| {
+        let _g = m.lock();
+        let _ = q.push(1);
+    });
+    assert!(msg.contains("SyncQueue::push"), "message: {msg}");
+    assert!(msg.contains("\"test.held_across_push\""), "message: {msg}");
+}
+
+#[test]
+fn lock_held_across_pop_timeout_panics() {
+    let q: SyncQueue<u32> = SyncQueue::bounded(4);
+    let m = OrderedMutex::new(Rank::new(5), "test.held_across_pop_timeout", ());
+    let msg = detector_panic(|| {
+        let _g = m.lock();
+        let _ = q.pop_timeout(Duration::from_millis(1));
+    });
+    assert!(msg.contains("SyncQueue::pop_timeout"), "message: {msg}");
+}
+
+#[test]
+fn queue_ops_without_locks_are_silent() {
+    let q: SyncQueue<u32> = SyncQueue::bounded(2);
+    q.push(1).unwrap();
+    assert_eq!(q.pop(), Some(1));
+    assert_eq!(q.pop_timeout(Duration::from_millis(1)).ok(), Some(None));
+}

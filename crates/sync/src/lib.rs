@@ -1,0 +1,703 @@
+//! Rank-ordered locks: the one place in the workspace where blocking
+//! synchronization primitives are constructed.
+//!
+//! The staged server is a web of hand-rolled concurrency — synchronized
+//! queues, a buffer pool, a circuit breaker, stats collectors — and a
+//! single inconsistent lock acquisition order between any two of those
+//! sites is a latent deadlock that no unit test reliably catches. This
+//! crate makes the order machine-checked:
+//!
+//! * every [`OrderedMutex`]/[`OrderedRwLock`] carries a [`Rank`] and a
+//!   name (the workspace-wide rank map lives in `DESIGN.md` §10);
+//! * while the detector is active (`cfg(debug_assertions)` — i.e. plain
+//!   `cargo test` — or the `lock-order` feature), each thread records
+//!   its acquisition stack, and acquiring a lock whose rank is not
+//!   strictly above the last-acquired one panics with both acquisition
+//!   stacks;
+//! * [`assert_no_locks_held`] marks blocking regions (queue push/pop,
+//!   socket writes): entering one with any registered lock held panics,
+//!   because a lock held across a blocking wait is the other half of
+//!   every queue-deadlock story;
+//! * in release builds without the feature, the wrappers are
+//!   `#[inline]` pass-throughs to `parking_lot` — zero bookkeeping, no
+//!   atomics, nothing to measure (the throughput bench gates this).
+//!
+//! The [`lock_recover`]/[`read_recover`]/[`write_recover`] helpers are
+//! for the few places (tests, harnesses) that still use `std::sync`
+//! locks: they enter a poisoned lock instead of double-panicking a
+//! worker that merely shares a mutex with a panicked sibling.
+//!
+//! # Examples
+//!
+//! ```
+//! use staged_sync::{OrderedMutex, Rank};
+//!
+//! static COUNTER: OrderedMutex<u64> = OrderedMutex::new(Rank::new(10), "example.counter", 0);
+//! *COUNTER.lock() += 1;
+//! assert_eq!(*COUNTER.lock(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::{MutexGuard as StdMutexGuard, PoisonError};
+use std::sync::{RwLockReadGuard as StdReadGuard, RwLockWriteGuard as StdWriteGuard};
+use std::time::Duration;
+
+pub use parking_lot::WaitTimeoutResult;
+
+/// Whether the lock-order detector is compiled in. `true` under
+/// `cfg(debug_assertions)` or the `lock-order` feature; `false` in
+/// plain release builds, where every wrapper is a zero-cost
+/// pass-through.
+pub const fn detector_active() -> bool {
+    cfg!(any(debug_assertions, feature = "lock-order"))
+}
+
+/// A lock's position in the workspace-wide acquisition order.
+///
+/// Ranks must be acquired in strictly increasing order on any one
+/// thread. The full map lives in `DESIGN.md` §10; pick an unused value
+/// between the ranks of the locks yours nests inside and the ones it
+/// holds across.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rank {
+    value: u16,
+    allow_same: bool,
+}
+
+impl Rank {
+    /// A rank with the default strict ordering: acquiring a second lock
+    /// of the same rank on one thread is reported as an inversion (it
+    /// is either a self-deadlock or an unordered sibling acquisition).
+    pub const fn new(value: u16) -> Self {
+        Rank {
+            value,
+            allow_same: false,
+        }
+    }
+
+    /// Permits nesting several locks of this same rank on one thread.
+    ///
+    /// Reserve this for lock families with a *canonical external
+    /// order* — e.g. per-table data locks that are always acquired in
+    /// sorted table-name order — where the rank map cannot enumerate
+    /// the instances.
+    pub const fn allow_same_rank(self) -> Self {
+        Rank {
+            value: self.value,
+            allow_same: true,
+        }
+    }
+
+    /// The numeric rank.
+    pub const fn value(&self) -> u16 {
+        self.value
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+#[cfg(any(debug_assertions, feature = "lock-order"))]
+mod tracking {
+    use super::Rank;
+    use std::cell::{Cell, RefCell};
+    use std::panic::Location;
+
+    #[derive(Clone, Copy)]
+    struct Held {
+        token: u64,
+        rank: Rank,
+        name: &'static str,
+        location: &'static Location<'static>,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+        static NEXT_TOKEN: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// A registered acquisition; deregisters itself on drop.
+    pub(crate) struct Token(u64);
+
+    impl Drop for Token {
+        fn drop(&mut self) {
+            let token = self.0;
+            HELD.with(|held| {
+                let mut held = held.borrow_mut();
+                if let Some(idx) = held.iter().rposition(|h| h.token == token) {
+                    held.remove(idx);
+                }
+            });
+        }
+    }
+
+    fn render_stack(held: &[Held]) -> String {
+        if held.is_empty() {
+            return "  (no locks held)".to_string();
+        }
+        held.iter()
+            .enumerate()
+            .map(|(i, h)| {
+                format!(
+                    "  #{i} \"{}\" (rank {}) acquired at {}:{}:{}",
+                    h.name,
+                    h.rank.value(),
+                    h.location.file(),
+                    h.location.line(),
+                    h.location.column()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Validates the acquisition order *before* blocking on the lock,
+    /// so a genuine inversion panics instead of deadlocking the test.
+    pub(crate) fn check_order(
+        rank: Rank,
+        name: &'static str,
+        location: &'static Location<'static>,
+    ) {
+        HELD.with(|held| {
+            let held = held.borrow();
+            let Some(&top) = held.last() else { return };
+            let ordered = rank.value() > top.rank.value()
+                || (rank.value() == top.rank.value() && rank.allow_same && top.rank.allow_same);
+            if !ordered {
+                let stack = render_stack(&held);
+                drop(held);
+                panic!(
+                    "lock-order violation: acquiring \"{name}\" (rank {rank_v}) at \
+                     {file}:{line}:{col} while already holding \"{top_name}\" (rank \
+                     {top_rank}) acquired at {top_file}:{top_line}:{top_col}\n\
+                     held-lock acquisition stack (outermost first):\n{stack}\n\
+                     offending acquisition stack:\n  #0 \"{name}\" (rank {rank_v}) at \
+                     {file}:{line}:{col}\n\
+                     ranks must be acquired in strictly increasing order; \
+                     see DESIGN.md \u{a7}10 for the workspace lock-rank map",
+                    rank_v = rank.value(),
+                    file = location.file(),
+                    line = location.line(),
+                    col = location.column(),
+                    top_name = top.name,
+                    top_rank = top.rank.value(),
+                    top_file = top.location.file(),
+                    top_line = top.location.line(),
+                    top_col = top.location.column(),
+                );
+            }
+        });
+    }
+
+    /// Records a successful acquisition on this thread's stack.
+    pub(crate) fn register(
+        rank: Rank,
+        name: &'static str,
+        location: &'static Location<'static>,
+    ) -> Token {
+        let token = NEXT_TOKEN.with(|next| {
+            let t = next.get();
+            next.set(t + 1);
+            t
+        });
+        HELD.with(|held| {
+            held.borrow_mut().push(Held {
+                token,
+                rank,
+                name,
+                location,
+            });
+        });
+        Token(token)
+    }
+
+    pub(crate) fn assert_no_locks_held(operation: &str) {
+        HELD.with(|held| {
+            let held = held.borrow();
+            if !held.is_empty() {
+                let stack = render_stack(&held);
+                drop(held);
+                panic!(
+                    "blocking-region violation: entering \"{operation}\" while holding \
+                     {n} registered lock(s)\n\
+                     held-lock acquisition stack (outermost first):\n{stack}\n\
+                     no ordered lock may be held across SyncQueue::push/pop or socket \
+                     writes; see DESIGN.md \u{a7}10",
+                    n = stack.lines().count(),
+                );
+            }
+        });
+    }
+
+    pub(crate) fn held_lock_names() -> Vec<&'static str> {
+        HELD.with(|held| held.borrow().iter().map(|h| h.name).collect())
+    }
+}
+
+/// Panics if the current thread holds any registered lock while
+/// entering the named blocking region (queue push/pop, socket write).
+///
+/// Compiled to a no-op when the detector is off.
+#[inline]
+pub fn assert_no_locks_held(operation: &str) {
+    #[cfg(any(debug_assertions, feature = "lock-order"))]
+    tracking::assert_no_locks_held(operation);
+    #[cfg(not(any(debug_assertions, feature = "lock-order")))]
+    let _ = operation;
+}
+
+/// Names of the ordered locks the current thread holds, outermost
+/// first. Always empty when the detector is off; intended for tests.
+#[inline]
+pub fn held_lock_names() -> Vec<&'static str> {
+    #[cfg(any(debug_assertions, feature = "lock-order"))]
+    {
+        tracking::held_lock_names()
+    }
+    #[cfg(not(any(debug_assertions, feature = "lock-order")))]
+    {
+        Vec::new()
+    }
+}
+
+/// A [`parking_lot::Mutex`] that participates in the workspace lock
+/// order.
+///
+/// # Examples
+///
+/// ```
+/// use staged_sync::{OrderedMutex, Rank};
+///
+/// let m = OrderedMutex::new(Rank::new(100), "docs.example", vec![1, 2]);
+/// m.lock().push(3);
+/// assert_eq!(m.lock().len(), 3);
+/// ```
+pub struct OrderedMutex<T: ?Sized> {
+    rank: Rank,
+    name: &'static str,
+    inner: parking_lot::Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    /// Creates a mutex at `rank`; `const` so it can initialise a
+    /// `static`. The name appears in detector panics and must be
+    /// workspace-unique (convention: `crate.site`, e.g.
+    /// `"http.body.buffer_pool"`).
+    pub const fn new(rank: Rank, name: &'static str, value: T) -> Self {
+        OrderedMutex {
+            rank,
+            name,
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the underlying data.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> OrderedMutex<T> {
+    /// Acquires the mutex, blocking until available.
+    ///
+    /// # Panics
+    ///
+    /// With the detector active, panics if this acquisition violates
+    /// the rank order established by locks this thread already holds.
+    #[inline]
+    #[track_caller]
+    pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
+        #[cfg(any(debug_assertions, feature = "lock-order"))]
+        {
+            let location = std::panic::Location::caller();
+            tracking::check_order(self.rank, self.name, location);
+            let inner = self.inner.lock();
+            OrderedMutexGuard {
+                inner,
+                _token: tracking::register(self.rank, self.name, location),
+            }
+        }
+        #[cfg(not(any(debug_assertions, feature = "lock-order")))]
+        OrderedMutexGuard {
+            inner: self.inner.lock(),
+        }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    #[inline]
+    #[track_caller]
+    pub fn try_lock(&self) -> Option<OrderedMutexGuard<'_, T>> {
+        #[cfg(any(debug_assertions, feature = "lock-order"))]
+        {
+            let location = std::panic::Location::caller();
+            tracking::check_order(self.rank, self.name, location);
+            let inner = self.inner.try_lock()?;
+            Some(OrderedMutexGuard {
+                inner,
+                _token: tracking::register(self.rank, self.name, location),
+            })
+        }
+        #[cfg(not(any(debug_assertions, feature = "lock-order")))]
+        Some(OrderedMutexGuard {
+            inner: self.inner.try_lock()?,
+        })
+    }
+
+    /// Returns a mutable reference to the underlying data (no locking:
+    /// `&mut self` proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    /// The lock's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The lock's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+}
+
+impl<T: Default> Default for OrderedMutex<T> {
+    fn default() -> Self {
+        OrderedMutex::new(Rank::new(u16::MAX), "sync.unranked", T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OrderedMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderedMutex")
+            .field("name", &self.name)
+            .field("rank", &self.rank.value())
+            .field("data", &self.inner)
+            .finish()
+    }
+}
+
+/// RAII guard for [`OrderedMutex`]; deregisters the acquisition when
+/// dropped.
+pub struct OrderedMutexGuard<'a, T: ?Sized> {
+    inner: parking_lot::MutexGuard<'a, T>,
+    #[cfg(any(debug_assertions, feature = "lock-order"))]
+    _token: tracking::Token,
+}
+
+impl<T: ?Sized> std::ops::Deref for OrderedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for OrderedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A [`parking_lot::RwLock`] that participates in the workspace lock
+/// order. Read and write acquisitions are rank-checked identically —
+/// reader/reader nesting of one rank is only legal for
+/// [`Rank::allow_same_rank`] families.
+///
+/// # Examples
+///
+/// ```
+/// use staged_sync::{OrderedRwLock, Rank};
+///
+/// let l = OrderedRwLock::new(Rank::new(100), "docs.rw", 5);
+/// assert_eq!(*l.read(), 5);
+/// *l.write() = 7;
+/// assert_eq!(*l.read(), 7);
+/// ```
+pub struct OrderedRwLock<T: ?Sized> {
+    rank: Rank,
+    name: &'static str,
+    inner: parking_lot::RwLock<T>,
+}
+
+impl<T> OrderedRwLock<T> {
+    /// Creates an rwlock at `rank`; `const` so it can initialise a
+    /// `static`.
+    pub const fn new(rank: Rank, name: &'static str, value: T) -> Self {
+        OrderedRwLock {
+            rank,
+            name,
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the rwlock, returning the underlying data.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> OrderedRwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    ///
+    /// # Panics
+    ///
+    /// With the detector active, panics on rank-order violations.
+    #[inline]
+    #[track_caller]
+    pub fn read(&self) -> OrderedReadGuard<'_, T> {
+        #[cfg(any(debug_assertions, feature = "lock-order"))]
+        {
+            let location = std::panic::Location::caller();
+            tracking::check_order(self.rank, self.name, location);
+            let inner = self.inner.read();
+            OrderedReadGuard {
+                inner,
+                _token: tracking::register(self.rank, self.name, location),
+            }
+        }
+        #[cfg(not(any(debug_assertions, feature = "lock-order")))]
+        OrderedReadGuard {
+            inner: self.inner.read(),
+        }
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    ///
+    /// # Panics
+    ///
+    /// With the detector active, panics on rank-order violations.
+    #[inline]
+    #[track_caller]
+    pub fn write(&self) -> OrderedWriteGuard<'_, T> {
+        #[cfg(any(debug_assertions, feature = "lock-order"))]
+        {
+            let location = std::panic::Location::caller();
+            tracking::check_order(self.rank, self.name, location);
+            let inner = self.inner.write();
+            OrderedWriteGuard {
+                inner,
+                _token: tracking::register(self.rank, self.name, location),
+            }
+        }
+        #[cfg(not(any(debug_assertions, feature = "lock-order")))]
+        OrderedWriteGuard {
+            inner: self.inner.write(),
+        }
+    }
+
+    /// Returns a mutable reference to the underlying data.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    /// The lock's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The lock's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+}
+
+impl<T: Default> Default for OrderedRwLock<T> {
+    fn default() -> Self {
+        OrderedRwLock::new(Rank::new(u16::MAX), "sync.unranked", T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OrderedRwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderedRwLock")
+            .field("name", &self.name)
+            .field("rank", &self.rank.value())
+            .field("data", &self.inner)
+            .finish()
+    }
+}
+
+/// Shared-access RAII guard for [`OrderedRwLock`].
+pub struct OrderedReadGuard<'a, T: ?Sized> {
+    inner: parking_lot::RwLockReadGuard<'a, T>,
+    #[cfg(any(debug_assertions, feature = "lock-order"))]
+    _token: tracking::Token,
+}
+
+impl<T: ?Sized> std::ops::Deref for OrderedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Exclusive-access RAII guard for [`OrderedRwLock`].
+pub struct OrderedWriteGuard<'a, T: ?Sized> {
+    inner: parking_lot::RwLockWriteGuard<'a, T>,
+    #[cfg(any(debug_assertions, feature = "lock-order"))]
+    _token: tracking::Token,
+}
+
+impl<T: ?Sized> std::ops::Deref for OrderedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for OrderedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A condition variable for [`OrderedMutex`] (the wait itself is not a
+/// tracked blocking region: the mutex it atomically releases is the
+/// primitive's own).
+#[derive(Debug, Default)]
+pub struct Condvar(parking_lot::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(parking_lot::Condvar::new())
+    }
+
+    /// Blocks until notified, atomically releasing and re-acquiring the
+    /// mutex behind `guard`.
+    pub fn wait<T>(&self, guard: &mut OrderedMutexGuard<'_, T>) {
+        self.0.wait(&mut guard.inner);
+    }
+
+    /// Like [`Condvar::wait`] but gives up after `timeout`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut OrderedMutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        self.0.wait_for(&mut guard.inner, timeout)
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one()
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all()
+    }
+}
+
+/// Locks a `std::sync::Mutex`, entering a poisoned lock instead of
+/// panicking — the repo-standard way to take a std lock whose holder
+/// may have panicked (worker panics are injected deliberately by the
+/// fault plans).
+pub fn lock_recover<T: ?Sized>(mutex: &std::sync::Mutex<T>) -> StdMutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-locks a `std::sync::RwLock`, entering a poisoned lock instead
+/// of panicking.
+pub fn read_recover<T: ?Sized>(lock: &std::sync::RwLock<T>) -> StdReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks a `std::sync::RwLock`, entering a poisoned lock instead
+/// of panicking.
+pub fn write_recover<T: ?Sized>(lock: &std::sync::RwLock<T>) -> StdWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = OrderedMutex::new(Rank::new(10), "test.m", 1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_round_trip() {
+        let l = OrderedRwLock::new(Rank::new(10), "test.rw", 5);
+        {
+            let a = l.read();
+            assert_eq!(*a, 5);
+        }
+        *l.write() = 7;
+        assert_eq!(*l.read(), 7);
+    }
+
+    #[test]
+    fn try_lock_contended_returns_none() {
+        let m = OrderedMutex::new(Rank::new(10), "test.try", ());
+        let g = m.lock();
+        std::thread::scope(|s| {
+            s.spawn(|| assert!(m.try_lock().is_none()));
+        });
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn increasing_ranks_nest_fine() {
+        let a = OrderedMutex::new(Rank::new(10), "test.outer", ());
+        let b = OrderedMutex::new(Rank::new(20), "test.inner", ());
+        let _ga = a.lock();
+        let _gb = b.lock();
+        if detector_active() {
+            assert_eq!(held_lock_names(), vec!["test.outer", "test.inner"]);
+        }
+    }
+
+    #[test]
+    fn guard_drop_deregisters() {
+        let a = OrderedMutex::new(Rank::new(10), "test.dereg", ());
+        drop(a.lock());
+        assert!(held_lock_names().is_empty());
+        // Rank 10 is acquirable again after release even though an
+        // equal-or-higher rank was held moments ago.
+        drop(a.lock());
+    }
+
+    #[test]
+    fn recover_helpers_enter_poisoned_locks() {
+        let m = std::sync::Mutex::new(0);
+        let l = std::sync::RwLock::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _g = m.lock().unwrap();
+                panic!("poison the mutex");
+            })
+            .join()
+            .unwrap_err();
+            s.spawn(|| {
+                let _g = l.write().unwrap();
+                panic!("poison the rwlock");
+            })
+            .join()
+            .unwrap_err();
+        });
+        *lock_recover(&m) += 1;
+        assert_eq!(*lock_recover(&m), 1);
+        *write_recover(&l) += 2;
+        assert_eq!(*read_recover(&l), 2);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = OrderedMutex::new(Rank::new(10), "test.cv", ());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        assert!(cv.wait_for(&mut g, Duration::from_millis(10)).timed_out());
+    }
+}

@@ -1,0 +1,126 @@
+//! Deliberate violations proving the detector fires, with both
+//! acquisition stacks in the panic message.
+//!
+//! Gated on `debug_assertions`: in a plain release test run the
+//! wrappers are pass-throughs and these seeded inversions would
+//! (correctly) not panic.
+#![cfg(debug_assertions)]
+
+use staged_sync::{assert_no_locks_held, held_lock_names, OrderedMutex, OrderedRwLock, Rank};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs `f` expecting a detector panic; returns the panic message.
+fn detector_panic(f: impl FnOnce()) -> String {
+    let err = catch_unwind(AssertUnwindSafe(f)).expect_err("detector should have panicked");
+    err.downcast_ref::<String>()
+        .expect("detector panics carry a formatted message")
+        .clone()
+}
+
+#[test]
+fn rank_inversion_panics_with_both_stacks() {
+    let outer = OrderedMutex::new(Rank::new(10), "test.low", ());
+    let inner = OrderedMutex::new(Rank::new(20), "test.high", ());
+    let msg = detector_panic(|| {
+        let _hi = inner.lock();
+        let _lo = outer.lock(); // rank 10 under rank 20: inversion
+    });
+    assert!(msg.contains("lock-order violation"), "message: {msg}");
+    // Both locks are named with their ranks...
+    assert!(msg.contains("\"test.low\" (rank 10)"), "message: {msg}");
+    assert!(msg.contains("\"test.high\" (rank 20)"), "message: {msg}");
+    // ...and both acquisition stacks point into this test file.
+    assert!(
+        msg.contains("held-lock acquisition stack"),
+        "message: {msg}"
+    );
+    assert!(
+        msg.contains("offending acquisition stack"),
+        "message: {msg}"
+    );
+    assert!(
+        msg.matches("tests/lock_order.rs").count() >= 2,
+        "both stacks should cite this file: {msg}"
+    );
+    assert!(msg.contains("DESIGN.md"), "message: {msg}");
+    // The unwound guards deregistered themselves.
+    assert!(held_lock_names().is_empty());
+}
+
+#[test]
+fn equal_rank_without_allowance_panics() {
+    let a = OrderedMutex::new(Rank::new(30), "test.eq_a", ());
+    let b = OrderedMutex::new(Rank::new(30), "test.eq_b", ());
+    let msg = detector_panic(|| {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    });
+    assert!(msg.contains("lock-order violation"), "message: {msg}");
+    assert!(msg.contains("strictly increasing"), "message: {msg}");
+}
+
+#[test]
+fn allow_same_rank_family_nests() {
+    // Models the per-table data locks: same rank, canonical external
+    // (sorted-name) acquisition order.
+    let rank = Rank::new(40).allow_same_rank();
+    let a = OrderedRwLock::new(rank, "test.family", 1);
+    let b = OrderedRwLock::new(rank, "test.family", 2);
+    let ga = a.read();
+    let gb = b.read();
+    assert_eq!(*ga + *gb, 3);
+    assert_eq!(held_lock_names(), vec!["test.family", "test.family"]);
+}
+
+#[test]
+fn same_rank_mixed_allowance_still_panics() {
+    // The allowance must be mutual: a strict lock at the same rank is
+    // an unordered sibling even under an allow_same_rank holder.
+    let family = OrderedMutex::new(Rank::new(50).allow_same_rank(), "test.fam", ());
+    let strict = OrderedMutex::new(Rank::new(50), "test.strict", ());
+    let msg = detector_panic(|| {
+        let _gf = family.lock();
+        let _gs = strict.lock();
+    });
+    assert!(msg.contains("lock-order violation"), "message: {msg}");
+}
+
+#[test]
+fn rwlock_read_under_higher_write_panics() {
+    let low = OrderedRwLock::new(Rank::new(10), "test.rw_low", ());
+    let high = OrderedRwLock::new(Rank::new(20), "test.rw_high", ());
+    let msg = detector_panic(|| {
+        let _w = high.write();
+        let _r = low.read();
+    });
+    assert!(msg.contains("lock-order violation"), "message: {msg}");
+    assert!(msg.contains("\"test.rw_low\""), "message: {msg}");
+}
+
+#[test]
+fn blocking_region_with_lock_held_panics() {
+    let m = OrderedMutex::new(Rank::new(60), "test.held_across", ());
+    let msg = detector_panic(|| {
+        let _g = m.lock();
+        assert_no_locks_held("test::fake_queue_pop");
+    });
+    assert!(msg.contains("blocking-region violation"), "message: {msg}");
+    assert!(msg.contains("test::fake_queue_pop"), "message: {msg}");
+    assert!(msg.contains("\"test.held_across\""), "message: {msg}");
+    assert!(msg.contains("tests/lock_order.rs"), "message: {msg}");
+}
+
+#[test]
+fn blocking_region_without_locks_is_silent() {
+    assert_no_locks_held("test::fine");
+}
+
+#[test]
+fn order_resets_between_unrelated_acquisitions() {
+    let high = OrderedMutex::new(Rank::new(90), "test.first_high", ());
+    let low = OrderedMutex::new(Rank::new(10), "test.then_low", ());
+    // Sequential (non-nested) acquisitions in any rank order are fine.
+    drop(high.lock());
+    drop(low.lock());
+    drop(high.lock());
+}

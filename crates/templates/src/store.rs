@@ -3,12 +3,17 @@
 use crate::error::TemplateError;
 use crate::render::Template;
 use crate::value::Context;
-use parking_lot::RwLock;
+use staged_sync::{OrderedRwLock, Rank};
 use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
+
+/// Rank of the template map (DESIGN.md §10). Lookups clone the `Arc`
+/// and release the lock before rendering, so `{% include %}` re-entry
+/// never nests at this rank.
+const STORE_RANK: Rank = Rank::new(140);
 
 /// A named collection of compiled templates, shared by all rendering
 /// threads.
@@ -28,9 +33,17 @@ use std::sync::Arc;
 /// ctx.insert("who", "world");
 /// assert_eq!(store.render("hello.html", &ctx).unwrap(), "Hi world");
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TemplateStore {
-    templates: RwLock<HashMap<String, Arc<Template>>>,
+    templates: OrderedRwLock<HashMap<String, Arc<Template>>>,
+}
+
+impl Default for TemplateStore {
+    fn default() -> Self {
+        TemplateStore {
+            templates: OrderedRwLock::new(STORE_RANK, "templates.store", HashMap::new()),
+        }
+    }
 }
 
 impl TemplateStore {

@@ -4,12 +4,20 @@
 use crate::report::{to_ms, PageReport, WorkloadReport};
 use crate::scale::ScaleConfig;
 use crate::schema::SUBJECTS;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use staged_http::{fetch_with_timeout, Method};
 use staged_metrics::{Histogram, Summary};
+use staged_sync::{OrderedMutex, Rank};
 use std::collections::HashMap;
+
+/// Collector lock ranks (DESIGN.md §10). `record` nests pages →
+/// metrics → counts, so the page map comes first and the count maps
+/// after it — all below the metrics locks' 400 band except `counts`,
+/// which is only ever taken with `pages` (130 < 131) or alone.
+const PAGES_RANK: Rank = Rank::new(130);
+const COUNTS_RANK: Rank = Rank::new(131);
+const ERRORS_RANK: Rank = Rank::new(132);
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -84,12 +92,12 @@ impl Default for WorkloadConfig {
 }
 
 struct Collector {
-    pages: Mutex<HashMap<&'static str, (Summary, Histogram)>>,
+    pages: OrderedMutex<HashMap<&'static str, (Summary, Histogram)>>,
     /// Latency across every successful interaction, regardless of page
     /// (the overload benchmarks report overall p99).
     overall: (Summary, Histogram),
-    counts: Mutex<HashMap<&'static str, u64>>,
-    errors: Mutex<HashMap<&'static str, u64>>,
+    counts: OrderedMutex<HashMap<&'static str, u64>>,
+    errors: OrderedMutex<HashMap<&'static str, u64>>,
     total_errors: AtomicU64,
     /// Interactions the server answered `503` (shed under overload);
     /// also counted in `total_errors`.
@@ -99,10 +107,10 @@ struct Collector {
 impl Collector {
     fn new() -> Self {
         Collector {
-            pages: Mutex::new(HashMap::new()),
+            pages: OrderedMutex::new(PAGES_RANK, "tpcw.workload.pages", HashMap::new()),
             overall: (Summary::new(), Histogram::new()),
-            counts: Mutex::new(HashMap::new()),
-            errors: Mutex::new(HashMap::new()),
+            counts: OrderedMutex::new(COUNTS_RANK, "tpcw.workload.counts", HashMap::new()),
+            errors: OrderedMutex::new(ERRORS_RANK, "tpcw.workload.errors", HashMap::new()),
             total_errors: AtomicU64::new(0),
             total_sheds: AtomicU64::new(0),
         }

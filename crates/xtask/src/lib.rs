@@ -1,0 +1,8 @@
+//! Workspace automation library. The only resident today is the
+//! concurrency-correctness lint pass (`cargo xtask lint`); see
+//! [`lint`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lint;

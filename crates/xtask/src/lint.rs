@@ -1,0 +1,683 @@
+//! The concurrency-correctness lint pass (DESIGN.md §10).
+//!
+//! A hand-rolled line/token scanner — no syn, no external deps — that
+//! enforces the workspace's concurrency conventions over every `.rs`
+//! file under `crates/`:
+//!
+//! | rule | requirement |
+//! |------|-------------|
+//! | `safety_comment` | every `unsafe` block/impl carries a `// SAFETY:` comment |
+//! | `lock_unwrap` | no `.unwrap()`/`.expect()` on lock or I/O results in library code — use `staged_sync::lock_recover` / `?` |
+//! | `raw_lock` | no raw `Mutex::new`/`RwLock::new` outside `crates/sync` — use the `Ordered*` wrappers |
+//! | `hot_path_alloc` | no allocation-prone calls inside `// lint: hot_path` regions |
+//! | `unbounded_queue` | every queue/channel construction states a bound |
+//!
+//! Escapes: `// lint: allow(rule)` on the offending line or in the
+//! contiguous comment block immediately above it; code after a
+//! `#[cfg(test)]` line (the workspace keeps test modules at the end of
+//! the file) is exempt from `lock_unwrap`, `raw_lock` and
+//! `unbounded_queue`; `src/bin/` binaries are additionally exempt from
+//! `lock_unwrap`. Hot-path regions open with `// lint: hot_path` and
+//! close with `// lint: end_hot_path`.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// What kind of source a file is, which decides the applicable rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code in a server crate — every rule applies.
+    Lib,
+    /// A binary (`src/bin/`, `src/main.rs`) or bench — exempt from
+    /// `lock_unwrap` (a CLI aborting on I/O error is fine).
+    Bin,
+    /// Integration tests — exempt from `lock_unwrap`, `raw_lock`,
+    /// `unbounded_queue`.
+    Test,
+}
+
+/// One lint violation, formatted as `path:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-indexed line number.
+    pub line: usize,
+    /// Rule identifier (the name `lint: allow(...)` takes).
+    pub rule: &'static str,
+    /// Human-oriented explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Lints every `.rs` file under `<root>/crates`, skipping the lint's
+/// own test fixtures (they contain deliberate violations).
+pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files);
+    files.sort();
+    let mut diagnostics = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if rel.contains("xtask/tests/fixtures") {
+            continue;
+        }
+        let Ok(source) = fs::read_to_string(&file) else {
+            continue;
+        };
+        diagnostics.extend(lint_source(&rel, &source, kind_for_path(&rel)));
+    }
+    diagnostics
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Infers a file's [`FileKind`] from its workspace-relative path.
+pub fn kind_for_path(path: &str) -> FileKind {
+    if path.contains("/tests/") || path.contains("/benches/") {
+        FileKind::Test
+    } else if path.contains("/src/bin/") || path.ends_with("/src/main.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// Rules `#[cfg(test)]` regions and test files are exempt from.
+const TEST_EXEMPT: &[&str] = &["lock_unwrap", "raw_lock", "unbounded_queue"];
+
+/// Allocation-prone calls forbidden in `// lint: hot_path` regions.
+/// `Arc::clone(..)` is the sanctioned spelling for refcount bumps and
+/// never matches `.clone()`; `Vec::with_capacity` is allowed because
+/// sizing a miss-path buffer is the point of a pool.
+const HOT_PATH_ALLOC: &[&str] = &[
+    "format!(",
+    ".to_string()",
+    ".to_owned()",
+    ".to_vec()",
+    "String::new()",
+    "Vec::new()",
+    "vec![",
+    ".clone()",
+];
+
+/// `.unwrap()`/`.expect(` receivers that poison-panic or hide I/O
+/// errors; library code must use `staged_sync::lock_recover` (and
+/// friends) or propagate with `?`.
+const LOCK_RESULT: &[&str] = &[
+    ".lock().unwrap()",
+    ".lock().expect(",
+    ".read().unwrap()",
+    ".read().expect(",
+    ".write().unwrap()",
+    ".write().expect(",
+];
+
+/// I/O calls whose same-line `.unwrap()`/`.expect(` is flagged.
+const IO_CALLS: &[&str] = &[
+    ".write_all(",
+    ".flush()",
+    ".read_exact(",
+    ".read_to_string(",
+    ".read_to_end(",
+    ".set_nonblocking(",
+];
+
+/// Lints one file's source. `path` is used only for diagnostics.
+pub fn lint_source(path: &str, source: &str, kind: FileKind) -> Vec<Diagnostic> {
+    let in_sync_crate = path.contains("crates/sync/src");
+    let mut diagnostics = Vec::new();
+    let mut scanner = Scanner::default();
+    // Directives and SAFETY markers carried by the contiguous comment
+    // block immediately above the current code line.
+    let mut pending_allows: Vec<String> = Vec::new();
+    let mut pending_safety = false;
+    let mut in_test_region = false;
+    let mut hot_path_open: Option<usize> = None;
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let (code, comment) = scanner.split_line(raw_line);
+        let code_trim = code.trim();
+
+        let directive = directive_text(&comment);
+        let mut allows: Vec<String> = pending_allows.clone();
+        if directive.starts_with("lint: allow(") {
+            collect_allows(directive, &mut allows);
+        }
+        let safety_here = pending_safety || comment.contains("SAFETY:");
+
+        if directive.starts_with("lint: end_hot_path") {
+            if hot_path_open.take().is_none() {
+                diagnostics.push(Diagnostic {
+                    path: path.to_string(),
+                    line: line_no,
+                    rule: "hot_path_alloc",
+                    message: "`lint: end_hot_path` without an open `lint: hot_path` region"
+                        .to_string(),
+                });
+            }
+        } else if directive.starts_with("lint: hot_path") {
+            if let Some(open) = hot_path_open {
+                diagnostics.push(Diagnostic {
+                    path: path.to_string(),
+                    line: line_no,
+                    rule: "hot_path_alloc",
+                    message: format!("`lint: hot_path` while the region from line {open} is open"),
+                });
+            }
+            hot_path_open = Some(line_no);
+        }
+
+        if code_trim.is_empty() {
+            if comment.is_empty() {
+                // A blank line ends the comment block above a code line.
+                pending_allows.clear();
+                pending_safety = false;
+            } else {
+                // Comment-only line: keep accumulating directives.
+                pending_allows = allows;
+                pending_safety = safety_here;
+            }
+            continue;
+        }
+
+        if code_trim.starts_with("#[cfg(test)]") {
+            // Workspace convention: the test module is the tail of the
+            // file, so everything from here on is test code.
+            in_test_region = true;
+        }
+        let testish = in_test_region || kind == FileKind::Test;
+        let allowed = |rule: &str| allows.iter().any(|a| a == rule);
+        let exempt = |rule: &'static str| {
+            (testish && TEST_EXEMPT.contains(&rule))
+                || (kind == FileKind::Bin && rule == "lock_unwrap")
+                || allowed(rule)
+        };
+
+        // safety_comment — applies everywhere, even tests.
+        if let Some(what) = unsafe_needing_comment(&code) {
+            if !safety_here && !allowed("safety_comment") {
+                diagnostics.push(Diagnostic {
+                    path: path.to_string(),
+                    line: line_no,
+                    rule: "safety_comment",
+                    message: format!(
+                        "`{what}` without a `// SAFETY:` comment on this line or the \
+                         comment block above it"
+                    ),
+                });
+            }
+        }
+
+        // lock_unwrap
+        if !exempt("lock_unwrap") {
+            for pat in LOCK_RESULT {
+                if code.contains(pat) {
+                    diagnostics.push(Diagnostic {
+                        path: path.to_string(),
+                        line: line_no,
+                        rule: "lock_unwrap",
+                        message: format!(
+                            "`{pat}` poison-panics the caller; use \
+                             `staged_sync::lock_recover`/`read_recover`/`write_recover` \
+                             or an `Ordered*` lock"
+                        ),
+                    });
+                }
+            }
+            if (code.contains(".unwrap()") || code.contains(".expect("))
+                && IO_CALLS.iter().any(|c| code.contains(c))
+            {
+                diagnostics.push(Diagnostic {
+                    path: path.to_string(),
+                    line: line_no,
+                    rule: "lock_unwrap",
+                    message: "`.unwrap()`/`.expect()` on an I/O result in library code; \
+                              propagate the error with `?`"
+                        .to_string(),
+                });
+            }
+        }
+
+        // raw_lock — construction of untracked lock types outside the
+        // sync crate.
+        if !in_sync_crate && !exempt("raw_lock") {
+            for pat in ["Mutex::new(", "RwLock::new("] {
+                if contains_token_prefixed(&code, pat) {
+                    diagnostics.push(Diagnostic {
+                        path: path.to_string(),
+                        line: line_no,
+                        rule: "raw_lock",
+                        message: format!(
+                            "raw `{}` outside `crates/sync`; use \
+                             `staged_sync::Ordered{}` so the lock joins the rank order",
+                            pat.trim_end_matches('('),
+                            pat.trim_end_matches("::new(")
+                        ),
+                    });
+                }
+            }
+        }
+
+        // unbounded_queue
+        if !exempt("unbounded_queue") {
+            for pat in ["SyncQueue::unbounded", "mpsc::channel"] {
+                if contains_call(&code, pat) {
+                    diagnostics.push(Diagnostic {
+                        path: path.to_string(),
+                        line: line_no,
+                        rule: "unbounded_queue",
+                        message: format!(
+                            "`{pat}` has no bound; use a bounded constructor or state the \
+                             opt-out with `// lint: allow(unbounded_queue)`"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // hot_path_alloc
+        if hot_path_open.is_some() && !allowed("hot_path_alloc") {
+            for pat in HOT_PATH_ALLOC {
+                if code.contains(pat) {
+                    diagnostics.push(Diagnostic {
+                        path: path.to_string(),
+                        line: line_no,
+                        rule: "hot_path_alloc",
+                        message: format!(
+                            "`{pat}` allocates inside a `lint: hot_path` region \
+                             (opened at line {})",
+                            hot_path_open.unwrap_or(0)
+                        ),
+                    });
+                }
+            }
+        }
+
+        // This code line consumed the comment block above it.
+        pending_allows.clear();
+        pending_safety = false;
+    }
+
+    if let Some(open) = hot_path_open {
+        diagnostics.push(Diagnostic {
+            path: path.to_string(),
+            line: open,
+            rule: "hot_path_alloc",
+            message: "`lint: hot_path` region is never closed with `lint: end_hot_path`"
+                .to_string(),
+        });
+    }
+    diagnostics
+}
+
+/// Normalizes a captured comment for directive matching: strips the
+/// doc-comment markers (`/`, `!`, `*`) and leading whitespace so a
+/// directive is recognized only when it *opens* the comment — prose
+/// that merely mentions `lint: hot_path` mid-sentence does not count.
+fn directive_text(comment: &str) -> &str {
+    comment.trim_start_matches(['/', '!', '*', ' ', '\t'])
+}
+
+/// Parses every `lint: allow(a, b)` directive out of a comment.
+fn collect_allows(comment: &str, out: &mut Vec<String>) {
+    let mut rest = comment;
+    while let Some(at) = rest.find("lint: allow(") {
+        rest = &rest[at + "lint: allow(".len()..];
+        let Some(close) = rest.find(')') else { return };
+        for rule in rest[..close].split(',') {
+            out.push(rule.trim().to_string());
+        }
+        rest = &rest[close + 1..];
+    }
+}
+
+/// Returns the flavor of `unsafe` on this line that needs a SAFETY
+/// comment, if any. `unsafe fn` declarations are the caller's contract,
+/// not an obligation discharged here, so they are exempt.
+fn unsafe_needing_comment(code: &str) -> Option<&'static str> {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(at) = code[from..].find("unsafe") {
+        let start = from + at;
+        let end = start + "unsafe".len();
+        from = end;
+        let before_ok = start == 0 || !is_ident_char(bytes[start - 1]);
+        let after_ok = end == code.len() || !is_ident_char(bytes[end]);
+        if !before_ok || !after_ok {
+            continue; // part of an identifier like `unsafe_code`
+        }
+        let rest = code[end..].trim_start();
+        if rest.starts_with("fn") && !rest[2..].starts_with(|c: char| is_ident_char(c as u8)) {
+            continue;
+        }
+        if rest.starts_with("impl") {
+            return Some("unsafe impl");
+        }
+        return Some("unsafe");
+    }
+    None
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// True when `code` calls `name` — the name appears at a token
+/// boundary and is followed by `(`, optionally with a turbofish in
+/// between, so `mpsc::channel::<u32>()` is caught but a `use` import
+/// of the same path is not.
+fn contains_call(code: &str, name: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(at) = code[from..].find(name) {
+        let start = from + at;
+        let end = start + name.len();
+        from = end;
+        if start > 0 && is_ident_char(bytes[start - 1]) {
+            continue;
+        }
+        let rest = &code[end..];
+        let rest = match rest.strip_prefix("::<") {
+            Some(generics) => match generics.find('>') {
+                Some(close) => &generics[close + 1..],
+                None => continue,
+            },
+            None => rest,
+        };
+        if rest.starts_with('(') {
+            return true;
+        }
+    }
+    false
+}
+
+/// True when `code` contains `pat` not preceded by an identifier
+/// character — so `OrderedMutex::new(` does not match `Mutex::new(`.
+fn contains_token_prefixed(code: &str, pat: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(at) = code[from..].find(pat) {
+        let start = from + at;
+        if start == 0 || !is_ident_char(bytes[start - 1]) {
+            return true;
+        }
+        from = start + pat.len();
+    }
+    false
+}
+
+/// A per-file scanner that splits each line into code (with string
+/// literals blanked out) and comment text, tracking multi-line state
+/// (block comments, raw strings).
+#[derive(Default)]
+struct Scanner {
+    in_block_comment: bool,
+    /// `Some(hashes)` while inside a raw string literal.
+    in_raw_string: Option<usize>,
+}
+
+impl Scanner {
+    /// Returns `(code, comment)` for one line. String literal contents
+    /// are replaced with spaces in `code` so patterns never match
+    /// inside them; comment text (doc or regular) lands in `comment`.
+    fn split_line(&mut self, line: &str) -> (String, String) {
+        let mut code = String::with_capacity(line.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+
+        while i < chars.len() {
+            if self.in_block_comment {
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    self.in_block_comment = false;
+                    i += 2;
+                } else {
+                    comment.push(chars[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            if let Some(hashes) = self.in_raw_string {
+                if chars[i] == '"' && chars[i + 1..].iter().take(hashes).all(|&c| c == '#') {
+                    self.in_raw_string = None;
+                    i += 1 + hashes;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+            match chars[i] {
+                '/' if chars.get(i + 1) == Some(&'/') => {
+                    comment.push_str(&line[byte_offset(line, i) + 2..]);
+                    break;
+                }
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    self.in_block_comment = true;
+                    i += 2;
+                }
+                '"' => {
+                    code.push(' ');
+                    i += 1;
+                    // Ordinary string: skip to the closing quote,
+                    // honoring escapes; unterminated = multi-line
+                    // ordinary string (treated as raw, close enough).
+                    let mut closed = false;
+                    while i < chars.len() {
+                        match chars[i] {
+                            '\\' => i += 2,
+                            '"' => {
+                                i += 1;
+                                closed = true;
+                                break;
+                            }
+                            _ => {
+                                code.push(' ');
+                                i += 1;
+                            }
+                        }
+                    }
+                    if !closed && i >= chars.len() {
+                        self.in_raw_string = Some(0);
+                    }
+                }
+                'r' | 'b' if raw_string_hashes(&chars[i..]).is_some() => {
+                    let (hashes, intro_len) =
+                        raw_string_hashes(&chars[i..]).expect("checked by guard");
+                    code.push(' ');
+                    i += intro_len;
+                    // Scan for the terminator on this same line.
+                    let mut closed = false;
+                    while i < chars.len() {
+                        if chars[i] == '"' && chars[i + 1..].iter().take(hashes).all(|&c| c == '#')
+                        {
+                            i += 1 + hashes;
+                            closed = true;
+                            break;
+                        }
+                        code.push(' ');
+                        i += 1;
+                    }
+                    if !closed {
+                        self.in_raw_string = Some(hashes);
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        // Escaped char literal: skip to closing quote.
+                        code.push(' ');
+                        i += 2;
+                        while i < chars.len() && chars[i] != '\'' {
+                            i += 1;
+                        }
+                        i += 1;
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        code.push(' ');
+                        i += 3;
+                    } else {
+                        // Lifetime: keep going, the tick is harmless.
+                        code.push('\'');
+                        i += 1;
+                    }
+                }
+                c => {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+        (code, comment)
+    }
+}
+
+/// If `chars` starts a raw (byte) string literal (`r"`, `r#"`, `br##"`,
+/// …), returns `(hash_count, intro_length)`.
+fn raw_string_hashes(chars: &[char]) -> Option<(usize, usize)> {
+    let mut i = 0;
+    if chars.first() == Some(&'b') {
+        i += 1;
+    }
+    if chars.get(i) != Some(&'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) == Some(&'"') {
+        Some((hashes, i + 1))
+    } else {
+        None
+    }
+}
+
+fn byte_offset(line: &str, char_idx: usize) -> usize {
+    line.char_indices()
+        .nth(char_idx)
+        .map_or(line.len(), |(b, _)| b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        lint_source("crates/fake/src/lib.rs", src, FileKind::Lib)
+    }
+
+    #[test]
+    fn clean_source_is_clean() {
+        assert!(lint("fn main() {}\n").is_empty());
+    }
+
+    #[test]
+    fn patterns_inside_strings_do_not_match() {
+        let src = r#"
+fn f() -> &'static str {
+    "call .lock().unwrap() and Mutex::new( and unsafe { } here"
+}
+"#;
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn patterns_inside_comments_do_not_match() {
+        let src = "// you must never call .lock().unwrap() or Mutex::new(..)\nfn f() {}\n";
+        assert!(lint(src).is_empty());
+        let src = "/* unsafe { } in a block comment\n   spanning lines */\nfn f() {}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn ordered_mutex_does_not_trip_raw_lock() {
+        let src = "static M: OrderedMutex<u8> = OrderedMutex::new(Rank::new(1), \"x\", 0);\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_on_previous_comment_block() {
+        let src = "\
+// lint: allow(raw_lock) — this is the one sanctioned place,
+// for reasons spelled out here.
+let m = Mutex::new(0);
+";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn blank_line_breaks_the_comment_block() {
+        let src = "\
+// lint: allow(raw_lock)
+
+let m = Mutex::new(0);
+";
+        assert_eq!(lint(src).len(), 1);
+    }
+
+    #[test]
+    fn test_region_exempts_lock_rules_not_safety() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn f() {
+        let g = m.lock().unwrap();
+        let q = SyncQueue::unbounded();
+        let u = unsafe { zap() };
+    }
+}
+";
+        let diags = lint(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "safety_comment");
+    }
+
+    #[test]
+    fn unsafe_fn_declaration_is_exempt() {
+        assert!(lint("unsafe fn f() {}\n").is_empty());
+        assert_eq!(lint("unsafe impl Send for X {}\n").len(), 1);
+    }
+
+    #[test]
+    fn unbalanced_hot_path_region_reported() {
+        let diags = lint("// lint: hot_path\nfn f() {}\n");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("never closed"));
+        let diags = lint("// lint: end_hot_path\nfn f() {}\n");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("without an open"));
+    }
+}

@@ -1,0 +1,43 @@
+//! `cargo xtask <command>` — workspace automation.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/xtask; the workspace root is two up.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/xtask sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = args.next().map_or_else(workspace_root, PathBuf::from);
+            let diagnostics = xtask::lint::lint_workspace(&root);
+            for d in &diagnostics {
+                println!("{d}");
+            }
+            if diagnostics.is_empty() {
+                eprintln!("xtask lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("xtask lint: {} violation(s)", diagnostics.len());
+                ExitCode::FAILURE
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown xtask command: {other}");
+            eprintln!("usage: cargo xtask lint [workspace-root]");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint [workspace-root]");
+            ExitCode::FAILURE
+        }
+    }
+}

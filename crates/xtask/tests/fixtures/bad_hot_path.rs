@@ -1,0 +1,16 @@
+// Fixture: allocation inside a marked hot-path region.
+pub struct Page {
+    parts: Vec<String>,
+}
+
+// lint: hot_path — the render loop must reuse pooled buffers.
+pub fn render(page: &Page) -> String {
+    let mut out = String::new();
+    for part in &page.parts {
+        out.push_str(&format!("<p>{}</p>", part));
+    }
+    let copy = page.parts.clone();
+    drop(copy);
+    out
+}
+// lint: end_hot_path

@@ -1,0 +1,16 @@
+// Fixture: poison-panicking lock access and swallowed I/O errors.
+use std::io::Write;
+use std::sync::{Mutex, RwLock};
+
+pub fn count(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}
+
+pub fn peek(l: &RwLock<u64>) -> u64 {
+    *l.read().expect("poisoned")
+}
+
+pub fn save(mut w: impl Write, buf: &[u8]) {
+    w.write_all(buf).unwrap();
+    w.flush().expect("flush failed");
+}

@@ -1,0 +1,16 @@
+// Fixture: raw lock construction outside crates/sync.
+use std::sync::{Mutex, RwLock};
+
+pub struct State {
+    counter: Mutex<u64>,
+    table: RwLock<Vec<u8>>,
+}
+
+impl State {
+    pub fn new() -> Self {
+        State {
+            counter: Mutex::new(0),
+            table: RwLock::new(Vec::new()),
+        }
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: an `unsafe` block with no SAFETY comment anywhere near it.
+pub fn leak(v: Vec<u8>) -> &'static [u8] {
+    let slice = unsafe { std::slice::from_raw_parts(v.as_ptr(), v.len()) };
+    std::mem::forget(v);
+    slice
+}
+
+// `unsafe impl` needs one too.
+unsafe impl Send for Wrapper {}
+
+pub struct Wrapper(*mut u8);

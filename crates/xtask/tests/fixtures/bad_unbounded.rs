@@ -1,0 +1,8 @@
+// Fixture: queue constructions that never state a bound.
+use std::sync::mpsc;
+
+pub fn build() {
+    let q: SyncQueue<u32> = SyncQueue::unbounded();
+    let (_tx, _rx) = mpsc::channel::<u32>();
+    drop(q);
+}

@@ -1,0 +1,18 @@
+// Fixture: the escape hatches — trailing allow, preceding
+// comment-block allow (covers the next code line), multi-rule allow.
+use std::sync::{mpsc, Mutex};
+
+pub fn sanctioned() {
+    let _m = Mutex::new(0u8); // lint: allow(raw_lock) — FFI boundary, rank handled by caller
+}
+
+pub fn bootstrap() -> (Mutex<u8>, mpsc::Sender<u8>) {
+    // lint: allow(raw_lock) — bootstrap path runs before the rank
+    // table is initialized; single-threaded by construction.
+    let m = Mutex::new(0u8);
+    let (tx, _rx) = mpsc::channel(); // lint: allow(unbounded_queue) — drained same call
+    (m, tx)
+}
+
+// lint: allow(raw_lock, unbounded_queue) — one directive, two rules.
+pub fn both() -> (Mutex<u8>, mpsc::Receiver<u8>) { (Mutex::new(0), mpsc::channel().1) }

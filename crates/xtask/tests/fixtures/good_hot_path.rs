@@ -1,0 +1,18 @@
+// Fixture: a clean hot-path region — sizing is fine, refcount bumps
+// are fine, and allocations outside the region are nobody's business.
+use std::sync::Arc;
+
+// lint: hot_path — per-request byte shuffling only.
+pub fn fill(buf: &mut Vec<u8>, src: &[u8], shared: &Arc<Vec<u8>>) -> Arc<Vec<u8>> {
+    buf.extend_from_slice(src);
+    Arc::clone(shared)
+}
+
+pub fn checkout() -> Vec<u8> {
+    Vec::with_capacity(4096)
+}
+// lint: end_hot_path
+
+pub fn cold_path_report(n: usize) -> String {
+    format!("{n} requests served")
+}

@@ -1,0 +1,20 @@
+// Fixture: every unsafe carries its justification.
+pub fn leak(v: Vec<u8>) -> &'static [u8] {
+    // SAFETY: the backing Vec is forgotten below, so the pointer and
+    // length stay valid for 'static.
+    let slice = unsafe { std::slice::from_raw_parts(v.as_ptr(), v.len()) };
+    std::mem::forget(v);
+    slice
+}
+
+// SAFETY: the raw pointer is only ever dereferenced on the owning
+// thread; Send is sound because ownership transfers wholesale.
+unsafe impl Send for Wrapper {}
+
+pub struct Wrapper(*mut u8);
+
+// `unsafe fn` declarations are the *caller's* obligation, not ours.
+pub unsafe fn assume_init(p: *const u8) -> u8 {
+    // SAFETY: caller promises `p` is valid (see fn contract).
+    unsafe { *p }
+}

@@ -1,0 +1,21 @@
+// Fixture: the `#[cfg(test)]` tail of a file is exempt from the lock
+// rules (tests may unwrap and build raw fixtures) but never from
+// `safety_comment`.
+use std::sync::Mutex;
+
+pub fn lib_code(m: &Mutex<u8>) -> u8 {
+    *staged_sync::lock_recover(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn unwraps_are_fine_here() {
+        let m = Mutex::new(7u8);
+        assert_eq!(*m.lock().unwrap(), 7);
+        let (_tx, _rx) = mpsc::channel::<u8>();
+    }
+}

@@ -1,0 +1,135 @@
+//! Fixture-driven self-tests for the lint pass, plus the gate that
+//! keeps the real workspace clean.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use xtask::lint::{lint_source, lint_workspace, Diagnostic, FileKind};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn lint_fixture(name: &str, kind: FileKind) -> Vec<Diagnostic> {
+    lint_source(&format!("crates/fixture/src/{name}"), &fixture(name), kind)
+}
+
+/// Rule name → count, for order-insensitive assertions.
+fn by_rule(diags: &[Diagnostic]) -> BTreeMap<&'static str, usize> {
+    let mut map = BTreeMap::new();
+    for d in diags {
+        *map.entry(d.rule).or_insert(0) += 1;
+    }
+    map
+}
+
+#[test]
+fn bad_safety_flags_block_and_impl() {
+    let diags = lint_fixture("bad_safety.rs", FileKind::Lib);
+    assert_eq!(by_rule(&diags), BTreeMap::from([("safety_comment", 2)]));
+    assert!(diags[0].message.contains("SAFETY"), "{}", diags[0]);
+    assert!(
+        diags.iter().any(|d| d.message.contains("unsafe impl")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn good_safety_is_clean() {
+    assert_eq!(lint_fixture("good_safety.rs", FileKind::Lib), vec![]);
+}
+
+#[test]
+fn bad_lock_unwrap_flags_locks_and_io() {
+    let diags = lint_fixture("bad_lock_unwrap.rs", FileKind::Lib);
+    // .lock().unwrap(), .read().expect(, write_all().unwrap(), flush().expect(
+    assert_eq!(by_rule(&diags), BTreeMap::from([("lock_unwrap", 4)]));
+}
+
+#[test]
+fn binaries_may_unwrap_io() {
+    assert_eq!(lint_fixture("bad_lock_unwrap.rs", FileKind::Bin), vec![]);
+}
+
+#[test]
+fn bad_raw_lock_flags_both_constructions() {
+    let diags = lint_fixture("bad_raw_lock.rs", FileKind::Lib);
+    assert_eq!(by_rule(&diags), BTreeMap::from([("raw_lock", 2)]));
+    assert!(
+        diags[0].message.contains("OrderedMutex"),
+        "diagnostic should point at the replacement: {}",
+        diags[0]
+    );
+}
+
+#[test]
+fn bad_hot_path_flags_alloc_calls() {
+    let diags = lint_fixture("bad_hot_path.rs", FileKind::Lib);
+    // String::new(), format!(, .clone()
+    assert_eq!(by_rule(&diags), BTreeMap::from([("hot_path_alloc", 3)]));
+    for d in &diags {
+        assert!(d.message.contains("opened at line"), "{d}");
+    }
+}
+
+#[test]
+fn good_hot_path_is_clean() {
+    assert_eq!(lint_fixture("good_hot_path.rs", FileKind::Lib), vec![]);
+}
+
+#[test]
+fn bad_unbounded_flags_queue_and_channel() {
+    let diags = lint_fixture("bad_unbounded.rs", FileKind::Lib);
+    assert_eq!(by_rule(&diags), BTreeMap::from([("unbounded_queue", 2)]));
+}
+
+#[test]
+fn allow_directives_silence_every_form() {
+    assert_eq!(lint_fixture("good_allow.rs", FileKind::Lib), vec![]);
+}
+
+#[test]
+fn test_region_exempts_lock_rules() {
+    assert_eq!(lint_fixture("test_region.rs", FileKind::Lib), vec![]);
+}
+
+#[test]
+fn test_files_skip_lock_rules_but_not_safety() {
+    let diags = lint_fixture("bad_raw_lock.rs", FileKind::Test);
+    assert_eq!(diags, vec![]);
+    let diags = lint_fixture("bad_safety.rs", FileKind::Test);
+    assert_eq!(by_rule(&diags), BTreeMap::from([("safety_comment", 2)]));
+}
+
+#[test]
+fn diagnostic_display_is_path_line_rule() {
+    let diags = lint_fixture("bad_raw_lock.rs", FileKind::Lib);
+    let line = diags[0].to_string();
+    assert!(
+        line.starts_with("crates/fixture/src/bad_raw_lock.rs:") && line.contains("[raw_lock]"),
+        "display format drifted: {line}"
+    );
+}
+
+/// The real gate: the workspace itself must stay lint-clean. This is
+/// the same check CI runs via `cargo xtask lint`.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let diags = lint_workspace(&root);
+    assert!(
+        diags.is_empty(),
+        "workspace lint violations:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
