@@ -18,12 +18,37 @@
 //!     --ebs 120 --measure-secs 8 --json target/brownout.json
 //! ```
 
-use staged_bench::{Experiment, Model};
+use staged_bench::{json_row, Experiment, Model};
 use staged_db::{BreakerConfig, FaultPlan};
+use staged_metrics::Snapshot;
 use staged_tpcw::run_workload;
-use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// One phase row for the `--json` artifact, rendered through the shared
+/// [`Snapshot`] path so the artifact and the `/metrics` exporter agree
+/// on value formatting.
+struct PhaseRow {
+    goodput_per_s: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+    degraded: u64,
+    stale_misses: u64,
+    breaker_opened: u64,
+    panics: u64,
+}
+
+impl Snapshot for PhaseRow {
+    fn fields(&self, emit: &mut dyn FnMut(&'static str, f64)) {
+        emit("goodput_per_s", self.goodput_per_s);
+        emit("p99_ms", self.p99_ms);
+        emit("mean_ms", self.mean_ms);
+        emit("degraded", self.degraded as f64);
+        emit("stale_misses", self.stale_misses as f64);
+        emit("breaker_opened", self.breaker_opened as f64);
+        emit("panics", self.panics as f64);
+    }
+}
 
 struct Phase {
     name: &'static str,
@@ -176,15 +201,19 @@ fn main() {
                 json_rows.push(',');
             }
             first_row = false;
-            let _ = write!(
-                json_rows,
-                "{{\"model\":\"{}\",\"phase\":\"{}\",\"goodput_per_s\":{:.2},\"p99_ms\":{:.2},\"mean_ms\":{:.3},\"degraded\":{degraded},\"stale_misses\":{stale_misses},\"breaker_opened\":{opened},\"panics\":{panics}}}",
-                model.label(),
-                phase.name,
-                report.goodput_per_second(),
-                report.overall_p99_ms,
-                report.overall_mean_ms,
-            );
+            let row = PhaseRow {
+                goodput_per_s: report.goodput_per_second(),
+                p99_ms: report.overall_p99_ms,
+                mean_ms: report.overall_mean_ms,
+                degraded,
+                stale_misses,
+                breaker_opened: opened,
+                panics,
+            };
+            json_rows.push_str(&json_row(
+                &[("model", model.label()), ("phase", phase.name)],
+                &row,
+            ));
             assert_eq!(
                 panics,
                 0,

@@ -18,11 +18,40 @@
 //!     --base-ebs 120 --measure-secs 10 --queue-factor 4 --deadline-ms 2000
 //! ```
 
-use staged_bench::{run_model, Experiment, Model};
+use staged_bench::{json_row, run_model, Experiment, Model};
 use staged_core::ShedPoint;
 use staged_db::FaultPlan;
-use std::fmt::Write as _;
+use staged_metrics::Snapshot;
 use std::time::Duration;
+
+/// One sweep row for the `--json` artifact, rendered through the shared
+/// [`Snapshot`] path so the artifact and the `/metrics` exporter agree
+/// on value formatting.
+struct LevelRow {
+    load: usize,
+    ebs: usize,
+    goodput_per_s: f64,
+    shed_rate: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+    sheds: u64,
+    deadline_expired: u64,
+    panics: u64,
+}
+
+impl Snapshot for LevelRow {
+    fn fields(&self, emit: &mut dyn FnMut(&'static str, f64)) {
+        emit("load", self.load as f64);
+        emit("ebs", self.ebs as f64);
+        emit("goodput_per_s", self.goodput_per_s);
+        emit("shed_rate", self.shed_rate);
+        emit("p99_ms", self.p99_ms);
+        emit("mean_ms", self.mean_ms);
+        emit("sheds", self.sheds as f64);
+        emit("deadline_expired", self.deadline_expired as f64);
+        emit("panics", self.panics as f64);
+    }
+}
 
 struct Args {
     exp: Experiment,
@@ -183,18 +212,18 @@ fn main() {
                 json_rows.push(',');
             }
             first_row = false;
-            let _ = write!(
-                json_rows,
-                "{{\"load\":{level},\"model\":\"{}\",\"ebs\":{},\"goodput_per_s\":{:.2},\"shed_rate\":{:.4},\"p99_ms\":{:.2},\"mean_ms\":{:.3},\"sheds\":{},\"deadline_expired\":{},\"panics\":{panics}}}",
-                model.label(),
-                exp.ebs,
-                report.goodput_per_second(),
-                report.shed_rate(),
-                report.overall_p99_ms,
-                report.overall_mean_ms,
-                stats.total_sheds(),
-                stats.deadline_expired.value(),
-            );
+            let row = LevelRow {
+                load: level,
+                ebs: exp.ebs,
+                goodput_per_s: report.goodput_per_second(),
+                shed_rate: report.shed_rate(),
+                p99_ms: report.overall_p99_ms,
+                mean_ms: report.overall_mean_ms,
+                sheds: stats.total_sheds(),
+                deadline_expired: stats.deadline_expired.value(),
+                panics,
+            };
+            json_rows.push_str(&json_row(&[("model", model.label())], &row));
             outcome.server.shutdown();
         }
     }

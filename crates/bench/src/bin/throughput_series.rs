@@ -15,10 +15,9 @@
 //! allocations/request against a previously written `--json` artifact
 //! and exits non-zero on a >20 % regression — the CI bench-smoke gate.
 
-use staged_bench::{print_series, run_model_with, Experiment, Model};
+use staged_bench::{json_row, print_series, run_model_with, Experiment, Model};
 use staged_core::RequestKind;
-use staged_metrics::SeriesPoint;
-use std::fmt::Write as _;
+use staged_metrics::{SeriesPoint, Snapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -173,12 +172,34 @@ fn merge(a: &[SeriesPoint], b: &[SeriesPoint]) -> Vec<SeriesPoint> {
 
 struct ModelRow {
     model: Model,
+    ebs: usize,
     requests_per_s: f64,
     p50_ms: f64,
     p99_ms: f64,
     mean_ms: f64,
     total_requests: u64,
     allocs_per_request: f64,
+}
+
+/// The `--json` artifact row shares the exporter's serialization path:
+/// every numeric field is enumerated once here and rendered by
+/// [`Snapshot::encode_json`]. `alloc_counting` is 1/0 (the trait emits
+/// numbers); `--check-baseline` accepts both that and the older
+/// `true`/`false` artifacts.
+impl Snapshot for ModelRow {
+    fn fields(&self, emit: &mut dyn FnMut(&'static str, f64)) {
+        emit("ebs", self.ebs as f64);
+        emit("requests_per_s", self.requests_per_s);
+        emit("p50_ms", self.p50_ms);
+        emit("p99_ms", self.p99_ms);
+        emit("mean_ms", self.mean_ms);
+        emit("total_requests", self.total_requests as f64);
+        emit("allocs_per_request", self.allocs_per_request);
+        emit(
+            "alloc_counting",
+            if alloc_count::enabled() { 1.0 } else { 0.0 },
+        );
+    }
 }
 
 /// Pulls one numeric field out of a `--json` artifact previously
@@ -226,6 +247,7 @@ fn main() {
         let total = report.total_interactions;
         rows.push(ModelRow {
             model,
+            ebs: args.exp.ebs,
             requests_per_s: report.goodput_per_second(),
             p50_ms: report.overall_p50_ms,
             p99_ms: report.overall_p99_ms,
@@ -312,19 +334,7 @@ fn main() {
         if i > 0 {
             json_rows.push(',');
         }
-        let _ = write!(
-            json_rows,
-            "{{\"model\":\"{}\",\"ebs\":{},\"requests_per_s\":{:.2},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"mean_ms\":{:.3},\"total_requests\":{},\"allocs_per_request\":{:.2},\"alloc_counting\":{}}}",
-            row.model.label(),
-            args.exp.ebs,
-            row.requests_per_s,
-            row.p50_ms,
-            row.p99_ms,
-            row.mean_ms,
-            row.total_requests,
-            row.allocs_per_request,
-            alloc_count::enabled(),
-        );
+        json_rows.push_str(&json_row(&[("model", row.model.label())], row));
     }
     json_rows.push(']');
 
@@ -339,7 +349,8 @@ fn main() {
 
     if let Some(path) = &args.check_baseline {
         let baseline = std::fs::read_to_string(path).expect("read --check-baseline file");
-        let base_counting = baseline.contains("\"alloc_counting\":true");
+        let base_counting = baseline.contains("\"alloc_counting\":true")
+            || baseline.contains("\"alloc_counting\":1");
         let base_allocs = baseline_field(&baseline, "modified", "allocs_per_request")
             .expect("baseline has allocs_per_request for the modified server");
         let current = rows

@@ -11,10 +11,11 @@
 
 use staged_core::{BaselineServer, ServerConfig, ServerHandle, StagedServer};
 use staged_db::{CostModel, Database};
-use staged_metrics::SeriesPoint;
+use staged_metrics::{SeriesPoint, Snapshot};
 use staged_pool::QueueSampler;
 use staged_tpcw::{build_app, populate, run_workload, ScaleConfig, WorkloadConfig, WorkloadReport};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -270,6 +271,23 @@ pub fn run_model_with(
         server,
         queue_traces,
     }
+}
+
+/// Builds one row of a `--json` artifact: string tags first (model,
+/// phase, …), then the numeric fields of `snap` rendered through the
+/// shared [`Snapshot`] encoding — the same field enumeration and value
+/// formatter the `/metrics` exporter uses, so bench artifacts cannot
+/// drift from the exposition field-by-field.
+pub fn json_row(tags: &[(&str, &str)], snap: &dyn Snapshot) -> String {
+    let mut body = String::new();
+    snap.encode_json(&mut body).expect("string write");
+    let mut row = String::from("{");
+    for (key, value) in tags {
+        let _ = write!(row, "\"{key}\":\"{value}\",");
+    }
+    // Splice the snapshot's own object body after the tags.
+    row.push_str(body.trim_start_matches('{'));
+    row
 }
 
 /// Prints a `(time, value)` series as aligned text, one row per bucket —

@@ -3,13 +3,15 @@
 use crate::app::{App, PageOutcome};
 use crate::config::ServerConfig;
 use crate::error::AppError;
-use crate::handle::{FaultFn, GaugeFn, ServerHandle};
+use crate::handle::{FaultFn, ServerHandle};
 use crate::health::{self, HealthView, Readiness};
 use crate::overload::{overload_response, ChaosAction, DbSlot, RetryEstimator};
 use crate::scheduler::{RequestClass, ServiceTimeTracker};
+use crate::staged::{register_page_tracker, register_pool, register_stage};
 use crate::stats::{RequestKind, ServerStats, ShedPoint};
 use staged_db::{CircuitBreaker, ConnectionPool, Database, PooledConnection};
 use staged_http::{Connection, HttpError, ParseLimits, Request, Response, StatusCode};
+use staged_metrics::Registry;
 use staged_pool::{PoolConfig, PoolStats, PushError, SyncQueue, WorkerPool};
 use std::io;
 use std::net::{TcpListener, TcpStream};
@@ -36,24 +38,21 @@ struct WorkerCtx {
     readiness: Arc<Readiness>,
     /// The database circuit breaker, surfaced in the health payloads.
     breaker: Option<Arc<CircuitBreaker>>,
+    /// The metrics registry; `/metrics` and `/healthz` both read it.
+    registry: Arc<Registry>,
     /// Set when shutdown begins: keep-alive connections are closed
     /// after their in-flight response instead of being read again.
     draining: Arc<AtomicBool>,
 }
 
 impl WorkerCtx {
-    /// Builds the health payload from the live server structure. The
-    /// baseline has one queue, one pool, and no reserve scheduler.
+    /// Builds the health payload from the metrics registry. The
+    /// baseline registers one queue, one pool, and no scheduler gauges.
     fn health_response(&self, path: &str) -> Response {
-        let queues = [("worker", self.queue.len())];
-        let pools: [(&'static str, &PoolStats); 1] = [("baseline-worker", &self.pool_stats)];
         let view = HealthView {
             phase: self.readiness.phase(),
             breaker: self.breaker.as_deref(),
-            queues: &queues,
-            scheduler: None,
-            stats: &self.stats,
-            pools: &pools,
+            registry: &self.registry,
         };
         if path == "/readyz" {
             view.readyz(self.retry.advise())
@@ -120,6 +119,16 @@ impl BaselineServer {
         ));
         let pool_stats = Arc::new(PoolStats::default());
 
+        // One registry for `/metrics`, `/healthz`, and the handle's
+        // accessors — the baseline registers its single stage and pool
+        // under the same family names the staged server uses, so
+        // dashboards and the bench bins read both models identically.
+        let registry = Arc::new(Registry::new());
+        register_stage(&registry, "worker", &queue);
+        register_pool(&registry, "baseline-worker", "worker", &pool_stats);
+        stats.register_into(&registry);
+        register_page_tracker(&registry, &tracker);
+
         let retry = {
             let q = Arc::clone(&queue);
             let st = Arc::clone(&stats);
@@ -141,6 +150,7 @@ impl BaselineServer {
             pool_stats: Arc::clone(&pool_stats),
             readiness: Arc::clone(&readiness),
             breaker: breaker.clone(),
+            registry: Arc::clone(&registry),
             draining: Arc::clone(&draining),
         });
 
@@ -172,10 +182,9 @@ impl BaselineServer {
             },
         );
 
-        let gauge_queue = Arc::clone(&queue);
-        let gauges: Vec<(String, GaugeFn)> =
-            vec![("worker".to_string(), Arc::new(move || gauge_queue.len()))];
-        let pools = vec![("baseline-worker".to_string(), Arc::clone(&pool_stats))];
+        // Legacy gauge name for `ServerHandle::gauge_names`, mapped to
+        // `stage_queue_depth{stage="worker"}` by the handle.
+        let gauge_names = vec!["worker".to_string()];
 
         let stop = Arc::new(AtomicBool::new(false));
         let listener_stop = Arc::clone(&stop);
@@ -265,7 +274,15 @@ impl BaselineServer {
         });
 
         Ok(ServerHandle::new(
-            addr, stats, tracker, gauges, pools, readiness, set_fault, breaker, shutdown,
+            addr,
+            stats,
+            tracker,
+            registry,
+            gauge_names,
+            readiness,
+            set_fault,
+            breaker,
+            shutdown,
         ))
     }
 }
@@ -294,8 +311,16 @@ fn serve_connection(stream: TcpStream, slot: &mut DbSlot, ctx: &WorkerCtx) {
         // Health endpoints are answered ahead of routing, without a
         // database round trip, and without counting as completions —
         // monitoring traffic must not skew the goodput series.
-        if health::is_health_path(request.path()) {
-            let response = ctx.health_response(request.path());
+        if health::is_health_path(request.path()) || health::is_observability_path(request.path()) {
+            let response = if health::is_health_path(request.path()) {
+                ctx.health_response(request.path())
+            } else if request.path() == "/metrics" {
+                Response::metrics_text(ctx.registry.encode_prometheus())
+            } else {
+                // The baseline is untraced (preserving the paper's
+                // model comparison); the ring is always empty.
+                Response::with_content_type("application/json", "{\"traces\":[]}")
+            };
             if conn.send_for_method(request.method(), &response).is_err() {
                 ctx.stats.dropped_connections.increment();
                 return;

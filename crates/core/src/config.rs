@@ -139,6 +139,10 @@ pub struct ServerConfig {
     /// (see [`crate::ServerHandle`]) waits for queued and in-flight
     /// requests to finish before force-joining the pools.
     pub drain_deadline: Duration,
+    /// Capacity of the slowest-trace ring served by `GET /debug/traces`
+    /// (the N slowest served requests keep their full stage timeline).
+    /// `0` disables trace retention; outcome counters still work.
+    pub trace_ring: usize,
 }
 
 impl Default for ServerConfig {
@@ -181,6 +185,7 @@ impl Default for ServerConfig {
             stale_ttl: Duration::from_secs(30),
             stale_capacity: 256,
             drain_deadline: Duration::from_secs(5),
+            trace_ring: 32,
         }
     }
 }

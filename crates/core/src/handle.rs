@@ -4,18 +4,17 @@ use crate::health::Readiness;
 use crate::scheduler::ServiceTimeTracker;
 use crate::stats::ServerStats;
 use staged_db::{CircuitBreaker, FaultPlan};
+use staged_metrics::{Registry, Snapshot};
 use std::fmt;
 use std::net::SocketAddr;
 use std::sync::Arc;
-
-/// A gauge closure reporting a live queue length.
-pub(crate) type GaugeFn = Arc<dyn Fn() -> usize + Send + Sync>;
 
 /// A closure that swaps the server's database fault plan at runtime.
 pub(crate) type FaultFn = Arc<dyn Fn(Option<FaultPlan>) + Send + Sync>;
 
 /// A point-in-time view of one worker pool's health, for overload and
-/// fault-injection reporting.
+/// fault-injection reporting. Derived from the registry's
+/// `pool_*{pool=…}` families by [`ServerHandle::pool_snapshots`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolSnapshot {
     /// Pool name (matches the pool's thread-name prefix).
@@ -30,8 +29,25 @@ pub struct PoolSnapshot {
     pub busy: usize,
 }
 
-/// A running server: its address, statistics, live queue gauges, and
+impl Snapshot for PoolSnapshot {
+    fn fields(&self, emit: &mut dyn FnMut(&'static str, f64)) {
+        emit("completed", self.completed as f64);
+        emit("panicked", self.panicked as f64);
+        emit("rejected", self.rejected as f64);
+        emit("busy", self.busy as f64);
+    }
+}
+
+/// A running server: its address, statistics, metrics registry, and
 /// shutdown control.
+///
+/// All introspection flows through one [`Registry`]
+/// ([`ServerHandle::registry`]): queue depths, scheduler gauges, pool
+/// counters, latency histograms. `/healthz`, `/metrics`, and the bench
+/// bins read the same surface. The name-based accessors
+/// ([`ServerHandle::gauge`], [`ServerHandle::gauge_fn`],
+/// [`ServerHandle::pool_snapshots`]) remain as thin views over the
+/// registry for existing callers.
 ///
 /// Dropping the handle also shuts the server down (without blocking on
 /// worker joins; call [`ServerHandle::shutdown`] for a fully joined
@@ -40,8 +56,10 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stats: Arc<ServerStats>,
     tracker: Arc<ServiceTimeTracker>,
-    gauges: Vec<(String, GaugeFn)>,
-    pools: Vec<(String, Arc<staged_pool::PoolStats>)>,
+    registry: Arc<Registry>,
+    /// Legacy gauge names, in registration order, backing
+    /// [`ServerHandle::gauge_names`].
+    gauge_names: Vec<String>,
     readiness: Arc<Readiness>,
     set_fault: FaultFn,
     breaker: Option<Arc<CircuitBreaker>>,
@@ -57,6 +75,17 @@ impl fmt::Debug for ServerHandle {
     }
 }
 
+/// Maps a legacy gauge name to its registry coordinates: the scheduler
+/// gauges have their own families, everything else is a stage queue
+/// depth.
+fn gauge_coords(name: &str) -> (&'static str, Vec<(&'static str, &str)>) {
+    match name {
+        "tspare" => ("scheduler_t_spare", Vec::new()),
+        "treserve" => ("scheduler_t_reserve", Vec::new()),
+        _ => ("stage_queue_depth", vec![("stage", name)]),
+    }
+}
+
 impl ServerHandle {
     // A private constructor with one caller per server; a builder would
     // be ceremony without benefit.
@@ -65,8 +94,8 @@ impl ServerHandle {
         addr: SocketAddr,
         stats: Arc<ServerStats>,
         tracker: Arc<ServiceTimeTracker>,
-        gauges: Vec<(String, GaugeFn)>,
-        pools: Vec<(String, Arc<staged_pool::PoolStats>)>,
+        registry: Arc<Registry>,
+        gauge_names: Vec<String>,
         readiness: Arc<Readiness>,
         set_fault: FaultFn,
         breaker: Option<Arc<CircuitBreaker>>,
@@ -76,13 +105,20 @@ impl ServerHandle {
             addr,
             stats,
             tracker,
-            gauges,
-            pools,
+            registry,
+            gauge_names,
             readiness,
             set_fault,
             breaker,
             shutdown: Some(shutdown),
         }
+    }
+
+    /// The server's metrics registry — queue depths, scheduler gauges,
+    /// per-pool counters, and latency histograms under one roof. This
+    /// is what `GET /metrics` encodes.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// The server's lifecycle phase, as `/readyz` reports it. Flips to
@@ -129,42 +165,62 @@ impl ServerHandle {
     /// `"header"`, `"static"`, `"general"`, `"lengthy"`, `"render"`
     /// (plus `"render-lengthy"` when the render split is on) and the
     /// scheduler gauges `"treserve"` and `"tspare"`.
+    ///
+    /// Deprecated view: new code should read
+    /// `stage_queue_depth{stage=…}` / `scheduler_t_spare` /
+    /// `scheduler_t_reserve` from [`ServerHandle::registry`] instead.
     pub fn gauge_names(&self) -> Vec<&str> {
-        self.gauges.iter().map(|(n, _)| n.as_str()).collect()
+        self.gauge_names.iter().map(String::as_str).collect()
     }
 
     /// Current value of a named queue gauge.
+    ///
+    /// Deprecated view over [`ServerHandle::registry`]; see
+    /// [`ServerHandle::gauge_names`] for the name → registry mapping.
     pub fn gauge(&self, name: &str) -> Option<usize> {
-        self.gauges
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, f)| f())
+        if !self.gauge_names.iter().any(|n| n == name) {
+            return None;
+        }
+        let (metric, labels) = gauge_coords(name);
+        let v = self.registry.value(metric, &labels)?;
+        Some(v.max(0.0) as usize)
     }
 
     /// A shareable closure for a named gauge, suitable for
     /// `staged_pool::QueueSampler::track`.
+    ///
+    /// Deprecated view over [`ServerHandle::registry`]; new code should
+    /// use [`Registry::gauge_read`] directly.
     pub fn gauge_fn(&self, name: &str) -> Option<impl Fn() -> usize + Send + Sync + 'static> {
-        let f = self
-            .gauges
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, f)| Arc::clone(f))?;
-        Some(move || f())
+        if !self.gauge_names.iter().any(|n| n == name) {
+            return None;
+        }
+        let (metric, labels) = gauge_coords(name);
+        let read = self.registry.gauge_read(metric, &labels)?;
+        Some(move || read().max(0.0) as usize)
     }
 
     /// Point-in-time health of every worker pool: completions, panics
     /// survived, and capacity rejections (sheds). The baseline server
     /// reports one pool; the staged server reports all five (six with
     /// the render split).
+    ///
+    /// Derived from the registry's `pool_*{pool=…}` families.
     pub fn pool_snapshots(&self) -> Vec<PoolSnapshot> {
-        self.pools
-            .iter()
-            .map(|(name, stats)| PoolSnapshot {
-                name: name.clone(),
-                completed: stats.completed.value(),
-                panicked: stats.panicked.value(),
-                rejected: stats.rejected.value(),
-                busy: usize::try_from(stats.busy.value().max(0)).unwrap_or(0),
+        self.registry
+            .label_values("pool_completed_total", "pool")
+            .into_iter()
+            .map(|name| {
+                let labels = [("pool", name.as_str())];
+                let read =
+                    |metric: &str| self.registry.value(metric, &labels).unwrap_or(0.0).max(0.0);
+                PoolSnapshot {
+                    completed: read("pool_completed_total") as u64,
+                    panicked: read("pool_panics_total") as u64,
+                    rejected: read("pool_rejected_total") as u64,
+                    busy: read("pool_busy_workers") as usize,
+                    name,
+                }
             })
             .collect()
     }

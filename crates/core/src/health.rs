@@ -8,13 +8,15 @@
 //! flips to `503` while the server is starting or draining, which is
 //! what a load balancer keys on.
 //!
-//! The JSON is assembled by hand: this repo deliberately has no JSON
-//! dependency (see DESIGN.md §7), and every value here is a number or
-//! a fixed label, so escaping is a non-issue.
+//! The payload is rendered from the server's metrics [`Registry`] — the
+//! same families `GET /metrics` exports — so the two surfaces cannot
+//! disagree. The JSON is assembled by hand: this repo deliberately has
+//! no JSON dependency (see DESIGN.md §7), and every value here is a
+//! number or a fixed label, so escaping is a non-issue.
 
-use crate::stats::{ServerStats, ShedPoint};
 use staged_db::CircuitBreaker;
 use staged_http::{Response, StatusCode};
+use staged_metrics::Registry;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::time::Duration;
@@ -80,22 +82,29 @@ impl Readiness {
     }
 }
 
-/// Everything one health payload is rendered from. Each server
-/// assembles this from its own stage structure.
+/// Everything one health payload is rendered from: the lifecycle phase,
+/// the breaker (which has richer state than a gauge), and the metrics
+/// registry both servers populate at start.
 pub(crate) struct HealthView<'a> {
     pub phase: Phase,
     pub breaker: Option<&'a CircuitBreaker>,
-    /// `(queue name, depth)` pairs, in pipeline order.
-    pub queues: &'a [(&'static str, usize)],
-    /// `(t_spare, t_reserve)`; `None` on the baseline server, which has
-    /// no reserve scheduler.
-    pub scheduler: Option<(usize, usize)>,
-    pub stats: &'a ServerStats,
-    /// `(pool name, stats)` pairs, in pipeline order.
-    pub pools: &'a [(&'static str, &'a staged_pool::PoolStats)],
+    pub registry: &'a Registry,
 }
 
 impl HealthView<'_> {
+    fn counter(&self, name: &str) -> u64 {
+        self.registry.value(name, &[]).unwrap_or(0.0).max(0.0) as u64
+    }
+
+    /// Sums a labelled family — e.g. total completions across classes.
+    fn family_sum(&self, name: &str) -> u64 {
+        self.registry
+            .samples(name)
+            .iter()
+            .map(|(_, v)| v.max(0.0))
+            .sum::<f64>() as u64
+    }
+
     fn body(&self) -> String {
         let mut s = String::with_capacity(512);
         let _ = write!(
@@ -119,53 +128,85 @@ impl HealthView<'_> {
             None => s.push_str(",\"breaker\":null"),
         }
         s.push_str(",\"queues\":{");
-        for (i, (name, depth)) in self.queues.iter().enumerate() {
+        for (i, stage) in self
+            .registry
+            .label_values("stage_queue_depth", "stage")
+            .iter()
+            .enumerate()
+        {
             if i > 0 {
                 s.push(',');
             }
-            let _ = write!(s, "\"{name}\":{depth}");
+            let depth = self
+                .registry
+                .value("stage_queue_depth", &[("stage", stage)])
+                .unwrap_or(0.0)
+                .max(0.0) as u64;
+            let _ = write!(s, "\"{stage}\":{depth}");
         }
         s.push('}');
-        if let Some((t_spare, t_reserve)) = self.scheduler {
+        if let (Some(t_spare), Some(t_reserve)) = (
+            self.registry.value("scheduler_t_spare", &[]),
+            self.registry.value("scheduler_t_reserve", &[]),
+        ) {
             let _ = write!(
                 s,
-                ",\"scheduler\":{{\"t_spare\":{t_spare},\"t_reserve\":{t_reserve}}}"
+                ",\"scheduler\":{{\"t_spare\":{},\"t_reserve\":{}}}",
+                t_spare.max(0.0) as u64,
+                t_reserve.max(0.0) as u64
             );
         }
-        let st = self.stats;
         let _ = write!(
             s,
             ",\"counters\":{{\"completed\":{},\"errors\":{},\"degraded\":{},\"stale_misses\":{},\"deadline_expired\":{},\"pool_starved\":{},\"handler_panics\":{},\"dropped_connections\":{}}}",
-            st.total_completed(),
-            st.errors.value(),
-            st.degraded.value(),
-            st.stale_misses.value(),
-            st.deadline_expired.value(),
-            st.pool_starved.value(),
-            st.handler_panics.value(),
-            st.dropped_connections.value()
+            self.family_sum("requests_completed_total"),
+            self.counter("errors_total"),
+            self.counter("degraded_total"),
+            self.counter("stale_misses_total"),
+            self.counter("deadline_expired_total"),
+            self.counter("pool_starved_total"),
+            self.counter("handler_panics_total"),
+            self.counter("dropped_connections_total")
         );
         s.push_str(",\"sheds\":{");
-        for (i, point) in ShedPoint::ALL.iter().enumerate() {
+        for (i, point) in self
+            .registry
+            .label_values("sheds_total", "point")
+            .iter()
+            .enumerate()
+        {
             if i > 0 {
                 s.push(',');
             }
-            let _ = write!(s, "\"{}\":{}", point.label(), st.shed(*point));
+            let n = self
+                .registry
+                .value("sheds_total", &[("point", point)])
+                .unwrap_or(0.0)
+                .max(0.0) as u64;
+            let _ = write!(s, "\"{point}\":{n}");
         }
         s.push('}');
         s.push_str(",\"pools\":[");
-        for (i, (name, pool)) in self.pools.iter().enumerate() {
+        for (i, pool) in self
+            .registry
+            .label_values("pool_completed_total", "pool")
+            .iter()
+            .enumerate()
+        {
             if i > 0 {
                 s.push(',');
             }
+            let labels = [("pool", pool.as_str())];
+            let read =
+                |metric: &str| self.registry.value(metric, &labels).unwrap_or(0.0).max(0.0) as u64;
             let _ = write!(
                 s,
                 "{{\"name\":\"{}\",\"completed\":{},\"panicked\":{},\"rejected\":{},\"busy\":{}}}",
-                name,
-                pool.completed.value(),
-                pool.panicked.value(),
-                pool.rejected.value(),
-                pool.busy.value().max(0)
+                pool,
+                read("pool_completed_total"),
+                read("pool_panics_total"),
+                read("pool_rejected_total"),
+                read("pool_busy_workers")
             );
         }
         s.push_str("]}");
@@ -198,36 +239,72 @@ pub(crate) fn is_health_path(path: &str) -> bool {
     path == "/healthz" || path == "/readyz"
 }
 
+/// Whether a request path is one of the observability endpoints
+/// (`/metrics` Prometheus exposition, `/debug/traces` slow-trace ring),
+/// matched alongside the health paths ahead of routing.
+pub(crate) fn is_observability_path(path: &str) -> bool {
+    path == "/metrics" || path == "/debug/traces"
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use staged_pool::PoolStats;
+    use std::sync::Arc;
     use std::time::Duration;
 
-    fn view<'a>(
-        phase: Phase,
-        stats: &'a ServerStats,
-        pools: &'a [(&'static str, &'a PoolStats)],
-        queues: &'a [(&'static str, usize)],
-    ) -> HealthView<'a> {
-        HealthView {
-            phase,
-            breaker: None,
-            queues,
-            scheduler: Some((3, 1)),
-            stats,
-            pools,
-        }
+    /// Builds a registry shaped like the staged server's: stage depth
+    /// gauges, scheduler gauges, stats counters, and one pool family.
+    fn populated_registry() -> Registry {
+        let r = Registry::new();
+        r.gauge_fn("stage_queue_depth", &[("stage", "header")], || 2.0);
+        r.gauge_fn("stage_queue_depth", &[("stage", "render")], || 0.0);
+        r.gauge_fn("scheduler_t_spare", &[], || 3.0);
+        r.gauge_fn("scheduler_t_reserve", &[], || 1.0);
+        r.counter_fn("requests_completed_total", &[("class", "static")], || 4);
+        r.counter_fn(
+            "requests_completed_total",
+            &[("class", "quick-dynamic")],
+            || 6,
+        );
+        r.counter_fn("errors_total", &[], || 0);
+        r.counter_fn("degraded_total", &[], || 1);
+        r.counter_fn("stale_misses_total", &[], || 0);
+        r.counter_fn("deadline_expired_total", &[], || 0);
+        r.counter_fn("pool_starved_total", &[], || 0);
+        r.counter_fn("handler_panics_total", &[], || 0);
+        r.counter_fn("dropped_connections_total", &[], || 0);
+        r.counter_fn("sheds_total", &[("point", "listener")], || 5);
+        let pool = Arc::new(PoolStats::default());
+        pool.completed.add(9);
+        let p = Arc::clone(&pool);
+        r.counter_fn("pool_completed_total", &[("pool", "general-dynamic")], {
+            let p = Arc::clone(&p);
+            move || p.completed.value()
+        });
+        r.counter_fn("pool_panics_total", &[("pool", "general-dynamic")], {
+            let p = Arc::clone(&p);
+            move || p.panicked.value()
+        });
+        r.counter_fn("pool_rejected_total", &[("pool", "general-dynamic")], {
+            let p = Arc::clone(&p);
+            move || p.rejected.value()
+        });
+        r.gauge_fn("pool_busy_workers", &[("pool", "general-dynamic")], {
+            let p = Arc::clone(&p);
+            move || p.busy.value() as f64
+        });
+        r
     }
 
     #[test]
     fn healthz_payload_is_wellformed() {
-        let stats = ServerStats::new(Duration::from_secs(1));
-        stats.degraded.increment();
-        let pool = PoolStats::default();
-        let pools = [("general-dynamic", &pool)];
-        let queues = [("header", 2usize), ("render", 0usize)];
-        let v = view(Phase::Ready, &stats, &pools, &queues);
+        let registry = populated_registry();
+        let v = HealthView {
+            phase: Phase::Ready,
+            breaker: None,
+            registry: &registry,
+        };
         let resp = v.healthz();
         assert_eq!(resp.status(), StatusCode::OK);
         assert_eq!(resp.headers().get("content-type"), Some("application/json"));
@@ -237,38 +314,47 @@ mod tests {
         assert!(body.contains("\"breaker\":null"), "{body}");
         assert!(body.contains("\"header\":2"), "{body}");
         assert!(body.contains("\"t_spare\":3"), "{body}");
+        assert!(body.contains("\"completed\":10"), "{body}");
         assert!(body.contains("\"degraded\":1"), "{body}");
+        assert!(body.contains("\"listener\":5"), "{body}");
         assert!(body.contains("\"name\":\"general-dynamic\""), "{body}");
+        assert!(body.contains("\"completed\":9"), "{body}");
     }
 
     #[test]
     fn readyz_rejects_outside_ready_phase() {
-        let stats = ServerStats::new(Duration::from_secs(1));
-        let v = view(Phase::Draining, &stats, &[], &[]);
+        let registry = Registry::new();
+        let v = HealthView {
+            phase: Phase::Draining,
+            breaker: None,
+            registry: &registry,
+        };
         let resp = v.readyz(Duration::from_secs(2));
         assert_eq!(resp.status(), StatusCode::SERVICE_UNAVAILABLE);
         assert_eq!(resp.headers().get("retry-after"), Some("2"));
         let body = String::from_utf8(resp.body().to_vec()).unwrap();
         assert!(body.contains("\"phase\":\"draining\""), "{body}");
 
-        let v = view(Phase::Ready, &stats, &[], &[]);
+        let v = HealthView {
+            phase: Phase::Ready,
+            breaker: None,
+            registry: &registry,
+        };
         assert_eq!(v.readyz(Duration::from_secs(2)).status(), StatusCode::OK);
     }
 
     #[test]
     fn breaker_state_appears_in_payload() {
-        let stats = ServerStats::new(Duration::from_secs(1));
+        let registry = Registry::new();
         let breaker = CircuitBreaker::new(staged_db::BreakerConfig::default());
         let v = HealthView {
             phase: Phase::Ready,
             breaker: Some(&breaker),
-            queues: &[],
-            scheduler: None,
-            stats: &stats,
-            pools: &[],
+            registry: &registry,
         };
         let body = String::from_utf8(v.healthz().body().to_vec()).unwrap();
         assert!(body.contains("\"state\":\"closed\""), "{body}");
+        // No scheduler gauges registered → no scheduler object at all.
         assert!(!body.contains("scheduler"), "{body}");
     }
 
@@ -290,5 +376,14 @@ mod tests {
         assert!(is_health_path("/readyz"));
         assert!(!is_health_path("/health"));
         assert!(!is_health_path("/healthz/x"));
+    }
+
+    #[test]
+    fn observability_paths_matched_exactly() {
+        assert!(is_observability_path("/metrics"));
+        assert!(is_observability_path("/debug/traces"));
+        assert!(!is_observability_path("/metrics/"));
+        assert!(!is_observability_path("/debug"));
+        assert!(!is_health_path("/metrics"));
     }
 }

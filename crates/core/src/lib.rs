@@ -75,7 +75,11 @@ pub use health::{Phase, Readiness};
 pub use overload::{ChaosAction, ListenerChaos};
 pub use scheduler::{DynamicPoolChoice, RequestClass, ReserveController, ServiceTimeTracker};
 pub use staged::StagedServer;
-pub use stats::{RequestKind, ServerStats, ShedPoint};
+pub use stats::{RequestKind, ServerStats, ShedPoint, StatsSnapshot};
+
+// Re-exported so callers can consume `ServerHandle::registry` and the
+// shared snapshot encoding without a direct `staged_metrics` dependency.
+pub use staged_metrics::{Registry, Snapshot};
 
 // Re-exported so server configuration (`ServerConfig::breaker`) and
 // health reporting can be used without a direct `staged_db` dependency.

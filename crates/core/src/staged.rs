@@ -7,11 +7,17 @@
 //! `Retry-After` instead of queuing unboundedly (or, worse, blocking
 //! the accept loop). Static requests keep flowing while the dynamic
 //! stages saturate — graceful degradation rather than meltdown.
+//!
+//! Every request carries a pooled [`Trace`] from accept to terminal
+//! outcome, recording enqueue/dequeue/stage-done timestamps, the
+//! classifier decision, and shed/stale events. Aggregates land in the
+//! server's [`Registry`] (exported on `GET /metrics`); the slowest
+//! served traces are kept in a bounded ring (`GET /debug/traces`).
 
 use crate::app::{App, PageOutcome};
 use crate::baseline::run_handler_with_slot;
 use crate::config::ServerConfig;
-use crate::handle::{FaultFn, GaugeFn, ServerHandle};
+use crate::handle::{FaultFn, ServerHandle};
 use crate::health::{self, HealthView, Readiness};
 use crate::overload::{overload_response, ChaosAction, DbSlot, RetryEstimator};
 use crate::scheduler::{RequestClass, ReserveController, ServiceTimeTracker};
@@ -21,6 +27,7 @@ use staged_db::{CircuitBreaker, ConnectionPool, Database};
 use staged_http::{
     Connection, HeaderMap, HttpError, Method, Request, RequestLine, Response, StatusCode,
 };
+use staged_metrics::{Registry, Stage, Trace, TraceEvent, TraceHub, TraceOutcome};
 use staged_pool::{PoolConfig, PoolStats, PushError, SyncQueue, WorkerPool};
 use staged_templates::Context;
 use std::io;
@@ -36,6 +43,7 @@ type Conn = Connection<TcpStream>;
 struct TimedConn {
     conn: Conn,
     arrived: Instant,
+    trace: Trace,
 }
 
 /// A request handed from the header pool to the static pool: the header
@@ -47,6 +55,7 @@ struct StaticJob {
     line: RequestLine,
     /// Absolute deadline, set when `request_deadline` is configured.
     deadline: Option<Instant>,
+    trace: Trace,
 }
 
 /// A fully parsed dynamic request, dispatched to the general or lengthy
@@ -62,6 +71,7 @@ struct DynJob {
     /// The stale-cache key for `GET`s of cache-marked routes; `None`
     /// means this request must never be served a stale copy.
     stale_key: Option<String>,
+    trace: Trace,
 }
 
 /// An unrendered template on its way to the render pool — the payload
@@ -71,6 +81,9 @@ struct RenderJob {
     keep_alive: bool,
     method: Method,
     name: String,
+    /// The route name, carried so the trace's terminal outcome is
+    /// labelled with the page, not the template.
+    page: String,
     context: Context,
     kind: RequestKind,
     deadline: Option<Instant>,
@@ -78,6 +91,7 @@ struct RenderJob {
     /// render and fall back to a stale one when the deadline expired in
     /// its queue.
     stale_key: Option<String>,
+    trace: Trace,
 }
 
 struct Shared {
@@ -117,6 +131,11 @@ struct Shared {
     /// The database circuit breaker (shared with the connection pool),
     /// surfaced in the health payloads.
     breaker: Option<Arc<CircuitBreaker>>,
+    /// The one metrics surface: `/metrics`, `/healthz`, and the handle
+    /// all read from here.
+    registry: Arc<Registry>,
+    /// Trace pool + slow ring; every request's trace starts here.
+    trace_hub: TraceHub,
     /// Set when shutdown begins: keep-alive connections are no longer
     /// requeued, so in-flight requests finish and the stages run dry.
     draining: AtomicBool,
@@ -138,7 +157,10 @@ impl Shared {
     }
 
     /// Sends a response (honouring `HEAD`) and either requeues the
-    /// connection for its next request or drops it.
+    /// connection for its next request or drops it. The trace reaches
+    /// its terminal outcome here: `Served` on a delivered response,
+    /// `Dropped` when the client went away mid-write.
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
         mut conn: Conn,
@@ -146,44 +168,67 @@ impl Shared {
         response: &Response,
         keep_alive: bool,
         kind: RequestKind,
+        trace: Trace,
+        page: Option<&str>,
     ) {
         if conn.send_for_method(method, response).is_err() {
             self.stats.dropped_connections.increment();
+            trace.finish(TraceOutcome::Dropped, page);
             return;
         }
         self.stats.record_completion(kind);
+        trace.finish(TraceOutcome::Served, page);
         self.requeue(conn, keep_alive);
     }
 
     /// Requeues a keep-alive connection for its next request — unless
     /// the server is draining, in which case the connection is dropped
     /// after its (already sent) response so the stages can run dry.
+    ///
+    /// The next request gets a fresh trace; if the connection then
+    /// closes cleanly without sending one, that trace finishes as
+    /// `Dropped` (no response was owed).
     fn requeue(&self, conn: Conn, keep_alive: bool) {
         if !keep_alive || self.draining.load(Ordering::Relaxed) {
             return;
         }
+        let mut trace = self.trace_hub.start();
+        trace.enqueued(Stage::Parse);
         let timed = TimedConn {
             conn,
             arrived: Instant::now(),
+            trace,
         };
-        if let Err(PushError::Full(_)) = self.header_q.try_push(timed) {
+        if let Err(PushError::Full(timed)) = self.header_q.try_push(timed) {
             // The parse stage is saturated; dropping an idle
             // keep-alive connection is cheaper than any request it
             // might send later.
             self.header_stats.rejected.increment();
             self.stats.record_shed(ShedPoint::KeepAlive);
+            let mut trace = timed.trace;
+            trace.note(TraceEvent::Shed);
+            trace.finish(TraceOutcome::Shed, None);
         }
     }
 
     /// Serves `/healthz` or `/readyz` from the header stage. Health
     /// probes are not completions: monitoring traffic must not skew the
     /// goodput series the experiments plot.
-    fn serve_health(&self, mut conn: Conn, method: Method, path: &str, keep_alive: bool) {
+    fn serve_health(
+        &self,
+        mut conn: Conn,
+        method: Method,
+        path: &str,
+        keep_alive: bool,
+        trace: Trace,
+    ) {
         let response = self.health_response(path);
         if conn.send_for_method(method, &response).is_err() {
             self.stats.dropped_connections.increment();
+            trace.finish(TraceOutcome::Dropped, None);
             return;
         }
+        trace.finish(TraceOutcome::Probe, None);
         let closed = response
             .headers()
             .get("connection")
@@ -191,35 +236,39 @@ impl Shared {
         self.requeue(conn, keep_alive && !closed);
     }
 
-    /// Builds the health payload from the live stage structure.
+    /// Serves `/metrics` (Prometheus text exposition) or `/debug/traces`
+    /// (the slow-trace ring as JSON). Like health probes, these are not
+    /// completions.
+    fn serve_observability(
+        &self,
+        mut conn: Conn,
+        method: Method,
+        path: &str,
+        keep_alive: bool,
+        trace: Trace,
+    ) {
+        let response = if path == "/metrics" {
+            Response::metrics_text(self.registry.encode_prometheus())
+        } else {
+            Response::with_content_type("application/json", self.trace_hub.traces_json())
+        };
+        if conn.send_for_method(method, &response).is_err() {
+            self.stats.dropped_connections.increment();
+            trace.finish(TraceOutcome::Dropped, None);
+            return;
+        }
+        trace.finish(TraceOutcome::Probe, None);
+        self.requeue(conn, keep_alive);
+    }
+
+    /// Builds the health payload from the metrics registry (the same
+    /// families `/metrics` exports, so the two surfaces cannot
+    /// disagree).
     fn health_response(&self, path: &str) -> Response {
-        let mut queues: Vec<(&'static str, usize)> = vec![
-            ("header", self.header_q.len()),
-            ("static", self.static_q.len()),
-            ("general", self.general_q.len()),
-            ("lengthy", self.lengthy_q.len()),
-            ("render", self.render_q.len()),
-        ];
-        if let Some(q) = &self.render_lengthy_q {
-            queues.push(("render-lengthy", q.len()));
-        }
-        let mut pools: Vec<(&'static str, &PoolStats)> = vec![
-            ("header-parsing", &self.header_stats),
-            ("static", &self.static_stats),
-            ("general-dynamic", &self.general_stats),
-            ("lengthy-dynamic", &self.lengthy_stats),
-            ("render", &self.render_stats),
-        ];
-        if let Some(s) = &self.render_lengthy_stats {
-            pools.push(("render-lengthy", s));
-        }
         let view = HealthView {
             phase: self.readiness.phase(),
             breaker: self.breaker.as_deref(),
-            queues: &queues,
-            scheduler: Some((self.tspare(), self.controller.reserve())),
-            stats: &self.stats,
-            pools: &pools,
+            registry: &self.registry,
         };
         if path == "/readyz" {
             view.readyz(self.retry.advise())
@@ -231,8 +280,9 @@ impl Shared {
     /// Sheds a request with the well-formed `503` and closes the
     /// connection. Sheds are not completions: goodput counts only
     /// requests actually served.
-    fn shed(&self, mut conn: Conn, method: Method, point: ShedPoint) {
+    fn shed(&self, mut conn: Conn, method: Method, point: ShedPoint, mut trace: Trace) {
         self.stats.record_shed(point);
+        trace.note(TraceEvent::Shed);
         if conn
             .send_for_method(method, &overload_response(self.retry.advise()))
             .is_err()
@@ -243,12 +293,13 @@ impl Shared {
             // closing doesn't RST the 503 away.
             crate::overload::drain_before_close(conn.stream_mut());
         }
+        trace.finish(TraceOutcome::Shed, None);
     }
 
     /// Answers a request whose deadline already passed with a `503` and
     /// closes the connection (the client has almost certainly given up;
     /// serving it would waste a saturated stage's time).
-    fn expire(&self, mut conn: Conn, method: Method) {
+    fn expire(&self, mut conn: Conn, method: Method, trace: Trace) {
         self.stats.deadline_expired.increment();
         if conn
             .send_for_method(method, &overload_response(self.retry.advise()))
@@ -258,12 +309,75 @@ impl Shared {
         } else {
             crate::overload::drain_before_close(conn.stream_mut());
         }
+        trace.finish(TraceOutcome::Expired, None);
     }
 
     /// `true` when a stamped deadline has passed.
     fn expired(deadline: Option<Instant>) -> bool {
         deadline.is_some_and(|d| Instant::now() > d)
     }
+}
+
+/// Registers a stage queue's observability: its depth gauge
+/// (`stage_queue_depth{stage=…}`) and its wait histogram
+/// (`stage_queue_wait_seconds{stage=…}`, recorded by the queue itself
+/// on every pop).
+pub(crate) fn register_stage<T: Send + 'static>(
+    registry: &Registry,
+    stage: &'static str,
+    q: &Arc<SyncQueue<T>>,
+) {
+    let depth = Arc::clone(q);
+    registry.gauge_fn("stage_queue_depth", &[("stage", stage)], move || {
+        depth.len() as f64
+    });
+    q.set_wait_histogram(registry.histogram("stage_queue_wait_seconds", &[("stage", stage)]));
+}
+
+/// Registers a worker pool's counters
+/// (`pool_{completed,panics,rejected}_total{pool=…}`), its busy gauge
+/// (`pool_busy_workers{pool=…}`), and its service-time histogram
+/// (`stage_service_seconds{stage=…}`).
+pub(crate) fn register_pool(
+    registry: &Registry,
+    pool: &'static str,
+    stage: &'static str,
+    stats: &Arc<PoolStats>,
+) {
+    let s = Arc::clone(stats);
+    registry.counter_fn("pool_completed_total", &[("pool", pool)], move || {
+        s.completed.value()
+    });
+    let s = Arc::clone(stats);
+    registry.counter_fn("pool_panics_total", &[("pool", pool)], move || {
+        s.panicked.value()
+    });
+    let s = Arc::clone(stats);
+    registry.counter_fn("pool_rejected_total", &[("pool", pool)], move || {
+        s.rejected.value()
+    });
+    let s = Arc::clone(stats);
+    registry.gauge_fn("pool_busy_workers", &[("pool", pool)], move || {
+        s.busy.value().max(0) as f64
+    });
+    registry.register_histogram(
+        "stage_service_seconds",
+        &[("stage", stage)],
+        Arc::clone(&stats.service),
+    );
+}
+
+/// Registers the per-page data-generation collector
+/// (`page_service_seconds{page=…}`, the scheduler's classification
+/// input as a running average).
+pub(crate) fn register_page_tracker(registry: &Registry, tracker: &Arc<ServiceTimeTracker>) {
+    let t = Arc::clone(tracker);
+    registry.gauge_collector("page_service_seconds", "page", move || {
+        t.snapshot()
+            .into_iter()
+            .map(|(page, avg, _count)| (page, avg.as_secs_f64()))
+            .collect()
+    });
 }
 
 /// The modified multi-thread-pool web server (the paper's contribution).
@@ -312,6 +426,8 @@ impl StagedServer {
             config.min_reserve,
             config.max_reserve,
         ));
+        let registry = Arc::new(Registry::new());
+        let trace_hub = TraceHub::new(&registry, config.trace_ring);
         let connections = ConnectionPool::new(db, config.db_connections);
         connections.set_fault_plan(config.fault_plan);
         connections.set_breaker(config.breaker);
@@ -388,8 +504,41 @@ impl StagedServer {
             stale: StaleCache::new(config.stale_ttl, config.stale_capacity),
             readiness: Arc::clone(&readiness),
             breaker: breaker.clone(),
+            registry: Arc::clone(&registry),
+            trace_hub: trace_hub.clone(),
             draining: AtomicBool::new(false),
         });
+
+        // Populate the registry: stage depth gauges + wait histograms,
+        // per-pool counters + service histograms, scheduler gauges, the
+        // server counters, and the per-page service collector. This is
+        // the whole `/metrics` surface.
+        register_stage(&registry, "header", &header_q);
+        register_stage(&registry, "static", &static_q);
+        register_stage(&registry, "general", &general_q);
+        register_stage(&registry, "lengthy", &lengthy_q);
+        register_stage(&registry, "render", &render_q);
+        if let Some(q) = &render_lengthy_q {
+            register_stage(&registry, "render-lengthy", q);
+        }
+        register_pool(&registry, "header-parsing", "header", &header_pool_stats);
+        register_pool(&registry, "static", "static", &static_pool_stats);
+        register_pool(&registry, "general-dynamic", "general", &general_pool_stats);
+        register_pool(&registry, "lengthy-dynamic", "lengthy", &lengthy_pool_stats);
+        register_pool(&registry, "render", "render", &render_pool_stats);
+        if let Some(s) = &render_lengthy_pool_stats {
+            register_pool(&registry, "render-lengthy", "render-lengthy", s);
+        }
+        stats.register_into(&registry);
+        {
+            let s = Arc::clone(&shared);
+            registry.gauge_fn("scheduler_t_spare", &[], move || s.tspare() as f64);
+        }
+        {
+            let c = Arc::clone(&controller);
+            registry.gauge_fn("scheduler_t_reserve", &[], move || c.reserve() as f64);
+        }
+        register_page_tracker(&registry, &tracker);
 
         let db_acquire_timeout = config.db_acquire_timeout;
         let db_acquire_retries = config.db_acquire_retries;
@@ -517,9 +666,12 @@ impl StagedServer {
                             let _ = stream.set_read_timeout(read_timeout);
                             let _ = stream.set_write_timeout(write_timeout);
                             let conn = Connection::with_limits(stream, limits);
+                            let mut trace = listen_shared.trace_hub.start();
+                            trace.enqueued(Stage::Parse);
                             let timed = TimedConn {
                                 conn,
                                 arrived: Instant::now(),
+                                trace,
                             };
                             match listen_shared.header_q.try_push(timed) {
                                 Ok(()) => {}
@@ -529,6 +681,7 @@ impl StagedServer {
                                         timed.conn,
                                         Method::Get,
                                         ShedPoint::Listener,
+                                        timed.trace,
                                     );
                                 }
                                 Err(PushError::Closed(_)) => break,
@@ -540,36 +693,16 @@ impl StagedServer {
             })
             .expect("failed to spawn listener thread");
 
-        // Queue gauges for the Figure 7/8 traces, plus scheduler
-        // visibility for the examples.
-        let mut gauges: Vec<(String, GaugeFn)> = vec![
-            gauge("header", Arc::clone(&header_q)),
-            gauge("static", Arc::clone(&static_q)),
-            gauge("general", Arc::clone(&general_q)),
-            gauge("lengthy", Arc::clone(&lengthy_q)),
-            gauge("render", Arc::clone(&render_q)),
-            ("treserve".to_string(), {
-                let c = Arc::clone(&controller);
-                Arc::new(move || c.reserve())
-            }),
-            ("tspare".to_string(), {
-                let s = Arc::clone(&shared);
-                Arc::new(move || s.tspare())
-            }),
-        ];
-        if let Some(q) = &render_lengthy_q {
-            gauges.push(gauge("render-lengthy", Arc::clone(q)));
-        }
-
-        let mut pools: Vec<(String, Arc<PoolStats>)> = vec![
-            ("header-parsing".to_string(), header_pool_stats),
-            ("static".to_string(), static_pool_stats),
-            ("general-dynamic".to_string(), general_pool_stats),
-            ("lengthy-dynamic".to_string(), lengthy_pool_stats),
-            ("render".to_string(), render_pool_stats),
-        ];
-        if let Some(stats) = &render_lengthy_pool_stats {
-            pools.push(("render-lengthy".to_string(), Arc::clone(stats)));
+        // Legacy gauge names (`ServerHandle::gauge_names`), mapped onto
+        // the registry's families by the handle's accessors.
+        let mut gauge_names: Vec<String> = [
+            "header", "static", "general", "lengthy", "render", "treserve", "tspare",
+        ]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+        if render_lengthy_q.is_some() {
+            gauge_names.push("render-lengthy".to_string());
         }
 
         // The listener is live: accepted connections will be served.
@@ -629,13 +762,17 @@ impl StagedServer {
         });
 
         Ok(ServerHandle::new(
-            addr, stats, tracker, gauges, pools, readiness, set_fault, breaker, shutdown,
+            addr,
+            stats,
+            tracker,
+            registry,
+            gauge_names,
+            readiness,
+            set_fault,
+            breaker,
+            shutdown,
         ))
     }
-}
-
-fn gauge<T: Send + 'static>(name: &str, q: Arc<SyncQueue<T>>) -> (String, GaugeFn) {
-    (name.to_string(), Arc::new(move || q.len()))
 }
 
 /// Keep-alive decision from the request line and headers (HTTP/1.0
@@ -652,15 +789,22 @@ fn keep_alive_for(line: &RequestLine, headers: &HeaderMap) -> bool {
 
 /// Stage 2a: the header-parsing worker.
 fn header_worker(shared: &Shared, timed: TimedConn) {
-    let TimedConn { mut conn, arrived } = timed;
+    let TimedConn {
+        mut conn,
+        arrived,
+        mut trace,
+    } = timed;
+    trace.dequeued();
     // Queue-wait check: a connection that waited longer than the whole
     // request budget is answered 503 before any parsing.
     if shared.budget.is_some_and(|b| arrived.elapsed() > b) {
-        shared.expire(conn, Method::Get);
+        shared.expire(conn, Method::Get, trace);
         return;
     }
     let line = match conn.read_request_line() {
         Ok(l) => l,
+        // A clean close before any request line (a keep-alive
+        // connection idling out) drops the trace: no response was owed.
         Err(HttpError::ConnectionClosed { clean: true }) => return,
         Err(e) => {
             if e.wants_bad_request() {
@@ -676,23 +820,30 @@ fn header_worker(shared: &Shared, timed: TimedConn) {
     };
     // The per-request clock starts *after* the request line arrives, so
     // keep-alive think time (a connection idling between requests) does
-    // not count against the budget.
+    // not count against the budget — or pollute the trace's timeline.
+    trace.mark_start();
     let deadline = shared.budget.map(|b| Instant::now() + b);
 
-    // Health endpoints are answered here, ahead of routing and without
-    // touching a database connection, so they stay truthful during the
-    // very outages they report.
-    if health::is_health_path(line.target.path()) {
+    // Health and observability endpoints are answered here, ahead of
+    // routing and without touching a database connection, so they stay
+    // truthful during the very outages they report.
+    if health::is_health_path(line.target.path())
+        || health::is_observability_path(line.target.path())
+    {
         let headers = match conn.read_remaining_headers() {
             Ok(h) => h,
             Err(e) => {
-                fail_parse(shared, conn, e);
+                fail_parse(shared, conn, e, trace);
                 return;
             }
         };
         let keep_alive = keep_alive_for(&line, &headers);
         let path = line.target.path().to_string();
-        shared.serve_health(conn, line.method, &path, keep_alive);
+        if health::is_health_path(&path) {
+            shared.serve_health(conn, line.method, &path, keep_alive, trace);
+        } else {
+            shared.serve_observability(conn, line.method, &path, keep_alive, trace);
+        }
         return;
     }
 
@@ -700,13 +851,16 @@ fn header_worker(shared: &Shared, timed: TimedConn) {
         // Static requests carry their unparsed headers to the static
         // pool (paper §3.2).
         let method = line.method;
+        trace.stage_done();
+        trace.enqueued(Stage::Static);
         if let Err(PushError::Full(job)) = shared.static_q.try_push(StaticJob {
             conn,
             line,
             deadline,
+            trace,
         }) {
             shared.static_stats.rejected.increment();
-            shared.shed(job.conn, method, ShedPoint::StaticStage);
+            shared.shed(job.conn, method, ShedPoint::StaticStage, job.trace);
         }
         return;
     }
@@ -716,7 +870,7 @@ fn header_worker(shared: &Shared, timed: TimedConn) {
     let headers = match conn.read_remaining_headers() {
         Ok(h) => h,
         Err(e) => {
-            fail_parse(shared, conn, e);
+            fail_parse(shared, conn, e, trace);
             return;
         }
     };
@@ -724,7 +878,7 @@ fn header_worker(shared: &Shared, timed: TimedConn) {
         Some(len) if len > 0 => match conn.read_body(len) {
             Ok(b) => b,
             Err(e) => {
-                fail_parse(shared, conn, e);
+                fail_parse(shared, conn, e, trace);
                 return;
             }
         },
@@ -748,7 +902,24 @@ fn header_worker(shared: &Shared, timed: TimedConn) {
         RequestClass::Quick => RequestKind::QuickDynamic,
         RequestClass::Lengthy => RequestKind::LengthyDynamic,
     };
+    trace.classified(class == RequestClass::Lengthy);
     let method = request.method();
+    let (queue, stats, point, stage) = match shared.controller.dispatch(class, shared.tspare()) {
+        crate::scheduler::DynamicPoolChoice::General => (
+            &shared.general_q,
+            &shared.general_stats,
+            ShedPoint::General,
+            Stage::General,
+        ),
+        crate::scheduler::DynamicPoolChoice::Lengthy => (
+            &shared.lengthy_q,
+            &shared.lengthy_stats,
+            ShedPoint::Lengthy,
+            Stage::Lengthy,
+        ),
+    };
+    trace.stage_done();
+    trace.enqueued(stage);
     let job = DynJob {
         conn,
         request,
@@ -756,22 +927,15 @@ fn header_worker(shared: &Shared, timed: TimedConn) {
         kind,
         deadline,
         stale_key,
-    };
-    let (queue, stats, point) = match shared.controller.dispatch(class, shared.tspare()) {
-        crate::scheduler::DynamicPoolChoice::General => {
-            (&shared.general_q, &shared.general_stats, ShedPoint::General)
-        }
-        crate::scheduler::DynamicPoolChoice::Lengthy => {
-            (&shared.lengthy_q, &shared.lengthy_stats, ShedPoint::Lengthy)
-        }
+        trace,
     };
     if let Err(PushError::Full(job)) = queue.try_push(job) {
         stats.rejected.increment();
-        shared.shed(job.conn, method, point);
+        shared.shed(job.conn, method, point, job.trace);
     }
 }
 
-fn fail_parse(shared: &Shared, mut conn: Conn, e: HttpError) {
+fn fail_parse(shared: &Shared, mut conn: Conn, e: HttpError, trace: Trace) {
     if e.wants_bad_request() {
         let mut resp = Response::error(StatusCode::BAD_REQUEST);
         resp.set_close();
@@ -780,6 +944,7 @@ fn fail_parse(shared: &Shared, mut conn: Conn, e: HttpError) {
     } else {
         shared.stats.dropped_connections.increment();
     }
+    trace.finish(TraceOutcome::Dropped, None);
 }
 
 /// Stage 2b: the static-request worker (parses its own headers).
@@ -788,15 +953,17 @@ fn static_worker(shared: &Shared, job: StaticJob) {
         mut conn,
         line,
         deadline,
+        mut trace,
     } = job;
+    trace.dequeued();
     if Shared::expired(deadline) {
-        shared.expire(conn, line.method);
+        shared.expire(conn, line.method, trace);
         return;
     }
     let headers = match conn.read_remaining_headers() {
         Ok(h) => h,
         Err(e) => {
-            fail_parse(shared, conn, e);
+            fail_parse(shared, conn, e, trace);
             return;
         }
     };
@@ -809,12 +976,15 @@ fn static_worker(shared: &Shared, job: StaticJob) {
     if response.status() == StatusCode::NOT_FOUND {
         shared.stats.errors.increment();
     }
+    trace.stage_done();
     shared.finish(
         conn,
         line.method,
         &response,
         keep_alive,
         RequestKind::Static,
+        trace,
+        Some(line.target.path()),
     );
 }
 
@@ -829,11 +999,13 @@ fn dynamic_worker(shared: &Shared, slot: &mut DbSlot, job: DynJob) {
         kind,
         deadline,
         stale_key,
+        mut trace,
     } = job;
+    trace.dequeued();
     let keep_alive = request.keep_alive();
     let method = request.method();
     if Shared::expired(deadline) {
-        shared.expire(conn, method);
+        shared.expire(conn, method, trace);
         return;
     }
     let Some(page) = page else {
@@ -844,6 +1016,8 @@ fn dynamic_worker(shared: &Shared, slot: &mut DbSlot, job: DynJob) {
             &Response::error(StatusCode::NOT_FOUND),
             keep_alive,
             kind,
+            trace,
+            None,
         );
         return;
     };
@@ -858,6 +1032,8 @@ fn dynamic_worker(shared: &Shared, slot: &mut DbSlot, job: DynJob) {
             &Response::error(StatusCode::NOT_FOUND),
             keep_alive,
             kind,
+            trace,
+            Some(&page),
         );
         return;
     };
@@ -875,29 +1051,34 @@ fn dynamic_worker(shared: &Shared, slot: &mut DbSlot, job: DynJob) {
             // is lengthy go to the dedicated lengthy-render pool.
             let lengthy_render = shared.render_lengthy_q.is_some()
                 && shared.render_tracker.classify(&name) == crate::scheduler::RequestClass::Lengthy;
-            let (target, target_stats) = if lengthy_render {
+            let (target, target_stats, stage) = if lengthy_render {
                 (
                     shared.render_lengthy_q.as_ref().expect("checked above"),
                     shared
                         .render_lengthy_stats
                         .as_ref()
                         .expect("stats exist with the queue"),
+                    Stage::RenderLengthy,
                 )
             } else {
-                (&shared.render_q, &shared.render_stats)
+                (&shared.render_q, &shared.render_stats, Stage::Render)
             };
+            trace.stage_done();
+            trace.enqueued(stage);
             if let Err(PushError::Full(job)) = target.try_push(RenderJob {
                 conn,
                 keep_alive,
                 method,
                 name,
+                page,
                 context,
                 kind,
                 deadline,
                 stale_key,
+                trace,
             }) {
                 target_stats.rejected.increment();
-                shared.shed(job.conn, method, ShedPoint::Render);
+                shared.shed(job.conn, method, ShedPoint::Render, job.trace);
             }
         }
         Ok(PageOutcome::Body(response)) => {
@@ -915,16 +1096,35 @@ fn dynamic_worker(shared: &Shared, slot: &mut DbSlot, job: DynJob) {
                     shared.stale.put(key, response.body_shared());
                 }
             }
-            shared.finish(conn, method, &response, keep_alive, kind);
+            trace.stage_done();
+            shared.finish(
+                conn,
+                method,
+                &response,
+                keep_alive,
+                kind,
+                trace,
+                Some(&page),
+            );
         }
         Err(e) if e.is_unavailable() => {
             // Transient resource failure (open breaker, dead
             // connection, starved pool). The degradation ladder:
             // serve a stale copy if one exists, 503 only without one.
             shared.tracker.record(&page, started.elapsed());
+            trace.note(TraceEvent::Unavailable);
             if let Some(hit) = stale_key.as_deref().and_then(|k| shared.stale.get(k)) {
                 shared.stats.degraded.increment();
-                shared.finish(conn, method, &hit.response(), keep_alive, kind);
+                trace.note(TraceEvent::StaleServed);
+                shared.finish(
+                    conn,
+                    method,
+                    &hit.response(),
+                    keep_alive,
+                    kind,
+                    trace,
+                    Some(&page),
+                );
                 return;
             }
             if stale_key.is_some() {
@@ -937,6 +1137,8 @@ fn dynamic_worker(shared: &Shared, slot: &mut DbSlot, job: DynJob) {
                 &overload_response(shared.retry.advise()),
                 false,
                 kind,
+                trace,
+                Some(&page),
             );
         }
         Err(_) => {
@@ -948,6 +1150,8 @@ fn dynamic_worker(shared: &Shared, slot: &mut DbSlot, job: DynJob) {
                 &Response::error(StatusCode::INTERNAL_SERVER_ERROR),
                 keep_alive,
                 kind,
+                trace,
+                Some(&page),
             );
         }
     }
@@ -960,11 +1164,14 @@ fn render_worker(shared: &Shared, job: RenderJob) {
         keep_alive,
         method,
         name,
+        page,
         context,
         kind,
         deadline,
         stale_key,
+        mut trace,
     } = job;
+    trace.dequeued();
     if Shared::expired(deadline) {
         // Deadline spent in the render queue: a stale copy (sent with
         // `Connection: close` — the client has been waiting the whole
@@ -973,11 +1180,12 @@ fn render_worker(shared: &Shared, job: RenderJob) {
         if let Some(hit) = stale_key.as_deref().and_then(|k| shared.stale.get(k)) {
             shared.stats.deadline_expired.increment();
             shared.stats.degraded.increment();
+            trace.note(TraceEvent::StaleServed);
             let mut response = hit.response();
             response.set_close();
-            shared.finish(conn, method, &response, false, kind);
+            shared.finish(conn, method, &response, false, kind, trace, Some(&page));
         } else {
-            shared.expire(conn, method);
+            shared.expire(conn, method, trace);
         }
         return;
     }
@@ -1007,5 +1215,14 @@ fn render_worker(shared: &Shared, job: RenderJob) {
     shared
         .render_tracker
         .record(&name, render_started.elapsed());
-    shared.finish(conn, method, &response, keep_alive, kind);
+    trace.stage_done();
+    shared.finish(
+        conn,
+        method,
+        &response,
+        keep_alive,
+        kind,
+        trace,
+        Some(&page),
+    );
 }

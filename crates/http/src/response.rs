@@ -72,6 +72,12 @@ impl Response {
         r
     }
 
+    /// A `200 OK` Prometheus text-exposition response (format version
+    /// 0.0.4, the content type scrapers negotiate for plain text).
+    pub fn metrics_text(body: impl Into<Body>) -> Self {
+        Response::with_content_type("text/plain; version=0.0.4; charset=utf-8", body)
+    }
+
     /// A minimal error-page response for the given status.
     pub fn error(status: StatusCode) -> Self {
         let mut r = Response::new(status);

@@ -1,5 +1,6 @@
 //! A log-bucketed latency histogram.
 
+use crate::snapshot::Snapshot;
 use serde::{Deserialize, Serialize};
 use staged_sync::{OrderedMutex, Rank};
 use std::fmt;
@@ -131,17 +132,29 @@ impl Histogram {
     /// Approximate quantile (`q` in `[0, 1]`), at bucket resolution.
     ///
     /// Returns the upper bound of the bucket containing the `q`-th
-    /// sample, so the true value is within a factor of two below the
-    /// returned duration. Returns zero if empty.
+    /// sample, clamped to the exact observed `[min, max]` range, so the
+    /// true value is within a factor of two below the returned duration.
+    ///
+    /// Edge behavior is exact, not bucket-approximate:
+    ///
+    /// * an **empty histogram** returns [`Duration::ZERO`] for every `q`;
+    /// * **`q = 0.0`** returns the exact minimum recorded sample;
+    /// * **`q = 1.0`** returns the exact maximum recorded sample.
     ///
     /// # Panics
     ///
-    /// Panics if `q` is not within `[0.0, 1.0]`.
+    /// Panics if `q` is not within `[0.0, 1.0]` (including NaN).
     pub fn quantile(&self, q: f64) -> Duration {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         let inner = self.inner.lock();
         if inner.count == 0 {
             return Duration::ZERO;
+        }
+        if q == 0.0 {
+            return Duration::from_micros(inner.min_micros);
+        }
+        if q == 1.0 {
+            return Duration::from_micros(inner.max_micros);
         }
         let rank = ((inner.count as f64) * q).ceil().max(1.0) as u64;
         let mut seen = 0u64;
@@ -149,10 +162,35 @@ impl Histogram {
             seen += c;
             if seen >= rank {
                 let upper = if i >= 63 { u64::MAX } else { 1u64 << i };
-                return Duration::from_micros(upper.min(inner.max_micros));
+                return Duration::from_micros(upper.clamp(inner.min_micros, inner.max_micros));
             }
         }
         Duration::from_micros(inner.max_micros)
+    }
+
+    /// Cumulative bucket counts for Prometheus-style `_bucket{le=…}`
+    /// export: `(upper bound in µs, samples ≤ bound)` pairs up to the
+    /// highest non-empty bucket, plus the total `count` (the implicit
+    /// `+Inf` bucket) and `sum_micros`.
+    pub fn cumulative(&self) -> HistogramBuckets {
+        let inner = self.inner.lock();
+        let highest = inner
+            .counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i + 1);
+        let mut cumulative = Vec::with_capacity(highest);
+        let mut running = 0u64;
+        for (i, &c) in inner.counts.iter().take(highest).enumerate() {
+            running += c;
+            let upper = if i >= 63 { u64::MAX } else { 1u64 << i };
+            cumulative.push((upper, running));
+        }
+        HistogramBuckets {
+            cumulative,
+            count: inner.count,
+            sum_micros: inner.sum_micros,
+        }
     }
 
     /// Takes a point-in-time snapshot of the histogram.
@@ -202,6 +240,28 @@ impl HistogramSnapshot {
     pub fn mean(&self) -> Duration {
         Duration::from_micros(self.mean_micros)
     }
+}
+
+impl Snapshot for HistogramSnapshot {
+    fn fields(&self, emit: &mut dyn FnMut(&'static str, f64)) {
+        emit("count", self.count as f64);
+        emit("mean_micros", self.mean_micros as f64);
+        emit("min_micros", self.min_micros as f64);
+        emit("max_micros", self.max_micros as f64);
+    }
+}
+
+/// Cumulative bucket counts exported by [`Histogram::cumulative`], the
+/// shape the Prometheus text encoder needs.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramBuckets {
+    /// `(bucket upper bound in µs, cumulative samples ≤ bound)`, only up
+    /// to the highest non-empty bucket.
+    pub cumulative: Vec<(u64, u64)>,
+    /// Total samples — the implicit `+Inf` bucket.
+    pub count: u64,
+    /// Sum of all samples in microseconds.
+    pub sum_micros: u128,
 }
 
 impl fmt::Display for HistogramSnapshot {
@@ -257,6 +317,68 @@ mod tests {
     #[should_panic(expected = "quantile must be in [0, 1]")]
     fn quantile_rejects_out_of_range() {
         Histogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn quantile_edges_are_exact_min_and_max() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(37));
+        h.record(Duration::from_micros(995));
+        h.record(Duration::from_micros(12_345));
+        // q=0 and q=1 bypass bucket resolution entirely.
+        assert_eq!(h.quantile(0.0), Duration::from_micros(37));
+        assert_eq!(h.quantile(1.0), Duration::from_micros(12_345));
+        // Interior quantiles are clamped into the observed range.
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let v = h.quantile(q);
+            assert!(v >= Duration::from_micros(37), "q={q} gave {v:?}");
+            assert!(v <= Duration::from_micros(12_345), "q={q} gave {v:?}");
+        }
+    }
+
+    #[test]
+    fn quantile_on_empty_is_zero_for_all_q() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn quantile_single_sample_is_that_sample() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(300));
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), Duration::from_micros(300));
+        }
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotonic_and_bounded() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_millis(10));
+        let b = h.cumulative();
+        assert_eq!(b.count, 3);
+        assert_eq!(b.sum_micros, 3 + 100 + 10_000);
+        let last = b.cumulative.last().expect("non-empty");
+        assert_eq!(last.1, 3, "last cumulative bucket holds every sample");
+        assert!(last.0 >= 10_000, "upper bound covers the max sample");
+        let mut prev = 0;
+        for &(upper, cum) in &b.cumulative {
+            assert!(cum >= prev, "cumulative counts never decrease");
+            assert!(upper > 0);
+            prev = cum;
+        }
+    }
+
+    #[test]
+    fn cumulative_on_empty_has_no_buckets() {
+        let b = Histogram::new().cumulative();
+        assert!(b.cumulative.is_empty());
+        assert_eq!(b.count, 0);
+        assert_eq!(b.sum_micros, 0);
     }
 
     #[test]

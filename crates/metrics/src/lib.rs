@@ -32,12 +32,20 @@
 
 mod counter;
 mod histogram;
+mod registry;
+mod snapshot;
 mod stopwatch;
 mod summary;
 mod timeseries;
+mod trace;
 
 pub use counter::{Counter, Gauge};
-pub use histogram::{Histogram, HistogramSnapshot};
+pub use histogram::{Histogram, HistogramBuckets, HistogramSnapshot};
+pub use registry::{
+    valid_metric_name, validate_exposition, Collect, CounterRead, GaugeRead, Registry,
+};
+pub use snapshot::Snapshot;
 pub use stopwatch::Stopwatch;
 pub use summary::{Summary, SummarySnapshot};
 pub use timeseries::{SeriesPoint, TimeSeries};
+pub use trace::{Stage, Trace, TraceEvent, TraceHub, TraceOutcome};

@@ -1,0 +1,125 @@
+//! One serialization path for every point-in-time metrics view.
+//!
+//! The workspace has several owned snapshot structs (histogram, summary,
+//! pool, server stats) that used to each hand-roll their own text and
+//! JSON fragments. [`Snapshot`] unifies them: a snapshot names its
+//! numeric fields once ([`Snapshot::fields`]), and the provided
+//! [`Snapshot::encode`] (Prometheus-style `name value` lines) and
+//! [`Snapshot::encode_json`] (a flat JSON object) renderings are derived
+//! from that single enumeration — so the `/metrics` exporter and the
+//! `--json` bench artifacts cannot drift apart field-by-field.
+
+use std::fmt::Write;
+
+/// A point-in-time metrics view that can enumerate its numeric fields.
+///
+/// Implementors list every field exactly once in [`Snapshot::fields`];
+/// the text and JSON encodings are derived and never overridden, so all
+/// serializations agree on field names and values.
+///
+/// # Examples
+///
+/// ```
+/// use staged_metrics::{Histogram, Snapshot};
+/// use std::time::Duration;
+///
+/// let h = Histogram::new();
+/// h.record(Duration::from_micros(250));
+/// let snap = h.snapshot();
+///
+/// let mut text = String::new();
+/// snap.encode(&mut text).unwrap();
+/// assert!(text.contains("count 1"));
+///
+/// let mut json = String::new();
+/// snap.encode_json(&mut json).unwrap();
+/// assert!(json.starts_with('{') && json.contains("\"count\":1"));
+/// ```
+pub trait Snapshot {
+    /// Calls `emit` once per `(field name, value)` pair, in a stable
+    /// order. Field names must be `snake_case` identifiers (they become
+    /// both text-line prefixes and JSON keys).
+    fn fields(&self, emit: &mut dyn FnMut(&'static str, f64));
+
+    /// Text encoding: one `name value` line per field (the Prometheus
+    /// exposition's sample-line shape, without labels).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from the underlying writer.
+    fn encode(&self, w: &mut dyn Write) -> std::fmt::Result {
+        let mut result = Ok(());
+        self.fields(&mut |name, value| {
+            if result.is_ok() {
+                result = writeln!(w, "{name} {}", fmt_value(value));
+            }
+        });
+        result
+    }
+
+    /// JSON encoding: one flat object with the same field names.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from the underlying writer.
+    fn encode_json(&self, w: &mut dyn Write) -> std::fmt::Result {
+        let mut result = w.write_char('{');
+        let mut first = true;
+        self.fields(&mut |name, value| {
+            if result.is_ok() {
+                if !first {
+                    result = w.write_char(',');
+                }
+                first = false;
+                if result.is_ok() {
+                    result = write!(w, "\"{name}\":{}", fmt_value(value));
+                }
+            }
+        });
+        result.and_then(|()| w.write_char('}'))
+    }
+}
+
+/// Renders a value without a trailing `.0` for whole numbers, so counter
+/// fields look like counts in both encodings.
+pub(crate) fn fmt_value(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Pair;
+
+    impl Snapshot for Pair {
+        fn fields(&self, emit: &mut dyn FnMut(&'static str, f64)) {
+            emit("alpha", 3.0);
+            emit("beta", 0.5);
+        }
+    }
+
+    #[test]
+    fn text_encoding_is_line_per_field() {
+        let mut s = String::new();
+        Pair.encode(&mut s).unwrap();
+        assert_eq!(s, "alpha 3\nbeta 0.5\n");
+    }
+
+    #[test]
+    fn json_encoding_is_flat_object() {
+        let mut s = String::new();
+        Pair.encode_json(&mut s).unwrap();
+        assert_eq!(s, "{\"alpha\":3,\"beta\":0.5}");
+    }
+
+    #[test]
+    fn whole_numbers_have_no_fraction() {
+        assert_eq!(fmt_value(42.0), "42");
+        assert_eq!(fmt_value(0.25), "0.25");
+    }
+}

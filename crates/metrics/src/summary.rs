@@ -1,5 +1,6 @@
 //! Exact running summaries (count / mean / min / max) of duration samples.
 
+use crate::snapshot::Snapshot;
 use serde::{Deserialize, Serialize};
 use staged_sync::{OrderedMutex, Rank};
 use std::fmt;
@@ -108,6 +109,15 @@ impl SummarySnapshot {
     /// Mean expressed in (fractional) milliseconds, for table output.
     pub fn mean_millis(&self) -> f64 {
         self.mean().as_secs_f64() * 1e3
+    }
+}
+
+impl Snapshot for SummarySnapshot {
+    fn fields(&self, emit: &mut dyn FnMut(&'static str, f64)) {
+        emit("count", self.count as f64);
+        emit("sum_micros", self.sum_micros as f64);
+        emit("min_micros", self.min_micros as f64);
+        emit("max_micros", self.max_micros as f64);
     }
 }
 

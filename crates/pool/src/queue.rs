@@ -1,10 +1,12 @@
 //! A bounded, instrumented, closable synchronized FIFO queue.
 
+use staged_metrics::Histogram;
 use staged_sync::{assert_no_locks_held, Condvar, OrderedMutex, Rank};
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Error returned by [`SyncQueue::push`] and [`SyncQueue::try_push`]
 /// when the item cannot be enqueued. The rejected item is handed back so
@@ -59,12 +61,14 @@ impl Error for TryPopError {}
 
 #[derive(Debug)]
 struct State<T> {
-    items: VecDeque<T>,
+    /// Each item carries its enqueue timestamp so the pop paths can
+    /// record queue wait into `wait_hist`.
+    items: VecDeque<(T, Instant)>,
     /// Direct-handoff slot: a pushed item parked here bypasses the
     /// deque when an idle popper is already waiting. Only occupied
     /// while `items` is empty, so it always holds the oldest item and
     /// every pop path drains it first — FIFO order is preserved.
-    handoff: Option<T>,
+    handoff: Option<(T, Instant)>,
     /// Poppers currently blocked in `wait`. Registered under the lock
     /// before the wait and deregistered after, so `idle == 0` proves no
     /// popper needs a wake-up and the push path can skip the condvar.
@@ -73,6 +77,11 @@ struct State<T> {
     handoffs: u64,
     closed: bool,
     peak_len: usize,
+    /// Optional per-stage queue-wait histogram, attached at server
+    /// start via [`SyncQueue::set_wait_histogram`]. Recording happens
+    /// *after* the state lock is released (histogram rank 420 sits
+    /// below queue rank 500 in the lock order).
+    wait_hist: Option<Arc<Histogram>>,
 }
 
 /// Rank of every queue's internal state lock (DESIGN.md §10). Queue
@@ -86,7 +95,7 @@ impl<T> State<T> {
         self.items.len() + usize::from(self.handoff.is_some())
     }
 
-    fn take_next(&mut self) -> Option<T> {
+    fn take_next(&mut self) -> Option<(T, Instant)> {
         self.handoff.take().or_else(|| self.items.pop_front())
     }
 }
@@ -144,6 +153,7 @@ impl<T> SyncQueue<T> {
                     handoffs: 0,
                     closed: false,
                     peak_len: 0,
+                    wait_hist: None,
                 },
             ),
             not_empty: Condvar::new(),
@@ -161,12 +171,13 @@ impl<T> SyncQueue<T> {
     // lint: hot_path — one enqueue per request per stage; no per-item
     // allocation beyond the deque's amortized growth.
     fn enqueue(&self, state: &mut State<T>, item: T) {
+        let stamped = (item, Instant::now());
         if state.idle > 0 && state.handoff.is_none() && state.items.is_empty() {
-            state.handoff = Some(item);
+            state.handoff = Some(stamped);
             state.handoffs += 1;
             self.not_empty.notify_one();
         } else {
-            state.items.push_back(item);
+            state.items.push_back(stamped);
             if state.idle > 0 {
                 self.not_empty.notify_one();
             }
@@ -228,8 +239,11 @@ impl<T> SyncQueue<T> {
         assert_no_locks_held("SyncQueue::pop");
         let mut state = self.state.lock();
         loop {
-            if let Some(item) = state.take_next() {
+            if let Some((item, queued_at)) = state.take_next() {
                 self.not_full.notify_one();
+                let hist = state.wait_hist.clone();
+                drop(state);
+                record_wait(hist, queued_at);
                 return Some(item);
             }
             if state.closed {
@@ -252,8 +266,11 @@ impl<T> SyncQueue<T> {
         assert_no_locks_held("SyncQueue::pop_timeout");
         let mut state = self.state.lock();
         loop {
-            if let Some(item) = state.take_next() {
+            if let Some((item, queued_at)) = state.take_next() {
                 self.not_full.notify_one();
+                let hist = state.wait_hist.clone();
+                drop(state);
+                record_wait(hist, queued_at);
                 return Ok(Some(item));
             }
             if state.closed {
@@ -266,8 +283,11 @@ impl<T> SyncQueue<T> {
                 // A push may have parked an item in the handoff slot for
                 // this popper in the window between the timeout firing
                 // and the lock being reacquired; don't strand it.
-                if let Some(item) = state.take_next() {
+                if let Some((item, queued_at)) = state.take_next() {
                     self.not_full.notify_one();
+                    let hist = state.wait_hist.clone();
+                    drop(state);
+                    record_wait(hist, queued_at);
                     return Ok(Some(item));
                 }
                 return Ok(None);
@@ -283,8 +303,11 @@ impl<T> SyncQueue<T> {
     /// if closed and drained.
     pub fn try_pop(&self) -> Result<T, TryPopError> {
         let mut state = self.state.lock();
-        if let Some(item) = state.take_next() {
+        if let Some((item, queued_at)) = state.take_next() {
             self.not_full.notify_one();
+            let hist = state.wait_hist.clone();
+            drop(state);
+            record_wait(hist, queued_at);
             return Ok(item);
         }
         if state.closed {
@@ -292,6 +315,13 @@ impl<T> SyncQueue<T> {
         } else {
             Err(TryPopError::Empty)
         }
+    }
+
+    /// Attaches a queue-wait histogram: from now on every pop records
+    /// the popped item's time-in-queue. Called once at server start,
+    /// when the registry is assembled.
+    pub fn set_wait_histogram(&self, hist: Arc<Histogram>) {
+        self.state.lock().wait_hist = Some(hist);
     }
 
     /// Closes the queue: future pushes fail, and pops drain the backlog
@@ -338,6 +368,15 @@ impl<T> SyncQueue<T> {
     /// The configured capacity (`usize::MAX` for unbounded queues).
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+}
+
+/// Records `queued_at`'s age into `hist`. Must be called with no queue
+/// lock held: the histogram's rank (420) is below the queue state's
+/// (500), so recording under the state lock would invert the order.
+fn record_wait(hist: Option<Arc<Histogram>>, queued_at: Instant) {
+    if let Some(h) = hist {
+        h.record(queued_at.elapsed());
     }
 }
 
@@ -547,6 +586,47 @@ mod tests {
         q.close();
         let got = h.join().unwrap();
         assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wait_histogram_records_one_sample_per_pop() {
+        let q = SyncQueue::unbounded();
+        let hist = Arc::new(Histogram::new());
+        q.set_wait_histogram(Arc::clone(&hist));
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        thread::sleep(Duration::from_millis(5));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_pop(), Ok(2));
+        assert_eq!(hist.count(), 2);
+        assert!(
+            hist.min() >= Duration::from_millis(4),
+            "wait should include queued time, got {:?}",
+            hist.min()
+        );
+        // Items popped before attachment, or with no histogram, record
+        // nothing — and a timeout pop records nothing either.
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Ok(None));
+        assert_eq!(hist.count(), 2);
+    }
+
+    #[test]
+    fn wait_histogram_covers_direct_handoff() {
+        let q = Arc::new(SyncQueue::unbounded());
+        let hist = Arc::new(Histogram::new());
+        q.set_wait_histogram(Arc::clone(&hist));
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.pop());
+        for _ in 0..200 {
+            if q.idle_poppers() == 1 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        q.push(11).unwrap();
+        assert_eq!(h.join().unwrap(), Some(11));
+        assert_eq!(q.direct_handoffs(), 1);
+        assert_eq!(hist.count(), 1, "handoff path records wait too");
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Property test: the trace lifecycle survives shedding.
+//!
+//! Every request trace must reach exactly one terminal outcome, even
+//! when the request is rejected at a full queue, abandoned in a closed
+//! queue, or popped and served normally. The observable invariants:
+//!
+//! * `TraceHub::outstanding()` returns to zero once every job is
+//!   resolved (no leaked pooled slots);
+//! * the per-outcome counters sum to exactly the number of traces
+//!   started (exactly one terminal event per trace, never two).
+
+use proptest::prelude::*;
+use staged_metrics::{Registry, Stage, TraceEvent, TraceHub, TraceOutcome};
+use staged_pool::{PushError, SyncQueue};
+
+/// A queued unit of work carrying its trace, like the staged server's
+/// job structs.
+struct Job {
+    trace: staged_metrics::Trace,
+}
+
+fn outcome(registry: &Registry, label: &str) -> u64 {
+    registry
+        .value("trace_outcomes_total", &[("outcome", label)])
+        .unwrap_or(0.0) as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random interleavings of admit / shed-at-full / pop-and-serve /
+    /// abandon-in-closed-queue all conserve traces.
+    #[test]
+    fn every_trace_reaches_exactly_one_terminal_outcome(
+        capacity in 1usize..6,
+        arrivals in proptest::collection::vec(any::<bool>(), 1..60),
+        drain in any::<bool>(),
+    ) {
+        let registry = Registry::new();
+        let hub = TraceHub::new(&registry, 4);
+        let queue = SyncQueue::bounded(capacity);
+        let mut started = 0u64;
+        let mut shed = 0u64;
+        let mut served = 0u64;
+
+        // `true` = a request arrives (try_push, shed on Full);
+        // `false` = a worker pops one job and serves it.
+        for arrival in arrivals {
+            if arrival {
+                let mut trace = hub.start();
+                started += 1;
+                trace.enqueued(Stage::Parse);
+                match queue.try_push(Job { trace }) {
+                    Ok(()) => {}
+                    Err(PushError::Full(mut job)) => {
+                        // The shed path the listener takes: annotate and
+                        // finish with a terminal outcome, releasing the
+                        // pooled slot.
+                        job.trace.note(TraceEvent::Shed);
+                        job.trace.finish(TraceOutcome::Shed, None);
+                        shed += 1;
+                    }
+                    Err(PushError::Closed(_)) => unreachable!("queue not closed yet"),
+                }
+            } else if let Ok(mut job) = queue.try_pop() {
+                job.trace.dequeued();
+                job.trace.stage_done();
+                job.trace.finish(TraceOutcome::Served, Some("page"));
+                served += 1;
+            }
+        }
+
+        // Shut down with jobs possibly still queued. Optionally drain
+        // some first; whatever remains is dropped with the queue, and
+        // those traces must finish as Dropped via their Drop impl.
+        queue.close();
+        if drain {
+            while let Ok(mut job) = queue.try_pop() {
+                job.trace.dequeued();
+                job.trace.stage_done();
+                job.trace.finish(TraceOutcome::Served, Some("page"));
+                served += 1;
+            }
+        }
+        let abandoned = queue.len() as u64;
+        drop(queue);
+
+        prop_assert_eq!(hub.outstanding(), 0, "leaked trace slots");
+        prop_assert_eq!(outcome(&registry, "shed"), shed);
+        prop_assert_eq!(outcome(&registry, "served"), served);
+        prop_assert_eq!(outcome(&registry, "dropped"), abandoned);
+        let total = outcome(&registry, "served")
+            + outcome(&registry, "shed")
+            + outcome(&registry, "expired")
+            + outcome(&registry, "dropped")
+            + outcome(&registry, "probe");
+        prop_assert_eq!(total, started, "each trace finished exactly once");
+        // Only served traces are ring-eligible, and the ring is bounded.
+        prop_assert!(hub.ring_len() as u64 <= served.min(4));
+    }
+}

@@ -11,14 +11,15 @@
 //! | `raw_lock` | no raw `Mutex::new`/`RwLock::new` outside `crates/sync` — use the `Ordered*` wrappers |
 //! | `hot_path_alloc` | no allocation-prone calls inside `// lint: hot_path` regions |
 //! | `unbounded_queue` | every queue/channel construction states a bound |
+//! | `metric_name` | registry metric names are `[a-z_]+`; counters end `_total`, histograms end `_seconds`/`_bytes` |
 //!
 //! Escapes: `// lint: allow(rule)` on the offending line or in the
 //! contiguous comment block immediately above it; code after a
 //! `#[cfg(test)]` line (the workspace keeps test modules at the end of
-//! the file) is exempt from `lock_unwrap`, `raw_lock` and
-//! `unbounded_queue`; `src/bin/` binaries are additionally exempt from
-//! `lock_unwrap`. Hot-path regions open with `// lint: hot_path` and
-//! close with `// lint: end_hot_path`.
+//! the file) is exempt from `lock_unwrap`, `raw_lock`,
+//! `unbounded_queue` and `metric_name`; `src/bin/` binaries are
+//! additionally exempt from `lock_unwrap`. Hot-path regions open with
+//! `// lint: hot_path` and close with `// lint: end_hot_path`.
 
 use std::fmt;
 use std::fs;
@@ -33,7 +34,7 @@ pub enum FileKind {
     /// `lock_unwrap` (a CLI aborting on I/O error is fine).
     Bin,
     /// Integration tests — exempt from `lock_unwrap`, `raw_lock`,
-    /// `unbounded_queue`.
+    /// `unbounded_queue`, `metric_name`.
     Test,
 }
 
@@ -113,7 +114,20 @@ pub fn kind_for_path(path: &str) -> FileKind {
 }
 
 /// Rules `#[cfg(test)]` regions and test files are exempt from.
-const TEST_EXEMPT: &[&str] = &["lock_unwrap", "raw_lock", "unbounded_queue"];
+const TEST_EXEMPT: &[&str] = &["lock_unwrap", "raw_lock", "unbounded_queue", "metric_name"];
+
+/// Registry registration calls whose first string-literal argument is a
+/// metric family name, paired with the suffix convention that kind of
+/// metric carries in the exposition. `ServerHandle::gauge` is a lookup,
+/// not a registration, so a bare `.gauge(` is deliberately absent.
+const METRIC_CALLS: &[(&str, &str)] = &[
+    (".counter(", "counter"),
+    (".counter_fn(", "counter"),
+    (".gauge_fn(", "gauge"),
+    (".gauge_collector(", "gauge"),
+    (".histogram(", "histogram"),
+    (".register_histogram(", "histogram"),
+];
 
 /// Allocation-prone calls forbidden in `// lint: hot_path` regions.
 /// `Arc::clone(..)` is the sanctioned spelling for refcount bumps and
@@ -164,7 +178,8 @@ pub fn lint_source(path: &str, source: &str, kind: FileKind) -> Vec<Diagnostic> 
     let mut in_test_region = false;
     let mut hot_path_open: Option<usize> = None;
 
-    for (idx, raw_line) in source.lines().enumerate() {
+    let lines: Vec<&str> = source.lines().collect();
+    for (idx, &raw_line) in lines.iter().enumerate() {
         let line_no = idx + 1;
         let (code, comment) = scanner.split_line(raw_line);
         let code_trim = code.trim();
@@ -306,6 +321,40 @@ pub fn lint_source(path: &str, source: &str, kind: FileKind) -> Vec<Diagnostic> 
             }
         }
 
+        // metric_name — registration names must follow the exposition
+        // conventions. The registry re-checks the charset at runtime;
+        // the per-kind suffix rules live only here.
+        if !exempt("metric_name") {
+            for &(token, metric_kind) in METRIC_CALLS {
+                if !code.contains(token) {
+                    continue;
+                }
+                // The blanked code located a real call; the name is
+                // read from the raw line (string contents are blanked
+                // in `code`). A multi-line call keeps the name as the
+                // first token of the following line; a non-literal
+                // first argument is out of the lint's static reach.
+                let Some(at) = raw_line.find(token) else {
+                    continue;
+                };
+                let rest = raw_line[at + token.len()..].trim_start();
+                let name = if rest.is_empty() {
+                    lines.get(idx + 1).and_then(|l| leading_string_literal(l))
+                } else {
+                    leading_string_literal(rest)
+                };
+                let Some(name) = name else { continue };
+                if let Some(message) = metric_name_violation(metric_kind, name) {
+                    diagnostics.push(Diagnostic {
+                        path: path.to_string(),
+                        line: line_no,
+                        rule: "metric_name",
+                        message,
+                    });
+                }
+            }
+        }
+
         // hot_path_alloc
         if hot_path_open.is_some() && !allowed("hot_path_alloc") {
             for pat in HOT_PATH_ALLOC {
@@ -420,6 +469,36 @@ fn contains_call(code: &str, name: &str) -> bool {
         }
     }
     false
+}
+
+/// If `text` (already trimmed of leading whitespace) opens with a plain
+/// string literal, returns its contents. Metric names never carry
+/// escapes, so the literal ends at the next quote.
+fn leading_string_literal(text: &str) -> Option<&str> {
+    let rest = text.trim_start().strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Why a registered metric name violates the exposition conventions,
+/// if it does. The charset rule applies to every kind; counters and
+/// histograms additionally carry a unit/kind suffix.
+fn metric_name_violation(kind: &str, name: &str) -> Option<String> {
+    if name.is_empty() || !name.bytes().all(|b| b.is_ascii_lowercase() || b == b'_') {
+        return Some(format!(
+            "metric name \"{name}\" must be lowercase `[a-z_]+` \
+             (label values, not names, carry the variety)"
+        ));
+    }
+    match kind {
+        "counter" if !name.ends_with("_total") => {
+            Some(format!("counter \"{name}\" must end in `_total`"))
+        }
+        "histogram" if !name.ends_with("_seconds") && !name.ends_with("_bytes") => Some(format!(
+            "histogram \"{name}\" must end in `_seconds` or `_bytes`"
+        )),
+        _ => None,
+    }
 }
 
 /// True when `code` contains `pat` not preceded by an identifier

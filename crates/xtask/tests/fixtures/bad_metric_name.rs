@@ -1,0 +1,16 @@
+//! Deliberate metric-name violations for the lint self-tests.
+
+fn register(registry: &Registry, service: Arc<Histogram>) {
+    // Counter missing the `_total` suffix.
+    registry.counter("requests_served", &[("class", "static")]);
+    // Histogram with a non-unit suffix.
+    registry.histogram("queue_wait_ms", &[("stage", "render")]);
+    // Bad charset: uppercase and a dash.
+    registry.gauge_fn("Queue-Depth", &[], || 0.0);
+    // Multi-line call: the name literal opens the next line.
+    registry.register_histogram(
+        "service_time",
+        &[("stage", "render")],
+        service,
+    );
+}

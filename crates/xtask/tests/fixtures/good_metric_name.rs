@@ -1,0 +1,19 @@
+//! Conforming metric registrations: every kind, a multi-line call, a
+//! dynamic name the lint cannot see, and the allow escape.
+
+fn register(registry: &Registry, name: &'static str, service: Arc<Histogram>) {
+    registry.counter("requests_completed_total", &[("class", "static")]);
+    registry.counter_fn("sheds_total", &[("point", "listener")], || 0);
+    registry.gauge_fn("stage_queue_depth", &[("stage", "render")], || 0.0);
+    registry.gauge_collector("page_service_seconds", "page", Vec::new);
+    registry.histogram("stage_queue_wait_seconds", &[("stage", "render")]);
+    registry.register_histogram(
+        "stage_service_seconds",
+        &[("stage", "render")],
+        service,
+    );
+    // A non-literal first argument is out of the lint's static reach.
+    registry.counter_fn(name, &[], || 0);
+    // lint: allow(metric_name) — legacy family kept for old dashboards.
+    registry.counter("legacy_hits", &[]);
+}

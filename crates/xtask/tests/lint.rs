@@ -86,6 +86,46 @@ fn bad_unbounded_flags_queue_and_channel() {
 }
 
 #[test]
+fn bad_metric_name_flags_each_kind() {
+    let diags = lint_fixture("bad_metric_name.rs", FileKind::Lib);
+    assert_eq!(by_rule(&diags), BTreeMap::from([("metric_name", 4)]));
+    assert!(
+        diags.iter().any(|d| d.message.contains("`_total`")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("`_seconds` or `_bytes`")),
+        "{diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("[a-z_]+")),
+        "{diags:?}"
+    );
+    // The multi-line `register_histogram` call is attributed to the
+    // line carrying the call token, not the name literal.
+    assert!(
+        diags.iter().any(|d| d.message.contains("service_time")
+            && fixture("bad_metric_name.rs")
+                .lines()
+                .nth(d.line - 1)
+                .is_some_and(|l| l.contains("register_histogram"))),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn good_metric_name_is_clean() {
+    assert_eq!(lint_fixture("good_metric_name.rs", FileKind::Lib), vec![]);
+}
+
+#[test]
+fn test_files_skip_metric_name() {
+    assert_eq!(lint_fixture("bad_metric_name.rs", FileKind::Test), vec![]);
+}
+
+#[test]
 fn allow_directives_silence_every_form() {
     assert_eq!(lint_fixture("good_allow.rs", FileKind::Lib), vec![]);
 }

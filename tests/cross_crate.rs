@@ -83,7 +83,14 @@ fn classifier_routes_lengthy_pages_to_lengthy_pool() {
     for h in handles {
         h.join().unwrap();
     }
+    // Completion counters move just after the response bytes are
+    // written, so the client can observe its response a beat before
+    // the worker increments; poll briefly for the counters to settle.
     let stats = server.stats();
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while stats.completed(RequestKind::LengthyDynamic) < 4 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
     assert!(stats.completed(RequestKind::LengthyDynamic) >= 4);
     assert!(stats.completed(RequestKind::QuickDynamic) >= 1);
     server.shutdown();
