@@ -1,0 +1,421 @@
+//! Seeded adversarial traffic generators for the hostile-traffic suite.
+//!
+//! Each generator models one attack class from the `hostile_suite`
+//! binary's scenarios: slowloris header drip-feed, body trickle/flood,
+//! flash-crowd connect storms, hot-key cart storms, and malformed
+//! request fuzz. Everything is deterministic given its seed and knob
+//! settings — no wall-clock randomness — so a CI failure replays
+//! exactly.
+//!
+//! The well-behaved side of every scenario is [`measure_goodput`]: a
+//! fixed-rate probe fleet (open-loop, like the paper's emulated
+//! browsers' think time) whose served fraction is the *goodput under
+//! attack* each scenario reports.
+
+use staged_db::splitmix64;
+use staged_http::{fetch_with_timeout, read_response, Method};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What a fixed-rate probe fleet saw over one measurement window.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeReport {
+    /// Requests attempted (the offered load).
+    pub offered: u64,
+    /// `2xx` responses — served work.
+    pub ok: u64,
+    /// `503` turn-aways/sheds — the server said "come back later".
+    pub shed: u64,
+    /// Everything else: timeouts, resets, non-`503` errors.
+    pub errors: u64,
+    /// The window the fleet actually ran.
+    pub elapsed: Duration,
+}
+
+impl ProbeReport {
+    /// Served requests per second.
+    pub fn goodput_per_s(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.ok as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Fraction of offered requests that were served.
+    pub fn ok_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.ok as f64 / self.offered as f64
+    }
+}
+
+/// Runs `clients` fixed-rate probes against `path` for `window`: each
+/// probe sends one `GET` every `tick` (open loop — a slow answer delays
+/// that probe's next request but the offered rate is otherwise fixed),
+/// with `timeout` as the per-read client timeout. Blocks for the whole
+/// window and returns the aggregate tally.
+pub fn measure_goodput(
+    addr: SocketAddr,
+    clients: usize,
+    path: &str,
+    tick: Duration,
+    window: Duration,
+    timeout: Duration,
+) -> ProbeReport {
+    let ok = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let offered = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let threads: Vec<JoinHandle<()>> = (0..clients)
+        .map(|_| {
+            let path = path.to_string();
+            let (ok, shed, errors, offered) = (
+                Arc::clone(&ok),
+                Arc::clone(&shed),
+                Arc::clone(&errors),
+                Arc::clone(&offered),
+            );
+            std::thread::spawn(move || {
+                while started.elapsed() < window {
+                    let sent = Instant::now();
+                    offered.fetch_add(1, Ordering::Relaxed);
+                    match fetch_with_timeout(addr, Method::Get, &path, &[], timeout) {
+                        Ok(resp) if resp.status.is_success() => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(resp) if resp.status.as_u16() == 503 => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) | Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    if let Some(rest) = tick.checked_sub(sent.elapsed()) {
+                        std::thread::sleep(rest);
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        let _ = t.join();
+    }
+    ProbeReport {
+        offered: offered.load(Ordering::Relaxed),
+        ok: ok.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+    }
+}
+
+/// Polls goodput in `bucket`-wide windows (one probe client) until the
+/// per-bucket served rate reaches `target_per_s`, and returns how long
+/// that took; gives up at `cap`. This is each scenario's
+/// *time-to-recover* measurement after the attack stops.
+pub fn time_to_recover(
+    addr: SocketAddr,
+    path: &str,
+    tick: Duration,
+    bucket: Duration,
+    target_per_s: f64,
+    cap: Duration,
+) -> Duration {
+    let started = Instant::now();
+    loop {
+        let probe = measure_goodput(addr, 1, path, tick, bucket, Duration::from_secs(2));
+        if probe.goodput_per_s() >= target_per_s || started.elapsed() >= cap {
+            return started.elapsed();
+        }
+    }
+}
+
+/// A running attack fleet; [`AttackHandle::stop`] joins it and returns
+/// the fleet's event tallies.
+pub struct AttackHandle {
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    tallies: AttackTallies,
+}
+
+/// Shared event counters an attack fleet updates as it runs.
+#[derive(Clone, Default)]
+pub struct AttackTallies {
+    /// Connections the server terminated on the attacker (the hardened
+    /// server killing a drip, or a reset).
+    pub kills: Arc<AtomicU64>,
+    /// `4xx` responses the attackers read (`408`/`413`/`431`/`400`).
+    pub rejected_4xx: Arc<AtomicU64>,
+    /// `503` turn-aways the attackers read.
+    pub turned_away: Arc<AtomicU64>,
+    /// Requests of the attacker's that were actually served `2xx`
+    /// (e.g. the hot-key storm's completed cart updates).
+    pub served: Arc<AtomicU64>,
+}
+
+impl AttackHandle {
+    /// Signals the fleet to stop, joins every attacker, and returns the
+    /// final tallies.
+    pub fn stop(self) -> AttackTallies {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads {
+            let _ = t.join();
+        }
+        self.tallies
+    }
+}
+
+fn spawn_fleet(
+    attackers: usize,
+    tallies: &AttackTallies,
+    mut body: impl FnMut(usize) -> Box<dyn FnOnce(Arc<AtomicBool>, AttackTallies) + Send>,
+) -> AttackHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let threads = (0..attackers)
+        .map(|i| {
+            let f = body(i);
+            let stop = Arc::clone(&stop);
+            let tallies = tallies.clone();
+            std::thread::spawn(move || f(stop, tallies))
+        })
+        .collect();
+    AttackHandle {
+        stop,
+        threads,
+        tallies: tallies.clone(),
+    }
+}
+
+/// Launches a slowloris fleet: each attacker opens a connection, sends
+/// a plausible request-line prefix, then drips one header byte every
+/// `drip`, never terminating the header block. When the server kills
+/// the connection (counted in `kills`), the attacker waits
+/// `reconnect_pause` and reconnects. Against a per-read-timeout-only
+/// server the drip defeats the timeout and each connection pins a
+/// parser thread forever; the lifecycle header deadline is what turns
+/// the hold into a bounded `408`.
+pub fn slowloris(
+    addr: SocketAddr,
+    attackers: usize,
+    drip: Duration,
+    reconnect_pause: Duration,
+) -> AttackHandle {
+    spawn_fleet(attackers, &AttackTallies::default(), |_| {
+        Box::new(move |stop, tallies| {
+            // An endless stream of never-finished header bytes.
+            let filler: &[u8] = b"X-drip-padding: aaaaaaaaaaaaaaaa\r\n";
+            while !stop.load(Ordering::Relaxed) {
+                let Ok(mut sock) = TcpStream::connect(addr) else {
+                    std::thread::sleep(reconnect_pause);
+                    continue;
+                };
+                let _ = sock.set_nodelay(true);
+                if sock.write_all(b"GET /home HTTP/1.1\r\n").is_ok() {
+                    let mut i = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(drip);
+                        if sock.write_all(&filler[i % filler.len()..][..1]).is_err() {
+                            // The server hung up on the drip.
+                            tallies.kills.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        i += 1;
+                    }
+                }
+                std::thread::sleep(reconnect_pause);
+            }
+        })
+    })
+}
+
+/// Launches a body-abuse fleet. Even-numbered attackers declare a body
+/// of `declared_oversize` bytes (over the server's `max_body`) and pump
+/// it as fast as they can — the hardened server answers `413` without
+/// reading it all. Odd-numbered attackers declare a modest body and
+/// trickle it below any sane throughput floor — the minimum-body-rate
+/// budget answers `408`. Both statuses land in `rejected_4xx`.
+pub fn body_flood(
+    addr: SocketAddr,
+    attackers: usize,
+    declared_oversize: usize,
+    drip: Duration,
+) -> AttackHandle {
+    spawn_fleet(attackers, &AttackTallies::default(), |i| {
+        let oversize = i % 2 == 0;
+        Box::new(move |stop, tallies| {
+            while !stop.load(Ordering::Relaxed) {
+                let Ok(mut sock) = TcpStream::connect(addr) else {
+                    std::thread::sleep(Duration::from_millis(100));
+                    continue;
+                };
+                let _ = sock.set_nodelay(true);
+                let _ = sock.set_read_timeout(Some(Duration::from_secs(5)));
+                let declared = if oversize {
+                    declared_oversize
+                } else {
+                    32 * 1024
+                };
+                let head = format!(
+                    "POST /shopping_cart HTTP/1.1\r\nHost: hostile\r\n\
+                     Content-Length: {declared}\r\nConnection: close\r\n\r\n"
+                );
+                if sock.write_all(head.as_bytes()).is_err() {
+                    continue;
+                }
+                if oversize {
+                    // Pump junk until the server answers or hangs up.
+                    let chunk = [b'x'; 4096];
+                    for _ in 0..(declared_oversize / chunk.len() + 1) {
+                        if sock.write_all(&chunk).is_err() {
+                            break;
+                        }
+                    }
+                } else {
+                    // Trickle far below any useful throughput.
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(drip);
+                        if sock.write_all(b"y").is_err() {
+                            break;
+                        }
+                    }
+                }
+                match read_response(&mut sock) {
+                    Ok(resp) if resp.status.is_client_error() => {
+                        tallies.rejected_4xx.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(resp) if resp.status.as_u16() == 503 => {
+                        tallies.turned_away.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(_) => {}
+                    Err(_) => {
+                        tallies.kills.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        })
+    })
+}
+
+/// Launches a flash crowd: `clients` closed-loop connections hammering
+/// `path` with no think time (a step-function surge when started on
+/// top of steady traffic). Tallies served `2xx`s and `503` turn-aways
+/// so the governor's rejection behaviour is visible from the crowd's
+/// side too.
+pub fn flash_crowd(addr: SocketAddr, clients: usize, path: &str) -> AttackHandle {
+    spawn_fleet(clients, &AttackTallies::default(), |_| {
+        let path = path.to_string();
+        Box::new(move |stop, tallies| {
+            while !stop.load(Ordering::Relaxed) {
+                match fetch_with_timeout(addr, Method::Get, &path, &[], Duration::from_secs(2)) {
+                    Ok(resp) if resp.status.is_success() => {
+                        tallies.served.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(resp) if resp.status.as_u16() == 503 => {
+                        tallies.turned_away.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(_) => {}
+                    Err(_) => {
+                        tallies.kills.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        })
+    })
+}
+
+/// Launches a hot-key storm: every attacker hammers the *same* cart row
+/// (`sc_id`/`i_id`) in a closed loop, so the dynamic stage contends on
+/// one key while the probes browse. Served updates land in `served`.
+pub fn hot_key_storm(addr: SocketAddr, attackers: usize, sc_id: u64, i_id: u64) -> AttackHandle {
+    let path = format!("/shopping_cart?sc_id={sc_id}&i_id={i_id}&qty=1");
+    spawn_fleet(attackers, &AttackTallies::default(), |_| {
+        let path = path.clone();
+        Box::new(move |stop, tallies| {
+            while !stop.load(Ordering::Relaxed) {
+                match fetch_with_timeout(addr, Method::Get, &path, &[], Duration::from_secs(2)) {
+                    Ok(resp) if resp.status.is_success() => {
+                        tallies.served.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(resp) if resp.status.as_u16() == 503 => {
+                        tallies.turned_away.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(_) => {
+                        tallies.rejected_4xx.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        tallies.kills.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        })
+    })
+}
+
+/// What the malformed-request fuzzer observed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FuzzReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// Connections answered with a `4xx` (the server explained itself).
+    pub answered_4xx: u64,
+    /// Connections closed without a parseable response (acceptable for
+    /// pure binary junk).
+    pub dropped: u64,
+    /// Responses that were neither — a `2xx`/`5xx` to garbage is a bug
+    /// in waiting, so the scenario asserts this stays zero.
+    pub unexpected: u64,
+}
+
+/// Sends `count` seeded malformed requests — binary junk, oversized
+/// request lines, broken versions, colon-less headers, absurd
+/// `Content-Length`s — one connection each, and tallies how the server
+/// answered. Deterministic for a given `seed`.
+pub fn malformed_fuzz(addr: SocketAddr, count: u64, seed: u64) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for i in 0..count {
+        let draw = splitmix64(seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let payload: Vec<u8> = match draw % 6 {
+            0 => {
+                // Pure binary junk.
+                (0..64)
+                    .map(|j| (splitmix64(draw ^ j) & 0xff) as u8)
+                    .collect()
+            }
+            1 => {
+                // A request line far over max_line.
+                let mut p = b"GET /".to_vec();
+                p.extend(std::iter::repeat_n(b'a', 10_000));
+                p.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+                p
+            }
+            2 => b"GET / HTTP/9.9\r\nHost: x\r\n\r\n".to_vec(),
+            3 => b"FROB / HTTP/1.1\r\nHost: x\r\n\r\n".to_vec(),
+            4 => b"GET / HTTP/1.1\r\nthis header has no colon\r\n\r\n".to_vec(),
+            _ => b"POST / HTTP/1.1\r\nHost: x\r\nContent-Length: 99999999999\r\n\r\n".to_vec(),
+        };
+        report.sent += 1;
+        let Ok(mut sock) = TcpStream::connect(addr) else {
+            report.dropped += 1;
+            continue;
+        };
+        let _ = sock.set_nodelay(true);
+        let _ = sock.set_read_timeout(Some(Duration::from_secs(2)));
+        if sock.write_all(&payload).is_err() {
+            report.dropped += 1;
+            continue;
+        }
+        match read_response(&mut sock) {
+            Ok(resp) if resp.status.is_client_error() => report.answered_4xx += 1,
+            Ok(_) => report.unexpected += 1,
+            Err(_) => report.dropped += 1,
+        }
+    }
+    report
+}

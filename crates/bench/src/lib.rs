@@ -22,6 +22,8 @@ use std::time::Duration;
 use staged_sync::{OrderedMutex, Rank};
 use std::collections::HashMap;
 
+pub mod hostile;
+
 /// Populated-database snapshots keyed by scale identity, so an
 /// experiment that builds several fresh deployments (both servers,
 /// ablation variants) pays the deterministic population cost once.

@@ -3,6 +3,7 @@
 use crate::app::{App, PageOutcome};
 use crate::config::ServerConfig;
 use crate::error::AppError;
+use crate::governor::{ConnectionGovernor, GovernedStream};
 use crate::handle::{FaultFn, ServerHandle};
 use crate::health::{self, HealthView, Readiness};
 use crate::overload::{overload_response, ChaosAction, DbSlot, RetryEstimator};
@@ -31,7 +32,7 @@ struct WorkerCtx {
     /// Adaptive `Retry-After` advice for shed responses.
     retry: RetryEstimator,
     /// The worker queue, held for health reporting and retry advice.
-    queue: Arc<SyncQueue<(TcpStream, Instant)>>,
+    queue: Arc<SyncQueue<(GovernedStream, Instant)>>,
     /// The worker pool's stats, held for health reporting.
     pool_stats: Arc<PoolStats>,
     /// Lifecycle phase, served by `/readyz`.
@@ -40,6 +41,9 @@ struct WorkerCtx {
     breaker: Option<Arc<CircuitBreaker>>,
     /// The metrics registry; `/metrics` and `/healthz` both read it.
     registry: Arc<Registry>,
+    /// Connection-admission caps (global/per-IP concurrency, keep-alive
+    /// quotas, idle harvesting) — same machinery as the staged server.
+    governor: ConnectionGovernor,
     /// Set when shutdown begins: keep-alive connections are closed
     /// after their in-flight response instead of being read again.
     draining: Arc<AtomicBool>,
@@ -114,10 +118,11 @@ impl BaselineServer {
 
         // Queue and stats exist before the pool so the worker context
         // can report them on `/healthz` and feed the retry estimator.
-        let queue = Arc::new(SyncQueue::<(TcpStream, Instant)>::bounded(
+        let queue = Arc::new(SyncQueue::<(GovernedStream, Instant)>::bounded(
             config.baseline_queue_bound(),
         ));
         let pool_stats = Arc::new(PoolStats::default());
+        let governor = ConnectionGovernor::new(config.governor);
 
         // One registry for `/metrics`, `/healthz`, and the handle's
         // accessors — the baseline registers its single stage and pool
@@ -128,6 +133,7 @@ impl BaselineServer {
         register_pool(&registry, "baseline-worker", "worker", &pool_stats);
         stats.register_into(&registry);
         register_page_tracker(&registry, &tracker);
+        governor.register_into(&registry);
 
         let retry = {
             let q = Arc::clone(&queue);
@@ -151,6 +157,7 @@ impl BaselineServer {
             readiness: Arc::clone(&readiness),
             breaker: breaker.clone(),
             registry: Arc::clone(&registry),
+            governor,
             draining: Arc::clone(&draining),
         });
 
@@ -162,7 +169,7 @@ impl BaselineServer {
             Arc::clone(&pool_stats),
             PoolConfig::new("baseline-worker", config.baseline_workers),
             |_| DbSlot::new(&connections, db_acquire_timeout, db_acquire_retries),
-            move |slot: &mut DbSlot, (stream, arrived): (TcpStream, Instant)| {
+            move |slot: &mut DbSlot, (stream, arrived): (GovernedStream, Instant)| {
                 // Queue-wait check: a connection that waited longer
                 // than the whole request budget is shed, not served.
                 if worker_ctx.budget.is_some_and(|b| arrived.elapsed() > b) {
@@ -174,7 +181,7 @@ impl BaselineServer {
                     {
                         // The request was never read; drain it so the
                         // close doesn't RST the 503 away.
-                        crate::overload::drain_before_close(conn.stream_mut());
+                        crate::overload::drain_before_close(conn.stream_mut().tcp());
                     }
                     return;
                 }
@@ -218,6 +225,28 @@ impl BaselineServer {
                             }
                             let _ = stream.set_read_timeout(read_timeout);
                             let _ = stream.set_write_timeout(write_timeout);
+                            // Admission control: over-cap connections are
+                            // turned away with the well-formed 503 +
+                            // Retry-After, not silently reset.
+                            let peer_ip = stream.peer_addr().ok().map(|a| a.ip());
+                            let stream = match listen_ctx.governor.admit(peer_ip) {
+                                Ok(permit) => GovernedStream::new(stream, Some(permit)),
+                                Err(_) => {
+                                    let mut conn = Connection::with_limits(
+                                        GovernedStream::new(stream, None),
+                                        listen_ctx.limits,
+                                    );
+                                    let resp = overload_response(listen_ctx.retry.advise());
+                                    if conn.send(&resp).is_err() {
+                                        listen_ctx.stats.dropped_connections.increment();
+                                    } else {
+                                        crate::overload::drain_before_close(
+                                            conn.stream_mut().tcp(),
+                                        );
+                                    }
+                                    continue;
+                                }
+                            };
                             // Non-blocking enqueue: a full queue sheds
                             // the connection instead of stalling accept.
                             match queue.try_push((stream, Instant::now())) {
@@ -233,7 +262,9 @@ impl BaselineServer {
                                     {
                                         listen_ctx.stats.dropped_connections.increment();
                                     } else {
-                                        crate::overload::drain_before_close(conn.stream_mut());
+                                        crate::overload::drain_before_close(
+                                            conn.stream_mut().tcp(),
+                                        );
                                     }
                                 }
                                 Err(PushError::Closed(_)) => break,
@@ -289,20 +320,28 @@ impl BaselineServer {
 
 /// Serves every request on one connection, thread-per-request style:
 /// the whole request lifecycle runs on the calling worker thread.
-fn serve_connection(stream: TcpStream, slot: &mut DbSlot, ctx: &WorkerCtx) {
+fn serve_connection(stream: GovernedStream, slot: &mut DbSlot, ctx: &WorkerCtx) {
     let mut conn = Connection::with_limits(stream, ctx.limits);
     loop {
         let request = match conn.read_request() {
             Ok(r) => r,
             Err(HttpError::ConnectionClosed { clean: true }) => return,
             Err(e) => {
-                if e.wants_bad_request() {
-                    let mut resp = Response::error(StatusCode::BAD_REQUEST);
-                    resp.set_close();
-                    let _ = conn.send(&resp);
-                    ctx.stats.errors.increment();
-                } else {
-                    ctx.stats.dropped_connections.increment();
+                // Map the parse failure to its real status — 400 for
+                // malformed, 431/413 for oversized headers/bodies, 408
+                // for an expired lifecycle budget — instead of a silent
+                // drop (or a blanket 400).
+                match e.response_status() {
+                    Some(status) => {
+                        if e.is_lifecycle_timeout() {
+                            ctx.stats.slowloris_kills.increment();
+                        }
+                        let mut resp = Response::error(status);
+                        resp.set_close();
+                        let _ = conn.send(&resp);
+                        ctx.stats.errors.increment();
+                    }
+                    None => ctx.stats.dropped_connections.increment(),
                 }
                 return;
             }
@@ -332,6 +371,9 @@ fn serve_connection(stream: TcpStream, slot: &mut DbSlot, ctx: &WorkerCtx) {
             if !keep_alive || server_closed || ctx.draining.load(Ordering::Relaxed) {
                 return;
             }
+            if keepalive_over_budget(&mut conn, ctx) {
+                return;
+            }
             continue;
         }
         let (response, kind) = process_request(ctx, &request, slot);
@@ -351,7 +393,19 @@ fn serve_connection(stream: TcpStream, slot: &mut DbSlot, ctx: &WorkerCtx) {
         if !keep_alive || server_closed || ctx.draining.load(Ordering::Relaxed) {
             return;
         }
+        if keepalive_over_budget(&mut conn, ctx) {
+            return;
+        }
     }
+}
+
+/// Keep-alive lifecycle caps: `true` when this connection has served
+/// its request quota, or when open connections sit at the governor's
+/// harvest watermark (an idle keep-alive connection is then closed to
+/// free its admission slot for a new peer).
+fn keepalive_over_budget(conn: &mut Connection<GovernedStream>, ctx: &WorkerCtx) -> bool {
+    let served = conn.stream_mut().count_served();
+    ctx.governor.keepalive_exhausted(served) || ctx.governor.harvest_idle()
 }
 
 /// Full request processing on the current thread (parse already done):

@@ -1,5 +1,6 @@
 //! Server configuration.
 
+use crate::governor::GovernorConfig;
 use crate::overload::ListenerChaos;
 use staged_db::{BreakerConfig, FaultPlan};
 use staged_http::ParseLimits;
@@ -143,6 +144,10 @@ pub struct ServerConfig {
     /// (the N slowest served requests keep their full stage timeline).
     /// `0` disables trace retention; outcome counters still work.
     pub trace_ring: usize,
+    /// Connection-admission caps (global / per-IP concurrency, keep-alive
+    /// request quota, idle harvesting) shared by both servers. All caps
+    /// default to off — see [`GovernorConfig`].
+    pub governor: GovernorConfig,
 }
 
 impl Default for ServerConfig {
@@ -186,6 +191,7 @@ impl Default for ServerConfig {
             stale_capacity: 256,
             drain_deadline: Duration::from_secs(5),
             trace_ring: 32,
+            governor: GovernorConfig::default(),
         }
     }
 }
@@ -310,6 +316,7 @@ impl ServerConfig {
         if let Some(breaker) = &self.breaker {
             breaker.validate();
         }
+        self.governor.validate();
     }
 }
 

@@ -186,6 +186,27 @@ impl HealthView<'_> {
             let _ = write!(s, "\"{point}\":{n}");
         }
         s.push('}');
+        // Connection-admission picture (only present once a governor has
+        // registered — both servers do at start; absent in unit-test
+        // registries that predate it).
+        if let Some(open) = self.registry.value("connections_open", &[]) {
+            let rejected = |reason: &str| {
+                self.registry
+                    .value("connections_rejected_total", &[("reason", reason)])
+                    .unwrap_or(0.0)
+                    .max(0.0) as u64
+            };
+            let _ = write!(
+                s,
+                ",\"connections\":{{\"open\":{},\"rejected_global\":{},\"rejected_per_ip\":{},\"harvested\":{},\"keepalive_capped\":{},\"slowloris_kills\":{}}}",
+                open.max(0.0) as u64,
+                rejected("global-cap"),
+                rejected("per-ip-cap"),
+                self.counter("keepalive_harvested_total"),
+                self.counter("keepalive_capped_total"),
+                self.counter("slowloris_kills_total")
+            );
+        }
         s.push_str(",\"pools\":[");
         for (i, pool) in self
             .registry
@@ -356,6 +377,45 @@ mod tests {
         assert!(body.contains("\"state\":\"closed\""), "{body}");
         // No scheduler gauges registered → no scheduler object at all.
         assert!(!body.contains("scheduler"), "{body}");
+    }
+
+    #[test]
+    fn connections_section_appears_once_governor_registers() {
+        let registry = populated_registry();
+        registry.gauge_fn("connections_open", &[], || 7.0);
+        registry.counter_fn(
+            "connections_rejected_total",
+            &[("reason", "global-cap")],
+            || 3,
+        );
+        registry.counter_fn(
+            "connections_rejected_total",
+            &[("reason", "per-ip-cap")],
+            || 2,
+        );
+        registry.counter_fn("keepalive_harvested_total", &[], || 1);
+        registry.counter_fn("keepalive_capped_total", &[], || 4);
+        registry.counter_fn("slowloris_kills_total", &[], || 5);
+        let v = HealthView {
+            phase: Phase::Ready,
+            breaker: None,
+            registry: &registry,
+        };
+        let body = String::from_utf8(v.healthz().body().to_vec()).unwrap();
+        assert!(body.contains("\"connections\":{\"open\":7"), "{body}");
+        assert!(body.contains("\"rejected_global\":3"), "{body}");
+        assert!(body.contains("\"rejected_per_ip\":2"), "{body}");
+        assert!(body.contains("\"slowloris_kills\":5"), "{body}");
+
+        // A registry without the governor families omits the section.
+        let bare = populated_registry();
+        let v = HealthView {
+            phase: Phase::Ready,
+            breaker: None,
+            registry: &bare,
+        };
+        let body = String::from_utf8(v.healthz().body().to_vec()).unwrap();
+        assert!(!body.contains("\"connections\""), "{body}");
     }
 
     #[test]

@@ -58,6 +58,7 @@ mod app;
 mod baseline;
 mod config;
 mod error;
+mod governor;
 mod handle;
 mod health;
 mod overload;
@@ -70,6 +71,7 @@ pub use app::{App, AppBuilder, Handler, PageOutcome, Route};
 pub use baseline::BaselineServer;
 pub use config::ServerConfig;
 pub use error::AppError;
+pub use governor::GovernorConfig;
 pub use handle::{PoolSnapshot, ServerHandle};
 pub use health::{Phase, Readiness};
 pub use overload::{ChaosAction, ListenerChaos};

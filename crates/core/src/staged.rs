@@ -17,6 +17,7 @@
 use crate::app::{App, PageOutcome};
 use crate::baseline::run_handler_with_slot;
 use crate::config::ServerConfig;
+use crate::governor::{ConnectionGovernor, GovernedStream};
 use crate::handle::{FaultFn, ServerHandle};
 use crate::health::{self, HealthView, Readiness};
 use crate::overload::{overload_response, ChaosAction, DbSlot, RetryEstimator};
@@ -36,7 +37,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-type Conn = Connection<TcpStream>;
+type Conn = Connection<GovernedStream>;
 
 /// An accepted (or requeued keep-alive) connection waiting for a header
 /// worker, stamped so queue wait counts against the request deadline.
@@ -136,6 +137,9 @@ struct Shared {
     registry: Arc<Registry>,
     /// Trace pool + slow ring; every request's trace starts here.
     trace_hub: TraceHub,
+    /// Connection-admission caps (global/per-IP concurrency, keep-alive
+    /// quotas, idle harvesting).
+    governor: ConnectionGovernor,
     /// Set when shutdown begins: keep-alive connections are no longer
     /// requeued, so in-flight requests finish and the stages run dry.
     draining: AtomicBool,
@@ -188,8 +192,16 @@ impl Shared {
     /// The next request gets a fresh trace; if the connection then
     /// closes cleanly without sending one, that trace finishes as
     /// `Dropped` (no response was owed).
-    fn requeue(&self, conn: Conn, keep_alive: bool) {
+    fn requeue(&self, mut conn: Conn, keep_alive: bool) {
         if !keep_alive || self.draining.load(Ordering::Relaxed) {
+            return;
+        }
+        // Keep-alive lifecycle caps: a connection that has served its
+        // request quota — or any idle connection while open connections
+        // sit at the governor's harvest watermark — is closed instead of
+        // requeued, freeing its admission slot for a new peer.
+        let served = conn.stream_mut().count_served();
+        if self.governor.keepalive_exhausted(served) || self.governor.harvest_idle() {
             return;
         }
         let mut trace = self.trace_hub.start();
@@ -291,7 +303,7 @@ impl Shared {
         } else {
             // The request may be partly (or wholly) unread; drain it so
             // closing doesn't RST the 503 away.
-            crate::overload::drain_before_close(conn.stream_mut());
+            crate::overload::drain_before_close(conn.stream_mut().tcp());
         }
         trace.finish(TraceOutcome::Shed, None);
     }
@@ -307,7 +319,7 @@ impl Shared {
         {
             self.stats.dropped_connections.increment();
         } else {
-            crate::overload::drain_before_close(conn.stream_mut());
+            crate::overload::drain_before_close(conn.stream_mut().tcp());
         }
         trace.finish(TraceOutcome::Expired, None);
     }
@@ -428,6 +440,8 @@ impl StagedServer {
         ));
         let registry = Arc::new(Registry::new());
         let trace_hub = TraceHub::new(&registry, config.trace_ring);
+        let governor = ConnectionGovernor::new(config.governor);
+        governor.register_into(&registry);
         let connections = ConnectionPool::new(db, config.db_connections);
         connections.set_fault_plan(config.fault_plan);
         connections.set_breaker(config.breaker);
@@ -506,6 +520,7 @@ impl StagedServer {
             breaker: breaker.clone(),
             registry: Arc::clone(&registry),
             trace_hub: trace_hub.clone(),
+            governor,
             draining: AtomicBool::new(false),
         });
 
@@ -665,6 +680,28 @@ impl StagedServer {
                             }
                             let _ = stream.set_read_timeout(read_timeout);
                             let _ = stream.set_write_timeout(write_timeout);
+                            // Admission control: over-cap connections are
+                            // turned away with the well-formed 503 +
+                            // Retry-After, not silently reset.
+                            let peer_ip = stream.peer_addr().ok().map(|a| a.ip());
+                            let stream = match listen_shared.governor.admit(peer_ip) {
+                                Ok(permit) => GovernedStream::new(stream, Some(permit)),
+                                Err(_) => {
+                                    let mut conn = Connection::with_limits(
+                                        GovernedStream::new(stream, None),
+                                        limits,
+                                    );
+                                    let resp = overload_response(listen_shared.retry.advise());
+                                    if conn.send(&resp).is_err() {
+                                        listen_shared.stats.dropped_connections.increment();
+                                    } else {
+                                        crate::overload::drain_before_close(
+                                            conn.stream_mut().tcp(),
+                                        );
+                                    }
+                                    continue;
+                                }
+                            };
                             let conn = Connection::with_limits(stream, limits);
                             let mut trace = listen_shared.trace_hub.start();
                             trace.enqueued(Stage::Parse);
@@ -807,14 +844,7 @@ fn header_worker(shared: &Shared, timed: TimedConn) {
         // connection idling out) drops the trace: no response was owed.
         Err(HttpError::ConnectionClosed { clean: true }) => return,
         Err(e) => {
-            if e.wants_bad_request() {
-                let mut resp = Response::error(StatusCode::BAD_REQUEST);
-                resp.set_close();
-                let _ = conn.send(&resp);
-                shared.stats.errors.increment();
-            } else {
-                shared.stats.dropped_connections.increment();
-            }
+            fail_parse(shared, conn, e, trace);
             return;
         }
     };
@@ -935,14 +965,24 @@ fn header_worker(shared: &Shared, timed: TimedConn) {
     }
 }
 
+/// Answers a failed parse with the status the error maps to — `400` for
+/// malformed requests, `431`/`413` for oversized headers/bodies, `408`
+/// for an expired lifecycle budget — always with `Connection: close`,
+/// so hostile or broken clients learn *why* instead of seeing a silent
+/// drop. Errors with no response mapping (I/O failures, unclean closes)
+/// are dropped as before.
 fn fail_parse(shared: &Shared, mut conn: Conn, e: HttpError, trace: Trace) {
-    if e.wants_bad_request() {
-        let mut resp = Response::error(StatusCode::BAD_REQUEST);
-        resp.set_close();
-        let _ = conn.send(&resp);
-        shared.stats.errors.increment();
-    } else {
-        shared.stats.dropped_connections.increment();
+    match e.response_status() {
+        Some(status) => {
+            if e.is_lifecycle_timeout() {
+                shared.stats.slowloris_kills.increment();
+            }
+            let mut resp = Response::error(status);
+            resp.set_close();
+            let _ = conn.send(&resp);
+            shared.stats.errors.increment();
+        }
+        None => shared.stats.dropped_connections.increment(),
     }
     trace.finish(TraceOutcome::Dropped, None);
 }

@@ -5,8 +5,24 @@ use crate::headers::HeaderMap;
 use crate::request::{Request, RequestLine};
 use crate::response::Response;
 use std::io::{self, IoSlice, Read, Write};
+use std::time::{Duration, Instant};
 
 /// Limits applied while parsing incoming requests.
+///
+/// Beyond the size caps, two *lifecycle budgets* defend against
+/// drip-feed (slowloris) clients that a per-read socket timeout cannot
+/// catch — one byte every few seconds resets the timeout forever while
+/// pinning a parse thread:
+///
+/// * [`header_deadline`](ParseLimits::header_deadline) bounds the
+///   wall-clock time from the first byte of a request to the end of its
+///   header block;
+/// * [`min_body_rate`](ParseLimits::min_body_rate) (after a
+///   [`body_grace`](ParseLimits::body_grace) warm-up) bounds how slowly
+///   a body may trickle in.
+///
+/// Both are off by default so the raw parsing substrate stays
+/// timing-free for tests; the servers opt in via their config.
 ///
 /// # Examples
 ///
@@ -15,6 +31,7 @@ use std::io::{self, IoSlice, Read, Write};
 ///
 /// let limits = ParseLimits::default();
 /// assert_eq!(limits.max_line, 8192);
+/// assert!(limits.header_deadline.is_none());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParseLimits {
@@ -24,6 +41,17 @@ pub struct ParseLimits {
     pub max_headers: usize,
     /// Maximum request body size, in bytes.
     pub max_body: usize,
+    /// Hard wall-clock deadline for receiving a complete header block,
+    /// measured from the first byte of the request (keep-alive think
+    /// time between requests does not count). `None` disables.
+    pub header_deadline: Option<Duration>,
+    /// Minimum sustained body throughput in bytes per second; a body
+    /// arriving slower than this (once [`body_grace`](ParseLimits::body_grace)
+    /// has elapsed) is treated as a drip-feed attack. `0` disables.
+    pub min_body_rate: u64,
+    /// Grace period before [`min_body_rate`](ParseLimits::min_body_rate)
+    /// is enforced, so a briefly stalled upload is not killed instantly.
+    pub body_grace: Duration,
 }
 
 impl Default for ParseLimits {
@@ -32,6 +60,9 @@ impl Default for ParseLimits {
             max_line: 8192,
             max_headers: 100,
             max_body: 1 << 20,
+            header_deadline: None,
+            min_body_rate: 0,
+            body_grace: Duration::from_millis(500),
         }
     }
 }
@@ -61,6 +92,10 @@ pub struct Connection<S> {
     /// keep-alive connection serializes every response into the same
     /// allocation.
     head_buf: Vec<u8>,
+    /// When the first byte of the current request was seen; drives the
+    /// header-deadline budget and resets once the header block is
+    /// complete.
+    header_started: Option<Instant>,
 }
 
 impl<S: Read + Write> Connection<S> {
@@ -77,6 +112,7 @@ impl<S: Read + Write> Connection<S> {
             pos: 0,
             limits,
             head_buf: Vec::new(),
+            header_started: None,
         }
     }
 
@@ -106,6 +142,9 @@ impl<S: Read + Write> Connection<S> {
         loop {
             let line = self.read_line(false)?;
             if line.is_empty() {
+                // Header block complete: the deadline budget is settled
+                // and the next request starts a fresh clock.
+                self.header_started = None;
                 return Ok(headers);
             }
             if headers.len() >= self.limits.max_headers {
@@ -137,8 +176,20 @@ impl<S: Read + Write> Connection<S> {
         body.extend_from_slice(&self.buf[self.pos..self.pos + buffered]);
         self.pos += buffered;
         self.compact();
-        // Then read the remainder directly.
+        // Then read the remainder directly, holding the peer to the
+        // minimum-throughput budget: buffered bytes count as credit, and
+        // the grace window keeps briefly stalled uploads alive.
+        let started = Instant::now();
         while body.len() < len {
+            if self.limits.min_body_rate > 0 {
+                let elapsed = started.elapsed();
+                if elapsed > self.limits.body_grace {
+                    let required = elapsed.as_secs_f64() * self.limits.min_body_rate as f64;
+                    if (body.len() as f64) < required {
+                        return Err(HttpError::Timeout("request body throughput"));
+                    }
+                }
+            }
             let mut chunk = [0u8; 4096];
             let want = (len - body.len()).min(chunk.len());
             let n = self.stream.read(&mut chunk[..want])?;
@@ -226,6 +277,11 @@ impl<S: Read + Write> Connection<S> {
     /// before any byte is a *clean* close.
     fn read_line(&mut self, at_boundary: bool) -> Result<String, HttpError> {
         let mut scanned = self.pos;
+        if self.header_started.is_none() && self.buf.len() > self.pos {
+            // Pipelined bytes of the next request are already buffered;
+            // its deadline clock starts now.
+            self.header_started = Some(Instant::now());
+        }
         loop {
             if let Some(nl) = self.buf[scanned..].iter().position(|&b| b == b'\n') {
                 let end = scanned + nl;
@@ -245,11 +301,24 @@ impl<S: Read + Write> Connection<S> {
             if self.buf.len() - self.pos > self.limits.max_line {
                 return Err(HttpError::TooLarge("request line or header line"));
             }
+            // About to block for more bytes: a fully buffered line always
+            // parses, but a peer that still owes us header bytes is held
+            // to the wall-clock deadline.
+            if let (Some(deadline), Some(started)) =
+                (self.limits.header_deadline, self.header_started)
+            {
+                if started.elapsed() >= deadline {
+                    return Err(HttpError::Timeout("header block"));
+                }
+            }
             let mut chunk = [0u8; 4096];
             let n = self.stream.read(&mut chunk)?;
             if n == 0 {
                 let clean = at_boundary && self.pos == self.buf.len();
                 return Err(HttpError::ConnectionClosed { clean });
+            }
+            if self.header_started.is_none() {
+                self.header_started = Some(Instant::now());
             }
             self.buf.extend_from_slice(&chunk[..n]);
         }
@@ -528,5 +597,144 @@ mod tests {
         let mut conn = Connection::new(MockStream::new(raw));
         let req = conn.read_request().unwrap();
         assert_eq!(req.body, b"abcdefgh");
+    }
+
+    /// A transport that delivers one byte per read after a fixed delay —
+    /// the slowloris access pattern: each read succeeds quickly enough
+    /// to defeat any per-read socket timeout.
+    struct DripStream {
+        data: Vec<u8>,
+        idx: usize,
+        delay: Duration,
+    }
+
+    impl DripStream {
+        fn new(data: impl Into<Vec<u8>>, delay: Duration) -> Self {
+            DripStream {
+                data: data.into(),
+                idx: 0,
+                delay,
+            }
+        }
+    }
+
+    impl Read for DripStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.idx >= self.data.len() {
+                return Ok(0);
+            }
+            std::thread::sleep(self.delay);
+            buf[0] = self.data[self.idx];
+            self.idx += 1;
+            Ok(1)
+        }
+    }
+
+    impl Write for DripStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn header_deadline_kills_drip_feed() {
+        let limits = ParseLimits {
+            header_deadline: Some(Duration::from_millis(40)),
+            ..ParseLimits::default()
+        };
+        // A request line that never completes, dripped a byte at a time.
+        let raw = format!("GET /{}", "a".repeat(500));
+        let mut conn =
+            Connection::with_limits(DripStream::new(raw, Duration::from_millis(5)), limits);
+        let start = Instant::now();
+        match conn.read_request_line() {
+            Err(HttpError::Timeout("header block")) => {}
+            other => panic!("expected header-block timeout, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "drip client must be evicted near the deadline, not after the full drip"
+        );
+    }
+
+    #[test]
+    fn buffered_headers_parse_despite_expired_deadline() {
+        // The deadline is only consulted when the parser must block for
+        // more bytes — a fully arrived request always parses, however
+        // long it sat queued before a worker picked it up.
+        let limits = ParseLimits {
+            header_deadline: Some(Duration::ZERO),
+            ..ParseLimits::default()
+        };
+        let raw = "GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+        let mut conn = Connection::with_limits(MockStream::new(raw), limits);
+        let req = conn.read_request().unwrap();
+        assert_eq!(req.path(), "/");
+    }
+
+    #[test]
+    fn header_deadline_spans_staged_parsing() {
+        // Stage 1 reads the request line; the same budget covers the
+        // remaining headers dripped afterwards.
+        let limits = ParseLimits {
+            header_deadline: Some(Duration::from_millis(40)),
+            ..ParseLimits::default()
+        };
+        let raw = format!("GET / HTTP/1.1\r\nX-Pad: {}", "b".repeat(500));
+        let mut conn =
+            Connection::with_limits(DripStream::new(raw, Duration::from_millis(2)), limits);
+        conn.read_request_line().unwrap();
+        match conn.read_remaining_headers() {
+            Err(HttpError::Timeout("header block")) => {}
+            other => panic!("expected header-block timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_clock_resets_between_requests() {
+        let limits = ParseLimits {
+            header_deadline: Some(Duration::from_millis(30)),
+            ..ParseLimits::default()
+        };
+        let raw = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut conn = Connection::with_limits(MockStream::new(raw), limits);
+        assert_eq!(conn.read_request().unwrap().path(), "/a");
+        std::thread::sleep(Duration::from_millis(40));
+        // The first request's elapsed time must not be charged to the
+        // second one.
+        assert_eq!(conn.read_request().unwrap().path(), "/b");
+    }
+
+    #[test]
+    fn min_body_rate_kills_trickled_body() {
+        let limits = ParseLimits {
+            min_body_rate: 10_000,
+            body_grace: Duration::from_millis(20),
+            ..ParseLimits::default()
+        };
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: 500\r\n\r\n{}",
+            "c".repeat(500)
+        );
+        let mut conn =
+            Connection::with_limits(DripStream::new(raw, Duration::from_millis(5)), limits);
+        match conn.read_request() {
+            Err(HttpError::Timeout("request body throughput")) => {}
+            other => panic!("expected body-throughput timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fast_body_passes_min_rate() {
+        let limits = ParseLimits {
+            min_body_rate: 1_000,
+            ..ParseLimits::default()
+        };
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let mut conn = Connection::with_limits(MockStream::new(raw), limits);
+        assert_eq!(conn.read_request().unwrap().body, b"hello");
     }
 }

@@ -1,5 +1,6 @@
 //! Error type shared by the HTTP substrate.
 
+use crate::status::StatusCode;
 use std::error::Error;
 use std::fmt;
 use std::io;
@@ -18,6 +19,10 @@ pub enum HttpError {
     Malformed(String),
     /// A line, header block, or body exceeded the configured limits.
     TooLarge(&'static str),
+    /// A lifecycle budget expired: the peer failed to deliver a complete
+    /// header block before the wall-clock deadline, or trickled a body
+    /// below the minimum throughput (see `ParseLimits`).
+    Timeout(&'static str),
     /// Only HTTP/1.0 and HTTP/1.1 are accepted.
     UnsupportedVersion(String),
     /// The request method is not recognized.
@@ -37,6 +42,7 @@ impl fmt::Display for HttpError {
             }
             HttpError::Malformed(detail) => write!(f, "malformed request: {detail}"),
             HttpError::TooLarge(what) => write!(f, "{what} exceeds configured limit"),
+            HttpError::Timeout(what) => write!(f, "{what} exceeded its lifecycle budget"),
             HttpError::UnsupportedVersion(v) => write!(f, "unsupported HTTP version {v}"),
             HttpError::UnknownMethod(m) => write!(f, "unknown method {m}"),
             HttpError::Io(e) => write!(f, "i/o error: {e}"),
@@ -60,16 +66,38 @@ impl From<io::Error> for HttpError {
 }
 
 impl HttpError {
-    /// Whether the error warrants a `400 Bad Request` response (as
-    /// opposed to silently dropping the connection).
+    /// Whether the error warrants an error response (as opposed to
+    /// silently dropping the connection).
     pub fn wants_bad_request(&self) -> bool {
-        matches!(
-            self,
+        self.response_status().is_some()
+    }
+
+    /// The status an error response should carry, or `None` when the
+    /// peer is gone and nothing can usefully be written:
+    ///
+    /// * syntactically invalid requests → `400 Bad Request`;
+    /// * oversized bodies → `413 Payload Too Large`;
+    /// * oversized lines or header blocks → `431 Request Header Fields
+    ///   Too Large`;
+    /// * expired lifecycle budgets → `408 Request Timeout`.
+    pub fn response_status(&self) -> Option<StatusCode> {
+        match self {
             HttpError::Malformed(_)
-                | HttpError::TooLarge(_)
-                | HttpError::UnsupportedVersion(_)
-                | HttpError::UnknownMethod(_)
-        )
+            | HttpError::UnsupportedVersion(_)
+            | HttpError::UnknownMethod(_) => Some(StatusCode::BAD_REQUEST),
+            HttpError::TooLarge(what) if *what == "request body" => {
+                Some(StatusCode::PAYLOAD_TOO_LARGE)
+            }
+            HttpError::TooLarge(_) => Some(StatusCode::REQUEST_HEADER_FIELDS_TOO_LARGE),
+            HttpError::Timeout(_) => Some(StatusCode::REQUEST_TIMEOUT),
+            HttpError::ConnectionClosed { .. } | HttpError::Io(_) => None,
+        }
+    }
+
+    /// Whether this error is an expired lifecycle budget — the signature
+    /// of a slow/drip-feed client, counted separately by the servers.
+    pub fn is_lifecycle_timeout(&self) -> bool {
+        matches!(self, HttpError::Timeout(_))
     }
 }
 
@@ -101,7 +129,39 @@ mod tests {
     fn bad_request_classification() {
         assert!(HttpError::Malformed("m".into()).wants_bad_request());
         assert!(HttpError::TooLarge("header").wants_bad_request());
+        assert!(HttpError::Timeout("header block").wants_bad_request());
         assert!(!HttpError::ConnectionClosed { clean: true }.wants_bad_request());
         assert!(!HttpError::Io(io::Error::other("x")).wants_bad_request());
+    }
+
+    #[test]
+    fn response_status_mapping() {
+        assert_eq!(
+            HttpError::Malformed("m".into()).response_status(),
+            Some(StatusCode::BAD_REQUEST)
+        );
+        assert_eq!(
+            HttpError::TooLarge("request body").response_status(),
+            Some(StatusCode::PAYLOAD_TOO_LARGE)
+        );
+        assert_eq!(
+            HttpError::TooLarge("header count").response_status(),
+            Some(StatusCode::REQUEST_HEADER_FIELDS_TOO_LARGE)
+        );
+        assert_eq!(
+            HttpError::Timeout("request body throughput").response_status(),
+            Some(StatusCode::REQUEST_TIMEOUT)
+        );
+        assert_eq!(
+            HttpError::ConnectionClosed { clean: false }.response_status(),
+            None
+        );
+        assert_eq!(HttpError::Io(io::Error::other("x")).response_status(), None);
+    }
+
+    #[test]
+    fn lifecycle_timeout_classification() {
+        assert!(HttpError::Timeout("header block").is_lifecycle_timeout());
+        assert!(!HttpError::TooLarge("request body").is_lifecycle_timeout());
     }
 }

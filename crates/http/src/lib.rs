@@ -52,7 +52,9 @@ mod status;
 mod uri;
 
 pub use body::{Body, BufferPool, PooledBuf};
-pub use client::{fetch, fetch_with_timeout, read_response, ClientResponse};
+pub use client::{
+    fetch, fetch_with_retry, fetch_with_timeout, read_response, ClientResponse, RetryPolicy,
+};
 pub use connection::{Connection, ParseLimits};
 pub use error::HttpError;
 pub use headers::HeaderMap;

@@ -37,6 +37,8 @@ impl StatusCode {
     pub const REQUEST_TIMEOUT: StatusCode = StatusCode(408);
     /// `413 Payload Too Large`
     pub const PAYLOAD_TOO_LARGE: StatusCode = StatusCode(413);
+    /// `431 Request Header Fields Too Large`
+    pub const REQUEST_HEADER_FIELDS_TOO_LARGE: StatusCode = StatusCode(431);
     /// `500 Internal Server Error`
     pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
     /// `503 Service Unavailable`
@@ -77,6 +79,7 @@ impl StatusCode {
             413 => "Payload Too Large",
             414 => "URI Too Long",
             429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             501 => "Not Implemented",
             502 => "Bad Gateway",
@@ -136,6 +139,10 @@ mod tests {
     #[test]
     fn display_includes_reason() {
         assert_eq!(StatusCode::NOT_FOUND.to_string(), "404 Not Found");
+        assert_eq!(
+            StatusCode::REQUEST_HEADER_FIELDS_TOO_LARGE.to_string(),
+            "431 Request Header Fields Too Large"
+        );
     }
 
     #[test]
