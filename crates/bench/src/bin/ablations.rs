@@ -72,7 +72,7 @@ fn main() {
         .report
         .mean_ms("best_sellers")
         .unwrap_or(f64::NAN);
-    unmodified.server.shutdown();
+    unmodified.server.shutdown().expect("clean shutdown");
 
     println!(
         "\n{:<16} {:>12} {:>10} {:>14} {:>16}",
@@ -98,7 +98,7 @@ fn main() {
             report.mean_ms("home").unwrap_or(f64::NAN),
             report.mean_ms("best_sellers").unwrap_or(f64::NAN),
         );
-        outcome.server.shutdown();
+        outcome.server.shutdown().expect("clean shutdown");
     }
     println!("\n(home = representative quick page; best sellers = representative lengthy page)");
 }

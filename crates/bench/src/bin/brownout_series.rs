@@ -222,7 +222,7 @@ fn main() {
                 phase.name
             );
         }
-        server.shutdown();
+        server.shutdown().expect("clean shutdown");
         println!("{}", "-".repeat(95));
     }
     json_rows.push(']');

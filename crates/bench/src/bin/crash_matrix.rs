@@ -1,0 +1,510 @@
+//! Seeded crash-injection matrix (DESIGN.md §13) — the CI gate for the
+//! WAL's three recovery promises:
+//!
+//! 1. **acked-present** — every statement acknowledged before the crash
+//!    is in the recovered state;
+//! 2. **clean-prefix** — the recovered state is exactly some prefix of
+//!    the workload, never a torn half-applied record;
+//! 3. **idempotent** — reopening a recovered directory again changes
+//!    nothing, byte for byte.
+//!
+//! Legs: process death at sampled WAL byte offsets, at each fsync
+//! boundary, inside both checkpoint phases, plus torn-tail garbage and
+//! single-bit corruption of the log, and a TPC-W population checksum
+//! that must round-trip through checkpoint + reopen. Every case is
+//! derived from `--seed`, so a CI failure reproduces locally with the
+//! seed from the artifact.
+//!
+//! Exits non-zero on any invariant violation.
+//!
+//! Flags: `--seed N`, `--smoke`, `--json PATH`.
+
+use staged_bench::json_row;
+use staged_db::{
+    splitmix64, CheckpointPhase, CrashPlan, Database, DbValue, DurabilityConfig, FsyncPolicy,
+};
+use staged_metrics::Snapshot;
+use staged_tpcw::{populate, ScaleConfig};
+use std::path::{Path, PathBuf};
+
+struct Args {
+    seed: u64,
+    smoke: bool,
+    json: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut parsed = Args {
+            seed: 0x0d5e_2009,
+            smoke: false,
+            json: None,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--seed" => {
+                    parsed.seed = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed takes a number");
+                    i += 2;
+                }
+                "--json" => {
+                    parsed.json = Some(args.get(i + 1).expect("--json takes a path").clone());
+                    i += 2;
+                }
+                "--smoke" => {
+                    parsed.smoke = true;
+                    i += 1;
+                }
+                "--help" | "-h" => {
+                    eprintln!("flags: --seed N --smoke --json PATH");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag: {other} (try --help)"),
+            }
+        }
+        parsed
+    }
+}
+
+/// One artifact row behind the shared [`Snapshot`] encoding.
+struct Row(Vec<(&'static str, f64)>);
+
+impl Snapshot for Row {
+    fn fields(&self, emit: &mut dyn FnMut(&'static str, f64)) {
+        for (name, value) in &self.0 {
+            emit(name, *value);
+        }
+    }
+}
+
+/// Scratch directories live under the workspace `target/`, never `/tmp`.
+fn scratch_root() -> PathBuf {
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target"));
+    target.join(format!("crash-matrix-{}", std::process::id()))
+}
+
+/// FNV-1a over a full state dump: two equal hashes mean two databases
+/// answer every query identically.
+fn state_hash(db: &Database) -> u64 {
+    let mut buf = Vec::new();
+    db.dump(&mut buf).expect("dump to memory");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in buf {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The seeded mutation workload every kill leg replays: unique-id
+/// inserts, non-idempotent arithmetic updates (`n = n + 1` applied to a
+/// wrong base is visible in the state hash), and deletes, across two
+/// tables. Every statement succeeds against a healthy database, so the
+/// acknowledged set is always a strict prefix.
+fn workload(seed: u64) -> Vec<(String, Vec<DbValue>)> {
+    let mut statements: Vec<(String, Vec<DbValue>)> = vec![
+        (
+            "CREATE TABLE t (id INT PRIMARY KEY, n INT, s TEXT)".into(),
+            vec![],
+        ),
+        ("CREATE INDEX t_n ON t (n)".into(), vec![]),
+        ("CREATE TABLE u (id INT PRIMARY KEY, v TEXT)".into(), vec![]),
+    ];
+    let mut x = seed;
+    let mut next = move || {
+        x = splitmix64(x);
+        x
+    };
+    let mut next_id: i64 = 0;
+    for _ in 0..45 {
+        match next() % 5 {
+            0 | 1 => {
+                statements.push((
+                    "INSERT INTO t (id, n, s) VALUES (?, ?, ?)".into(),
+                    vec![
+                        DbValue::Int(next_id),
+                        DbValue::Int((next() % 1000) as i64),
+                        DbValue::from(format!("row-{:x}", next() % 0xffff).as_str()),
+                    ],
+                ));
+                next_id += 1;
+            }
+            2 => statements.push((
+                "UPDATE t SET n = n + 1 WHERE id <= ?".into(),
+                vec![DbValue::Int((next() % next_id.max(1) as u64) as i64)],
+            )),
+            3 => statements.push((
+                "DELETE FROM t WHERE id = ?".into(),
+                vec![DbValue::Int((next() % next_id.max(1) as u64) as i64)],
+            )),
+            _ => {
+                statements.push((
+                    "INSERT INTO u (id, v) VALUES (?, ?)".into(),
+                    vec![
+                        DbValue::Int(next_id),
+                        DbValue::from(format!("u-{:x}", next() % 0xffff).as_str()),
+                    ],
+                ));
+                next_id += 1;
+            }
+        }
+    }
+    statements
+}
+
+/// State hash after each workload prefix, computed on a shadow
+/// in-memory database: `hashes[i]` is the state after `i` statements.
+fn prefix_hashes(statements: &[(String, Vec<DbValue>)]) -> Vec<u64> {
+    let shadow = Database::new();
+    let mut hashes = vec![state_hash(&shadow)];
+    for (sql, params) in statements {
+        shadow
+            .execute(sql, params)
+            .unwrap_or_else(|e| panic!("workload statement must be healthy: {sql}: {e}"));
+        hashes.push(state_hash(&shadow));
+    }
+    hashes
+}
+
+/// Applies the workload until the injected crash bites, returning how
+/// many statements were acknowledged. A non-durability error is a bug
+/// in the matrix itself and aborts.
+fn run_until_crash(db: &Database, statements: &[(String, Vec<DbValue>)]) -> usize {
+    let mut acked = 0;
+    for (sql, params) in statements {
+        match db.execute(sql, params) {
+            Ok(_) => acked += 1,
+            Err(e) => {
+                assert!(e.is_durability(), "unexpected non-crash error: {e}");
+                break;
+            }
+        }
+    }
+    acked
+}
+
+/// The three invariants, checked by reopening `dir` twice.
+fn check_recovery(dir: &Path, acked: usize, hashes: &[u64], context: &str) -> Result<(), String> {
+    let recovered = Database::open(DurabilityConfig::new(dir))
+        .map_err(|e| format!("{context}: recovery failed: {e}"))?;
+    let hash = state_hash(&recovered);
+    // No-op statements (a DELETE that matches nothing) leave adjacent
+    // prefixes identical, so take the *last* matching prefix.
+    let index = hashes
+        .iter()
+        .rposition(|h| *h == hash)
+        .ok_or_else(|| format!("{context}: recovered state is not any workload prefix"))?;
+    if index < acked {
+        return Err(format!(
+            "{context}: {acked} statements acknowledged but only {index} recovered"
+        ));
+    }
+    drop(recovered);
+    let again = Database::open(DurabilityConfig::new(dir))
+        .map_err(|e| format!("{context}: second reopen failed: {e}"))?;
+    if state_hash(&again) != hash {
+        return Err(format!("{context}: replay is not idempotent"));
+    }
+    Ok(())
+}
+
+struct Leg {
+    name: &'static str,
+    cases: usize,
+    failures: Vec<String>,
+}
+
+impl Leg {
+    fn new(name: &'static str) -> Leg {
+        Leg {
+            name,
+            cases: 0,
+            failures: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, outcome: Result<(), String>) {
+        self.cases += 1;
+        if let Err(message) = outcome {
+            self.failures.push(message);
+        }
+    }
+}
+
+fn fresh_dir(root: &Path, tag: &str) -> PathBuf {
+    let dir = root.join(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One crash run: open with `plan`, apply the workload, check recovery.
+fn kill_case(
+    root: &Path,
+    tag: &str,
+    policy: FsyncPolicy,
+    plan: CrashPlan,
+    statements: &[(String, Vec<DbValue>)],
+    hashes: &[u64],
+) -> Result<(), String> {
+    let dir = fresh_dir(root, tag);
+    let db = Database::open(DurabilityConfig::new(&dir).fsync(policy).crash_plan(plan))
+        .map_err(|e| format!("{tag}: open failed: {e}"))?;
+    let acked = run_until_crash(&db, statements);
+    drop(db);
+    check_recovery(&dir, acked, hashes, tag)
+}
+
+fn main() {
+    let args = Args::parse();
+    let root = scratch_root();
+    let _ = std::fs::remove_dir_all(&root);
+    let statements = workload(args.seed);
+    let hashes = prefix_hashes(&statements);
+    let final_hash = *hashes.last().expect("non-empty workload");
+    println!(
+        "crash matrix: seed {:#x}, {} statements, final checksum {:016x}",
+        args.seed,
+        statements.len(),
+        final_hash
+    );
+
+    // Honest probes: how big is the log, and how many fsyncs does the
+    // full workload issue under `always`?
+    let probe_dir = fresh_dir(&root, "probe");
+    let probe = Database::open(DurabilityConfig::new(&probe_dir).fsync(FsyncPolicy::Always))
+        .expect("probe open");
+    assert_eq!(
+        run_until_crash(&probe, &statements),
+        statements.len(),
+        "probe run must not crash"
+    );
+    let probe_stats = probe.wal_stats().expect("probe stats");
+    let (total_bytes, total_fsyncs) = (probe_stats.bytes, probe_stats.fsyncs);
+    drop(probe);
+    println!("wal: {total_bytes} bytes, {total_fsyncs} fsyncs over the full workload");
+
+    let mut x = args.seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        x = splitmix64(x);
+        x
+    };
+    let mut legs: Vec<Leg> = Vec::new();
+
+    // Leg 1: death at sampled byte offsets of the WAL write path.
+    // `off` policy — a byte kill dies before any fsync, and skipping
+    // per-statement syncs keeps the sample count high.
+    let mut leg = Leg::new("byte_kill");
+    let samples = if args.smoke { 32 } else { 160 };
+    for case in 0..samples {
+        let offset = match case {
+            0 => 0,               // the very first header byte
+            1 => total_bytes - 1, // the last byte of the last frame
+            _ => next() % total_bytes,
+        };
+        leg.record(kill_case(
+            &root,
+            &format!("byte-{offset}"),
+            FsyncPolicy::Off,
+            CrashPlan::seeded(args.seed).kill_at_byte(offset),
+            &statements,
+            &hashes,
+        ));
+    }
+    legs.push(leg);
+
+    // Leg 2: death at fsync boundaries under `always`. The crash eats
+    // the acknowledgement, not the bytes, so recovery may legitimately
+    // hold a longer prefix than was acked — invariant 1 still binds.
+    let mut leg = Leg::new("fsync_kill");
+    let fsync_ids: Vec<u64> = if args.smoke {
+        (0..12).map(|_| 1 + next() % total_fsyncs).collect()
+    } else {
+        (1..=total_fsyncs).collect()
+    };
+    for n in fsync_ids {
+        leg.record(kill_case(
+            &root,
+            &format!("fsync-{n}"),
+            FsyncPolicy::Always,
+            CrashPlan::seeded(args.seed).kill_at_fsync(n),
+            &statements,
+            &hashes,
+        ));
+    }
+    legs.push(leg);
+
+    // Leg 3: death inside the checkpoint protocol. All statements were
+    // acknowledged before the checkpoint started, so recovery must
+    // produce the complete final state either way.
+    let mut leg = Leg::new("checkpoint_kill");
+    for phase in [
+        CheckpointPhase::DuringSnapshot,
+        CheckpointPhase::BeforeTruncate,
+    ] {
+        let tag = format!("checkpoint-{phase:?}");
+        let dir = fresh_dir(&root, &tag);
+        let outcome = (|| {
+            let db = Database::open(
+                DurabilityConfig::new(&dir)
+                    .fsync(FsyncPolicy::Always)
+                    .crash_plan(CrashPlan::seeded(args.seed).kill_in_checkpoint(phase)),
+            )
+            .map_err(|e| format!("{tag}: open failed: {e}"))?;
+            if run_until_crash(&db, &statements) != statements.len() {
+                return Err(format!("{tag}: workload crashed before the checkpoint"));
+            }
+            if db.checkpoint().is_ok() {
+                return Err(format!("{tag}: injected checkpoint crash did not fire"));
+            }
+            drop(db);
+            check_recovery(&dir, statements.len(), &hashes, &tag)
+        })();
+        leg.record(outcome);
+    }
+    legs.push(leg);
+
+    // Leg 4: torn tails — a clean run plus seeded garbage appended to
+    // the log, as if the process died mid-append. Everything was
+    // synced, so recovery must hold the complete final state.
+    let mut leg = Leg::new("torn_tail");
+    let torn_cases = if args.smoke { 4 } else { 12 };
+    for case in 0..torn_cases {
+        let tag = format!("torn-{case}");
+        let dir = fresh_dir(&root, &tag);
+        let outcome = (|| {
+            let db = Database::open(DurabilityConfig::new(&dir).fsync(FsyncPolicy::Always))
+                .map_err(|e| format!("{tag}: open failed: {e}"))?;
+            if run_until_crash(&db, &statements) != statements.len() {
+                return Err(format!("{tag}: clean run crashed"));
+            }
+            drop(db);
+            let wal = dir.join("wal.log");
+            let mut bytes = std::fs::read(&wal).map_err(|e| format!("{tag}: read wal: {e}"))?;
+            let garbage_len = 1 + (next() % 128) as usize;
+            bytes.extend((0..garbage_len).map(|_| (next() & 0xff) as u8));
+            std::fs::write(&wal, &bytes).map_err(|e| format!("{tag}: write wal: {e}"))?;
+            check_recovery(&dir, statements.len(), &hashes, &tag)
+        })();
+        leg.record(outcome);
+    }
+    legs.push(leg);
+
+    // Leg 5: single-bit corruption at sampled log offsets. The CRC
+    // must fence the damaged frame: recovery keeps a clean prefix (any
+    // prefix — no acked claim survives media corruption) and stays
+    // idempotent.
+    let mut leg = Leg::new("bit_flip");
+    let flip_dir = fresh_dir(&root, "bit-flip");
+    let pristine = {
+        let db = Database::open(DurabilityConfig::new(&flip_dir).fsync(FsyncPolicy::Always))
+            .expect("bit-flip base open");
+        assert_eq!(
+            run_until_crash(&db, &statements),
+            statements.len(),
+            "bit-flip base run must not crash"
+        );
+        drop(db);
+        std::fs::read(flip_dir.join("wal.log")).expect("read pristine wal")
+    };
+    let flip_cases = if args.smoke { 24 } else { 100 };
+    for _ in 0..flip_cases {
+        let offset = (next() % pristine.len() as u64) as usize;
+        let bit = (next() % 8) as u8;
+        let tag = format!("flip-{offset}.{bit}");
+        let mut damaged = pristine.clone();
+        damaged[offset] ^= 1 << bit;
+        let outcome = std::fs::write(flip_dir.join("wal.log"), &damaged)
+            .map_err(|e| format!("{tag}: write wal: {e}"))
+            .and_then(|()| check_recovery(&flip_dir, 0, &hashes, &tag));
+        leg.record(outcome);
+    }
+    legs.push(leg);
+
+    // Leg 6: TPC-W population checksum — the deterministic population
+    // must round-trip through WAL + checkpoint + reopen bit-for-bit.
+    let mut leg = Leg::new("populate_roundtrip");
+    let tag = "populate";
+    let dir = fresh_dir(&root, tag);
+    let outcome = (|| {
+        let scale = ScaleConfig::tiny();
+        let reference = Database::new();
+        populate(&reference, &scale);
+        let want = state_hash(&reference);
+        let db = Database::open(DurabilityConfig::new(&dir).fsync(FsyncPolicy::Off))
+            .map_err(|e| format!("{tag}: open failed: {e}"))?;
+        populate(&db, &scale);
+        if state_hash(&db) != want {
+            return Err(format!("{tag}: durable population diverged in memory"));
+        }
+        db.checkpoint()
+            .map_err(|e| format!("{tag}: checkpoint failed: {e}"))?;
+        drop(db);
+        let back = Database::open(DurabilityConfig::new(&dir))
+            .map_err(|e| format!("{tag}: reopen failed: {e}"))?;
+        if back.durability_status().map_or(0, |s| s.replay_count) != 0 {
+            return Err(format!("{tag}: checkpointed reopen replayed records"));
+        }
+        if state_hash(&back) != want {
+            return Err(format!("{tag}: population checksum mismatch after reopen"));
+        }
+        println!("population checksum {want:016x} survives checkpoint + reopen");
+        Ok(())
+    })();
+    leg.record(outcome);
+    legs.push(leg);
+
+    // Report.
+    println!("\n{:>20} {:>8} {:>9}", "leg", "cases", "failures");
+    let mut failed = 0;
+    for leg in &legs {
+        println!(
+            "{:>20} {:>8} {:>9}",
+            leg.name,
+            leg.cases,
+            leg.failures.len()
+        );
+        failed += leg.failures.len();
+        for message in &leg.failures {
+            eprintln!("FAIL {message}");
+        }
+    }
+
+    if let Some(path) = &args.json {
+        let seed = format!("{:#x}", args.seed);
+        let checksum = format!("{final_hash:016x}");
+        let mut body = String::from("[");
+        for (i, leg) in legs.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&json_row(
+                &[("leg", leg.name), ("seed", &seed), ("checksum", &checksum)],
+                &Row(vec![
+                    ("cases", leg.cases as f64),
+                    ("failures", leg.failures.len() as f64),
+                    ("wal_bytes", total_bytes as f64),
+                    ("wal_fsyncs", total_fsyncs as f64),
+                ]),
+            ));
+        }
+        body.push(']');
+        if let Some(parent) = Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(path, body).expect("write json artifact");
+        println!("wrote {path}");
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+    if failed > 0 {
+        eprintln!("crash matrix: {failed} invariant violations");
+        std::process::exit(1);
+    }
+    println!("crash matrix: all invariants held");
+}

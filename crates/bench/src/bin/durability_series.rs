@@ -1,0 +1,197 @@
+//! Durability cost series (DESIGN.md §13): the same insert-heavy
+//! workload run once per durability mode, so the WAL's price is a
+//! column next to the in-memory baseline the paper experiments use.
+//!
+//! Modes:
+//!
+//! * `memory`   — no durability attached (the paper-comparison default);
+//! * `off`      — WAL appends, fsync left to the OS;
+//! * `interval` — group fsync every `--interval-ms` (default 5 ms);
+//! * `always`   — fsync on every commit batch.
+//!
+//! Each durable leg ends with a checkpoint and a reopen that must find
+//! every inserted row — a silent-loss run exits non-zero rather than
+//! printing a flattering number.
+//!
+//! Flags: `--rows N`, `--interval-ms N`, `--json PATH`.
+
+use staged_bench::json_row;
+use staged_db::{Database, DbValue, DurabilityConfig, FsyncPolicy};
+use staged_metrics::Snapshot;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+struct Args {
+    rows: i64,
+    interval_ms: u64,
+    json: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut parsed = Args {
+            rows: 5_000,
+            interval_ms: 5,
+            json: None,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let value = |i: usize| -> &str {
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("flag {} needs a value", args[i]))
+            };
+            match args[i].as_str() {
+                "--rows" => parsed.rows = value(i).parse().expect("--rows takes a number"),
+                "--interval-ms" => {
+                    parsed.interval_ms = value(i).parse().expect("--interval-ms takes millis");
+                }
+                "--json" => parsed.json = Some(value(i).to_string()),
+                "--help" | "-h" => {
+                    eprintln!("flags: --rows N --interval-ms N --json PATH");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag: {other} (try --help)"),
+            }
+            i += 2;
+        }
+        parsed
+    }
+}
+
+/// One artifact row behind the shared [`Snapshot`] encoding.
+struct Row(Vec<(&'static str, f64)>);
+
+impl Snapshot for Row {
+    fn fields(&self, emit: &mut dyn FnMut(&'static str, f64)) {
+        for (name, value) in &self.0 {
+            emit(name, *value);
+        }
+    }
+}
+
+/// Scratch directories live under the workspace `target/`, never `/tmp`.
+fn scratch(mode: &str) -> PathBuf {
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target"));
+    let dir = target.join(format!("durability-series-{}-{mode}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs the insert workload against `db`, returning the measured wall
+/// time of the insert loop alone (table creation excluded).
+fn run_inserts(db: &Database, rows: i64) -> Duration {
+    db.execute("CREATE TABLE kv (id INT PRIMARY KEY, body TEXT)", &[])
+        .expect("create table");
+    let payload = "x".repeat(64);
+    let started = Instant::now();
+    for id in 0..rows {
+        db.execute(
+            "INSERT INTO kv (id, body) VALUES (?, ?)",
+            &[DbValue::Int(id), DbValue::from(payload.as_str())],
+        )
+        .expect("insert");
+    }
+    started.elapsed()
+}
+
+fn main() {
+    let args = Args::parse();
+    let modes: [(&str, Option<FsyncPolicy>); 4] = [
+        ("memory", None),
+        ("off", Some(FsyncPolicy::Off)),
+        (
+            "interval",
+            Some(FsyncPolicy::Interval(Duration::from_millis(
+                args.interval_ms,
+            ))),
+        ),
+        ("always", Some(FsyncPolicy::Always)),
+    ];
+
+    println!(
+        "{:>9} {:>12} {:>12} {:>10} {:>8} {:>12}",
+        "mode", "rows/s", "wal_bytes", "appends", "fsyncs", "reopen_rows"
+    );
+    let mut rows_out: Vec<(&str, Row)> = Vec::new();
+    let mut lost = false;
+    for (mode, policy) in modes {
+        let dir = scratch(mode);
+        let (db, elapsed) = match policy {
+            None => {
+                let db = Database::new();
+                let elapsed = run_inserts(&db, args.rows);
+                (db, elapsed)
+            }
+            Some(policy) => {
+                let db = Database::open(DurabilityConfig::new(&dir).fsync(policy))
+                    .expect("open durable database");
+                let elapsed = run_inserts(&db, args.rows);
+                (db, elapsed)
+            }
+        };
+        let stats = db.wal_stats().unwrap_or_default();
+        let checkpoints = db
+            .durability_status()
+            .map_or(0, |status| status.checkpoints);
+        let rate = args.rows as f64 / elapsed.as_secs_f64();
+
+        // Durable legs must survive checkpoint + reopen with every row.
+        let reopened = match policy {
+            None => args.rows,
+            Some(_) => {
+                db.checkpoint().expect("final checkpoint");
+                drop(db);
+                let back =
+                    Database::open(DurabilityConfig::new(&dir)).expect("reopen durable database");
+                back.execute("SELECT COUNT(*) FROM kv", &[])
+                    .expect("count after reopen")
+                    .single_int()
+                    .unwrap_or(0)
+            }
+        };
+        if reopened != args.rows {
+            eprintln!(
+                "FAIL {mode}: {} of {} rows survived checkpoint + reopen",
+                reopened, args.rows
+            );
+            lost = true;
+        }
+        println!(
+            "{:>9} {:>12.0} {:>12} {:>10} {:>8} {:>12}",
+            mode, rate, stats.bytes, stats.appends, stats.fsyncs, reopened
+        );
+        rows_out.push((
+            mode,
+            Row(vec![
+                ("rows", args.rows as f64),
+                ("rows_per_sec", rate),
+                ("elapsed_ms", elapsed.as_secs_f64() * 1e3),
+                ("wal_appends", stats.appends as f64),
+                ("wal_bytes", stats.bytes as f64),
+                ("wal_fsyncs", stats.fsyncs as f64),
+                ("checkpoints", checkpoints as f64),
+                ("reopen_rows", reopened as f64),
+            ]),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    if let Some(path) = &args.json {
+        let mut body = String::from("[");
+        for (i, (mode, row)) in rows_out.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&json_row(&[("mode", mode), ("bench", "durability")], row));
+        }
+        body.push(']');
+        std::fs::write(path, body).expect("write json artifact");
+        println!("wrote {path}");
+    }
+    if lost {
+        std::process::exit(1);
+    }
+}

@@ -341,7 +341,7 @@ fn run_slowloris(suite: &Suite, hardened: bool) -> Outcome {
     if !healthz_ok(&server) {
         failures.push("/healthz not OK after attack".into());
     }
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
     Outcome {
         scenario: "slowloris",
         mode,
@@ -423,7 +423,7 @@ fn run_flashcrowd(suite: &Suite, hardened: bool) -> Outcome {
     if !healthz_ok(&server) {
         failures.push("/healthz not OK after attack".into());
     }
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
     Outcome {
         scenario: "flashcrowd",
         mode,
@@ -491,7 +491,7 @@ fn run_bigbody(suite: &Suite, hardened: bool) -> Outcome {
     if !healthz_ok(&server) {
         failures.push("/healthz not OK after attack".into());
     }
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
     Outcome {
         scenario: "bigbody",
         mode,
@@ -549,7 +549,7 @@ fn run_hotkey(suite: &Suite, hardened: bool) -> Outcome {
     if !healthz_ok(&server) {
         failures.push("/healthz not OK after storm".into());
     }
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
     Outcome {
         scenario: "hotkey",
         mode,
@@ -598,7 +598,7 @@ fn run_fuzz(suite: &Suite, hardened: bool) -> Outcome {
     if !healthz_ok(&server) {
         failures.push("/healthz not OK after fuzz".into());
     }
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
     Outcome {
         scenario: "fuzz",
         mode,

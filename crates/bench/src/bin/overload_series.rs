@@ -224,7 +224,7 @@ fn main() {
                 panics,
             };
             json_rows.push_str(&json_row(&[("model", model.label())], &row));
-            outcome.server.shutdown();
+            outcome.server.shutdown().expect("clean shutdown");
         }
     }
     json_rows.push(']');

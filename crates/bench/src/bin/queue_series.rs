@@ -21,7 +21,7 @@ fn main() {
 
     eprintln!("running unmodified server (Figure 7)…");
     let unmodified = run_model(&exp, Model::Unmodified, &["worker"]);
-    unmodified.server.shutdown();
+    unmodified.server.shutdown().expect("clean shutdown");
     print_series(
         "Figure 7: dynamic-request queue length, unmodified server",
         &unmodified.queue_traces["worker"],
@@ -29,7 +29,7 @@ fn main() {
 
     eprintln!("running modified server (Figure 8)…");
     let modified = run_model(&exp, Model::Modified, &["general", "lengthy"]);
-    modified.server.shutdown();
+    modified.server.shutdown().expect("clean shutdown");
     print_series(
         "Figure 8(a): general-pool queue length, modified server",
         &modified.queue_traces["general"],

@@ -344,7 +344,7 @@ fn main() {
     }
 
     for (_, outcome) in outcomes {
-        outcome.server.shutdown();
+        outcome.server.shutdown().expect("clean shutdown");
     }
 
     if let Some(path) = &args.check_baseline {

@@ -32,7 +32,7 @@ fn main() {
         "  {} interactions, {} errors",
         unmodified.report.total_interactions, unmodified.report.total_errors
     );
-    unmodified.server.shutdown();
+    unmodified.server.shutdown().expect("clean shutdown");
 
     eprintln!("running modified (five-pool staged) server…");
     let modified = run_model(&exp, Model::Modified, &[]);
@@ -40,7 +40,7 @@ fn main() {
         "  {} interactions, {} errors",
         modified.report.total_interactions, modified.report.total_errors
     );
-    modified.server.shutdown();
+    modified.server.shutdown().expect("clean shutdown");
 
     println!("\nTables 3 & 4: per-page response times and completed interactions");
     println!(

@@ -333,7 +333,7 @@ mod tests {
                 "{}: no interactions",
                 model.label()
             );
-            outcome.server.shutdown();
+            outcome.server.shutdown().expect("clean shutdown");
         }
     }
 
@@ -352,6 +352,6 @@ mod tests {
         assert!(outcome.queue_traces.contains_key("general"));
         assert!(outcome.queue_traces.contains_key("lengthy"));
         assert!(!outcome.queue_traces["general"].is_empty());
-        outcome.server.shutdown();
+        outcome.server.shutdown().expect("clean shutdown");
     }
 }

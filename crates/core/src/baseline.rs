@@ -8,7 +8,9 @@ use crate::handle::{FaultFn, ServerHandle};
 use crate::health::{self, HealthView, Readiness};
 use crate::overload::{overload_response, ChaosAction, DbSlot, RetryEstimator};
 use crate::scheduler::{RequestClass, ServiceTimeTracker};
-use crate::staged::{register_page_tracker, register_pool, register_stage};
+use crate::staged::{
+    register_page_tracker, register_pool, register_stage, setup_durability, shutdown_checkpoint,
+};
 use crate::stats::{RequestKind, ServerStats, ShedPoint};
 use staged_db::{CircuitBreaker, ConnectionPool, Database, PooledConnection};
 use staged_http::{Connection, HttpError, ParseLimits, Request, Response, StatusCode};
@@ -44,6 +46,9 @@ struct WorkerCtx {
     /// Connection-admission caps (global/per-IP concurrency, keep-alive
     /// quotas, idle harvesting) — same machinery as the staged server.
     governor: ConnectionGovernor,
+    /// The database, kept for the health payload's durability section
+    /// (`None` status on in-memory databases omits the section).
+    db: Arc<Database>,
     /// Set when shutdown begins: keep-alive connections are closed
     /// after their in-flight response instead of being read again.
     draining: Arc<AtomicBool>,
@@ -57,6 +62,7 @@ impl WorkerCtx {
             phase: self.readiness.phase(),
             breaker: self.breaker.as_deref(),
             registry: &self.registry,
+            durability: self.db.durability_status(),
         };
         if path == "/readyz" {
             view.readyz(self.retry.advise())
@@ -107,6 +113,7 @@ impl BaselineServer {
         // breakdown, using the same signal the staged server schedules
         // on.
         let tracker = Arc::new(ServiceTimeTracker::new(config.lengthy_cutoff));
+        let durable_db = Arc::clone(&db);
         let connections = ConnectionPool::new(db, config.db_connections);
         connections.set_fault_plan(config.fault_plan);
         connections.set_breaker(config.breaker);
@@ -134,6 +141,7 @@ impl BaselineServer {
         stats.register_into(&registry);
         register_page_tracker(&registry, &tracker);
         governor.register_into(&registry);
+        setup_durability(&config, &registry, &durable_db)?;
 
         let retry = {
             let q = Arc::clone(&queue);
@@ -158,6 +166,7 @@ impl BaselineServer {
             breaker: breaker.clone(),
             registry: Arc::clone(&registry),
             governor,
+            db: Arc::clone(&durable_db),
             draining: Arc::clone(&draining),
         });
 
@@ -281,7 +290,7 @@ impl BaselineServer {
 
         let drain_ctx = Arc::clone(&ctx);
         let drain_deadline = config.drain_deadline;
-        let shutdown = Box::new(move || {
+        let shutdown: crate::handle::ShutdownFn = Box::new(move || {
             // Drain-aware shutdown: advertise not-ready, close
             // keep-alive connections after their in-flight response,
             // stop accepting — then let every already-accepted request
@@ -302,6 +311,9 @@ impl BaselineServer {
                 std::thread::sleep(Duration::from_millis(2));
             }
             pool.shutdown();
+            // Last: with every worker joined, checkpoint the database
+            // so a graceful stop never replays on the next open.
+            shutdown_checkpoint(&drain_ctx.db)
         });
 
         Ok(ServerHandle::new(

@@ -2,7 +2,7 @@
 
 use crate::governor::GovernorConfig;
 use crate::overload::ListenerChaos;
-use staged_db::{BreakerConfig, FaultPlan};
+use staged_db::{BreakerConfig, DurabilityConfig, FaultPlan};
 use staged_http::ParseLimits;
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -148,6 +148,15 @@ pub struct ServerConfig {
     /// request quota, idle harvesting) shared by both servers. All caps
     /// default to off — see [`GovernorConfig`].
     pub governor: GovernorConfig,
+    /// Durability for the embedded database: a write-ahead log plus
+    /// checkpoints in the configured directory (DESIGN.md §13). `None`
+    /// (the default) keeps the database purely in-memory, exactly as
+    /// the paper-comparison benches expect. When set, the server
+    /// attaches the WAL at startup (replaying whatever the directory
+    /// holds) and — if [`DurabilityConfig::checkpoint_on_shutdown`] is
+    /// on — writes a final checkpoint during graceful shutdown so the
+    /// next open replays nothing.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServerConfig {
@@ -192,6 +201,7 @@ impl Default for ServerConfig {
             drain_deadline: Duration::from_secs(5),
             trace_ring: 32,
             governor: GovernorConfig::default(),
+            durability: None,
         }
     }
 }
@@ -316,6 +326,12 @@ impl ServerConfig {
         if let Some(breaker) = &self.breaker {
             breaker.validate();
         }
+        if let Some(durability) = &self.durability {
+            assert!(
+                !durability.dir.as_os_str().is_empty(),
+                "durability directory must not be empty"
+            );
+        }
         self.governor.validate();
     }
 }
@@ -379,6 +395,27 @@ mod tests {
         };
         assert_eq!(c.header_queue_bound(), 3);
         assert_eq!(c.static_queue_bound(), 1);
+    }
+
+    #[test]
+    fn durability_defaults_off_and_validates_when_set() {
+        let c = ServerConfig::default();
+        assert!(c.durability.is_none(), "in-memory by default");
+        let c = ServerConfig {
+            durability: Some(DurabilityConfig::new("target/tmp/cfg-durability")),
+            ..ServerConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "durability directory")]
+    fn empty_durability_dir_rejected() {
+        let c = ServerConfig {
+            durability: Some(DurabilityConfig::new("")),
+            ..ServerConfig::default()
+        };
+        c.validate();
     }
 
     #[test]

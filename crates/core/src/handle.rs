@@ -12,6 +12,37 @@ use std::sync::Arc;
 /// A closure that swaps the server's database fault plan at runtime.
 pub(crate) type FaultFn = Arc<dyn Fn(Option<FaultPlan>) + Send + Sync>;
 
+/// The shutdown closure installed by each server. It may fail: the
+/// final durability checkpoint is part of graceful shutdown, and
+/// swallowing its error would turn "cleanly stopped" into silent data
+/// loss.
+pub(crate) type ShutdownFn = Box<dyn FnOnce() -> Result<(), ShutdownError> + Send>;
+
+/// A failure during graceful shutdown. The pools are already joined
+/// when this is returned — the server *is* stopped — but some part of
+/// the stop protocol (today: the final durability checkpoint) did not
+/// complete, so the next open will replay the WAL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShutdownError {
+    message: String,
+}
+
+impl ShutdownError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ShutdownError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ShutdownError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shutdown incomplete: {}", self.message)
+    }
+}
+
+impl std::error::Error for ShutdownError {}
+
 /// A point-in-time view of one worker pool's health, for overload and
 /// fault-injection reporting. Derived from the registry's
 /// `pool_*{pool=…}` families by [`ServerHandle::pool_snapshots`].
@@ -63,7 +94,7 @@ pub struct ServerHandle {
     readiness: Arc<Readiness>,
     set_fault: FaultFn,
     breaker: Option<Arc<CircuitBreaker>>,
-    shutdown: Option<Box<dyn FnOnce() + Send>>,
+    shutdown: Option<ShutdownFn>,
 }
 
 impl fmt::Debug for ServerHandle {
@@ -99,7 +130,7 @@ impl ServerHandle {
         readiness: Arc<Readiness>,
         set_fault: FaultFn,
         breaker: Option<Arc<CircuitBreaker>>,
-        shutdown: Box<dyn FnOnce() + Send>,
+        shutdown: ShutdownFn,
     ) -> Self {
         ServerHandle {
             addr,
@@ -225,11 +256,20 @@ impl ServerHandle {
             .collect()
     }
 
-    /// Stops accepting connections, drains all pools, and joins every
-    /// worker thread.
-    pub fn shutdown(mut self) {
-        if let Some(f) = self.shutdown.take() {
-            f();
+    /// Stops accepting connections, drains all pools, joins every
+    /// worker thread, and — when durability is configured with
+    /// checkpoint-on-shutdown — writes the final checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShutdownError`] when part of the stop protocol failed
+    /// (today: the final durability flush/checkpoint). The server is
+    /// stopped either way; on error the next open replays the WAL
+    /// instead of starting from a fresh checkpoint.
+    pub fn shutdown(mut self) -> Result<(), ShutdownError> {
+        match self.shutdown.take() {
+            Some(f) => f(),
+            None => Ok(()),
         }
     }
 }
@@ -237,7 +277,9 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         if let Some(f) = self.shutdown.take() {
-            f();
+            // Nobody is left to observe the error on the drop path; the
+            // explicit `shutdown()` is the fallible API.
+            let _ = f();
         }
     }
 }

@@ -14,7 +14,7 @@
 //! no JSON dependency (see DESIGN.md §7), and every value here is a
 //! number or a fixed label, so escaping is a non-issue.
 
-use staged_db::CircuitBreaker;
+use staged_db::{CircuitBreaker, DurabilityStatus};
 use staged_http::{Response, StatusCode};
 use staged_metrics::Registry;
 use std::fmt::Write as _;
@@ -89,6 +89,10 @@ pub(crate) struct HealthView<'a> {
     pub phase: Phase,
     pub breaker: Option<&'a CircuitBreaker>,
     pub registry: &'a Registry,
+    /// Point-in-time durability picture, when the server runs with a
+    /// WAL ([`crate::ServerConfig::durability`]); `None` keeps the
+    /// section out of the payload for in-memory servers.
+    pub durability: Option<DurabilityStatus>,
 }
 
 impl HealthView<'_> {
@@ -205,6 +209,25 @@ impl HealthView<'_> {
                 self.counter("keepalive_harvested_total"),
                 self.counter("keepalive_capped_total"),
                 self.counter("slowloris_kills_total")
+            );
+        }
+        // Durability picture (only when the server runs with a WAL).
+        // `poisoned` is reported as a boolean: the message is free-form
+        // I/O error text and this payload never escapes strings.
+        if let Some(d) = &self.durability {
+            let _ = write!(
+                s,
+                ",\"durability\":{{\"mode\":\"{}\",\"last_checkpoint_age_ms\":{},\"replayed\":{},\"checkpoints\":{},\"wal_appends\":{},\"wal_bytes\":{},\"wal_written_seq\":{},\"wal_synced_seq\":{},\"checkpoint_on_shutdown\":{},\"poisoned\":{}}}",
+                d.mode,
+                d.last_checkpoint_age.as_millis(),
+                d.replay_count,
+                d.checkpoints,
+                d.wal.appends,
+                d.wal.bytes,
+                d.wal.written_seq,
+                d.wal.synced_seq,
+                d.checkpoint_on_shutdown,
+                d.poisoned.is_some()
             );
         }
         s.push_str(",\"pools\":[");
@@ -325,6 +348,7 @@ mod tests {
             phase: Phase::Ready,
             breaker: None,
             registry: &registry,
+            durability: None,
         };
         let resp = v.healthz();
         assert_eq!(resp.status(), StatusCode::OK);
@@ -349,6 +373,7 @@ mod tests {
             phase: Phase::Draining,
             breaker: None,
             registry: &registry,
+            durability: None,
         };
         let resp = v.readyz(Duration::from_secs(2));
         assert_eq!(resp.status(), StatusCode::SERVICE_UNAVAILABLE);
@@ -360,6 +385,7 @@ mod tests {
             phase: Phase::Ready,
             breaker: None,
             registry: &registry,
+            durability: None,
         };
         assert_eq!(v.readyz(Duration::from_secs(2)).status(), StatusCode::OK);
     }
@@ -372,6 +398,7 @@ mod tests {
             phase: Phase::Ready,
             breaker: Some(&breaker),
             registry: &registry,
+            durability: None,
         };
         let body = String::from_utf8(v.healthz().body().to_vec()).unwrap();
         assert!(body.contains("\"state\":\"closed\""), "{body}");
@@ -400,6 +427,7 @@ mod tests {
             phase: Phase::Ready,
             breaker: None,
             registry: &registry,
+            durability: None,
         };
         let body = String::from_utf8(v.healthz().body().to_vec()).unwrap();
         assert!(body.contains("\"connections\":{\"open\":7"), "{body}");
@@ -413,9 +441,55 @@ mod tests {
             phase: Phase::Ready,
             breaker: None,
             registry: &bare,
+            durability: None,
         };
         let body = String::from_utf8(v.healthz().body().to_vec()).unwrap();
         assert!(!body.contains("\"connections\""), "{body}");
+    }
+
+    #[test]
+    fn durability_section_appears_when_wal_attached() {
+        let registry = populated_registry();
+        let status = DurabilityStatus {
+            mode: "always",
+            last_checkpoint_age: Duration::from_millis(250),
+            replay_count: 3,
+            checkpoints: 2,
+            wal: staged_db::WalStats {
+                appends: 10,
+                bytes: 640,
+                fsyncs: 10,
+                written_seq: 10,
+                synced_seq: 10,
+            },
+            checkpoint_on_shutdown: true,
+            poisoned: None,
+        };
+        let v = HealthView {
+            phase: Phase::Ready,
+            breaker: None,
+            registry: &registry,
+            durability: Some(status),
+        };
+        let body = String::from_utf8(v.healthz().body().to_vec()).unwrap();
+        assert!(
+            body.contains("\"durability\":{\"mode\":\"always\""),
+            "{body}"
+        );
+        assert!(body.contains("\"last_checkpoint_age_ms\":250"), "{body}");
+        assert!(body.contains("\"replayed\":3"), "{body}");
+        assert!(body.contains("\"wal_appends\":10"), "{body}");
+        assert!(body.contains("\"poisoned\":false"), "{body}");
+
+        // In-memory servers omit the section entirely.
+        let v = HealthView {
+            phase: Phase::Ready,
+            breaker: None,
+            registry: &registry,
+            durability: None,
+        };
+        let body = String::from_utf8(v.healthz().body().to_vec()).unwrap();
+        assert!(!body.contains("\"durability\""), "{body}");
     }
 
     #[test]

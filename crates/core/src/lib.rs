@@ -48,7 +48,7 @@
 //! let db = Arc::new(Database::new());
 //! let server = StagedServer::start(ServerConfig::default(), app, db).unwrap();
 //! println!("listening on {}", server.addr());
-//! server.shutdown();
+//! server.shutdown().expect("clean shutdown");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -72,7 +72,7 @@ pub use baseline::BaselineServer;
 pub use config::ServerConfig;
 pub use error::AppError;
 pub use governor::GovernorConfig;
-pub use handle::{PoolSnapshot, ServerHandle};
+pub use handle::{PoolSnapshot, ServerHandle, ShutdownError};
 pub use health::{Phase, Readiness};
 pub use overload::{ChaosAction, ListenerChaos};
 pub use scheduler::{DynamicPoolChoice, RequestClass, ReserveController, ServiceTimeTracker};
@@ -83,6 +83,9 @@ pub use stats::{RequestKind, ServerStats, ShedPoint, StatsSnapshot};
 // shared snapshot encoding without a direct `staged_metrics` dependency.
 pub use staged_metrics::{Registry, Snapshot};
 
-// Re-exported so server configuration (`ServerConfig::breaker`) and
-// health reporting can be used without a direct `staged_db` dependency.
-pub use staged_db::{BreakerConfig, BreakerState, CircuitBreaker};
+// Re-exported so server configuration (`ServerConfig::breaker`,
+// `ServerConfig::durability`) and health reporting can be used without
+// a direct `staged_db` dependency.
+pub use staged_db::{
+    BreakerConfig, BreakerState, CircuitBreaker, DurabilityConfig, DurabilityStatus, FsyncPolicy,
+};

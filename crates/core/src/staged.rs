@@ -18,7 +18,7 @@ use crate::app::{App, PageOutcome};
 use crate::baseline::run_handler_with_slot;
 use crate::config::ServerConfig;
 use crate::governor::{ConnectionGovernor, GovernedStream};
-use crate::handle::{FaultFn, ServerHandle};
+use crate::handle::{FaultFn, ServerHandle, ShutdownError};
 use crate::health::{self, HealthView, Readiness};
 use crate::overload::{overload_response, ChaosAction, DbSlot, RetryEstimator};
 use crate::scheduler::{RequestClass, ReserveController, ServiceTimeTracker};
@@ -140,6 +140,10 @@ struct Shared {
     /// Connection-admission caps (global/per-IP concurrency, keep-alive
     /// quotas, idle harvesting).
     governor: ConnectionGovernor,
+    /// The database, kept for the health payload's durability section
+    /// (`durability_status()` answers `None` on in-memory databases,
+    /// which keeps the section out of the payload).
+    db: Arc<Database>,
     /// Set when shutdown begins: keep-alive connections are no longer
     /// requeued, so in-flight requests finish and the stages run dry.
     draining: AtomicBool,
@@ -281,6 +285,7 @@ impl Shared {
             phase: self.readiness.phase(),
             breaker: self.breaker.as_deref(),
             registry: &self.registry,
+            durability: self.db.durability_status(),
         };
         if path == "/readyz" {
             view.readyz(self.retry.advise())
@@ -379,6 +384,59 @@ pub(crate) fn register_pool(
     );
 }
 
+/// Attaches durability to `db` when the configuration asks for it (and
+/// the database isn't already durable, as one opened via
+/// [`Database::open`] is), then registers the WAL metric families:
+/// `wal_appends_total`, `wal_bytes_total`, `checkpoints_total`,
+/// `recovery_replayed_records`, and the `wal_fsync_seconds` histogram
+/// fed by the group-commit leader.
+pub(crate) fn setup_durability(
+    config: &ServerConfig,
+    registry: &Registry,
+    db: &Arc<Database>,
+) -> io::Result<()> {
+    let Some(durability) = &config.durability else {
+        return Ok(());
+    };
+    if db.durability_status().is_none() {
+        db.enable_durability(durability.clone())
+            .map_err(io::Error::other)?;
+    }
+    let stat = |db: &Arc<Database>, f: fn(staged_db::WalStats) -> u64| {
+        let db = Arc::clone(db);
+        move || db.wal_stats().map_or(0, f)
+    };
+    registry.counter_fn("wal_appends_total", &[], stat(db, |w| w.appends));
+    registry.counter_fn("wal_bytes_total", &[], stat(db, |w| w.bytes));
+    let d = Arc::clone(db);
+    registry.counter_fn("checkpoints_total", &[], move || {
+        d.durability_status().map_or(0, |s| s.checkpoints)
+    });
+    let d = Arc::clone(db);
+    registry.gauge_fn("recovery_replayed_records", &[], move || {
+        d.durability_status().map_or(0.0, |s| s.replay_count as f64)
+    });
+    let fsync = registry.histogram("wal_fsync_seconds", &[]);
+    db.set_fsync_observer(move |elapsed| fsync.record(elapsed));
+    Ok(())
+}
+
+/// The final durability step of a graceful shutdown: once every pool is
+/// drained and joined, write a checkpoint so the next open replays
+/// nothing. Called with no server activity left; surfacing the error is
+/// the point (a swallowed checkpoint failure turns "cleanly stopped"
+/// into replay-on-next-open at best, data loss at worst).
+pub(crate) fn shutdown_checkpoint(db: &Database) -> Result<(), ShutdownError> {
+    let Some(status) = db.durability_status() else {
+        return Ok(());
+    };
+    if !status.checkpoint_on_shutdown {
+        return Ok(());
+    }
+    db.checkpoint()
+        .map_err(|e| ShutdownError::new(format!("final checkpoint failed: {e}")))
+}
+
 /// Registers the per-page data-generation collector
 /// (`page_service_seconds{page=…}`, the scheduler's classification
 /// input as a running average).
@@ -442,6 +500,8 @@ impl StagedServer {
         let trace_hub = TraceHub::new(&registry, config.trace_ring);
         let governor = ConnectionGovernor::new(config.governor);
         governor.register_into(&registry);
+        setup_durability(&config, &registry, &db)?;
+        let durable_db = Arc::clone(&db);
         let connections = ConnectionPool::new(db, config.db_connections);
         connections.set_fault_plan(config.fault_plan);
         connections.set_breaker(config.breaker);
@@ -521,6 +581,7 @@ impl StagedServer {
             registry: Arc::clone(&registry),
             trace_hub: trace_hub.clone(),
             governor,
+            db: Arc::clone(&durable_db),
             draining: AtomicBool::new(false),
         });
 
@@ -747,7 +808,7 @@ impl StagedServer {
 
         let drain_shared = Arc::clone(&shared);
         let drain_deadline = config.drain_deadline;
-        let shutdown = Box::new(move || {
+        let shutdown: crate::handle::ShutdownFn = Box::new(move || {
             // Drain-aware shutdown: advertise not-ready, stop requeuing
             // keep-alive connections, stop accepting — then let every
             // already-accepted request finish before closing any stage.
@@ -796,6 +857,9 @@ impl StagedServer {
             if let Some(pool) = render_lengthy_pool {
                 pool.shutdown();
             }
+            // Last: with every worker joined, checkpoint the database
+            // so a graceful stop never replays on the next open.
+            shutdown_checkpoint(&durable_db)
         });
 
         Ok(ServerHandle::new(

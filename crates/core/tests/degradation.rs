@@ -171,7 +171,7 @@ fn staged_ladder_outage_brownout_recovery() {
     for pool in server.pool_snapshots() {
         assert_eq!(pool.panicked, 0, "pool {} lost a worker", pool.name);
     }
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -218,7 +218,7 @@ fn baseline_breaker_fails_fast_and_recovers_without_stale() {
     for pool in server.pool_snapshots() {
         assert_eq!(pool.panicked, 0);
     }
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 /// Deadline propagation into the render stage: a request whose budget
@@ -257,7 +257,7 @@ fn expired_render_jobs_downgrade_to_stale_not_fresh_render() {
         r.status != StatusCode::OK
     });
     assert_eq!(resp.status, StatusCode::SERVICE_UNAVAILABLE);
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 /// Pre-rendered (`PageOutcome::Body`) pages bypass the render stage,
@@ -288,7 +288,7 @@ fn prerendered_body_pages_participate_in_stale_ladder() {
     });
     assert_eq!(stale.headers.get("warning"), Some(STALE_WARNING));
     assert_eq!(stale.body, b"<p>2 books</p>");
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -329,6 +329,6 @@ fn health_endpoints_report_state_on_both_servers() {
         // Health probes are not completions; the goodput series must
         // not be skewed by monitoring traffic.
         assert_eq!(server.stats().total_completed(), 0, "{which}");
-        server.shutdown();
+        server.shutdown().expect("clean shutdown");
     }
 }

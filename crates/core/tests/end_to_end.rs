@@ -96,11 +96,11 @@ fn settle(server: &ServerHandle, expected_total: u64) {
 fn each_server(test: impl Fn(&ServerHandle, &str)) {
     let baseline = BaselineServer::start(ServerConfig::small(), demo_app(), demo_db()).unwrap();
     test(&baseline, "baseline");
-    baseline.shutdown();
+    baseline.shutdown().expect("clean shutdown");
 
     let staged = StagedServer::start(ServerConfig::small(), demo_app(), demo_db()).unwrap();
     test(&staged, "staged");
-    staged.shutdown();
+    staged.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -311,7 +311,7 @@ fn staged_gauges_exposed() {
     assert!(staged.gauge("tspare").unwrap() <= ServerConfig::small().general_workers);
     let f = staged.gauge_fn("general").unwrap();
     assert_eq!(f(), 0);
-    staged.shutdown();
+    staged.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -319,7 +319,7 @@ fn baseline_gauge_exposed() {
     let baseline = BaselineServer::start(ServerConfig::small(), demo_app(), demo_db()).unwrap();
     assert_eq!(baseline.gauge_names(), vec!["worker"]);
     assert_eq!(baseline.gauge("worker"), Some(0));
-    baseline.shutdown();
+    baseline.shutdown().expect("clean shutdown");
 }
 
 #[test]

@@ -101,7 +101,7 @@ fn drip_fed_headers_get_408_while_wellbehaved_client_is_served() {
         wait_for("slowloris kills counted", || {
             counter(&server, "slowloris_kills_total", &[]) >= 2.0
         });
-        server.shutdown();
+        server.shutdown().expect("clean shutdown");
     }
 }
 
@@ -147,7 +147,7 @@ fn per_ip_cap_turns_away_third_socket_and_frees_slot_on_close() {
             .map(|r| r.status.is_success())
             .unwrap_or(false)
         });
-        server.shutdown();
+        server.shutdown().expect("clean shutdown");
     }
 }
 
@@ -181,7 +181,7 @@ fn keepalive_request_cap_closes_connection_after_budget() {
         wait_for("keep-alive cap counted", || {
             counter(&server, "keepalive_capped_total", &[]) >= 1.0
         });
-        server.shutdown();
+        server.shutdown().expect("clean shutdown");
     }
 }
 
@@ -216,6 +216,6 @@ fn oversized_header_and_body_get_431_and_413() {
         let resp = read_response(&mut sock).expect("413 is a real response");
         assert_eq!(resp.status.as_u16(), 413, "oversized declared body");
         assert_eq!(resp.headers.get("connection"), Some("close"));
-        server.shutdown();
+        server.shutdown().expect("clean shutdown");
     }
 }

@@ -143,7 +143,7 @@ fn staged_metrics_exposition_is_valid_and_complete() {
     // A second scrape also parses (the first scrape's own Probe trace
     // and histogram samples are now in the data).
     validate_exposition(&scrape(&server)).expect("second scrape must parse");
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -177,7 +177,7 @@ fn staged_slow_trace_ring_serves_json() {
     assert!(body.contains("\"event\":\"enqueued\""), "{body}");
     assert!(body.contains("\"stage\":\"parse\""), "{body}");
     assert!(body.contains("\"total_us\":"), "{body}");
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -200,5 +200,5 @@ fn baseline_metrics_exposition_is_valid() {
     let resp = fetch(server.addr(), Method::Get, "/debug/traces", &[]).unwrap();
     assert_eq!(resp.status, StatusCode::OK);
     assert_eq!(resp.text(), "{\"traces\":[]}");
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }

@@ -181,7 +181,7 @@ fn staged_sheds_parseable_503_when_dynamic_queue_fills() {
         .find(|p| p.name == "general-dynamic")
         .expect("general pool snapshot");
     assert_eq!(snapshot.rejected, stats.shed(ShedPoint::General));
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -220,7 +220,7 @@ fn staged_static_path_survives_dynamic_saturation() {
     for h in holders {
         assert!(h.join().unwrap().unwrap().status.is_success());
     }
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -254,7 +254,7 @@ fn baseline_sheds_parseable_503_when_worker_queue_fills() {
     let snapshot = &server.pool_snapshots()[0];
     assert_eq!(snapshot.name, "baseline-worker");
     assert_eq!(snapshot.rejected, stats.shed(ShedPoint::Listener));
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -277,7 +277,7 @@ fn expired_deadlines_answer_503_on_both_servers() {
             server.stats().deadline_expired.value() >= 1,
             "{which}: expiry must be counted"
         );
-        server.shutdown();
+        server.shutdown().expect("clean shutdown");
     }
 }
 
@@ -349,7 +349,7 @@ fn fault_mode_run_keeps_both_servers_alive() {
             fetch(addr, Method::Get, "/img/pixel.gif", &[]).is_ok_and(|r| r.status.is_success())
         });
         assert!(alive, "{which}: server dead after fault run");
-        server.shutdown();
+        server.shutdown().expect("clean shutdown");
     }
 }
 
@@ -382,6 +382,6 @@ fn connection_death_is_recovered_transparently() {
         for pool in server.pool_snapshots() {
             assert_eq!(pool.panicked, 0, "{which}");
         }
-        server.shutdown();
+        server.shutdown().expect("clean shutdown");
     }
 }

@@ -73,7 +73,7 @@ fn split_render_exposes_lengthy_gauge_and_serves_both_classes() {
         std::thread::sleep(Duration::from_millis(2));
     }
     assert_eq!(server.stats().total_completed(), 7);
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -104,7 +104,7 @@ fn split_render_protects_quick_renders_from_slow_ones() {
     for h in handles {
         h.join().unwrap();
     }
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -118,5 +118,5 @@ fn default_config_has_no_lengthy_render_pool() {
     assert!(!server.gauge_names().contains(&"render-lengthy"));
     let resp = fetch(server.addr(), Method::Get, "/huge", &[]).unwrap();
     assert_eq!(resp.status, StatusCode::OK);
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }

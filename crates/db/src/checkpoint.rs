@@ -1,0 +1,170 @@
+//! Checkpoints: full-state snapshots that truncate the WAL
+//! (DESIGN.md §13).
+//!
+//! A checkpoint file is the snapshot format of [`Database::dump`]
+//! prefixed with one watermark line:
+//!
+//! ```text
+//! checkpoint <seq>
+//! stageddb 1
+//! …
+//! ```
+//!
+//! The protocol is crash-safe at every step:
+//!
+//! 1. dump state to `checkpoint.tmp` and fsync it — a crash here
+//!    leaves a partial temp file that recovery deletes and ignores;
+//! 2. atomically rename onto `checkpoint.db` — a crash *after* the
+//!    rename but *before* the WAL truncation leaves the full log next
+//!    to the new checkpoint, which is why replay skips every record at
+//!    or below the watermark;
+//! 3. truncate the WAL and advance its durable horizon.
+//!
+//! Checkpoints are *sharp*: the caller holds the commit gate
+//! exclusively, so no mutation is in flight and the watermark equals
+//! the last applied sequence. SELECTs are unaffected (the gate is not
+//! on the read path). Sharpness is load-bearing — replay is logical
+//! SQL (`UPDATE … SET x = x + 1` is not idempotent against a fuzzy
+//! base state).
+
+use crate::database::Database;
+use crate::error::DbError;
+use crate::wal::{CheckpointPhase, CrashPlan};
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// File names inside the durability directory.
+pub(crate) const CHECKPOINT_FILE: &str = "checkpoint.db";
+pub(crate) const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+pub(crate) const WAL_FILE: &str = "wal.log";
+
+pub(crate) fn checkpoint_path(dir: &Path) -> PathBuf {
+    dir.join(CHECKPOINT_FILE)
+}
+
+pub(crate) fn wal_path(dir: &Path) -> PathBuf {
+    dir.join(WAL_FILE)
+}
+
+/// A writer that "crashes" (starts discarding and errors) after a
+/// budgeted number of bytes, simulating a process killed mid-snapshot.
+struct KilledWriter<W> {
+    inner: W,
+    budget: usize,
+}
+
+impl<W: Write> Write for KilledWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.budget == 0 {
+            return Err(std::io::Error::other("injected crash during snapshot"));
+        }
+        let n = buf.len().min(self.budget);
+        let written = self.inner.write(&buf[..n])?;
+        self.budget -= written;
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Writes `db`'s full state as a checkpoint with watermark `seq`,
+/// returning only after the file is durably renamed into place. The
+/// caller must hold the commit gate exclusively.
+pub(crate) fn write_checkpoint(
+    db: &Database,
+    dir: &Path,
+    seq: u64,
+    crash: Option<CrashPlan>,
+) -> Result<(), DbError> {
+    let tmp = dir.join(CHECKPOINT_TMP);
+    let err =
+        |what: &str, e: std::io::Error| DbError::durability(format!("checkpoint {what}: {e}"));
+    let file = File::create(&tmp).map_err(|e| err("create", e))?;
+    let kill_snapshot = crash.is_some_and(|c| c.kills_checkpoint(CheckpointPhase::DuringSnapshot));
+    {
+        let mut w: Box<dyn Write> = if kill_snapshot {
+            // Let the watermark line and a few snapshot bytes land,
+            // then die — any real snapshot exceeds the budget.
+            Box::new(KilledWriter {
+                inner: &file,
+                budget: 24,
+            })
+        } else {
+            Box::new(&file)
+        };
+        writeln!(w, "checkpoint {seq}").map_err(|e| err("write", e))?;
+        db.dump(&mut w).map_err(|e| err("write", e))?;
+    }
+    file.sync_data().map_err(|e| err("fsync", e))?;
+    fs::rename(&tmp, checkpoint_path(dir)).map_err(|e| err("rename", e))?;
+    // Make the rename itself durable before the WAL is truncated.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_data();
+    }
+    Ok(())
+}
+
+/// Loads the checkpoint, if present, returning the restored database
+/// and its watermark. A leftover `checkpoint.tmp` (crash mid-snapshot)
+/// is deleted and ignored.
+pub(crate) fn load_checkpoint(dir: &Path) -> Result<Option<(Database, u64)>, DbError> {
+    let tmp = dir.join(CHECKPOINT_TMP);
+    if tmp.exists() {
+        fs::remove_file(&tmp)
+            .map_err(|e| DbError::durability(format!("remove stale checkpoint.tmp: {e}")))?;
+    }
+    let path = checkpoint_path(dir);
+    let file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(DbError::durability(format!("open checkpoint: {e}"))),
+    };
+    let mut reader = BufReader::new(file);
+    let mut header = String::new();
+    reader
+        .read_line(&mut header)
+        .map_err(|e| DbError::durability(format!("read checkpoint: {e}")))?;
+    let seq = header
+        .trim_end()
+        .strip_prefix("checkpoint ")
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| DbError::durability(format!("bad checkpoint header: {header:?}")))?;
+    let db = Database::restore(&mut reader)
+        .map_err(|e| DbError::durability(format!("restore checkpoint: {e}")))?;
+    Ok(Some((db, seq)))
+}
+
+/// Reads the WAL file (if any) into memory for scanning. Returns the
+/// raw bytes; an absent file reads as empty.
+pub(crate) fn read_wal(dir: &Path) -> Result<Vec<u8>, DbError> {
+    let path = wal_path(dir);
+    let file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(DbError::durability(format!("open wal: {e}"))),
+    };
+    let mut bytes = Vec::new();
+    BufReader::new(file)
+        .read_to_end(&mut bytes)
+        .map_err(|e| DbError::durability(format!("read wal: {e}")))?;
+    Ok(bytes)
+}
+
+/// Truncates a torn/corrupt tail off the WAL file so later appends
+/// start exactly after the last valid record.
+pub(crate) fn truncate_wal(dir: &Path, valid_len: u64) -> Result<(), DbError> {
+    let path = wal_path(dir);
+    if !path.exists() {
+        return Ok(());
+    }
+    let file = OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .map_err(|e| DbError::durability(format!("open wal for truncate: {e}")))?;
+    file.set_len(valid_len)
+        .and_then(|()| file.sync_data())
+        .map_err(|e| DbError::durability(format!("truncate wal tail: {e}")))
+}

@@ -1,5 +1,7 @@
-//! The database: tables, locks, statement cache, execution entry point.
+//! The database: tables, locks, statement cache, execution entry point,
+//! and the durability attachment (WAL + checkpoints, DESIGN.md §13).
 
+use crate::checkpoint;
 use crate::cost::CostModel;
 use crate::error::DbError;
 use crate::exec::{self, BoundTable, ExecStats};
@@ -8,17 +10,28 @@ use crate::sql::ast::Statement;
 use crate::sql::parser;
 use crate::table::TableData;
 use crate::value::DbValue;
+use crate::wal::{CheckpointPhase, DurabilityConfig, DurabilityStatus, Wal, WalStats};
 use staged_pool::SyncQueue;
 use staged_sync::{OrderedMutex, OrderedRwLock, Rank};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// Lock ranks for the database internals (DESIGN.md §10). The catalog
-/// comes first, then the side tables, then the statement cache, and the
-/// per-table data locks last — a statement may hold the catalog lock
-/// while creating a table entry, and holds table locks innermost of
-/// all.
+/// Lock ranks for the database internals (DESIGN.md §10). The
+/// durability attachment comes first (it only decides *whether* the
+/// commit gate and WAL participate), then the commit gate, then the
+/// catalog, then the side tables, then the statement cache, and the
+/// per-table data locks after those — a statement may hold the catalog
+/// lock while creating a table entry. The WAL state lock (rank 280,
+/// `wal.rs`) is innermost of all: appends happen while the mutated
+/// table's data lock is held so log order equals apply order.
+const DURABLE_RANK: Rank = Rank::new(222);
+/// Mutations hold this shared; a checkpoint takes it exclusively so the
+/// snapshot watermark is *sharp* — logical SQL replay is not idempotent
+/// against a fuzzy base state. SELECTs never touch the gate.
+const COMMIT_GATE_RANK: Rank = Rank::new(225);
 const TABLES_RANK: Rank = Rank::new(230);
 const CAPACITY_RANK: Rank = Rank::new(240);
 const COST_RANK: Rank = Rank::new(250);
@@ -80,6 +93,56 @@ impl QueryResult {
     }
 }
 
+/// The durability attachment of an open database: the WAL plus
+/// checkpoint bookkeeping. Shared out of the rank-222 lock by `Arc` so
+/// the commit path holds the lock only for one clone.
+struct Durable {
+    wal: Arc<Wal>,
+    config: DurabilityConfig,
+    /// Base instant for the lock-free checkpoint-age clock.
+    epoch: Instant,
+    /// Milliseconds after `epoch` of the last completed checkpoint.
+    last_checkpoint_ms: AtomicU64,
+    checkpoints: AtomicU64,
+    /// Records replayed from the WAL when this database was opened.
+    replayed: u64,
+    /// Records committed since the last checkpoint, for
+    /// [`DurabilityConfig::checkpoint_every`].
+    since_checkpoint: AtomicU64,
+}
+
+impl Durable {
+    fn status(&self) -> DurabilityStatus {
+        let age_base = self.last_checkpoint_ms.load(Ordering::Relaxed);
+        DurabilityStatus {
+            mode: self.wal.policy().label(),
+            last_checkpoint_age: self
+                .epoch
+                .elapsed()
+                .saturating_sub(Duration::from_millis(age_base)),
+            replay_count: self.replayed,
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            wal: self.wal.stats(),
+            checkpoint_on_shutdown: self.config.checkpoint_on_shutdown,
+            poisoned: self.wal.poison_message(),
+        }
+    }
+
+    fn mark_checkpointed(&self) {
+        self.last_checkpoint_ms
+            .store(self.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.since_checkpoint.store(0, Ordering::Relaxed);
+    }
+
+    /// Counts one committed record; true when the auto-checkpoint
+    /// threshold is crossed (exactly once per crossing).
+    fn on_committed(&self) -> bool {
+        let every = self.config.checkpoint_every;
+        every > 0 && self.since_checkpoint.fetch_add(1, Ordering::Relaxed) + 1 == every
+    }
+}
+
 struct TableEntry {
     lock: OrderedRwLock<TableData>,
 }
@@ -126,6 +189,12 @@ pub struct Database {
     /// capacity both servers share equally. `None` means unbounded.
     capacity: OrderedRwLock<Option<Arc<SyncQueue<()>>>>,
     stmt_cache: OrderedMutex<HashMap<String, Arc<Statement>>>,
+    /// `Some` once durability is attached ([`Database::open`] /
+    /// [`Database::enable_durability`]).
+    durable: OrderedRwLock<Option<Arc<Durable>>>,
+    /// Shared by mutations, exclusive for checkpoints. Only touched
+    /// when `durable` is attached.
+    commit_gate: OrderedRwLock<()>,
 }
 
 impl fmt::Debug for Database {
@@ -151,6 +220,8 @@ impl Database {
             cost: OrderedRwLock::new(COST_RANK, "db.cost", CostModel::free()),
             capacity: OrderedRwLock::new(CAPACITY_RANK, "db.capacity", None),
             stmt_cache: OrderedMutex::new(STMT_CACHE_RANK, "db.stmt_cache", HashMap::new()),
+            durable: OrderedRwLock::new(DURABLE_RANK, "db.durable", None),
+            commit_gate: OrderedRwLock::new(COMMIT_GATE_RANK, "db.commit_gate", ()),
         }
     }
 
@@ -225,7 +296,7 @@ impl Database {
     /// parameter-count mismatches.
     pub fn execute(&self, sql: &str, params: &[DbValue]) -> Result<QueryResult, DbError> {
         let stmt = self.parse_cached(sql)?;
-        self.execute_statement(&stmt, params)
+        self.execute_statement(&stmt, sql, params)
     }
 
     fn parse_cached(&self, sql: &str) -> Result<Arc<Statement>, DbError> {
@@ -280,22 +351,39 @@ impl Database {
     fn execute_statement(
         &self,
         stmt: &Statement,
+        sql: &str,
         params: &[DbValue],
     ) -> Result<QueryResult, DbError> {
         let mut stats = ExecStats::default();
-        let result = self.run_statement(stmt, params, &mut stats)?;
+        let result = match stmt {
+            Statement::Select(_) => self.run_select_statement(stmt, params, &mut stats)?,
+            _ => self.run_mutation(stmt, sql, params, &mut stats)?,
+        };
         // Synthetic latency is charged after the guards are gone.
         self.charge(stats.scanned, stats.written);
         Ok(result)
     }
 
-    fn run_statement(
+    /// Executes a write statement, logging it to the WAL (when
+    /// durability is attached) while the mutated table's lock is still
+    /// held, then waiting for durability *after* every lock is
+    /// released — so group commit never serializes unrelated tables.
+    fn run_mutation(
         &self,
         stmt: &Statement,
+        sql: &str,
         params: &[DbValue],
         stats: &mut ExecStats,
     ) -> Result<QueryResult, DbError> {
-        match stmt {
+        let durable = self.durable.read().clone();
+        if let Some(d) = &durable {
+            // Fail before touching memory when the WAL is already dead.
+            d.wal.check_alive()?;
+        }
+        // Shared gate: excluded only by a checkpoint's exclusive hold.
+        let gate = durable.as_ref().map(|_| self.commit_gate.read());
+        let wal = durable.as_ref().map(|d| &d.wal);
+        let (result, seq) = match stmt {
             Statement::CreateTable {
                 name,
                 columns,
@@ -306,11 +394,12 @@ impl Database {
                 if tables.contains_key(name) {
                     return Err(DbError::TableExists(name.clone()));
                 }
+                let seq = Self::log(wal, sql, params)?;
                 tables.insert(
                     name.clone(),
                     Arc::new(TableEntry::new(TableData::new(schema))),
                 );
-                Ok(QueryResult::default())
+                (QueryResult::default(), seq)
             }
             Statement::CreateIndex { table, column } => {
                 let entry = self.entry(table)?;
@@ -319,8 +408,9 @@ impl Database {
                     .schema()
                     .column_index(column)
                     .ok_or_else(|| DbError::NoSuchColumn(column.clone()))?;
+                let seq = Self::log(wal, sql, params)?;
                 data.create_index(col);
-                Ok(QueryResult::default())
+                (QueryResult::default(), seq)
             }
             Statement::Insert {
                 table,
@@ -329,12 +419,18 @@ impl Database {
             } => {
                 let entry = self.entry(table)?;
                 let mut data = entry.lock.write();
-                let n = exec::run_insert(&mut data, columns, values, params, stats)?;
-                Ok(QueryResult {
-                    rows_affected: n,
-                    rows_scanned: stats.scanned,
-                    ..QueryResult::default()
-                })
+                let n = self.apply(wal, stats, |stats| {
+                    exec::run_insert(&mut data, columns, values, params, stats)
+                })?;
+                let seq = Self::log(wal, sql, params)?;
+                (
+                    QueryResult {
+                        rows_affected: n,
+                        rows_scanned: stats.scanned,
+                        ..QueryResult::default()
+                    },
+                    seq,
+                )
             }
             Statement::Update {
                 table,
@@ -343,23 +439,87 @@ impl Database {
             } => {
                 let entry = self.entry(table)?;
                 let mut data = entry.lock.write();
-                let n = exec::run_update(&mut data, table, sets, where_, params, stats)?;
-                Ok(QueryResult {
-                    rows_affected: n,
-                    rows_scanned: stats.scanned,
-                    ..QueryResult::default()
-                })
+                let n = self.apply(wal, stats, |stats| {
+                    exec::run_update(&mut data, table, sets, where_, params, stats)
+                })?;
+                let seq = Self::log(wal, sql, params)?;
+                (
+                    QueryResult {
+                        rows_affected: n,
+                        rows_scanned: stats.scanned,
+                        ..QueryResult::default()
+                    },
+                    seq,
+                )
             }
             Statement::Delete { table, where_ } => {
                 let entry = self.entry(table)?;
                 let mut data = entry.lock.write();
-                let n = exec::run_delete(&mut data, table, where_, params, stats)?;
-                Ok(QueryResult {
-                    rows_affected: n,
-                    rows_scanned: stats.scanned,
-                    ..QueryResult::default()
-                })
+                let n = self.apply(wal, stats, |stats| {
+                    exec::run_delete(&mut data, table, where_, params, stats)
+                })?;
+                let seq = Self::log(wal, sql, params)?;
+                (
+                    QueryResult {
+                        rows_affected: n,
+                        rows_scanned: stats.scanned,
+                        ..QueryResult::default()
+                    },
+                    seq,
+                )
             }
+            Statement::Select(_) => unreachable!("selects route through run_select_statement"),
+        };
+        drop(gate);
+        if let (Some(d), Some(seq)) = (&durable, seq) {
+            // Group-commit wait happens with zero locks held.
+            d.wal.commit(seq)?;
+            if d.on_committed() {
+                self.checkpoint()?;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Appends the statement to the WAL, if one is attached. Called
+    /// while the mutated table's (or the catalog's) write lock is held.
+    fn log(wal: Option<&Arc<Wal>>, sql: &str, params: &[DbValue]) -> Result<Option<u64>, DbError> {
+        match wal {
+            Some(w) => w.append(sql, params).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Runs a table-mutating executor, poisoning the WAL if the
+    /// statement fails *after* mutating rows — a partially-applied,
+    /// unlogged statement would make every later logical replay diverge
+    /// from memory, so the log must refuse to grow past it.
+    fn apply<F>(
+        &self,
+        wal: Option<&Arc<Wal>>,
+        stats: &mut ExecStats,
+        f: F,
+    ) -> Result<usize, DbError>
+    where
+        F: FnOnce(&mut ExecStats) -> Result<usize, DbError>,
+    {
+        let written_before = stats.written;
+        let result = f(&mut *stats);
+        if let (Err(e), Some(w)) = (&result, wal) {
+            if stats.written > written_before {
+                w.poison_external(format!("statement failed after partial apply: {e}"));
+            }
+        }
+        result
+    }
+
+    fn run_select_statement(
+        &self,
+        stmt: &Statement,
+        params: &[DbValue],
+        stats: &mut ExecStats,
+    ) -> Result<QueryResult, DbError> {
+        match stmt {
             Statement::Select(sel) => {
                 // Acquire read locks in sorted name order (deadlock
                 // freedom), deduplicating repeated tables.
@@ -399,6 +559,156 @@ impl Database {
                 }
                 exec::run_select(sel, params, &bound, stats)
             }
+            _ => unreachable!("mutations route through run_mutation"),
+        }
+    }
+
+    /// Opens (or creates) a durable database in `config.dir`, replaying
+    /// any WAL records past the last checkpoint. The recovery scanner
+    /// stops cleanly at the first torn or corrupt tail record and
+    /// truncates it away; a stale `checkpoint.tmp` from a crash
+    /// mid-snapshot is discarded.
+    ///
+    /// Opening the same directory twice yields byte-identical state —
+    /// replay skips everything at or below the checkpoint watermark, so
+    /// it is idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Durability`] on unreadable files or a corrupt
+    /// checkpoint; any constraint error replaying valid records (which
+    /// would indicate a bug, not corruption — corrupt records never
+    /// replay).
+    pub fn open(config: DurabilityConfig) -> Result<Database, DbError> {
+        std::fs::create_dir_all(&config.dir)
+            .map_err(|e| DbError::durability(format!("create {}: {e}", config.dir.display())))?;
+        let (db, watermark) = match checkpoint::load_checkpoint(&config.dir)? {
+            Some((db, seq)) => (db, seq),
+            None => (Database::new(), 0),
+        };
+        let bytes = checkpoint::read_wal(&config.dir)?;
+        let scan = crate::wal::scan_records(&bytes, watermark);
+        if scan.valid_len < bytes.len() as u64 {
+            checkpoint::truncate_wal(&config.dir, scan.valid_len)?;
+        }
+        let mut last_seq = watermark;
+        let mut replayed = 0u64;
+        for record in &scan.records {
+            db.execute(&record.sql, &record.params)?;
+            last_seq = record.seq;
+            replayed += 1;
+        }
+        db.attach_durable(config, last_seq, replayed)?;
+        Ok(db)
+    }
+
+    /// Attaches durability to this (so far in-memory) database: writes
+    /// an initial checkpoint of the current state, creates an empty
+    /// WAL, and starts logging every subsequent mutation.
+    ///
+    /// Call before serving concurrent writers — mutations racing the
+    /// initial checkpoint are not captured.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Durability`] if durability is already attached or any
+    /// file operation fails.
+    pub fn enable_durability(&self, config: DurabilityConfig) -> Result<(), DbError> {
+        if self.durable.read().is_some() {
+            return Err(DbError::durability("durability already attached"));
+        }
+        std::fs::create_dir_all(&config.dir)
+            .map_err(|e| DbError::durability(format!("create {}: {e}", config.dir.display())))?;
+        checkpoint::write_checkpoint(self, &config.dir, 0, config.crash)?;
+        checkpoint::truncate_wal(&config.dir, 0)?;
+        self.attach_durable(config, 0, 0)
+    }
+
+    fn attach_durable(
+        &self,
+        config: DurabilityConfig,
+        last_seq: u64,
+        replayed: u64,
+    ) -> Result<(), DbError> {
+        let wal = Wal::create(
+            checkpoint::wal_path(&config.dir),
+            config.fsync,
+            config.crash,
+            last_seq,
+        )?;
+        Wal::spawn_flusher(&wal);
+        let durable = Arc::new(Durable {
+            wal,
+            config,
+            epoch: Instant::now(),
+            last_checkpoint_ms: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            replayed,
+            since_checkpoint: AtomicU64::new(0),
+        });
+        *self.durable.write() = Some(durable);
+        Ok(())
+    }
+
+    /// Writes a checkpoint — a durable full-state snapshot — and
+    /// truncates the WAL, so the next [`Database::open`] replays
+    /// nothing. Takes the commit gate exclusively: concurrent mutations
+    /// wait, SELECTs proceed.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Durability`] when durability is not attached or the
+    /// snapshot/rename/truncate fails (which also poisons the WAL —
+    /// the on-disk horizon can no longer be trusted to advance).
+    pub fn checkpoint(&self) -> Result<(), DbError> {
+        let durable = self
+            .durable
+            .read()
+            .clone()
+            .ok_or_else(|| DbError::durability("durability not attached"))?;
+        durable.wal.check_alive()?;
+        let gate = self.commit_gate.write();
+        // Sharp watermark: the gate excludes every writer, so the last
+        // written sequence is exactly the last applied mutation.
+        let seq = durable.wal.written_seq();
+        if let Err(e) =
+            checkpoint::write_checkpoint(self, &durable.config.dir, seq, durable.config.crash)
+        {
+            durable.wal.poison_external(e.to_string());
+            return Err(e);
+        }
+        if durable
+            .config
+            .crash
+            .is_some_and(|c| c.kills_checkpoint(CheckpointPhase::BeforeTruncate))
+        {
+            let e =
+                DbError::durability("injected crash after checkpoint rename, before wal truncate");
+            durable.wal.poison_external(e.to_string());
+            return Err(e);
+        }
+        durable.wal.truncate_after_checkpoint(seq)?;
+        drop(gate);
+        durable.mark_checkpointed();
+        Ok(())
+    }
+
+    /// The durability status, or `None` for an in-memory database.
+    pub fn durability_status(&self) -> Option<DurabilityStatus> {
+        self.durable.read().as_ref().map(|d| d.status())
+    }
+
+    /// WAL counters, or `None` for an in-memory database.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.durable.read().as_ref().map(|d| d.wal.stats())
+    }
+
+    /// Installs an observer called with every WAL fsync's duration —
+    /// the servers hook the `wal_fsync_seconds` histogram in here.
+    /// No-op for an in-memory database.
+    pub fn set_fsync_observer(&self, f: impl Fn(Duration) + Send + Sync + 'static) {
+        if let Some(d) = self.durable.read().as_ref() {
+            d.wal.set_observer(Arc::new(f));
         }
     }
 }

@@ -28,6 +28,12 @@ pub enum DbError {
     /// past its threshold and the query was rejected without being
     /// attempted (see [`CircuitBreaker`](crate::CircuitBreaker)).
     CircuitOpen,
+    /// The write-ahead log could not make the mutation durable — the
+    /// append or fsync failed (or a [`CrashPlan`](crate::CrashPlan)
+    /// killed it). The WAL is poisoned afterwards: every further
+    /// mutation fails with this variant until the database is reopened,
+    /// so the on-disk log can never silently diverge from memory.
+    Durability(String),
 }
 
 impl DbError {
@@ -54,6 +60,18 @@ impl DbError {
     pub fn is_circuit_open(&self) -> bool {
         matches!(self, DbError::CircuitOpen)
     }
+
+    /// Convenience constructor for durability failures.
+    pub fn durability(msg: impl Into<String>) -> Self {
+        DbError::Durability(msg.into())
+    }
+
+    /// Whether this error means durability was lost (WAL append, fsync,
+    /// or checkpoint failure). The in-memory state may be ahead of the
+    /// log; the database refuses further writes until reopened.
+    pub fn is_durability(&self) -> bool {
+        matches!(self, DbError::Durability(_))
+    }
 }
 
 impl fmt::Display for DbError {
@@ -68,6 +86,7 @@ impl fmt::Display for DbError {
             DbError::Injected(m) => write!(f, "injected fault: {m}"),
             DbError::ConnectionLost => write!(f, "database connection lost"),
             DbError::CircuitOpen => write!(f, "database circuit breaker open"),
+            DbError::Durability(m) => write!(f, "durability lost: {m}"),
         }
     }
 }

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod breaker;
+mod checkpoint;
 mod cost;
 mod database;
 mod error;
@@ -50,6 +51,7 @@ mod snapshot;
 mod sql;
 mod table;
 mod value;
+mod wal;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cost::CostModel;
@@ -59,3 +61,6 @@ pub use fault::{splitmix64, FaultPlan};
 pub use pool::{ConnectionPool, PooledConnection};
 pub use schema::{Column, DataType, Schema};
 pub use value::DbValue;
+pub use wal::{
+    CheckpointPhase, CrashPlan, DurabilityConfig, DurabilityStatus, FsyncPolicy, WalStats,
+};

@@ -63,7 +63,7 @@ fn unescape(s: &str) -> Result<String, DbError> {
     Ok(out)
 }
 
-fn encode_value(v: &DbValue) -> String {
+pub(crate) fn encode_value(v: &DbValue) -> String {
     match v {
         DbValue::Null => "~".to_string(),
         DbValue::Int(i) => format!("i{i}"),
@@ -72,7 +72,7 @@ fn encode_value(v: &DbValue) -> String {
     }
 }
 
-fn decode_value(s: &str) -> Result<DbValue, DbError> {
+pub(crate) fn decode_value(s: &str) -> Result<DbValue, DbError> {
     if s == "~" {
         return Ok(DbValue::Null);
     }

@@ -147,11 +147,28 @@ impl RetryPolicy {
     }
 }
 
+/// The retry floor a shed response advertised: its `Retry-After`
+/// header parsed as integer seconds (the only form this repo's servers
+/// emit). Absent or unparseable advice yields `None`.
+fn retry_after_floor(resp: &ClientResponse) -> Option<Duration> {
+    resp.headers
+        .get("retry-after")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_secs)
+}
+
 /// [`fetch_with_timeout`] wrapped in jittered-exponential-backoff
-/// retries for *transport* failures (connect refused, reset, timeout).
-/// Parsed HTTP responses — including `503 Service Unavailable` — are
-/// returned as-is: the server answered, and shed responses carry their
-/// own `Retry-After` advice.
+/// retries for *transport* failures (connect refused, reset, timeout)
+/// **and** `503 Service Unavailable` responses.
+///
+/// A `503` is the server shedding load on purpose, and its
+/// `Retry-After` header is the server's own estimate of when capacity
+/// returns — so the retry sleeps `max(jittered backoff, Retry-After)`,
+/// with the server's advice clamped to `policy.cap` (a client should
+/// honour the floor, not let a pathological header park it forever).
+/// The final attempt's `503` is returned as-is, advice and all, so
+/// callers can surface it. Other parsed responses are returned
+/// immediately: the server answered.
 ///
 /// # Errors
 ///
@@ -168,12 +185,22 @@ pub fn fetch_with_retry(
     let attempts = policy.attempts.max(1);
     let mut last = None;
     for attempt in 0..attempts {
-        match fetch_with_timeout(addr, method, target, body, timeout) {
+        let floor = match fetch_with_timeout(addr, method, target, body, timeout) {
+            Ok(resp)
+                if resp.status == StatusCode::SERVICE_UNAVAILABLE && attempt + 1 < attempts =>
+            {
+                retry_after_floor(&resp)
+                    .unwrap_or(Duration::ZERO)
+                    .min(policy.cap)
+            }
             Ok(resp) => return Ok(resp),
-            Err(e) => last = Some(e),
-        }
+            Err(e) => {
+                last = Some(e);
+                Duration::ZERO
+            }
+        };
         if attempt + 1 < attempts {
-            let delay = policy.backoff_delay(attempt);
+            let delay = policy.backoff_delay(attempt).max(floor);
             if !delay.is_zero() {
                 std::thread::sleep(delay);
             }
@@ -375,6 +402,91 @@ mod tests {
             &policy,
         );
         assert!(err.is_err());
+    }
+
+    /// Serves one scripted raw response per accepted connection, then
+    /// exits. Each response closes its connection (as the real servers'
+    /// shed path does).
+    fn serve_script(responses: Vec<&'static [u8]>) -> SocketAddr {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for raw in responses {
+                let Ok((mut stream, _)) = listener.accept() else {
+                    return;
+                };
+                let mut buf = [0u8; 2048];
+                let _ = stream.read(&mut buf);
+                let _ = stream.write_all(raw);
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn retry_after_floor_applies_to_503_retries() {
+        let addr = serve_script(vec![
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+            b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok",
+        ]);
+        let mut policy = RetryPolicy::seeded(5);
+        policy.base = Duration::from_millis(1); // jitter ceiling ≪ the floor
+        policy.cap = Duration::from_millis(80); // clamps the 1 s advice
+        let started = std::time::Instant::now();
+        let resp =
+            fetch_with_retry(addr, Method::Get, "/", &[], Duration::from_secs(5), &policy).unwrap();
+        assert_eq!(resp.status, StatusCode::OK, "retried through the 503");
+        assert!(
+            started.elapsed() >= Duration::from_millis(80),
+            "Retry-After floor (clamped to cap) not honoured: {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn final_attempt_503_returned_with_its_advice() {
+        let addr = serve_script(vec![
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 2\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        ]);
+        let mut policy = RetryPolicy::seeded(6);
+        policy.attempts = 2;
+        policy.base = Duration::from_millis(1);
+        policy.cap = Duration::from_millis(20);
+        let resp =
+            fetch_with_retry(addr, Method::Get, "/", &[], Duration::from_secs(5), &policy).unwrap();
+        assert_eq!(resp.status, StatusCode::SERVICE_UNAVAILABLE);
+        assert_eq!(
+            resp.headers.get("retry-after"),
+            Some("2"),
+            "the last shed response must surface as-is"
+        );
+    }
+
+    #[test]
+    fn missing_or_garbled_retry_after_means_no_floor() {
+        let ok = ClientResponse {
+            status: StatusCode::SERVICE_UNAVAILABLE,
+            headers: HeaderMap::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(retry_after_floor(&ok), None);
+        let mut headers = HeaderMap::new();
+        headers.insert("Retry-After", "soon");
+        let garbled = ClientResponse {
+            status: StatusCode::SERVICE_UNAVAILABLE,
+            headers,
+            body: Vec::new(),
+        };
+        assert_eq!(retry_after_floor(&garbled), None);
+        let mut headers = HeaderMap::new();
+        headers.insert("Retry-After", " 3 ");
+        let padded = ClientResponse {
+            status: StatusCode::SERVICE_UNAVAILABLE,
+            headers,
+            body: Vec::new(),
+        };
+        assert_eq!(retry_after_floor(&padded), Some(Duration::from_secs(3)));
     }
 
     #[test]

@@ -58,7 +58,7 @@ fn every_page_renders_on_the_staged_server() {
         );
         assert!(text.contains("</html>"), "{target}: truncated page");
     }
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -102,7 +102,7 @@ fn shopping_flow_carries_cart_state() {
     assert_eq!(lines.single_int(), Some(0));
     let resp = fetch(addr, Method::Get, "/order_display?c_id=1", &[]).unwrap();
     assert!(resp.text().contains("Order #"));
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -150,7 +150,7 @@ fn workload_runs_against_both_servers() {
         // Server-side stats saw both static and dynamic traffic.
         assert!(stats.completed(staged_core::RequestKind::Static) > 0);
         assert!(stats.total_completed() > report.total_interactions);
-        server.shutdown();
+        server.shutdown().expect("clean shutdown");
     }
 }
 
@@ -178,7 +178,7 @@ fn report_shapes_are_consistent() {
             assert!(p.mean_ms > 0.0, "{}", p.route);
         }
     }
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -200,5 +200,5 @@ fn populated_database_snapshot_round_trips() {
     let server = StagedServer::start(ServerConfig::small(), app, Arc::new(restored)).unwrap();
     let resp = fetch(server.addr(), Method::Get, "/home?c_id=1", &[]).unwrap();
     assert_eq!(resp.status, StatusCode::OK);
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }

@@ -43,7 +43,7 @@ fn pages_tolerate_missing_parameters() {
         let resp = fetch(addr, Method::Get, target, &[]).unwrap();
         assert_eq!(resp.status, StatusCode::OK, "{target}");
     }
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -54,7 +54,7 @@ fn anonymous_home_has_no_greeting() {
         .text();
     assert!(text.contains("Welcome to the TPC-W Bookstore"));
     assert!(!text.contains("Welcome back"));
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -65,7 +65,7 @@ fn unknown_item_is_a_500_not_a_hang() {
     // The server (and its DB connection) is still healthy.
     let resp = fetch(addr, Method::Get, "/product_detail?i_id=1", &[]).unwrap();
     assert_eq!(resp.status, StatusCode::OK);
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -79,7 +79,7 @@ fn unknown_subject_lists_empty() {
         .unwrap()
         .text();
     assert!(text.contains("No recent sales in this subject."));
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -94,7 +94,7 @@ fn search_with_no_matches_and_odd_characters() {
         let resp = fetch(addr, Method::Get, target, &[]).unwrap();
         assert_eq!(resp.status, StatusCode::OK, "{target}");
     }
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -106,7 +106,7 @@ fn buy_confirm_with_empty_cart_places_empty_order() {
     assert!(text.contains("Thank you for your order!"));
     assert!(text.contains("0 line items"), "BODY: {text}");
     assert!(text.contains("$0.00"), "BODY: {text}");
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -133,7 +133,7 @@ fn order_display_for_customer_without_orders() {
     .unwrap()
     .text();
     assert!(text.contains("No orders found"));
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -147,7 +147,7 @@ fn admin_confirm_updates_are_visible() {
         text.contains("$55.55"),
         "cost update must be visible: {text}"
     );
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -163,7 +163,7 @@ fn cart_quantity_parameters_are_clamped_to_defaults() {
     .unwrap()
     .text();
     assert!(text.contains("<td>1</td>"), "{text}");
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -184,5 +184,5 @@ fn concurrent_cart_creation_never_collides() {
     ids.sort_unstable();
     ids.dedup();
     assert_eq!(ids.len(), 8, "cart ids must be unique");
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }

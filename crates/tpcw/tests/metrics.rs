@@ -59,5 +59,5 @@ fn tpcw_metrics_scrape_is_valid_prometheus() {
         }
         std::thread::sleep(Duration::from_millis(2));
     }
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }

@@ -156,7 +156,10 @@ const LOCK_RESULT: &[&str] = &[
     ".write().expect(",
 ];
 
-/// I/O calls whose same-line `.unwrap()`/`.expect(` is flagged.
+/// I/O calls whose same-line `.unwrap()`/`.expect(` is flagged. The
+/// second group covers durable-file I/O (DESIGN.md §13): the WAL and
+/// checkpoint paths must surface disk failures as `DbError::Durability`,
+/// never panic the process holding the commit lock.
 const IO_CALLS: &[&str] = &[
     ".write_all(",
     ".flush()",
@@ -164,6 +167,13 @@ const IO_CALLS: &[&str] = &[
     ".read_to_string(",
     ".read_to_end(",
     ".set_nonblocking(",
+    ".sync_all()",
+    ".sync_data()",
+    ".set_len(",
+    "fs::rename(",
+    "fs::remove_file(",
+    "File::create(",
+    "File::open(",
 ];
 
 /// Lints one file's source. `path` is used only for diagnostics.

@@ -1,0 +1,19 @@
+// Fixture: panicking durable-file I/O — the WAL/checkpoint paths must
+// surface disk failures as errors, never unwrap them (DESIGN.md §13).
+use std::fs::{self, File};
+
+pub fn checkpoint(dir: &std::path::Path) {
+    let file = File::create(dir.join("checkpoint.tmp")).unwrap();
+    file.sync_all().expect("fsync checkpoint");
+    fs::rename(dir.join("checkpoint.tmp"), dir.join("checkpoint.db")).unwrap();
+}
+
+pub fn truncate(wal: &File) {
+    wal.set_len(0).expect("truncate wal");
+    wal.sync_data().unwrap();
+}
+
+pub fn reset(dir: &std::path::Path) {
+    fs::remove_file(dir.join("wal.log")).unwrap();
+    let _ = File::open(dir.join("checkpoint.db")).expect("reopen");
+}

@@ -54,6 +54,19 @@ fn binaries_may_unwrap_io() {
 }
 
 #[test]
+fn bad_durable_io_flags_every_wal_call() {
+    let diags = lint_fixture("bad_durable_io.rs", FileKind::Lib);
+    // File::create, .sync_all(), fs::rename, .set_len(, .sync_data(),
+    // fs::remove_file, File::open — one unwrap/expect each.
+    assert_eq!(by_rule(&diags), BTreeMap::from([("lock_unwrap", 7)]));
+}
+
+#[test]
+fn test_files_may_unwrap_durable_io() {
+    assert_eq!(lint_fixture("bad_durable_io.rs", FileKind::Test), vec![]);
+}
+
+#[test]
 fn bad_raw_lock_flags_both_constructions() {
     let diags = lint_fixture("bad_raw_lock.rs", FileKind::Lib);
     assert_eq!(by_rule(&diags), BTreeMap::from([("raw_lock", 2)]));

@@ -69,7 +69,7 @@ fn main() {
             report.interactions_per_minute(),
             report.total_errors
         );
-        server.shutdown();
+        server.shutdown().expect("clean shutdown");
         reports.push(report);
     }
 

@@ -74,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "pools involved: header -> general-dynamic -> render (gauges: {:?})",
         server.gauge_names()
     );
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
     println!("server shut down cleanly");
     Ok(())
 }

@@ -159,6 +159,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let health = fetch(addr, Method::Get, "/healthz", &[])?;
     println!("\n/healthz: {}", String::from_utf8_lossy(&health.body));
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
     Ok(())
 }

@@ -27,7 +27,7 @@ fn full_pipeline_request_to_rendered_response() {
     // Content-Length exactness (§3.2 of the paper).
     let declared: usize = resp.headers.get("content-length").unwrap().parse().unwrap();
     assert_eq!(declared, resp.body.len());
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 /// The quick/lengthy classifier drives pool selection end to end:
@@ -93,7 +93,7 @@ fn classifier_routes_lengthy_pages_to_lengthy_pool() {
     }
     assert!(stats.completed(RequestKind::LengthyDynamic) >= 4);
     assert!(stats.completed(RequestKind::QuickDynamic) >= 1);
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 /// Both servers produce byte-identical page bodies for the same request
@@ -127,7 +127,7 @@ fn both_servers_render_identical_pages() {
                 .map(|t| fetch(server.addr(), Method::Get, t, &[]).unwrap().text())
                 .collect(),
         );
-        server.shutdown();
+        server.shutdown().expect("clean shutdown");
     }
     for (i, target) in targets.iter().enumerate() {
         assert_eq!(
@@ -195,7 +195,7 @@ fn custom_app_composes_all_crates() {
     // HTML injection from the database is escaped by the template layer.
     assert!(notes.contains("&lt;b&gt;bold&lt;/b&gt;"));
     assert!(!notes.contains("<b>bold</b>"));
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 /// Connection-pool accounting holds across a busy multi-client run.
@@ -234,7 +234,7 @@ fn connection_budget_is_respected_under_load() {
     assert_eq!(server.gauge("general"), Some(0));
     assert_eq!(server.gauge("lengthy"), Some(0));
     assert!(budget >= 5);
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 /// Failure injection: slow-loris partial requests, oversized requests,
@@ -270,5 +270,5 @@ fn hostile_clients_do_not_wedge_the_server() {
     }
     drop(loris);
     drop(garbage);
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }

@@ -30,11 +30,11 @@ fn each_server(test: impl Fn(std::net::SocketAddr, &str)) {
         BaselineServer::start(ServerConfig::small(), demo_app(), Arc::new(Database::new()))
             .unwrap();
     test(baseline.addr(), "baseline");
-    baseline.shutdown();
+    baseline.shutdown().expect("clean shutdown");
     let staged =
         StagedServer::start(ServerConfig::small(), demo_app(), Arc::new(Database::new())).unwrap();
     test(staged.addr(), "staged");
-    staged.shutdown();
+    staged.shutdown().expect("clean shutdown");
 }
 
 #[test]

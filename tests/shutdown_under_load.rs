@@ -2,11 +2,13 @@
 //! complete without deadlock, and in-flight work must not crash the
 //! process.
 
-use staged_web::core::{App, BaselineServer, PageOutcome, Phase, ServerConfig, StagedServer};
+use staged_web::core::{
+    App, BaselineServer, DurabilityConfig, PageOutcome, Phase, ServerConfig, StagedServer,
+};
 use staged_web::db::{CostModel, Database, DbValue};
 use staged_web::http::{fetch_with_timeout, Method, Response, StatusCode};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 #[test]
@@ -59,7 +61,10 @@ fn shutdown_drains_in_flight_requests_without_deadlock() {
         );
         std::thread::sleep(Duration::from_millis(10));
     }
-    shutdown_thread.join().unwrap();
+    shutdown_thread
+        .join()
+        .unwrap()
+        .expect("clean shutdown under load");
 
     stop.store(true, Ordering::Relaxed);
     for c in clients {
@@ -157,10 +162,99 @@ fn shutdown_loses_no_accepted_requests() {
             assert_eq!(resp.status, StatusCode::OK, "{which}: request {i}");
             assert_eq!(resp.body, b"drained", "{which}: request {i} truncated");
         }
-        shutdown_thread.join().unwrap();
+        shutdown_thread
+            .join()
+            .unwrap()
+            .unwrap_or_else(|e| panic!("{which}: shutdown reported failure: {e}"));
         assert!(
             shutdown_started.elapsed() < Duration::from_secs(8),
             "{which}: drain exceeded its deadline"
         );
     }
+}
+
+/// Durable shutdown under write load: every `POST` the server
+/// acknowledged with a `200` must be present after reopening the
+/// durability directory — and a *graceful* stop checkpoints, so the
+/// reopen replays **zero** WAL records.
+#[test]
+fn graceful_shutdown_loses_no_acknowledged_writes_and_never_replays() {
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("shutdown-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let db = Arc::new(Database::open(DurabilityConfig::new(&dir)).unwrap());
+    db.execute("CREATE TABLE acked (id INT PRIMARY KEY)", &[])
+        .unwrap();
+    let app = App::builder()
+        .route("/write", "write", |req, db| {
+            let id: i64 = req.param("id").and_then(|v| v.parse().ok()).unwrap_or(-1);
+            db.execute("INSERT INTO acked (id) VALUES (?)", &[DbValue::Int(id)])?;
+            Ok(PageOutcome::Body(Response::text("ok")))
+        })
+        .build();
+    let config = ServerConfig {
+        durability: Some(DurabilityConfig::new(&dir)),
+        ..ServerConfig::small()
+    };
+    let server = StagedServer::start(config, app, Arc::clone(&db)).unwrap();
+    let addr = server.addr();
+
+    // Writers insert unique ids and record each one the server acked
+    // with a 200, right up until shutdown cuts them off.
+    let stop = Arc::new(AtomicBool::new(false));
+    let acked: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
+    let writers: Vec<_> = (0..4i64)
+        .map(|w| {
+            let stop = Arc::clone(&stop);
+            let acked = Arc::clone(&acked);
+            std::thread::spawn(move || {
+                let mut id = w;
+                while !stop.load(Ordering::Relaxed) {
+                    let path = format!("/write?id={id}");
+                    match fetch_with_timeout(addr, Method::Post, &path, &[], Duration::from_secs(5))
+                    {
+                        Ok(resp) if resp.status == StatusCode::OK => {
+                            acked.lock().unwrap().push(id);
+                        }
+                        // Shed, draining, or connection torn down by
+                        // shutdown: not acknowledged, no durability claim.
+                        _ => {}
+                    }
+                    id += 4;
+                }
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(200));
+    drop(db); // the server's Arc is the only one left
+    server.shutdown().expect("graceful durable shutdown");
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+
+    let recovered = Database::open(DurabilityConfig::new(&dir)).unwrap();
+    let status = recovered.durability_status().unwrap();
+    assert_eq!(
+        status.replay_count, 0,
+        "graceful shutdown checkpointed, so the reopen must not replay"
+    );
+    let acked = acked.lock().unwrap();
+    assert!(!acked.is_empty(), "load never reached the server");
+    for id in acked.iter() {
+        let r = recovered
+            .execute(
+                "SELECT COUNT(*) FROM acked WHERE id = ?",
+                &[DbValue::Int(*id)],
+            )
+            .unwrap();
+        assert_eq!(
+            r.single_int(),
+            Some(1),
+            "acknowledged write {id} lost across graceful shutdown"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -40,7 +40,7 @@ fn stalled_connections_are_dropped_and_workers_freed() {
         server.stats().dropped_connections.value() >= 2,
         "stalled connections should be counted as dropped"
     );
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -61,5 +61,5 @@ fn headers_arriving_in_dribbles_still_parse_within_timeout() {
     let resp = staged_web::http::read_response(&mut stream).unwrap();
     assert_eq!(resp.status, StatusCode::OK);
     assert_eq!(resp.text(), "pong");
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
