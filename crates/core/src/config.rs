@@ -136,6 +136,21 @@ pub struct ServerConfig {
     /// [`AppBuilder::stale_cacheable`](crate::AppBuilder::stale_cacheable)
     /// are cached.
     pub stale_capacity: usize,
+    /// Whether the staged server runs the dependency-tracked
+    /// dynamic-page cache ([`DocCache`](crate::DocCache)): cacheable GET
+    /// responses are retained tagged with the tables/keys they read and
+    /// served straight from the header stage — zero DB checkouts, zero
+    /// render work, zero allocations — until a committed write
+    /// intersects their read-set. **Off by default** so the baseline
+    /// server and the paper-comparison benches measure the paper's
+    /// model, not the cache.
+    pub doc_cache: bool,
+    /// Freshness backstop for document-cache entries. Correctness comes
+    /// from write invalidation; the TTL only bounds how long an entry
+    /// whose tables never change may live.
+    pub doc_cache_ttl: Duration,
+    /// Entry bound of the document cache (oldest-out eviction past it).
+    pub doc_cache_capacity: usize,
     /// Graceful-shutdown budget: how long [`ServerHandle::shutdown`]
     /// (see [`crate::ServerHandle`]) waits for queued and in-flight
     /// requests to finish before force-joining the pools.
@@ -198,6 +213,9 @@ impl Default for ServerConfig {
             breaker: None,
             stale_ttl: Duration::from_secs(30),
             stale_capacity: 256,
+            doc_cache: false,
+            doc_cache_ttl: Duration::from_secs(60),
+            doc_cache_capacity: 1024,
             drain_deadline: Duration::from_secs(5),
             trace_ring: 32,
             governor: GovernorConfig::default(),
@@ -320,6 +338,16 @@ impl ServerConfig {
             self.baseline_workers
         );
         assert!(self.queue_factor >= 1, "queue_factor must be at least 1");
+        if self.doc_cache {
+            assert!(
+                self.doc_cache_capacity > 0,
+                "an enabled document cache needs a nonzero capacity"
+            );
+            assert!(
+                !self.doc_cache_ttl.is_zero(),
+                "an enabled document cache needs a nonzero TTL backstop"
+            );
+        }
         if let Some(chaos) = &self.chaos {
             chaos.validate();
         }

@@ -211,6 +211,21 @@ impl HealthView<'_> {
                 self.counter("slowloris_kills_total")
             );
         }
+        // Document-cache picture (only when the staged server runs the
+        // dependency-tracked cache and registered its families).
+        if let Some(entries) = self.registry.value("doc_cache_entries", &[]) {
+            let _ = write!(
+                s,
+                ",\"doc_cache\":{{\"entries\":{},\"hits\":{},\"misses\":{},\"publishes\":{},\"invalidations\":{},\"stale_discards\":{},\"bytes_served\":{}}}",
+                entries.max(0.0) as u64,
+                self.counter("doc_cache_hits_total"),
+                self.counter("doc_cache_misses_total"),
+                self.counter("doc_cache_publishes_total"),
+                self.counter("doc_cache_invalidations_total"),
+                self.counter("doc_cache_stale_discards_total"),
+                self.counter("doc_cache_bytes_served_total")
+            );
+        }
         // Durability picture (only when the server runs with a WAL).
         // `poisoned` is reported as a boolean: the message is free-form
         // I/O error text and this payload never escapes strings.
@@ -445,6 +460,39 @@ mod tests {
         };
         let body = String::from_utf8(v.healthz().body().to_vec()).unwrap();
         assert!(!body.contains("\"connections\""), "{body}");
+    }
+
+    #[test]
+    fn doc_cache_section_appears_once_cache_registers() {
+        let registry = populated_registry();
+        registry.gauge_fn("doc_cache_entries", &[], || 3.0);
+        registry.counter_fn("doc_cache_hits_total", &[], || 12);
+        registry.counter_fn("doc_cache_misses_total", &[], || 4);
+        registry.counter_fn("doc_cache_publishes_total", &[], || 4);
+        registry.counter_fn("doc_cache_invalidations_total", &[], || 1);
+        registry.counter_fn("doc_cache_stale_discards_total", &[], || 0);
+        registry.counter_fn("doc_cache_bytes_served_total", &[], || 4096);
+        let v = HealthView {
+            phase: Phase::Ready,
+            breaker: None,
+            registry: &registry,
+            durability: None,
+        };
+        let body = String::from_utf8(v.healthz().body().to_vec()).unwrap();
+        assert!(body.contains("\"doc_cache\":{\"entries\":3"), "{body}");
+        assert!(body.contains("\"hits\":12"), "{body}");
+        assert!(body.contains("\"bytes_served\":4096"), "{body}");
+
+        // A registry without the cache families omits the section.
+        let bare = populated_registry();
+        let v = HealthView {
+            phase: Phase::Ready,
+            breaker: None,
+            registry: &bare,
+            durability: None,
+        };
+        let body = String::from_utf8(v.healthz().body().to_vec()).unwrap();
+        assert!(!body.contains("\"doc_cache\""), "{body}");
     }
 
     #[test]

@@ -57,6 +57,7 @@
 mod app;
 mod baseline;
 mod config;
+mod doccache;
 mod error;
 mod governor;
 mod handle;
@@ -70,6 +71,7 @@ mod stats;
 pub use app::{App, AppBuilder, Handler, PageOutcome, Route};
 pub use baseline::BaselineServer;
 pub use config::ServerConfig;
+pub use doccache::{DocCache, Lookup};
 pub use error::AppError;
 pub use governor::GovernorConfig;
 pub use handle::{PoolSnapshot, ServerHandle, ShutdownError};
@@ -77,6 +79,7 @@ pub use health::{Phase, Readiness};
 pub use overload::{ChaosAction, ListenerChaos};
 pub use scheduler::{DynamicPoolChoice, RequestClass, ReserveController, ServiceTimeTracker};
 pub use staged::StagedServer;
+pub use stale::write_key;
 pub use stats::{RequestKind, ServerStats, ShedPoint, StatsSnapshot};
 
 // Re-exported so callers can consume `ServerHandle::registry` and the

@@ -2,7 +2,7 @@
 //! servers: the shed (`503`) response, deterministic listener chaos,
 //! and the worker-owned database slot that survives connection death.
 
-use staged_db::{splitmix64, ConnectionPool, PooledConnection};
+use staged_db::{splitmix64, ConnectionPool, PooledConnection, ReadSet};
 use staged_http::{Response, StatusCode};
 use staged_sync::{OrderedMutex, Rank};
 use std::collections::VecDeque;
@@ -227,6 +227,12 @@ pub(crate) struct DbSlot {
     conn: Option<PooledConnection>,
     acquire_timeout: Duration,
     retries: u32,
+    /// Whether the current request wants its read set collected. Kept
+    /// on the slot (not just the connection) so a replacement
+    /// connection checked out mid-request re-arms tracking — otherwise
+    /// the retried handler's reads would go unrecorded and a cache
+    /// entry could be tagged with an incomplete dependency set.
+    track_reads: bool,
 }
 
 impl DbSlot {
@@ -239,7 +245,27 @@ impl DbSlot {
             pool: pool.clone(),
             acquire_timeout,
             retries,
+            track_reads: false,
         }
+    }
+
+    /// Starts read-set collection for the current request; any
+    /// connection the slot hands out until [`DbSlot::take_read_set`]
+    /// tracks its statements.
+    pub(crate) fn begin_read_tracking(&mut self) {
+        self.track_reads = true;
+        if let Some(conn) = &self.conn {
+            conn.begin_read_tracking();
+        }
+    }
+
+    /// Ends collection and returns what the request read. `None` when
+    /// tracking never started *or* the tracking connection was lost
+    /// mid-request (callers must then skip caching or tag
+    /// conservatively — an incomplete set must never tag an entry).
+    pub(crate) fn take_read_set(&mut self) -> Option<ReadSet> {
+        self.track_reads = false;
+        self.conn.as_ref().and_then(|c| c.take_read_set())
     }
 
     /// The live connection, replacing a dead one if needed. Returns
@@ -255,6 +281,12 @@ impl DbSlot {
                     std::thread::sleep(Duration::from_millis(2u64 << attempt.min(6)));
                 }
                 if let Some(fresh) = self.pool.get_timeout(self.acquire_timeout) {
+                    if self.track_reads {
+                        // Re-arm tracking on the replacement: the retried
+                        // handler's reads are the ones that produce the
+                        // response that may be cached.
+                        fresh.begin_read_tracking();
+                    }
                     self.conn = Some(fresh);
                     break;
                 }
@@ -425,6 +457,7 @@ mod tests {
             conn: None,
             acquire_timeout: Duration::from_millis(10),
             retries: 1,
+            track_reads: false,
         };
         assert!(slot.conn().is_none(), "starved pool must not block forever");
         drop(held);

@@ -17,6 +17,7 @@
 use crate::app::{App, PageOutcome};
 use crate::baseline::run_handler_with_slot;
 use crate::config::ServerConfig;
+use crate::doccache::{DocCache, Lookup};
 use crate::governor::{ConnectionGovernor, GovernedStream};
 use crate::handle::{FaultFn, ServerHandle, ShutdownError};
 use crate::health::{self, HealthView, Readiness};
@@ -24,13 +25,14 @@ use crate::overload::{overload_response, ChaosAction, DbSlot, RetryEstimator};
 use crate::scheduler::{RequestClass, ReserveController, ServiceTimeTracker};
 use crate::stale::{self, StaleCache};
 use crate::stats::{RequestKind, ServerStats, ShedPoint};
-use staged_db::{CircuitBreaker, ConnectionPool, Database};
+use staged_db::{CircuitBreaker, ConnectionPool, Database, ReadSet};
 use staged_http::{
     Connection, HeaderMap, HttpError, Method, Request, RequestLine, Response, StatusCode,
 };
 use staged_metrics::{Registry, Stage, Trace, TraceEvent, TraceHub, TraceOutcome};
 use staged_pool::{PoolConfig, PoolStats, PushError, SyncQueue, WorkerPool};
 use staged_templates::Context;
+use std::cell::RefCell;
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -38,6 +40,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 type Conn = Connection<GovernedStream>;
+
+thread_local! {
+    /// Per-thread scratch for normalized cache keys. Reused across
+    /// requests so key derivation on the cache-hit path stops
+    /// allocating once the buffer has grown to steady state.
+    static KEY_BUF: RefCell<String> = const { RefCell::new(String::new()) };
+}
 
 /// An accepted (or requeued keep-alive) connection waiting for a header
 /// worker, stamped so queue wait counts against the request deadline.
@@ -69,9 +78,14 @@ struct DynJob {
     page: Option<String>,
     kind: RequestKind,
     deadline: Option<Instant>,
-    /// The stale-cache key for `GET`s of cache-marked routes; `None`
-    /// means this request must never be served a stale copy.
+    /// The normalized cache key for `GET`s of cache-marked routes
+    /// (shared by the stale ladder and the document cache); `None`
+    /// means this request must never be served from either cache.
     stale_key: Option<String>,
+    /// Document-cache epoch snapshot taken at the miss, *before* the
+    /// first query — [`DocCache::publish`] uses it to reject renders
+    /// that raced a write. Zero when the document cache is off.
+    cache_snapshot: u64,
     trace: Trace,
 }
 
@@ -92,6 +106,11 @@ struct RenderJob {
     /// render and fall back to a stale one when the deadline expired in
     /// its queue.
     stale_key: Option<String>,
+    /// See [`DynJob::cache_snapshot`].
+    cache_snapshot: u64,
+    /// The tables/keys the handler's queries read, collected by the
+    /// dynamic stage; tags the published render for invalidation.
+    reads: Option<Arc<ReadSet>>,
     trace: Trace,
 }
 
@@ -125,8 +144,13 @@ struct Shared {
     /// Adaptive `Retry-After` advice for shed responses.
     retry: RetryEstimator,
     /// Stale copies of successful renders — the degradation ladder's
-    /// middle rung (fresh → stale → shed).
-    stale: StaleCache,
+    /// middle rung (fresh → stale → shed). `Arc`-shared with the
+    /// database write observer, which evicts entries a write touched.
+    stale: Arc<StaleCache>,
+    /// The dependency-tracked dynamic-page cache; `None` unless
+    /// [`ServerConfig::doc_cache`] is on. Hits are served from the
+    /// header stage without touching the dynamic or render pools.
+    doc_cache: Option<Arc<DocCache>>,
     /// Lifecycle phase, served by `/readyz`.
     readiness: Arc<Readiness>,
     /// The database circuit breaker (shared with the connection pool),
@@ -162,6 +186,13 @@ impl Shared {
         self.general_size
             .saturating_sub(busy)
             .saturating_sub(self.general_q.len())
+    }
+
+    /// Whether dynamic workers should collect read sets for cacheable
+    /// requests: some consumer (document cache or stale ladder) will
+    /// tag entries with them.
+    fn track_reads(&self) -> bool {
+        self.doc_cache.is_some() || self.stale.enabled()
     }
 
     /// Sends a response (honouring `HEAD`) and either requeues the
@@ -437,6 +468,28 @@ pub(crate) fn shutdown_checkpoint(db: &Database) -> Result<(), ShutdownError> {
         .map_err(|e| ShutdownError::new(format!("final checkpoint failed: {e}")))
 }
 
+/// Registers the document-cache metric families:
+/// `doc_cache_{hits,misses,publishes,invalidations,stale_discards,
+/// bytes_served}_total` and the `doc_cache_entries` gauge. `/healthz`'s
+/// cache section reads the same families, so the surfaces agree.
+pub(crate) fn register_doc_cache(registry: &Registry, cache: &Arc<DocCache>) {
+    type CounterRead = fn(&DocCache) -> u64;
+    let families: [(&'static str, CounterRead); 6] = [
+        ("doc_cache_hits_total", DocCache::hits),
+        ("doc_cache_misses_total", DocCache::misses),
+        ("doc_cache_publishes_total", DocCache::publishes),
+        ("doc_cache_invalidations_total", DocCache::invalidations),
+        ("doc_cache_stale_discards_total", DocCache::stale_discards),
+        ("doc_cache_bytes_served_total", DocCache::bytes_served),
+    ];
+    for (name, read) in families {
+        let c = Arc::clone(cache);
+        registry.counter_fn(name, &[], move || read(&c));
+    }
+    let c = Arc::clone(cache);
+    registry.gauge_fn("doc_cache_entries", &[], move || c.len() as f64);
+}
+
 /// Registers the per-page data-generation collector
 /// (`page_service_seconds{page=…}`, the scheduler's classification
 /// input as a running average).
@@ -510,6 +563,29 @@ impl StagedServer {
         let set_fault: FaultFn = Arc::new(move |plan| fault_pool.set_fault_plan(plan));
         let readiness = Arc::new(Readiness::new());
 
+        let stale = Arc::new(StaleCache::new(config.stale_ttl, config.stale_capacity));
+        let doc_cache = config.doc_cache.then(|| {
+            Arc::new(DocCache::new(
+                config.doc_cache_ttl,
+                config.doc_cache_capacity,
+            ))
+        });
+        // The invalidation engine: every committed mutation evicts
+        // dependent entries from the document cache and the stale
+        // ladder (rank 118 before rank 120). The observer deliberately
+        // captures only the two caches — capturing the shared server
+        // context would create an Arc cycle through the database.
+        if doc_cache.is_some() || config.stale_capacity > 0 {
+            let dc = doc_cache.clone();
+            let sc = Arc::clone(&stale);
+            durable_db.set_write_observer(move |event| {
+                if let Some(dc) = &dc {
+                    dc.invalidate(event);
+                }
+                sc.invalidate(event);
+            });
+        }
+
         let header_q = Arc::new(SyncQueue::<TimedConn>::bounded(config.header_queue_bound()));
         let static_q = Arc::new(SyncQueue::<StaticJob>::bounded(config.static_queue_bound()));
         let general_q = Arc::new(SyncQueue::<DynJob>::bounded(config.general_queue_bound()));
@@ -575,7 +651,8 @@ impl StagedServer {
             render_lengthy_stats: render_lengthy_pool_stats.clone(),
             budget: config.request_deadline,
             retry,
-            stale: StaleCache::new(config.stale_ttl, config.stale_capacity),
+            stale,
+            doc_cache: doc_cache.clone(),
             readiness: Arc::clone(&readiness),
             breaker: breaker.clone(),
             registry: Arc::clone(&registry),
@@ -615,6 +692,9 @@ impl StagedServer {
             registry.gauge_fn("scheduler_t_reserve", &[], move || c.reserve() as f64);
         }
         register_page_tracker(&registry, &tracker);
+        if let Some(dc) = &doc_cache {
+            register_doc_cache(&registry, dc);
+        }
 
         let db_acquire_timeout = config.db_acquire_timeout;
         let db_acquire_retries = config.db_acquire_retries;
@@ -983,9 +1063,55 @@ fn header_worker(shared: &Shared, timed: TimedConn) {
         Some((r, _)) => (Some(r.name.clone()), r.cacheable),
         None => (None, false),
     };
-    // Only GETs of cache-marked routes may ever be served stale.
-    let stale_key = (cacheable && request.method() == Method::Get)
-        .then(|| stale::cache_key(page.as_deref().unwrap_or_default(), &request.params));
+    // Only GETs of cache-marked routes may ever be served from a cache
+    // (document or stale). The key is built in the thread's reusable
+    // buffer; a document-cache hit is answered right here — no DB
+    // checkout, no render, no allocation — and only a miss pays for the
+    // owned key the job carries downstream.
+    let mut cache_snapshot = 0u64;
+    let stale_key: Option<String> = if cacheable && request.method() == Method::Get {
+        enum KeyOutcome {
+            Hit(Arc<Response>),
+            Miss(String),
+        }
+        let outcome = KEY_BUF.with(|buf| {
+            let mut buf = buf.borrow_mut();
+            // lint: hot_path — cache-hit serve: key derivation reuses
+            // the per-thread buffer; a hit costs one map probe and an
+            // Arc bump before the vectored write in `finish`.
+            stale::write_key(
+                &mut buf,
+                page.as_deref().unwrap_or_default(),
+                &request.params,
+            );
+            if let Some(dc) = &shared.doc_cache {
+                match dc.lookup(&buf) {
+                    Lookup::Hit(response) => return KeyOutcome::Hit(response),
+                    Lookup::Miss(snapshot) => cache_snapshot = snapshot,
+                }
+            }
+            // lint: end_hot_path
+            KeyOutcome::Miss(buf.clone())
+        });
+        match outcome {
+            KeyOutcome::Hit(response) => {
+                trace.stage_done();
+                shared.finish(
+                    conn,
+                    request.method(),
+                    &response,
+                    request.keep_alive(),
+                    RequestKind::QuickDynamic,
+                    trace,
+                    page.as_deref(),
+                );
+                return;
+            }
+            KeyOutcome::Miss(key) => Some(key),
+        }
+    } else {
+        None
+    };
 
     // Classification and Table 1 dispatch.
     let class = match &page {
@@ -1021,6 +1147,7 @@ fn header_worker(shared: &Shared, timed: TimedConn) {
         kind,
         deadline,
         stale_key,
+        cache_snapshot,
         trace,
     };
     if let Err(PushError::Full(job)) = queue.try_push(job) {
@@ -1103,6 +1230,7 @@ fn dynamic_worker(shared: &Shared, slot: &mut DbSlot, job: DynJob) {
         kind,
         deadline,
         stale_key,
+        cache_snapshot,
         mut trace,
     } = job;
     trace.dequeued();
@@ -1148,7 +1276,21 @@ fn dynamic_worker(shared: &Shared, slot: &mut DbSlot, job: DynJob) {
         merged = crate::baseline::merge_captures(&request, &captures);
         &merged
     };
-    match run_handler_with_slot(route, request, slot, &shared.stats) {
+    // Collect the handler's read set when some cache will tag an entry
+    // with it. The slot re-arms tracking across connection replacement,
+    // and a lost set (starved re-checkout) just means the render is
+    // cached conservatively or not at all — never served stale.
+    let track = stale_key.is_some() && shared.track_reads();
+    if track {
+        slot.begin_read_tracking();
+    }
+    let outcome = run_handler_with_slot(route, request, slot, &shared.stats);
+    let reads: Option<Arc<ReadSet>> = if track {
+        slot.take_read_set().map(Arc::new)
+    } else {
+        None
+    };
+    match outcome {
         Ok(PageOutcome::Template { name, context }) => {
             shared.tracker.record(&page, started.elapsed());
             // The §3.3 extension: templates whose average render time
@@ -1179,6 +1321,8 @@ fn dynamic_worker(shared: &Shared, slot: &mut DbSlot, job: DynJob) {
                 kind,
                 deadline,
                 stale_key,
+                cache_snapshot,
+                reads,
                 trace,
             }) {
                 target_stats.rejected.increment();
@@ -1191,13 +1335,23 @@ fn dynamic_worker(shared: &Shared, slot: &mut DbSlot, job: DynJob) {
             // cannot separate.
             shared.tracker.record(&page, started.elapsed());
             // Cache-marked pre-rendered pages join the stale ladder
-            // too — but only plain HTML 200s, because a stale hit is
-            // rehydrated as `Response::html`.
+            // (and the document cache) too — but only plain HTML 200s,
+            // because a stale hit is rehydrated as `Response::html`.
             if let Some(key) = &stale_key {
                 if response.status() == StatusCode::OK
                     && response.headers().get("content-type") == Some("text/html; charset=utf-8")
                 {
-                    shared.stale.put(key, response.body_shared());
+                    shared
+                        .stale
+                        .put_tagged(key, response.body_shared(), reads.clone());
+                    if let (Some(dc), Some(reads)) = (&shared.doc_cache, &reads) {
+                        dc.publish(
+                            key,
+                            Arc::new(response.clone()),
+                            Arc::clone(reads),
+                            cache_snapshot,
+                        );
+                    }
                 }
             }
             trace.stage_done();
@@ -1273,6 +1427,8 @@ fn render_worker(shared: &Shared, job: RenderJob) {
         kind,
         deadline,
         stale_key,
+        cache_snapshot,
+        reads,
         mut trace,
     } = job;
     trace.dequeued();
@@ -1307,9 +1463,21 @@ fn render_worker(shared: &Shared, job: RenderJob) {
             shared.app.charge_render(buf.len());
             let body = buf.freeze();
             if let Some(key) = &stale_key {
-                shared.stale.put(key, body.clone());
+                shared.stale.put_tagged(key, body.clone(), reads.clone());
             }
-            Response::html(body)
+            let response = Response::html(body);
+            // Publish the finished page for healthy-path reuse, tagged
+            // with what it read. `publish` discards it if a write to a
+            // dependent table landed after this request's snapshot.
+            if let (Some(dc), Some(key), Some(reads)) = (&shared.doc_cache, &stale_key, &reads) {
+                dc.publish(
+                    key,
+                    Arc::new(response.clone()),
+                    Arc::clone(reads),
+                    cache_snapshot,
+                );
+            }
+            response
         }
         Err(_) => {
             shared.stats.errors.increment();

@@ -10,12 +10,16 @@
 //! (fresh → stale → shed). The baseline server deliberately has no
 //! such cache, preserving the paper's model comparison.
 
+use staged_db::{ReadSet, WriteEvent};
 use staged_http::{Body, Response};
 use staged_sync::{OrderedMutex, Rank};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Rank of the stale-render cache map (DESIGN.md §10).
+/// Rank of the stale-render cache map (DESIGN.md §10). Above the
+/// document cache's `core.doccache.state` (118): the invalidation
+/// engine may touch both under one write event, doc cache first.
 const ENTRIES_RANK: Rank = Rank::new(120);
 
 /// The RFC 7234 warning attached to every stale response.
@@ -24,6 +28,9 @@ pub(crate) const STALE_WARNING: &str = "110 - \"Response is Stale\"";
 struct Entry {
     body: Body,
     stored: Instant,
+    /// What the render read — the invalidation predicate. `None` means
+    /// the dependencies are unknown, so any write evicts the entry.
+    reads: Option<Arc<ReadSet>>,
 }
 
 /// A successful lookup: the cached body plus how old it is.
@@ -63,10 +70,19 @@ impl StaleCache {
         }
     }
 
+    /// Retains one successful render with unknown read dependencies —
+    /// any later write evicts it. Prefer [`StaleCache::put_tagged`].
+    #[cfg(test)]
+    pub(crate) fn put(&self, key: &str, body: impl Into<Body>) {
+        self.put_tagged(key, body, None);
+    }
+
     /// Retains one successful render — a reference-count bump on the
     /// shared body, never a copy. Refreshes the entry's age if the key
-    /// is already present.
-    pub(crate) fn put(&self, key: &str, body: impl Into<Body>) {
+    /// is already present. `reads` is the render's collected read set;
+    /// entries stored without one are conservatively evicted by *any*
+    /// write.
+    pub(crate) fn put_tagged(&self, key: &str, body: impl Into<Body>, reads: Option<Arc<ReadSet>>) {
         if self.capacity == 0 {
             return;
         }
@@ -90,8 +106,30 @@ impl StaleCache {
             Entry {
                 body: body.into(),
                 stored: Instant::now(),
+                reads,
             },
         );
+    }
+
+    /// Applies one committed write: evicts every entry whose read-set
+    /// the write intersects, plus every untagged entry (unknown
+    /// dependencies must be assumed touched). A brownout fallback then
+    /// serves the freshest copy that survived, never one predating the
+    /// write — the stale ladder degrades *age*, not *correctness*.
+    pub(crate) fn invalidate(&self, event: &WriteEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock();
+        entries.retain(|_, e| match &e.reads {
+            Some(reads) => !reads.depends_on(event),
+            None => false,
+        });
+    }
+
+    /// Whether the cache retains anything at all.
+    pub(crate) fn enabled(&self) -> bool {
+        self.capacity > 0
     }
 
     /// Looks a stale copy up; expired entries are dropped on access.
@@ -116,20 +154,54 @@ impl StaleCache {
     }
 }
 
-/// The cache key for one request: the page name plus its sorted query
-/// parameters, so `/product_detail?i_id=7` and `?i_id=8` cache
-/// separately while parameter order doesn't split entries.
-pub(crate) fn cache_key(page: &str, params: &[(String, String)]) -> String {
-    let mut sorted: Vec<&(String, String)> = params.iter().collect();
-    sorted.sort_unstable();
-    let mut key = String::with_capacity(page.len() + 16 * sorted.len());
-    key.push_str(page);
-    for (k, v) in sorted {
-        key.push('&');
-        key.push_str(k);
-        key.push('=');
-        key.push_str(v);
+/// Writes the normalized cache key for one request into `out`: the page
+/// name plus its sorted query parameters, so `/product_detail?i_id=7`
+/// and `?i_id=8` cache separately while parameter order doesn't split
+/// entries. Shared by the stale ladder and the document cache — one key
+/// space, one derivation.
+///
+/// Emits in selection order rather than materializing a sorted `Vec`,
+/// so a reused `out` (the header stage's per-thread buffer) makes key
+/// derivation allocation-free once the buffer has grown to page size.
+/// Quadratic in the parameter count, which TPC-W bounds at a handful.
+// lint: hot_path — runs per dynamic GET before cache lookup; must not
+// allocate beyond the caller's reusable buffer.
+pub fn write_key(out: &mut String, page: &str, params: &[(String, String)]) {
+    out.clear();
+    out.push_str(page);
+    let mut last: Option<&(String, String)> = None;
+    loop {
+        let mut next: Option<&(String, String)> = None;
+        for p in params {
+            if let Some(done) = last {
+                if p <= done {
+                    continue;
+                }
+            }
+            match next {
+                Some(n) if p >= n => {}
+                _ => next = Some(p),
+            }
+        }
+        let Some(n) = next else { break };
+        // Duplicated parameters are emitted as many times as they
+        // appear, matching a sort-then-emit of the full list.
+        for _ in 0..params.iter().filter(|p| *p == n).count() {
+            out.push('&');
+            out.push_str(&n.0);
+            out.push('=');
+            out.push_str(&n.1);
+        }
+        last = Some(n);
     }
+}
+// lint: end_hot_path
+
+/// The allocating convenience form of [`write_key`] for tests.
+#[cfg(test)]
+pub(crate) fn cache_key(page: &str, params: &[(String, String)]) -> String {
+    let mut key = String::with_capacity(page.len() + 16 * params.len());
+    write_key(&mut key, page, params);
     key
 }
 
@@ -203,6 +275,92 @@ mod tests {
             body.as_ptr(),
             "response must not copy"
         );
+    }
+
+    fn reads_for_pk(id: i64) -> Arc<ReadSet> {
+        let db = staged_db::Database::new();
+        db.execute("CREATE TABLE item (id INT PRIMARY KEY, v INT)", &[])
+            .unwrap();
+        let mut rs = ReadSet::new();
+        db.execute_tracked(
+            "SELECT v FROM item WHERE id = ?",
+            &[staged_db::DbValue::Int(id)],
+            Some(&mut rs),
+        )
+        .unwrap();
+        Arc::new(rs)
+    }
+
+    fn item_event(id: i64) -> WriteEvent {
+        let db = staged_db::Database::new();
+        db.execute("CREATE TABLE item (id INT PRIMARY KEY, v INT)", &[])
+            .unwrap();
+        let events = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        db.set_write_observer(move |e| sink.lock().unwrap().push(e.clone()));
+        db.execute(
+            "INSERT INTO item (id, v) VALUES (?, 0)",
+            &[staged_db::DbValue::Int(id)],
+        )
+        .unwrap();
+        let e = events.lock().unwrap().pop().unwrap();
+        e
+    }
+
+    #[test]
+    fn write_evicts_dependent_entries_only() {
+        let c = StaleCache::new(Duration::from_secs(60), 8);
+        c.put_tagged("item?id=1", "one", Some(reads_for_pk(1)));
+        c.put_tagged("item?id=2", "two", Some(reads_for_pk(2)));
+        c.invalidate(&item_event(1));
+        assert!(c.get("item?id=1").is_none(), "dependent entry evicted");
+        assert!(c.get("item?id=2").is_some(), "independent entry survives");
+    }
+
+    #[test]
+    fn untagged_entries_are_evicted_by_any_write() {
+        let c = StaleCache::new(Duration::from_secs(60), 8);
+        c.put("home", "page");
+        c.invalidate(&item_event(7));
+        assert!(
+            c.get("home").is_none(),
+            "unknown dependencies must be assumed touched"
+        );
+    }
+
+    #[test]
+    fn write_key_matches_sort_then_emit() {
+        let params = [
+            ("y".to_string(), "2".to_string()),
+            ("x".to_string(), "1".to_string()),
+            ("y".to_string(), "2".to_string()),
+            ("a".to_string(), "0".to_string()),
+        ];
+        let mut sorted = params.to_vec();
+        sorted.sort_unstable();
+        let mut reference = String::from("page");
+        for (k, v) in &sorted {
+            reference.push('&');
+            reference.push_str(k);
+            reference.push('=');
+            reference.push_str(v);
+        }
+        let mut out = String::from("junk from a previous request");
+        write_key(&mut out, "page", &params);
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "lock-order violation")]
+    fn doccache_under_stale_lock_is_a_deliberate_inversion() {
+        // Documents the rank design: `core.doccache.state` (118) sits
+        // below `core.stale.entries` (120), so doc-cache work while
+        // holding the stale map is an inversion the detector must catch.
+        let dc = crate::doccache::DocCache::new(Duration::from_secs(1), 4);
+        let sc = StaleCache::new(Duration::from_secs(1), 4);
+        let _guard = sc.entries.lock();
+        let _ = dc.len();
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Freshness property test for the dependency-tracked document cache.
+//!
+//! Random admin writes interleave with cached browsing reads across
+//! threads. The invariant: once a write's HTTP response has returned,
+//! every subsequent read of the page whose read-set covers that row
+//! reflects the write (or something newer). The cache must never serve
+//! a response that predates a committed write to its read-set.
+//!
+//! Seeded and deterministic in its schedule choices; the thread
+//! interleaving itself is free, which is the point — the invariant has
+//! to hold under every interleaving.
+
+use staged_core::{App, PageOutcome, ServerConfig, StagedServer};
+use staged_db::{Database, DbValue};
+use staged_http::{fetch, Method, Response, StatusCode};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const N_IDS: i64 = 4;
+const READERS: usize = 4;
+const WRITERS: usize = 2;
+const READS_PER_THREAD: usize = 200;
+const WRITES_PER_THREAD: usize = 40;
+const SEED: u64 = 0x5eed_cafe_f00d_0001;
+
+/// Minimal xorshift so the id schedule is reproducible without pulling
+/// a PRNG crate into the test.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn pick_id(&mut self) -> i64 {
+        (self.next() % N_IDS as u64) as i64
+    }
+}
+
+fn app() -> App {
+    App::builder()
+        .route("/item", "item", |req, db| {
+            let id: i64 = req.param("id").unwrap_or("0").parse().unwrap_or(0);
+            let result = db.execute("SELECT val FROM items WHERE id = ?", &[DbValue::Int(id)])?;
+            let val = match result.rows.first().map(|r| &r[0]) {
+                Some(DbValue::Int(v)) => *v,
+                _ => -1,
+            };
+            Ok(PageOutcome::Body(Response::html(format!("val={val}"))))
+        })
+        .route("/set", "set", |req, db| {
+            let id: i64 = req.param("id").unwrap_or("0").parse().unwrap_or(0);
+            let val: i64 = req.param("val").unwrap_or("0").parse().unwrap_or(0);
+            db.execute(
+                "UPDATE items SET val = ? WHERE id = ?",
+                &[DbValue::Int(val), DbValue::Int(id)],
+            )?;
+            Ok(PageOutcome::Body(Response::html("ok")))
+        })
+        .stale_cacheable("/item")
+        .build()
+}
+
+fn seeded_db() -> Arc<Database> {
+    let db = Arc::new(Database::new());
+    db.execute("CREATE TABLE items (id INT PRIMARY KEY, val INT)", &[])
+        .unwrap();
+    for id in 0..N_IDS {
+        db.execute(
+            "INSERT INTO items (id, val) VALUES (?, ?)",
+            &[DbValue::Int(id), DbValue::Int(0)],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn parse_val(body: &str) -> i64 {
+    body.trim_start_matches("val=").trim().parse().unwrap_or(-1)
+}
+
+#[test]
+fn cached_reads_never_predate_committed_writes() {
+    let config = ServerConfig {
+        doc_cache: true,
+        ..ServerConfig::small()
+    };
+    let server = StagedServer::start(config, app(), seeded_db()).unwrap();
+    let addr = server.addr();
+
+    // Per-id state: the newest value whose write response has returned
+    // (the freshness floor a reader may rely on), a monotone counter
+    // handing out values, and a lock serializing same-id writes so the
+    // floor tracks database commit order.
+    let floors: Arc<Vec<AtomicI64>> = Arc::new((0..N_IDS).map(|_| AtomicI64::new(0)).collect());
+    let counters: Arc<Vec<AtomicI64>> = Arc::new((0..N_IDS).map(|_| AtomicI64::new(0)).collect());
+    let write_locks: Arc<Vec<Mutex<()>>> = Arc::new((0..N_IDS).map(|_| Mutex::new(())).collect());
+    let violations = Arc::new(Mutex::new(Vec::<String>::new()));
+
+    let mut handles = Vec::new();
+    for w in 0..WRITERS {
+        let floors = Arc::clone(&floors);
+        let counters = Arc::clone(&counters);
+        let write_locks = Arc::clone(&write_locks);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = XorShift(SEED ^ (0x1000 + w as u64));
+            for _ in 0..WRITES_PER_THREAD {
+                let id = rng.pick_id();
+                let guard = write_locks[id as usize].lock().unwrap();
+                let val = counters[id as usize].fetch_add(1, Ordering::SeqCst) + 1;
+                let resp =
+                    fetch(addr, Method::Get, &format!("/set?id={id}&val={val}"), &[]).unwrap();
+                assert_eq!(resp.status, StatusCode::OK, "write rejected");
+                // The write's response has returned: its commit — and the
+                // cache eviction that precedes the commit returning — is
+                // done, so readers may rely on seeing at least this value.
+                floors[id as usize].fetch_max(val, Ordering::SeqCst);
+                drop(guard);
+            }
+        }));
+    }
+    for r in 0..READERS {
+        let floors = Arc::clone(&floors);
+        let violations = Arc::clone(&violations);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = XorShift(SEED ^ (0x2000 + r as u64));
+            for _ in 0..READS_PER_THREAD {
+                let id = rng.pick_id();
+                // Load the floor BEFORE issuing the read: any write that
+                // finished by now must be visible in the response.
+                let floor = floors[id as usize].load(Ordering::SeqCst);
+                let resp = fetch(addr, Method::Get, &format!("/item?id={id}"), &[]).unwrap();
+                assert_eq!(resp.status, StatusCode::OK, "read rejected");
+                let got = parse_val(&resp.text());
+                if got < floor {
+                    violations.lock().unwrap().push(format!(
+                        "id={id}: read val={got} but a write of val={floor} had already returned"
+                    ));
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let violations = violations.lock().unwrap();
+    assert!(
+        violations.is_empty(),
+        "stale serves detected:\n{}",
+        violations.join("\n")
+    );
+
+    // The test only exercises the cache if hits actually happened —
+    // guard against the cache silently disabling itself.
+    let hits = server
+        .registry()
+        .value("doc_cache_hits_total", &[])
+        .expect("doc cache families registered");
+    assert!(hits > 0.0, "expected cache hits during the run, got {hits}");
+
+    server.shutdown().expect("clean shutdown");
+}

@@ -5,6 +5,7 @@ use crate::checkpoint;
 use crate::cost::CostModel;
 use crate::error::DbError;
 use crate::exec::{self, BoundTable, ExecStats};
+use crate::readset::{ReadSet, RowKey, WriteEvent, WriteObserver};
 use crate::schema::Schema;
 use crate::sql::ast::Statement;
 use crate::sql::parser;
@@ -40,6 +41,10 @@ const STMT_CACHE_RANK: Rank = Rank::new(260);
 /// sorted-name acquisition order (see [`Database`]) is the canonical
 /// tie-break, so same-rank nesting is allowed.
 const TABLE_DATA_RANK: Rank = Rank::new(270).allow_same_rank();
+/// The write-observer slot: read briefly (guard dropped immediately)
+/// at the start of a mutation; the observer itself is invoked with zero
+/// database locks held, so it may take core-band locks freely.
+const WRITE_OBSERVER_RANK: Rank = Rank::new(290);
 
 /// Snapshot-writer view of one table: `(name, type, is_pk, _)` per
 /// column, the secondarily indexed column names, and all live rows.
@@ -195,6 +200,9 @@ pub struct Database {
     /// Shared by mutations, exclusive for checkpoints. Only touched
     /// when `durable` is attached.
     commit_gate: OrderedRwLock<()>,
+    /// Committed-mutation subscriber ([`Database::set_write_observer`]);
+    /// feeds cache invalidation. `None` skips key collection entirely.
+    write_observer: OrderedRwLock<Option<WriteObserver>>,
 }
 
 impl fmt::Debug for Database {
@@ -222,7 +230,20 @@ impl Database {
             stmt_cache: OrderedMutex::new(STMT_CACHE_RANK, "db.stmt_cache", HashMap::new()),
             durable: OrderedRwLock::new(DURABLE_RANK, "db.durable", None),
             commit_gate: OrderedRwLock::new(COMMIT_GATE_RANK, "db.commit_gate", ()),
+            write_observer: OrderedRwLock::new(WRITE_OBSERVER_RANK, "db.write_observer", None),
         }
+    }
+
+    /// Installs the committed-mutation observer (replacing any previous
+    /// one). The observer is called once per committed
+    /// INSERT/UPDATE/DELETE that affected at least one row — after the
+    /// WAL commit when durability is attached, always before the
+    /// writer's `execute` returns, and with **zero database locks
+    /// held**. DDL does not notify: `CREATE TABLE` starts empty and
+    /// `CREATE INDEX` changes no row content, so neither can stale a
+    /// cached page.
+    pub fn set_write_observer(&self, f: impl Fn(&WriteEvent) + Send + Sync + 'static) {
+        *self.write_observer.write() = Some(Arc::new(f));
     }
 
     /// Bounds the number of costed queries executing concurrently,
@@ -295,8 +316,25 @@ impl Database {
     /// Syntax errors, unknown tables/columns, duplicate keys, and
     /// parameter-count mismatches.
     pub fn execute(&self, sql: &str, params: &[DbValue]) -> Result<QueryResult, DbError> {
+        self.execute_tracked(sql, params, None)
+    }
+
+    /// Like [`Database::execute`], but additionally records what a
+    /// SELECT depended on into `reads` — the tables it touched, refined
+    /// to exact primary keys for PK point probes (DESIGN.md §14).
+    /// Mutations and DDL record nothing.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Database::execute`].
+    pub fn execute_tracked(
+        &self,
+        sql: &str,
+        params: &[DbValue],
+        reads: Option<&mut ReadSet>,
+    ) -> Result<QueryResult, DbError> {
         let stmt = self.parse_cached(sql)?;
-        self.execute_statement(&stmt, sql, params)
+        self.execute_statement(&stmt, sql, params, reads)
     }
 
     fn parse_cached(&self, sql: &str) -> Result<Arc<Statement>, DbError> {
@@ -353,10 +391,11 @@ impl Database {
         stmt: &Statement,
         sql: &str,
         params: &[DbValue],
+        reads: Option<&mut ReadSet>,
     ) -> Result<QueryResult, DbError> {
         let mut stats = ExecStats::default();
         let result = match stmt {
-            Statement::Select(_) => self.run_select_statement(stmt, params, &mut stats)?,
+            Statement::Select(_) => self.run_select_statement(stmt, params, &mut stats, reads)?,
             _ => self.run_mutation(stmt, sql, params, &mut stats)?,
         };
         // Synthetic latency is charged after the guards are gone.
@@ -375,6 +414,10 @@ impl Database {
         params: &[DbValue],
         stats: &mut ExecStats,
     ) -> Result<QueryResult, DbError> {
+        // The observer slot is read (and its guard dropped) before any
+        // other lock; with no subscriber, key collection is skipped
+        // entirely.
+        let observer = self.write_observer.read().clone();
         let durable = self.durable.read().clone();
         if let Some(d) = &durable {
             // Fail before touching memory when the WAL is already dead.
@@ -383,7 +426,7 @@ impl Database {
         // Shared gate: excluded only by a checkpoint's exclusive hold.
         let gate = durable.as_ref().map(|_| self.commit_gate.read());
         let wal = durable.as_ref().map(|d| &d.wal);
-        let (result, seq) = match stmt {
+        let (result, seq, event) = match stmt {
             Statement::CreateTable {
                 name,
                 columns,
@@ -399,7 +442,7 @@ impl Database {
                     name.clone(),
                     Arc::new(TableEntry::new(TableData::new(schema))),
                 );
-                (QueryResult::default(), seq)
+                (QueryResult::default(), seq, None)
             }
             Statement::CreateIndex { table, column } => {
                 let entry = self.entry(table)?;
@@ -410,7 +453,7 @@ impl Database {
                     .ok_or_else(|| DbError::NoSuchColumn(column.clone()))?;
                 let seq = Self::log(wal, sql, params)?;
                 data.create_index(col);
-                (QueryResult::default(), seq)
+                (QueryResult::default(), seq, None)
             }
             Statement::Insert {
                 table,
@@ -419,10 +462,20 @@ impl Database {
             } => {
                 let entry = self.entry(table)?;
                 let mut data = entry.lock.write();
+                let mut touched: Vec<RowKey> = Vec::new();
+                let keyed = observer.is_some() && data.schema().primary_key().is_some();
                 let n = self.apply(wal, stats, |stats| {
-                    exec::run_insert(&mut data, columns, values, params, stats)
+                    exec::run_insert(
+                        &mut data,
+                        columns,
+                        values,
+                        params,
+                        stats,
+                        if keyed { Some(&mut touched) } else { None },
+                    )
                 })?;
                 let seq = Self::log(wal, sql, params)?;
+                let event = Self::event_for(&observer, table, keyed, touched, n);
                 (
                     QueryResult {
                         rows_affected: n,
@@ -430,6 +483,7 @@ impl Database {
                         ..QueryResult::default()
                     },
                     seq,
+                    event,
                 )
             }
             Statement::Update {
@@ -439,10 +493,21 @@ impl Database {
             } => {
                 let entry = self.entry(table)?;
                 let mut data = entry.lock.write();
+                let mut touched: Vec<RowKey> = Vec::new();
+                let keyed = observer.is_some() && data.schema().primary_key().is_some();
                 let n = self.apply(wal, stats, |stats| {
-                    exec::run_update(&mut data, table, sets, where_, params, stats)
+                    exec::run_update(
+                        &mut data,
+                        table,
+                        sets,
+                        where_,
+                        params,
+                        stats,
+                        if keyed { Some(&mut touched) } else { None },
+                    )
                 })?;
                 let seq = Self::log(wal, sql, params)?;
+                let event = Self::event_for(&observer, table, keyed, touched, n);
                 (
                     QueryResult {
                         rows_affected: n,
@@ -450,15 +515,26 @@ impl Database {
                         ..QueryResult::default()
                     },
                     seq,
+                    event,
                 )
             }
             Statement::Delete { table, where_ } => {
                 let entry = self.entry(table)?;
                 let mut data = entry.lock.write();
+                let mut touched: Vec<RowKey> = Vec::new();
+                let keyed = observer.is_some() && data.schema().primary_key().is_some();
                 let n = self.apply(wal, stats, |stats| {
-                    exec::run_delete(&mut data, table, where_, params, stats)
+                    exec::run_delete(
+                        &mut data,
+                        table,
+                        where_,
+                        params,
+                        stats,
+                        if keyed { Some(&mut touched) } else { None },
+                    )
                 })?;
                 let seq = Self::log(wal, sql, params)?;
+                let event = Self::event_for(&observer, table, keyed, touched, n);
                 (
                     QueryResult {
                         rows_affected: n,
@@ -466,6 +542,7 @@ impl Database {
                         ..QueryResult::default()
                     },
                     seq,
+                    event,
                 )
             }
             Statement::Select(_) => unreachable!("selects route through run_select_statement"),
@@ -478,7 +555,33 @@ impl Database {
                 self.checkpoint()?;
             }
         }
+        // Notify after the commit (a subscriber must never evict for a
+        // write that could still fail durability) and before returning
+        // (so no reader that observes this `execute` as complete can be
+        // served a cache entry that predates it). Zero locks held.
+        if let (Some(obs), Some(event)) = (observer, event) {
+            obs(&event);
+        }
         Ok(result)
+    }
+
+    /// Builds the commit notification for one mutation, or `None` when
+    /// no observer is installed or no row was affected.
+    fn event_for(
+        observer: &Option<WriteObserver>,
+        table: &str,
+        keyed: bool,
+        touched: Vec<RowKey>,
+        rows_affected: usize,
+    ) -> Option<WriteEvent> {
+        if observer.is_none() || rows_affected == 0 {
+            return None;
+        }
+        Some(WriteEvent {
+            table: table.to_string(),
+            keys: keyed.then_some(touched),
+            rows_affected,
+        })
     }
 
     /// Appends the statement to the WAL, if one is attached. Called
@@ -518,6 +621,7 @@ impl Database {
         stmt: &Statement,
         params: &[DbValue],
         stats: &mut ExecStats,
+        reads: Option<&mut ReadSet>,
     ) -> Result<QueryResult, DbError> {
         match stmt {
             Statement::Select(sel) => {
@@ -544,6 +648,7 @@ impl Database {
                 let from_data = guard_of(&sel.from.table)?;
                 bound.push(BoundTable {
                     name: sel.from.effective_name().to_string(),
+                    table: sel.from.table.clone(),
                     data: from_data,
                     offset,
                 });
@@ -552,12 +657,13 @@ impl Database {
                     let data = guard_of(&join.table.table)?;
                     bound.push(BoundTable {
                         name: join.table.effective_name().to_string(),
+                        table: join.table.table.clone(),
                         data,
                         offset,
                     });
                     offset += data.schema().arity();
                 }
-                exec::run_select(sel, params, &bound, stats)
+                exec::run_select(sel, params, &bound, stats, reads)
             }
             _ => unreachable!("mutations route through run_mutation"),
         }
@@ -1031,6 +1137,131 @@ mod tests {
             .execute("SELECT i_stock FROM item WHERE i_id = 1", &[])
             .unwrap();
         assert_eq!(r.rows[0][0], DbValue::Int(150));
+    }
+
+    #[test]
+    fn tracked_select_records_pk_probe_as_exact_key() {
+        let db = bookstore();
+        let mut reads = ReadSet::new();
+        db.execute_tracked(
+            "SELECT i_title FROM item WHERE i_id = ?",
+            &[DbValue::Int(2)],
+            Some(&mut reads),
+        )
+        .unwrap();
+        assert_eq!(reads.reads().len(), 1);
+        let r = &reads.reads()[0];
+        assert_eq!(r.table, "item");
+        assert_eq!(
+            r.keys.as_deref(),
+            Some(&[RowKey::of(&DbValue::Int(2))][..]),
+            "PK point probe should refine to the exact key"
+        );
+    }
+
+    #[test]
+    fn tracked_select_records_scans_and_secondary_probes_as_whole_table() {
+        let db = bookstore();
+        let mut reads = ReadSet::new();
+        // Secondary-index probe: membership can change under writes to
+        // other rows, so the dependency must stay table-wide.
+        db.execute_tracked(
+            "SELECT i_title FROM item WHERE i_subject = ?",
+            &[DbValue::from("SCIFI")],
+            Some(&mut reads),
+        )
+        .unwrap();
+        assert_eq!(reads.reads().len(), 1);
+        assert!(reads.reads()[0].keys.is_none());
+
+        let mut scan = ReadSet::new();
+        db.execute_tracked("SELECT COUNT(*) FROM item", &[], Some(&mut scan))
+            .unwrap();
+        assert!(scan.reads()[0].keys.is_none());
+    }
+
+    #[test]
+    fn tracked_join_depends_on_both_tables() {
+        let db = bookstore();
+        let mut reads = ReadSet::new();
+        db.execute_tracked(
+            "SELECT i_title, a_name FROM item JOIN author ON i_a_id = a_id WHERE i_id = 1",
+            &[],
+            Some(&mut reads),
+        )
+        .unwrap();
+        let tables: Vec<&str> = reads.reads().iter().map(|r| r.table.as_str()).collect();
+        assert!(tables.contains(&"item"));
+        assert!(tables.contains(&"author"));
+        // The joined side is a whole-table dependency.
+        let author = reads.reads().iter().find(|r| r.table == "author").unwrap();
+        assert!(author.keys.is_none());
+    }
+
+    #[test]
+    fn tracked_pk_miss_still_records_the_key() {
+        // Caching an empty result must still be invalidated by a later
+        // insert of that key.
+        let db = bookstore();
+        let mut reads = ReadSet::new();
+        db.execute_tracked(
+            "SELECT i_title FROM item WHERE i_id = ?",
+            &[DbValue::Int(999)],
+            Some(&mut reads),
+        )
+        .unwrap();
+        let event = WriteEvent {
+            table: "item".to_string(),
+            keys: Some(vec![RowKey::of(&DbValue::Int(999))]),
+            rows_affected: 1,
+        };
+        assert!(reads.depends_on(&event));
+    }
+
+    #[test]
+    fn write_observer_sees_committed_mutations_with_keys() {
+        let db = bookstore();
+        let events: Arc<std::sync::Mutex<Vec<WriteEvent>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        db.set_write_observer(move |e| sink.lock().unwrap().push(e.clone()));
+
+        db.execute(
+            "INSERT INTO item (i_id, i_title, i_a_id, i_subject, i_cost, i_stock) \
+             VALUES (9, 'New', 1, 'SCIFI', 1.0, 1)",
+            &[],
+        )
+        .unwrap();
+        db.execute("UPDATE item SET i_cost = 2.0 WHERE i_id = 9", &[])
+            .unwrap();
+        db.execute("DELETE FROM item WHERE i_id = 9", &[]).unwrap();
+        // Zero-row mutations stay silent.
+        db.execute("UPDATE item SET i_cost = 1.0 WHERE i_id = 999", &[])
+            .unwrap();
+
+        let events = events.lock().unwrap();
+        assert_eq!(events.len(), 3);
+        let key9 = RowKey::of(&DbValue::Int(9));
+        for e in events.iter() {
+            assert_eq!(e.table, "item");
+            assert_eq!(e.rows_affected, 1);
+            assert!(e.keys.as_deref().unwrap().contains(&key9));
+        }
+    }
+
+    #[test]
+    fn update_changing_pk_reports_both_keys() {
+        let db = bookstore();
+        let events: Arc<std::sync::Mutex<Vec<WriteEvent>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        db.set_write_observer(move |e| sink.lock().unwrap().push(e.clone()));
+        db.execute("UPDATE item SET i_id = 40 WHERE i_id = 4", &[])
+            .unwrap();
+        let events = events.lock().unwrap();
+        let keys = events[0].keys.as_deref().unwrap();
+        assert!(keys.contains(&RowKey::of(&DbValue::Int(4))));
+        assert!(keys.contains(&RowKey::of(&DbValue::Int(40))));
     }
 
     #[test]

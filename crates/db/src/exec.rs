@@ -3,6 +3,7 @@
 
 use crate::database::QueryResult;
 use crate::error::DbError;
+use crate::readset::{ReadSet, RowKey};
 use crate::sql::ast::*;
 use crate::table::TableData;
 use crate::value::DbValue;
@@ -10,8 +11,12 @@ use std::collections::HashMap;
 
 /// A table bound into a query, with its column offset in the joined row.
 pub(crate) struct BoundTable<'a> {
-    /// Effective name (alias if given).
+    /// Effective name (alias if given) — what column references resolve
+    /// against.
     pub name: String,
+    /// The real table name — what read-set dependencies are recorded
+    /// under (an alias would never match a write event).
+    pub table: String,
     pub data: &'a TableData,
     pub offset: usize,
 }
@@ -324,11 +329,17 @@ fn index_probe(
 }
 
 /// Executes a SELECT against the bound tables (guards already held).
+/// When `reads` is given, records what the statement depended on: an
+/// exact primary key for a PK point probe on the base table, the whole
+/// table otherwise (secondary-index membership can change under writes
+/// to *other* rows, so only PK probes are exact), and every joined
+/// table wholesale.
 pub(crate) fn run_select(
     sel: &SelectStmt,
     params: &[DbValue],
     tables: &[BoundTable<'_>],
     stats: &mut ExecStats,
+    reads: Option<&mut ReadSet>,
 ) -> Result<QueryResult, DbError> {
     let full_ctx = EvalCtx { tables, params };
     let conjs: Vec<&Expr> = sel.where_.as_ref().map(conjuncts).unwrap_or_default();
@@ -339,7 +350,22 @@ pub(crate) fn run_select(
         tables: &tables[..1],
         params,
     };
-    let base_ids: Vec<usize> = match index_probe(&conjs, base, params)? {
+    let probe = index_probe(&conjs, base, params)?;
+    if let Some(reads) = reads {
+        match &probe {
+            // A PK point probe depends on exactly that key — even when
+            // the key matched nothing, so a later insert of it still
+            // invalidates a cached empty result.
+            Some((col, key)) if base.data.schema().primary_key() == Some(*col) => {
+                reads.record_key(&base.table, RowKey::of(key));
+            }
+            _ => reads.record_table(&base.table),
+        }
+        for joined in &tables[1..] {
+            reads.record_table(&joined.table);
+        }
+    }
+    let base_ids: Vec<usize> = match probe {
         Some((col, key)) => base.data.lookup_eq(col, &key),
         None => base.data.iter_live().map(|(id, _)| id).collect(),
     };
@@ -750,13 +776,16 @@ fn aggregate_project(
     Ok((columns, out_rows, order_keys))
 }
 
-/// Executes INSERT into a write-locked table.
+/// Executes INSERT into a write-locked table. When `keys` is given (the
+/// table has a primary key and a write observer is installed), pushes
+/// the new row's primary key for the commit notification.
 pub(crate) fn run_insert(
     table: &mut TableData,
     columns: &[String],
     values: &[Expr],
     params: &[DbValue],
     stats: &mut ExecStats,
+    keys: Option<&mut Vec<RowKey>>,
 ) -> Result<usize, DbError> {
     let schema = table.schema().clone();
     let ctx = EvalCtx {
@@ -777,12 +806,17 @@ pub(crate) fn run_insert(
         }
         row[idx] = v;
     }
+    if let (Some(keys), Some(pk)) = (keys, schema.primary_key()) {
+        keys.push(RowKey::of(&row[pk]));
+    }
     table.insert(row)?;
     stats.written += 1;
     Ok(1)
 }
 
-/// Executes UPDATE against a write-locked table.
+/// Executes UPDATE against a write-locked table. When `keys` is given,
+/// pushes each affected row's primary key — old *and* new when the
+/// update moves the row to a different key.
 pub(crate) fn run_update(
     table: &mut TableData,
     table_name: &str,
@@ -790,6 +824,7 @@ pub(crate) fn run_update(
     where_: &Option<Expr>,
     params: &[DbValue],
     stats: &mut ExecStats,
+    mut keys: Option<&mut Vec<RowKey>>,
 ) -> Result<usize, DbError> {
     let set_cols: Vec<usize> = sets
         .iter()
@@ -800,6 +835,7 @@ pub(crate) fn run_update(
                 .ok_or_else(|| DbError::NoSuchColumn(name.clone()))
         })
         .collect::<Result<_, _>>()?;
+    let pk = table.schema().primary_key();
     let candidates = candidate_ids(table, table_name, where_, params, stats)?;
     let mut affected = 0;
     for id in candidates {
@@ -808,6 +844,7 @@ pub(crate) fn run_update(
         let row = row.clone();
         let bound = [BoundTable {
             name: table_name.to_string(),
+            table: table_name.to_string(),
             data: table,
             offset: 0,
         }];
@@ -825,6 +862,12 @@ pub(crate) fn run_update(
             new_row[col] = ctx.eval(expr, &row)?;
         }
         drop(bound);
+        if let (Some(keys), Some(pk)) = (keys.as_deref_mut(), pk) {
+            keys.push(RowKey::of(&row[pk]));
+            if !new_row[pk].sql_eq(&row[pk]) {
+                keys.push(RowKey::of(&new_row[pk]));
+            }
+        }
         table.update_row(id, new_row)?;
         affected += 1;
         stats.written += 1;
@@ -832,14 +875,17 @@ pub(crate) fn run_update(
     Ok(affected)
 }
 
-/// Executes DELETE against a write-locked table.
+/// Executes DELETE against a write-locked table. When `keys` is given,
+/// pushes each deleted row's primary key.
 pub(crate) fn run_delete(
     table: &mut TableData,
     table_name: &str,
     where_: &Option<Expr>,
     params: &[DbValue],
     stats: &mut ExecStats,
+    mut keys: Option<&mut Vec<RowKey>>,
 ) -> Result<usize, DbError> {
+    let pk = table.schema().primary_key();
     let candidates = candidate_ids(table, table_name, where_, params, stats)?;
     let mut to_delete = Vec::new();
     for id in candidates {
@@ -847,6 +893,7 @@ pub(crate) fn run_delete(
         stats.scanned += 1;
         let bound = [BoundTable {
             name: table_name.to_string(),
+            table: table_name.to_string(),
             data: table,
             offset: 0,
         }];
@@ -859,6 +906,9 @@ pub(crate) fn run_delete(
             None => true,
         };
         if keep {
+            if let (Some(keys), Some(pk)) = (keys.as_deref_mut(), pk) {
+                keys.push(RowKey::of(&row[pk]));
+            }
             to_delete.push(id);
         }
     }
@@ -881,6 +931,7 @@ fn candidate_ids(
         let conjs = conjuncts(w);
         let bound = BoundTable {
             name: table_name.to_string(),
+            table: table_name.to_string(),
             data: table,
             offset: 0,
         };

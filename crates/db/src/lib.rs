@@ -46,6 +46,7 @@ mod error;
 mod exec;
 mod fault;
 mod pool;
+mod readset;
 mod schema;
 mod snapshot;
 mod sql;
@@ -59,6 +60,7 @@ pub use database::{Database, QueryResult};
 pub use error::DbError;
 pub use fault::{splitmix64, FaultPlan};
 pub use pool::{ConnectionPool, PooledConnection};
+pub use readset::{ReadSet, RowKey, TableRead, WriteEvent, WriteObserver};
 pub use schema::{Column, DataType, Schema};
 pub use value::DbValue;
 pub use wal::{

@@ -4,9 +4,10 @@ use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::database::{Database, QueryResult};
 use crate::error::DbError;
 use crate::fault::FaultPlan;
+use crate::readset::ReadSet;
 use crate::value::DbValue;
 use staged_pool::SyncQueue;
-use staged_sync::{OrderedRwLock, Rank};
+use staged_sync::{OrderedMutex, OrderedRwLock, Rank};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -15,6 +16,11 @@ use std::time::Duration;
 /// Rank of the fault-plan handle (DESIGN.md §10): the outermost db
 /// lock — held only to copy the plan out.
 const FAULT_RANK: Rank = Rank::new(200);
+
+/// Rank of a connection's read-set accumulator: between the fault plan
+/// and the breaker handle. Never held across query execution — the
+/// statement collects into a local set, which is merged in afterwards.
+const READS_RANK: Rank = Rank::new(204);
 
 /// Rank of the breaker handle: above the fault plan, below the breaker
 /// state machine it points at (`db.breaker.state`, rank 220).
@@ -111,6 +117,8 @@ impl ConnectionPool {
             id: self.inner.checkouts.fetch_add(1, Ordering::Relaxed),
             queries: AtomicU64::new(0),
             dead: AtomicBool::new(false),
+            tracking: AtomicBool::new(false),
+            reads: OrderedMutex::new(READS_RANK, "db.pool.reads", None),
             inner: Arc::clone(&self.inner),
         }
     }
@@ -215,6 +223,11 @@ pub struct PooledConnection {
     /// Set once a fault plan kills this connection; every later query
     /// fails with [`DbError::ConnectionLost`] until re-checkout.
     dead: AtomicBool,
+    /// Whether read-set tracking is active (fast-path gate: the mutex
+    /// below is only touched when this is set).
+    tracking: AtomicBool,
+    /// The accumulated read set while tracking; `None` otherwise.
+    reads: OrderedMutex<Option<ReadSet>>,
 }
 
 impl PooledConnection {
@@ -267,7 +280,41 @@ impl PooledConnection {
                 )));
             }
         }
-        self.inner.db.execute(sql, params)
+        if self.tracking.load(Ordering::Relaxed) {
+            // Collect into a local set and merge *after* the statement
+            // returns: holding the rank-204 accumulator across execution
+            // would invert with the database's own locks. Merging even
+            // on error is deliberately conservative — a partially
+            // executed statement may still have read tables.
+            let mut local = ReadSet::new();
+            let result = self.inner.db.execute_tracked(sql, params, Some(&mut local));
+            if !local.is_empty() {
+                if let Some(reads) = self.reads.lock().as_mut() {
+                    reads.merge(local);
+                }
+            }
+            result
+        } else {
+            self.inner.db.execute(sql, params)
+        }
+    }
+
+    /// Starts accumulating the read set of every subsequent statement on
+    /// this connection (until [`PooledConnection::take_read_set`]).
+    /// Any previously accumulated set is discarded.
+    pub fn begin_read_tracking(&self) {
+        *self.reads.lock() = Some(ReadSet::new());
+        self.tracking.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops tracking and returns the read set accumulated since
+    /// [`PooledConnection::begin_read_tracking`], or `None` if tracking
+    /// was never started.
+    pub fn take_read_set(&self) -> Option<ReadSet> {
+        if !self.tracking.swap(false, Ordering::Relaxed) {
+            return None;
+        }
+        self.reads.lock().take()
     }
 
     /// Whether a fault plan has killed this connection.
@@ -482,6 +529,30 @@ mod tests {
             crate::BreakerState::Closed,
             "application errors are not backend failures"
         );
+    }
+
+    #[test]
+    fn read_tracking_accumulates_across_statements_and_clears() {
+        let p = pool(1);
+        let conn = p.get();
+        // Not tracking: nothing to take.
+        conn.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert!(conn.take_read_set().is_none());
+
+        conn.begin_read_tracking();
+        conn.execute("SELECT * FROM t WHERE id = 1", &[]).unwrap();
+        conn.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
+        let reads = conn.take_read_set().expect("tracking was on");
+        assert_eq!(reads.reads().len(), 1);
+        assert_eq!(reads.reads()[0].table, "t");
+        assert!(
+            reads.reads()[0].keys.is_none(),
+            "the scan should widen the point probe to the whole table"
+        );
+        // Taking the set turns tracking off again.
+        assert!(conn.take_read_set().is_none());
+        conn.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert!(conn.take_read_set().is_none());
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Read-set and write-set tracking for the dependency-tracked
+//! dynamic-page cache (DESIGN.md §14).
+//!
+//! Every SELECT can report *what it depended on*: the tables it
+//! touched, refined to exact primary keys when the executor resolved
+//! the base table through a primary-key point probe. Every committed
+//! mutation can report *what it changed*: the table plus the primary
+//! keys of the affected rows (or "the whole table" when no primary key
+//! exists to name them). A cache that tags entries with [`ReadSet`]s
+//! and subscribes to [`WriteEvent`]s can then evict exactly the entries
+//! a write could have changed — correctness by dependency tracking,
+//! with TTLs demoted to a backstop.
+
+use crate::value::{DbValue, IndexKey};
+use std::sync::Arc;
+
+/// An opaque row identity within one table: the primary-key value in
+/// order-preserving index form. Two `RowKey`s are equal exactly when
+/// they name the same row of the same table.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowKey(pub(crate) IndexKey);
+
+impl RowKey {
+    pub(crate) fn of(value: &DbValue) -> RowKey {
+        RowKey(value.index_key())
+    }
+}
+
+/// One table's contribution to a statement's read set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRead {
+    /// The *real* table name (aliases resolved away).
+    pub table: String,
+    /// `None` depends on the whole table (scans, secondary-index
+    /// probes, join inner sides); `Some(keys)` depends on exactly those
+    /// primary keys — including keys that did not exist at read time,
+    /// so a later insert of that key still invalidates a cached "not
+    /// found".
+    pub keys: Option<Vec<RowKey>>,
+}
+
+impl TableRead {
+    /// Whether a write event could have changed what this read saw.
+    fn overlaps(&self, event: &WriteEvent) -> bool {
+        if self.table != event.table {
+            return false;
+        }
+        match (&self.keys, &event.keys) {
+            // Whole-table read, or a write whose row identities are
+            // unknown: assume overlap.
+            (None, _) | (_, None) => true,
+            (Some(read), Some(written)) => written.iter().any(|k| read.contains(k)),
+        }
+    }
+}
+
+/// Which tables (and which rows of them) a request's statements read.
+///
+/// Collected per statement by [`Database::execute_tracked`]
+/// (see [`crate::Database::execute_tracked`]) and merged across a
+/// request by [`PooledConnection`](crate::PooledConnection)'s tracking
+/// mode.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReadSet {
+    reads: Vec<TableRead>,
+}
+
+impl ReadSet {
+    /// An empty read set.
+    pub fn new() -> Self {
+        ReadSet::default()
+    }
+
+    /// Records a whole-table dependency (full scan, secondary-index
+    /// probe, or join). Upgrades any existing exact-key entry for the
+    /// table: whole-table subsumes every key.
+    pub fn record_table(&mut self, table: &str) {
+        match self.reads.iter_mut().find(|r| r.table == table) {
+            Some(r) => r.keys = None,
+            None => self.reads.push(TableRead {
+                table: table.to_string(),
+                keys: None,
+            }),
+        }
+    }
+
+    /// Records an exact primary-key dependency. A no-op refinement when
+    /// the table is already depended on wholesale.
+    pub(crate) fn record_key(&mut self, table: &str, key: RowKey) {
+        match self.reads.iter_mut().find(|r| r.table == table) {
+            Some(r) => {
+                if let Some(keys) = &mut r.keys {
+                    if !keys.contains(&key) {
+                        keys.push(key);
+                    }
+                }
+            }
+            None => self.reads.push(TableRead {
+                table: table.to_string(),
+                keys: Some(vec![key]),
+            }),
+        }
+    }
+
+    /// Merges another read set in (set union per table).
+    pub fn merge(&mut self, other: ReadSet) {
+        for read in other.reads {
+            match read.keys {
+                None => self.record_table(&read.table),
+                Some(keys) => {
+                    for key in keys {
+                        self.record_key(&read.table, key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether nothing was recorded (e.g. a request that never queried).
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+    }
+
+    /// The per-table dependencies.
+    pub fn reads(&self) -> &[TableRead] {
+        &self.reads
+    }
+
+    /// Whether `event` could have changed anything this set read — the
+    /// cache-invalidation predicate.
+    pub fn depends_on(&self, event: &WriteEvent) -> bool {
+        self.reads.iter().any(|r| r.overlaps(event))
+    }
+}
+
+/// A committed mutation, reported to the write observer *after* the
+/// WAL commit (when durability is attached) and *before* the writer's
+/// `execute` returns — so subscribers evict stale cache entries before
+/// the writer can observe its own write as complete.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteEvent {
+    /// The mutated table.
+    pub table: String,
+    /// Primary keys of the affected rows; `None` when the table has no
+    /// primary key to name them (subscribers must assume any row).
+    pub keys: Option<Vec<RowKey>>,
+    /// Rows inserted/updated/deleted (always > 0 when the event fires).
+    pub rows_affected: usize,
+}
+
+/// A subscriber to committed mutations, installed with
+/// [`Database::set_write_observer`]
+/// (see [`crate::Database::set_write_observer`]). Called with **zero
+/// database locks held**, so observers may take their own locks freely.
+pub type WriteObserver = Arc<dyn Fn(&WriteEvent) + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: i64) -> RowKey {
+        RowKey::of(&DbValue::Int(i))
+    }
+
+    fn event(table: &str, keys: Option<Vec<RowKey>>) -> WriteEvent {
+        WriteEvent {
+            table: table.to_string(),
+            keys,
+            rows_affected: 1,
+        }
+    }
+
+    #[test]
+    fn exact_keys_match_only_their_rows() {
+        let mut rs = ReadSet::new();
+        rs.record_key("item", key(7));
+        assert!(rs.depends_on(&event("item", Some(vec![key(7)]))));
+        assert!(!rs.depends_on(&event("item", Some(vec![key(8)]))));
+        assert!(!rs.depends_on(&event("author", Some(vec![key(7)]))));
+    }
+
+    #[test]
+    fn whole_table_read_matches_any_write() {
+        let mut rs = ReadSet::new();
+        rs.record_table("item");
+        assert!(rs.depends_on(&event("item", Some(vec![key(99)]))));
+        assert!(rs.depends_on(&event("item", None)));
+        assert!(!rs.depends_on(&event("author", None)));
+    }
+
+    #[test]
+    fn keyless_write_matches_exact_key_read() {
+        let mut rs = ReadSet::new();
+        rs.record_key("item", key(1));
+        assert!(rs.depends_on(&event("item", None)));
+    }
+
+    #[test]
+    fn whole_table_subsumes_keys() {
+        let mut rs = ReadSet::new();
+        rs.record_key("item", key(1));
+        rs.record_table("item");
+        rs.record_key("item", key(2));
+        assert_eq!(rs.reads().len(), 1);
+        assert!(rs.reads()[0].keys.is_none(), "whole-table wins");
+        assert!(rs.depends_on(&event("item", Some(vec![key(3)]))));
+    }
+
+    #[test]
+    fn merge_unions_per_table() {
+        let mut a = ReadSet::new();
+        a.record_key("item", key(1));
+        let mut b = ReadSet::new();
+        b.record_key("item", key(2));
+        b.record_table("author");
+        a.merge(b);
+        assert!(a.depends_on(&event("item", Some(vec![key(2)]))));
+        assert!(!a.depends_on(&event("item", Some(vec![key(3)]))));
+        assert!(a.depends_on(&event("author", Some(vec![key(9)]))));
+    }
+
+    #[test]
+    fn empty_set_depends_on_nothing() {
+        let rs = ReadSet::new();
+        assert!(rs.is_empty());
+        assert!(!rs.depends_on(&event("item", None)));
+    }
+
+    #[test]
+    fn duplicate_keys_dedupe() {
+        let mut rs = ReadSet::new();
+        rs.record_key("item", key(5));
+        rs.record_key("item", key(5));
+        assert_eq!(rs.reads()[0].keys.as_ref().map(Vec::len), Some(1));
+    }
+}

@@ -139,6 +139,8 @@ const HOT_PATH_ALLOC: &[&str] = &[
     ".to_owned()",
     ".to_vec()",
     "String::new()",
+    "String::from(",
+    "Box::new(",
     "Vec::new()",
     "vec![",
     ".clone()",
@@ -758,6 +760,20 @@ mod tests {
     fn unsafe_fn_declaration_is_exempt() {
         assert!(lint("unsafe fn f() {}\n").is_empty());
         assert_eq!(lint("unsafe impl Send for X {}\n").len(), 1);
+    }
+
+    #[test]
+    fn hot_path_region_forbids_allocation_tokens() {
+        let src = "\
+// lint: hot_path — the cache-hit serve path
+let k = String::from(page);
+let b = Box::new(|| {});
+let r = Arc::clone(&entry.response);
+// lint: end_hot_path
+";
+        let diags = lint(src);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "hot_path_alloc"));
     }
 
     #[test]
