@@ -28,8 +28,8 @@ use staged_core::{write_key, DocCache, Lookup};
 use staged_db::ReadSet;
 use staged_http::{fetch, Connection, Method, Response, StatusCode};
 use staged_metrics::Snapshot;
+use staged_sync::atomic::{AtomicU64, Ordering};
 use std::io::Read as _;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -37,8 +37,8 @@ use std::time::{Duration, Instant};
 /// every `alloc`/`realloc`/`alloc_zeroed` bumps one relaxed atomic.
 #[cfg(feature = "count-alloc")]
 mod alloc_count {
+    use staged_sync::atomic::{AtomicU64, Ordering};
     use std::alloc::{GlobalAlloc, Layout, System};
-    use std::sync::atomic::{AtomicU64, Ordering};
 
     static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
@@ -80,7 +80,7 @@ mod alloc_count {
     }
 
     pub fn total() -> u64 {
-        ALLOCS.load(Ordering::Relaxed)
+        ALLOCS.load(Ordering::Relaxed) // lint: allow(relaxed)
     }
 }
 
@@ -411,10 +411,10 @@ fn run_leg(args: &Args, cache_on: bool, write_mix: u64) -> LegRow {
     let hits = metric("doc_cache_hits_total");
     let misses = metric("doc_cache_misses_total");
     let leg = LegStats {
-        completed: stats.completed.load(Ordering::Relaxed),
-        errors: stats.errors.load(Ordering::Relaxed),
-        freshness_checks: stats.freshness_checks.load(Ordering::Relaxed),
-        freshness_violations: stats.freshness_violations.load(Ordering::Relaxed),
+        completed: stats.completed.load(Ordering::Relaxed), // lint: allow(relaxed)
+        errors: stats.errors.load(Ordering::Relaxed),       // lint: allow(relaxed)
+        freshness_checks: stats.freshness_checks.load(Ordering::Relaxed), // lint: allow(relaxed)
+        freshness_violations: stats.freshness_violations.load(Ordering::Relaxed), // lint: allow(relaxed)
     };
     let row = LegRow {
         cache: if cache_on { "on" } else { "off" },

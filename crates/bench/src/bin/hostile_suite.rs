@@ -233,15 +233,15 @@ fn probe_fields(prefix_calm: &ProbeReport, attack: &ProbeReport) -> Vec<(&'stati
 }
 
 fn tally_fields(t: &AttackTallies) -> Vec<(&'static str, f64)> {
-    use std::sync::atomic::Ordering;
+    use staged_sync::atomic::Ordering;
     vec![
-        ("attacker_kills", t.kills.load(Ordering::Relaxed) as f64),
+        ("attacker_kills", t.kills.load(Ordering::Relaxed) as f64), // lint: allow(relaxed)
         (
             "attacker_4xx",
-            t.rejected_4xx.load(Ordering::Relaxed) as f64,
+            t.rejected_4xx.load(Ordering::Relaxed) as f64, // lint: allow(relaxed)
         ),
-        ("attacker_503", t.turned_away.load(Ordering::Relaxed) as f64),
-        ("attacker_served", t.served.load(Ordering::Relaxed) as f64),
+        ("attacker_503", t.turned_away.load(Ordering::Relaxed) as f64), // lint: allow(relaxed)
+        ("attacker_served", t.served.load(Ordering::Relaxed) as f64),   // lint: allow(relaxed)
     ]
 }
 
@@ -470,7 +470,7 @@ fn run_bigbody(suite: &Suite, hardened: bool) -> Outcome {
     };
     let rejected_4xx = tallies
         .rejected_4xx
-        .load(std::sync::atomic::Ordering::Relaxed);
+        .load(staged_sync::atomic::Ordering::Relaxed); // lint: allow(relaxed)
 
     let mut fields = probe_fields(&calm, &under);
     fields.extend(tally_fields(&tallies));

@@ -18,7 +18,7 @@
 use staged_bench::{json_row, print_series, run_model_with, Experiment, Model};
 use staged_core::RequestKind;
 use staged_metrics::{SeriesPoint, Snapshot};
-use std::sync::atomic::{AtomicU64, Ordering};
+use staged_sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Counting global allocator: every `alloc`/`realloc`/`alloc_zeroed`
@@ -26,8 +26,8 @@ use std::sync::Arc;
 /// every allocation in the process, including the workload generator.
 #[cfg(feature = "count-alloc")]
 mod alloc_count {
+    use staged_sync::atomic::{AtomicU64, Ordering};
     use std::alloc::{GlobalAlloc, Layout, System};
-    use std::sync::atomic::{AtomicU64, Ordering};
 
     static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
@@ -69,7 +69,7 @@ mod alloc_count {
     }
 
     pub fn total() -> u64 {
-        ALLOCS.load(Ordering::Relaxed)
+        ALLOCS.load(Ordering::Relaxed) // lint: allow(relaxed)
     }
 }
 
@@ -236,13 +236,13 @@ fn main() {
         let measure_start_allocs = Arc::new(AtomicU64::new(0));
         let snap = Arc::clone(&measure_start_allocs);
         let outcome = run_model_with(&args.exp, model, &[], move || {
-            snap.store(alloc_count::total(), Ordering::Relaxed);
+            snap.store(alloc_count::total(), Ordering::Relaxed); // lint: allow(relaxed)
         });
         // The counter read lands after the workload threads join, so
         // the window includes each browser's final in-flight request —
         // a fixed tail that is identical for both models.
         let allocs =
-            alloc_count::total().saturating_sub(measure_start_allocs.load(Ordering::Relaxed));
+            alloc_count::total().saturating_sub(measure_start_allocs.load(Ordering::Relaxed)); // lint: allow(relaxed)
         let report = &outcome.report;
         let total = report.total_interactions;
         rows.push(ModelRow {

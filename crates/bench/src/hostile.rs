@@ -14,9 +14,9 @@
 
 use staged_db::splitmix64;
 use staged_http::{fetch_with_timeout, read_response, Method};
+use staged_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -107,10 +107,10 @@ pub fn measure_goodput(
         let _ = t.join();
     }
     ProbeReport {
-        offered: offered.load(Ordering::Relaxed),
-        ok: ok.load(Ordering::Relaxed),
-        shed: shed.load(Ordering::Relaxed),
-        errors: errors.load(Ordering::Relaxed),
+        offered: offered.load(Ordering::Relaxed), // lint: allow(relaxed)
+        ok: ok.load(Ordering::Relaxed),           // lint: allow(relaxed)
+        shed: shed.load(Ordering::Relaxed),       // lint: allow(relaxed)
+        errors: errors.load(Ordering::Relaxed),   // lint: allow(relaxed)
         elapsed: started.elapsed(),
     }
 }
@@ -163,7 +163,7 @@ impl AttackHandle {
     /// Signals the fleet to stop, joins every attacker, and returns the
     /// final tallies.
     pub fn stop(self) -> AttackTallies {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         for t in self.threads {
             let _ = t.join();
         }
@@ -210,7 +210,7 @@ pub fn slowloris(
         Box::new(move |stop, tallies| {
             // An endless stream of never-finished header bytes.
             let filler: &[u8] = b"X-drip-padding: aaaaaaaaaaaaaaaa\r\n";
-            while !stop.load(Ordering::Relaxed) {
+            while !stop.load(Ordering::Acquire) {
                 let Ok(mut sock) = TcpStream::connect(addr) else {
                     std::thread::sleep(reconnect_pause);
                     continue;
@@ -218,7 +218,7 @@ pub fn slowloris(
                 let _ = sock.set_nodelay(true);
                 if sock.write_all(b"GET /home HTTP/1.1\r\n").is_ok() {
                     let mut i = 0usize;
-                    while !stop.load(Ordering::Relaxed) {
+                    while !stop.load(Ordering::Acquire) {
                         std::thread::sleep(drip);
                         if sock.write_all(&filler[i % filler.len()..][..1]).is_err() {
                             // The server hung up on the drip.
@@ -249,7 +249,7 @@ pub fn body_flood(
     spawn_fleet(attackers, &AttackTallies::default(), |i| {
         let oversize = i % 2 == 0;
         Box::new(move |stop, tallies| {
-            while !stop.load(Ordering::Relaxed) {
+            while !stop.load(Ordering::Acquire) {
                 let Ok(mut sock) = TcpStream::connect(addr) else {
                     std::thread::sleep(Duration::from_millis(100));
                     continue;
@@ -278,7 +278,7 @@ pub fn body_flood(
                     }
                 } else {
                     // Trickle far below any useful throughput.
-                    while !stop.load(Ordering::Relaxed) {
+                    while !stop.load(Ordering::Acquire) {
                         std::thread::sleep(drip);
                         if sock.write_all(b"y").is_err() {
                             break;
@@ -312,7 +312,7 @@ pub fn flash_crowd(addr: SocketAddr, clients: usize, path: &str) -> AttackHandle
     spawn_fleet(clients, &AttackTallies::default(), |_| {
         let path = path.to_string();
         Box::new(move |stop, tallies| {
-            while !stop.load(Ordering::Relaxed) {
+            while !stop.load(Ordering::Acquire) {
                 match fetch_with_timeout(addr, Method::Get, &path, &[], Duration::from_secs(2)) {
                     Ok(resp) if resp.status.is_success() => {
                         tallies.served.fetch_add(1, Ordering::Relaxed);
@@ -338,7 +338,7 @@ pub fn hot_key_storm(addr: SocketAddr, attackers: usize, sc_id: u64, i_id: u64) 
     spawn_fleet(attackers, &AttackTallies::default(), |_| {
         let path = path.clone();
         Box::new(move |stop, tallies| {
-            while !stop.load(Ordering::Relaxed) {
+            while !stop.load(Ordering::Acquire) {
                 match fetch_with_timeout(addr, Method::Get, &path, &[], Duration::from_secs(2)) {
                     Ok(resp) if resp.status.is_success() => {
                         tallies.served.fetch_add(1, Ordering::Relaxed);

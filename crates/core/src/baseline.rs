@@ -16,10 +16,10 @@ use staged_db::{CircuitBreaker, ConnectionPool, Database, PooledConnection};
 use staged_http::{Connection, HttpError, ParseLimits, Request, Response, StatusCode};
 use staged_metrics::Registry;
 use staged_pool::{PoolConfig, PoolStats, PushError, SyncQueue, WorkerPool};
+use staged_sync::atomic::{AtomicBool, Ordering};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -213,7 +213,7 @@ impl BaselineServer {
             .spawn(move || {
                 let mut conn_seq: u64 = 0;
                 for incoming in listener.incoming() {
-                    if listener_stop.load(Ordering::Relaxed) {
+                    if listener_stop.load(Ordering::Acquire) {
                         break;
                     }
                     match incoming {
@@ -296,8 +296,8 @@ impl BaselineServer {
             // stop accepting — then let every already-accepted request
             // finish before closing the pool.
             drain_ctx.readiness.set_draining();
-            drain_ctx.draining.store(true, Ordering::Relaxed);
-            stop.store(true, Ordering::Relaxed);
+            drain_ctx.draining.store(true, Ordering::Release);
+            stop.store(true, Ordering::Release);
             // Poke the blocking accept() so the listener notices.
             let _ = TcpStream::connect(addr);
             let _ = listener_thread.join();
@@ -380,7 +380,7 @@ fn serve_connection(stream: GovernedStream, slot: &mut DbSlot, ctx: &WorkerCtx) 
                 .headers()
                 .get("connection")
                 .is_some_and(|v| v.eq_ignore_ascii_case("close"));
-            if !keep_alive || server_closed || ctx.draining.load(Ordering::Relaxed) {
+            if !keep_alive || server_closed || ctx.draining.load(Ordering::Acquire) {
                 return;
             }
             if keepalive_over_budget(&mut conn, ctx) {
@@ -402,7 +402,7 @@ fn serve_connection(stream: GovernedStream, slot: &mut DbSlot, ctx: &WorkerCtx) 
             .headers()
             .get("connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("close"));
-        if !keep_alive || server_closed || ctx.draining.load(Ordering::Relaxed) {
+        if !keep_alive || server_closed || ctx.draining.load(Ordering::Acquire) {
             return;
         }
         if keepalive_over_budget(&mut conn, ctx) {

@@ -20,9 +20,9 @@
 
 use staged_db::{ReadSet, WriteEvent};
 use staged_http::Response;
+use staged_sync::atomic::{AtomicU64, Ordering};
 use staged_sync::{OrderedRwLock, Rank};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -146,10 +146,16 @@ impl DocCache {
         snapshot: u64,
     ) -> bool {
         let mut state = self.state.write();
-        let raced = reads
-            .reads()
-            .iter()
-            .any(|r| state.table_versions.get(&r.table).copied().unwrap_or(0) > snapshot);
+        let raced = staged_sync::mutant!("doccache_skip_epoch_check" => {
+            // broken: trust every render, even one that raced a write
+            // to a table it read — the classic stale-publish bug
+            false
+        } else {
+            reads
+                .reads()
+                .iter()
+                .any(|r| state.table_versions.get(&r.table).copied().unwrap_or(0) > snapshot)
+        });
         if raced {
             self.stale_discards.fetch_add(1, Ordering::Relaxed);
             return false;
@@ -193,7 +199,12 @@ impl DocCache {
             }
         }
         let before = state.entries.len();
-        state.entries.retain(|_, e| !e.reads.depends_on(event));
+        staged_sync::mutant!("doccache_skip_evict" => {
+            // broken: bump the epoch but leave intersecting entries in
+            // place — hits serve pre-write bodies forever
+        } else {
+            state.entries.retain(|_, e| !e.reads.depends_on(event));
+        });
         let evicted = (before - state.entries.len()) as u64;
         if evicted > 0 {
             self.invalidations.fetch_add(evicted, Ordering::Relaxed);
@@ -212,32 +223,32 @@ impl DocCache {
 
     /// Hits served.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.load(Ordering::Relaxed) // lint: allow(relaxed)
     }
 
     /// Lookups that missed (cold, TTL-expired, or evicted).
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.load(Ordering::Relaxed) // lint: allow(relaxed)
     }
 
     /// Pages published.
     pub fn publishes(&self) -> u64 {
-        self.publishes.load(Ordering::Relaxed)
+        self.publishes.load(Ordering::Relaxed) // lint: allow(relaxed)
     }
 
     /// Entries evicted by write invalidation.
     pub fn invalidations(&self) -> u64 {
-        self.invalidations.load(Ordering::Relaxed)
+        self.invalidations.load(Ordering::Relaxed) // lint: allow(relaxed)
     }
 
     /// Renders discarded at publish time for racing a write.
     pub fn stale_discards(&self) -> u64 {
-        self.stale_discards.load(Ordering::Relaxed)
+        self.stale_discards.load(Ordering::Relaxed) // lint: allow(relaxed)
     }
 
     /// Body bytes served from cache hits.
     pub fn bytes_served(&self) -> u64 {
-        self.bytes_served.load(Ordering::Relaxed)
+        self.bytes_served.load(Ordering::Relaxed) // lint: allow(relaxed)
     }
 }
 

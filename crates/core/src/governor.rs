@@ -26,12 +26,12 @@
 //! the hostile-traffic suite and production-shaped configs opt in.
 
 use staged_metrics::{Counter, Registry};
+use staged_sync::atomic::{AtomicUsize, Ordering};
 use staged_sync::{OrderedMutex, Rank};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{IpAddr, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Rank of the governor's per-IP count map (DESIGN.md §12): between the
@@ -265,9 +265,15 @@ impl Drop for ConnPermit {
         self.inner.open.fetch_sub(1, Ordering::AcqRel);
         if let Some(ip) = self.ip {
             let mut map = self.inner.per_ip.lock();
-            if let Some(count) = map.get_mut(&ip) {
-                *count = count.saturating_sub(1);
-            }
+            staged_sync::mutant!("governor_leak_ip_slot" => {
+                // broken: the peer's slot is never released, so a
+                // well-behaved reconnecting client eventually pins
+                // itself out at the per-IP cap
+            } else {
+                if let Some(count) = map.get_mut(&ip) {
+                    *count = count.saturating_sub(1);
+                }
+            });
             // Retain count-zero entries (steady-state is alloc-free);
             // sweep only if the peer set grows unreasonably large.
             if map.len() > PER_IP_SWEEP_LEN {

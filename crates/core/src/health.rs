@@ -17,8 +17,8 @@
 use staged_db::{CircuitBreaker, DurabilityStatus};
 use staged_http::{Response, StatusCode};
 use staged_metrics::Registry;
+use staged_sync::atomic::{AtomicU8, Ordering};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU8, Ordering};
 use std::time::Duration;
 
 /// Server lifecycle phase, as `/readyz` reports it.
@@ -61,7 +61,7 @@ impl Readiness {
 
     /// The current lifecycle phase.
     pub fn phase(&self) -> Phase {
-        match self.phase.load(Ordering::Relaxed) {
+        match self.phase.load(Ordering::Acquire) {
             0 => Phase::Starting,
             1 => Phase::Ready,
             _ => Phase::Draining,
@@ -74,11 +74,11 @@ impl Readiness {
     }
 
     pub(crate) fn set_ready(&self) {
-        self.phase.store(1, Ordering::Relaxed);
+        self.phase.store(1, Ordering::Release);
     }
 
     pub(crate) fn set_draining(&self) {
-        self.phase.store(2, Ordering::Relaxed);
+        self.phase.store(2, Ordering::Release);
     }
 }
 

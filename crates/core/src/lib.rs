@@ -82,6 +82,91 @@ pub use staged::StagedServer;
 pub use stale::write_key;
 pub use stats::{RequestKind, ServerStats, ShedPoint, StatsSnapshot};
 
+/// Crate-private protocol objects wrapped for the model checker.
+///
+/// The concurrency model suite (`crates/check`) drives the connection
+/// governor, the stale cache, and the cache-invalidation helper directly
+/// under the cooperative scheduler. Those types are deliberately
+/// `pub(crate)` in release builds, so this module — which exists only
+/// under `--cfg model` — exposes thin wrappers instead of widening the
+/// production API.
+#[cfg(model)]
+pub mod model_fixtures {
+    use crate::governor::{ConnPermit, ConnectionGovernor};
+    use crate::stale::StaleCache;
+    use staged_db::{ReadSet, WriteEvent};
+    use std::net::IpAddr;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// Wraps [`ConnectionGovernor`] for model tests.
+    pub struct Governor(ConnectionGovernor);
+
+    /// An admitted connection's slot; releases both counts on drop.
+    pub struct Permit(#[allow(dead_code)] ConnPermit);
+
+    impl Governor {
+        /// A governor with the given caps (see [`crate::GovernorConfig`]).
+        pub fn new(cfg: crate::GovernorConfig) -> Self {
+            Governor(ConnectionGovernor::new(cfg))
+        }
+
+        /// Admits or turns away one connection; `Err` carries the
+        /// turnaway reason as text.
+        pub fn admit(&self, ip: Option<IpAddr>) -> Result<Permit, String> {
+            self.0.admit(ip).map(Permit).map_err(|t| format!("{t:?}"))
+        }
+
+        /// Connections currently admitted.
+        pub fn open(&self) -> usize {
+            self.0.open()
+        }
+    }
+
+    /// Wraps the crate-private [`StaleCache`] for model tests.
+    pub struct Stale(StaleCache);
+
+    impl Stale {
+        /// A cache usable for `ttl` holding at most `capacity` entries.
+        pub fn new(ttl: Duration, capacity: usize) -> Self {
+            Stale(StaleCache::new(ttl, capacity))
+        }
+
+        /// Stores one rendered body tagged with its read dependencies.
+        pub fn put_tagged(&self, key: &str, body: &str, reads: Option<Arc<ReadSet>>) {
+            self.0.put_tagged(key, body, reads);
+        }
+
+        /// Evicts entries that depend on the written rows.
+        pub fn invalidate(&self, event: &WriteEvent) {
+            self.0.invalidate(event);
+        }
+
+        /// The cached body, if present and fresh enough to serve.
+        pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+            self.0.get(key).map(|hit| hit.body.as_slice().to_vec())
+        }
+
+        /// Number of live entries.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// `true` when the cache holds no entries.
+        pub fn is_empty(&self) -> bool {
+            self.0.len() == 0
+        }
+    }
+
+    /// Invalidates the document cache and the stale cache for one write,
+    /// in the production order (doc cache first). This is the helper the
+    /// staged server's write observer calls; the
+    /// `core_invalidate_nesting_flip` mutant reverses the order.
+    pub fn invalidate_caches(dc: Option<&crate::DocCache>, sc: &Stale, event: &WriteEvent) {
+        crate::staged::invalidate_caches(dc, &sc.0, event);
+    }
+}
+
 // Re-exported so callers can consume `ServerHandle::registry` and the
 // shared snapshot encoding without a direct `staged_metrics` dependency.
 pub use staged_metrics::{Registry, Snapshot};

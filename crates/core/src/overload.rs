@@ -371,23 +371,23 @@ mod tests {
 
     #[test]
     fn retry_estimator_scales_with_backlog_and_drain_rate() {
-        use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+        use staged_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
         let completed = Arc::new(AtomicU64::new(0));
         let depth = Arc::new(AtomicUsize::new(5_000));
         let est = RetryEstimator::new(
             Duration::from_secs(1),
             Box::new({
                 let d = Arc::clone(&depth);
-                move || d.load(Ordering::Relaxed)
+                move || d.load(Ordering::Relaxed) // lint: allow(relaxed)
             }),
             Box::new({
                 let c = Arc::clone(&completed);
-                move || c.load(Ordering::Relaxed)
+                move || c.load(Ordering::Relaxed) // lint: allow(relaxed)
             }),
         );
         est.advise(); // first sample
         std::thread::sleep(Duration::from_millis(80));
-        completed.store(40, Ordering::Relaxed); // ~500/s drain rate
+        completed.store(40, Ordering::Relaxed); // ~500/s drain rate // lint: allow(relaxed)
         let advice = est.advise();
         assert!(
             advice > Duration::from_secs(2),
@@ -396,13 +396,13 @@ mod tests {
         assert!(advice <= MAX_RETRY_AFTER);
 
         // A much larger backlog clamps at the maximum.
-        depth.store(usize::MAX / 2, Ordering::Relaxed);
-        completed.store(80, Ordering::Relaxed);
+        depth.store(usize::MAX / 2, Ordering::Relaxed); // lint: allow(relaxed)
+        completed.store(80, Ordering::Relaxed); // lint: allow(relaxed)
         assert_eq!(est.advise(), MAX_RETRY_AFTER);
 
         // A shallow backlog drains fast: advice returns to the floor.
-        depth.store(1, Ordering::Relaxed);
-        completed.store(120, Ordering::Relaxed);
+        depth.store(1, Ordering::Relaxed); // lint: allow(relaxed)
+        completed.store(120, Ordering::Relaxed); // lint: allow(relaxed)
         assert_eq!(est.advise(), Duration::from_secs(1));
     }
 

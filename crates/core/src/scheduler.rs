@@ -2,9 +2,9 @@
 //! quick/lengthy classifier, the `t_reserve` feedback controller, and
 //! the Table 1 dispatch rules.
 
+use staged_sync::atomic::{AtomicUsize, Ordering};
 use staged_sync::{OrderedMutex, Rank};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// Rank of the per-page service-time table (DESIGN.md §10): the
@@ -176,7 +176,7 @@ impl ReserveController {
 
     /// The current `t_reserve`.
     pub fn reserve(&self) -> usize {
-        self.reserve.load(Ordering::Relaxed)
+        self.reserve.load(Ordering::Relaxed) // lint: allow(relaxed)
     }
 
     /// The configured minimum.
@@ -192,7 +192,7 @@ impl ReserveController {
     /// Applies one controller tick given the measured `t_spare`;
     /// returns the signed change to `t_reserve`.
     pub fn update(&self, tspare: usize) -> i64 {
-        let old = self.reserve.load(Ordering::Relaxed);
+        let old = self.reserve.load(Ordering::Relaxed); // lint: allow(relaxed)
         let new = if tspare < old {
             // Suspected traffic spike: grow by the shortfall, plus how
             // far tspare has dropped beneath the configured minimum —
@@ -205,7 +205,7 @@ impl ReserveController {
         } else {
             old
         };
-        self.reserve.store(new, Ordering::Relaxed);
+        self.reserve.store(new, Ordering::Relaxed); // lint: allow(relaxed)
         new as i64 - old as i64
     }
 

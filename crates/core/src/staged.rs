@@ -31,11 +31,11 @@ use staged_http::{
 };
 use staged_metrics::{Registry, Stage, Trace, TraceEvent, TraceHub, TraceOutcome};
 use staged_pool::{PoolConfig, PoolStats, PushError, SyncQueue, WorkerPool};
+use staged_sync::atomic::{AtomicBool, Ordering};
 use staged_templates::Context;
 use std::cell::RefCell;
 use std::io;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -228,7 +228,7 @@ impl Shared {
     /// closes cleanly without sending one, that trace finishes as
     /// `Dropped` (no response was owed).
     fn requeue(&self, mut conn: Conn, keep_alive: bool) {
-        if !keep_alive || self.draining.load(Ordering::Relaxed) {
+        if !keep_alive || self.draining.load(Ordering::Acquire) {
             return;
         }
         // Keep-alive lifecycle caps: a connection that has served its
@@ -490,6 +490,33 @@ pub(crate) fn register_doc_cache(registry: &Registry, cache: &Arc<DocCache>) {
     registry.gauge_fn("doc_cache_entries", &[], move || c.len() as f64);
 }
 
+/// Invalidates both response caches for one write event, document cache
+/// first. The order is load-bearing: the doc cache is the authoritative
+/// fast path, so it must be purged before the stale fallback. Flipping
+/// the order opens a window where the stale cache is already clean but
+/// the doc cache still serves the outdated page — a reader that sees the
+/// stale cache empty can then observe a doc-cache hit for data the write
+/// already superseded. Routing every caller through this helper keeps
+/// the direction in one place, where the model checker can flip it and
+/// watch a concurrent reader observe that incoherent state.
+pub(crate) fn invalidate_caches(
+    dc: Option<&DocCache>,
+    sc: &StaleCache,
+    event: &staged_db::WriteEvent,
+) {
+    staged_sync::mutant!("core_invalidate_nesting_flip" => {
+        sc.invalidate(event);
+        if let Some(dc) = dc {
+            dc.invalidate(event);
+        }
+    } else {
+        if let Some(dc) = dc {
+            dc.invalidate(event);
+        }
+        sc.invalidate(event);
+    });
+}
+
 /// Registers the per-page data-generation collector
 /// (`page_service_seconds{page=…}`, the scheduler's classification
 /// input as a running average).
@@ -579,10 +606,7 @@ impl StagedServer {
             let dc = doc_cache.clone();
             let sc = Arc::clone(&stale);
             durable_db.set_write_observer(move |event| {
-                if let Some(dc) = &dc {
-                    dc.invalidate(event);
-                }
-                sc.invalidate(event);
+                invalidate_caches(dc.as_deref(), &sc, event);
             });
         }
 
@@ -777,7 +801,7 @@ impl StagedServer {
         let controller_thread = std::thread::Builder::new()
             .name("reserve-controller".to_string())
             .spawn(move || {
-                while !ctl_stop.load(Ordering::Relaxed) {
+                while !ctl_stop.load(Ordering::Acquire) {
                     std::thread::sleep(tick);
                     ctl.update(ctl_shared.tspare());
                 }
@@ -800,7 +824,7 @@ impl StagedServer {
             .spawn(move || {
                 let mut conn_seq: u64 = 0;
                 for incoming in listener.incoming() {
-                    if listener_stop.load(Ordering::Relaxed) {
+                    if listener_stop.load(Ordering::Acquire) {
                         break;
                     }
                     match incoming {
@@ -893,8 +917,8 @@ impl StagedServer {
             // keep-alive connections, stop accepting — then let every
             // already-accepted request finish before closing any stage.
             drain_shared.readiness.set_draining();
-            drain_shared.draining.store(true, Ordering::Relaxed);
-            stop.store(true, Ordering::Relaxed);
+            drain_shared.draining.store(true, Ordering::Release);
+            stop.store(true, Ordering::Release);
             let _ = TcpStream::connect(addr);
             let _ = listener_thread.join();
             let _ = controller_thread.join();

@@ -148,7 +148,7 @@ impl StaleCache {
     }
 
     /// Live entry count (expired-but-unevicted entries included).
-    #[cfg(test)]
+    #[cfg(any(test, model))]
     pub(crate) fn len(&self) -> usize {
         self.entries.lock().len()
     }

@@ -13,10 +13,10 @@ use crate::table::TableData;
 use crate::value::DbValue;
 use crate::wal::{CheckpointPhase, DurabilityConfig, DurabilityStatus, Wal, WalStats};
 use staged_pool::SyncQueue;
+use staged_sync::atomic::{AtomicU64, Ordering};
 use staged_sync::{OrderedMutex, OrderedRwLock, Rank};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -118,7 +118,7 @@ struct Durable {
 
 impl Durable {
     fn status(&self) -> DurabilityStatus {
-        let age_base = self.last_checkpoint_ms.load(Ordering::Relaxed);
+        let age_base = self.last_checkpoint_ms.load(Ordering::Relaxed); // lint: allow(relaxed)
         DurabilityStatus {
             mode: self.wal.policy().label(),
             last_checkpoint_age: self
@@ -126,7 +126,7 @@ impl Durable {
                 .elapsed()
                 .saturating_sub(Duration::from_millis(age_base)),
             replay_count: self.replayed,
-            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed), // lint: allow(relaxed)
             wal: self.wal.stats(),
             checkpoint_on_shutdown: self.config.checkpoint_on_shutdown,
             poisoned: self.wal.poison_message(),
@@ -135,9 +135,9 @@ impl Durable {
 
     fn mark_checkpointed(&self) {
         self.last_checkpoint_ms
-            .store(self.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+            .store(self.epoch.elapsed().as_millis() as u64, Ordering::Relaxed); // lint: allow(relaxed)
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
-        self.since_checkpoint.store(0, Ordering::Relaxed);
+        self.since_checkpoint.store(0, Ordering::Relaxed); // lint: allow(relaxed)
     }
 
     /// Counts one committed record; true when the auto-checkpoint

@@ -66,3 +66,56 @@ pub use value::DbValue;
 pub use wal::{
     CheckpointPhase, CrashPlan, DurabilityConfig, DurabilityStatus, FsyncPolicy, WalStats,
 };
+
+/// Crate-private WAL internals wrapped for the model checker.
+///
+/// The group-commit protocol (leader election on the `syncing` flag,
+/// followers parked on the `synced` condvar, poison broadcast) lives in
+/// the crate-private [`wal::Wal`]; this module — compiled only under
+/// `--cfg model` — exposes just enough of it for `crates/check` to
+/// drive leaders, followers, and poisoning as separate model threads.
+#[cfg(model)]
+pub mod model_fixtures {
+    use crate::error::DbError;
+    use crate::wal::{CrashPlan, FsyncPolicy, Wal};
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    /// Wraps the crate-private [`Wal`] for model tests.
+    pub struct ModelWal(Arc<Wal>);
+
+    impl ModelWal {
+        /// A fresh log at `path` using the given fsync policy.
+        pub fn create(path: PathBuf, policy: FsyncPolicy) -> Result<Self, DbError> {
+            Wal::create(path, policy, None, 0).map(ModelWal)
+        }
+
+        /// Like [`ModelWal::create`] but with crash injection, so model
+        /// tests can fail a group-commit leader's fsync on demand.
+        pub fn create_with_crash(
+            path: PathBuf,
+            policy: FsyncPolicy,
+            crash: CrashPlan,
+        ) -> Result<Self, DbError> {
+            Wal::create(path, policy, Some(crash), 0).map(ModelWal)
+        }
+
+        /// Appends one record, returning its sequence number.
+        pub fn append(&self, sql: &str) -> Result<u64, DbError> {
+            self.0.append(sql, &[])
+        }
+
+        /// Blocks (under `always`) until `seq` is durable — the group
+        /// commit path: leader when no sync is in flight, follower on
+        /// the `synced` condvar otherwise.
+        pub fn commit(&self, seq: u64) -> Result<(), DbError> {
+            self.0.commit(seq)
+        }
+
+        /// Marks the WAL dead, as the interval flusher does on an
+        /// fsync failure; waiting followers must be woken to observe it.
+        pub fn poison(&self, why: &str) {
+            self.0.poison_external(why);
+        }
+    }
+}

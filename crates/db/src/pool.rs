@@ -7,9 +7,9 @@ use crate::fault::FaultPlan;
 use crate::readset::ReadSet;
 use crate::value::DbValue;
 use staged_pool::SyncQueue;
+use staged_sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use staged_sync::{OrderedMutex, OrderedRwLock, Rank};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -187,7 +187,7 @@ impl ConnectionPool {
 
     /// How many [`ConnectionPool::get_timeout`] calls have timed out.
     pub fn acquire_timeouts(&self) -> u64 {
-        self.inner.acquire_timeouts.load(Ordering::Relaxed)
+        self.inner.acquire_timeouts.load(Ordering::Relaxed) // lint: allow(relaxed)
     }
 
     /// Total connections.
@@ -197,7 +197,7 @@ impl ConnectionPool {
 
     /// Connections currently checked out.
     pub fn in_use(&self) -> usize {
-        self.inner.in_use.load(Ordering::Relaxed)
+        self.inner.in_use.load(Ordering::Relaxed) // lint: allow(relaxed)
     }
 
     /// Connections currently free.
@@ -261,13 +261,13 @@ impl PooledConnection {
     }
 
     fn execute_inner(&self, sql: &str, params: &[DbValue]) -> Result<QueryResult, DbError> {
-        if self.dead.load(Ordering::Relaxed) {
+        if self.dead.load(Ordering::Acquire) {
             return Err(DbError::ConnectionLost);
         }
         if let Some(plan) = *self.inner.fault.read() {
             let seq = self.queries.fetch_add(1, Ordering::Relaxed);
             if plan.kills_at(seq) {
-                self.dead.store(true, Ordering::Relaxed);
+                self.dead.store(true, Ordering::Release);
                 return Err(DbError::ConnectionLost);
             }
             if !plan.extra_latency.is_zero() {
@@ -280,7 +280,7 @@ impl PooledConnection {
                 )));
             }
         }
-        if self.tracking.load(Ordering::Relaxed) {
+        if self.tracking.load(Ordering::Acquire) {
             // Collect into a local set and merge *after* the statement
             // returns: holding the rank-204 accumulator across execution
             // would invert with the database's own locks. Merging even
@@ -304,14 +304,14 @@ impl PooledConnection {
     /// Any previously accumulated set is discarded.
     pub fn begin_read_tracking(&self) {
         *self.reads.lock() = Some(ReadSet::new());
-        self.tracking.store(true, Ordering::Relaxed);
+        self.tracking.store(true, Ordering::Release);
     }
 
     /// Stops tracking and returns the read set accumulated since
     /// [`PooledConnection::begin_read_tracking`], or `None` if tracking
     /// was never started.
     pub fn take_read_set(&self) -> Option<ReadSet> {
-        if !self.tracking.swap(false, Ordering::Relaxed) {
+        if !self.tracking.swap(false, Ordering::AcqRel) {
             return None;
         }
         self.reads.lock().take()
@@ -319,7 +319,7 @@ impl PooledConnection {
 
     /// Whether a fault plan has killed this connection.
     pub fn is_dead(&self) -> bool {
-        self.dead.load(Ordering::Relaxed)
+        self.dead.load(Ordering::Acquire)
     }
 
     /// The underlying database.
@@ -337,7 +337,12 @@ impl fmt::Debug for PooledConnection {
 impl Drop for PooledConnection {
     fn drop(&mut self) {
         self.inner.in_use.fetch_sub(1, Ordering::Relaxed);
-        let _ = self.inner.tokens.push(());
+        staged_sync::mutant!("pool_leak_token" => {
+            // broken: the connection's token never returns to the
+            // queue, shrinking the pool by one on every checkout
+        } else {
+            let _ = self.inner.tokens.push(());
+        });
     }
 }
 

@@ -493,7 +493,12 @@ impl Wal {
                 if target > st.synced_seq {
                     st.synced_seq = target;
                 }
-                self.synced.notify_all();
+                staged_sync::mutant!("wal_skip_notify" => {
+                    // broken: leader publishes durability but never
+                    // wakes the parked followers
+                } else {
+                    self.synced.notify_all();
+                });
                 if let Some(obs) = observer {
                     drop(st);
                     obs(elapsed);
@@ -539,7 +544,12 @@ impl Wal {
             st.dead = Some(why.clone());
         }
         st.file = None;
-        self.synced.notify_all();
+        staged_sync::mutant!("wal_poison_silent" => {
+            // broken: the WAL dies quietly, stranding followers that
+            // are parked waiting for their records to become durable
+        } else {
+            self.synced.notify_all();
+        });
         DbError::durability(why)
     }
 

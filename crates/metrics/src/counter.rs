@@ -1,7 +1,7 @@
 //! Monotonic counters and signed gauges.
 
+use staged_sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// A monotonically increasing event counter.
 ///
@@ -42,12 +42,12 @@ impl Counter {
 
     /// Returns the current count.
     pub fn value(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed) // lint: allow(relaxed)
     }
 
     /// Resets the counter to zero, returning the previous value.
     pub fn reset(&self) -> u64 {
-        self.value.swap(0, Ordering::Relaxed)
+        self.value.swap(0, Ordering::Relaxed) // lint: allow(relaxed)
     }
 }
 
@@ -104,12 +104,12 @@ impl Gauge {
 
     /// Sets the gauge to an absolute value.
     pub fn set(&self, v: i64) {
-        self.value.store(v, Ordering::Relaxed);
+        self.value.store(v, Ordering::Relaxed); // lint: allow(relaxed)
     }
 
     /// Returns the current value.
     pub fn value(&self) -> i64 {
-        self.value.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed) // lint: allow(relaxed)
     }
 }
 

@@ -34,9 +34,9 @@
 use crate::counter::Counter;
 use crate::histogram::Histogram;
 use crate::registry::Registry;
+use staged_sync::atomic::{AtomicUsize, Ordering};
 use staged_sync::{OrderedMutex, Rank};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -314,7 +314,7 @@ impl TraceHub {
     /// server is idle — the leak detector the shedding property test
     /// asserts on.
     pub fn outstanding(&self) -> usize {
-        self.inner.outstanding.load(Ordering::Relaxed)
+        self.inner.outstanding.load(Ordering::Relaxed) // lint: allow(relaxed)
     }
 
     /// Number of traces currently held in the slow ring.

@@ -20,7 +20,7 @@
 //!
 //! ```
 //! use staged_pool::{PoolConfig, WorkerPool};
-//! use std::sync::atomic::{AtomicUsize, Ordering};
+//! use staged_sync::atomic::{AtomicUsize, Ordering};
 //! use std::sync::Arc;
 //!
 //! let sum = Arc::new(AtomicUsize::new(0));

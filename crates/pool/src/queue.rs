@@ -172,14 +172,25 @@ impl<T> SyncQueue<T> {
     // allocation beyond the deque's amortized growth.
     fn enqueue(&self, state: &mut State<T>, item: T) {
         let stamped = (item, Instant::now());
-        if state.idle > 0 && state.handoff.is_none() && state.items.is_empty() {
+        let handoff_ok = staged_sync::mutant!("syncqueue_handoff_clobber" => {
+            // broken: park in the handoff slot whenever a popper is
+            // idle, clobbering an item already waiting there
+            state.idle > 0
+        } else {
+            state.idle > 0 && state.handoff.is_none() && state.items.is_empty()
+        });
+        if handoff_ok {
             state.handoff = Some(stamped);
             state.handoffs += 1;
             self.not_empty.notify_one();
         } else {
             state.items.push_back(stamped);
             if state.idle > 0 {
-                self.not_empty.notify_one();
+                staged_sync::mutant!("syncqueue_skip_notify" => {
+                    // broken: assume the popper will notice on its own
+                } else {
+                    self.not_empty.notify_one();
+                });
             }
         }
         state.peak_len = state.peak_len.max(state.queued());

@@ -1,7 +1,7 @@
 //! Background sampling of queue lengths into time series.
 
 use staged_metrics::TimeSeries;
-use std::sync::atomic::{AtomicBool, Ordering};
+use staged_sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -80,7 +80,10 @@ impl QueueSampler {
         let thread = thread::Builder::new()
             .name("queue-sampler".to_string())
             .spawn(move || {
-                while !stop2.load(Ordering::Relaxed) {
+                // Acquire pairs with the Release store in `stop_inner`:
+                // the sampler must observe everything the stopping
+                // thread published before raising the flag.
+                while !stop2.load(Ordering::Acquire) {
                     for (_, gauge, series) in &targets {
                         series.observe(gauge() as f64);
                     }
@@ -110,7 +113,7 @@ impl SamplerHandle {
     }
 
     fn stop_inner(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
@@ -128,7 +131,7 @@ impl Drop for SamplerHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use staged_sync::atomic::AtomicUsize;
 
     #[test]
     #[should_panic(expected = "sampling interval must be non-zero")]
@@ -141,7 +144,7 @@ mod tests {
         let value = Arc::new(AtomicUsize::new(5));
         let v2 = Arc::clone(&value);
         let mut sampler = QueueSampler::new(Duration::from_millis(2));
-        let series = sampler.track("q", move || v2.load(Ordering::Relaxed));
+        let series = sampler.track("q", move || v2.load(Ordering::Relaxed)); // lint: allow(relaxed)
         let handle = sampler.start();
         thread::sleep(Duration::from_millis(20));
         handle.stop();

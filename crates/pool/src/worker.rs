@@ -348,7 +348,7 @@ impl<J: Send + 'static> Drop for WorkerPool<J> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use staged_sync::atomic::{AtomicUsize, Ordering};
     use std::time::Duration;
 
     #[test]
@@ -372,7 +372,7 @@ mod tests {
             pool.submit(n).unwrap();
         }
         pool.shutdown();
-        assert_eq!(sum.load(Ordering::Relaxed), 499_500);
+        assert_eq!(sum.load(Ordering::Relaxed), 499_500); // lint: allow(relaxed)
     }
 
     #[test]

@@ -47,6 +47,82 @@ use std::time::Duration;
 
 pub use parking_lot::WaitTimeoutResult;
 
+pub mod atomic;
+
+#[cfg(model)]
+pub mod model;
+
+/// Marks a deliberately-broken protocol variant for the model checker
+/// to catch (DESIGN.md §15). Outside `--cfg model` builds this expands
+/// to the correct branch only — the broken code is not compiled at all.
+///
+/// ```ignore
+/// staged_sync::mutant!("queue_skip_notify" => {
+///     // broken: forget to wake the consumer
+/// } else {
+///     self.not_empty.notify_one();
+/// });
+/// ```
+#[cfg(model)]
+#[macro_export]
+macro_rules! mutant {
+    ($name:literal => $bad:block else $good:block) => {
+        if $crate::model::mutant_enabled($name) {
+            $bad
+        } else {
+            $good
+        }
+    };
+}
+
+/// Marks a deliberately-broken protocol variant for the model checker
+/// to catch (DESIGN.md §15). Outside `--cfg model` builds this expands
+/// to the correct branch only — the broken code is not compiled at all.
+#[cfg(not(model))]
+#[macro_export]
+macro_rules! mutant {
+    ($name:literal => $bad:block else $good:block) => {
+        $good
+    };
+}
+
+/// Drops model ownership of a mutex/rwlock-write when the guard drops.
+/// Declared before the real guard field so the *real* unlock happens
+/// first (fields drop in declaration order; this type comes after).
+#[cfg(model)]
+struct ModelExclusiveRelease {
+    id: usize,
+    name: &'static str,
+}
+
+#[cfg(model)]
+impl Drop for ModelExclusiveRelease {
+    fn drop(&mut self) {
+        model::mutex_release(self.id);
+    }
+}
+
+/// Drops model ownership of an rwlock read share.
+#[cfg(model)]
+struct ModelReadRelease {
+    id: usize,
+}
+
+#[cfg(model)]
+impl Drop for ModelReadRelease {
+    fn drop(&mut self) {
+        model::rw_release_read(self.id);
+    }
+}
+
+/// Thin address-based identity for model-mode lock bookkeeping (the
+/// wrappers are `const`-constructible, so identity cannot be assigned
+/// at construction time).
+#[cfg(model)]
+fn model_id<T: ?Sized>(v: &T) -> usize {
+    std::ptr::from_ref(v).cast::<u8>() as usize
+}
+
 /// Whether the lock-order detector is compiled in. `true` under
 /// `cfg(debug_assertions)` or the `lock-order` feature; `false` in
 /// plain release builds, where every wrapper is a zero-cost
@@ -316,16 +392,29 @@ impl<T: ?Sized> OrderedMutex<T> {
         #[cfg(any(debug_assertions, feature = "lock-order"))]
         {
             let location = std::panic::Location::caller();
+            // Rank check first: a genuine inversion panics with both
+            // stacks instead of deadlocking (in model mode, instead of
+            // a less-specific deadlock report).
             tracking::check_order(self.rank, self.name, location);
+            #[cfg(model)]
+            let model = self.model_acquire();
             let inner = self.inner.lock();
             OrderedMutexGuard {
                 inner,
+                #[cfg(model)]
+                model,
                 _token: tracking::register(self.rank, self.name, location),
             }
         }
         #[cfg(not(any(debug_assertions, feature = "lock-order")))]
-        OrderedMutexGuard {
-            inner: self.inner.lock(),
+        {
+            #[cfg(model)]
+            let model = self.model_acquire();
+            OrderedMutexGuard {
+                inner: self.inner.lock(),
+                #[cfg(model)]
+                model,
+            }
         }
     }
 
@@ -333,6 +422,17 @@ impl<T: ?Sized> OrderedMutex<T> {
     #[inline]
     #[track_caller]
     pub fn try_lock(&self) -> Option<OrderedMutexGuard<'_, T>> {
+        #[cfg(model)]
+        let model = match model::mutex_try_lock(model_id(self), self.name) {
+            // Unmanaged thread: fall through to the real try_lock.
+            None => None,
+            // The model says the lock is taken at this schedule point.
+            Some(false) => return None,
+            Some(true) => Some(ModelExclusiveRelease {
+                id: model_id(self),
+                name: self.name,
+            }),
+        };
         #[cfg(any(debug_assertions, feature = "lock-order"))]
         {
             let location = std::panic::Location::caller();
@@ -340,13 +440,31 @@ impl<T: ?Sized> OrderedMutex<T> {
             let inner = self.inner.try_lock()?;
             Some(OrderedMutexGuard {
                 inner,
+                #[cfg(model)]
+                model,
                 _token: tracking::register(self.rank, self.name, location),
             })
         }
         #[cfg(not(any(debug_assertions, feature = "lock-order")))]
         Some(OrderedMutexGuard {
             inner: self.inner.try_lock()?,
+            #[cfg(model)]
+            model,
         })
+    }
+
+    /// Takes model ownership before touching the real lock; returns the
+    /// release token when this thread is scheduler-managed.
+    #[cfg(model)]
+    fn model_acquire(&self) -> Option<ModelExclusiveRelease> {
+        if model::mutex_lock(model_id(self), self.name) {
+            Some(ModelExclusiveRelease {
+                id: model_id(self),
+                name: self.name,
+            })
+        } else {
+            None
+        }
     }
 
     /// Returns a mutable reference to the underlying data (no locking:
@@ -384,8 +502,13 @@ impl<T: fmt::Debug> fmt::Debug for OrderedMutex<T> {
 
 /// RAII guard for [`OrderedMutex`]; deregisters the acquisition when
 /// dropped.
+///
+/// Field order matters in model mode: `inner` (the real unlock) drops
+/// before `model` (the scheduler release, itself a schedule point).
 pub struct OrderedMutexGuard<'a, T: ?Sized> {
     inner: parking_lot::MutexGuard<'a, T>,
+    #[cfg(model)]
+    model: Option<ModelExclusiveRelease>,
     #[cfg(any(debug_assertions, feature = "lock-order"))]
     _token: tracking::Token,
 }
@@ -454,15 +577,25 @@ impl<T: ?Sized> OrderedRwLock<T> {
         {
             let location = std::panic::Location::caller();
             tracking::check_order(self.rank, self.name, location);
+            #[cfg(model)]
+            let model = self.model_read_acquire();
             let inner = self.inner.read();
             OrderedReadGuard {
                 inner,
+                #[cfg(model)]
+                _model: model,
                 _token: tracking::register(self.rank, self.name, location),
             }
         }
         #[cfg(not(any(debug_assertions, feature = "lock-order")))]
-        OrderedReadGuard {
-            inner: self.inner.read(),
+        {
+            #[cfg(model)]
+            let model = self.model_read_acquire();
+            OrderedReadGuard {
+                inner: self.inner.read(),
+                #[cfg(model)]
+                _model: model,
+            }
         }
     }
 
@@ -478,15 +611,48 @@ impl<T: ?Sized> OrderedRwLock<T> {
         {
             let location = std::panic::Location::caller();
             tracking::check_order(self.rank, self.name, location);
+            #[cfg(model)]
+            let model = self.model_write_acquire();
             let inner = self.inner.write();
             OrderedWriteGuard {
                 inner,
+                #[cfg(model)]
+                _model: model,
                 _token: tracking::register(self.rank, self.name, location),
             }
         }
         #[cfg(not(any(debug_assertions, feature = "lock-order")))]
-        OrderedWriteGuard {
-            inner: self.inner.write(),
+        {
+            #[cfg(model)]
+            let model = self.model_write_acquire();
+            OrderedWriteGuard {
+                inner: self.inner.write(),
+                #[cfg(model)]
+                _model: model,
+            }
+        }
+    }
+
+    /// Takes model read ownership before touching the real lock.
+    #[cfg(model)]
+    fn model_read_acquire(&self) -> Option<ModelReadRelease> {
+        if model::rw_read(model_id(self), self.name) {
+            Some(ModelReadRelease { id: model_id(self) })
+        } else {
+            None
+        }
+    }
+
+    /// Takes model write ownership before touching the real lock.
+    #[cfg(model)]
+    fn model_write_acquire(&self) -> Option<ModelExclusiveRelease> {
+        if model::rw_write(model_id(self), self.name) {
+            Some(ModelExclusiveRelease {
+                id: model_id(self),
+                name: self.name,
+            })
+        } else {
+            None
         }
     }
 
@@ -524,7 +690,12 @@ impl<T: fmt::Debug> fmt::Debug for OrderedRwLock<T> {
 
 /// Shared-access RAII guard for [`OrderedRwLock`].
 pub struct OrderedReadGuard<'a, T: ?Sized> {
+    // Field order matters under `cfg(model)`: the real guard must drop
+    // (unlock) before the model release hands ownership to another
+    // model thread.
     inner: parking_lot::RwLockReadGuard<'a, T>,
+    #[cfg(model)]
+    _model: Option<ModelReadRelease>,
     #[cfg(any(debug_assertions, feature = "lock-order"))]
     _token: tracking::Token,
 }
@@ -538,7 +709,11 @@ impl<T: ?Sized> std::ops::Deref for OrderedReadGuard<'_, T> {
 
 /// Exclusive-access RAII guard for [`OrderedRwLock`].
 pub struct OrderedWriteGuard<'a, T: ?Sized> {
+    // Field order matters under `cfg(model)`: real unlock first, then
+    // model release (see `OrderedReadGuard`).
     inner: parking_lot::RwLockWriteGuard<'a, T>,
+    #[cfg(model)]
+    _model: Option<ModelExclusiveRelease>,
     #[cfg(any(debug_assertions, feature = "lock-order"))]
     _token: tracking::Token,
 }
@@ -571,6 +746,14 @@ impl Condvar {
     /// Blocks until notified, atomically releasing and re-acquiring the
     /// mutex behind `guard`.
     pub fn wait<T>(&self, guard: &mut OrderedMutexGuard<'_, T>) {
+        #[cfg(model)]
+        if let Some(m) = &guard.model {
+            let (id, name, cv_id) = (m.id, m.name, model_id(self));
+            guard.inner.unlocked(|| {
+                model::condvar_wait(cv_id, id, name, false);
+            });
+            return;
+        }
         self.0.wait(&mut guard.inner);
     }
 
@@ -580,16 +763,32 @@ impl Condvar {
         guard: &mut OrderedMutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
+        #[cfg(model)]
+        if let Some(m) = &guard.model {
+            let (id, name, cv_id) = (m.id, m.name, model_id(self));
+            let timed_out = guard
+                .inner
+                .unlocked(|| model::condvar_wait(cv_id, id, name, true));
+            return WaitTimeoutResult::from_timed_out(timed_out);
+        }
         self.0.wait_for(&mut guard.inner, timeout)
     }
 
     /// Wakes one waiter.
     pub fn notify_one(&self) -> bool {
+        #[cfg(model)]
+        if model::is_registered() {
+            return model::condvar_notify_one(model_id(self));
+        }
         self.0.notify_one()
     }
 
     /// Wakes all waiters.
     pub fn notify_all(&self) -> usize {
+        #[cfg(model)]
+        if model::is_registered() {
+            return model::condvar_notify_all(model_id(self));
+        }
         self.0.notify_all()
     }
 }

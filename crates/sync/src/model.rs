@@ -1,0 +1,1455 @@
+//! Deterministic concurrency model checking — the `--cfg model` mode.
+//!
+//! Under `RUSTFLAGS="--cfg model"` every [`crate::OrderedMutex`],
+//! [`crate::OrderedRwLock`], [`crate::Condvar`], and [`crate::atomic`]
+//! shim reports to the cooperative scheduler in this module. Threads
+//! created with [`spawn`] are real OS threads, but exactly one runs at
+//! a time: each visible operation (lock, unlock, condvar wait/notify,
+//! atomic access, spawn, join, [`choose`], [`yield_now`]) is a
+//! *schedule point* where the scheduler may park the running thread and
+//! wake another, shuttle-style. Because the entire interleaving is a
+//! sequence of recorded decisions, any failure — an assertion panic, a
+//! lock-order violation from the rank detector, or a global deadlock
+//! (no thread runnable and none able to time out) — is replayable: the
+//! failure report prints a `MODEL_REPLAY=` spec that re-runs the exact
+//! schedule, pinned by an FNV hash of the event log.
+//!
+//! Three exploration policies are provided via [`Config`]:
+//!
+//! * **random** — a seeded random walk over schedule decisions; the
+//!   workhorse for protocol suites.
+//! * **pct** — probabilistic concurrency testing: random thread
+//!   priorities with `depth − 1` priority-change points, which finds
+//!   low-probability ordering bugs far faster than naive random.
+//! * **dfs** — bounded exhaustive enumeration of decision paths for
+//!   small state spaces.
+//!
+//! Threads blocked in a timed wait (`Condvar::wait_for`, and everything
+//! built on it: `pop_timeout`, `get_timeout`) stay *selectable*: the
+//! scheduler may fire their timeout at any schedule point, so both the
+//! success and the timeout arm of every timed protocol are explored
+//! without real sleeps.
+//!
+//! Mutant fixtures: protocol code marks deliberately-broken variants
+//! with the [`crate::mutant!`] macro. A mutant is enabled by name via
+//! the `MODEL_MUTANTS` env var (comma-separated) or
+//! [`Config::with_mutants`]; outside `--cfg model` builds the macro
+//! compiles to the correct branch only.
+
+use crate::lock_recover;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Maximum events kept verbatim for the failure trace (the hash covers
+/// the full sequence regardless).
+const TRACE_KEEP: usize = 200;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+// ---------------------------------------------------------------------
+// Public configuration
+// ---------------------------------------------------------------------
+
+/// Exploration policy for [`explore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Policy {
+    /// Seeded random walk, one seed per iteration.
+    Random,
+    /// Probabilistic concurrency testing with `depth − 1` priority
+    /// change points per iteration.
+    Pct {
+        /// Bug depth (number of ordering constraints targeted).
+        depth: usize,
+    },
+    /// Bounded exhaustive DFS over decision paths.
+    Dfs,
+}
+
+impl Policy {
+    fn name(&self) -> &'static str {
+        match self {
+            Policy::Random => "random",
+            Policy::Pct { .. } => "pct",
+            Policy::Dfs => "dfs",
+        }
+    }
+}
+
+/// One model-checking run: a label (used in replay specs), a policy,
+/// an iteration budget, a seed, and optional forced mutants.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Label echoed in failure reports; convention: the test fn name.
+    pub label: &'static str,
+    /// Exploration policy.
+    pub policy: Policy,
+    /// Iterations (random/pct) or maximum schedules (dfs).
+    pub iterations: usize,
+    /// Base seed; per-iteration seeds are derived from it. Overridden
+    /// by the `MODEL_SEED` env var when set.
+    pub seed: u64,
+    /// Schedule points allowed per iteration before the run is failed
+    /// as a livelock.
+    pub max_steps: usize,
+    /// Mutants enabled for this run, in addition to `MODEL_MUTANTS`.
+    pub mutants: Vec<String>,
+}
+
+impl Config {
+    /// Random-walk exploration with `iterations` seeds.
+    pub fn random(label: &'static str, iterations: usize) -> Self {
+        Config {
+            label,
+            policy: Policy::Random,
+            iterations,
+            seed: default_seed(label),
+            max_steps: 50_000,
+            mutants: Vec::new(),
+        }
+    }
+
+    /// PCT exploration at the given bug depth.
+    pub fn pct(label: &'static str, iterations: usize, depth: usize) -> Self {
+        Config {
+            policy: Policy::Pct { depth },
+            ..Config::random(label, iterations)
+        }
+    }
+
+    /// Bounded exhaustive DFS over at most `max_schedules` paths.
+    pub fn dfs(label: &'static str, max_schedules: usize) -> Self {
+        Config {
+            policy: Policy::Dfs,
+            ..Config::random(label, max_schedules)
+        }
+    }
+
+    /// Overrides the base seed (normally derived from the label or the
+    /// `MODEL_SEED` env var).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables the named mutants for every iteration of this run.
+    pub fn with_mutants(mut self, mutants: &[&str]) -> Self {
+        self.mutants = mutants.iter().map(|m| m.to_string()).collect();
+        self
+    }
+
+    /// Overrides the per-iteration schedule-point budget.
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+}
+
+fn default_seed(label: &'static str) -> u64 {
+    if let Ok(s) = std::env::var("MODEL_SEED") {
+        if let Some(v) = parse_u64(&s) {
+            return v;
+        }
+    }
+    fnv(FNV_OFFSET, label.as_bytes())
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------
+// Outcomes
+// ---------------------------------------------------------------------
+
+/// Why an iteration failed.
+#[derive(Debug, Clone)]
+pub enum FailureKind {
+    /// A model thread panicked (assertion failure, lock-order
+    /// violation, …).
+    Panic(String),
+    /// Every live thread was blocked and none could time out.
+    Deadlock(String),
+    /// The iteration exceeded [`Config::max_steps`] schedule points.
+    StepLimit,
+}
+
+/// A reproducible counterexample: the iteration's seed / decision path,
+/// the event-log hash that pins the interleaving, and a rendered trace.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Label of the run that failed.
+    pub label: String,
+    /// Policy the failing iteration ran under.
+    pub policy: String,
+    /// Per-iteration seed of the failing schedule.
+    pub seed: u64,
+    /// Decision path of the failing schedule (chosen indices, in
+    /// order) — sufficient to replay under any policy.
+    pub path: Vec<usize>,
+    /// Which iteration failed (0-based).
+    pub iteration: usize,
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// FNV-1a hash over the full event log.
+    pub event_hash: u64,
+    /// Rendered tail of the event log.
+    pub trace: String,
+    /// Schedule points taken before the failure.
+    pub steps: usize,
+}
+
+impl Failure {
+    /// The `MODEL_REPLAY` spec that re-runs exactly this interleaving.
+    pub fn replay_spec(&self) -> String {
+        let path = self
+            .path
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(".");
+        format!(
+            "test={};policy={};seed={:#018x};path={};hash={:#018x}",
+            self.label, self.policy, self.seed, path, self.event_hash
+        )
+    }
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match &self.kind {
+            FailureKind::Panic(msg) => format!("panic: {msg}"),
+            FailureKind::Deadlock(detail) => format!("global deadlock\n{detail}"),
+            FailureKind::StepLimit => "schedule-point budget exceeded (livelock?)".to_string(),
+        };
+        writeln!(
+            f,
+            "model checker failure in '{}' (iteration {}, policy {}, seed {:#018x}, {} steps)",
+            self.label, self.iteration, self.policy, self.seed, self.steps
+        )?;
+        writeln!(f, "{kind}")?;
+        writeln!(f, "schedule trace (last {TRACE_KEEP} events):")?;
+        writeln!(f, "{}", self.trace)?;
+        writeln!(f, "event-log hash: {:#018x}", self.event_hash)?;
+        write!(f, "replay: MODEL_REPLAY='{}'", self.replay_spec())
+    }
+}
+
+/// Summary of a completed (failure-free) exploration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Schedules actually executed.
+    pub schedules: usize,
+    /// Event-log hash of the last schedule (used by replay tests).
+    pub last_event_hash: u64,
+}
+
+/// A parsed `MODEL_REPLAY` spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplaySpec {
+    /// Label the spec applies to.
+    pub label: String,
+    /// Policy name recorded at capture time (informational).
+    pub policy: String,
+    /// Seed of the schedule to re-run.
+    pub seed: Option<u64>,
+    /// Forced decision path (authoritative when non-empty).
+    pub path: Vec<usize>,
+    /// Expected event-log hash; replay asserts equality when present.
+    pub hash: Option<u64>,
+}
+
+impl ReplaySpec {
+    /// Parses a `key=value;key=value` replay spec as printed by
+    /// [`Failure::replay_spec`]. Returns `None` on malformed input.
+    pub fn parse(s: &str) -> Option<ReplaySpec> {
+        let mut spec = ReplaySpec {
+            label: String::new(),
+            policy: String::new(),
+            seed: None,
+            path: Vec::new(),
+            hash: None,
+        };
+        for field in s.split(';') {
+            let field = field.trim();
+            if field.is_empty() {
+                continue;
+            }
+            let (k, v) = field.split_once('=')?;
+            match k {
+                "test" => spec.label = v.to_string(),
+                "policy" => spec.policy = v.to_string(),
+                "seed" => spec.seed = Some(parse_u64(v)?),
+                "hash" => spec.hash = Some(parse_u64(v)?),
+                "path" => {
+                    if !v.is_empty() {
+                        spec.path = v
+                            .split('.')
+                            .map(|d| d.parse().ok())
+                            .collect::<Option<Vec<usize>>>()?;
+                    }
+                }
+                _ => return None,
+            }
+        }
+        if spec.label.is_empty() {
+            return None;
+        }
+        Some(spec)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    BlockedMutex {
+        lock: usize,
+    },
+    BlockedRead {
+        lock: usize,
+    },
+    BlockedWrite {
+        lock: usize,
+    },
+    BlockedCv {
+        cv: usize,
+        can_timeout: bool,
+        under: &'static str,
+    },
+    BlockedJoin {
+        target: usize,
+    },
+    Finished,
+}
+
+struct ThreadInfo {
+    name: &'static str,
+    state: TState,
+    /// Set when the scheduler fired this thread's pending timed wait.
+    wake_timed_out: bool,
+    /// PCT priority (higher runs first).
+    priority: i64,
+}
+
+struct LockSt {
+    name: &'static str,
+    writer: Option<usize>,
+    readers: usize,
+}
+
+struct Event {
+    step: usize,
+    tid: usize,
+    text: String,
+}
+
+struct PctState {
+    change_points: Vec<usize>,
+    next_low: i64,
+}
+
+struct Exec {
+    threads: Vec<ThreadInfo>,
+    current: usize,
+    locks: HashMap<usize, LockSt>,
+    steps: usize,
+    max_steps: usize,
+    rng: u64,
+    policy: Policy,
+    pct: Option<PctState>,
+    forced: Vec<usize>,
+    decisions: Vec<(usize, usize)>,
+    events: Vec<Event>,
+    hash: u64,
+    failure: Option<FailureKind>,
+    done: bool,
+    mutants: Vec<String>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Exec {
+    fn new(cfg: &Config, seed: u64, forced: Vec<usize>) -> Exec {
+        let mut rng = splitmix(seed);
+        let pct = match cfg.policy {
+            Policy::Pct { depth } => {
+                let mut points = Vec::with_capacity(depth.saturating_sub(1));
+                for _ in 1..depth.max(1) {
+                    rng = splitmix(rng);
+                    points.push((rng % 2_000) as usize + 1);
+                }
+                points.sort_unstable();
+                Some(PctState {
+                    change_points: points,
+                    next_low: -1,
+                })
+            }
+            _ => None,
+        };
+        let mut mutants = cfg.mutants.clone();
+        if let Ok(env) = std::env::var("MODEL_MUTANTS") {
+            for m in env.split(',') {
+                let m = m.trim();
+                if !m.is_empty() {
+                    mutants.push(m.to_string());
+                }
+            }
+        }
+        Exec {
+            threads: Vec::new(),
+            current: 0,
+            locks: HashMap::new(),
+            steps: 0,
+            max_steps: cfg.max_steps,
+            rng,
+            policy: cfg.policy.clone(),
+            pct,
+            forced,
+            decisions: Vec::new(),
+            events: Vec::new(),
+            hash: FNV_OFFSET,
+            failure: None,
+            done: false,
+            mutants,
+            os_handles: Vec::new(),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.rng = splitmix(self.rng);
+        self.rng
+    }
+
+    fn log(&mut self, tid: usize, text: String) {
+        self.hash = fnv(self.hash, &[tid as u8]);
+        self.hash = fnv(self.hash, text.as_bytes());
+        self.hash = fnv(self.hash, &[0xff]);
+        if self.events.len() >= TRACE_KEEP {
+            self.events.remove(0);
+        }
+        self.events.push(Event {
+            step: self.steps,
+            tid,
+            text,
+        });
+    }
+
+    /// Counts a schedule point; returns `true` when the step budget is
+    /// exhausted (the caller records the failure).
+    fn bump_step(&mut self) -> bool {
+        self.steps += 1;
+        if let Some(pct) = &mut self.pct {
+            if pct.change_points.binary_search(&self.steps).is_ok() {
+                let cur = self.current;
+                self.threads[cur].priority = pct.next_low;
+                pct.next_low -= 1;
+            }
+        }
+        self.steps > self.max_steps
+    }
+
+    fn selectable(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                matches!(
+                    t.state,
+                    TState::Runnable
+                        | TState::BlockedCv {
+                            can_timeout: true,
+                            ..
+                        }
+                )
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// One recorded decision over `n` options.
+    fn decide(&mut self, n: usize, preferred: Option<usize>) -> usize {
+        debug_assert!(n > 0);
+        let idx = if let Some(&f) = self.forced.get(self.decisions.len()) {
+            f.min(n - 1)
+        } else {
+            match (&self.policy, preferred) {
+                (Policy::Dfs, _) => 0,
+                (Policy::Pct { .. }, Some(p)) => p,
+                _ => (self.next_u64() % n as u64) as usize,
+            }
+        };
+        self.decisions.push((idx, n));
+        idx
+    }
+
+    /// Picks the next thread to run among the selectable set, or `None`
+    /// if everything is blocked (deadlock).
+    fn pick_next(&mut self) -> Option<usize> {
+        let sel = self.selectable();
+        if sel.is_empty() {
+            return None;
+        }
+        let preferred = if matches!(self.policy, Policy::Pct { .. }) {
+            sel.iter()
+                .enumerate()
+                .max_by_key(|(_, &tid)| self.threads[tid].priority)
+                .map(|(i, _)| i)
+        } else {
+            None
+        };
+        let idx = self.decide(sel.len(), preferred);
+        Some(sel[idx])
+    }
+
+    /// Installs `next` as the running thread, firing its timed wait if
+    /// that is what makes it selectable.
+    fn set_current(&mut self, next: usize) {
+        if let TState::BlockedCv {
+            can_timeout: true, ..
+        } = self.threads[next].state
+        {
+            self.threads[next].state = TState::Runnable;
+            self.threads[next].wake_timed_out = true;
+            let name = self.threads[next].name;
+            self.log(next, format!("timeout-fire {name}"));
+        }
+        self.current = next;
+    }
+
+    fn ensure_lock(&mut self, id: usize, name: &'static str) {
+        let entry = self.locks.entry(id).or_insert(LockSt {
+            name,
+            writer: None,
+            readers: 0,
+        });
+        // An address can be reused by a new lock after its predecessor
+        // dropped; refresh the name so reports stay accurate.
+        entry.name = name;
+    }
+
+    /// Wakes every thread blocked on `lock` so it can re-contend.
+    fn wake_lock_waiters(&mut self, lock: usize) {
+        for t in &mut self.threads {
+            match t.state {
+                TState::BlockedMutex { lock: l }
+                | TState::BlockedRead { lock: l }
+                | TState::BlockedWrite { lock: l }
+                    if l == lock =>
+                {
+                    t.state = TState::Runnable;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn describe_threads(&self) -> String {
+        self.threads
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let state = match &t.state {
+                    TState::Runnable => "runnable".to_string(),
+                    TState::Finished => "finished".to_string(),
+                    TState::BlockedMutex { lock } => {
+                        format!("blocked on mutex \"{}\"", self.lock_name(*lock))
+                    }
+                    TState::BlockedRead { lock } => {
+                        format!("blocked on rwlock(read) \"{}\"", self.lock_name(*lock))
+                    }
+                    TState::BlockedWrite { lock } => {
+                        format!("blocked on rwlock(write) \"{}\"", self.lock_name(*lock))
+                    }
+                    TState::BlockedCv {
+                        under, can_timeout, ..
+                    } => format!(
+                        "waiting on condvar under \"{under}\"{}",
+                        if *can_timeout { " (timed)" } else { "" }
+                    ),
+                    TState::BlockedJoin { target } => {
+                        format!("joining t{target}:{}", self.threads[*target].name)
+                    }
+                };
+                format!("  t{i}:{} — {state}", t.name)
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    fn lock_name(&self, id: usize) -> &'static str {
+        self.locks.get(&id).map_or("<unknown>", |l| l.name)
+    }
+
+    fn render_trace(&self) -> String {
+        if self.events.is_empty() {
+            return "  (no events)".to_string();
+        }
+        self.events
+            .iter()
+            .map(|e| {
+                format!(
+                    "  [{:>5}] t{}:{} {}",
+                    e.step,
+                    e.tid,
+                    self.threads.get(e.tid).map_or("?", |t| t.name),
+                    e.text
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+struct Shared {
+    exec: StdMutex<Exec>,
+    cv: StdCondvar,
+}
+
+/// Sentinel panic payload used to unwind threads when the iteration is
+/// being torn down after a failure.
+struct Abort;
+
+struct Ctx {
+    shared: Arc<Shared>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> Option<(Arc<Shared>, usize)> {
+    CTX.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|ctx| (Arc::clone(&ctx.shared), ctx.tid))
+    })
+}
+
+/// Whether the calling thread is managed by a model execution. Shim
+/// primitives bypass the scheduler when this is `false`.
+pub fn is_registered() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+type ExecGuard<'a> = std::sync::MutexGuard<'a, Exec>;
+
+impl Shared {
+    /// Parks until `tid` is the running thread. Panics with [`Abort`]
+    /// if the iteration failed while parked.
+    fn wait_my_turn<'a>(&'a self, mut ex: ExecGuard<'a>, tid: usize) {
+        loop {
+            if ex.failure.is_some() {
+                drop(ex);
+                std::panic::panic_any(Abort);
+            }
+            if ex.current == tid {
+                return;
+            }
+            ex = self
+                .cv
+                .wait(ex)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Records the failure, releases every parked thread, and unwinds
+    /// the calling thread.
+    fn fail(&self, mut ex: ExecGuard<'_>, kind: FailureKind) -> ! {
+        if ex.failure.is_none() {
+            ex.failure = Some(kind);
+        }
+        ex.done = true;
+        drop(ex);
+        self.cv.notify_all();
+        std::panic::panic_any(Abort);
+    }
+
+    /// Entry guard for every schedule hook: unwinding threads bypass
+    /// the scheduler entirely (a second panic in a `Drop` would abort
+    /// the process), and threads woken into a failed iteration unwind.
+    fn hook_entry(&self) -> Option<ExecGuard<'_>> {
+        if std::thread::panicking() {
+            return None;
+        }
+        let ex = lock_recover(&self.exec);
+        if ex.failure.is_some() {
+            drop(ex);
+            std::panic::panic_any(Abort);
+        }
+        Some(ex)
+    }
+
+    /// Logs `text`, applies `mutate`, then lets the scheduler pick the
+    /// next thread. The calling thread must be the running thread.
+    fn op_point(&self, tid: usize, text: String, mutate: impl FnOnce(&mut Exec)) {
+        let Some(mut ex) = self.hook_entry() else {
+            return;
+        };
+        ex.log(tid, text);
+        if ex.bump_step() {
+            self.fail(ex, FailureKind::StepLimit);
+        }
+        mutate(&mut ex);
+        let next = ex.pick_next().expect("running thread is selectable");
+        ex.set_current(next);
+        if next != tid {
+            self.cv.notify_all();
+            self.wait_my_turn(ex, tid);
+        }
+    }
+
+    /// Blocks the running thread with `state`, scheduling someone else.
+    /// Returns once the thread is runnable and current again. The exec
+    /// guard is reacquired by the caller.
+    fn block(&self, mut ex: ExecGuard<'_>, tid: usize, state: TState) {
+        ex.threads[tid].state = state;
+        match ex.pick_next() {
+            Some(next) => {
+                ex.set_current(next);
+                self.cv.notify_all();
+                self.wait_my_turn(ex, tid);
+            }
+            None => {
+                let detail = ex.describe_threads();
+                self.fail(ex, FailureKind::Deadlock(detail));
+            }
+        }
+    }
+
+    /// Blocking loop acquiring model ownership of a lock; `admit`
+    /// checks availability and takes ownership, returning `true` on
+    /// success.
+    fn acquire_loop(
+        &self,
+        tid: usize,
+        id: usize,
+        mk_state: impl Fn() -> TState,
+        admit: impl Fn(&mut LockSt, usize) -> bool,
+    ) {
+        loop {
+            let Some(mut ex) = self.hook_entry() else {
+                return;
+            };
+            let lock = ex.locks.get_mut(&id).expect("lock registered");
+            if admit(lock, tid) {
+                return;
+            }
+            self.block(ex, tid, mk_state());
+            // Re-contend: ownership may have been taken by another
+            // woken waiter before we were scheduled.
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hooks used by the shim primitives (crate-internal)
+// ---------------------------------------------------------------------
+
+pub(crate) fn mutex_lock(id: usize, name: &'static str) -> bool {
+    let Some((shared, tid)) = ctx() else {
+        return false;
+    };
+    shared.op_point(tid, format!("lock {name}"), |ex| ex.ensure_lock(id, name));
+    shared.acquire_loop(
+        tid,
+        id,
+        || TState::BlockedMutex { lock: id },
+        |l, me| {
+            if l.writer.is_none() && l.readers == 0 {
+                l.writer = Some(me);
+                true
+            } else {
+                false
+            }
+        },
+    );
+    true
+}
+
+pub(crate) fn mutex_try_lock(id: usize, name: &'static str) -> Option<bool> {
+    let (shared, tid) = ctx()?;
+    let mut acquired = false;
+    shared.op_point(tid, format!("try-lock {name}"), |ex| {
+        ex.ensure_lock(id, name);
+        let lock = ex.locks.get_mut(&id).expect("lock registered");
+        if lock.writer.is_none() && lock.readers == 0 {
+            lock.writer = Some(tid);
+            acquired = true;
+        }
+    });
+    Some(acquired)
+}
+
+pub(crate) fn mutex_release(id: usize) {
+    let Some((shared, tid)) = ctx() else {
+        return;
+    };
+    if std::thread::panicking() {
+        // Minimal cleanup only: free the lock so surviving threads can
+        // proceed; never schedule (or panic) during unwind.
+        let mut ex = lock_recover(&shared.exec);
+        if let Some(l) = ex.locks.get_mut(&id) {
+            l.writer = None;
+        }
+        ex.wake_lock_waiters(id);
+        drop(ex);
+        shared.cv.notify_all();
+        return;
+    }
+    let name = {
+        let ex = lock_recover(&shared.exec);
+        ex.lock_name(id)
+    };
+    shared.op_point(tid, format!("unlock {name}"), |ex| {
+        if let Some(l) = ex.locks.get_mut(&id) {
+            l.writer = None;
+        }
+        ex.wake_lock_waiters(id);
+    });
+}
+
+pub(crate) fn rw_read(id: usize, name: &'static str) -> bool {
+    let Some((shared, tid)) = ctx() else {
+        return false;
+    };
+    shared.op_point(tid, format!("read-lock {name}"), |ex| {
+        ex.ensure_lock(id, name)
+    });
+    shared.acquire_loop(
+        tid,
+        id,
+        || TState::BlockedRead { lock: id },
+        |l, _| {
+            if l.writer.is_none() {
+                l.readers += 1;
+                true
+            } else {
+                false
+            }
+        },
+    );
+    true
+}
+
+pub(crate) fn rw_write(id: usize, name: &'static str) -> bool {
+    let Some((shared, tid)) = ctx() else {
+        return false;
+    };
+    shared.op_point(tid, format!("write-lock {name}"), |ex| {
+        ex.ensure_lock(id, name)
+    });
+    shared.acquire_loop(
+        tid,
+        id,
+        || TState::BlockedWrite { lock: id },
+        |l, me| {
+            if l.writer.is_none() && l.readers == 0 {
+                l.writer = Some(me);
+                true
+            } else {
+                false
+            }
+        },
+    );
+    true
+}
+
+pub(crate) fn rw_release_read(id: usize) {
+    let Some((shared, tid)) = ctx() else {
+        return;
+    };
+    if std::thread::panicking() {
+        let mut ex = lock_recover(&shared.exec);
+        if let Some(l) = ex.locks.get_mut(&id) {
+            l.readers = l.readers.saturating_sub(1);
+        }
+        ex.wake_lock_waiters(id);
+        drop(ex);
+        shared.cv.notify_all();
+        return;
+    }
+    let name = {
+        let ex = lock_recover(&shared.exec);
+        ex.lock_name(id)
+    };
+    shared.op_point(tid, format!("read-unlock {name}"), |ex| {
+        if let Some(l) = ex.locks.get_mut(&id) {
+            l.readers = l.readers.saturating_sub(1);
+        }
+        ex.wake_lock_waiters(id);
+    });
+}
+
+/// Model condvar wait: releases model ownership of the mutex, parks
+/// until notified or (when `can_timeout`) until the scheduler fires the
+/// timeout, then re-acquires model ownership. Returns `true` when the
+/// wait timed out. The caller must hold the *real* inner mutex released
+/// around this call (see `OrderedMutexGuard`).
+pub(crate) fn condvar_wait(
+    cv: usize,
+    mutex: usize,
+    mutex_name: &'static str,
+    can_timeout: bool,
+) -> bool {
+    let Some((shared, tid)) = ctx() else {
+        return false;
+    };
+    let Some(mut ex) = shared.hook_entry() else {
+        return true;
+    };
+    let kind = if can_timeout { "timed-wait" } else { "wait" };
+    ex.log(tid, format!("cv-{kind} under {mutex_name}"));
+    if ex.bump_step() {
+        shared.fail(ex, FailureKind::StepLimit);
+    }
+    // Atomically release the mutex and park on the condvar.
+    if let Some(l) = ex.locks.get_mut(&mutex) {
+        l.writer = None;
+    }
+    ex.wake_lock_waiters(mutex);
+    ex.threads[tid].wake_timed_out = false;
+    shared.block(
+        ex,
+        tid,
+        TState::BlockedCv {
+            cv,
+            can_timeout,
+            under: mutex_name,
+        },
+    );
+    // Woken (notified or timed out): re-acquire the mutex.
+    let timed_out = {
+        let ex = lock_recover(&shared.exec);
+        let t = ex.threads[tid].wake_timed_out;
+        drop(ex);
+        t
+    };
+    shared.acquire_loop(
+        tid,
+        mutex,
+        || TState::BlockedMutex { lock: mutex },
+        |l, me| {
+            if l.writer.is_none() && l.readers == 0 {
+                l.writer = Some(me);
+                true
+            } else {
+                false
+            }
+        },
+    );
+    timed_out
+}
+
+pub(crate) fn condvar_notify_one(cv: usize) -> bool {
+    let Some((shared, tid)) = ctx() else {
+        return false;
+    };
+    if std::thread::panicking() {
+        return true;
+    }
+    let mut woke = false;
+    shared.op_point(tid, "notify-one".to_string(), |ex| {
+        let waiters: Vec<usize> = ex
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.state, TState::BlockedCv { cv: c, .. } if c == cv))
+            .map(|(i, _)| i)
+            .collect();
+        if !waiters.is_empty() {
+            let k = ex.decide(waiters.len(), None);
+            let target = waiters[k];
+            ex.threads[target].state = TState::Runnable;
+            ex.threads[target].wake_timed_out = false;
+            let name = ex.threads[target].name;
+            ex.log(tid, format!("-> wakes t{target}:{name}"));
+            woke = true;
+        }
+    });
+    woke
+}
+
+pub(crate) fn condvar_notify_all(cv: usize) -> usize {
+    let Some((shared, tid)) = ctx() else {
+        return 0;
+    };
+    if std::thread::panicking() {
+        // Tear-down path: wake waiters so they can observe the failure.
+        let mut ex = lock_recover(&shared.exec);
+        for t in &mut ex.threads {
+            if matches!(t.state, TState::BlockedCv { cv: c, .. } if c == cv) {
+                t.state = TState::Runnable;
+                t.wake_timed_out = false;
+            }
+        }
+        drop(ex);
+        shared.cv.notify_all();
+        return 0;
+    }
+    let mut woke = 0;
+    shared.op_point(tid, "notify-all".to_string(), |ex| {
+        for i in 0..ex.threads.len() {
+            if matches!(ex.threads[i].state, TState::BlockedCv { cv: c, .. } if c == cv) {
+                ex.threads[i].state = TState::Runnable;
+                ex.threads[i].wake_timed_out = false;
+                woke += 1;
+            }
+        }
+        if woke > 0 {
+            ex.log(tid, format!("-> wakes {woke} waiter(s)"));
+        }
+    });
+    woke
+}
+
+pub(crate) fn atomic_op(op: &'static str) {
+    let Some((shared, tid)) = ctx() else {
+        return;
+    };
+    if std::thread::panicking() {
+        return;
+    }
+    shared.op_point(tid, format!("atomic {op}"), |_| {});
+}
+
+// ---------------------------------------------------------------------
+// Public thread / test surface
+// ---------------------------------------------------------------------
+
+/// Handle to a thread spawned with [`spawn`]; join it to collect the
+/// closure's return value.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<StdMutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (as a schedule point) until the target thread finishes,
+    /// then returns its result. If the target panicked the whole
+    /// iteration has already failed and this unwinds.
+    pub fn join(self) -> T {
+        let (shared, tid) = ctx().expect("model::JoinHandle::join outside a model execution");
+        loop {
+            let Some(ex) = shared.hook_entry() else {
+                break;
+            };
+            if ex.threads[self.tid].state == TState::Finished {
+                break;
+            }
+            shared.block(ex, tid, TState::BlockedJoin { target: self.tid });
+        }
+        let name = {
+            let ex = lock_recover(&shared.exec);
+            ex.threads[self.tid].name
+        };
+        shared.op_point(tid, format!("join t{}:{name}", self.tid), |_| {});
+        let v = lock_recover(&self.result).take();
+        v.expect("joined model thread has a result")
+    }
+}
+
+/// Spawns a model-managed thread. Must be called from inside a model
+/// execution (the [`explore`] closure or one of its spawned threads).
+pub fn spawn<T, F>(name: &'static str, f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (shared, me) = ctx().expect("model::spawn outside a model execution");
+    let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+    let tid = {
+        let Some(mut ex) = shared.hook_entry() else {
+            unreachable!("spawn during unwind")
+        };
+        let tid = ex.threads.len();
+        let priority = ex.next_u64() as i64 & 0x7fff_ffff;
+        ex.threads.push(ThreadInfo {
+            name,
+            state: TState::Runnable,
+            wake_timed_out: false,
+            priority,
+        });
+        let shared2 = Arc::clone(&shared);
+        let result2 = Arc::clone(&result);
+        let handle = std::thread::Builder::new()
+            .name(format!("model-{name}"))
+            .spawn(move || thread_body(shared2, tid, result2, f))
+            .expect("spawn model thread");
+        ex.os_handles.push(handle);
+        tid
+    };
+    shared.op_point(me, format!("spawn t{tid}:{name}"), |_| {});
+    JoinHandle { tid, result }
+}
+
+fn thread_body<T, F>(shared: Arc<Shared>, tid: usize, result: Arc<StdMutex<Option<T>>>, f: F)
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            shared: Arc::clone(&shared),
+            tid,
+        });
+    });
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        // Park until first scheduled.
+        let ex = lock_recover(&shared.exec);
+        shared.wait_my_turn(ex, tid);
+        f()
+    }));
+    CTX.with(|c| *c.borrow_mut() = None);
+
+    let mut ex = lock_recover(&shared.exec);
+    match outcome {
+        Ok(v) => {
+            *lock_recover(&result) = Some(v);
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<Abort>().is_none() && ex.failure.is_none() {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                let name = ex.threads[tid].name;
+                ex.failure = Some(FailureKind::Panic(format!("t{tid}:{name} panicked: {msg}")));
+            }
+        }
+    }
+    ex.threads[tid].state = TState::Finished;
+    for t in &mut ex.threads {
+        if matches!(t.state, TState::BlockedJoin { target } if target == tid) {
+            t.state = TState::Runnable;
+        }
+    }
+    if ex.failure.is_some() || ex.threads.iter().all(|t| t.state == TState::Finished) {
+        ex.done = true;
+        drop(ex);
+        shared.cv.notify_all();
+        return;
+    }
+    match ex.pick_next() {
+        Some(next) => {
+            ex.set_current(next);
+            drop(ex);
+            shared.cv.notify_all();
+        }
+        None => {
+            let detail = ex.describe_threads();
+            if ex.failure.is_none() {
+                ex.failure = Some(FailureKind::Deadlock(detail));
+            }
+            ex.done = true;
+            drop(ex);
+            shared.cv.notify_all();
+        }
+    }
+}
+
+/// A schedule point with no side effect: lets the scheduler interleave
+/// here.
+pub fn yield_now() {
+    let Some((shared, tid)) = ctx() else {
+        std::thread::yield_now();
+        return;
+    };
+    if std::thread::panicking() {
+        return;
+    }
+    shared.op_point(tid, "yield".to_string(), |_| {});
+}
+
+/// A recorded nondeterministic choice over `n` options — every branch
+/// is explored like a scheduling decision. Panics outside a model
+/// execution.
+pub fn choose(n: usize) -> usize {
+    assert!(n > 0, "model::choose needs at least one option");
+    let (shared, tid) = ctx().expect("model::choose outside a model execution");
+    let mut picked = 0;
+    shared.op_point(tid, format!("choose /{n}"), |ex| {
+        picked = ex.decide(n, None);
+    });
+    picked
+}
+
+/// Whether the named mutant is enabled for the current execution (or,
+/// outside an execution, via the `MODEL_MUTANTS` env var).
+pub fn mutant_enabled(name: &str) -> bool {
+    if let Some((shared, _)) = ctx() {
+        let ex = lock_recover(&shared.exec);
+        return ex.mutants.iter().any(|m| m == name);
+    }
+    std::env::var("MODEL_MUTANTS")
+        .map(|v| v.split(',').any(|m| m.trim() == name))
+        .unwrap_or(false)
+}
+
+// ---------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------
+
+struct IterOutcome {
+    failure: Option<FailureKind>,
+    hash: u64,
+    decisions: Vec<(usize, usize)>,
+    trace: String,
+    steps: usize,
+}
+
+fn run_one(
+    cfg: &Config,
+    seed: u64,
+    forced: Vec<usize>,
+    f: &Arc<dyn Fn() + Send + Sync>,
+) -> IterOutcome {
+    let shared = Arc::new(Shared {
+        exec: StdMutex::new(Exec::new(cfg, seed, forced)),
+        cv: StdCondvar::new(),
+    });
+    let result: Arc<StdMutex<Option<()>>> = Arc::new(StdMutex::new(None));
+    {
+        let mut ex = lock_recover(&shared.exec);
+        let priority = ex.next_u64() as i64 & 0x7fff_ffff;
+        ex.threads.push(ThreadInfo {
+            name: "main",
+            state: TState::Runnable,
+            wake_timed_out: false,
+            priority,
+        });
+        ex.current = 0;
+        let shared2 = Arc::clone(&shared);
+        let result2 = Arc::clone(&result);
+        let f2 = Arc::clone(f);
+        let handle = std::thread::Builder::new()
+            .name("model-main".to_string())
+            .spawn(move || thread_body(shared2, 0, result2, move || f2()))
+            .expect("spawn model root thread");
+        ex.os_handles.push(handle);
+    }
+    shared.cv.notify_all();
+    let handles = {
+        let mut ex = lock_recover(&shared.exec);
+        while !ex.done {
+            ex = shared
+                .cv
+                .wait(ex)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        std::mem::take(&mut ex.os_handles)
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+    let ex = lock_recover(&shared.exec);
+    IterOutcome {
+        failure: ex.failure.clone(),
+        hash: ex.hash,
+        decisions: ex.decisions.clone(),
+        trace: ex.render_trace(),
+        steps: ex.steps,
+    }
+}
+
+fn make_failure(cfg: &Config, seed: u64, iteration: usize, out: IterOutcome) -> Failure {
+    Failure {
+        label: cfg.label.to_string(),
+        policy: cfg.policy.name().to_string(),
+        seed,
+        path: out.decisions.iter().map(|&(c, _)| c).collect(),
+        iteration,
+        kind: out.failure.expect("failure present"),
+        event_hash: out.hash,
+        trace: out.trace,
+        steps: out.steps,
+    }
+}
+
+fn seed_for_iter(base: u64, i: usize) -> u64 {
+    splitmix(base ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F))
+}
+
+/// Runs the exploration, returning the counterexample instead of
+/// panicking — for tests that inspect or replay failures.
+pub fn explore_result<F>(cfg: &Config, f: F) -> Result<Report, Box<Failure>>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    if let Ok(env) = std::env::var("MODEL_REPLAY") {
+        if let Some(spec) = ReplaySpec::parse(&env) {
+            if spec.label == cfg.label {
+                return replay_with(cfg, &spec, &f);
+            }
+        }
+    }
+    match cfg.policy {
+        Policy::Random | Policy::Pct { .. } => {
+            let mut last_hash = 0;
+            for i in 0..cfg.iterations {
+                let seed = seed_for_iter(cfg.seed, i);
+                let out = run_one(cfg, seed, Vec::new(), &f);
+                last_hash = out.hash;
+                if out.failure.is_some() {
+                    return Err(Box::new(make_failure(cfg, seed, i, out)));
+                }
+            }
+            Ok(Report {
+                schedules: cfg.iterations,
+                last_event_hash: last_hash,
+            })
+        }
+        Policy::Dfs => {
+            let mut forced: Vec<usize> = Vec::new();
+            let mut schedules = 0;
+            let mut last_hash;
+            loop {
+                let out = run_one(cfg, cfg.seed, forced.clone(), &f);
+                schedules += 1;
+                last_hash = out.hash;
+                if out.failure.is_some() {
+                    return Err(Box::new(make_failure(cfg, cfg.seed, schedules - 1, out)));
+                }
+                // Backtrack: advance the deepest decision that still
+                // has unexplored branches.
+                let mut next: Option<Vec<usize>> = None;
+                for (depth, &(chosen, options)) in out.decisions.iter().enumerate().rev() {
+                    if chosen + 1 < options {
+                        let mut path: Vec<usize> =
+                            out.decisions[..depth].iter().map(|&(c, _)| c).collect();
+                        path.push(chosen + 1);
+                        next = Some(path);
+                        break;
+                    }
+                }
+                match next {
+                    Some(path) if schedules < cfg.iterations => forced = path,
+                    _ => break,
+                }
+            }
+            Ok(Report {
+                schedules,
+                last_event_hash: last_hash,
+            })
+        }
+    }
+}
+
+/// Re-runs a single captured schedule. When the spec carries a `hash`,
+/// the re-run's event log must hash identically or this returns a
+/// diverged-replay panic.
+pub fn replay<F>(cfg: &Config, spec: &ReplaySpec, f: F) -> Result<Report, Box<Failure>>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    replay_with(cfg, spec, &f)
+}
+
+fn replay_with(
+    cfg: &Config,
+    spec: &ReplaySpec,
+    f: &Arc<dyn Fn() + Send + Sync>,
+) -> Result<Report, Box<Failure>> {
+    let seed = spec.seed.unwrap_or(cfg.seed);
+    let out = run_one(cfg, seed, spec.path.clone(), f);
+    if let Some(expected) = spec.hash {
+        assert_eq!(
+            out.hash, expected,
+            "model replay diverged: event-log hash {:#018x} != captured {:#018x} \
+             (the schedule is no longer reproducible — did the code under test change?)",
+            out.hash, expected
+        );
+    }
+    if out.failure.is_some() {
+        return Err(Box::new(make_failure(cfg, seed, 0, out)));
+    }
+    Ok(Report {
+        schedules: 1,
+        last_event_hash: out.hash,
+    })
+}
+
+/// Runs the exploration and panics with a full replayable report on the
+/// first failing schedule. This is the main entry point for model
+/// tests.
+pub fn explore<F>(cfg: &Config, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    if let Err(failure) = explore_result(cfg, f) {
+        if let Ok(dir) = std::env::var("MODEL_TRACE_DIR") {
+            let path = std::path::Path::new(&dir).join(format!("{}.trace.txt", cfg.label));
+            let _ = std::fs::create_dir_all(&dir);
+            let _ = std::fs::write(&path, format!("{failure}\n"));
+        }
+        panic!("{failure}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_spec_round_trips() {
+        let f = Failure {
+            label: "proto".to_string(),
+            policy: "random".to_string(),
+            seed: 0xdead_beef,
+            path: vec![0, 2, 1],
+            iteration: 3,
+            kind: FailureKind::StepLimit,
+            event_hash: 0x1234,
+            trace: String::new(),
+            steps: 9,
+        };
+        let spec = ReplaySpec::parse(&f.replay_spec()).expect("parses");
+        assert_eq!(spec.label, "proto");
+        assert_eq!(spec.policy, "random");
+        assert_eq!(spec.seed, Some(0xdead_beef));
+        assert_eq!(spec.path, vec![0, 2, 1]);
+        assert_eq!(spec.hash, Some(0x1234));
+    }
+
+    #[test]
+    fn replay_spec_rejects_garbage() {
+        assert!(ReplaySpec::parse("").is_none());
+        assert!(ReplaySpec::parse("policy=random").is_none());
+        assert!(ReplaySpec::parse("test=x;seed=zzz").is_none());
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        assert_eq!(splitmix(42), splitmix(42));
+        assert_ne!(splitmix(42), splitmix(43));
+    }
+}

@@ -6,8 +6,8 @@ use crate::scale::ScaleConfig;
 use crate::templates::install_templates;
 use staged_core::App;
 use staged_db::Database;
+use staged_sync::atomic::AtomicI64;
 use staged_templates::TemplateStore;
-use std::sync::atomic::AtomicI64;
 use std::sync::Arc;
 
 /// Builds the complete bookstore application against a **populated**

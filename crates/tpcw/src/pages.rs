@@ -10,9 +10,9 @@ use crate::schema::SUBJECTS;
 use staged_core::{AppError, PageOutcome};
 use staged_db::{DbValue, PooledConnection, QueryResult};
 use staged_http::Request;
+use staged_sync::atomic::{AtomicI64, Ordering};
 use staged_templates::{Context, Value};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicI64, Ordering};
 
 /// Shared mutable identifiers and scale facts the handlers need.
 #[derive(Debug)]

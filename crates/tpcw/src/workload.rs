@@ -18,8 +18,8 @@ use std::collections::HashMap;
 const PAGES_RANK: Rank = Rank::new(130);
 const COUNTS_RANK: Rank = Rank::new(131);
 const ERRORS_RANK: Rank = Rank::new(132);
+use staged_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -278,7 +278,7 @@ pub fn run_workload(
                     scale,
                     timeout,
                 };
-                while !stop.load(Ordering::Relaxed) {
+                while !stop.load(Ordering::Acquire) {
                     let route = browser.next_page();
                     let target = browser.target_for(route);
                     // TPC-W's web interaction response time runs "from
@@ -312,7 +312,7 @@ pub fn run_workload(
                     let images = browser.scale.images_per_page;
                     let total_images = browser.scale.images as u64;
                     for _ in 0..images {
-                        if stop.load(Ordering::Relaxed) {
+                        if stop.load(Ordering::Acquire) {
                             break;
                         }
                         let n = browser.rng.gen_range(0..total_images);
@@ -325,7 +325,7 @@ pub fn run_workload(
                         );
                     }
                     let elapsed = started.elapsed();
-                    if recording.load(Ordering::Relaxed) {
+                    if recording.load(Ordering::Acquire) {
                         collector.record(route, elapsed, ok, shed);
                     }
                     browser.think();
@@ -337,12 +337,12 @@ pub fn run_workload(
 
     std::thread::sleep(config.ramp_up);
     on_measurement_start();
-    recording.store(true, Ordering::Relaxed);
+    recording.store(true, Ordering::Release);
     let measure_start = Instant::now();
     std::thread::sleep(config.duration);
-    recording.store(false, Ordering::Relaxed);
+    recording.store(false, Ordering::Release);
     let measured = measure_start.elapsed();
-    stop.store(true, Ordering::Relaxed);
+    stop.store(true, Ordering::Release);
     for h in handles {
         let _ = h.join();
     }
@@ -377,8 +377,8 @@ pub fn run_workload(
         duration_secs: measured.as_secs_f64(),
         ebs: config.ebs,
         total_interactions: total,
-        total_errors: collector.total_errors.load(Ordering::Relaxed),
-        total_sheds: collector.total_sheds.load(Ordering::Relaxed),
+        total_errors: collector.total_errors.load(Ordering::Relaxed), // lint: allow(relaxed)
+        total_sheds: collector.total_sheds.load(Ordering::Relaxed),   // lint: allow(relaxed)
         overall_mean_ms: to_ms(collector.overall.0.snapshot().mean()),
         overall_p50_ms: to_ms(collector.overall.1.quantile(0.50)),
         overall_p99_ms: to_ms(collector.overall.1.quantile(0.99)),

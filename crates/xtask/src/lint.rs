@@ -12,6 +12,8 @@
 //! | `hot_path_alloc` | no allocation-prone calls inside `// lint: hot_path` regions |
 //! | `unbounded_queue` | every queue/channel construction states a bound |
 //! | `metric_name` | registry metric names are `[a-z_]+`; counters end `_total`, histograms end `_seconds`/`_bytes` |
+//! | `raw_atomic` | no `std::sync::atomic` outside `crates/sync` — use the `staged_sync::atomic` shims so `--cfg model` builds interpose schedule points |
+//! | `relaxed` | `Ordering::Relaxed` only on counter bumps (`fetch_add`/`fetch_sub`/`fetch_max`); control-flow flags need `Release`/`Acquire`, counter reads state the opt-out with `// lint: allow(relaxed)` |
 //!
 //! Escapes: `// lint: allow(rule)` on the offending line or in the
 //! contiguous comment block immediately above it; code after a
@@ -113,8 +115,24 @@ pub fn kind_for_path(path: &str) -> FileKind {
     }
 }
 
-/// Rules `#[cfg(test)]` regions and test files are exempt from.
-const TEST_EXEMPT: &[&str] = &["lock_unwrap", "raw_lock", "unbounded_queue", "metric_name"];
+/// Rules `#[cfg(test)]` regions and test files are exempt from. Tests
+/// may use std atomics and `Relaxed` freely: test bookkeeping (e.g.
+/// cross-iteration state in model tests) deliberately sits outside the
+/// model scheduler's interposition.
+const TEST_EXEMPT: &[&str] = &[
+    "lock_unwrap",
+    "raw_lock",
+    "unbounded_queue",
+    "metric_name",
+    "raw_atomic",
+    "relaxed",
+];
+
+/// Atomic read-modify-write calls that are counter bumps by
+/// construction — the one context where `Ordering::Relaxed` is always
+/// sound (the value is observed only in aggregate, never used to
+/// publish other memory).
+const COUNTER_RMW: &[&str] = &["fetch_add(", "fetch_sub(", "fetch_max("];
 
 /// Registry registration calls whose first string-literal argument is a
 /// metric family name, paired with the suffix convention that kind of
@@ -314,6 +332,41 @@ pub fn lint_source(path: &str, source: &str, kind: FileKind) -> Vec<Diagnostic> 
                     });
                 }
             }
+        }
+
+        // raw_atomic — std atomics bypass the sync crate's shims, so
+        // `--cfg model` builds would have no schedule point (and no
+        // interleaving coverage) at these operations.
+        if !in_sync_crate && !exempt("raw_atomic") && code.contains("std::sync::atomic") {
+            diagnostics.push(Diagnostic {
+                path: path.to_string(),
+                line: line_no,
+                rule: "raw_atomic",
+                message: "`std::sync::atomic` outside `crates/sync`; use \
+                          `staged_sync::atomic` so model builds interpose \
+                          schedule points on every atomic op"
+                    .to_string(),
+            });
+        }
+
+        // relaxed — `Ordering::Relaxed` is reserved for counter bumps;
+        // a Relaxed load/store that steers control flow is exactly the
+        // class of bug the sampler's stop flag had.
+        if !in_sync_crate
+            && !exempt("relaxed")
+            && code.contains("Ordering::Relaxed")
+            && !COUNTER_RMW.iter().any(|p| code.contains(p))
+        {
+            diagnostics.push(Diagnostic {
+                path: path.to_string(),
+                line: line_no,
+                rule: "relaxed",
+                message: "`Ordering::Relaxed` outside a counter bump \
+                          (`fetch_add`/`fetch_sub`/`fetch_max`); control-flow \
+                          flags need `Release`/`Acquire` pairing — counter \
+                          reads state the opt-out with `// lint: allow(relaxed)`"
+                    .to_string(),
+            });
         }
 
         // unbounded_queue

@@ -1,0 +1,15 @@
+//! Deliberate `raw_atomic` violations: std atomics outside
+//! `crates/sync` have no schedule point under `--cfg model`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn spin_until(flag: &AtomicBool) {
+    while !flag.load(Ordering::Acquire) {
+        std::hint::spin_loop();
+    }
+}
+
+pub fn fully_qualified() -> usize {
+    let n = std::sync::atomic::AtomicUsize::new(0);
+    n.into_inner()
+}

@@ -1,0 +1,12 @@
+//! Deliberate `relaxed` violations: `Ordering::Relaxed` steering
+//! control flow, next to the counter contexts that are allowed.
+
+use staged_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn run(stop: &AtomicBool, hits: &AtomicU64) -> u64 {
+    while !stop.load(Ordering::Relaxed) {
+        hits.fetch_add(1, Ordering::Relaxed); // counter bump: allowed
+    }
+    stop.store(false, Ordering::Relaxed);
+    hits.load(Ordering::Relaxed) // lint: allow(relaxed) — aggregate read
+}

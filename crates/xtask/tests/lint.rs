@@ -139,6 +139,39 @@ fn test_files_skip_metric_name() {
 }
 
 #[test]
+fn bad_raw_atomic_flags_use_and_qualified_paths() {
+    let diags = lint_fixture("bad_raw_atomic.rs", FileKind::Lib);
+    assert_eq!(by_rule(&diags), BTreeMap::from([("raw_atomic", 2)]));
+    assert!(
+        diags[0].message.contains("staged_sync::atomic"),
+        "diagnostic should point at the shim: {}",
+        diags[0]
+    );
+}
+
+#[test]
+fn test_files_may_use_std_atomics() {
+    assert_eq!(lint_fixture("bad_raw_atomic.rs", FileKind::Test), vec![]);
+}
+
+#[test]
+fn bad_relaxed_flags_control_flow_not_counters() {
+    let diags = lint_fixture("bad_relaxed.rs", FileKind::Lib);
+    // The stop-flag load and store; the fetch_add bump and the
+    // annotated aggregate read stay clean.
+    assert_eq!(by_rule(&diags), BTreeMap::from([("relaxed", 2)]));
+    assert!(
+        diags.iter().all(|d| d.message.contains("Release")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn test_files_may_use_relaxed() {
+    assert_eq!(lint_fixture("bad_relaxed.rs", FileKind::Test), vec![]);
+}
+
+#[test]
 fn allow_directives_silence_every_form() {
     assert_eq!(lint_fixture("good_allow.rs", FileKind::Lib), vec![]);
 }

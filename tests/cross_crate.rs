@@ -86,6 +86,10 @@ fn classifier_routes_lengthy_pages_to_lengthy_pool() {
     // Completion counters move just after the response bytes are
     // written, so the client can observe its response a beat before
     // the worker increments; poll briefly for the counters to settle.
+    // The `stats_completion_follows_send` model test (crates/check,
+    // DESIGN.md §15) proves the send→increment ordering on every
+    // explored interleaving — the counter always catches up, so this
+    // poll converges and its direction is the only sound one.
     let stats = server.stats();
     let deadline = std::time::Instant::now() + Duration::from_secs(2);
     while stats.completed(RequestKind::LengthyDynamic) < 4 && std::time::Instant::now() < deadline {

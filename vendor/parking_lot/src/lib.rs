@@ -36,16 +36,23 @@ impl<T: ?Sized> Mutex<T> {
     /// `std::sync::Mutex`, a poisoned lock is entered anyway —
     /// parking_lot has no poisoning.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
+        MutexGuard {
+            inner: Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)),
+            lock: &self.0,
+        }
     }
 
     /// Attempts to acquire the mutex without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(MutexGuard(Some(g))),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard(Some(p.into_inner()))),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.0.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            inner: Some(inner),
+            lock: &self.0,
+        })
     }
 
     /// Returns a mutable reference to the underlying data.
@@ -68,19 +75,35 @@ impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
 
 /// RAII guard for [`Mutex`]. Holds the std guard in an `Option` so
 /// [`Condvar`] can take it out and put a fresh one back (std's wait
-/// consumes the guard; parking_lot's mutates it in place).
-pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+/// consumes the guard; parking_lot's mutates it in place), plus a
+/// backref to the lock so [`MutexGuard::unlocked`] can re-acquire.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    lock: &'a std::sync::Mutex<T>,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Temporarily unlocks the mutex, runs `f`, then re-acquires it
+    /// before returning (parking_lot's `MutexGuard::unlocked`). The
+    /// guard is valid again once this returns.
+    pub fn unlocked<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        drop(self.inner.take());
+        let r = f();
+        self.inner = Some(self.lock.lock().unwrap_or_else(PoisonError::into_inner));
+        r
+    }
+}
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.0.as_ref().expect("guard invariant")
+        self.inner.as_ref().expect("guard invariant")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.0.as_mut().expect("guard invariant")
+        self.inner.as_mut().expect("guard invariant")
     }
 }
 
@@ -168,8 +191,8 @@ impl Condvar {
     /// Blocks until notified, atomically releasing and re-acquiring the
     /// mutex behind `guard`.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        let inner = guard.0.take().expect("guard invariant");
-        guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
+        let inner = guard.inner.take().expect("guard invariant");
+        guard.inner = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
     }
 
     /// Like [`wait`](Condvar::wait) but gives up after `timeout`.
@@ -178,12 +201,12 @@ impl Condvar {
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
-        let inner = guard.0.take().expect("guard invariant");
+        let inner = guard.inner.take().expect("guard invariant");
         let (inner, result) = self
             .0
             .wait_timeout(inner, timeout)
             .unwrap_or_else(PoisonError::into_inner);
-        guard.0 = Some(inner);
+        guard.inner = Some(inner);
         WaitTimeoutResult {
             timed_out: result.timed_out(),
         }
@@ -217,6 +240,12 @@ pub struct WaitTimeoutResult {
 }
 
 impl WaitTimeoutResult {
+    /// Builds a result directly — used by wrappers (e.g. a model-mode
+    /// condvar) that decide the timeout outcome themselves.
+    pub const fn from_timed_out(timed_out: bool) -> Self {
+        WaitTimeoutResult { timed_out }
+    }
+
     /// `true` if the wait ended by timing out rather than notification.
     pub fn timed_out(&self) -> bool {
         self.timed_out
@@ -278,6 +307,20 @@ mod tests {
             cv.notify_one();
         }
         t.join().unwrap();
+    }
+
+    #[test]
+    fn guard_unlocked_releases_and_reacquires() {
+        let m = Arc::new(Mutex::new(0));
+        let mut g = m.lock();
+        let m2 = Arc::clone(&m);
+        g.unlocked(|| {
+            // Another thread can take the lock while we are "unlocked".
+            std::thread::spawn(move || *m2.lock() += 5).join().unwrap();
+        });
+        *g += 1;
+        drop(g);
+        assert_eq!(*m.lock(), 6);
     }
 
     #[test]
