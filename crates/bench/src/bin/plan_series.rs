@@ -1,0 +1,309 @@
+//! Query-planner benchmark: re-issues the SQL behind the two heaviest
+//! TPC-W read pages — best-sellers and the subject search — directly
+//! against a populated database and compares **rows scanned** across
+//! three legs:
+//!
+//! - `seed`: the legacy straight-line executor (planner disabled),
+//! - `planner`: the cost-based plan-tree executor on the shipped schema,
+//! - `planner+ix`: the planner after `CREATE INDEX ON item (i_subject)`,
+//!   the index the DSN'09 deployment would add for its search mix.
+//!
+//! Rows scanned is the deterministic quantity the synthetic cost model
+//! charges (30 µs per scanned row at the standard harness cost), so the
+//! speedups reported here are CI-noise-free: the same population seed
+//! always scans the same rows. The run also asserts the result rows of
+//! every leg are identical — a planner win that changes answers is a
+//! bug, not a speedup.
+//!
+//! Gates (hard exits, smoke or not — the measurement is deterministic):
+//!
+//! - best-sellers: `planner` must scan ≤ half the rows of `seed`
+//!   (MAX endpoint + `ol_o_id` range scan, planner-native),
+//! - subject search: `planner+ix` must scan ≤ half the rows of `seed`
+//!   (index-enabled; the shipped schema has no `i_subject` index, so
+//!   the bare planner leg honestly shows ~1× there).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p staged-bench --bin plan_series -- --json out.json
+//! cargo run --release -p staged-bench --bin plan_series -- --smoke
+//! ```
+
+use staged_bench::json_row;
+use staged_db::{CostModel, Database, DbValue};
+use staged_metrics::Snapshot;
+use staged_tpcw::{populate, ScaleConfig};
+
+/// The standard synthetic scan cost (`CostModel::new(30_000, 10_000)`)
+/// every paper experiment charges per scanned row; used here to convert
+/// deterministic row counts into the service time they imply.
+const SCAN_NS_PER_ROW: u64 = 30_000;
+
+/// The factor both gated pages must beat over the seed executor.
+const SPEEDUP_FLOOR: f64 = 2.0;
+
+struct Args {
+    json: Option<String>,
+    scale: ScaleConfig,
+}
+
+fn parse_args() -> Args {
+    let mut smoke = false;
+    let mut json = None;
+    let mut scale = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> &str {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("flag {} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+                continue;
+            }
+            "--json" => json = Some(value(i).to_string()),
+            "--scale" => {
+                scale = Some(match value(i) {
+                    "tiny" => ScaleConfig::tiny(),
+                    "small" => ScaleConfig::small(),
+                    "default" | "full" => ScaleConfig::default(),
+                    other => panic!("unknown scale: {other}"),
+                });
+            }
+            "--help" | "-h" => {
+                eprintln!("flags: --smoke --json PATH --scale tiny|small|default");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag: {other} (try --help)"),
+        }
+        i += 2;
+    }
+
+    Args {
+        json,
+        scale: scale.unwrap_or_else(|| {
+            if smoke {
+                ScaleConfig::tiny()
+            } else {
+                ScaleConfig::small()
+            }
+        }),
+    }
+}
+
+/// One page execution: total rows scanned across the page's statements
+/// plus the final result rows (for the cross-leg equality check).
+struct PageRun {
+    scanned: u64,
+    rows: Vec<Vec<DbValue>>,
+}
+
+/// The best-sellers window anchor, verbatim from
+/// `staged_tpcw::pages::best_sellers`.
+const MAX_ORDERS_SQL: &str = "SELECT MAX(o_id) FROM orders";
+
+/// The best-sellers `order_line ⋈ item ⋈ author` aggregate, verbatim
+/// from `staged_tpcw::pages::best_sellers`.
+const BEST_SELLERS_SQL: &str =
+    "SELECT i.i_id, i.i_title, i.i_cost, i.i_thumbnail, a.a_fname, a.a_lname, \
+     SUM(ol.ol_qty) AS total \
+     FROM order_line ol JOIN item i ON ol.ol_i_id = i.i_id \
+     JOIN author a ON i.i_a_id = a.a_id \
+     WHERE ol.ol_o_id > ? AND i.i_subject = ? \
+     GROUP BY i.i_id, i.i_title, i.i_cost, i.i_thumbnail, a.a_fname, a.a_lname \
+     ORDER BY total DESC LIMIT 50";
+
+/// The subject-search statement, verbatim from
+/// `staged_tpcw::pages::execute_search` (`type=subject`).
+const SEARCH_SUBJECT_SQL: &str =
+    "SELECT i.i_id, i.i_title, i.i_cost, i.i_thumbnail, a.a_fname, a.a_lname \
+     FROM item i JOIN author a ON i.i_a_id = a.a_id \
+     WHERE i.i_subject = ? ORDER BY i.i_title LIMIT 50";
+
+fn run_best_sellers(db: &Database, window: i64) -> PageRun {
+    let max = db.execute(MAX_ORDERS_SQL, &[]).expect("max orders");
+    let max_o = max.single_int().unwrap_or(0);
+    let r = db
+        .execute(
+            BEST_SELLERS_SQL,
+            &[DbValue::Int(max_o - window), DbValue::from("ARTS")],
+        )
+        .expect("best sellers aggregate");
+    PageRun {
+        scanned: max.rows_scanned + r.rows_scanned,
+        rows: r.rows,
+    }
+}
+
+fn run_search_subject(db: &Database) -> PageRun {
+    let r = db
+        .execute(SEARCH_SUBJECT_SQL, &[DbValue::from("ARTS")])
+        .expect("subject search");
+    PageRun {
+        scanned: r.rows_scanned,
+        rows: r.rows,
+    }
+}
+
+/// One row of the printed table / `--json` artifact.
+struct LegRow {
+    page: &'static str,
+    leg: &'static str,
+    rows_scanned: u64,
+    rows_returned: u64,
+    service_ms: f64,
+    speedup_vs_seed: f64,
+}
+
+impl Snapshot for LegRow {
+    fn fields(&self, emit: &mut dyn FnMut(&'static str, f64)) {
+        emit("rows_scanned", self.rows_scanned as f64);
+        emit("rows_returned", self.rows_returned as f64);
+        emit("service_ms", self.service_ms);
+        emit("speedup_vs_seed", self.speedup_vs_seed);
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    // One database serves all three legs: the legs are read-only apart
+    // from the additive `CREATE INDEX`, and the planner toggle is
+    // per-database state. Population runs at free cost; the service
+    // times below are computed from row counts, not wall clock.
+    let db = Database::new();
+    db.set_cost_model(CostModel::free());
+    let summary = populate(&db, &args.scale);
+    let window = ((args.scale.orders / 777).max(1)) as i64;
+    eprintln!(
+        "plan series: {} items, {} orders, {} order lines, bestseller window {window}",
+        summary.items, summary.orders, summary.order_lines
+    );
+
+    let pages: [(&'static str, fn(&Database, i64) -> PageRun); 2] = [
+        ("best_sellers", run_best_sellers),
+        ("search_subject", |db, _| run_search_subject(db)),
+    ];
+
+    let mut rows: Vec<LegRow> = Vec::new();
+    let mut baseline: Vec<(&'static str, PageRun)> = Vec::new();
+    for (leg, planner, add_index) in [
+        ("seed", false, false),
+        ("planner", true, false),
+        ("planner+ix", true, true),
+    ] {
+        db.set_use_planner(planner);
+        if add_index {
+            // The index the deployment would add for its search mix —
+            // deliberately absent from the shipped schema so the bare
+            // planner legs stay honest about what planning alone buys.
+            db.execute("CREATE INDEX ON item (i_subject)", &[])
+                .expect("create i_subject index");
+        }
+        for (page, run) in pages {
+            let got = run(&db, window);
+            let seed_scanned = baseline
+                .iter()
+                .find(|(p, _)| *p == page)
+                .map(|(_, b)| b.scanned);
+            rows.push(LegRow {
+                page,
+                leg,
+                rows_scanned: got.scanned,
+                rows_returned: got.rows.len() as u64,
+                service_ms: (got.scanned * SCAN_NS_PER_ROW) as f64 / 1e6,
+                speedup_vs_seed: match seed_scanned {
+                    Some(seed) => seed as f64 / got.scanned.max(1) as f64,
+                    None => 1.0,
+                },
+            });
+            match baseline.iter().find(|(p, _)| *p == page) {
+                Some((_, b)) => assert_eq!(
+                    b.rows, got.rows,
+                    "{page}: leg {leg} returned different rows than seed"
+                ),
+                None => baseline.push((page, got)),
+            }
+        }
+    }
+
+    println!(
+        "{:<15} {:<11} {:>12} {:>9} {:>11} {:>9}",
+        "page", "leg", "rows scanned", "rows out", "service ms", "speedup"
+    );
+    println!("{}", "-".repeat(72));
+    for row in &rows {
+        println!(
+            "{:<15} {:<11} {:>12} {:>9} {:>11.2} {:>8.1}x",
+            row.page,
+            row.leg,
+            row.rows_scanned,
+            row.rows_returned,
+            row.service_ms,
+            row.speedup_vs_seed
+        );
+    }
+
+    if let Some(path) = &args.json {
+        let mut json = String::from("{\"scan_ns_per_row\":30000,\"rows\":[");
+        for (i, row) in rows.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&json_row(&[("page", row.page), ("leg", row.leg)], row));
+        }
+        // Embed the final (planner+ix) EXPLAIN trees — the same JSON
+        // the `/debug/explain` endpoint serves, with the measurements
+        // these legs accumulated.
+        json.push_str("],\"plans\":{");
+        for (i, (page, sql)) in [
+            ("best_sellers", BEST_SELLERS_SQL),
+            ("search_subject", SEARCH_SUBJECT_SQL),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "\"{page}\":{}",
+                db.explain(sql).expect("explain gated page")
+            ));
+        }
+        json.push_str("}}");
+        std::fs::write(path, &json).expect("write --json output");
+        eprintln!("wrote {path}");
+    }
+
+    // Gates: deterministic, so they hold (or fail) identically in smoke
+    // and full runs.
+    let gated = [
+        ("best_sellers", "planner"),
+        ("search_subject", "planner+ix"),
+    ];
+    let mut failed = false;
+    for (page, leg) in gated {
+        let row = rows
+            .iter()
+            .find(|r| r.page == page && r.leg == leg)
+            .expect("gated leg ran");
+        if row.speedup_vs_seed < SPEEDUP_FLOOR {
+            eprintln!(
+                "FAIL: {page} {leg} speedup {:.1}x below the {SPEEDUP_FLOOR}x floor \
+                 ({} rows scanned)",
+                row.speedup_vs_seed, row.rows_scanned
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("plan series: OK");
+}

@@ -9,7 +9,8 @@ use crate::health::{self, HealthView, Readiness};
 use crate::overload::{overload_response, ChaosAction, DbSlot, RetryEstimator};
 use crate::scheduler::{RequestClass, ServiceTimeTracker};
 use crate::staged::{
-    register_page_tracker, register_pool, register_stage, setup_durability, shutdown_checkpoint,
+    register_page_tracker, register_plan_observer, register_pool, register_stage, setup_durability,
+    shutdown_checkpoint,
 };
 use crate::stats::{RequestKind, ServerStats, ShedPoint};
 use staged_db::{CircuitBreaker, ConnectionPool, Database, PooledConnection};
@@ -140,6 +141,7 @@ impl BaselineServer {
         register_pool(&registry, "baseline-worker", "worker", &pool_stats);
         stats.register_into(&registry);
         register_page_tracker(&registry, &tracker);
+        register_plan_observer(&registry, &durable_db);
         governor.register_into(&registry);
         setup_durability(&config, &registry, &durable_db)?;
 
@@ -367,6 +369,8 @@ fn serve_connection(stream: GovernedStream, slot: &mut DbSlot, ctx: &WorkerCtx) 
                 ctx.health_response(request.path())
             } else if request.path() == "/metrics" {
                 Response::metrics_text(ctx.registry.encode_prometheus())
+            } else if request.path() == "/debug/explain" {
+                health::explain_response(&ctx.db, request.param("route"))
             } else {
                 // The baseline is untraced (preserving the paper's
                 // model comparison); the ring is always empty.
@@ -512,13 +516,18 @@ pub(crate) fn run_handler(
     db_conn: &PooledConnection,
     stats: &ServerStats,
 ) -> Result<PageOutcome, AppError> {
-    match panic::catch_unwind(AssertUnwindSafe(|| (route.handler)(request, db_conn))) {
+    // Tag the connection with the page it is serving so every statement
+    // the handler runs is attributed to it on `/debug/explain`.
+    db_conn.set_route(Some(&route.name));
+    let result = match panic::catch_unwind(AssertUnwindSafe(|| (route.handler)(request, db_conn))) {
         Ok(result) => result,
         Err(_) => {
             stats.handler_panics.increment();
             Err(AppError::handler("handler panicked"))
         }
-    }
+    };
+    db_conn.set_route(None);
+    result
 }
 
 /// Runs a route handler through the worker's [`DbSlot`]: a request that

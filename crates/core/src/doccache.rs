@@ -83,6 +83,10 @@ pub struct DocCache {
     /// written after the request's epoch snapshot.
     stale_discards: AtomicU64,
     bytes_served: AtomicU64,
+    /// Published dependencies that were row-level (`Exact` keys) rather
+    /// than whole-table — the planner's read-set refinement at work, so
+    /// writes to unrelated rows leave these entries cached.
+    row_level_deps: AtomicU64,
 }
 
 impl DocCache {
@@ -109,6 +113,7 @@ impl DocCache {
             invalidations: AtomicU64::new(0),
             stale_discards: AtomicU64::new(0),
             bytes_served: AtomicU64::new(0),
+            row_level_deps: AtomicU64::new(0),
         }
     }
 
@@ -172,6 +177,10 @@ impl DocCache {
             }
         }
         let bytes = response.body().len() as u64;
+        let keyed = reads.reads().iter().filter(|r| r.keys.is_some()).count() as u64;
+        if keyed > 0 {
+            self.row_level_deps.fetch_add(keyed, Ordering::Relaxed);
+        }
         state.entries.insert(
             key.to_string(),
             CacheEntry {
@@ -249,6 +258,11 @@ impl DocCache {
     /// Body bytes served from cache hits.
     pub fn bytes_served(&self) -> u64 {
         self.bytes_served.load(Ordering::Relaxed) // lint: allow(relaxed)
+    }
+
+    /// Row-level (`Exact`-key) dependencies published, vs whole-table.
+    pub fn row_level_deps(&self) -> u64 {
+        self.row_level_deps.load(Ordering::Relaxed) // lint: allow(relaxed)
     }
 }
 

@@ -299,10 +299,54 @@ pub(crate) fn is_health_path(path: &str) -> bool {
 }
 
 /// Whether a request path is one of the observability endpoints
-/// (`/metrics` Prometheus exposition, `/debug/traces` slow-trace ring),
-/// matched alongside the health paths ahead of routing.
+/// (`/metrics` Prometheus exposition, `/debug/traces` slow-trace ring,
+/// `/debug/explain` query-plan trees), matched alongside the health
+/// paths ahead of routing.
 pub(crate) fn is_observability_path(path: &str) -> bool {
-    path == "/metrics" || path == "/debug/traces"
+    path == "/metrics" || path == "/debug/traces" || path == "/debug/explain"
+}
+
+/// Renders `GET /debug/explain`: with `?route=<page>`, every statement
+/// that page has executed with its query-plan tree (node kind, chosen
+/// index, estimated vs measured rows, cumulative per-node time); bare,
+/// the list of routes seen so far. A route the server has not served
+/// yet answers `404` with that same list.
+pub(crate) fn explain_response(db: &staged_db::Database, route: Option<&str>) -> Response {
+    let route_list = |routes: &[String]| {
+        let mut out = String::from("[");
+        for (i, r) in routes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Route names are the servers' own fixed page names: quoting
+            // without escape analysis is safe, but stay defensive.
+            out.push('"');
+            out.extend(r.chars().filter(|c| *c != '"' && *c != '\\'));
+            out.push('"');
+        }
+        out.push(']');
+        out
+    };
+    match route {
+        Some(route) => match db.explain_route(route) {
+            Some(json) => Response::with_content_type("application/json", json),
+            None => {
+                let mut resp = Response::with_content_type(
+                    "application/json",
+                    format!(
+                        "{{\"error\":\"unknown route (serve it once first)\",\"routes\":{}}}",
+                        route_list(&db.known_routes())
+                    ),
+                );
+                resp.set_status(StatusCode::NOT_FOUND);
+                resp
+            }
+        },
+        None => Response::with_content_type(
+            "application/json",
+            format!("{{\"routes\":{}}}", route_list(&db.known_routes())),
+        ),
+    }
 }
 
 #[cfg(test)]
@@ -564,8 +608,10 @@ mod tests {
     fn observability_paths_matched_exactly() {
         assert!(is_observability_path("/metrics"));
         assert!(is_observability_path("/debug/traces"));
+        assert!(is_observability_path("/debug/explain"));
         assert!(!is_observability_path("/metrics/"));
         assert!(!is_observability_path("/debug"));
+        assert!(!is_observability_path("/debug/explain/x"));
         assert!(!is_health_path("/metrics"));
     }
 }

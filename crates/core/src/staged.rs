@@ -283,19 +283,22 @@ impl Shared {
         self.requeue(conn, keep_alive && !closed);
     }
 
-    /// Serves `/metrics` (Prometheus text exposition) or `/debug/traces`
-    /// (the slow-trace ring as JSON). Like health probes, these are not
-    /// completions.
+    /// Serves `/metrics` (Prometheus text exposition), `/debug/traces`
+    /// (the slow-trace ring as JSON), or `/debug/explain` (query-plan
+    /// trees per route). Like health probes, these are not completions.
     fn serve_observability(
         &self,
         mut conn: Conn,
         method: Method,
         path: &str,
+        route: Option<&str>,
         keep_alive: bool,
         trace: Trace,
     ) {
         let response = if path == "/metrics" {
             Response::metrics_text(self.registry.encode_prometheus())
+        } else if path == "/debug/explain" {
+            health::explain_response(&self.db, route)
         } else {
             Response::with_content_type("application/json", self.trace_hub.traces_json())
         };
@@ -474,13 +477,14 @@ pub(crate) fn shutdown_checkpoint(db: &Database) -> Result<(), ShutdownError> {
 /// cache section reads the same families, so the surfaces agree.
 pub(crate) fn register_doc_cache(registry: &Registry, cache: &Arc<DocCache>) {
     type CounterRead = fn(&DocCache) -> u64;
-    let families: [(&'static str, CounterRead); 6] = [
+    let families: [(&'static str, CounterRead); 7] = [
         ("doc_cache_hits_total", DocCache::hits),
         ("doc_cache_misses_total", DocCache::misses),
         ("doc_cache_publishes_total", DocCache::publishes),
         ("doc_cache_invalidations_total", DocCache::invalidations),
         ("doc_cache_stale_discards_total", DocCache::stale_discards),
         ("doc_cache_bytes_served_total", DocCache::bytes_served),
+        ("doc_cache_row_level_deps_total", DocCache::row_level_deps),
     ];
     for (name, read) in families {
         let c = Arc::clone(cache);
@@ -488,6 +492,29 @@ pub(crate) fn register_doc_cache(registry: &Registry, cache: &Arc<DocCache>) {
     }
     let c = Arc::clone(cache);
     registry.gauge_fn("doc_cache_entries", &[], move || c.len() as f64);
+}
+
+/// Pre-creates the `db_plan_node_seconds{node=…}` histogram family for
+/// every plan-node kind and installs the planner's per-node timing
+/// observer feeding it. Pre-creation keeps the whole family visible in
+/// `/metrics` from the first scrape; the observer itself only does a
+/// slice scan and a histogram record (it runs after the database has
+/// released every lock, but still on the query's thread).
+pub(crate) fn register_plan_observer(registry: &Registry, db: &Arc<Database>) {
+    let hists: Vec<(&'static str, Arc<staged_metrics::Histogram>)> = staged_db::PLAN_NODE_KINDS
+        .iter()
+        .map(|kind| {
+            (
+                *kind,
+                registry.histogram("db_plan_node_seconds", &[("node", kind)]),
+            )
+        })
+        .collect();
+    db.set_plan_observer(move |node, elapsed| {
+        if let Some((_, h)) = hists.iter().find(|(k, _)| *k == node) {
+            h.record(elapsed);
+        }
+    });
 }
 
 /// Invalidates both response caches for one write event, document cache
@@ -716,6 +743,7 @@ impl StagedServer {
             registry.gauge_fn("scheduler_t_reserve", &[], move || c.reserve() as f64);
         }
         register_page_tracker(&registry, &tracker);
+        register_plan_observer(&registry, &durable_db);
         if let Some(dc) = &doc_cache {
             register_doc_cache(&registry, dc);
         }
@@ -1040,7 +1068,20 @@ fn header_worker(shared: &Shared, timed: TimedConn) {
         if health::is_health_path(&path) {
             shared.serve_health(conn, line.method, &path, keep_alive, trace);
         } else {
-            shared.serve_observability(conn, line.method, &path, keep_alive, trace);
+            let route = line
+                .target
+                .query_pairs()
+                .into_iter()
+                .find(|(k, _)| k == "route")
+                .map(|(_, v)| v);
+            shared.serve_observability(
+                conn,
+                line.method,
+                &path,
+                route.as_deref(),
+                keep_alive,
+                trace,
+            );
         }
         return;
     }

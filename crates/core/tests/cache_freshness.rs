@@ -166,3 +166,94 @@ fn cached_reads_never_predate_committed_writes() {
 
     server.shutdown().expect("clean shutdown");
 }
+
+/// Row-level join dependencies: a page whose SQL joins through primary
+/// keys records `Exact` row keys for both tables, so an admin write to
+/// one row evicts only the pages that actually read it — unrelated
+/// pages keep serving from cache.
+#[test]
+fn row_level_join_deps_spare_unrelated_pages() {
+    let app = App::builder()
+        .route("/pair", "pair", |req, db| {
+            let id: i64 = req.param("id").unwrap_or("0").parse().unwrap_or(0);
+            let result = db.execute(
+                "SELECT val, name FROM items JOIN labels ON lab = lid WHERE id = ?",
+                &[DbValue::Int(id)],
+            )?;
+            let body = match result.rows.first() {
+                Some(row) => format!("val={} label={}", row[0], row[1]),
+                None => "missing".to_string(),
+            };
+            Ok(PageOutcome::Body(Response::html(body)))
+        })
+        .route("/setlabel", "setlabel", |req, db| {
+            let lid: i64 = req.param("lid").unwrap_or("0").parse().unwrap_or(0);
+            let name = req.param("name").unwrap_or("x").to_string();
+            db.execute(
+                "UPDATE labels SET name = ? WHERE lid = ?",
+                &[DbValue::from(name), DbValue::Int(lid)],
+            )?;
+            Ok(PageOutcome::Body(Response::html("ok")))
+        })
+        .stale_cacheable("/pair")
+        .build();
+
+    let db = Arc::new(Database::new());
+    db.execute(
+        "CREATE TABLE items (id INT PRIMARY KEY, val INT, lab INT)",
+        &[],
+    )
+    .unwrap();
+    db.execute("CREATE TABLE labels (lid INT PRIMARY KEY, name TEXT)", &[])
+        .unwrap();
+    for id in 0..N_IDS {
+        db.execute(
+            "INSERT INTO labels (lid, name) VALUES (?, ?)",
+            &[DbValue::Int(id), DbValue::from(format!("label{id}"))],
+        )
+        .unwrap();
+        db.execute(
+            "INSERT INTO items (id, val, lab) VALUES (?, ?, ?)",
+            &[DbValue::Int(id), DbValue::Int(id * 10), DbValue::Int(id)],
+        )
+        .unwrap();
+    }
+
+    let config = ServerConfig {
+        doc_cache: true,
+        ..ServerConfig::small()
+    };
+    let server = StagedServer::start(config, app, db).unwrap();
+    let addr = server.addr();
+    let metric = |name: &str| server.registry().value(name, &[]).unwrap_or(0.0);
+
+    // Warm the cache with two pages that share no rows.
+    let a0 = fetch(addr, Method::Get, "/pair?id=0", &[]).unwrap().text();
+    let b0 = fetch(addr, Method::Get, "/pair?id=1", &[]).unwrap().text();
+    assert!(a0.contains("label0"), "{a0}");
+    assert!(b0.contains("label1"), "{b0}");
+    assert!(
+        metric("doc_cache_row_level_deps_total") > 0.0,
+        "joined pages should publish row-level dependencies"
+    );
+
+    // Write the label only page 0 read.
+    let resp = fetch(addr, Method::Get, "/setlabel?lid=0&name=renamed", &[]).unwrap();
+    assert_eq!(resp.status, StatusCode::OK);
+
+    // Page 1 is untouched by the write: served from cache.
+    let hits_before = metric("doc_cache_hits_total");
+    let b1 = fetch(addr, Method::Get, "/pair?id=1", &[]).unwrap().text();
+    assert_eq!(b0, b1, "unrelated page must be unchanged");
+    assert_eq!(
+        metric("doc_cache_hits_total"),
+        hits_before + 1.0,
+        "the write to lid=0 must not evict the page that read lid=1"
+    );
+
+    // Page 0 was evicted and re-renders with the new label.
+    let a1 = fetch(addr, Method::Get, "/pair?id=0", &[]).unwrap().text();
+    assert!(a1.contains("renamed"), "{a1}");
+
+    server.shutdown().expect("clean shutdown");
+}

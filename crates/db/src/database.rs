@@ -5,15 +5,17 @@ use crate::checkpoint;
 use crate::cost::CostModel;
 use crate::error::DbError;
 use crate::exec::{self, BoundTable, ExecStats};
+use crate::plan::{self, json_str, SelectPlan};
+use crate::planner;
 use crate::readset::{ReadSet, RowKey, WriteEvent, WriteObserver};
 use crate::schema::Schema;
-use crate::sql::ast::Statement;
+use crate::sql::ast::{SelectStmt, Statement};
 use crate::sql::parser;
 use crate::table::TableData;
 use crate::value::DbValue;
 use crate::wal::{CheckpointPhase, DurabilityConfig, DurabilityStatus, Wal, WalStats};
 use staged_pool::SyncQueue;
-use staged_sync::atomic::{AtomicU64, Ordering};
+use staged_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use staged_sync::{OrderedMutex, OrderedRwLock, Rank};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -28,6 +30,14 @@ use std::time::{Duration, Instant};
 /// lock while creating a table entry. The WAL state lock (rank 280,
 /// `wal.rs`) is innermost of all: appends happen while the mutated
 /// table's data lock is held so log order equals apply order.
+/// The per-plan-node timing observer slot: read briefly (guard dropped
+/// immediately) before a planned SELECT takes any table lock; the
+/// observer itself is invoked after every guard drops.
+const PLAN_OBSERVER_RANK: Rank = Rank::new(212);
+/// The route → statement registry behind the EXPLAIN debug endpoint.
+/// Touched only at the edges of execution (never while a table lock is
+/// held) and by the explain renderer, which plans *after* releasing it.
+const ROUTES_RANK: Rank = Rank::new(214);
 const DURABLE_RANK: Rank = Rank::new(222);
 /// Mutations hold this shared; a checkpoint takes it exclusively so the
 /// snapshot watermark is *sharp* — logical SQL replay is not idempotent
@@ -152,6 +162,18 @@ struct TableEntry {
     lock: OrderedRwLock<TableData>,
 }
 
+/// A statement-cache entry: the parsed AST plus, for SELECTs, the
+/// compiled plan (built lazily on first execution, dropped on DDL).
+struct Prepared {
+    stmt: Arc<Statement>,
+    plan: Option<Arc<SelectPlan>>,
+}
+
+/// Per-plan-node timing subscriber: `(node kind, time spent)` per node
+/// per planned SELECT — the servers hook the `db_plan_node_seconds`
+/// histogram family in here. Invoked with zero database locks held.
+type PlanObserver = Arc<dyn Fn(&'static str, Duration) + Send + Sync>;
+
 impl TableEntry {
     fn new(data: TableData) -> Self {
         TableEntry {
@@ -193,7 +215,7 @@ pub struct Database {
     /// stand-in for the paper's dedicated database host, whose CPU/disk
     /// capacity both servers share equally. `None` means unbounded.
     capacity: OrderedRwLock<Option<Arc<SyncQueue<()>>>>,
-    stmt_cache: OrderedMutex<HashMap<String, Arc<Statement>>>,
+    stmt_cache: OrderedMutex<HashMap<String, Prepared>>,
     /// `Some` once durability is attached ([`Database::open`] /
     /// [`Database::enable_durability`]).
     durable: OrderedRwLock<Option<Arc<Durable>>>,
@@ -203,6 +225,16 @@ pub struct Database {
     /// Committed-mutation subscriber ([`Database::set_write_observer`]);
     /// feeds cache invalidation. `None` skips key collection entirely.
     write_observer: OrderedRwLock<Option<WriteObserver>>,
+    /// Whether SELECTs execute through the cost-based plan tree
+    /// (default) or the legacy straight-line path (the golden-test
+    /// comparison baseline, also the fallback when planning fails).
+    planner_enabled: AtomicBool,
+    /// Per-plan-node timing subscriber ([`Database::set_plan_observer`]).
+    plan_observer: OrderedRwLock<Option<PlanObserver>>,
+    /// Route name → SQL texts executed under it, recorded by
+    /// [`PooledConnection`](crate::PooledConnection) route tagging and
+    /// rendered by [`Database::explain_route`]. Bounded.
+    routes: OrderedMutex<HashMap<String, Vec<String>>>,
 }
 
 impl fmt::Debug for Database {
@@ -231,6 +263,9 @@ impl Database {
             durable: OrderedRwLock::new(DURABLE_RANK, "db.durable", None),
             commit_gate: OrderedRwLock::new(COMMIT_GATE_RANK, "db.commit_gate", ()),
             write_observer: OrderedRwLock::new(WRITE_OBSERVER_RANK, "db.write_observer", None),
+            planner_enabled: AtomicBool::new(true),
+            plan_observer: OrderedRwLock::new(PLAN_OBSERVER_RANK, "db.plan_observer", None),
+            routes: OrderedMutex::new(ROUTES_RANK, "db.routes", HashMap::new()),
         }
     }
 
@@ -333,22 +368,202 @@ impl Database {
         params: &[DbValue],
         reads: Option<&mut ReadSet>,
     ) -> Result<QueryResult, DbError> {
-        let stmt = self.parse_cached(sql)?;
-        self.execute_statement(&stmt, sql, params, reads)
+        let (stmt, plan) = self.prepare_cached(sql)?;
+        self.execute_statement(&stmt, plan.as_deref(), sql, params, reads)
     }
 
-    fn parse_cached(&self, sql: &str) -> Result<Arc<Statement>, DbError> {
-        if let Some(stmt) = self.stmt_cache.lock().get(sql) {
-            return Ok(Arc::clone(stmt));
+    /// Compiles `sql` into a reusable [`Plan`] handle: parse once, plan
+    /// once (for SELECTs), then [`Plan::run`] any number of times with
+    /// different parameters. Both steps are cached per statement text,
+    /// so `plan` + `run` and plain [`Database::execute`] share all
+    /// state; the handle just skips the cache lookups.
+    ///
+    /// # Errors
+    ///
+    /// Syntax errors. Planning problems (unknown table/column) are
+    /// *not* errors here — the handle falls back to the legacy executor
+    /// and surfaces the real error on [`Plan::run`].
+    pub fn plan(&self, sql: &str) -> Result<Plan<'_>, DbError> {
+        let (stmt, plan) = self.prepare_cached(sql)?;
+        Ok(Plan {
+            db: self,
+            sql: sql.to_string(),
+            stmt,
+            plan,
+        })
+    }
+
+    /// Renders the plan tree for one SELECT as JSON (the `EXPLAIN`
+    /// surface), including cumulative measured rows/time if the cached
+    /// plan has executed before.
+    ///
+    /// # Errors
+    ///
+    /// Syntax errors.
+    pub fn explain(&self, sql: &str) -> Result<String, DbError> {
+        Ok(self.plan(sql)?.explain_json())
+    }
+
+    /// Enables or disables the plan-tree executor for SELECTs (enabled
+    /// by default). The legacy straight-line executor is kept as the
+    /// comparison baseline — results are byte-identical either way.
+    pub fn set_use_planner(&self, on: bool) {
+        self.planner_enabled.store(on, Ordering::Relaxed); // lint: allow(relaxed)
+    }
+
+    /// Whether SELECTs currently execute through the plan tree.
+    pub fn use_planner(&self) -> bool {
+        self.planner_enabled.load(Ordering::Relaxed) // lint: allow(relaxed)
+    }
+
+    /// Installs the per-plan-node timing observer (replacing any
+    /// previous one): called with `(node kind, time spent)` for every
+    /// node of every planned SELECT, after all database locks are
+    /// released — the servers hook the `db_plan_node_seconds` histogram
+    /// family in here.
+    pub fn set_plan_observer(&self, f: impl Fn(&'static str, Duration) + Send + Sync + 'static) {
+        *self.plan_observer.write() = Some(Arc::new(f));
+    }
+
+    /// Records that `route` (a server page) executed `sql`, feeding the
+    /// `/debug/explain?route=…` surface. Deduplicated and bounded.
+    pub fn note_route_statement(&self, route: &str, sql: &str) {
+        const MAX_ROUTES: usize = 128;
+        const MAX_STMTS_PER_ROUTE: usize = 64;
+        let mut routes = self.routes.lock();
+        match routes.get_mut(route) {
+            Some(list) => {
+                if list.len() < MAX_STMTS_PER_ROUTE && !list.iter().any(|s| s == sql) {
+                    list.push(sql.to_string());
+                }
+            }
+            None => {
+                if routes.len() < MAX_ROUTES {
+                    routes.insert(route.to_string(), vec![sql.to_string()]);
+                }
+            }
+        }
+    }
+
+    /// Routes with recorded statements, sorted.
+    pub fn known_routes(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.routes.lock().keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Renders every statement a route has executed with its plan tree
+    /// as JSON, or `None` for an unknown route.
+    pub fn explain_route(&self, route: &str) -> Option<String> {
+        let stmts = self.routes.lock().get(route).cloned()?;
+        let mut out = String::from("{\"route\":");
+        out.push_str(&json_str(route));
+        out.push_str(",\"statements\":[");
+        for (i, sql) in stmts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"sql\":");
+            out.push_str(&json_str(sql));
+            out.push_str(",\"plan\":");
+            match self.prepare_cached(sql) {
+                Ok((_, Some(plan))) => out.push_str(&plan.explain_json()),
+                Ok((stmt, None)) => {
+                    let kind = if stmt.is_write() {
+                        "write"
+                    } else {
+                        "legacy_select"
+                    };
+                    out.push_str(&format!("{{\"node\":{}}}", json_str(kind)));
+                }
+                Err(e) => out.push_str(&format!(
+                    "{{\"node\":\"error\",\"detail\":{}}}",
+                    json_str(&e.to_string())
+                )),
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        Some(out)
+    }
+
+    /// Parses (cached) and, for SELECTs with the planner enabled, plans
+    /// (cached) one statement.
+    fn prepare_cached(
+        &self,
+        sql: &str,
+    ) -> Result<(Arc<Statement>, Option<Arc<SelectPlan>>), DbError> {
+        // Copy out of the cache in a tight scope: planning (below) takes
+        // the catalog and table locks, which rank under the cache lock.
+        let hit = {
+            let cache = self.stmt_cache.lock();
+            cache
+                .get(sql)
+                .map(|p| (Arc::clone(&p.stmt), p.plan.clone()))
+        };
+        if let Some((stmt, plan)) = hit {
+            if let Some(plan) = plan {
+                if self.use_planner() {
+                    return Ok((stmt, Some(plan)));
+                }
+                return Ok((stmt, None));
+            }
+            return self.plan_into_cache(sql, stmt);
         }
         let stmt = Arc::new(parser::parse(sql)?);
-        let mut cache = self.stmt_cache.lock();
-        // Bound the cache to protect against unbounded ad-hoc SQL.
-        if cache.len() >= 4096 {
-            cache.clear();
+        {
+            let mut cache = self.stmt_cache.lock();
+            // Bound the cache to protect against unbounded ad-hoc SQL.
+            if cache.len() >= 4096 {
+                cache.clear();
+            }
+            cache.insert(
+                sql.to_string(),
+                Prepared {
+                    stmt: Arc::clone(&stmt),
+                    plan: None,
+                },
+            );
         }
-        cache.insert(sql.to_string(), Arc::clone(&stmt));
-        Ok(stmt)
+        self.plan_into_cache(sql, stmt)
+    }
+
+    /// Builds and caches the plan for a SELECT, outside the statement
+    /// cache lock (planning takes the catalog and table locks, which
+    /// rank below it). A planning failure falls back to the legacy
+    /// executor, which surfaces the real error at execution.
+    fn plan_into_cache(
+        &self,
+        sql: &str,
+        stmt: Arc<Statement>,
+    ) -> Result<(Arc<Statement>, Option<Arc<SelectPlan>>), DbError> {
+        if !self.use_planner() || !matches!(&*stmt, Statement::Select(_)) {
+            return Ok((stmt, None));
+        }
+        let Ok(built) = self.build_plan(&stmt) else {
+            return Ok((stmt, None));
+        };
+        let built = Arc::new(built);
+        if let Some(p) = self.stmt_cache.lock().get_mut(sql) {
+            p.plan = Some(Arc::clone(&built));
+        }
+        Ok((stmt, Some(built)))
+    }
+
+    fn build_plan(&self, stmt: &Arc<Statement>) -> Result<SelectPlan, DbError> {
+        let Statement::Select(sel) = &**stmt else {
+            return Err(DbError::invalid("only SELECT statements are planned"));
+        };
+        self.with_bound_tables(stmt, sel, |bound| planner::build_select_plan(stmt, bound))
+    }
+
+    /// Drops every cached plan (statements stay parsed). Called after
+    /// DDL: `CREATE INDEX` changes access-path choices and `CREATE
+    /// TABLE` can turn a planning failure into a success.
+    fn invalidate_plans(&self) {
+        for p in self.stmt_cache.lock().values_mut() {
+            p.plan = None;
+        }
     }
 
     /// Schema facts and a consistent row copy of one table, for the
@@ -389,13 +604,19 @@ impl Database {
     fn execute_statement(
         &self,
         stmt: &Statement,
+        plan: Option<&SelectPlan>,
         sql: &str,
         params: &[DbValue],
         reads: Option<&mut ReadSet>,
     ) -> Result<QueryResult, DbError> {
         let mut stats = ExecStats::default();
-        let result = match stmt {
-            Statement::Select(_) => self.run_select_statement(stmt, params, &mut stats, reads)?,
+        let result = match (stmt, plan) {
+            (Statement::Select(_), Some(plan)) => {
+                self.run_select_planned(stmt, plan, params, &mut stats, reads)?
+            }
+            (Statement::Select(_), None) => {
+                self.run_select_statement(stmt, params, &mut stats, reads)?
+            }
             _ => self.run_mutation(stmt, sql, params, &mut stats)?,
         };
         // Synthetic latency is charged after the guards are gone.
@@ -562,6 +783,16 @@ impl Database {
         if let (Some(obs), Some(event)) = (observer, event) {
             obs(&event);
         }
+        // DDL changes access-path choices (`CREATE INDEX`) or can turn a
+        // planning failure into a success (`CREATE TABLE`); drop cached
+        // plans now that every guard is gone — the statement-cache lock
+        // ranks below the table locks.
+        if matches!(
+            stmt,
+            Statement::CreateTable { .. } | Statement::CreateIndex { .. }
+        ) {
+            self.invalidate_plans();
+        }
         Ok(result)
     }
 
@@ -616,6 +847,54 @@ impl Database {
         result
     }
 
+    /// Takes the read locks for every table a SELECT touches (sorted
+    /// name order for deadlock freedom, deduplicated), binds them in
+    /// FROM/JOIN order with running column offsets, and runs `f` with
+    /// the guards held.
+    fn with_bound_tables<T>(
+        &self,
+        stmt: &Statement,
+        sel: &SelectStmt,
+        f: impl FnOnce(&[BoundTable<'_>]) -> Result<T, DbError>,
+    ) -> Result<T, DbError> {
+        let mut names: Vec<&str> = stmt.table_names();
+        names.sort_unstable();
+        names.dedup();
+        let entries: Vec<(String, Arc<TableEntry>)> = names
+            .iter()
+            .map(|n| Ok((n.to_string(), self.entry(n)?)))
+            .collect::<Result<_, DbError>>()?;
+        let guards: Vec<_> = entries.iter().map(|(_, e)| e.lock.read()).collect();
+        let guard_of = |table: &str| -> Result<&TableData, DbError> {
+            let idx = entries
+                .iter()
+                .position(|(n, _)| n == table)
+                .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+            Ok(&guards[idx])
+        };
+        let mut bound: Vec<BoundTable<'_>> = Vec::new();
+        let mut offset = 0;
+        let from_data = guard_of(&sel.from.table)?;
+        bound.push(BoundTable {
+            name: sel.from.effective_name().to_string(),
+            table: sel.from.table.clone(),
+            data: from_data,
+            offset,
+        });
+        offset += from_data.schema().arity();
+        for join in &sel.joins {
+            let data = guard_of(&join.table.table)?;
+            bound.push(BoundTable {
+                name: join.table.effective_name().to_string(),
+                table: join.table.table.clone(),
+                data,
+                offset,
+            });
+            offset += data.schema().arity();
+        }
+        f(&bound)
+    }
+
     fn run_select_statement(
         &self,
         stmt: &Statement,
@@ -624,49 +903,38 @@ impl Database {
         reads: Option<&mut ReadSet>,
     ) -> Result<QueryResult, DbError> {
         match stmt {
-            Statement::Select(sel) => {
-                // Acquire read locks in sorted name order (deadlock
-                // freedom), deduplicating repeated tables.
-                let mut names: Vec<&str> = stmt.table_names();
-                names.sort_unstable();
-                names.dedup();
-                let entries: Vec<(String, Arc<TableEntry>)> = names
-                    .iter()
-                    .map(|n| Ok((n.to_string(), self.entry(n)?)))
-                    .collect::<Result<_, DbError>>()?;
-                let guards: Vec<_> = entries.iter().map(|(_, e)| e.lock.read()).collect();
-                let guard_of = |table: &str| -> Result<&TableData, DbError> {
-                    let idx = entries
-                        .iter()
-                        .position(|(n, _)| n == table)
-                        .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
-                    Ok(&guards[idx])
-                };
-                // Bind tables in FROM/JOIN order with running offsets.
-                let mut bound: Vec<BoundTable<'_>> = Vec::new();
-                let mut offset = 0;
-                let from_data = guard_of(&sel.from.table)?;
-                bound.push(BoundTable {
-                    name: sel.from.effective_name().to_string(),
-                    table: sel.from.table.clone(),
-                    data: from_data,
-                    offset,
-                });
-                offset += from_data.schema().arity();
-                for join in &sel.joins {
-                    let data = guard_of(&join.table.table)?;
-                    bound.push(BoundTable {
-                        name: join.table.effective_name().to_string(),
-                        table: join.table.table.clone(),
-                        data,
-                        offset,
-                    });
-                    offset += data.schema().arity();
-                }
-                exec::run_select(sel, params, &bound, stats, reads)
-            }
+            Statement::Select(sel) => self.with_bound_tables(stmt, sel, |bound| {
+                exec::run_select(sel, params, bound, stats, reads)
+            }),
             _ => unreachable!("mutations route through run_mutation"),
         }
+    }
+
+    /// Executes a SELECT through its plan tree. Per-node timings are
+    /// collected into a local buffer while the table guards are held and
+    /// handed to the plan observer only after every lock is released —
+    /// mirroring the write-observer discipline.
+    fn run_select_planned(
+        &self,
+        stmt: &Statement,
+        plan: &SelectPlan,
+        params: &[DbValue],
+        stats: &mut ExecStats,
+        reads: Option<&mut ReadSet>,
+    ) -> Result<QueryResult, DbError> {
+        // Observer slot read (guard dropped) before any table lock.
+        let observer = self.plan_observer.read().clone();
+        let mut node_times: Vec<(&'static str, u64)> = Vec::new();
+        let sel = plan.select();
+        let result = self.with_bound_tables(stmt, sel, |bound| {
+            plan::run_planned(plan, params, bound, stats, reads, &mut node_times)
+        })?;
+        if let Some(obs) = observer {
+            for (kind, nanos) in node_times {
+                obs(kind, Duration::from_nanos(nanos));
+            }
+        }
+        Ok(result)
     }
 
     /// Opens (or creates) a durable database in `config.dir`, replaying
@@ -815,6 +1083,66 @@ impl Database {
     pub fn set_fsync_observer(&self, f: impl Fn(Duration) + Send + Sync + 'static) {
         if let Some(d) = self.durable.read().as_ref() {
             d.wal.set_observer(Arc::new(f));
+        }
+    }
+}
+
+/// A compiled statement handle from [`Database::plan`]: the parse and
+/// (for SELECTs) the plan tree are resolved once, then [`Plan::run`]
+/// executes with fresh parameters each time.
+///
+/// The plan inside is shared with the database's statement cache, so
+/// metrics and EXPLAIN output accumulate across both paths. A handle
+/// outliving a `CREATE INDEX` keeps its original (still correct, merely
+/// index-blind) plan; re-call [`Database::plan`] to pick up new access
+/// paths.
+pub struct Plan<'db> {
+    db: &'db Database,
+    sql: String,
+    stmt: Arc<Statement>,
+    plan: Option<Arc<SelectPlan>>,
+}
+
+impl Plan<'_> {
+    /// Executes the compiled statement with `params`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Database::execute`].
+    pub fn run(&self, params: &[DbValue]) -> Result<QueryResult, DbError> {
+        self.run_tracked(params, None)
+    }
+
+    /// Executes the compiled statement, recording what it read into
+    /// `reads` (see [`Database::execute_tracked`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Database::execute`].
+    pub fn run_tracked(
+        &self,
+        params: &[DbValue],
+        reads: Option<&mut ReadSet>,
+    ) -> Result<QueryResult, DbError> {
+        self.db
+            .execute_statement(&self.stmt, self.plan.as_deref(), &self.sql, params, reads)
+    }
+
+    /// Renders the plan tree as JSON: node kind, chosen index, estimated
+    /// rows, and cumulative measured rows/time per node. Non-SELECT
+    /// statements and legacy-executed SELECTs render a single
+    /// placeholder node.
+    pub fn explain_json(&self) -> String {
+        match &self.plan {
+            Some(plan) => plan.explain_json(),
+            None => {
+                let kind = if self.stmt.is_write() {
+                    "write"
+                } else {
+                    "legacy_select"
+                };
+                format!("{{\"node\":{}}}", json_str(kind))
+            }
         }
     }
 }
@@ -1193,9 +1521,22 @@ mod tests {
         let tables: Vec<&str> = reads.reads().iter().map(|r| r.table.as_str()).collect();
         assert!(tables.contains(&"item"));
         assert!(tables.contains(&"author"));
-        // The joined side is a whole-table dependency.
+        // The inner side is probed through its primary key, so the
+        // planner refines the dependency to the exact rows joined;
+        // the legacy executor records the whole table instead.
         let author = reads.reads().iter().find(|r| r.table == "author").unwrap();
-        assert!(author.keys.is_none());
+        assert!(author.keys.is_some(), "PK index-loop join refines to keys");
+
+        db.set_use_planner(false);
+        let mut legacy = ReadSet::new();
+        db.execute_tracked(
+            "SELECT i_title, a_name FROM item JOIN author ON i_a_id = a_id WHERE i_id = 1",
+            &[],
+            Some(&mut legacy),
+        )
+        .unwrap();
+        let author = legacy.reads().iter().find(|r| r.table == "author").unwrap();
+        assert!(author.keys.is_none(), "legacy path stays table-wide");
     }
 
     #[test]

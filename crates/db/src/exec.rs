@@ -28,15 +28,15 @@ pub(crate) struct ExecStats {
     pub written: u64,
 }
 
-struct EvalCtx<'a> {
-    tables: &'a [BoundTable<'a>],
-    params: &'a [DbValue],
+pub(crate) struct EvalCtx<'a> {
+    pub(crate) tables: &'a [BoundTable<'a>],
+    pub(crate) params: &'a [DbValue],
 }
 
 impl EvalCtx<'_> {
     /// Resolves a column reference to an absolute offset in the joined
     /// row.
-    fn resolve(&self, col: &ColRef) -> Result<usize, DbError> {
+    pub(crate) fn resolve(&self, col: &ColRef) -> Result<usize, DbError> {
         match &col.table {
             Some(t) => {
                 let bound = self
@@ -76,7 +76,7 @@ impl EvalCtx<'_> {
             .ok_or_else(|| DbError::invalid(format!("missing parameter #{}", i + 1)))
     }
 
-    fn eval(&self, expr: &Expr, row: &[DbValue]) -> Result<DbValue, DbError> {
+    pub(crate) fn eval(&self, expr: &Expr, row: &[DbValue]) -> Result<DbValue, DbError> {
         match expr {
             Expr::Literal(v) => Ok(v.clone()),
             Expr::Param(i) => self.param(*i),
@@ -159,7 +159,7 @@ impl EvalCtx<'_> {
     }
 }
 
-fn truthy(v: &DbValue) -> bool {
+pub(crate) fn truthy(v: &DbValue) -> bool {
     match v {
         DbValue::Null => false,
         DbValue::Int(i) => *i != 0,
@@ -168,7 +168,7 @@ fn truthy(v: &DbValue) -> bool {
     }
 }
 
-fn eval_binop(op: BinOp, l: &DbValue, r: &DbValue) -> Result<DbValue, DbError> {
+pub(crate) fn eval_binop(op: BinOp, l: &DbValue, r: &DbValue) -> Result<DbValue, DbError> {
     use std::cmp::Ordering;
     let bool_val = |b: bool| DbValue::Int(i64::from(b));
     match op {
@@ -250,7 +250,7 @@ pub(crate) fn like_match(pattern: &str, text: &str) -> bool {
 }
 
 /// Splits a WHERE tree into top-level AND conjuncts.
-fn conjuncts(expr: &Expr) -> Vec<&Expr> {
+pub(crate) fn conjuncts(expr: &Expr) -> Vec<&Expr> {
     match expr {
         Expr::Binary {
             op: BinOp::And,
@@ -267,7 +267,7 @@ fn conjuncts(expr: &Expr) -> Vec<&Expr> {
 
 /// Whether every column in `expr` resolves against `ctx` (used to apply
 /// predicates as early as possible during joins).
-fn is_resolvable(expr: &Expr, ctx: &EvalCtx<'_>) -> bool {
+pub(crate) fn is_resolvable(expr: &Expr, ctx: &EvalCtx<'_>) -> bool {
     match expr {
         Expr::Column(c) => ctx.resolve(c).is_ok(),
         Expr::Literal(_) | Expr::Param(_) => true,
@@ -285,7 +285,7 @@ fn is_resolvable(expr: &Expr, ctx: &EvalCtx<'_>) -> bool {
 
 /// Looks for an index-usable conjunct `col = constant` on table
 /// `target`; returns the column index and the key value.
-fn index_probe(
+pub(crate) fn index_probe(
     conjs: &[&Expr],
     target: &BoundTable<'_>,
     params: &[DbValue],
@@ -468,17 +468,36 @@ pub(crate) fn run_select(
         rows = next_rows;
     }
 
-    // --- Projection / aggregation. ---
-    let has_agg = !sel.group_by.is_empty()
+    finish_select(sel, &full_ctx, rows, stats, true)
+}
+
+/// Whether a SELECT needs the aggregating projection.
+pub(crate) fn select_has_aggregate(sel: &SelectStmt) -> bool {
+    !sel.group_by.is_empty()
         || sel.items.iter().any(|i| match i {
             SelectItem::Expr { expr, .. } => expr.has_aggregate(),
             SelectItem::Star => false,
-        });
+        })
+}
 
-    let (columns, mut out_rows, order_keys) = if has_agg {
-        aggregate_project(sel, &full_ctx, rows, stats)?
+/// The shared tail of SELECT execution: projection/aggregation, ORDER
+/// BY, LIMIT/OFFSET. Both the legacy straight-line path and the plan
+/// executor feed their joined rows through this one function, so
+/// everything downstream of row production is byte-identical by
+/// construction. `charge_aggregate` preserves the legacy executor's
+/// historical double-charge of aggregate input rows; the plan executor
+/// passes `false` (rows were already charged by the scan/join nodes).
+pub(crate) fn finish_select(
+    sel: &SelectStmt,
+    full_ctx: &EvalCtx<'_>,
+    rows: Vec<Vec<DbValue>>,
+    stats: &mut ExecStats,
+    charge_aggregate: bool,
+) -> Result<QueryResult, DbError> {
+    let (columns, mut out_rows, order_keys) = if select_has_aggregate(sel) {
+        aggregate_project(sel, full_ctx, rows, stats, charge_aggregate)?
     } else {
-        plain_project(sel, &full_ctx, rows)?
+        plain_project(sel, full_ctx, rows)?
     };
 
     // --- ORDER BY. ---
@@ -528,7 +547,7 @@ pub(crate) fn run_select(
 }
 
 /// Output column name for a select item.
-fn item_name(expr: &Expr, alias: &Option<String>) -> String {
+pub(crate) fn item_name(expr: &Expr, alias: &Option<String>) -> String {
     if let Some(a) = alias {
         return a.clone();
     }
@@ -539,11 +558,11 @@ fn item_name(expr: &Expr, alias: &Option<String>) -> String {
     }
 }
 
-type Projected = (Vec<String>, Vec<Vec<DbValue>>, Vec<Vec<DbValue>>);
+pub(crate) type Projected = (Vec<String>, Vec<Vec<DbValue>>, Vec<Vec<DbValue>>);
 
 /// Non-aggregate projection; also computes ORDER BY keys per row (from
 /// the *input* row, so sorting can use non-projected columns).
-fn plain_project(
+pub(crate) fn plain_project(
     sel: &SelectStmt,
     ctx: &EvalCtx<'_>,
     rows: Vec<Vec<DbValue>>,
@@ -593,11 +612,12 @@ fn plain_project(
 
 /// GROUP BY / aggregate projection; ORDER BY may reference output
 /// columns by (alias) name or repeat an aggregate expression.
-fn aggregate_project(
+pub(crate) fn aggregate_project(
     sel: &SelectStmt,
     ctx: &EvalCtx<'_>,
     rows: Vec<Vec<DbValue>>,
     stats: &mut ExecStats,
+    charge: bool,
 ) -> Result<Projected, DbError> {
     // Group rows.
     let group_cols: Vec<usize> = sel
@@ -608,7 +628,9 @@ fn aggregate_project(
     let mut groups: Vec<(Vec<DbValue>, Vec<Vec<DbValue>>)> = Vec::new();
     let mut index: HashMap<Vec<crate::value::IndexKey>, usize> = HashMap::new();
     for row in rows {
-        stats.scanned += 1;
+        if charge {
+            stats.scanned += 1;
+        }
         let key_vals: Vec<DbValue> = group_cols.iter().map(|&i| row[i].clone()).collect();
         let key: Vec<crate::value::IndexKey> = key_vals.iter().map(|v| v.index_key()).collect();
         match index.get(&key) {

@@ -21,6 +21,28 @@
 //! `GROUP BY`, `ORDER BY … ASC|DESC`, `LIMIT/OFFSET`), `UPDATE`,
 //! `DELETE`. Parameters are positional `?`.
 //!
+//! # Query planning
+//!
+//! SELECTs execute through an explicit **plan tree** (seq/index/range
+//! scans, filter, index-loop/hash/nested-loop joins, aggregate, sort,
+//! limit) chosen by a cost-based planner from the WHERE predicates and
+//! live table cardinalities. Plans are cached per statement text and
+//! invalidated by DDL; results are byte-identical to the legacy
+//! straight-line executor, which remains available via
+//! [`Database::set_use_planner`]`(false)` as the comparison baseline.
+//!
+//! The planning surface:
+//!
+//! - [`Database::plan`] compiles SQL into a reusable [`Plan`] handle;
+//!   [`Plan::run`] / [`Plan::run_tracked`] execute it. Plain
+//!   [`Database::execute`] is a thin wrapper over the same cache.
+//! - [`Database::explain`] / [`Plan::explain_json`] render the plan
+//!   tree as JSON — node kind, chosen index, estimated vs measured
+//!   rows, cumulative per-node time. Both servers expose this at
+//!   `GET /debug/explain?route=<page>`.
+//! - [`Database::set_plan_observer`] streams per-node timings (the
+//!   servers feed the `db_plan_node_seconds` histogram family).
+//!
 //! # Examples
 //!
 //! ```
@@ -45,6 +67,8 @@ mod database;
 mod error;
 mod exec;
 mod fault;
+mod plan;
+mod planner;
 mod pool;
 mod readset;
 mod schema;
@@ -56,9 +80,10 @@ mod wal;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cost::CostModel;
-pub use database::{Database, QueryResult};
+pub use database::{Database, Plan, QueryResult};
 pub use error::DbError;
 pub use fault::{splitmix64, FaultPlan};
+pub use plan::PLAN_NODE_KINDS;
 pub use pool::{ConnectionPool, PooledConnection};
 pub use readset::{ReadSet, RowKey, TableRead, WriteEvent, WriteObserver};
 pub use schema::{Column, DataType, Schema};

@@ -1,0 +1,632 @@
+//! Plan trees: the data structures the planner produces and the
+//! executor that runs them (DESIGN.md §16).
+//!
+//! A [`SelectPlan`] is built once per statement text (under the table
+//! read locks, so schemas and cardinalities are consistent) and cached;
+//! every execution then walks the same tree. The executor is written to
+//! be **byte-identical** to the legacy straight-line path in `exec.rs`
+//! for every result: it reuses the same predicate partitioning, visits
+//! rows in the same order (index buckets in insertion order, range and
+//! sequential scans in row-id order, hash buckets built in row-id
+//! order), and funnels the produced rows through the shared
+//! [`exec::finish_select`] tail. Where the planner is *faster* it is
+//! because it visits fewer rows, never because it reorders results.
+//!
+//! Per-node counters ([`PlanNode`]) accumulate measured rows and
+//! cumulative execution time across runs; the EXPLAIN surface renders
+//! them next to the planner's estimates.
+
+use crate::database::QueryResult;
+use crate::error::DbError;
+use crate::exec::{self, BoundTable, EvalCtx, ExecStats};
+use crate::readset::{ReadSet, RowKey};
+use crate::sql::ast::*;
+use crate::value::{DbValue, IndexKey};
+use staged_sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashMap;
+use std::ops::Bound;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Above this many distinct probed keys per table, a join's row-level
+/// read set degrades to a whole-table dependency — `ReadSet::record_key`
+/// dedupes linearly, and a dependency list that big no longer buys the
+/// cache any eviction precision.
+pub(crate) const MAX_EXACT_JOIN_KEYS: usize = 256;
+
+/// Every plan-node kind the planner can emit — the `node` label values
+/// of the `db_plan_node_seconds` histogram family. Servers pre-create
+/// one histogram per kind so the family is visible before any planned
+/// query runs.
+pub const PLAN_NODE_KINDS: [&str; 11] = [
+    "seq_scan",
+    "index_scan",
+    "index_range",
+    "index_endpoint",
+    "filter",
+    "index_loop_join",
+    "hash_join",
+    "nested_loop_join",
+    "aggregate",
+    "sort",
+    "limit",
+];
+
+/// Where an index key comes from at run time.
+#[derive(Debug, Clone)]
+pub(crate) enum KeySource {
+    Literal(DbValue),
+    Param(usize),
+}
+
+impl KeySource {
+    pub(crate) fn resolve(&self, params: &[DbValue]) -> Result<DbValue, DbError> {
+        match self {
+            KeySource::Literal(v) => Ok(v.clone()),
+            KeySource::Param(i) => params
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| DbError::invalid(format!("missing parameter #{}", i + 1))),
+        }
+    }
+
+    fn display(&self) -> String {
+        match self {
+            KeySource::Literal(v) => v.to_string(),
+            KeySource::Param(i) => format!("?{}", i + 1),
+        }
+    }
+}
+
+/// How the base table's candidate rows are produced.
+#[derive(Debug, Clone)]
+pub(crate) enum BaseAccess {
+    /// Visit every live row in row-id order.
+    SeqScan,
+    /// `col = key` through the PK or a secondary index.
+    IndexEq {
+        col: usize,
+        key: KeySource,
+        pk: bool,
+    },
+    /// A range predicate over an indexed column; candidates come out in
+    /// row-id order, so downstream ordering matches a filtered SeqScan.
+    /// Bounds are applied *inclusively* against the index regardless of
+    /// strictness — the re-applied WHERE predicate drops boundary rows,
+    /// and an inclusive prefilter can never wrongly exclude a row.
+    IndexRange {
+        col: usize,
+        lo: Option<(KeySource, bool)>,
+        hi: Option<(KeySource, bool)>,
+    },
+}
+
+/// How one JOIN binds its inner table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum JoinStrategy {
+    /// Probe the inner table's index per outer row (the legacy indexed
+    /// path, kept verbatim).
+    IndexLoop,
+    /// Build a hash table over the inner table once, probe per outer
+    /// row. Chosen when the inner side is unindexed and the build cost
+    /// beats rescanning.
+    Hash,
+    /// Rescan the inner table per outer row (the legacy unindexed
+    /// path); only worth it when the outer side is estimated tiny.
+    NestedLoop,
+}
+
+/// One planned JOIN stage.
+#[derive(Debug, Clone)]
+pub(crate) struct JoinPlan {
+    /// Absolute offset of the outer join key in the combined row.
+    pub outer_idx: usize,
+    /// Join-key column in the inner (newly bound) table.
+    pub inner_col: usize,
+    /// Whether `inner_col` is the inner table's primary key — the
+    /// condition for emitting row-level reads from the probes.
+    pub inner_pk: bool,
+    pub strategy: JoinStrategy,
+    /// Conjuncts that become resolvable once this table binds.
+    pub newly: Vec<Expr>,
+}
+
+/// A single-row aggregate answered straight from index endpoints
+/// without scanning: `COUNT(*)` from the live-row count, `MIN`/`MAX`
+/// of an indexed column from the first/last index key.
+#[derive(Debug, Clone)]
+pub(crate) enum ShortcutItem {
+    CountStar,
+    Endpoint { col: usize, max: bool },
+}
+
+/// One node of the plan tree, with cumulative measured counters.
+#[derive(Debug)]
+pub(crate) struct PlanNode {
+    /// Node kind — also the `node` label of `db_plan_node_seconds`.
+    pub kind: &'static str,
+    /// Table the node reads (real name, not alias), if any.
+    pub table: Option<String>,
+    /// Chosen index column, if any.
+    pub index: Option<String>,
+    /// Free-form detail (probe key, range bounds, predicate count).
+    pub detail: Option<String>,
+    /// Planner's estimated output rows.
+    pub est_rows: u64,
+    /// Index of the input node in [`SelectPlan::nodes`], `None` for
+    /// leaves. Joins keep the single-input chain; their inner table is
+    /// named on the node itself.
+    pub input: Option<usize>,
+    /// Cumulative measured output rows across executions.
+    pub rows: AtomicU64,
+    /// Cumulative execution time attributed to this node. Filter time
+    /// folds into its scan, projection time into the topmost tail node.
+    pub nanos: AtomicU64,
+    /// Executions observed.
+    pub execs: AtomicU64,
+}
+
+impl PlanNode {
+    pub(crate) fn new(kind: &'static str, est_rows: u64, input: Option<usize>) -> Self {
+        PlanNode {
+            kind,
+            table: None,
+            index: None,
+            detail: None,
+            est_rows,
+            input,
+            rows: AtomicU64::new(0),
+            nanos: AtomicU64::new(0),
+            execs: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, rows: u64, nanos: u64) {
+        self.rows.fetch_add(rows, Ordering::Relaxed); // lint: allow(relaxed)
+        self.nanos.fetch_add(nanos, Ordering::Relaxed); // lint: allow(relaxed)
+        self.execs.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed)
+    }
+}
+
+/// A compiled SELECT: access path, join order/strategies, predicate
+/// partition, and the EXPLAIN node tree. Immutable after planning;
+/// shared via `Arc` from the statement cache.
+#[derive(Debug)]
+pub(crate) struct SelectPlan {
+    pub(crate) stmt: Arc<Statement>,
+    pub(crate) base: BaseAccess,
+    /// Conjuncts resolvable against the base table alone — applied
+    /// while scanning, exactly like the legacy early-predicate pass
+    /// (the probe conjunct included, so index prefilters stay sound).
+    pub(crate) base_filter: Vec<Expr>,
+    pub(crate) joins: Vec<JoinPlan>,
+    /// `Some` when the whole statement is answerable from index
+    /// endpoints (single table, no WHERE/JOIN/GROUP/ORDER/LIMIT).
+    pub(crate) shortcut: Option<Vec<ShortcutItem>>,
+    pub(crate) nodes: Vec<PlanNode>,
+    /// Node indices for the executor's attribution.
+    pub(crate) scan_node: usize,
+    pub(crate) filter_node: Option<usize>,
+    pub(crate) join_nodes: Vec<usize>,
+    /// Topmost of aggregate/sort/limit — where the shared projection
+    /// tail's time lands.
+    pub(crate) tail_node: Option<usize>,
+    pub(crate) root: usize,
+}
+
+impl SelectPlan {
+    pub(crate) fn select(&self) -> &SelectStmt {
+        match &*self.stmt {
+            Statement::Select(s) => s,
+            _ => unreachable!("SelectPlan is only built for SELECT"),
+        }
+    }
+
+    /// Renders the plan tree as a JSON object (EXPLAIN surface).
+    pub(crate) fn explain_json(&self) -> String {
+        self.render(self.root)
+    }
+
+    fn render(&self, idx: usize) -> String {
+        let n = &self.nodes[idx];
+        let mut s = String::with_capacity(160);
+        s.push('{');
+        push_field(&mut s, "node", &json_str(n.kind));
+        if let Some(t) = &n.table {
+            push_field(&mut s, "table", &json_str(t));
+        }
+        if let Some(i) = &n.index {
+            push_field(&mut s, "index", &json_str(i));
+        }
+        if let Some(d) = &n.detail {
+            push_field(&mut s, "detail", &json_str(d));
+        }
+        push_field(&mut s, "estimated_rows", &n.est_rows.to_string());
+        let execs = n.execs.load(Ordering::Relaxed); // lint: allow(relaxed)
+        let rows = n.rows.load(Ordering::Relaxed); // lint: allow(relaxed)
+        let nanos = n.nanos.load(Ordering::Relaxed); // lint: allow(relaxed)
+        push_field(&mut s, "executions", &execs.to_string());
+        push_field(&mut s, "rows_total", &rows.to_string());
+        let mean = rows.checked_div(execs).unwrap_or(0);
+        push_field(&mut s, "rows_mean", &mean.to_string());
+        push_field(
+            &mut s,
+            "time_seconds_total",
+            &format!("{:.9}", nanos as f64 / 1e9),
+        );
+        if let Some(input) = n.input {
+            push_field(&mut s, "input", &self.render(input));
+        }
+        // push_field leaves a trailing comma; close over it.
+        s.pop();
+        s.push('}');
+        s
+    }
+}
+
+fn push_field(s: &mut String, key: &str, rendered_value: &str) {
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\":");
+    s.push_str(rendered_value);
+    s.push(',');
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub(crate) fn json_str(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Human-readable bound description for EXPLAIN.
+pub(crate) fn range_detail(
+    lo: &Option<(KeySource, bool)>,
+    hi: &Option<(KeySource, bool)>,
+) -> String {
+    let side = |b: &Option<(KeySource, bool)>, lo_side: bool| match b {
+        None => "unbounded".to_string(),
+        Some((ks, strict)) => {
+            let op = match (lo_side, *strict) {
+                (true, true) => ">",
+                (true, false) => ">=",
+                (false, true) => "<",
+                (false, false) => "<=",
+            };
+            format!("{op} {}", ks.display())
+        }
+    };
+    format!("{}, {}", side(lo, true), side(hi, false))
+}
+
+/// Collector for row-level join reads: exact keys until the cap, a
+/// whole-table dependency after.
+struct JoinReads {
+    table: String,
+    keys: Vec<RowKey>,
+    overflowed: bool,
+}
+
+impl JoinReads {
+    fn new(table: &str) -> Self {
+        JoinReads {
+            table: table.to_string(),
+            keys: Vec::new(),
+            overflowed: false,
+        }
+    }
+
+    fn push(&mut self, value: &DbValue) {
+        if self.overflowed {
+            return;
+        }
+        let key = RowKey::of(value);
+        if !self.keys.contains(&key) {
+            if self.keys.len() >= MAX_EXACT_JOIN_KEYS {
+                self.overflowed = true;
+                self.keys.clear();
+            } else {
+                self.keys.push(key);
+            }
+        }
+    }
+
+    fn commit(self, reads: &mut ReadSet) {
+        if self.overflowed {
+            reads.record_table(&self.table);
+        } else {
+            for key in self.keys {
+                reads.record_key(&self.table, key);
+            }
+        }
+    }
+}
+
+/// Executes a compiled plan against the bound tables (guards already
+/// held). `node_times` receives `(node kind, nanos)` pairs for the
+/// metrics observer, which runs after the guards drop.
+pub(crate) fn run_planned(
+    plan: &SelectPlan,
+    params: &[DbValue],
+    tables: &[BoundTable<'_>],
+    stats: &mut ExecStats,
+    mut reads: Option<&mut ReadSet>,
+    node_times: &mut Vec<(&'static str, u64)>,
+) -> Result<QueryResult, DbError> {
+    let sel = plan.select();
+
+    // --- Endpoint shortcut: no scan at all. ---
+    if let Some(items) = &plan.shortcut {
+        let t0 = Instant::now();
+        let base = &tables[0];
+        if let Some(reads) = reads.as_deref_mut() {
+            // MIN/MAX/COUNT over the whole table depend on every row.
+            reads.record_table(&base.table);
+        }
+        let mut row = Vec::with_capacity(items.len());
+        let mut columns = Vec::with_capacity(items.len());
+        for (item, sel_item) in items.iter().zip(&sel.items) {
+            let SelectItem::Expr { expr, alias } = sel_item else {
+                unreachable!("shortcut rejects SELECT *");
+            };
+            columns.push(exec::item_name(expr, alias));
+            let value = match item {
+                ShortcutItem::CountStar => DbValue::Int(base.data.len() as i64),
+                ShortcutItem::Endpoint { col, max } => base
+                    .data
+                    .index_endpoint(*col, *max)
+                    .and_then(|id| base.data.row(id))
+                    .map(|r| r[*col].clone())
+                    .unwrap_or(DbValue::Null),
+            };
+            stats.scanned += 1;
+            row.push(value);
+        }
+        let nanos = t0.elapsed().as_nanos() as u64;
+        let scan = &plan.nodes[plan.scan_node];
+        scan.record(1, nanos);
+        node_times.push((scan.kind, nanos));
+        if let Some(tail) = plan.tail_node {
+            plan.nodes[tail].record(1, 0);
+            node_times.push((plan.nodes[tail].kind, 0));
+        }
+        return Ok(QueryResult {
+            columns,
+            rows: vec![row],
+            rows_affected: 0,
+            rows_scanned: stats.scanned,
+        });
+    }
+
+    let full_ctx = EvalCtx { tables, params };
+    let base = &tables[0];
+    let base_ctx = EvalCtx {
+        tables: &tables[..1],
+        params,
+    };
+
+    // --- Base access. ---
+    let t0 = Instant::now();
+    let base_ids: Vec<usize> = match &plan.base {
+        BaseAccess::SeqScan => base.data.iter_live().map(|(id, _)| id).collect(),
+        BaseAccess::IndexEq { col, key, pk } => {
+            let key = key.resolve(params)?;
+            if let Some(reads) = reads.as_deref_mut() {
+                if *pk {
+                    // Exact even on a miss: a later insert of this key
+                    // must still invalidate a cached empty result.
+                    reads.record_key(&base.table, RowKey::of(&key));
+                } else {
+                    reads.record_table(&base.table);
+                }
+            }
+            base.data.lookup_eq(*col, &key)
+        }
+        BaseAccess::IndexRange { col, lo, hi } => {
+            let resolve = |b: &Option<(KeySource, bool)>| -> Result<Option<DbValue>, DbError> {
+                match b {
+                    None => Ok(None),
+                    Some((ks, _)) => ks.resolve(params).map(Some),
+                }
+            };
+            let lo_v = resolve(lo)?;
+            let hi_v = resolve(hi)?;
+            if let Some(reads) = reads.as_deref_mut() {
+                reads.record_table(&base.table);
+            }
+            // A NULL bound never compares true: the predicate rejects
+            // every row, so skip the scan entirely.
+            if lo_v.as_ref().is_some_and(DbValue::is_null)
+                || hi_v.as_ref().is_some_and(DbValue::is_null)
+            {
+                Vec::new()
+            } else {
+                let lo_k = lo_v.map(|v| v.index_key());
+                let hi_k = hi_v.map(|v| v.index_key());
+                // An inverted range matches nothing (and would panic
+                // `BTreeMap::range`): answer empty like the legacy
+                // filter does.
+                if matches!((&lo_k, &hi_k), (Some(lo), Some(hi)) if lo > hi) {
+                    Vec::new()
+                } else {
+                    let lo_b = lo_k.as_ref().map_or(Bound::Unbounded, Bound::Included);
+                    let hi_b = hi_k.as_ref().map_or(Bound::Unbounded, Bound::Included);
+                    base.data.lookup_range(*col, lo_b, hi_b)
+                }
+            }
+        }
+    };
+    if matches!(plan.base, BaseAccess::SeqScan) {
+        if let Some(reads) = reads.as_deref_mut() {
+            reads.record_table(&base.table);
+        }
+    }
+
+    // Early predicates, applied exactly like the legacy executor.
+    let mut visited = 0u64;
+    let mut rows: Vec<Vec<DbValue>> = Vec::new();
+    for id in base_ids {
+        let Some(r) = base.data.row(id) else { continue };
+        stats.scanned += 1;
+        visited += 1;
+        let mut keep = true;
+        for pred in &plan.base_filter {
+            if !exec::truthy(&base_ctx.eval(pred, r)?) {
+                keep = false;
+                break;
+            }
+        }
+        if keep {
+            rows.push(r.clone());
+        }
+    }
+    let scan_nanos = t0.elapsed().as_nanos() as u64;
+    let scan = &plan.nodes[plan.scan_node];
+    scan.record(visited, scan_nanos);
+    node_times.push((scan.kind, scan_nanos));
+    if let Some(f) = plan.filter_node {
+        plan.nodes[f].record(rows.len() as u64, 0);
+        node_times.push((plan.nodes[f].kind, 0));
+    }
+
+    // --- Joins. ---
+    for (join_idx, jp) in plan.joins.iter().enumerate() {
+        let tj = Instant::now();
+        let bound_count = join_idx + 1;
+        let new_table = &tables[bound_count];
+        let now_ctx = EvalCtx {
+            tables: &tables[..bound_count + 1],
+            params,
+        };
+        let mut join_reads = match (&mut reads, jp.inner_pk, jp.strategy) {
+            (Some(_), true, JoinStrategy::IndexLoop) => Some(JoinReads::new(&new_table.table)),
+            (Some(reads), _, _) => {
+                reads.record_table(&new_table.table);
+                None
+            }
+            (None, _, _) => None,
+        };
+
+        let mut next_rows = Vec::new();
+        match jp.strategy {
+            JoinStrategy::IndexLoop | JoinStrategy::NestedLoop => {
+                let use_index = jp.strategy == JoinStrategy::IndexLoop;
+                for partial in rows {
+                    let key = &partial[jp.outer_idx];
+                    if let Some(jr) = &mut join_reads {
+                        jr.push(key);
+                    }
+                    let candidates: Vec<usize> = if use_index {
+                        new_table.data.lookup_eq(jp.inner_col, key)
+                    } else {
+                        new_table.data.iter_live().map(|(id, _)| id).collect()
+                    };
+                    for cid in candidates {
+                        let Some(inner_row) = new_table.data.row(cid) else {
+                            continue;
+                        };
+                        stats.scanned += 1;
+                        if !use_index && !inner_row[jp.inner_col].sql_eq(key) {
+                            continue;
+                        }
+                        let mut combined = partial.clone();
+                        combined.extend(inner_row.iter().cloned());
+                        let mut keep = true;
+                        for pred in &jp.newly {
+                            if !exec::truthy(&now_ctx.eval(pred, &combined)?) {
+                                keep = false;
+                                break;
+                            }
+                        }
+                        if keep {
+                            next_rows.push(combined);
+                        }
+                    }
+                }
+            }
+            JoinStrategy::Hash => {
+                // Build once over live rows in row-id order: bucket
+                // contents come out in the same order the legacy rescan
+                // visits them, so output ordering is preserved.
+                let mut table: HashMap<IndexKey, Vec<usize>> = HashMap::new();
+                for (id, row) in new_table.data.iter_live() {
+                    stats.scanned += 1;
+                    let v = &row[jp.inner_col];
+                    if !v.is_null() {
+                        table.entry(v.index_key()).or_default().push(id);
+                    }
+                }
+                for partial in rows {
+                    let key = &partial[jp.outer_idx];
+                    if key.is_null() {
+                        continue; // NULL joins nothing (sql_eq semantics)
+                    }
+                    let Some(bucket) = table.get(&key.index_key()) else {
+                        continue;
+                    };
+                    for &cid in bucket {
+                        let Some(inner_row) = new_table.data.row(cid) else {
+                            continue;
+                        };
+                        stats.scanned += 1;
+                        // IndexKey groups by f64 value; re-check with
+                        // sql_eq so edge cases match the legacy rescan.
+                        if !inner_row[jp.inner_col].sql_eq(key) {
+                            continue;
+                        }
+                        let mut combined = partial.clone();
+                        combined.extend(inner_row.iter().cloned());
+                        let mut keep = true;
+                        for pred in &jp.newly {
+                            if !exec::truthy(&now_ctx.eval(pred, &combined)?) {
+                                keep = false;
+                                break;
+                            }
+                        }
+                        if keep {
+                            next_rows.push(combined);
+                        }
+                    }
+                }
+            }
+        }
+        if let (Some(jr), Some(reads)) = (join_reads, reads.as_deref_mut()) {
+            jr.commit(reads);
+        }
+        rows = next_rows;
+        let nanos = tj.elapsed().as_nanos() as u64;
+        let node = &plan.nodes[plan.join_nodes[join_idx]];
+        node.record(rows.len() as u64, nanos);
+        node_times.push((node.kind, nanos));
+    }
+
+    // --- Shared projection / ORDER BY / LIMIT tail. Aggregate inputs
+    // were already charged by the scan and join nodes above, so the
+    // legacy double-charge is skipped (`charge_aggregate = false`).
+    let tt = Instant::now();
+    let result = exec::finish_select(sel, &full_ctx, rows, stats, false)?;
+    if let Some(tail) = plan.tail_node {
+        // The tail (aggregate/sort/limit) runs as one fused pass in
+        // `finish_select`; its measured time lands on the bottom tail
+        // node and the ones above it record the final row count only.
+        let nanos = tt.elapsed().as_nanos() as u64;
+        for (i, node) in plan.nodes.iter().enumerate().skip(tail) {
+            let t = if i == tail { nanos } else { 0 };
+            node.record(result.rows.len() as u64, t);
+            node_times.push((node.kind, t));
+        }
+    }
+    Ok(result)
+}

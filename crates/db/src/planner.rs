@@ -1,0 +1,500 @@
+//! The planning pass: SELECT AST → [`SelectPlan`] (DESIGN.md §16).
+//!
+//! Planning runs once per statement text, under the same sorted
+//! table read locks execution uses, so schemas and cardinalities are
+//! consistent with the first run. The planner's cost model is
+//! deliberately small — table cardinality and index distinct-key
+//! counts, the inputs the synthetic [`CostModel`](crate::CostModel)
+//! charges for — because the quantity being minimised *is* rows
+//! visited:
+//!
+//! * base access: a PK equality probe beats any other access; then the
+//!   legacy first-equality-conjunct index probe (kept identical so row
+//!   ordering is preserved); then a range probe over an indexed column
+//!   (`< <= > >= BETWEEN`); else a sequential scan;
+//! * joins: an indexed inner side keeps the legacy index loop; an
+//!   unindexed inner side compares `build + probes` (hash join) against
+//!   `outer × inner` (nested loop rescan) on estimated cardinalities;
+//! * single-row aggregates (`COUNT(*)`, `MIN`/`MAX` of an indexed
+//!   column, no WHERE/JOIN/GROUP/ORDER/LIMIT) short-cut to index
+//!   endpoints without scanning at all.
+
+use crate::error::DbError;
+use crate::exec::{self, BoundTable, EvalCtx};
+use crate::plan::*;
+use crate::sql::ast::*;
+use crate::value::DbValue;
+use std::sync::Arc;
+
+/// Assumed matches per join key when the inner side has no index to
+/// report distinct keys (i.e. for the hash-vs-nested-loop choice).
+const UNINDEXED_MATCHES_PER_KEY: u64 = 10;
+
+/// Assumed selectivity denominator for range probes: a range scan is
+/// estimated to keep a third of the table.
+const RANGE_SELECTIVITY: u64 = 3;
+
+/// Builds the plan for one SELECT. `tables` are bound in FROM/JOIN
+/// order with their read guards held by the caller.
+pub(crate) fn build_select_plan(
+    stmt: &Arc<Statement>,
+    tables: &[BoundTable<'_>],
+) -> Result<SelectPlan, DbError> {
+    let Statement::Select(sel) = &**stmt else {
+        return Err(DbError::invalid("only SELECT statements are planned"));
+    };
+    let params: [DbValue; 0] = [];
+    let base = &tables[0];
+    let base_ctx = EvalCtx {
+        tables: &tables[..1],
+        params: &params,
+    };
+    let conjs: Vec<&Expr> = sel.where_.as_ref().map(exec::conjuncts).unwrap_or_default();
+
+    // --- Endpoint shortcut. ---
+    if let Some(items) = detect_shortcut(sel, base) {
+        let mut nodes = Vec::new();
+        let detail = items
+            .iter()
+            .map(|i| match i {
+                ShortcutItem::CountStar => "count(*)".to_string(),
+                ShortcutItem::Endpoint { col, max } => format!(
+                    "{}({})",
+                    if *max { "max" } else { "min" },
+                    base.data.schema().columns()[*col].name
+                ),
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let mut scan = PlanNode::new("index_endpoint", 1, None);
+        scan.table = Some(base.table.clone());
+        scan.detail = Some(detail);
+        nodes.push(scan);
+        nodes.push(PlanNode::new("aggregate", 1, Some(0)));
+        return Ok(SelectPlan {
+            stmt: Arc::clone(stmt),
+            base: BaseAccess::SeqScan, // unused on the shortcut path
+            base_filter: Vec::new(),
+            joins: Vec::new(),
+            shortcut: Some(items),
+            nodes,
+            scan_node: 0,
+            filter_node: None,
+            join_nodes: Vec::new(),
+            tail_node: Some(1),
+            root: 1,
+        });
+    }
+
+    // --- Predicate partition (same rule as the legacy executor). ---
+    let base_filter: Vec<Expr> = conjs
+        .iter()
+        .filter(|c| exec::is_resolvable(c, &base_ctx))
+        .map(|c| (*c).clone())
+        .collect();
+
+    // --- Base access path. ---
+    let base_n = base.data.len() as u64;
+    let access = choose_base_access(&conjs, base);
+    let mut est = match &access {
+        BaseAccess::SeqScan => base_n,
+        BaseAccess::IndexEq { pk: true, .. } => 1,
+        BaseAccess::IndexEq { col, .. } => per_key_estimate(base, *col),
+        BaseAccess::IndexRange { .. } => (base_n / RANGE_SELECTIVITY).max(1),
+    };
+
+    let mut nodes: Vec<PlanNode> = Vec::new();
+    let (kind, index, detail) = match &access {
+        BaseAccess::SeqScan => ("seq_scan", None, None),
+        BaseAccess::IndexEq { col, key, pk } => (
+            "index_scan",
+            Some(base.data.schema().columns()[*col].name.clone()),
+            Some(if *pk {
+                format!("pk = {}", key_display(key))
+            } else {
+                format!("= {}", key_display(key))
+            }),
+        ),
+        BaseAccess::IndexRange { col, lo, hi } => (
+            "index_range",
+            Some(base.data.schema().columns()[*col].name.clone()),
+            Some(range_detail(lo, hi)),
+        ),
+    };
+    let mut scan = PlanNode::new(kind, est, None);
+    scan.table = Some(base.table.clone());
+    scan.index = index;
+    scan.detail = detail;
+    nodes.push(scan);
+    let scan_node = 0;
+    let mut prev = scan_node;
+
+    let filter_node = if base_filter.is_empty() {
+        None
+    } else {
+        let mut f = PlanNode::new("filter", est, Some(prev));
+        f.detail = Some(format!(
+            "{} predicate{}",
+            base_filter.len(),
+            if base_filter.len() == 1 { "" } else { "s" }
+        ));
+        nodes.push(f);
+        prev = nodes.len() - 1;
+        Some(prev)
+    };
+
+    // --- Joins: replicate the legacy inner/outer resolution, then pick
+    // a strategy for each unindexed inner side. ---
+    let mut joins: Vec<JoinPlan> = Vec::new();
+    let mut join_nodes: Vec<usize> = Vec::new();
+    for (join_idx, join) in sel.joins.iter().enumerate() {
+        let bound_count = join_idx + 1;
+        let new_table = &tables[bound_count];
+        let prev_ctx = EvalCtx {
+            tables: &tables[..bound_count],
+            params: &params,
+        };
+        let now_ctx = EvalCtx {
+            tables: &tables[..bound_count + 1],
+            params: &params,
+        };
+        let (outer_ref, inner_ref) = {
+            let right_is_new = new_table
+                .data
+                .schema()
+                .column_index(&join.on_right.column)
+                .is_some()
+                && join
+                    .on_right
+                    .table
+                    .as_deref()
+                    .map(|t| t == new_table.name)
+                    .unwrap_or(prev_ctx.resolve(&join.on_right).is_err());
+            if right_is_new {
+                (&join.on_left, &join.on_right)
+            } else {
+                (&join.on_right, &join.on_left)
+            }
+        };
+        let outer_idx = prev_ctx.resolve(outer_ref)?;
+        let inner_col = new_table
+            .data
+            .schema()
+            .column_index(&inner_ref.column)
+            .ok_or_else(|| DbError::NoSuchColumn(inner_ref.column.clone()))?;
+        let inner_pk = new_table.data.schema().primary_key() == Some(inner_col);
+        let inner_n = new_table.data.len() as u64;
+
+        let strategy = if new_table.data.has_index(inner_col) {
+            JoinStrategy::IndexLoop
+        } else {
+            // Hash: one build pass plus a probe per outer row.
+            // Nested loop: a full inner rescan per outer row.
+            let cost_hash = inner_n.saturating_add(est);
+            let cost_nl = est.saturating_mul(inner_n);
+            if cost_hash < cost_nl {
+                JoinStrategy::Hash
+            } else {
+                JoinStrategy::NestedLoop
+            }
+        };
+        let per_key = if inner_pk {
+            1
+        } else if new_table.data.has_index(inner_col) {
+            per_key_estimate(new_table, inner_col)
+        } else {
+            (inner_n / UNINDEXED_MATCHES_PER_KEY).clamp(1, inner_n.max(1))
+        };
+        est = est.saturating_mul(per_key);
+
+        let newly: Vec<Expr> = conjs
+            .iter()
+            .filter(|c| exec::is_resolvable(c, &now_ctx) && !exec::is_resolvable(c, &prev_ctx))
+            .map(|c| (*c).clone())
+            .collect();
+
+        let kind = match strategy {
+            JoinStrategy::IndexLoop => "index_loop_join",
+            JoinStrategy::Hash => "hash_join",
+            JoinStrategy::NestedLoop => "nested_loop_join",
+        };
+        let mut node = PlanNode::new(kind, est, Some(prev));
+        node.table = Some(new_table.table.clone());
+        if strategy == JoinStrategy::IndexLoop {
+            node.index = Some(new_table.data.schema().columns()[inner_col].name.clone());
+        }
+        node.detail = Some(format!(
+            "on {}{}",
+            new_table.data.schema().columns()[inner_col].name,
+            if newly.is_empty() {
+                String::new()
+            } else {
+                format!(" + {} predicate(s)", newly.len())
+            }
+        ));
+        nodes.push(node);
+        prev = nodes.len() - 1;
+        join_nodes.push(prev);
+
+        joins.push(JoinPlan {
+            outer_idx,
+            inner_col,
+            inner_pk,
+            strategy,
+            newly,
+        });
+    }
+
+    // --- Tail nodes: aggregate, sort, limit. ---
+    let mut tail_node = None;
+    if exec::select_has_aggregate(sel) {
+        let est_groups = if sel.group_by.is_empty() {
+            1
+        } else {
+            (est / UNINDEXED_MATCHES_PER_KEY).max(1)
+        };
+        est = est_groups;
+        nodes.push(PlanNode::new("aggregate", est, Some(prev)));
+        prev = nodes.len() - 1;
+        tail_node = Some(prev);
+    }
+    if !sel.order_by.is_empty() {
+        nodes.push(PlanNode::new("sort", est, Some(prev)));
+        prev = nodes.len() - 1;
+        tail_node.get_or_insert(prev);
+    }
+    if sel.limit.is_some() || sel.offset.is_some() {
+        if let Some(Expr::Literal(v)) = &sel.limit {
+            if let Some(n) = v.as_int() {
+                est = est.min(n.max(0) as u64);
+            }
+        }
+        nodes.push(PlanNode::new("limit", est, Some(prev)));
+        prev = nodes.len() - 1;
+        tail_node.get_or_insert(prev);
+    }
+
+    Ok(SelectPlan {
+        stmt: Arc::clone(stmt),
+        base: access,
+        base_filter,
+        joins,
+        shortcut: None,
+        nodes,
+        scan_node,
+        filter_node,
+        join_nodes,
+        tail_node,
+        root: prev,
+    })
+}
+
+fn key_display(key: &KeySource) -> String {
+    match key {
+        KeySource::Literal(v) => v.to_string(),
+        KeySource::Param(i) => format!("?{}", i + 1),
+    }
+}
+
+/// Average bucket size of the index on `col`.
+fn per_key_estimate(table: &BoundTable<'_>, col: usize) -> u64 {
+    let n = table.data.len() as u64;
+    let distinct = table.data.distinct_keys(col).unwrap_or(1).max(1) as u64;
+    (n / distinct).max(1)
+}
+
+/// Detects the single-row aggregate shortcut: every select item is
+/// `COUNT(*)` or `MIN`/`MAX` of an indexed base column, and nothing
+/// else constrains the query.
+fn detect_shortcut(sel: &SelectStmt, base: &BoundTable<'_>) -> Option<Vec<ShortcutItem>> {
+    if !sel.joins.is_empty()
+        || sel.where_.is_some()
+        || !sel.group_by.is_empty()
+        || !sel.order_by.is_empty()
+        || sel.limit.is_some()
+        || sel.offset.is_some()
+        || sel.items.is_empty()
+    {
+        return None;
+    }
+    let mut items = Vec::with_capacity(sel.items.len());
+    for item in &sel.items {
+        let SelectItem::Expr { expr, .. } = item else {
+            return None;
+        };
+        match expr {
+            Expr::Aggregate {
+                func: AggFunc::Count,
+                arg: None,
+            } => items.push(ShortcutItem::CountStar),
+            Expr::Aggregate {
+                func: func @ (AggFunc::Min | AggFunc::Max),
+                arg: Some(arg),
+            } => {
+                let Expr::Column(c) = &**arg else { return None };
+                if let Some(t) = &c.table {
+                    if *t != base.name {
+                        return None;
+                    }
+                }
+                let col = base.data.schema().column_index(&c.column)?;
+                if !base.data.has_index(col) {
+                    return None;
+                }
+                items.push(ShortcutItem::Endpoint {
+                    col,
+                    max: *func == AggFunc::Max,
+                });
+            }
+            _ => return None,
+        }
+    }
+    Some(items)
+}
+
+/// Picks the base access path from the WHERE conjuncts.
+fn choose_base_access(conjs: &[&Expr], base: &BoundTable<'_>) -> BaseAccess {
+    let pk = base.data.schema().primary_key();
+
+    // 1. A PK equality probe: at most one row, so it is order-safe to
+    // prefer it over an earlier secondary-index conjunct.
+    for conj in conjs {
+        if let Some((col, key)) = match_eq(conj, base) {
+            if pk == Some(col) {
+                return BaseAccess::IndexEq { col, key, pk: true };
+            }
+        }
+    }
+    // 2. The legacy probe: the *first* equality conjunct on any indexed
+    // column — kept identical so multi-row bucket order (and therefore
+    // un-ORDERed result order) matches the legacy executor.
+    for conj in conjs {
+        if let Some((col, key)) = match_eq(conj, base) {
+            return BaseAccess::IndexEq {
+                col,
+                key,
+                pk: false,
+            };
+        }
+    }
+    // 3. A range over one indexed column; later conjuncts on the same
+    // column tighten the other side.
+    for conj in conjs {
+        if let Some((col, lo, hi)) = match_range(conj, base) {
+            let (mut lo, mut hi) = (lo, hi);
+            for other in conjs {
+                if std::ptr::eq(*other as *const Expr, *conj as *const Expr) {
+                    continue;
+                }
+                if let Some((c2, lo2, hi2)) = match_range(other, base) {
+                    if c2 == col {
+                        if lo.is_none() {
+                            lo = lo2;
+                        }
+                        if hi.is_none() {
+                            hi = hi2;
+                        }
+                    }
+                }
+            }
+            return BaseAccess::IndexRange { col, lo, hi };
+        }
+    }
+    BaseAccess::SeqScan
+}
+
+/// Matches `col = constant` against the base table, with the same
+/// column-qualification rules as the legacy `index_probe`.
+fn match_eq(conj: &Expr, base: &BoundTable<'_>) -> Option<(usize, KeySource)> {
+    let Expr::Binary {
+        op: BinOp::Eq,
+        left,
+        right,
+    } = conj
+    else {
+        return None;
+    };
+    for (col_side, const_side) in [(left, right), (right, left)] {
+        let Some(col) = base_indexed_column(col_side, base) else {
+            continue;
+        };
+        let Some(key) = key_source(const_side) else {
+            continue;
+        };
+        return Some((col, key));
+    }
+    None
+}
+
+/// Matches a range conjunct (`< <= > >= BETWEEN`) on an indexed base
+/// column; returns `(col, lower bound, upper bound)` with the
+/// strictness flag preserved for EXPLAIN.
+#[allow(clippy::type_complexity)]
+fn match_range(
+    conj: &Expr,
+    base: &BoundTable<'_>,
+) -> Option<(usize, Option<(KeySource, bool)>, Option<(KeySource, bool)>)> {
+    match conj {
+        Expr::Binary { op, left, right }
+            if matches!(op, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) =>
+        {
+            // Column on the left keeps the operator; column on the
+            // right flips it (`5 < col` ⇒ `col > 5`).
+            let (col, key, op) = if let Some(col) = base_indexed_column(left, base) {
+                (col, key_source(right)?, *op)
+            } else if let Some(col) = base_indexed_column(right, base) {
+                let flipped = match op {
+                    BinOp::Lt => BinOp::Gt,
+                    BinOp::Le => BinOp::Ge,
+                    BinOp::Gt => BinOp::Lt,
+                    BinOp::Ge => BinOp::Le,
+                    _ => unreachable!(),
+                };
+                (col, key_source(left)?, flipped)
+            } else {
+                return None;
+            };
+            Some(match op {
+                BinOp::Gt => (col, Some((key, true)), None),
+                BinOp::Ge => (col, Some((key, false)), None),
+                BinOp::Lt => (col, None, Some((key, true))),
+                BinOp::Le => (col, None, Some((key, false))),
+                _ => unreachable!(),
+            })
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated: false,
+        } => {
+            let col = base_indexed_column(expr, base)?;
+            let lo = key_source(low)?;
+            let hi = key_source(high)?;
+            Some((col, Some((lo, false)), Some((hi, false))))
+        }
+        _ => None,
+    }
+}
+
+/// Resolves an expression to an indexed column of the base table,
+/// using the legacy qualification rule (alias match, or unqualified
+/// name present in the base schema).
+fn base_indexed_column(expr: &Expr, base: &BoundTable<'_>) -> Option<usize> {
+    let Expr::Column(c) = expr else { return None };
+    if let Some(t) = &c.table {
+        if *t != base.name {
+            return None;
+        }
+    }
+    let col = base.data.schema().column_index(&c.column)?;
+    base.data.has_index(col).then_some(col)
+}
+
+fn key_source(expr: &Expr) -> Option<KeySource> {
+    match expr {
+        Expr::Literal(v) => Some(KeySource::Literal(v.clone())),
+        Expr::Param(i) => Some(KeySource::Param(*i)),
+        _ => None,
+    }
+}

@@ -20,6 +20,10 @@ const FAULT_RANK: Rank = Rank::new(200);
 /// Rank of a connection's read-set accumulator: between the fault plan
 /// and the breaker handle. Never held across query execution — the
 /// statement collects into a local set, which is merged in afterwards.
+/// The connection's route tag (see [`PooledConnection::set_route`]);
+/// read at the top of `execute`, before the breaker and every database
+/// lock.
+const ROUTE_RANK: Rank = Rank::new(202);
 const READS_RANK: Rank = Rank::new(204);
 
 /// Rank of the breaker handle: above the fault plan, below the breaker
@@ -118,6 +122,7 @@ impl ConnectionPool {
             queries: AtomicU64::new(0),
             dead: AtomicBool::new(false),
             tracking: AtomicBool::new(false),
+            route: OrderedMutex::new(ROUTE_RANK, "db.pool.route", None),
             reads: OrderedMutex::new(READS_RANK, "db.pool.reads", None),
             inner: Arc::clone(&self.inner),
         }
@@ -226,6 +231,10 @@ pub struct PooledConnection {
     /// Whether read-set tracking is active (fast-path gate: the mutex
     /// below is only touched when this is set).
     tracking: AtomicBool,
+    /// The server route this checkout is serving, if any; every
+    /// statement executed while set is recorded against it for the
+    /// `/debug/explain` surface.
+    route: OrderedMutex<Option<String>>,
     /// The accumulated read set while tracking; `None` otherwise.
     reads: OrderedMutex<Option<ReadSet>>,
 }
@@ -241,6 +250,11 @@ impl PooledConnection {
     /// [`DbError::CircuitOpen`] when an installed [`CircuitBreaker`] is
     /// rejecting queries.
     pub fn execute(&self, sql: &str, params: &[DbValue]) -> Result<QueryResult, DbError> {
+        // Route attribution happens up front so even statements that the
+        // breaker or a fault plan rejects show up under their page.
+        if let Some(route) = self.route.lock().clone() {
+            self.inner.db.note_route_statement(&route, sql);
+        }
         let breaker = self.inner.breaker.read().clone();
         if let Some(b) = &breaker {
             if !b.try_acquire() {
@@ -315,6 +329,13 @@ impl PooledConnection {
             return None;
         }
         self.reads.lock().take()
+    }
+
+    /// Tags (or, with `None`, clears) the server route this checkout is
+    /// serving; while set, every executed statement is recorded for
+    /// [`Database::explain_route`].
+    pub fn set_route(&self, route: Option<&str>) {
+        *self.route.lock() = route.map(str::to_string);
     }
 
     /// Whether a fault plan has killed this connection.

@@ -179,6 +179,62 @@ impl TableData {
         self.schema.primary_key() == Some(col) || self.indexes.contains_key(&col)
     }
 
+    /// Distinct keys currently in the index on `col` (PK included), or
+    /// `None` when the column is unindexed. A planner cardinality input.
+    pub(crate) fn distinct_keys(&self, col: usize) -> Option<usize> {
+        if self.schema.primary_key() == Some(col) {
+            return self.pk_index.as_ref().map(BTreeMap::len);
+        }
+        self.indexes.get(&col).map(BTreeMap::len)
+    }
+
+    /// Row IDs whose key on `col` falls in `[lo, hi]` bound-wise, sorted
+    /// ascending — the same order a full scan visits rows, so range
+    /// scans slot into the legacy executor's ordering byte-for-byte.
+    /// Caller must have checked [`TableData::has_index`].
+    pub(crate) fn lookup_range(
+        &self,
+        col: usize,
+        lo: std::ops::Bound<&IndexKey>,
+        hi: std::ops::Bound<&IndexKey>,
+    ) -> Vec<usize> {
+        let mut ids: Vec<usize> = if self.schema.primary_key() == Some(col) {
+            self.pk_index
+                .as_ref()
+                .map(|ix| ix.range((lo, hi)).map(|(_, &id)| id).collect())
+                .unwrap_or_default()
+        } else {
+            self.indexes
+                .get(&col)
+                .map(|ix| {
+                    ix.range((lo, hi))
+                        .flat_map(|(_, ids)| ids.iter().copied())
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The row holding the smallest (or, with `max`, largest) non-NULL
+    /// key in the index on `col`: the `MIN`/`MAX` endpoint. Among rows
+    /// sharing the endpoint key, the lowest row ID wins — the row a full
+    /// fold over [`TableData::iter_live`] would have kept first. `None`
+    /// when the column is unindexed or every key is NULL.
+    pub(crate) fn index_endpoint(&self, col: usize, max: bool) -> Option<usize> {
+        if self.schema.primary_key() == Some(col) {
+            let ix = self.pk_index.as_ref()?;
+            let mut live = ix.iter().filter(|(k, _)| **k != IndexKey::Null);
+            let (_, &id) = if max { live.next_back()? } else { live.next()? };
+            return Some(id);
+        }
+        let ix = self.indexes.get(&col)?;
+        let mut live = ix.iter().filter(|(k, _)| **k != IndexKey::Null);
+        let (_, ids) = if max { live.next_back()? } else { live.next()? };
+        ids.iter().copied().min()
+    }
+
     /// Row IDs with `col = value`, via index. Caller must have checked
     /// [`TableData::has_index`].
     pub(crate) fn lookup_eq(&self, col: usize, value: &DbValue) -> Vec<usize> {

@@ -366,9 +366,17 @@ fn rows_scanned_reflects_plan() {
     // Secondary index probe: only the matching ten.
     let r = db.execute("SELECT id FROM t WHERE k = 3", &[]).unwrap();
     assert_eq!(r.rows_scanned, 10);
-    // Range predicate: full scan.
+    // Range predicate: the planner walks the index from the bound's
+    // bucket (inclusive — the filter re-checks strictness), so only
+    // buckets 3..=9 are visited.
+    let r = db.execute("SELECT id FROM t WHERE k > 3", &[]).unwrap();
+    assert_eq!(r.rows_scanned, 70);
+    assert_eq!(r.rows.len(), 60);
+    // The legacy executor scans the whole table for the same result.
+    db.set_use_planner(false);
     let r = db.execute("SELECT id FROM t WHERE k > 3", &[]).unwrap();
     assert_eq!(r.rows_scanned, 100);
+    assert_eq!(r.rows.len(), 60);
 }
 
 #[test]

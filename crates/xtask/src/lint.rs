@@ -11,7 +11,7 @@
 //! | `raw_lock` | no raw `Mutex::new`/`RwLock::new` outside `crates/sync` — use the `Ordered*` wrappers |
 //! | `hot_path_alloc` | no allocation-prone calls inside `// lint: hot_path` regions |
 //! | `unbounded_queue` | every queue/channel construction states a bound |
-//! | `metric_name` | registry metric names are `[a-z_]+`; counters end `_total`, histograms end `_seconds`/`_bytes` |
+//! | `metric_name` | registry metric names are `[a-z_]+`; counters end `_total`, histograms end `_seconds`/`_bytes`; inline label keys are `[a-z_]+` and contracted families (e.g. `db_plan_node_seconds{node}`) carry exactly their declared keys |
 //! | `raw_atomic` | no `std::sync::atomic` outside `crates/sync` — use the `staged_sync::atomic` shims so `--cfg model` builds interpose schedule points |
 //! | `relaxed` | `Ordering::Relaxed` only on counter bumps (`fetch_add`/`fetch_sub`/`fetch_max`); control-flow flags need `Release`/`Acquire`, counter reads state the opt-out with `// lint: allow(relaxed)` |
 //!
@@ -145,6 +145,17 @@ const METRIC_CALLS: &[(&str, &str)] = &[
     (".gauge_collector(", "gauge"),
     (".histogram(", "histogram"),
     (".register_histogram(", "histogram"),
+];
+
+/// Labeled metric families with a fixed label-key contract: every
+/// registration site must pass exactly these keys, in this order.
+/// Checked when the `&[...]` labels argument sits on the registration
+/// line (the lint's static reach); the per-plan-node histogram family
+/// is the motivating entry — a registration without the `node` label
+/// would silently merge all plan-node timings into one series.
+const METRIC_LABELS: &[(&str, &[&str])] = &[
+    ("db_plan_node_seconds", &["node"]),
+    ("trace_outcomes_total", &["outcome"]),
 ];
 
 /// Allocation-prone calls forbidden in `// lint: hot_path` regions.
@@ -417,6 +428,42 @@ pub fn lint_source(path: &str, source: &str, kind: FileKind) -> Vec<Diagnostic> 
                         message,
                     });
                 }
+                // The label-key side of the same conventions: keys in
+                // an inline `&[...]` labels argument must be lowercase
+                // `[a-z_]+`, and families with a declared contract
+                // (`METRIC_LABELS`) must carry exactly those keys.
+                // Labels on a later line are out of static reach.
+                let Some(keys) = inline_label_keys(rest) else {
+                    continue;
+                };
+                for key in &keys {
+                    if key.is_empty() || !key.bytes().all(|b| b.is_ascii_lowercase() || b == b'_') {
+                        diagnostics.push(Diagnostic {
+                            path: path.to_string(),
+                            line: line_no,
+                            rule: "metric_name",
+                            message: format!(
+                                "label key \"{key}\" on \"{name}\" must be \
+                                 lowercase `[a-z_]+`"
+                            ),
+                        });
+                    }
+                }
+                if let Some((_, contract)) =
+                    METRIC_LABELS.iter().find(|(family, _)| *family == name)
+                {
+                    if keys != *contract {
+                        diagnostics.push(Diagnostic {
+                            path: path.to_string(),
+                            line: line_no,
+                            rule: "metric_name",
+                            message: format!(
+                                "family \"{name}\" must be registered with exactly \
+                                 the label keys {contract:?}, got {keys:?}"
+                            ),
+                        });
+                    }
+                }
             }
         }
 
@@ -543,6 +590,25 @@ fn leading_string_literal(text: &str) -> Option<&str> {
     let rest = text.trim_start().strip_prefix('"')?;
     let end = rest.find('"')?;
     Some(&rest[..end])
+}
+
+/// Label keys passed inline at a registration site: the `("key"` tuple
+/// openers inside the `&[...]` labels argument on the registration
+/// line. `None` when no inline labels argument is visible (multi-line
+/// call — out of the lint's static reach); `Some(vec![])` for `&[]`.
+fn inline_label_keys(rest: &str) -> Option<Vec<&str>> {
+    let at = rest.find("&[")?;
+    let body = &rest[at + 2..];
+    let body = &body[..body.find(']')?];
+    let mut keys = Vec::new();
+    let mut from = 0;
+    while let Some(p) = body[from..].find("(\"") {
+        let start = from + p + 2;
+        let end = body[start..].find('"')?;
+        keys.push(&body[start..start + end]);
+        from = start + end + 1;
+    }
+    Some(keys)
 }
 
 /// Why a registered metric name violates the exposition conventions,
@@ -827,6 +893,30 @@ let r = Arc::clone(&entry.response);
         let diags = lint(src);
         assert_eq!(diags.len(), 2, "{diags:?}");
         assert!(diags.iter().all(|d| d.rule == "hot_path_alloc"));
+    }
+
+    #[test]
+    fn metric_label_contract_enforced() {
+        // The canonical registration passes.
+        let src = "let h = registry.histogram(\"db_plan_node_seconds\", &[(\"node\", kind)]);\n";
+        assert!(lint(src).is_empty());
+        // Dropping the `node` label would merge every plan node into
+        // one series.
+        let src = "let h = registry.histogram(\"db_plan_node_seconds\", &[]);\n";
+        let diags = lint(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("[\"node\"]"), "{diags:?}");
+        // A wrong key is a contract violation too.
+        let src = "let h = registry.histogram(\"db_plan_node_seconds\", &[(\"kind\", k)]);\n";
+        assert_eq!(lint(src).len(), 1);
+        // Uncontracted families may label freely, but keys follow the
+        // name charset.
+        let src = "let c = registry.counter(\"cache_hits_total\", &[(\"tier\", \"stale\")]);\n";
+        assert!(lint(src).is_empty());
+        let src = "let c = registry.counter(\"cache_hits_total\", &[(\"Tier\", v)]);\n";
+        let diags = lint(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("label key"), "{diags:?}");
     }
 
     #[test]

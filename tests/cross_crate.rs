@@ -141,6 +141,60 @@ fn both_servers_render_identical_pages() {
     }
 }
 
+/// Both servers expose `GET /debug/explain`: after a page is served,
+/// its route appears in the registry and `?route=<page>` renders every
+/// statement it ran with its query-plan tree.
+#[test]
+fn both_servers_serve_explain_plans() {
+    let scale = ScaleConfig::tiny();
+    for staged in [false, true] {
+        let db = Arc::new(Database::new());
+        populate(&db, &scale);
+        let app = build_app(&db, &scale);
+        let server = if staged {
+            StagedServer::start(ServerConfig::small(), app, db).unwrap()
+        } else {
+            BaselineServer::start(ServerConfig::small(), app, db).unwrap()
+        };
+        let addr = server.addr();
+
+        // Unknown routes 404 until the page has been served once.
+        let resp = fetch(addr, Method::Get, "/debug/explain?route=best_sellers", &[]).unwrap();
+        assert_eq!(resp.status, StatusCode::NOT_FOUND, "staged={staged}");
+
+        fetch(addr, Method::Get, "/best_sellers?subject=ARTS&c_id=7", &[]).unwrap();
+
+        let listing = fetch(addr, Method::Get, "/debug/explain", &[]).unwrap();
+        assert_eq!(listing.status, StatusCode::OK);
+        assert!(listing.text().contains("best_sellers"), "staged={staged}");
+
+        let resp = fetch(addr, Method::Get, "/debug/explain?route=best_sellers", &[]).unwrap();
+        assert_eq!(resp.status, StatusCode::OK, "staged={staged}");
+        let body = resp.text();
+        assert!(body.contains("\"route\":\"best_sellers\""), "{body}");
+        assert!(body.contains("\"sql\":"), "{body}");
+        assert!(body.contains("\"node\":"), "{body}");
+        // The best-sellers page runs `MAX(o_id)` (index-endpoint
+        // shortcut) and a three-way join; both should be visible.
+        assert!(body.contains("index_endpoint"), "staged={staged}: {body}");
+        assert!(body.contains("join"), "staged={staged}: {body}");
+
+        // The plan-node timing family is registered and populated
+        // (Registry::value reads a histogram's sample count).
+        let samples: f64 = staged_web::db::PLAN_NODE_KINDS
+            .iter()
+            .filter_map(|kind| {
+                server
+                    .registry()
+                    .value("db_plan_node_seconds", &[("node", kind)])
+            })
+            .sum();
+        assert!(samples > 0.0, "staged={staged}: no plan-node samples");
+
+        server.shutdown().expect("clean shutdown");
+    }
+}
+
 /// The template engine, database, and HTTP stack compose for custom
 /// applications, not just the bundled TPC-W one.
 #[test]
